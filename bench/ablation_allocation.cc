@@ -1,0 +1,67 @@
+// Ablation — allocation policies (Section 5.3's design argument).
+//
+// The paper argues that both strawman policies are inferior to the
+// β-interpolation: allocating the minimum needed leaves existing
+// connections so tight that future arrivals break them, and allocating the
+// maximum available starves future connections of synchronous bandwidth.
+// This bench runs the Section-6 workload under each policy at several
+// loads and prints AP side by side, together with the granted-allocation
+// averages that expose the mechanism.
+//
+// Flags (key=value): requests warmup seed seeds rho_mbps c2_kbits p1_ms
+// p2_ms deadline_ms lifetime_s iters eqtol
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hetnet;
+  bench::Flags flags(argc, argv);
+  sim::WorkloadParams base = bench::workload_from_flags(flags);
+  const int seeds = static_cast<int>(flags.get("seeds", 3));
+  core::CacConfig probe = bench::cac_from_flags(flags, 0.5);
+  flags.check_unknown();
+
+  const net::AbhnTopology topo(net::paper_topology_params());
+
+  struct Policy {
+    const char* name;
+    core::AllocationRule rule;
+    double beta;
+  };
+  const std::vector<Policy> policies = {
+      {"min-need", core::AllocationRule::kMinimumNeeded, 0.0},
+      {"beta=0.5", core::AllocationRule::kBetaInterpolation, 0.5},
+      {"max-need", core::AllocationRule::kBetaInterpolation, 1.0},
+      {"max-avail", core::AllocationRule::kMaximumAvailable, 0.5},
+  };
+
+  std::printf("# Ablation: allocation policies (AP | mean granted H_S ms)\n");
+  TableWriter table({"U", "min-need", "beta=0.5", "max-need", "max-avail"});
+  for (double u : {0.1, 0.3, 0.6, 0.9}) {
+    std::vector<std::string> row{TableWriter::fmt(u, 1)};
+    for (const Policy& policy : policies) {
+      ProportionStats ap;
+      RunningStats h_s;
+      for (int s = 0; s < seeds; ++s) {
+        sim::WorkloadParams w = base;
+        w.seed = base.seed + static_cast<std::uint64_t>(1000 * s);
+        w.lambda = sim::lambda_for_utilization(u, w, topo);
+        core::CacConfig cfg = probe;
+        cfg.rule = policy.rule;
+        cfg.beta = policy.beta;
+        const auto result = sim::run_admission_simulation(topo, cfg, w);
+        ap.merge(result.admission);
+        h_s.add(result.granted_h_s.mean());
+      }
+      row.push_back(TableWriter::fmt(ap.proportion(), 3) + " | " +
+                    TableWriter::fmt(h_s.mean() * 1e3, 2));
+    }
+    table.add_row(std::move(row));
+    std::fprintf(stderr, "U=%.1f done\n", u);
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation — TTRT and the deadline floor.
+//
+// The timed-token protocol's worst case makes ~2·TTRT the floor of each
+// MAC's delay bound, so a backbone-crossing path floors at ≈ 4·TTRT plus
+// constants. Sweeping TTRT at a fixed workload shows the knee the ring
+// configuration imposes on admission: small TTRT buys deadline headroom
+// but shrinks the per-rotation synchronous budget (TTRT − Δ), choking
+// capacity; large TTRT wastes the deadline on token latency. The classic
+// FDDI parameter-selection trade-off, evaluated through the whole CAC.
+//
+// Flags (key=value): u requests warmup seed seeds rho_mbps c2_kbits p1_ms
+// p2_ms deadline_ms lifetime_s iters eqtol
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hetnet;
+  bench::Flags flags(argc, argv);
+  sim::WorkloadParams base = bench::workload_from_flags(flags);
+  const double u = flags.get("u", 0.3);
+  const int seeds = static_cast<int>(flags.get("seeds", 3));
+  core::CacConfig probe = bench::cac_from_flags(flags, 0.5);
+  flags.check_unknown();
+
+  std::printf("# Ablation: TTRT sweep (U = %.2f, D = %.0f ms)\n", u,
+              base.deadline * 1e3);
+  TableWriter table({"TTRT (ms)", "sync budget (ms)", "AP",
+                     "mean admitted bound (ms)"});
+  for (double ttrt_ms : {2.0, 4.0, 8.0, 12.0, 16.0, 24.0}) {
+    net::TopologyParams params = net::paper_topology_params();
+    params.ring.ttrt = units::ms(ttrt_ms);
+    // Δ is dominated by ring latency and token overhead, not TTRT; keep the
+    // default 1 ms.
+    const net::AbhnTopology topo(params);
+
+    ProportionStats ap;
+    RunningStats bound;
+    for (int s = 0; s < seeds; ++s) {
+      sim::WorkloadParams w = base;
+      w.seed = base.seed + static_cast<std::uint64_t>(1000 * s);
+      w.lambda = sim::lambda_for_utilization(u, w, topo);
+      core::CacConfig cfg = probe;
+      const auto r = sim::run_admission_simulation(topo, cfg, w);
+      ap.merge(r.admission);
+      if (r.admitted > 0) bound.add(r.admitted_delay.mean());
+    }
+    table.add_row({TableWriter::fmt(ttrt_ms, 0),
+                   TableWriter::fmt(ttrt_ms - 1.0, 0),
+                   TableWriter::fmt(ap.proportion(), 3),
+                   bound.count() > 0 ? TableWriter::fmt(bound.mean() * 1e3, 1)
+                                     : "-"});
+    std::fprintf(stderr, "TTRT=%.0fms done\n", ttrt_ms);
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf("\n(the path's delay floor is ≈ 4·TTRT + constants; the ring "
+              "budget is TTRT − Δ per rotation)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared command-line plumbing for the figure-reproduction benches.
+//
+// Every bench accepts overrides as `key=value` arguments (e.g.
+// `requests=500 seed=3 rho_mbps=15`) so the paper sweeps can be re-run at
+// higher fidelity without recompiling. Unknown keys abort with a message
+// listing the accepted ones.
+#pragma once
+
+#include "src/core/cac.h"
+#include "src/sim/workload.h"
+#include "src/util/flags.h"
+
+namespace hetnet::bench {
+
+using hetnet::Flags;
+
+// Builds the Section-6 workload from flags (defaults are the calibrated
+// values documented in EXPERIMENTS.md; λ is set per sweep point from U).
+inline sim::WorkloadParams workload_from_flags(Flags& flags) {
+  sim::WorkloadParams w;
+  const double rho = units::mbps(flags.get("rho_mbps", 5.0));
+  w.p1 = units::ms(flags.get("p1_ms", 100.0));
+  w.c1 = rho * w.p1;
+  w.c2 = units::kbits(flags.get("c2_kbits", 50.0));
+  w.p2 = units::ms(flags.get("p2_ms", 10.0));
+  w.deadline = units::ms(flags.get("deadline_ms", 80.0));
+  w.mean_lifetime = flags.get("lifetime_s", 20.0);
+  w.num_requests = static_cast<int>(flags.get("requests", 400));
+  w.warmup_requests = static_cast<int>(flags.get("warmup", 50));
+  w.seed = static_cast<std::uint64_t>(flags.get("seed", 1));
+  return w;
+}
+
+inline core::CacConfig cac_from_flags(Flags& flags, double beta) {
+  core::CacConfig cfg;
+  cfg.beta = beta;
+  cfg.bisection_iters = static_cast<int>(flags.get("iters", 12));
+  cfg.equality_tolerance = flags.get("eqtol", 0.05);
+  return cfg;
+}
+
+}  // namespace hetnet::bench

@@ -1,0 +1,84 @@
+// Microbenchmark — CAC decision latency (google-benchmark).
+//
+// The paper's Step-1 efficiency claim: the decomposition-based delay
+// analysis makes admission decisions fast enough for on-line use. This
+// bench measures (a) one joint worst-case delay analysis and (b) one full
+// admission request (two bisections + final allocation) as a function of
+// the number of already-active connections.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/cac.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace {
+
+using namespace hetnet;
+
+EnvelopePtr source() {
+  return std::make_shared<DualPeriodicEnvelope>(
+      units::kbits(500), units::ms(100), units::kbits(50), units::ms(10));
+}
+
+net::ConnectionSpec spec_for(net::ConnectionId id, int src_ring, int index,
+                             int dst_ring) {
+  net::ConnectionSpec spec;
+  spec.id = id;
+  spec.src = {src_ring, index};
+  spec.dst = {dst_ring, index};
+  spec.source = source();
+  spec.deadline = units::ms(80);
+  return spec;
+}
+
+// Fills the controller with `n` active connections spread over the rings.
+void preload(core::AdmissionController& cac, int n) {
+  for (int i = 0; i < n; ++i) {
+    const int ring = i % 3;
+    const int host = (i / 3) % 4;
+    const auto decision = cac.request(
+        spec_for(static_cast<net::ConnectionId>(i + 1), ring, host,
+                 (ring + 1) % 3));
+    benchmark::DoNotOptimize(decision.admitted);
+  }
+}
+
+void BM_JointDelayAnalysis(benchmark::State& state) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  core::CacConfig cfg;
+  core::AdmissionController cac(&topo, cfg);
+  preload(cac, static_cast<int>(state.range(0)));
+  std::vector<core::ConnectionInstance> set;
+  for (const auto& [id, conn] : cac.active()) {
+    set.push_back({conn.spec, conn.alloc});
+  }
+  for (auto _ : state) {
+    auto delays = cac.analyzer().analyze(set);
+    benchmark::DoNotOptimize(delays);
+  }
+  state.SetLabel(std::to_string(set.size()) + " active");
+}
+BENCHMARK(BM_JointDelayAnalysis)->Arg(1)->Arg(3)->Arg(6)->Arg(9);
+
+void BM_AdmissionRequest(benchmark::State& state) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  core::CacConfig cfg;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::AdmissionController cac(&topo, cfg);
+    preload(cac, static_cast<int>(state.range(0)));
+    const auto spec = spec_for(999, 0, 3, 2);
+    state.ResumeTiming();
+    auto decision = cac.request(spec);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetLabel("request with preload");
+}
+BENCHMARK(BM_AdmissionRequest)->Arg(0)->Arg(3)->Arg(6)->Arg(9);
+
+}  // namespace
+
+BENCHMARK_MAIN();

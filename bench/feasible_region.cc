@@ -1,0 +1,85 @@
+// Figure 6 — the feasible region in the H_S–H_R plane (Section 5.2).
+//
+// Reproduces the geometry the paper draws: under background load, the set
+// of feasible (H_S, H_R) allocations for a requesting connection is a
+// rectangle whose lower-left boundary is a concave curve; the proportional
+// line ζ crosses it between (H^min_need) and the max-available corner.
+// The run prints the sampled region, marks the CAC's anchors, and reports
+// the empirical convexity check of Theorems 3–4.
+//
+// Flags (key=value): steps background rho_mbps c2_kbits p1_ms p2_ms
+// deadline_ms requests warmup seed seeds lifetime_s iters eqtol
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/region.h"
+#include "src/traffic/sources.h"
+
+int main(int argc, char** argv) {
+  using namespace hetnet;
+  bench::Flags flags(argc, argv);
+  sim::WorkloadParams w = bench::workload_from_flags(flags);
+  core::CacConfig cfg = bench::cac_from_flags(flags, 0.5);
+  const int steps = static_cast<int>(flags.get("steps", 21));
+  const int background = static_cast<int>(flags.get("background", 3));
+  flags.check_unknown();
+
+  const net::AbhnTopology topo(net::paper_topology_params());
+  core::AdmissionController cac(&topo, cfg);
+
+  // Admit a few background connections that share the new connection's
+  // path, so both boundary types of Figure 6 are visible.
+  auto source = [&] {
+    return std::make_shared<hetnet::DualPeriodicEnvelope>(w.c1, w.p1, w.c2, w.p2,
+                                                  w.peak);
+  };
+  int admitted = 0;
+  for (int i = 0; i < background; ++i) {
+    net::ConnectionSpec bg;
+    bg.id = static_cast<net::ConnectionId>(i + 1);
+    bg.src = {0, i + 1};
+    bg.dst = {1, i + 1};
+    bg.source = source();
+    bg.deadline = w.deadline;
+    if (cac.request(bg).admitted) ++admitted;
+  }
+
+  net::ConnectionSpec spec;
+  spec.id = 1000;
+  spec.src = {0, 0};
+  spec.dst = {1, 0};
+  spec.source = source();
+  spec.deadline = w.deadline;
+
+  std::printf("# Figure 6: feasible region of (H_S, H_R)\n");
+  std::printf("# background connections admitted: %d; deadline %.0f ms\n",
+              admitted, w.deadline * 1e3);
+
+  const core::RegionGrid grid =
+      core::sample_feasible_region(cac, spec, steps, steps);
+  std::printf("%s", core::render_region(grid).c_str());
+
+  std::size_t feasible = 0;
+  for (const auto& s : grid.samples) feasible += s.feasible ? 1 : 0;
+  std::printf("feasible samples: %zu / %zu\n", feasible, grid.samples.size());
+  const int violations = core::count_convexity_violations(grid);
+  std::printf("convexity violations (Theorems 3-4 predict 0): %d\n",
+              violations);
+
+  const auto decision = cac.request(spec);
+  if (decision.admitted) {
+    std::printf(
+        "CAC anchors on line ζ: min_need=(%.3f, %.3f) ms, "
+        "max_need=(%.3f, %.3f) ms, max_avail=(%.3f, %.3f) ms\n",
+        decision.min_need.h_s * 1e3, decision.min_need.h_r * 1e3,
+        decision.max_need.h_s * 1e3, decision.max_need.h_r * 1e3,
+        decision.max_avail.h_s * 1e3, decision.max_avail.h_r * 1e3);
+    std::printf("granted (beta=%.2f): (%.3f, %.3f) ms, bound %.2f ms\n",
+                cfg.beta, decision.alloc.h_s * 1e3, decision.alloc.h_r * 1e3,
+                decision.worst_case_delay * 1e3);
+  } else {
+    std::printf("requesting connection rejected (reason %d)\n",
+                static_cast<int>(decision.reason));
+  }
+  return 0;
+}

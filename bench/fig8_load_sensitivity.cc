@@ -1,0 +1,80 @@
+// Figure 8 — Sensitivity of the system load (Section 6.2).
+//
+// Sweeps the offered backbone utilization U from light to overload at
+// β ∈ {0, 0.5, 1.0} and prints the admission probability for each point.
+//
+// Paper observations this run should reproduce:
+//   * AP decreases as U increases;
+//   * β = 0.5 is a reasonable choice, and clearly better than β = 0 or 1
+//     under heavy load (U = 0.9).
+//
+// Flags (key=value): requests warmup seed seeds rho_mbps c2_kbits p1_ms
+// p2_ms deadline_ms lifetime_s iters eqtol u_min u_max u_steps
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/util/chart.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hetnet;
+  bench::Flags flags(argc, argv);
+  sim::WorkloadParams base = bench::workload_from_flags(flags);
+  const double u_min = flags.get("u_min", 0.1);
+  const double u_max = flags.get("u_max", 1.0);
+  const int u_steps = static_cast<int>(flags.get("u_steps", 10));
+  const int seeds = static_cast<int>(flags.get("seeds", 3));
+  core::CacConfig cac_probe = bench::cac_from_flags(flags, 0.5);
+  flags.check_unknown();
+
+  const net::AbhnTopology topo(net::paper_topology_params());
+  const std::vector<double> betas = {0.0, 0.5, 1.0};
+
+  std::printf("# Figure 8: admission probability vs offered utilization\n");
+  std::printf("# workload: rho=%.1f Mb/s, C2=%.0f kb / P2=%.0f ms, D=%.0f ms, "
+              "1/mu=%.0f s, %d+%d requests x %d seeds\n",
+              sim::source_rate(base) / 1e6, base.c2 / 1e3, base.p2 * 1e3,
+              base.deadline * 1e3, base.mean_lifetime, base.warmup_requests,
+              base.num_requests, seeds);
+
+  TableWriter table({"U", "AP(beta=0)", "AP(beta=0.5)", "AP(beta=1)"});
+  std::vector<std::vector<std::pair<double, double>>> curves(betas.size());
+  for (int ui = 0; ui < u_steps; ++ui) {
+    const double u =
+        u_steps == 1
+            ? u_min
+            : u_min + (u_max - u_min) * static_cast<double>(ui) / (u_steps - 1);
+    std::vector<std::string> row{TableWriter::fmt(u, 2)};
+    for (std::size_t bi = 0; bi < betas.size(); ++bi) {
+      const double beta = betas[bi];
+      ProportionStats ap;
+      for (int s = 0; s < seeds; ++s) {
+        sim::WorkloadParams w = base;
+        w.seed = base.seed + static_cast<std::uint64_t>(1000 * s);
+        w.lambda = sim::lambda_for_utilization(u, w, topo);
+        core::CacConfig cfg = cac_probe;
+        cfg.beta = beta;
+        const auto result = sim::run_admission_simulation(topo, cfg, w);
+        ap.merge(result.admission);
+      }
+      row.push_back(TableWriter::fmt(ap.proportion(), 3));
+      curves[bi].push_back({u, ap.proportion()});
+    }
+    table.add_row(std::move(row));
+    std::fprintf(stderr, "U=%.2f done\n", u);
+  }
+  std::printf("%s", table.to_ascii().c_str());
+
+  AsciiChart chart(56, 14);
+  chart.set_y_range(0.0, 1.0);
+  const char glyphs[] = {'0', '5', '1'};
+  for (std::size_t bi = 0; bi < betas.size(); ++bi) {
+    char label[16];
+    std::snprintf(label, sizeof label, "beta=%.1f", betas[bi]);
+    chart.add_series(label, glyphs[bi], curves[bi]);
+  }
+  std::printf("\nAP vs U:\n%s", chart.render().c_str());
+  std::printf("\ncsv:\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Validation — analytic worst-case bounds vs packet-level simulation.
+//
+// Admits a set of connections through the CAC, replays the admitted set in
+// the packet-level discrete-event simulator (timed-token rings, interface
+// devices, ATM switches), and compares every connection's simulated
+// mean/max message delay against its analytic worst-case bound. The bound
+// must dominate the simulated maximum for every connection (the soundness
+// property all of Section 4 exists to provide); the max/bound ratio shows
+// how much of the bound is pessimism.
+//
+// Flags (key=value): conns duration_s seed aligned rho_mbps c2_kbits p1_ms
+// p2_ms deadline_ms requests warmup lifetime_s iters eqtol beta async_fill
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/sim/packet_sim.h"
+#include "src/traffic/sources.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hetnet;
+  bench::Flags flags(argc, argv);
+  sim::WorkloadParams w = bench::workload_from_flags(flags);
+  core::CacConfig cfg = bench::cac_from_flags(flags, flags.get("beta", 0.5));
+  const int want = static_cast<int>(flags.get("conns", 6));
+  const double duration = flags.get("duration_s", 5.0);
+  const bool aligned = flags.get("aligned", 0.0) != 0.0;
+  const double async_fill = flags.get("async_fill", 0.0);
+  flags.check_unknown();
+
+  const net::AbhnTopology topo(net::paper_topology_params());
+  core::AdmissionController cac(&topo, cfg);
+
+  // Admit up to `want` connections spread over the rings.
+  int admitted = 0;
+  for (int i = 0; i < want && admitted < want; ++i) {
+    net::ConnectionSpec spec;
+    spec.id = static_cast<net::ConnectionId>(i + 1);
+    spec.src = {i % 3, (i / 3) % 4};
+    spec.dst = {(i + 1) % 3, (i / 3) % 4};
+    spec.source = std::make_shared<DualPeriodicEnvelope>(w.c1, w.p1, w.c2,
+                                                         w.p2, w.peak);
+    spec.deadline = w.deadline;
+    if (cac.request(spec).admitted) ++admitted;
+  }
+
+  std::vector<core::ConnectionInstance> set;
+  for (const auto& [id, conn] : cac.active()) {
+    set.push_back({conn.spec, conn.alloc});
+  }
+  const auto bounds = cac.analyzer().analyze(set);
+
+  sim::PacketSimConfig sim_cfg;
+  sim_cfg.duration = duration;
+  sim_cfg.seed = w.seed;
+  sim_cfg.randomize_phases = !aligned;
+  sim_cfg.async_fill = async_fill;
+  const auto sim_result = sim::run_packet_simulation(topo, set, sim_cfg);
+
+  std::printf("# Validation: analytic bound vs packet simulation\n");
+  std::printf("# %d connections admitted (beta=%.2f), %.1f s simulated, "
+              "%zu events, phases %s, async rotation fill %.2f\n",
+              admitted, cfg.beta, duration, sim_result.events_executed,
+              aligned ? "ALIGNED (adversarial)" : "randomized", async_fill);
+
+  TableWriter table({"conn", "route", "bound_ms", "sim_max_ms", "sim_mean_ms",
+                     "max/bound", "delivered"});
+  bool sound = true;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto& trace = sim_result.connections[i];
+    const double bound = bounds[i];
+    const double sim_max = trace.delay.max();
+    if (trace.messages_delivered > 0 && sim_max > bound) sound = false;
+    char route[32];
+    std::snprintf(route, sizeof route, "(%d,%d)->(%d,%d)",
+                  set[i].spec.src.ring, set[i].spec.src.index,
+                  set[i].spec.dst.ring, set[i].spec.dst.index);
+    table.add_row({std::to_string(set[i].spec.id), route,
+                   TableWriter::fmt(bound * 1e3, 2),
+                   TableWriter::fmt(sim_max * 1e3, 2),
+                   TableWriter::fmt(trace.delay.mean() * 1e3, 2),
+                   TableWriter::fmt(sim_max / bound, 3),
+                   std::to_string(trace.messages_delivered) + "/" +
+                       std::to_string(trace.messages_generated)});
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf("max ATM port backlog: %.0f bits\n",
+              sim_result.max_port_backlog);
+  std::printf("soundness (every sim max <= bound): %s\n",
+              sound ? "HOLDS" : "VIOLATED");
+  return sound ? 0 : 1;
+}

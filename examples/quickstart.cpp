@@ -1,0 +1,82 @@
+// Quickstart: admit two real-time connections across an FDDI-ATM-FDDI
+// network and inspect the worst-case delay budget the math guarantees.
+//
+//   build/examples/quickstart
+//
+// Walks through the whole public API surface: build the paper's topology,
+// describe traffic with a dual-periodic envelope, run connection admission
+// control, and print the per-server breakdown of the end-to-end bound.
+#include <cstdio>
+#include <memory>
+
+#include "src/core/cac.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+using namespace hetnet;
+
+int main() {
+  // The evaluation topology of the paper: 3 FDDI rings (100 Mb/s, TTRT
+  // 8 ms) × 4 hosts, bridged by interface devices over a 155 Mb/s ATM mesh.
+  const net::AbhnTopology topo(net::paper_topology_params());
+
+  // β = 0.5: allocate halfway between the minimum the deadline needs and
+  // the point where extra bandwidth stops helping (Section 5.3).
+  core::CacConfig config;
+  config.beta = 0.5;
+  core::AdmissionController cac(&topo, config);
+
+  // A 5 Mb/s video-like flow: 500 kbit per 100 ms delivered as 50-kbit
+  // bursts every 10 ms, from host (0,0) to host (1,2), deadline 80 ms.
+  net::ConnectionSpec video;
+  video.id = 1;
+  video.src = {0, 0};
+  video.dst = {1, 2};
+  video.source = std::make_shared<DualPeriodicEnvelope>(
+      units::kbits(500), units::ms(100), units::kbits(50), units::ms(10));
+  video.deadline = units::ms(80);
+
+  // A small periodic control flow with a tighter deadline.
+  net::ConnectionSpec control;
+  control.id = 2;
+  control.src = {2, 1};
+  control.dst = {0, 3};
+  control.source =
+      std::make_shared<PeriodicEnvelope>(units::kbits(8), units::ms(20));
+  control.deadline = units::ms(50);
+
+  for (const auto& spec : {video, control}) {
+    const core::AdmissionDecision d = cac.request(spec);
+    std::printf("connection %llu (%d,%d)->(%d,%d): %s\n",
+                static_cast<unsigned long long>(spec.id), spec.src.ring,
+                spec.src.index, spec.dst.ring, spec.dst.index,
+                d.admitted ? "ADMITTED" : "REJECTED");
+    if (!d.admitted) continue;
+    std::printf("  granted H_S = %.3f ms, H_R = %.3f ms "
+                "(line anchors: min %.3f, max-useful %.3f, available %.3f)\n",
+                d.alloc.h_s * 1e3, d.alloc.h_r * 1e3, d.min_need.h_s * 1e3,
+                d.max_need.h_s * 1e3, d.max_avail.h_s * 1e3);
+    std::printf("  worst-case end-to-end delay %.2f ms (deadline %.0f ms)\n",
+                d.worst_case_delay * 1e3, spec.deadline * 1e3);
+  }
+
+  // Per-server delay budget of the video connection under the final state.
+  std::vector<core::ConnectionInstance> active;
+  for (const auto& [id, conn] : cac.active()) {
+    active.push_back({conn.spec, conn.alloc});
+  }
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (active[i].spec.id != 1) continue;
+    const auto breakdown = cac.analyzer().breakdown(active, i);
+    if (!breakdown.has_value()) break;
+    std::printf("\ndelay budget of connection 1 (eq. 7 decomposition):\n");
+    for (const auto& stage : breakdown->stages) {
+      std::printf("  %-28s %8.3f ms   buffer %8.0f bits\n",
+                  stage.server_name.c_str(),
+                  stage.analysis.worst_case_delay * 1e3,
+                  stage.analysis.buffer_required);
+    }
+    std::printf("  %-28s %8.3f ms\n", "TOTAL", breakdown->total_delay * 1e3);
+  }
+  return 0;
+}

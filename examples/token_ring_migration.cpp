@@ -1,0 +1,73 @@
+// Migrating an IEEE 802.5 token-ring site onto the ATM backbone — the
+// Section-7 extension exercised as an application.
+//
+//   build/examples/token_ring_migration
+//
+// A plant still runs 16 Mb/s 802.5 rings. The same decomposition analysis
+// applies: swap the FDDI_MAC server for the 802.5_MAC server and keep every
+// other server of the path. This example builds the 802.5 → ATM → 802.5
+// chain explicitly with the server vocabulary and prints the end-to-end
+// guarantee for a control flow, at several ring populations (the token
+// cycle — and hence the bound — degrades as stations join the ring).
+#include <cstdio>
+#include <memory>
+
+#include "src/servers/chain.h"
+#include "src/servers/constant_delay.h"
+#include "src/servers/conversion.h"
+#include "src/servers/fifo_mux.h"
+#include "src/tokenring/tokenring.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+using namespace hetnet;
+
+int main() {
+  const tokenring::TokenRingParams ring;  // 16 Mb/s, 30 µs walk
+  const Bits frame = units::bytes(512);   // one 512-byte frame per visit
+
+  // A 400 kb/s control flow: 4-kbit samples every 10 ms, both rings alike.
+  auto source = std::make_shared<PeriodicEnvelope>(units::kbits(4),
+                                                   units::ms(10));
+
+  FifoMuxParams port;
+  port.capacity = units::mbps(155) * 48.0 / 53.0;
+  port.non_preemption = units::bytes(53) / units::mbps(155);
+  port.cell_bits = units::bytes(48);
+
+  std::printf("802.5(16 Mb/s) → ATM → 802.5 guarantee for a 400 kb/s flow\n");
+  std::printf("stations  cycle (ms)  end-to-end bound (ms)\n");
+  for (int stations : {2, 4, 8, 16, 32}) {
+    const Seconds cycle = tokenring::worst_cycle(
+        ring, std::vector<Bits>(static_cast<std::size_t>(stations), frame));
+
+    ServerChain chain;
+    chain.append(std::make_shared<tokenring::TokenRingMacServer>(
+        "802.5_S.MAC", ring, frame, cycle));
+    chain.append(
+        std::make_shared<ConstantDelayServer>("Delay_Line", units::us(30)));
+    chain.append(make_frame_to_cell_server("ID_S.Frame_Cell", frame,
+                                           units::bytes(48), units::bytes(48),
+                                           units::us(50)));
+    chain.append(std::make_shared<FifoMuxServer>(
+        "ATM.Port", port, std::make_shared<ZeroEnvelope>()));
+    chain.append(make_cell_to_frame_server("ID_R.Cell_Frame", frame,
+                                           units::bytes(48), units::bytes(48),
+                                           units::us(50)));
+    chain.append(std::make_shared<tokenring::TokenRingMacServer>(
+        "802.5_R.MAC", ring, frame, cycle));
+
+    const auto result = chain.analyze(source);
+    if (result.has_value()) {
+      std::printf("%8d  %10.3f  %21.2f\n", stations, cycle * 1e3,
+                  result->total_delay * 1e3);
+    } else {
+      std::printf("%8d  %10.3f  %21s\n", stations, cycle * 1e3,
+                  "unbounded (ring saturated)");
+    }
+  }
+  std::printf("\nthe 802.5 MAC slots into the same chain the paper builds "
+              "for FDDI —\nonly the MAC server analysis changed "
+              "(Section 7).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Trace-driven what-if analysis: replay an exact request sequence against
+// different CAC configurations.
+//
+//   build/examples/trace_replay [trace=/path/to/trace.csv] [beta=0.5]
+//
+// Without a trace file the example synthesizes one from the Section-6
+// stochastic model, writes it next to the binary, and replays it — showing
+// the full loop an operator would use: capture a day's requests once,
+// then evaluate candidate β settings offline against the identical load.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/trace.h"
+#include "src/util/flags.h"
+
+using namespace hetnet;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string path = flags.get_string("trace", "");
+  const double beta_focus = flags.get("beta", 0.5);
+  flags.check_unknown();
+
+  const net::AbhnTopology topo(net::paper_topology_params());
+
+  std::vector<sim::TraceRequest> trace;
+  if (path.empty()) {
+    sim::WorkloadParams w;
+    w.num_requests = 250;
+    w.warmup_requests = 0;
+    w.lambda = sim::lambda_for_utilization(0.4, w, topo);
+    trace = sim::synthesize_trace(w, topo);
+    std::ofstream out("trace_replay_sample.csv");
+    sim::write_trace(out, trace);
+    std::printf("synthesized %zu requests (U = 0.4) → "
+                "trace_replay_sample.csv\n",
+                trace.size());
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    trace = sim::parse_trace(in);
+    std::printf("loaded %zu requests from %s\n", trace.size(), path.c_str());
+  }
+
+  std::printf("\nreplaying the identical sequence under each policy:\n");
+  std::printf("%-10s %-8s %-12s %-14s %s\n", "beta", "AP", "admitted",
+              "infeasible", "no-bandwidth");
+  for (double beta : {0.0, 0.25, beta_focus, 0.75, 1.0}) {
+    core::CacConfig cfg;
+    cfg.beta = beta;
+    const auto result = sim::run_trace_simulation(topo, cfg, trace);
+    std::printf("%-10.2f %-8.3f %-12zu %-14zu %zu\n", beta,
+                result.admission.proportion(), result.admitted,
+                result.rejected_infeasible, result.rejected_no_bandwidth);
+  }
+  std::printf("\nevery row saw the same arrivals, endpoints, and lifetimes — "
+              "the differences are pure policy.\n");
+  return 0;
+}

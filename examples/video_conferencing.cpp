@@ -1,0 +1,108 @@
+// Video conferencing across sites: the workload class the paper's
+// introduction motivates — bursty multimedia flows that need hard delay
+// guarantees end-to-end across legacy rings and the ATM backbone.
+//
+//   build/examples/video_conferencing
+//
+// Sets up bidirectional conference flows between three sites (one FDDI ring
+// each), admits as many as the network can guarantee, then REPLAYS the
+// admitted set in the packet-level simulator to show that observed delays
+// stay far inside the contracts even under adversarial token rotations.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/core/cac.h"
+#include "src/sim/packet_sim.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+using namespace hetnet;
+
+namespace {
+
+// One conference leg: 4 Mb/s of video (25 fps, ~20 kbit mean frames
+// delivered in 40 ms frame intervals) plus its burstiness inside the frame
+// interval.
+net::ConnectionSpec conference_leg(net::ConnectionId id, net::HostId from,
+                                   net::HostId to) {
+  net::ConnectionSpec spec;
+  spec.id = id;
+  spec.src = from;
+  spec.dst = to;
+  spec.source = std::make_shared<DualPeriodicEnvelope>(
+      units::kbits(160), units::ms(40),   // 160 kbit per frame interval
+      units::kbits(40), units::ms(10));   // in 40-kbit slices
+  spec.deadline = units::ms(100);         // one-way video budget
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  core::CacConfig config;
+  config.beta = 0.5;
+  core::AdmissionController cac(&topo, config);
+
+  // Pairwise conferences between sites 0, 1, 2; two hosts per site join,
+  // each with a send leg (the return leg originates at the remote host).
+  std::vector<net::ConnectionSpec> legs;
+  net::ConnectionId next_id = 1;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      for (int seat = 0; seat < 2; ++seat) {
+        legs.push_back(
+            conference_leg(next_id++, {a, seat}, {b, seat + 2}));
+      }
+    }
+  }
+
+  int admitted = 0;
+  for (const auto& leg : legs) {
+    const auto d = cac.request(leg);
+    std::printf("leg %2llu  site %d → site %d : %-8s",
+                static_cast<unsigned long long>(leg.id), leg.src.ring,
+                leg.dst.ring, d.admitted ? "admitted" : "rejected");
+    if (d.admitted) {
+      ++admitted;
+      std::printf("  H=(%.2f, %.2f) ms  bound %.1f ms", d.alloc.h_s * 1e3,
+                  d.alloc.h_r * 1e3, d.worst_case_delay * 1e3);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%d of %zu conference legs admitted; ring allocations: ",
+              admitted, legs.size());
+  for (int r = 0; r < topo.num_rings(); ++r) {
+    std::printf("ring%d %.2f/%.2f ms  ", r, cac.ledger(r).allocated() * 1e3,
+                cac.ledger(r).capacity() * 1e3);
+  }
+  std::printf("\n");
+
+  // Replay the admitted conference in the packet-level simulator with
+  // aligned bursts and token rotations stretched by asynchronous traffic.
+  std::vector<core::ConnectionInstance> active;
+  for (const auto& [id, conn] : cac.active()) {
+    active.push_back({conn.spec, conn.alloc});
+  }
+  const auto bounds = cac.analyzer().analyze(active);
+
+  sim::PacketSimConfig sim_config;
+  sim_config.duration = 3.0;
+  sim_config.randomize_phases = false;
+  sim_config.async_fill = 0.85;
+  const auto replay = sim::run_packet_simulation(topo, active, sim_config);
+
+  std::printf("\npacket-level replay (3 s, adversarial settings):\n");
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const auto& trace = replay.connections[i];
+    std::printf(
+        "  leg %2llu: %4zu frames, mean %6.2f ms, max %6.2f ms  "
+        "(bound %6.2f ms — %s)\n",
+        static_cast<unsigned long long>(trace.id), trace.messages_delivered,
+        trace.delay.mean() * 1e3, trace.delay.max() * 1e3, bounds[i] * 1e3,
+        trace.delay.max() <= bounds[i] ? "respected" : "VIOLATED");
+  }
+  return 0;
+}

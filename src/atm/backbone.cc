@@ -1,0 +1,137 @@
+#include "src/atm/backbone.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/check.h"
+
+namespace hetnet::atm {
+
+Backbone::Backbone(int num_switches, CellFormat cells,
+                   Seconds switch_fabric_delay)
+    : num_switches_(num_switches),
+      cells_(cells),
+      fabric_delay_(switch_fabric_delay) {
+  HETNET_CHECK(num_switches_ > 0, "backbone needs at least one switch");
+  HETNET_CHECK(cells_.payload > 0 && cells_.wire >= cells_.payload,
+               "cell wire size must cover the payload");
+  HETNET_CHECK(fabric_delay_ >= 0, "fabric delay must be >= 0");
+  adjacency_.resize(static_cast<std::size_t>(num_switches_));
+}
+
+PortId Backbone::add_port(int from, int to, const LinkParams& link) {
+  HETNET_CHECK(link.wire_rate > 0, "link rate must be positive");
+  HETNET_CHECK(link.propagation >= 0, "propagation must be >= 0");
+  const PortId id = static_cast<PortId>(ports_.size());
+  ports_.push_back({from, to, link});
+  adjacency_[static_cast<std::size_t>(from)].push_back(id);
+  return id;
+}
+
+void Backbone::connect_switches(SwitchId a, SwitchId b,
+                                const LinkParams& link) {
+  HETNET_CHECK(a >= 0 && a < num_switches_, "switch id out of range");
+  HETNET_CHECK(b >= 0 && b < num_switches_, "switch id out of range");
+  HETNET_CHECK(a != b, "cannot link a switch to itself");
+  add_port(a, b, link);
+  add_port(b, a, link);
+}
+
+AccessId Backbone::attach_access(SwitchId s, const LinkParams& link) {
+  HETNET_CHECK(s >= 0 && s < num_switches_, "switch id out of range");
+  const int node = node_count();
+  adjacency_.emplace_back();
+  access_nodes_.push_back(node);
+  add_port(node, s, link);  // the interface device's Output_Port
+  add_port(s, node, link);
+  return static_cast<AccessId>(access_nodes_.size() - 1);
+}
+
+const LinkParams& Backbone::port_link(PortId p) const {
+  HETNET_CHECK(p >= 0 && p < num_ports(), "port id out of range");
+  return ports_[static_cast<std::size_t>(p)].link;
+}
+
+BitsPerSecond Backbone::port_capacity(PortId p) const {
+  return payload_capacity(port_link(p).wire_rate, cells_);
+}
+
+Seconds Backbone::port_cell_time(PortId p) const {
+  return cell_time(port_link(p).wire_rate, cells_);
+}
+
+std::optional<std::vector<Hop>> Backbone::route(AccessId from,
+                                                AccessId to) const {
+  HETNET_CHECK(from >= 0 && from < num_accesses(), "access id out of range");
+  HETNET_CHECK(to >= 0 && to < num_accesses(), "access id out of range");
+  HETNET_CHECK(from != to, "route requires distinct access points");
+  const int src = access_nodes_[static_cast<std::size_t>(from)];
+  const int dst = access_nodes_[static_cast<std::size_t>(to)];
+
+  // BFS for a minimum-hop path; neighbors are explored in port-id order so
+  // routing is deterministic.
+  std::vector<PortId> via(static_cast<std::size_t>(node_count()), -1);
+  std::vector<bool> seen(static_cast<std::size_t>(node_count()), false);
+  std::queue<int> frontier;
+  seen[static_cast<std::size_t>(src)] = true;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    if (node == dst) break;
+    for (PortId p : adjacency_[static_cast<std::size_t>(node)]) {
+      const auto& rec = ports_[static_cast<std::size_t>(p)];
+      // Do not route through other access points.
+      if (rec.to_node >= num_switches_ && rec.to_node != dst) continue;
+      if (seen[static_cast<std::size_t>(rec.to_node)]) continue;
+      seen[static_cast<std::size_t>(rec.to_node)] = true;
+      via[static_cast<std::size_t>(rec.to_node)] = p;
+      frontier.push(rec.to_node);
+    }
+  }
+  if (!seen[static_cast<std::size_t>(dst)]) return std::nullopt;
+
+  std::vector<Hop> hops;
+  for (int node = dst; node != src;) {
+    const PortId p = via[static_cast<std::size_t>(node)];
+    const auto& rec = ports_[static_cast<std::size_t>(p)];
+    Hop hop;
+    hop.port = p;
+    hop.propagation = rec.link.propagation;
+    // Cells pay the fabric latency when crossing a switch to reach this
+    // port; the first hop leaves directly from the interface device.
+    hop.fabric = rec.from_node < num_switches_ ? fabric_delay_ : 0.0;
+    hops.push_back(hop);
+    node = rec.from_node;
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+Backbone make_line_backbone(int n, const LinkParams& link, CellFormat cells,
+                            Seconds switch_fabric_delay) {
+  Backbone bb(n, cells, switch_fabric_delay);
+  for (int a = 0; a + 1 < n; ++a) {
+    bb.connect_switches(a, a + 1, link);
+  }
+  for (int s = 0; s < n; ++s) {
+    bb.attach_access(s, link);
+  }
+  return bb;
+}
+
+Backbone make_mesh_backbone(int n, const LinkParams& link, CellFormat cells,
+                            Seconds switch_fabric_delay) {
+  Backbone bb(n, cells, switch_fabric_delay);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      bb.connect_switches(a, b, link);
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    bb.attach_access(s, link);
+  }
+  return bb;
+}
+
+}  // namespace hetnet::atm

@@ -1,0 +1,131 @@
+// The ATM backbone: switches, links, access points, and VC routing.
+//
+// The backbone is a graph whose nodes are ATM switches plus "access points"
+// (the ATM side of each interface device). Every directed link has a sending
+// FIFO output port; a virtual circuit's route is the sequence of directed
+// ports it traverses:
+//
+//     [ ID_i → switch, switch → switch ..., switch → ID_j ]
+//
+// The first entry IS the interface device's Output_Port server (Section
+// 4.3.2); the rest are ATM switch output ports — all analyzed by
+// servers/fifo_mux. Cells also pay a constant switch-fabric latency per
+// traversed switch and the propagation delay of each link.
+//
+// Envelope accounting on the backbone is PAYLOAD bits (the paper's eq. 21
+// uses the 48-byte cell payload C_S), so the usable capacity of a link is
+// the wire rate discounted by the 48/53 cell efficiency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace hetnet::atm {
+
+struct CellFormat {
+  Bits payload = units::bytes(48);
+  Bits wire = units::bytes(53);
+};
+
+// Payload-accounted capacity of a link whose wire signalling rate is given.
+inline BitsPerSecond payload_capacity(BitsPerSecond wire_rate,
+                                      const CellFormat& cells) {
+  return wire_rate * cells.payload / cells.wire;
+}
+
+// Transmission time of one full cell on the wire (the FIFO non-preemption
+// term).
+inline Seconds cell_time(BitsPerSecond wire_rate, const CellFormat& cells) {
+  return cells.wire / wire_rate;
+}
+
+struct LinkParams {
+  BitsPerSecond wire_rate = units::mbps(155);
+  Seconds propagation = units::us(5);
+  // Output-port buffer on the sending side (payload bits).
+  Bits port_buffer = 1e18;
+};
+
+using SwitchId = int;
+using AccessId = int;
+using PortId = int;
+
+// One hop of a resolved route.
+struct Hop {
+  PortId port = -1;          // sending FIFO port of this hop's link
+  Seconds propagation = 0.0; // link propagation after the port
+  Seconds fabric = 0.0;      // switch-fabric latency before the port
+                             // (zero for the access uplink)
+};
+
+class Backbone {
+ public:
+  // `switch_fabric_delay` is the constant cell latency through a switch.
+  Backbone(int num_switches, CellFormat cells,
+           Seconds switch_fabric_delay = units::us(10));
+
+  // Adds a bidirectional link between two switches (two directed ports).
+  void connect_switches(SwitchId a, SwitchId b, const LinkParams& link);
+
+  // Attaches an interface device's access link to a switch; returns the new
+  // access id. Creates the ID→switch port (the ID's Output_Port) and the
+  // switch→ID port.
+  AccessId attach_access(SwitchId s, const LinkParams& link);
+
+  // Minimum-hop route between two distinct access points (deterministic
+  // tie-breaking), as the ordered list of traversed sending ports. Returns
+  // nullopt if the accesses are not connected.
+  std::optional<std::vector<Hop>> route(AccessId from, AccessId to) const;
+
+  int num_switches() const { return num_switches_; }
+  int num_accesses() const { return static_cast<int>(access_nodes_.size()); }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+  const CellFormat& cells() const { return cells_; }
+  Seconds switch_fabric_delay() const { return fabric_delay_; }
+
+  const LinkParams& port_link(PortId p) const;
+  // Payload-accounted capacity of the link this port sends into.
+  BitsPerSecond port_capacity(PortId p) const;
+  // One-cell non-preemption time at this port.
+  Seconds port_cell_time(PortId p) const;
+
+ private:
+  struct PortRecord {
+    int from_node;
+    int to_node;
+    LinkParams link;
+  };
+
+  int node_count() const {
+    return num_switches_ + static_cast<int>(access_nodes_.size());
+  }
+  PortId add_port(int from, int to, const LinkParams& link);
+
+  int num_switches_;
+  CellFormat cells_;
+  Seconds fabric_delay_;
+  std::vector<PortRecord> ports_;
+  // adjacency: node → list of outgoing port ids
+  std::vector<std::vector<PortId>> adjacency_;
+  // access id → node index (node indices >= num_switches_ are accesses)
+  std::vector<int> access_nodes_;
+};
+
+// The paper's evaluation backbone: `n` switches in a full mesh (a triangle
+// for n = 3), one access (interface device) per switch, all links sharing
+// `link`.
+Backbone make_mesh_backbone(int n, const LinkParams& link,
+                            CellFormat cells = {},
+                            Seconds switch_fabric_delay = units::us(10));
+
+// A linear backbone: switches chained 0—1—…—n−1, one access per switch.
+// Routes between distant accesses traverse many switch ports — the long-
+// chain case for the decomposition analysis.
+Backbone make_line_backbone(int n, const LinkParams& link,
+                            CellFormat cells = {},
+                            Seconds switch_fabric_delay = units::us(10));
+
+}  // namespace hetnet::atm

@@ -1,0 +1,342 @@
+#include "src/core/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/fddi/ring.h"
+#include "src/servers/constant_delay.h"
+#include "src/servers/conversion.h"
+#include "src/servers/fddi_mac.h"
+#include "src/servers/fifo_mux.h"
+#include "src/traffic/algebra.h"
+#include "src/traffic/sources.h"
+#include "src/util/check.h"
+
+namespace hetnet::core {
+namespace {
+
+// Runs `server` on `env`, accumulating delay and (optionally) the stage
+// breakdown. Returns false when the server reports no finite bound.
+bool run_stage(const Server& server, EnvelopePtr& env, Seconds& delay,
+               std::vector<ChainStage>* stages) {
+  auto result = server.analyze(env);
+  if (!result.has_value()) return false;
+  delay += result->worst_case_delay;
+  env = result->output;
+  if (stages != nullptr) {
+    stages->push_back({server.name(), std::move(*result)});
+  }
+  return true;
+}
+
+}  // namespace
+
+DelayAnalyzer::DelayAnalyzer(const net::AbhnTopology* topology,
+                             const AnalysisConfig& config)
+    : topology_(topology), config_(config) {
+  HETNET_CHECK(topology_ != nullptr, "null topology");
+}
+
+// Shared worker for send_prefix() and breakdown(): walks the private
+// send-side servers, optionally recording the stage breakdown.
+SendPrefix DelayAnalyzer::prefix_with_stages(
+    const net::ConnectionSpec& spec, Seconds h_s,
+    std::vector<ChainStage>* stages) const {
+  HETNET_CHECK(spec.source != nullptr, "connection has no source envelope");
+  const net::TopologyParams& p = topology_->params();
+  SendPrefix out;
+  if (h_s <= 0.0 || h_s > p.ring.ttrt) return out;  // not a usable allocation
+
+  const Bits frame_s = fddi::frame_payload_for_allocation(p.ring, h_s);
+  FddiMacParams mac;
+  mac.ttrt = p.ring.ttrt;
+  mac.sync_allocation = h_s;
+  mac.ring_rate = fddi::effective_payload_rate(p.ring, frame_s);
+  mac.buffer_limit = p.host_mac_buffer;
+  const FddiMacServer mac_server("FDDI_S.MAC", mac, config_);
+
+  const ConstantDelayServer delay_line("FDDI_S.Delay_Line",
+                                       p.ring.propagation);
+  const ConstantDelayServer input_port("ID_S.Input_Port",
+                                       p.interface_device.input_port_delay);
+  const ConstantDelayServer frame_switch(
+      "ID_S.Frame_Switch", p.interface_device.frame_switch_delay);
+  const auto conversion = make_frame_to_cell_server(
+      "ID_S.Frame_Cell_Conversion", frame_s, p.cells.payload, p.cells.payload,
+      p.interface_device.frame_cell_conversion);
+
+  EnvelopePtr env = spec.source;
+  Seconds delay = 0.0;
+  std::vector<const Server*> path;
+  if (spec.src.ring == spec.dst.ring) {
+    // Section 4.1 case 1: the ring delivers directly — the "prefix" is the
+    // whole path (MAC + delay line to the destination host).
+    path = {static_cast<const Server*>(&mac_server),
+            static_cast<const Server*>(&delay_line)};
+  } else {
+    path = {static_cast<const Server*>(&mac_server),
+            static_cast<const Server*>(&delay_line),
+            static_cast<const Server*>(&input_port),
+            static_cast<const Server*>(&frame_switch),
+            static_cast<const Server*>(conversion.get())};
+  }
+  for (const Server* s : path) {
+    if (!run_stage(*s, env, delay, stages)) return out;
+  }
+  out.finite = true;
+  out.delay = delay;
+  out.at_uplink = std::move(env);
+  return out;
+}
+
+SendPrefix DelayAnalyzer::send_prefix(const net::ConnectionSpec& spec,
+                                      Seconds h_s) const {
+  return prefix_with_stages(spec, h_s, nullptr);
+}
+
+std::vector<Seconds> DelayAnalyzer::run(
+    const std::vector<ConnectionInstance>& set,
+    const std::vector<SendPrefix>& prefixes,
+    std::vector<ChainAnalysis>* details,
+    std::map<atm::PortId, PortReport>* ports) const {
+  HETNET_CHECK(prefixes.size() == set.size(), "prefixes misaligned with set");
+  const net::TopologyParams& p = topology_->params();
+  const std::size_t n = set.size();
+
+  std::vector<Seconds> delays(n, 0.0);
+  std::vector<bool> alive(n, false);
+  std::vector<EnvelopePtr> envs(n);
+  std::vector<std::vector<atm::Hop>> routes(n);
+  std::vector<std::size_t> next_hop(n, 0);
+  std::vector<ChainAnalysis>* det = details;
+  if (det != nullptr) det->assign(n, ChainAnalysis{});
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const SendPrefix& pre = prefixes[i];
+    if (!pre.finite) continue;
+    alive[i] = true;
+    delays[i] = pre.delay;
+    envs[i] = pre.at_uplink;
+    routes[i] = topology_->backbone_route(set[i].spec.src, set[i].spec.dst);
+  }
+
+  // ---- Shared FIFO ports, in topological (Kahn) order of the per-route
+  // precedence edges. Mesh min-hop routing is feed-forward, so the order
+  // always exists; a cyclic dependency is a programming error.
+  std::map<atm::PortId, std::vector<std::size_t>> port_users;
+  std::map<atm::PortId, int> in_degree;
+  std::map<atm::PortId, std::vector<atm::PortId>> succ;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i]) continue;
+    for (std::size_t h = 0; h < routes[i].size(); ++h) {
+      const atm::PortId port = routes[i][h].port;
+      port_users[port].push_back(i);
+      in_degree.try_emplace(port, 0);
+      if (h > 0) {
+        succ[routes[i][h - 1].port].push_back(port);
+        ++in_degree[port];
+      }
+    }
+  }
+  std::vector<atm::PortId> ready;
+  for (const auto& [port, deg] : in_degree) {
+    if (deg == 0) ready.push_back(port);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const atm::PortId port = ready.back();
+    ready.pop_back();
+    ++processed;
+
+    // Aggregate the live flows at this port and bound it once (the FIFO
+    // delay bound is port-wide, identical for every flow).
+    std::vector<EnvelopePtr> flows;
+    std::vector<std::size_t> users;
+    for (std::size_t i : port_users[port]) {
+      if (alive[i]) {
+        flows.push_back(envs[i]);
+        users.push_back(i);
+      }
+    }
+    if (!flows.empty()) {
+      FifoMuxParams mux;
+      mux.capacity = topology_->backbone().port_capacity(port);
+      mux.non_preemption = topology_->backbone().port_cell_time(port);
+      mux.cell_bits = p.cells.payload;
+      mux.buffer_limit = topology_->backbone().port_link(port).port_buffer;
+      std::ostringstream name;
+      name << "ATM.Port[" << port << "]";
+      const FifoMuxServer server(name.str(), mux,
+                                 std::make_shared<ZeroEnvelope>(), config_);
+      const auto bound = server.analyze(sum_envelopes(flows));
+      if (ports != nullptr && bound.has_value()) {
+        (*ports)[port] = {bound->worst_case_delay, bound->buffer_required,
+                          static_cast<int>(users.size())};
+      }
+      for (std::size_t i : users) {
+        if (!bound.has_value()) {
+          alive[i] = false;
+          continue;
+        }
+        const atm::Hop& hop = routes[i][next_hop[i]];
+        const Seconds stage_delay =
+            hop.fabric + bound->worst_case_delay + hop.propagation;
+        delays[i] += stage_delay;
+        envs[i] = rate_cap(shift_envelope(envs[i], bound->worst_case_delay),
+                           mux.capacity, mux.cell_bits);
+        if (det != nullptr) {
+          ServerAnalysis sa;
+          sa.worst_case_delay = stage_delay;
+          sa.buffer_required = bound->buffer_required;
+          sa.output = envs[i];
+          (*det)[i].stages.push_back({name.str(), std::move(sa)});
+        }
+        ++next_hop[i];
+      }
+    }
+    for (const atm::PortId s : succ[port]) {
+      if (--in_degree[s] == 0) ready.push_back(s);
+    }
+  }
+  HETNET_CHECK(processed == in_degree.size(),
+               "cyclic port dependencies: routing must be feed-forward");
+
+  // ---- Receive-side suffix (ID_R + FDDI_R), private per connection.
+  // Intra-ring connections were delivered by the prefix already (no
+  // interface devices on their path).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i]) continue;
+    if (set[i].spec.src.ring == set[i].spec.dst.ring) continue;
+    const Seconds h_r = set[i].alloc.h_r;
+    if (h_r <= 0.0 || h_r > p.ring.ttrt) {
+      alive[i] = false;
+      continue;
+    }
+    const Bits frame_r = fddi::frame_payload_for_allocation(p.ring, h_r);
+    const ConstantDelayServer input_port(
+        "ID_R.Input_Port", p.interface_device.input_port_delay);
+    const auto conversion = make_cell_to_frame_server(
+        "ID_R.Cell_Frame_Conversion", frame_r, p.cells.payload,
+        p.cells.payload, p.interface_device.cell_frame_conversion);
+    const ConstantDelayServer frame_switch(
+        "ID_R.Frame_Switch", p.interface_device.frame_switch_delay);
+    FddiMacParams mac;
+    mac.ttrt = p.ring.ttrt;
+    mac.sync_allocation = h_r;
+    mac.ring_rate = fddi::effective_payload_rate(p.ring, frame_r);
+    mac.buffer_limit = p.interface_device.mac_buffer;
+    // The receive MAC is the last queueing server on the path — its output
+    // feeds only the constant delay line to the host, so the (expensive)
+    // conservative rasterization of Υ buys nothing here.
+    AnalysisConfig rx_config = config_;
+    rx_config.rasterize_mac_output = false;
+    const FddiMacServer mac_server("FDDI_R.MAC", mac, rx_config);
+    const ConstantDelayServer delay_line("FDDI_R.Delay_Line",
+                                         p.ring.propagation);
+
+    std::vector<ChainStage>* stages =
+        det != nullptr ? &(*det)[i].stages : nullptr;
+    for (const Server* s :
+         {static_cast<const Server*>(&input_port),
+          static_cast<const Server*>(conversion.get()),
+          static_cast<const Server*>(&frame_switch),
+          static_cast<const Server*>(&mac_server),
+          static_cast<const Server*>(&delay_line)}) {
+      if (!run_stage(*s, envs[i], delays[i], stages)) {
+        alive[i] = false;
+        break;
+      }
+    }
+  }
+
+  // A connection with no finite bound poisons everything it shares a port
+  // with: its envelope past the failing server is undefined, so bounds that
+  // consumed it are not trustworthy. Iterate the taint to a fixed point.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [port, users] : port_users) {
+      bool tainted = false;
+      for (std::size_t i : users) {
+        if (!alive[i]) tainted = true;
+      }
+      if (!tainted) continue;
+      for (std::size_t i : users) {
+        if (alive[i]) {
+          alive[i] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::vector<Seconds> out(n, kUnbounded);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i]) {
+      out[i] = delays[i];
+      if (det != nullptr) {
+        (*det)[i].total_delay = delays[i];
+        (*det)[i].final_output = envs[i];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Seconds> DelayAnalyzer::complete(
+    const std::vector<ConnectionInstance>& set,
+    const std::vector<SendPrefix>& prefixes) const {
+  return run(set, prefixes, nullptr);
+}
+
+std::map<atm::PortId, DelayAnalyzer::PortReport> DelayAnalyzer::port_reports(
+    const std::vector<ConnectionInstance>& set) const {
+  std::vector<SendPrefix> prefixes;
+  prefixes.reserve(set.size());
+  for (const auto& inst : set) {
+    prefixes.push_back(send_prefix(inst.spec, inst.alloc.h_s));
+  }
+  std::map<atm::PortId, PortReport> ports;
+  run(set, prefixes, nullptr, &ports);
+  return ports;
+}
+
+std::vector<Seconds> DelayAnalyzer::analyze(
+    const std::vector<ConnectionInstance>& set) const {
+  std::vector<SendPrefix> prefixes;
+  prefixes.reserve(set.size());
+  for (const auto& inst : set) {
+    prefixes.push_back(send_prefix(inst.spec, inst.alloc.h_s));
+  }
+  return run(set, prefixes, nullptr);
+}
+
+std::optional<ChainAnalysis> DelayAnalyzer::breakdown(
+    const std::vector<ConnectionInstance>& set, std::size_t index) const {
+  HETNET_CHECK(index < set.size(), "breakdown index out of range");
+  std::vector<SendPrefix> prefixes;
+  std::vector<ChainAnalysis> details;
+  prefixes.reserve(set.size());
+  for (const auto& inst : set) {
+    prefixes.push_back(send_prefix(inst.spec, inst.alloc.h_s));
+  }
+  const auto delays = run(set, prefixes, &details);
+  if (delays[index] == kUnbounded) return std::nullopt;
+  // run() consumed precomputed prefixes, so the prefix stages are absent
+  // from `details`; re-walk the private prefix once with stage recording.
+  ChainAnalysis full;
+  const SendPrefix pre = prefix_with_stages(set[index].spec,
+                                            set[index].alloc.h_s,
+                                            &full.stages);
+  HETNET_CHECK(pre.finite, "prefix must be finite when the bound is");
+  for (auto& stage : details[index].stages) {
+    full.stages.push_back(std::move(stage));
+  }
+  full.total_delay = delays[index];
+  full.final_output = details[index].final_output;
+  return full;
+}
+
+}  // namespace hetnet::core

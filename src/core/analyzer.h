@@ -1,0 +1,111 @@
+// End-to-end worst-case delay analysis over an ABHN (Section 4, eq. 7).
+//
+// A connection's path decomposes into
+//
+//   FDDI_S : host MAC (Theorem 1, allocation H_S) + ring delay line
+//   ID_S   : input port + frame switch + frame→cell conversion (Theorem 2)
+//            + the device's ATM output port (FIFO mux)
+//   ATM    : per traversed switch, fabric latency + output port (FIFO mux)
+//            + link propagation
+//   ID_R   : input port + cell→frame conversion + frame switch
+//   FDDI_R : the interface device's MAC (Theorem 1, allocation H_R)
+//            + ring delay line to the destination host
+//
+// The FIFO ports COUPLE connections: a port's delay bound depends on the
+// aggregate envelope of everything multiplexed there, so the end-to-end
+// bounds of the whole connection set must be computed jointly. The analyzer
+// walks the shared ports in topological order (feed-forward routing),
+// propagating each connection's envelope, and returns every connection's
+// end-to-end bound.
+//
+// Results for OTHER connections are meaningful only when all connections
+// have finite bounds; an unstable connection's traffic cannot be described
+// by a finite envelope downstream of the instability, so the analyzer
+// reports +infinity for everything sharing a port with it. The CAC only
+// accepts allocations where every bound is finite, so this conservatism
+// never admits a violating configuration.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/net/connection.h"
+#include "src/net/topology.h"
+#include "src/servers/chain.h"
+#include "src/servers/server.h"
+
+namespace hetnet::core {
+
+// A connection together with the (possibly hypothetical) allocation to
+// analyze it under.
+struct ConnectionInstance {
+  net::ConnectionSpec spec;
+  net::Allocation alloc;
+};
+
+inline constexpr Seconds kUnbounded = std::numeric_limits<double>::infinity();
+
+// The send-side private prefix of one connection (host MAC through
+// frame→cell conversion): its delay and the envelope entering the
+// interface device's output port. Independent of every other connection,
+// so callers may cache it across feasibility probes that keep H_S fixed.
+struct SendPrefix {
+  bool finite = false;
+  Seconds delay = 0.0;
+  EnvelopePtr at_uplink;  // set iff finite
+};
+
+class DelayAnalyzer {
+ public:
+  DelayAnalyzer(const net::AbhnTopology* topology,
+                const AnalysisConfig& config = {});
+
+  // Computes the private send-side prefix for `spec` under allocation h_s.
+  SendPrefix send_prefix(const net::ConnectionSpec& spec, Seconds h_s) const;
+
+  // Jointly computes the end-to-end worst-case delay bound of every
+  // instance (kUnbounded where no finite bound exists). `prefixes` must be
+  // aligned with `set` and produced by send_prefix() for the same specs and
+  // allocations.
+  std::vector<Seconds> complete(const std::vector<ConnectionInstance>& set,
+                                const std::vector<SendPrefix>& prefixes) const;
+
+  // Convenience: send_prefix for each instance, then complete().
+  std::vector<Seconds> analyze(const std::vector<ConnectionInstance>& set) const;
+
+  // Full per-stage breakdown for the instance at `index` within the jointly
+  // analyzed `set` (for delay-budget reporting and buffer provisioning).
+  // Returns nullopt if that instance has no finite bound.
+  std::optional<ChainAnalysis> breakdown(
+      const std::vector<ConnectionInstance>& set, std::size_t index) const;
+
+  // Port-wide bounds of every ATM output port the set touches: the FIFO
+  // delay bound (shared by all flows through the port) and the backlog a
+  // deployment must buffer there. Ports whose aggregate has no finite bound
+  // are absent from the map.
+  struct PortReport {
+    Seconds delay = 0.0;
+    Bits backlog = 0.0;
+    int flows = 0;
+  };
+  std::map<atm::PortId, PortReport> port_reports(
+      const std::vector<ConnectionInstance>& set) const;
+
+  const AnalysisConfig& config() const { return config_; }
+
+ private:
+  SendPrefix prefix_with_stages(const net::ConnectionSpec& spec, Seconds h_s,
+                                std::vector<ChainStage>* stages) const;
+  std::vector<Seconds> run(const std::vector<ConnectionInstance>& set,
+                           const std::vector<SendPrefix>& prefixes,
+                           std::vector<ChainAnalysis>* details,
+                           std::map<atm::PortId, PortReport>* ports =
+                               nullptr) const;
+
+  const net::AbhnTopology* topology_;
+  AnalysisConfig config_;
+};
+
+}  // namespace hetnet::core

@@ -1,0 +1,239 @@
+#include "src/core/cac.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace hetnet::core {
+namespace {
+
+bool all_deadlines_met(const std::vector<ConnectionInstance>& set,
+                       const std::vector<Seconds>& delays) {
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (!std::isfinite(delays[i])) return false;
+    if (!approx_le(delays[i], set[i].spec.deadline)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// One admission request's evaluation context: the active set plus the
+// requesting connection in the last slot, with the active connections'
+// send-side prefixes computed once (they do not depend on the candidate
+// allocation).
+struct AdmissionController::Probe {
+  Probe(const AdmissionController& cac, const net::ConnectionSpec& spec) {
+    set.reserve(cac.active_.size() + 1);
+    prefixes.reserve(cac.active_.size() + 1);
+    for (const auto& [id, conn] : cac.active_) {
+      set.push_back({conn.spec, conn.alloc});
+      prefixes.push_back(
+          cac.analyzer_.send_prefix(conn.spec, conn.alloc.h_s));
+    }
+    set.push_back({spec, {}});
+    prefixes.emplace_back();
+    analyzer = &cac.analyzer_;
+  }
+
+  // Evaluates every connection's bound with the candidate allocation in the
+  // last slot.
+  std::vector<Seconds> eval(const net::Allocation& alloc) {
+    set.back().alloc = alloc;
+    prefixes.back() = analyzer->send_prefix(set.back().spec, alloc.h_s);
+    return analyzer->complete(set, prefixes);
+  }
+
+  bool feasible(const net::Allocation& alloc) {
+    return all_deadlines_met(set, eval(alloc));
+  }
+
+  const DelayAnalyzer* analyzer = nullptr;
+  std::vector<ConnectionInstance> set;
+  std::vector<SendPrefix> prefixes;
+};
+
+AdmissionController::AdmissionController(const net::AbhnTopology* topology,
+                                         const CacConfig& config)
+    : topology_(topology), config_(config), analyzer_(topology,
+                                                      config.analysis) {
+  HETNET_CHECK(topology_ != nullptr, "null topology");
+  HETNET_CHECK(config_.beta >= 0.0 && config_.beta <= 1.0,
+               "β must lie in [0, 1]");
+  HETNET_CHECK(config_.h_min_abs > 0, "H^min_abs must be positive");
+  HETNET_CHECK(config_.bisection_iters > 0, "need at least one bisection");
+  for (int r = 0; r < topology_->num_rings(); ++r) {
+    ledgers_.emplace_back(topology_->params().ring);
+  }
+}
+
+const fddi::SyncBandwidthLedger& AdmissionController::ledger(int ring) const {
+  HETNET_CHECK(ring >= 0 && ring < topology_->num_rings(),
+               "ring index out of range");
+  return ledgers_[static_cast<std::size_t>(ring)];
+}
+
+AdmissionDecision AdmissionController::request(
+    const net::ConnectionSpec& spec) {
+  HETNET_CHECK(topology_->valid_host(spec.src) &&
+                   topology_->valid_host(spec.dst),
+               "invalid endpoints");
+  HETNET_CHECK(spec.source != nullptr, "connection has no source envelope");
+  HETNET_CHECK(spec.deadline > 0, "deadline must be positive");
+  HETNET_CHECK(!active_.contains(spec.id), "connection id already active");
+
+  AdmissionDecision decision;
+  // Intra-ring connections (Section 4.1 case 1) need no receive-side
+  // allocation: the ring delivers directly, so the search is 1-D in H_S.
+  const bool intra_ring = spec.src.ring == spec.dst.ring;
+
+  // --- Step 1: the available synchronous bandwidth (eqs. 26–27). ---
+  const Seconds h_s_max =
+      ledgers_[static_cast<std::size_t>(spec.src.ring)].available();
+  const Seconds h_r_max =
+      intra_ring
+          ? 0.0
+          : ledgers_[static_cast<std::size_t>(spec.dst.ring)].available();
+  decision.max_avail = {h_s_max, h_r_max};
+  if (h_s_max < config_.h_min_abs ||
+      (!intra_ring && h_r_max < config_.h_min_abs)) {
+    decision.reason = RejectReason::kNoSyncBandwidth;
+    return decision;
+  }
+
+  Probe probe(*this, spec);
+  const net::Allocation max_avail{h_s_max, h_r_max};
+
+  // --- Step 2: Theorem 4 — if max_avai fails, the region is empty. ---
+  const std::vector<Seconds> ref_delays = probe.eval(max_avail);
+  if (!all_deadlines_met(probe.set, ref_delays)) {
+    decision.reason = RejectReason::kInfeasible;
+    return decision;
+  }
+
+  // The allocation line from (H^min_abs, H^min_abs) to max_avai (its H_R
+  // coordinate collapses to zero for an intra-ring request).
+  const auto lerp = [&](double lambda) -> net::Allocation {
+    net::Allocation a;
+    a.h_s = config_.h_min_abs + lambda * (h_s_max - config_.h_min_abs);
+    a.h_r = intra_ring
+                ? 0.0
+                : config_.h_min_abs + lambda * (h_r_max - config_.h_min_abs);
+    return a;
+  };
+
+  // --- Step 3: bisect for (H_S^min_need, H_R^min_need). ---
+  double lambda_min = 0.0;
+  if (!probe.feasible(lerp(0.0))) {
+    double lo = 0.0;  // infeasible
+    double hi = 1.0;  // feasible (step 2)
+    for (int i = 0; i < config_.bisection_iters; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (probe.feasible(lerp(mid))) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    lambda_min = hi;  // the feasible side of the boundary bracket
+  }
+  decision.min_need = lerp(lambda_min);
+
+  // --- Step 4: bisect for (H_S^max_need, H_R^max_need) via eqs. (31)–(33):
+  // the smallest point on the line whose delay vector already equals the
+  // delay vector at max_avai.
+  const auto delays_saturated = [&](const net::Allocation& alloc) {
+    const std::vector<Seconds> d = probe.eval(alloc);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (!std::isfinite(d[i])) return false;
+      const double scale =
+          std::max({std::abs(ref_delays[i]), std::abs(d[i]), 1e-9});
+      if (std::abs(d[i] - ref_delays[i]) >
+          config_.equality_tolerance * scale) {
+        return false;
+      }
+    }
+    return true;
+  };
+  double lambda_max = lambda_min;
+  if (!delays_saturated(lerp(lambda_min))) {
+    double lo = lambda_min;  // not yet saturated
+    double hi = 1.0;         // saturated by definition (it IS the reference)
+    for (int i = 0; i < config_.bisection_iters; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (delays_saturated(lerp(mid))) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    lambda_max = hi;
+  }
+  decision.max_need = lerp(lambda_max);
+
+  // --- Step 5: allocate and admit. ---
+  double lambda_alloc = lambda_min;
+  switch (config_.rule) {
+    case AllocationRule::kBetaInterpolation:
+      lambda_alloc = lambda_min + config_.beta * (lambda_max - lambda_min);
+      break;
+    case AllocationRule::kMinimumNeeded:
+      lambda_alloc = lambda_min;
+      break;
+    case AllocationRule::kMaximumAvailable:
+      lambda_alloc = 1.0;
+      break;
+  }
+  net::Allocation alloc = lerp(lambda_alloc);
+  std::vector<Seconds> final_delays = probe.eval(alloc);
+  if (!all_deadlines_met(probe.set, final_delays)) {
+    // Bisection resolution can leave λ_alloc a hair inside the infeasible
+    // side; the saturated point and max_avai are feasible by construction.
+    alloc = lerp(lambda_max);
+    final_delays = probe.eval(alloc);
+    if (!all_deadlines_met(probe.set, final_delays)) {
+      alloc = max_avail;
+      final_delays = ref_delays;
+    }
+  }
+
+  auto& src_ledger = ledgers_[static_cast<std::size_t>(spec.src.ring)];
+  const bool got_s = src_ledger.reserve(spec.id, alloc.h_s);
+  HETNET_CHECK(got_s, "source-ring reservation must succeed on the line");
+  if (!intra_ring) {
+    auto& dst_ledger = ledgers_[static_cast<std::size_t>(spec.dst.ring)];
+    const bool got_r = dst_ledger.reserve(spec.id, alloc.h_r);
+    HETNET_CHECK(got_r, "destination-ring reservation must succeed");
+  }
+  active_.emplace(spec.id, net::ActiveConnection{spec, alloc});
+
+  decision.admitted = true;
+  decision.alloc = alloc;
+  decision.worst_case_delay = final_delays.back();
+  return decision;
+}
+
+void AdmissionController::release(net::ConnectionId id) {
+  const auto it = active_.find(id);
+  HETNET_CHECK(it != active_.end(), "releasing an unknown connection");
+  ledgers_[static_cast<std::size_t>(it->second.spec.src.ring)].release(id);
+  if (it->second.spec.src.ring != it->second.spec.dst.ring) {
+    ledgers_[static_cast<std::size_t>(it->second.spec.dst.ring)].release(id);
+  }
+  active_.erase(it);
+}
+
+bool AdmissionController::feasible_at(const net::ConnectionSpec& spec,
+                                      const net::Allocation& alloc) const {
+  Probe probe(*this, spec);
+  return probe.feasible(alloc);
+}
+
+Seconds AdmissionController::delay_at(const net::ConnectionSpec& spec,
+                                      const net::Allocation& alloc) const {
+  Probe probe(*this, spec);
+  return probe.eval(alloc).back();
+}
+
+}  // namespace hetnet::core

@@ -1,0 +1,122 @@
+// The connection admission control algorithm of Section 5.
+//
+// On a request for connection M_ij the controller:
+//
+//   1. computes H^max_avai on the source and destination rings from the
+//      synchronous-bandwidth ledgers (eqs. 26–27);
+//   2. rejects if the maximum-available allocation cannot satisfy every
+//      deadline — the requesting connection's (eq. 25) and every existing
+//      connection's (eq. 24); by Theorem 4 the feasible region is then
+//      empty;
+//   3. bisects along the line from (H^min_abs, H^min_abs) to
+//      (H_S^max_avai, H_R^max_avai) for the minimum-needed allocation
+//      (H_S^min_need, H_R^min_need) — the smallest point on the line where
+//      all deadlines hold;
+//   4. bisects between min_need and max_avai for the maximum-useful
+//      allocation (H_S^max_need, H_R^max_need) — the smallest point whose
+//      delays already equal those at max_avai (eqs. 31–33): beyond it,
+//      extra bandwidth buys nothing;
+//   5. allocates the β-interpolation (eqs. 35–36)
+//          H = H^min_need + β (H^max_need − H^min_need)
+//      and admits.
+//
+// β trades robustness of EXISTING admission decisions (large β: loose
+// delays, immune to disturbance by future connections) against bandwidth
+// left for FUTURE connections (small β). Section 6 finds β ∈ [0.4, 0.7]
+// robust; bench/fig7_beta_sensitivity regenerates that curve.
+//
+// For the ablation study the controller also implements the two strawman
+// policies the paper argues against (allocate-minimum and
+// allocate-all-available).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/core/analyzer.h"
+#include "src/fddi/ledger.h"
+#include "src/net/connection.h"
+
+namespace hetnet::core {
+
+enum class AllocationRule {
+  kBetaInterpolation,  // the paper's algorithm (eqs. 35–36)
+  kMinimumNeeded,      // strawman: allocate H^min_need (β = 0 without slack)
+  kMaximumAvailable,   // strawman: allocate everything available
+};
+
+struct CacConfig {
+  // The β of eqs. (35)–(36), in [0, 1].
+  double beta = 0.5;
+  AllocationRule rule = AllocationRule::kBetaInterpolation;
+  // H^min_abs: the smallest sensible synchronous allocation (FDDI frame
+  // overheads make smaller grants useless; Section 5.2).
+  Seconds h_min_abs = units::us(20);
+  // Bisection resolution for steps 3 and 4.
+  int bisection_iters = 12;
+  // Relative tolerance for the delay-equality tests of eqs. (31)–(32).
+  double equality_tolerance = 1e-3;
+  AnalysisConfig analysis;
+};
+
+enum class RejectReason {
+  kNone,              // admitted
+  kNoSyncBandwidth,   // H^max_avai below H^min_abs on some ring (eq. 26/27)
+  kInfeasible,        // deadlines unsatisfiable even at max_avai (Theorem 4)
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  RejectReason reason = RejectReason::kNone;
+  net::Allocation alloc;          // granted allocation (if admitted)
+  Seconds worst_case_delay = 0.0; // the new connection's bound at `alloc`
+  // Diagnostics: the anchors of the allocation line.
+  net::Allocation max_avail;
+  net::Allocation min_need;
+  net::Allocation max_need;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const net::AbhnTopology* topology,
+                      const CacConfig& config);
+
+  // Runs the CAC for `spec`. On admission the allocation is reserved in the
+  // ring ledgers and the connection joins the active set.
+  AdmissionDecision request(const net::ConnectionSpec& spec);
+
+  // Tears down an admitted connection and returns its bandwidth.
+  void release(net::ConnectionId id);
+
+  // Checks eqs. (24)–(25) for a hypothetical allocation of `spec` against
+  // the current active set (without admitting). Used by the
+  // feasible-region benchmarks and tests.
+  bool feasible_at(const net::ConnectionSpec& spec,
+                   const net::Allocation& alloc) const;
+
+  // The requesting connection's worst-case delay at a hypothetical
+  // allocation (kUnbounded if none).
+  Seconds delay_at(const net::ConnectionSpec& spec,
+                   const net::Allocation& alloc) const;
+
+  std::size_t active_count() const { return active_.size(); }
+  const std::map<net::ConnectionId, net::ActiveConnection>& active() const {
+    return active_;
+  }
+  const fddi::SyncBandwidthLedger& ledger(int ring) const;
+  const net::AbhnTopology& topology() const { return *topology_; }
+  const CacConfig& config() const { return config_; }
+  const DelayAnalyzer& analyzer() const { return analyzer_; }
+
+ private:
+  struct Probe;  // see .cc: cached feasibility evaluation along the line
+
+  const net::AbhnTopology* topology_;
+  CacConfig config_;
+  DelayAnalyzer analyzer_;
+  std::map<net::ConnectionId, net::ActiveConnection> active_;
+  std::vector<fddi::SyncBandwidthLedger> ledgers_;
+};
+
+}  // namespace hetnet::core

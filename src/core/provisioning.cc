@@ -1,0 +1,82 @@
+#include "src/core/provisioning.h"
+
+#include <sstream>
+
+#include "src/util/table.h"
+
+namespace hetnet::core {
+
+ProvisioningReport provisioning_report(const AdmissionController& cac) {
+  ProvisioningReport report;
+
+  std::vector<ConnectionInstance> set;
+  for (const auto& [id, conn] : cac.active()) {
+    set.push_back({conn.spec, conn.alloc});
+  }
+
+  // Rings straight from the ledgers.
+  for (int r = 0; r < cac.topology().num_rings(); ++r) {
+    const auto& ledger = cac.ledger(r);
+    report.rings.push_back(
+        {r, ledger.allocated(), ledger.capacity(), ledger.reservations()});
+  }
+
+  // Ports from the joint analysis.
+  for (const auto& [port, pr] : cac.analyzer().port_reports(set)) {
+    report.ports.push_back({port, pr.flows, pr.delay, pr.backlog});
+  }
+
+  // Per-connection private stages.
+  const auto delays = cac.analyzer().analyze(set);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    ConnectionProvision cp;
+    cp.id = set[i].spec.id;
+    cp.worst_case_delay = delays[i];
+    cp.deadline = set[i].spec.deadline;
+    const auto breakdown = cac.analyzer().breakdown(set, i);
+    if (breakdown.has_value()) {
+      for (const auto& stage : breakdown->stages) {
+        if (stage.server_name.rfind("ATM.Port", 0) == 0) continue;
+        cp.private_buffers += stage.analysis.buffer_required;
+      }
+    }
+    report.connections.push_back(cp);
+  }
+  return report;
+}
+
+std::string ProvisioningReport::to_string() const {
+  std::ostringstream os;
+
+  TableWriter ring_table({"ring", "allocated (ms)", "capacity (ms)",
+                          "reservations"});
+  for (const auto& r : rings) {
+    ring_table.add_row({std::to_string(r.ring),
+                        TableWriter::fmt(r.allocated * 1e3, 3),
+                        TableWriter::fmt(r.capacity * 1e3, 3),
+                        std::to_string(r.reservations)});
+  }
+  os << "synchronous bandwidth (Ω per ring):\n" << ring_table.to_ascii();
+
+  TableWriter port_table({"port", "flows", "delay bound (ms)",
+                          "buffer (kbit)"});
+  for (const auto& p : ports) {
+    port_table.add_row({std::to_string(p.port), std::to_string(p.flows),
+                        TableWriter::fmt(p.delay_bound * 1e3, 3),
+                        TableWriter::fmt(p.buffer_required / 1e3, 1)});
+  }
+  os << "\nATM output ports:\n" << port_table.to_ascii();
+
+  TableWriter conn_table({"connection", "bound (ms)", "deadline (ms)",
+                          "private buffers (kbit)"});
+  for (const auto& c : connections) {
+    conn_table.add_row({std::to_string(c.id),
+                        TableWriter::fmt(c.worst_case_delay * 1e3, 2),
+                        TableWriter::fmt(c.deadline * 1e3, 0),
+                        TableWriter::fmt(c.private_buffers / 1e3, 1)});
+  }
+  os << "\nconnections:\n" << conn_table.to_ascii();
+  return os.str();
+}
+
+}  // namespace hetnet::core

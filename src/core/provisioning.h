@@ -1,0 +1,51 @@
+// Provisioning report: what a deployment must dimension so the admitted
+// contracts hold. The QoS requirement of Section 3.2 includes "no buffer
+// overflow in the network"; this module turns the analysis' buffer bounds
+// into an operational answer — per-ring synchronous budgets, per-port ATM
+// buffer sizes, and per-connection private buffer needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/cac.h"
+
+namespace hetnet::core {
+
+struct RingProvision {
+  int ring = 0;
+  Seconds allocated = 0.0;  // Ω
+  Seconds capacity = 0.0;   // TTRT − Δ
+  std::size_t reservations = 0;
+};
+
+struct PortProvision {
+  atm::PortId port = -1;
+  int flows = 0;
+  Seconds delay_bound = 0.0;  // the port-wide FIFO bound
+  Bits buffer_required = 0.0;
+};
+
+struct ConnectionProvision {
+  net::ConnectionId id = 0;
+  Seconds worst_case_delay = 0.0;
+  Seconds deadline = 0.0;
+  // Buffer the connection needs in its PRIVATE stages (host MAC, interface
+  // device conversions, receive MAC) — shared ATM port buffers are reported
+  // per port, not per connection.
+  Bits private_buffers = 0.0;
+};
+
+struct ProvisioningReport {
+  std::vector<RingProvision> rings;
+  std::vector<PortProvision> ports;
+  std::vector<ConnectionProvision> connections;
+
+  // Human-readable rendering (three aligned tables).
+  std::string to_string() const;
+};
+
+// Builds the report for the controller's current admitted set.
+ProvisioningReport provisioning_report(const AdmissionController& cac);
+
+}  // namespace hetnet::core

@@ -1,0 +1,68 @@
+#include "src/core/region.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace hetnet::core {
+
+RegionGrid sample_feasible_region(const AdmissionController& cac,
+                                  const net::ConnectionSpec& spec,
+                                  int steps_s, int steps_r) {
+  HETNET_CHECK(steps_s > 0 && steps_r > 0, "grid must be non-empty");
+  RegionGrid grid;
+  grid.steps_s = steps_s;
+  grid.steps_r = steps_r;
+  grid.h_s_max = cac.ledger(spec.src.ring).available();
+  grid.h_r_max = cac.ledger(spec.dst.ring).available();
+  grid.samples.reserve(static_cast<std::size_t>(steps_s) *
+                       static_cast<std::size_t>(steps_r));
+  for (int j = 0; j < steps_r; ++j) {
+    for (int i = 0; i < steps_s; ++i) {
+      RegionSample s;
+      s.h_s = grid.h_s_max * (i + 1) / steps_s;
+      s.h_r = grid.h_r_max * (j + 1) / steps_r;
+      s.delay = cac.delay_at(spec, {s.h_s, s.h_r});
+      s.feasible = cac.feasible_at(spec, {s.h_s, s.h_r});
+      grid.samples.push_back(s);
+    }
+  }
+  return grid;
+}
+
+int count_convexity_violations(const RegionGrid& grid) {
+  int violations = 0;
+  const int ns = grid.steps_s;
+  const int nr = grid.steps_r;
+  for (int j1 = 0; j1 < nr; ++j1) {
+    for (int i1 = 0; i1 < ns; ++i1) {
+      if (!grid.at(i1, j1).feasible) continue;
+      for (int j2 = j1; j2 < nr; ++j2) {
+        for (int i2 = 0; i2 < ns; ++i2) {
+          if (!grid.at(i2, j2).feasible) continue;
+          if ((i1 + i2) % 2 != 0 || (j1 + j2) % 2 != 0) continue;
+          if (!grid.at((i1 + i2) / 2, (j1 + j2) / 2).feasible) {
+            ++violations;
+          }
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+std::string render_region(const RegionGrid& grid) {
+  std::ostringstream os;
+  for (int j = grid.steps_r - 1; j >= 0; --j) {
+    os << "H_R=" << grid.h_r_max * (j + 1) / grid.steps_r * 1e3 << "ms\t";
+    for (int i = 0; i < grid.steps_s; ++i) {
+      os << (grid.at(i, j).feasible ? '#' : '.');
+    }
+    os << "\n";
+  }
+  os << "\t(H_S rightward to " << grid.h_s_max * 1e3 << " ms)\n";
+  return os.str();
+}
+
+}  // namespace hetnet::core

@@ -1,0 +1,60 @@
+// Feasible-region geometry (Section 5.2, Theorems 3–4, Figure 6).
+//
+// For a requesting connection, the feasible region is the set of
+// (H_S, H_R) allocations under which every deadline — the new connection's
+// and every existing one's — holds. Theorem 3 states each single-connection
+// region R_{f,g} is closed and convex; Theorem 4 that the feasible region is
+// their intersection, a rectangle whose lower-left boundary is replaced by a
+// concave curve (Figure 6).
+//
+// These helpers sample the region on a grid (for the Figure-6 bench and for
+// property tests that check the claimed convexity empirically).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/cac.h"
+
+namespace hetnet::core {
+
+struct RegionSample {
+  Seconds h_s = 0.0;
+  Seconds h_r = 0.0;
+  bool feasible = false;
+  // The requesting connection's worst-case bound at this allocation
+  // (kUnbounded when no finite bound exists).
+  Seconds delay = 0.0;
+};
+
+struct RegionGrid {
+  int steps_s = 0;  // samples along H_S
+  int steps_r = 0;  // samples along H_R
+  Seconds h_s_max = 0.0;
+  Seconds h_r_max = 0.0;
+  // Row-major: sample (i, j) = samples[j * steps_s + i] has
+  // h_s = (i+1)/steps_s · h_s_max, h_r = (j+1)/steps_r · h_r_max.
+  std::vector<RegionSample> samples;
+
+  const RegionSample& at(int i, int j) const {
+    return samples[static_cast<std::size_t>(j * steps_s + i)];
+  }
+};
+
+// Samples feasibility of `spec` on a steps_s × steps_r grid spanning
+// (0, H_S^max_avai] × (0, H_R^max_avai] against the controller's current
+// active set.
+RegionGrid sample_feasible_region(const AdmissionController& cac,
+                                  const net::ConnectionSpec& spec,
+                                  int steps_s, int steps_r);
+
+// Empirical convexity: for every pair of feasible grid points whose exact
+// midpoint is also a grid point, the midpoint must be feasible. Returns the
+// number of violating midpoints (0 ⟺ consistent with Theorems 3–4).
+int count_convexity_violations(const RegionGrid& grid);
+
+// ASCII map of the region: '#' feasible, '.' infeasible, H_S rightward,
+// H_R upward (the orientation of Figure 6).
+std::string render_region(const RegionGrid& grid);
+
+}  // namespace hetnet::core

@@ -1,0 +1,46 @@
+#include "src/fddi/ledger.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace hetnet::fddi {
+
+SyncBandwidthLedger::SyncBandwidthLedger(const RingParams& ring)
+    : ring_(ring) {
+  HETNET_CHECK(ring_.ttrt > ring_.protocol_overhead,
+               "TTRT must exceed the protocol overhead Δ");
+}
+
+Seconds SyncBandwidthLedger::capacity() const {
+  return ring_.ttrt - ring_.protocol_overhead;
+}
+
+Seconds SyncBandwidthLedger::available() const {
+  return std::max(0.0, capacity() - allocated_);
+}
+
+bool SyncBandwidthLedger::reserve(std::uint64_t key, Seconds h) {
+  if (h <= 0.0) return false;
+  if (grants_.contains(key)) return false;
+  if (!approx_le(h, available())) return false;
+  grants_.emplace(key, h);
+  allocated_ += h;
+  return true;
+}
+
+void SyncBandwidthLedger::release(std::uint64_t key) {
+  const auto it = grants_.find(key);
+  HETNET_CHECK(it != grants_.end(), "releasing a key that holds nothing");
+  allocated_ -= it->second;
+  if (allocated_ < 0.0) allocated_ = 0.0;  // absorb FP residue
+  grants_.erase(it);
+}
+
+Seconds SyncBandwidthLedger::held(std::uint64_t key) const {
+  const auto it = grants_.find(key);
+  HETNET_CHECK(it != grants_.end(), "key holds no reservation");
+  return it->second;
+}
+
+}  // namespace hetnet::fddi

@@ -1,0 +1,49 @@
+// Synchronous-bandwidth ledger of one FDDI ring.
+//
+// The timed-token protocol requires Σ(allocated H) + Δ <= TTRT across every
+// station of the ring (Section 3.1). A ring's ledger tracks the outstanding
+// allocations — both the H_S of connections originating at local hosts and
+// the H_R the interface device holds for inbound connections — and answers
+// the "available" queries of eqs. (26)–(27):
+//
+//     H^max_avai = TTRT − (Ω + Δ).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/fddi/ring.h"
+
+namespace hetnet::fddi {
+
+class SyncBandwidthLedger {
+ public:
+  explicit SyncBandwidthLedger(const RingParams& ring);
+
+  // Total synchronous time per rotation the protocol can hand out.
+  Seconds capacity() const;
+  // Ω: the sum of outstanding allocations.
+  Seconds allocated() const { return allocated_; }
+  // H^max_avai = capacity() − Ω (never negative).
+  Seconds available() const;
+
+  // Reserves `h` seconds per rotation under `key`. Returns false (and
+  // changes nothing) if `h` exceeds the available bandwidth or is not
+  // positive, or if `key` already holds a reservation.
+  bool reserve(std::uint64_t key, Seconds h);
+
+  // Releases the reservation held by `key`. It is an error to release a key
+  // that holds nothing.
+  void release(std::uint64_t key);
+
+  bool holds(std::uint64_t key) const { return grants_.contains(key); }
+  Seconds held(std::uint64_t key) const;
+  std::size_t reservations() const { return grants_.size(); }
+
+ private:
+  RingParams ring_;
+  Seconds allocated_ = 0.0;
+  std::unordered_map<std::uint64_t, Seconds> grants_;
+};
+
+}  // namespace hetnet::fddi

@@ -1,0 +1,28 @@
+#include "src/fddi/ring.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace hetnet::fddi {
+
+BitsPerSecond effective_payload_rate(const RingParams& ring,
+                                     Bits frame_payload) {
+  HETNET_CHECK(frame_payload > 0, "frame payload must be positive");
+  HETNET_CHECK(ring.raw_rate > 0, "ring rate must be positive");
+  const double payload_fraction =
+      frame_payload / (frame_payload + ring.frame_overhead);
+  return ring.raw_rate * payload_fraction;
+}
+
+Bits frame_payload_for_allocation(const RingParams& ring, Seconds h) {
+  HETNET_CHECK(h > 0, "allocation must be positive");
+  return std::min(h * ring.raw_rate, ring.max_frame_payload);
+}
+
+BitsPerSecond effective_rate_for_allocation(const RingParams& ring,
+                                            Seconds h) {
+  return effective_payload_rate(ring, frame_payload_for_allocation(ring, h));
+}
+
+}  // namespace hetnet::fddi

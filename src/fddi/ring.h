@@ -1,0 +1,50 @@
+// FDDI ring model: timed-token protocol parameters and frame-format
+// accounting (ANSI X3T9.5).
+//
+// A station holding synchronous allocation H transmits for up to H seconds
+// per token visit; the protocol admits allocations while ΣH + Δ <= TTRT
+// (Δ covers token/protocol overhead per rotation). Payload accounting: all
+// envelopes in this library count PAYLOAD bits, so the ring's service rate
+// during a synchronous window is the raw 100 Mb/s discounted by the
+// per-frame overhead fraction (preamble, SD/ED, FC, addresses, FCS).
+#pragma once
+
+#include "src/util/units.h"
+
+namespace hetnet::fddi {
+
+struct RingParams {
+  // Target token rotation time (negotiated at ring initialization).
+  Seconds ttrt = units::ms(8);
+  // Raw signalling rate of FDDI.
+  BitsPerSecond raw_rate = units::mbps(100);
+  // Protocol-dependent per-rotation overhead Δ (token time, ring latency,
+  // claim overhead) that the summed allocations must leave free.
+  Seconds protocol_overhead = units::ms(1);
+  // Per-frame overhead: preamble(8) + SD(1) + FC(1) + DA(6) + SA(6) +
+  // FCS(4) + ED/FS(2) = 28 bytes.
+  Bits frame_overhead = units::bytes(28);
+  // Maximum frame size on the wire is 4500 bytes; payload capacity is the
+  // remainder after the frame overhead.
+  Bits max_frame_payload = units::bytes(4500) - units::bytes(28);
+  // One-way bit propagation latency around the ring path between a station
+  // and the interface device (Delay_Line server constant; eq. 14).
+  Seconds propagation = units::us(40);
+};
+
+// Payload bits transferred per second during a synchronous transmission
+// window, i.e. raw_rate discounted by the frame-overhead fraction at the
+// given frame payload size.
+BitsPerSecond effective_payload_rate(const RingParams& ring,
+                                     Bits frame_payload);
+
+// The frame payload a station uses for a connection holding allocation H:
+// the paper's F_S = H·BW, clamped to the FDDI maximum frame size (a larger
+// allocation is then spent on multiple maximum-size frames per visit).
+Bits frame_payload_for_allocation(const RingParams& ring, Seconds h);
+
+// Convenience: effective payload rate for the frame size implied by H.
+BitsPerSecond effective_rate_for_allocation(const RingParams& ring,
+                                            Seconds h);
+
+}  // namespace hetnet::fddi

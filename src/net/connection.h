@@ -1,0 +1,40 @@
+// Real-time connections (Section 3.2): the contract between an application
+// and the network — a source traffic specification, a deadline, and a route.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/topology.h"
+#include "src/traffic/envelope.h"
+
+namespace hetnet::net {
+
+using ConnectionId = std::uint64_t;
+
+// What the application submits to connection admission control.
+struct ConnectionSpec {
+  ConnectionId id = 0;
+  HostId src;
+  HostId dst;
+  // Γ_{i,j,A}: traffic at the entrance of the source host's FDDI MAC
+  // (payload bits).
+  EnvelopePtr source;
+  // D_{i,j}: the worst-case end-to-end packet delay must not exceed this.
+  Seconds deadline = 0.0;
+};
+
+// The synchronous-bandwidth pair the CAC allocates on admission.
+struct Allocation {
+  Seconds h_s = 0.0;  // on the source ring (held by the source host)
+  Seconds h_r = 0.0;  // on the destination ring (held by the ID)
+
+  friend bool operator==(const Allocation&, const Allocation&) = default;
+};
+
+// An admitted connection as tracked by the controller.
+struct ActiveConnection {
+  ConnectionSpec spec;
+  Allocation alloc;
+};
+
+}  // namespace hetnet::net

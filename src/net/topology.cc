@@ -1,0 +1,66 @@
+#include "src/net/topology.h"
+
+#include "src/util/check.h"
+
+namespace hetnet::net {
+namespace {
+
+atm::Backbone build_backbone(const TopologyParams& p) {
+  HETNET_CHECK(p.num_rings >= 2, "an ABHN needs at least two rings");
+  HETNET_CHECK(p.hosts_per_ring >= 1, "rings need at least one host");
+  switch (p.backbone_shape) {
+    case BackboneShape::kLine:
+      return atm::make_line_backbone(p.num_rings, p.link, p.cells,
+                                     p.switch_fabric_delay);
+    case BackboneShape::kMesh:
+      break;
+  }
+  return atm::make_mesh_backbone(p.num_rings, p.link, p.cells,
+                                 p.switch_fabric_delay);
+}
+
+}  // namespace
+
+AbhnTopology::AbhnTopology(const TopologyParams& params)
+    : params_(params), backbone_(build_backbone(params)) {}
+
+bool AbhnTopology::valid_host(HostId h) const {
+  return h.ring >= 0 && h.ring < params_.num_rings && h.index >= 0 &&
+         h.index < params_.hosts_per_ring;
+}
+
+HostId AbhnTopology::host_at(int flat_index) const {
+  HETNET_CHECK(flat_index >= 0 && flat_index < num_hosts(),
+               "host index out of range");
+  return {flat_index / params_.hosts_per_ring,
+          flat_index % params_.hosts_per_ring};
+}
+
+int AbhnTopology::flat_index(HostId h) const {
+  HETNET_CHECK(valid_host(h), "invalid host id");
+  return h.ring * params_.hosts_per_ring + h.index;
+}
+
+std::vector<atm::Hop> AbhnTopology::backbone_route(HostId src,
+                                                   HostId dst) const {
+  HETNET_CHECK(valid_host(src) && valid_host(dst), "invalid host id");
+  // Section 4.1: hosts on the same ring reach each other directly over the
+  // ring (case 1) — no backbone hops. Otherwise access i is the interface
+  // device of ring i (the mesh builder attaches them in ring order).
+  if (src.ring == dst.ring) return {};
+  const auto hops = backbone_.route(src.ring, dst.ring);
+  HETNET_CHECK(hops.has_value(), "mesh backbone must connect all accesses");
+  return *hops;
+}
+
+TopologyParams paper_topology_params() {
+  TopologyParams p;
+  p.num_rings = 3;
+  p.hosts_per_ring = 4;
+  p.ring = fddi::RingParams{};            // TTRT 8 ms, 100 Mb/s
+  p.link = atm::LinkParams{};             // 155 Mb/s
+  p.cells = atm::CellFormat{};            // 48/53-byte cells
+  return p;
+}
+
+}  // namespace hetnet::net

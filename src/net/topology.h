@@ -1,0 +1,85 @@
+// The ATM-Based Heterogeneous Network (ABHN) topology of Section 3.1:
+// FDDI rings of hosts, one interface device per ring, and an ATM backbone
+// interconnecting the interface devices.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/atm/backbone.h"
+#include "src/fddi/ring.h"
+#include "src/util/units.h"
+
+namespace hetnet::net {
+
+// Host_{i,j}: host j on ring i.
+struct HostId {
+  int ring = -1;
+  int index = -1;
+
+  friend bool operator==(const HostId&, const HostId&) = default;
+};
+
+// Constant-delay stages of an interface device (Section 4.3.2); these are
+// the "measured or manufacturer-specified" latencies of the paper, given
+// datasheet-plausible defaults (see DESIGN.md §2).
+struct InterfaceDeviceParams {
+  Seconds input_port_delay = units::us(10);        // eq. (18)
+  Seconds frame_switch_delay = units::us(10);      // eq. (20)
+  Seconds frame_cell_conversion = units::us(50);   // eq. (22)
+  Seconds cell_frame_conversion = units::us(50);   // ID_R mirror
+  // Transmit buffer of the device's FDDI MAC (per connection), used on the
+  // receive path when frames queue for the destination ring.
+  Bits mac_buffer = 1e18;
+};
+
+enum class BackboneShape {
+  kMesh,  // the paper's evaluation topology (full mesh / triangle)
+  kLine,  // switches in a chain: long multi-switch routes
+};
+
+struct TopologyParams {
+  BackboneShape backbone_shape = BackboneShape::kMesh;
+  int num_rings = 3;
+  int hosts_per_ring = 4;
+  fddi::RingParams ring;
+  atm::LinkParams link;
+  atm::CellFormat cells;
+  Seconds switch_fabric_delay = units::us(10);
+  InterfaceDeviceParams interface_device;
+  // Transmit buffer of a host's FDDI MAC (bits).
+  Bits host_mac_buffer = 1e18;
+};
+
+class AbhnTopology {
+ public:
+  // Builds the full-mesh paper topology: one switch and one interface
+  // device per ring.
+  explicit AbhnTopology(const TopologyParams& params);
+
+  const TopologyParams& params() const { return params_; }
+  const atm::Backbone& backbone() const { return backbone_; }
+
+  int num_rings() const { return params_.num_rings; }
+  int num_hosts() const { return params_.num_rings * params_.hosts_per_ring; }
+  bool valid_host(HostId h) const;
+
+  // Flat host numbering (for workload generators): ring-major order.
+  HostId host_at(int flat_index) const;
+  int flat_index(HostId h) const;
+
+  // The backbone hops between the source and destination interface devices;
+  // EMPTY for hosts on the same ring (Section 4.1 case 1: the ring carries
+  // the traffic directly, no interface device involved).
+  std::vector<atm::Hop> backbone_route(HostId src, HostId dst) const;
+
+ private:
+  TopologyParams params_;
+  atm::Backbone backbone_;
+};
+
+// The evaluation scenario of Section 6: 3 FDDI rings × 4 hosts, 3 interface
+// devices, 3 ATM switches, 155 Mb/s links.
+TopologyParams paper_topology_params();
+
+}  // namespace hetnet::net

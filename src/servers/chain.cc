@@ -1,0 +1,36 @@
+#include "src/servers/chain.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+
+ServerChain::ServerChain(std::vector<ServerPtr> servers)
+    : servers_(std::move(servers)) {
+  for (const auto& s : servers_) HETNET_CHECK(s != nullptr, "null server");
+}
+
+void ServerChain::append(ServerPtr server) {
+  HETNET_CHECK(server != nullptr, "null server");
+  servers_.push_back(std::move(server));
+}
+
+std::optional<ChainAnalysis> ServerChain::analyze(
+    const EnvelopePtr& input) const {
+  HETNET_CHECK(input != nullptr, "null envelope");
+  ChainAnalysis result;
+  EnvelopePtr current = input;
+  result.stages.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    auto stage = server->analyze(current);
+    if (!stage.has_value()) return std::nullopt;
+    result.total_delay += stage->worst_case_delay;
+    current = stage->output;
+    result.stages.push_back({server->name(), std::move(*stage)});
+  }
+  result.final_output = std::move(current);
+  return result;
+}
+
+}  // namespace hetnet

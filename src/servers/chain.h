@@ -1,0 +1,47 @@
+// Server chains: the decomposition of a connection's path (eq. 7).
+//
+// A chain runs the per-server analyses in path order, feeding each server's
+// output descriptor into the next server's input, and sums the worst-case
+// delays. The result keeps the per-stage breakdown so callers can print a
+// delay budget (see examples/quickstart.cpp) and provision buffers.
+#pragma once
+
+#include <vector>
+
+#include "src/servers/server.h"
+
+namespace hetnet {
+
+struct ChainStage {
+  std::string server_name;
+  ServerAnalysis analysis;
+};
+
+struct ChainAnalysis {
+  // Σ of per-server worst-case delays: the end-to-end bound of eq. (7).
+  Seconds total_delay = 0.0;
+  // Traffic descriptor at the chain exit.
+  EnvelopePtr final_output;
+  // Per-server breakdown in path order.
+  std::vector<ChainStage> stages;
+};
+
+class ServerChain {
+ public:
+  ServerChain() = default;
+  explicit ServerChain(std::vector<ServerPtr> servers);
+
+  void append(ServerPtr server);
+
+  // Analyzes the whole chain for a connection entering with `input`.
+  // Returns nullopt as soon as any server reports no finite bound.
+  std::optional<ChainAnalysis> analyze(const EnvelopePtr& input) const;
+
+  std::size_t size() const { return servers_.size(); }
+  const std::vector<ServerPtr>& servers() const { return servers_; }
+
+ private:
+  std::vector<ServerPtr> servers_;
+};
+
+}  // namespace hetnet

@@ -1,0 +1,23 @@
+#include "src/servers/constant_delay.h"
+
+#include "src/util/check.h"
+
+namespace hetnet {
+
+ConstantDelayServer::ConstantDelayServer(std::string name, Seconds delay)
+    : name_(std::move(name)), delay_(delay) {
+  HETNET_CHECK(delay_ >= 0, "constant delay must be >= 0");
+}
+
+std::optional<ServerAnalysis> ConstantDelayServer::analyze(
+    const EnvelopePtr& input) const {
+  HETNET_CHECK(input != nullptr, "null envelope");
+  ServerAnalysis result;
+  result.worst_case_delay = delay_;
+  // Bits resident in the element while being delayed ("in flight").
+  result.buffer_required = input->bits(delay_);
+  result.output = input;
+  return result;
+}
+
+}  // namespace hetnet

@@ -1,0 +1,28 @@
+// Constant-delay servers (Section 4.3): the Delay_Line on a ring, the
+// Input_Port and Frame_Switch stages of an interface device, link
+// propagation, and switch fabric latency. A constant-delay server delays
+// every bit by the same amount and therefore does not change the traffic
+// descriptor (eqs. 13, 17, 19).
+#pragma once
+
+#include "src/servers/server.h"
+
+namespace hetnet {
+
+class ConstantDelayServer final : public Server {
+ public:
+  // `delay` >= 0 seconds; `name` identifies the stage in breakdowns.
+  ConstantDelayServer(std::string name, Seconds delay);
+
+  std::optional<ServerAnalysis> analyze(
+      const EnvelopePtr& input) const override;
+  std::string name() const override { return name_; }
+
+  Seconds delay() const { return delay_; }
+
+ private:
+  std::string name_;
+  Seconds delay_;
+};
+
+}  // namespace hetnet

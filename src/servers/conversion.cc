@@ -1,0 +1,55 @@
+#include "src/servers/conversion.h"
+
+#include <cmath>
+
+#include "src/traffic/algebra.h"
+#include "src/util/check.h"
+
+namespace hetnet {
+
+ConversionServer::ConversionServer(std::string name, Bits in_unit,
+                                   Bits out_unit, Seconds processing_delay)
+    : name_(std::move(name)),
+      in_unit_(in_unit),
+      out_unit_(out_unit),
+      delay_(processing_delay) {
+  HETNET_CHECK(in_unit_ > 0 && out_unit_ > 0,
+               "conversion units must be positive");
+  HETNET_CHECK(delay_ >= 0, "processing delay must be >= 0");
+}
+
+std::optional<ServerAnalysis> ConversionServer::analyze(
+    const EnvelopePtr& input) const {
+  HETNET_CHECK(input != nullptr, "null envelope");
+  ServerAnalysis result;
+  result.worst_case_delay = delay_;
+  // One input unit is resident while being converted, plus whatever arrives
+  // during the processing window.
+  result.buffer_required = in_unit_ + input->bits(delay_);
+  result.output = quantize_envelope(input, in_unit_, out_unit_);
+  return result;
+}
+
+std::shared_ptr<ConversionServer> make_frame_to_cell_server(
+    std::string name, Bits frame_payload, Bits cell_payload,
+    Bits cell_accounted, Seconds processing_delay) {
+  HETNET_CHECK(cell_payload > 0 && cell_accounted >= cell_payload,
+               "cell accounting cannot be smaller than the cell payload");
+  const double cells_per_frame = std::ceil(frame_payload / cell_payload);
+  return std::make_shared<ConversionServer>(
+      std::move(name), frame_payload, cells_per_frame * cell_accounted,
+      processing_delay);
+}
+
+std::shared_ptr<ConversionServer> make_cell_to_frame_server(
+    std::string name, Bits frame_payload, Bits cell_payload,
+    Bits cell_accounted, Seconds processing_delay) {
+  HETNET_CHECK(cell_payload > 0 && cell_accounted >= cell_payload,
+               "cell accounting cannot be smaller than the cell payload");
+  const double cells_per_frame = std::ceil(frame_payload / cell_payload);
+  return std::make_shared<ConversionServer>(
+      std::move(name), cells_per_frame * cell_accounted, frame_payload,
+      processing_delay);
+}
+
+}  // namespace hetnet

@@ -1,0 +1,66 @@
+// Format-conversion servers inside interface devices.
+//
+// Frame_Cell_Conversion (Theorem 2): a LAN frame of payload F_S bits becomes
+// F_C = ⌈F_S / C_S⌉ ATM cells (the last cell padded), so the traffic
+// descriptor inflates to
+//
+//     A'(I) = ⌈ A(I) / F_S ⌉ · F_C · C_acc ,
+//
+// where C_acc is the bits accounted per cell (the paper's eq. 21 uses the
+// cell payload C_S; pass the 53-byte wire size to do wire-bit accounting —
+// just keep the downstream link capacity in the same accounting). The frame
+// is converted before the next frame arrives (the backbone is faster than
+// the ring), so the conversion adds only a constant processing delay.
+//
+// Cell_Frame_Conversion (the ID_R mirror, Section 4.3.3): F_C cells are
+// reassembled into one frame of F_S bits; the envelope transform is the
+// inverse quantization and the last bit of a frame is delayed only by the
+// constant processing time (the frame departs when its last cell has
+// arrived).
+//
+// Both directions are the same computation — a quantizing envelope transform
+// plus a constant delay — expressed by ConversionServer; use the two factory
+// functions for readable construction.
+#pragma once
+
+#include "src/servers/server.h"
+
+namespace hetnet {
+
+class ConversionServer final : public Server {
+ public:
+  // Converts traffic counted in units of `in_unit` bits to units of
+  // `out_unit` bits (partial input units rounded up), adding the constant
+  // `processing_delay`. Both units must be positive.
+  ConversionServer(std::string name, Bits in_unit, Bits out_unit,
+                   Seconds processing_delay);
+
+  std::optional<ServerAnalysis> analyze(
+      const EnvelopePtr& input) const override;
+  std::string name() const override { return name_; }
+
+  Bits in_unit() const { return in_unit_; }
+  Bits out_unit() const { return out_unit_; }
+  Seconds processing_delay() const { return delay_; }
+
+ private:
+  std::string name_;
+  Bits in_unit_;
+  Bits out_unit_;
+  Seconds delay_;
+};
+
+// Theorem 2: frames of `frame_payload` bits → ⌈frame_payload/cell_payload⌉
+// cells, each accounted as `cell_accounted` bits on the ATM side.
+std::shared_ptr<ConversionServer> make_frame_to_cell_server(
+    std::string name, Bits frame_payload, Bits cell_payload,
+    Bits cell_accounted, Seconds processing_delay);
+
+// ID_R mirror: ⌈frame_payload/cell_payload⌉ cells (accounted as
+// `cell_accounted` bits each on the ATM side) → one frame of `frame_payload`
+// bits on the destination ring.
+std::shared_ptr<ConversionServer> make_cell_to_frame_server(
+    std::string name, Bits frame_payload, Bits cell_payload,
+    Bits cell_accounted, Seconds processing_delay);
+
+}  // namespace hetnet

@@ -1,0 +1,64 @@
+// Earliest-Deadline-First output port — the wide-area-network scheduling
+// family of Section 2 (Ferrari-Verma channel establishment [7], Zheng-Shin
+// real-time channels [25]).
+//
+// Each flow i is assigned a LOCAL deadline d_i at this port; cells are
+// served in order of arrival time + d_i. The classic schedulability
+// condition for non-preemptive EDF over arrival envelopes is
+//
+//     ∀t > 0 :   T_np  +  Σ_i A_i( (t − d_i)⁺ )   <=   C · t ,
+//
+// i.e. by any time t the link can have produced every cell whose local
+// deadline falls within t (plus one non-preemptible cell). If the condition
+// holds, every flow i's port delay is bounded by its OWN d_i — unlike FIFO,
+// where one shared bound covers everyone. A port can therefore give a
+// 2-ms bound to a control flow and a 20-ms bound to a video flow while
+// FIFO would force both to the aggregate bound.
+//
+// The check walks the aggregate's breakpoints exactly (the shifted
+// envelopes stay piecewise affine) out to the guard horizon where the
+// leaky-bucket majorizations drive the condition's slack positive for all
+// larger t.
+#pragma once
+
+#include <vector>
+
+#include "src/servers/server.h"
+
+namespace hetnet {
+
+struct EdfFlow {
+  EnvelopePtr envelope;   // arrival envelope at the port entrance
+  Seconds local_deadline; // d_i: the port delay this flow is promised
+};
+
+class EdfMuxServer final : public Server {
+ public:
+  // `own` describes the flow this server instance analyzes; `others` the
+  // remaining flows scheduled at the port. Capacity/cell/non-preemption as
+  // for FifoMuxServer.
+  EdfMuxServer(std::string name, BitsPerSecond capacity,
+               Seconds non_preemption, Bits cell_bits, EdfFlow own,
+               std::vector<EdfFlow> others,
+               const AnalysisConfig& config = {});
+
+  // Returns the own flow's bound (= its local deadline) if the WHOLE flow
+  // set is EDF-schedulable; nullopt otherwise.
+  std::optional<ServerAnalysis> analyze(
+      const EnvelopePtr& input) const override;
+  std::string name() const override { return name_; }
+
+  // The schedulability test alone (exposed for tests and planning tools).
+  bool schedulable() const;
+
+ private:
+  std::string name_;
+  BitsPerSecond capacity_;
+  Seconds non_preemption_;
+  Bits cell_bits_;
+  EdfFlow own_;
+  std::vector<EdfFlow> others_;
+  AnalysisConfig config_;
+};
+
+}  // namespace hetnet

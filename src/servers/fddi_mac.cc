@@ -1,0 +1,269 @@
+#include "src/servers/fddi_mac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/traffic/algebra.h"
+#include "src/traffic/cached.h"
+#include "src/traffic/staircase.h"
+#include "src/util/check.h"
+
+namespace hetnet {
+namespace {
+
+// Number of whole token rotations completed in an interval of length t, with
+// an absolute epsilon on the quotient so that t == k·TTRT computed through
+// floating point still counts k rotations.
+double rotations(Seconds t, Seconds ttrt) {
+  return std::floor(t / ttrt + 1e-9);
+}
+
+double rotations_left(Seconds t, Seconds ttrt) {
+  return std::floor(t / ttrt - 1e-9);
+}
+
+// Theorem 1's output descriptor Υ before rasterization:
+//
+//   A'(I) = min( BW·I, max_{0<=t<=T} ( A(t+I) − avail(t) ) ).
+//
+// Because A is nondecreasing and avail() is constant between token-rotation
+// boundaries, the inner max over t is attained at t = 0 or just before a
+// boundary t = k·TTRT (where avail still has its previous-rotation value);
+// scanning k = 2..K with avail's left limit is therefore exact:
+// for t in ((k-1)·TTRT, k·TTRT):  A(t+I) − avail(t) <= A(k·TTRT + I) −
+// avail_left(k·TTRT), which is exactly the k-th scanned candidate.
+class MacOutputEnvelope final : public ArrivalEnvelope {
+ public:
+  MacOutputEnvelope(EnvelopePtr input, FddiMacParams params, int rotations_k)
+      : input_(std::move(input)), params_(params), k_max_(rotations_k) {}
+
+  Bits bits(Seconds interval) const override {
+    HETNET_CHECK(interval >= 0, "bits(I) requires I >= 0");
+    const Bits per_visit = params_.sync_allocation * params_.ring_rate;
+    const Bits cap = params_.ring_rate * interval;
+    Bits best = input_->bits(interval);  // t = 0 (avail(0) = 0)
+    for (int k = 2; k <= k_max_ && best < cap; ++k) {
+      // Once `best` reaches the BW·I cap the min() below is decided; the
+      // remaining candidates could only raise `best` further.
+      const Seconds t = static_cast<double>(k) * params_.ttrt;
+      const Bits credit = static_cast<double>(k - 2) * per_visit;
+      best = std::max(best, input_->bits(t + interval) - credit);
+    }
+    return std::max(0.0, std::min(cap, best));
+  }
+
+  BitsPerSecond long_term_rate() const override {
+    return std::min(params_.ring_rate, input_->long_term_rate());
+  }
+
+  // With b the input's burst bound and pv = H·BW the per-visit quantum:
+  //   A'(I) <= max_t [ b + ρ(t+I) − max(0, (t/TTRT − 2))·pv ]
+  //         <= b + 2·pv + ρ·I,
+  // because the bracket is maximized at t <= 2·TTRT (stability gives
+  // ρ·TTRT <= pv, so the t-terms decay beyond that) and ρ·2·TTRT <= 2·pv.
+  Bits burst_bound() const override {
+    const Bits per_visit = params_.sync_allocation * params_.ring_rate;
+    return input_->burst_bound() + 2.0 * per_visit;
+  }
+
+  // Sampling HINTS only (input structure plus rotation boundaries) — this
+  // envelope does not expose its complete breakpoint set and must be
+  // rasterized (see AnalysisConfig::rasterize_mac_output) before it is fed
+  // to scans that rely on exact piecewise-affinity.
+  std::vector<Seconds> breakpoints(Seconds horizon) const override {
+    return add_grid(input_->breakpoints(horizon), params_.ttrt, horizon);
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "fddi-mac-output(" << input_->describe() << ")";
+    return os.str();
+  }
+
+ private:
+  EnvelopePtr input_;
+  FddiMacParams params_;
+  int k_max_;  // K = scan range / TTRT
+};
+
+}  // namespace
+
+FddiMacServer::FddiMacServer(std::string name, const FddiMacParams& params,
+                             const AnalysisConfig& config)
+    : name_(std::move(name)), params_(params), config_(config) {
+  HETNET_CHECK(params_.ttrt > 0, "TTRT must be positive");
+  HETNET_CHECK(params_.sync_allocation > 0,
+               "synchronous allocation H must be positive");
+  HETNET_CHECK(params_.sync_allocation <= params_.ttrt,
+               "H cannot exceed TTRT");
+  HETNET_CHECK(params_.ring_rate > 0, "ring rate must be positive");
+  HETNET_CHECK(params_.buffer_limit > 0, "buffer limit must be positive");
+}
+
+Bits FddiMacServer::avail(Seconds t) const {
+  const double visits = rotations(t, params_.ttrt) - 1.0;
+  return std::max(0.0, visits * params_.sync_allocation * params_.ring_rate);
+}
+
+Bits FddiMacServer::avail_left(Seconds t) const {
+  const double visits = rotations_left(t, params_.ttrt) - 1.0;
+  return std::max(0.0, visits * params_.sync_allocation * params_.ring_rate);
+}
+
+std::optional<Seconds> FddiMacServer::busy_interval(
+    const EnvelopePtr& input) const {
+  HETNET_CHECK(input != nullptr, "null envelope");
+  const BitsPerSecond guaranteed_rate =
+      params_.sync_allocation * params_.ring_rate / params_.ttrt;
+  if (input->long_term_rate() > guaranteed_rate * (1.0 + 1e-9)) {
+    return std::nullopt;  // arrival rate exceeds guaranteed service: unstable
+  }
+  // The minimizer of {t : A(t) <= avail(t)} is a rotation boundary: avail is
+  // constant on [k·TTRT, (k+1)·TTRT) and A is nondecreasing, so if the
+  // condition holds anywhere in that window it holds at its left end.
+  for (int k = 1; k <= config_.max_busy_rotations; ++k) {
+    const Seconds t = static_cast<double>(k) * params_.ttrt;
+    if (approx_le(input->bits(t), avail(t))) return t;
+  }
+  return std::nullopt;  // budget exceeded: treat as unbounded
+}
+
+std::optional<ServerAnalysis> FddiMacServer::analyze(
+    const EnvelopePtr& raw_input) const {
+  // The busy-interval scan, the buffer/delay maxima and the χ bisections
+  // revisit overlapping interval values; memoize the (possibly deeply
+  // composed) input once for the whole analysis.
+  const EnvelopePtr input = cache_envelope(raw_input);
+  const std::optional<Seconds> busy = busy_interval(input);
+  if (!busy.has_value()) return std::nullopt;
+  const Bits per_visit = params_.sync_allocation * params_.ring_rate;
+  const BitsPerSecond service_rate = per_visit / params_.ttrt;
+  const BitsPerSecond rho = input->long_term_rate();
+  const Bits burst = input->burst_bound();
+  if (!std::isfinite(burst)) return std::nullopt;
+
+  // Theorem 1 restricts its maxima to the busy interval (0, B], which is
+  // exact for subadditive envelopes (all source models are). Deep computed
+  // envelopes reaching the receive-side MAC need not be subadditive, so the
+  // scan is extended to a guard horizon past which the leaky-bucket
+  // majorization A(t) <= burst + ρ·t provably drives every supremand
+  // negative:
+  //   delay:    s(A(t)) − t <= TTRT·(A(t)/pv + 2) − t
+  //                         <= (TTRT·burst/pv + 2·TTRT) − t·(1 − TTRT·ρ/pv)
+  //   backlog:  A(t) − avail(t) <= (burst + 2·pv) − t·(pv/TTRT − ρ)
+  // Scanning to the larger zero of the two majorants makes the suprema
+  // global without any subadditivity assumption.
+  const double slack = 1.0 - params_.ttrt * rho / per_visit;
+  if (slack <= 1e-12) return std::nullopt;  // exactly saturated: no guard
+  const Seconds guard_delay =
+      (params_.ttrt * burst / per_visit + 2.0 * params_.ttrt) / slack;
+  const Seconds guard_backlog =
+      (burst + 2.0 * per_visit) / (service_rate - rho);
+  const Seconds scan_end =
+      std::max({*busy, guard_delay, guard_backlog});
+  const int k_max = static_cast<int>(std::ceil(scan_end / params_.ttrt - 1e-9));
+  if (k_max > 4 * config_.max_busy_rotations) return std::nullopt;
+  const Seconds t_scan = static_cast<double>(k_max) * params_.ttrt;
+
+  // --- Theorem 1.2: buffer bound F = max_t (A(t) − avail(t)). ---
+  // avail is constant on each rotation window and A is nondecreasing, so the
+  // per-window supremum is at the window's right end (right-continuous A
+  // value there is >= the open-interval supremum: conservative and tight up
+  // to a jump that the next window accounts with its own credit).
+  Bits buffer = input->bits(0.0);
+  for (int k = 0; k < k_max; ++k) {
+    const Seconds right = static_cast<double>(k + 1) * params_.ttrt;
+    const Bits credit = std::max(0.0, static_cast<double>(k - 1)) * per_visit;
+    buffer = std::max(buffer, input->bits(right) - credit);
+  }
+  if (buffer > params_.buffer_limit * (1.0 + 1e-12)) {
+    return std::nullopt;  // Theorem 1.3: F > S ⟹ overflow ⟹ delay = ∞
+  }
+
+  // --- Theorem 1.3: delay bound χ = max_t min{d : avail(t+d) >= A(t)}. ---
+  // For backlog v > 0 the earliest s with avail(s) >= v is
+  //     s(v) = TTRT · (⌈v/(H·BW)⌉ + 1).
+  // χ = sup_t [ s(A(t)) − t ]; between the times where ⌈A(t)/(H·BW)⌉ steps
+  // to a new level n, s∘A is constant and the supremand decreases in t, so
+  // the sup is attained at the EARLIEST time u_n each level is exceeded:
+  //     χ = max_n ( TTRT·(n + 1) − u_n ),
+  //     u_n = inf{ t : A(t) > (n−1)·H·BW },   n = 1..⌈A(T)/(H·BW)⌉.
+  // A is piecewise affine with complete breakpoints (the envelope
+  // contract), so one ordered sweep over its segments yields every u_n
+  // exactly: a jump at a segment's left edge crosses a batch of levels at
+  // once (only the highest matters — same u, larger n), and an affine span
+  // crosses each level at a directly computable time.
+  const Bits a_end = input->bits(t_scan);
+  if (std::ceil(a_end / per_visit) > config_.max_candidates) {
+    return std::nullopt;
+  }
+  std::vector<Seconds> ends = input->breakpoints(t_scan);
+  if (ends.size() > static_cast<std::size_t>(config_.max_candidates)) {
+    return std::nullopt;
+  }
+  if (ends.empty() || !approx_eq(ends.back(), t_scan)) {
+    ends.push_back(t_scan);
+  }
+  Seconds delay = 0.0;
+  const auto consider = [&](Seconds u, double level) {
+    delay = std::max(delay,
+                     params_.ttrt * (level + 1.0) - u);
+  };
+  // Level reached so far: n−1 thresholds below current value are crossed.
+  double reached = 0.0;  // ⌈A/pv⌉ of everything seen so far
+  const auto cross_up_to = [&](Seconds u, Bits value) {
+    // All levels with (n−1)·pv < value are exceeded by time u; only the
+    // highest new one matters at this u.
+    const double n_here = std::ceil(value / per_visit - 1e-12);
+    if (n_here > reached) {
+      consider(u, n_here);
+      reached = n_here;
+    }
+  };
+  cross_up_to(0.0, input->bits(0.0));
+  Seconds a = 0.0;
+  for (Seconds b : ends) {
+    if (b <= a) continue;
+    const Seconds da = (b - a) * 1e-9;
+    const Bits va = input->bits(a + da);   // post-jump value at left edge
+    cross_up_to(a, va);                    // jump at `a` crosses in a batch
+    const Bits vb = input->bits(b - da);   // pre-jump value at right edge
+    if (vb > va + kEps) {
+      const double slope = (vb - va) / (b - a - 2 * da);
+      // Affine span: each level threshold in (va, vb) crossed one by one.
+      for (double n = reached + 1.0;
+           (n - 1.0) * per_visit < vb - kEps; ++n) {
+        const Seconds u = a + da + ((n - 1.0) * per_visit - va) / slope;
+        consider(u, n);
+        reached = n;
+      }
+    }
+    a = b;
+  }
+  cross_up_to(t_scan, a_end);  // right-continuous value at the scan end
+  delay = std::max(delay, 0.0);
+
+  // --- Theorem 1.4: output descriptor Υ. ---
+  EnvelopePtr output =
+      std::make_shared<MacOutputEnvelope>(input, params_, k_max);
+  if (config_.rasterize_mac_output) {
+    const Seconds horizon =
+        std::max(t_scan, static_cast<double>(config_.output_horizon_rotations) *
+                             params_.ttrt);
+    output = rasterize(cache_envelope(std::move(output)), horizon,
+                       static_cast<std::size_t>(config_.rasterize_max_points));
+    // Rasterization raises segment values to their right-end samples, which
+    // forfeits the BW·I physical cap; re-apply it (still a sound upper
+    // bound: the true output satisfies both operands).
+    output = rate_cap(std::move(output), params_.ring_rate, 0.0);
+  }
+
+  ServerAnalysis result;
+  result.worst_case_delay = delay;
+  result.buffer_required = buffer;
+  result.output = std::move(output);
+  return result;
+}
+
+}  // namespace hetnet

@@ -1,0 +1,86 @@
+// The FDDI_MAC server: Theorem 1 of the paper.
+//
+// An FDDI station holding a synchronous allocation H may transmit real-time
+// traffic for at most H seconds on every token visit, and the timed-token
+// protocol guarantees a token visit at least once per TTRT once steady state
+// is reached. The guaranteed cumulative service in any interval of length t
+// is therefore
+//
+//     avail(t) = max(0, (⌊t/TTRT⌋ − 1) · H · BW)          [bits]
+//
+// (the "−1" pays for the worst-case token position when the interval opens).
+// From avail() and the connection's arrival envelope A(I) = I·Γ(I), Theorem 1
+// gives:
+//
+//   1. busy interval     B = min{ t>0 : A(t) <= avail(t) }
+//   2. buffer bound      F = max_{0<t<=B} ( A(t) − avail(t) )
+//   3. delay bound       χ = max_{0<t<=B} min{ d : avail(t+d) >= A(t) },
+//                        or ∞ when F exceeds the MAC buffer S
+//   4. output descriptor Υ(I) = min( BW·I,
+//                        max_{0<=t<=B} ( A(t+I) − avail(t) ) )
+//
+// All four are computed EXACTLY here (see the .cc for the argument that the
+// candidate sets scanned contain every extremum); the only approximations are
+// conservative: the analysis gives up (returns nullopt) when the busy
+// interval exceeds the AnalysisConfig budget, and the output envelope is by
+// default rasterized into a conservative staircase so downstream servers
+// stay cheap and exact.
+//
+// The same server models the receive side (FDDI_R): there the station is the
+// interface device, holding allocation H_R for the connection, and the
+// "host" is the destination (Section 4.3.3 — the analysis is the mirror
+// image and uses the identical theorem).
+#pragma once
+
+#include <limits>
+
+#include "src/servers/server.h"
+
+namespace hetnet {
+
+struct FddiMacParams {
+  // Target token rotation time of the ring (seconds).
+  Seconds ttrt = 0.0;
+  // Synchronous allocation H of this connection at this station: seconds of
+  // transmission per token visit. Must satisfy 0 < H and the ring-level
+  // constraint ΣH + Δ <= TTRT (enforced by fddi::SyncBandwidthLedger, not
+  // here).
+  Seconds sync_allocation = 0.0;
+  // Effective transmission rate while the station holds the token
+  // (bits/second of *payload*; FDDI frame overhead is accounted by using
+  // the effective rate — see fddi/ring.h).
+  BitsPerSecond ring_rate = 0.0;
+  // MAC transmit buffer S in bits; delay is unbounded if the worst-case
+  // backlog F exceeds it (Theorem 1 case 3). Infinite by default.
+  Bits buffer_limit = std::numeric_limits<double>::infinity();
+};
+
+class FddiMacServer final : public Server {
+ public:
+  FddiMacServer(std::string name, const FddiMacParams& params,
+                const AnalysisConfig& config = {});
+
+  std::optional<ServerAnalysis> analyze(
+      const EnvelopePtr& input) const override;
+  std::string name() const override { return name_; }
+
+  // avail(t): guaranteed service (bits) in any interval of length t.
+  Bits avail(Seconds t) const;
+  // Left limit of avail at t (service guaranteed strictly before the token
+  // visit at a TTRT boundary).
+  Bits avail_left(Seconds t) const;
+
+  // The busy-interval bound B (Theorem 1.1), or nullopt if it exceeds the
+  // analysis budget / the input is unstable. Exposed for tests and for the
+  // feasible-region geometry checks.
+  std::optional<Seconds> busy_interval(const EnvelopePtr& input) const;
+
+  const FddiMacParams& params() const { return params_; }
+
+ private:
+  std::string name_;
+  FddiMacParams params_;
+  AnalysisConfig config_;
+};
+
+}  // namespace hetnet

@@ -1,0 +1,135 @@
+#include "src/servers/fifo_mux.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/traffic/algebra.h"
+#include "src/traffic/sources.h"
+#include "src/util/check.h"
+
+namespace hetnet {
+
+FifoMuxServer::FifoMuxServer(std::string name, FifoMuxParams params,
+                             EnvelopePtr cross_traffic,
+                             const AnalysisConfig& config)
+    : name_(std::move(name)),
+      params_(params),
+      cross_(std::move(cross_traffic)),
+      config_(config) {
+  HETNET_CHECK(params_.capacity > 0, "mux capacity must be positive");
+  HETNET_CHECK(params_.non_preemption >= 0, "non-preemption must be >= 0");
+  HETNET_CHECK(params_.cell_bits >= 0, "cell size must be >= 0");
+  HETNET_CHECK(params_.buffer_limit > 0, "buffer limit must be positive");
+  HETNET_CHECK(params_.max_busy_period > 0, "busy-period cap must be > 0");
+  HETNET_CHECK(cross_ != nullptr, "null cross traffic (use ZeroEnvelope)");
+}
+
+std::optional<FifoMuxServer::PortBounds> FifoMuxServer::bound_port(
+    const EnvelopePtr& input) const {
+  HETNET_CHECK(input != nullptr, "null envelope");
+  const EnvelopePtr total = sum_envelopes({input, cross_});
+  const BitsPerSecond c = params_.capacity;
+  const BitsPerSecond rho = total->long_term_rate();
+  if (rho > c * (1.0 - 1e-9)) {
+    return std::nullopt;  // (over)booked to capacity: no finite bound
+  }
+
+  // Scan horizon. The delay supremand A_tot(t)/C − t and the backlog
+  // supremand A_tot(t) − C·t are both dominated by the leaky-bucket
+  // majorization A_tot(t) <= b + ρ·t, which drives them below zero for
+  //     t  >=  T* = b / (C − ρ).
+  // Scanning (0, T*] therefore captures the GLOBAL suprema — no
+  // subadditivity or busy-period argument needed, which matters because
+  // composed envelopes here (quantized staircases etc.) need not be
+  // subadditive.
+  const Bits burst = total->burst_bound();
+  if (!std::isfinite(burst)) return std::nullopt;
+  const Seconds horizon = burst / (c - rho) + kEps;
+  if (horizon > params_.max_busy_period) {
+    return std::nullopt;  // analysis budget exceeded: give up conservatively
+  }
+
+  std::vector<Seconds> ends = total->breakpoints(horizon);
+  if (ends.size() > static_cast<std::size_t>(config_.max_candidates)) {
+    return std::nullopt;
+  }
+  if (ends.empty() || !approx_eq(ends.back(), horizon)) {
+    ends.push_back(horizon);
+  }
+
+  // The aggregate is affine on each open segment, so both supremands take
+  // their extremes at segment ends. Envelopes may JUMP at a segment's left
+  // edge (e.g. an instantaneous burst at t = 0 has A(0) = 0 but A(0⁺) = σ),
+  // so each segment is evaluated at both ends: just inside the left edge
+  // (capturing the post-jump value, paired with the edge time — exact for
+  // the supremum from the right) and at the right end.
+  // The busy-period end B (first crossing of A_tot below C·t) is also
+  // recorded — it is the Theorem-style bound reported for tests/diagnostics.
+  Seconds busy_end = horizon;
+  bool busy_closed = false;
+  Bits v0 = total->bits(0.0);
+  double max_delay = v0 / c;
+  double max_backlog = v0;
+  Seconds a = 0.0;
+  Bits v_a = v0;
+  for (Seconds b : ends) {
+    if (b <= a) continue;
+    const Bits v_left = total->bits(a + (b - a) * 1e-9);
+    max_delay = std::max(max_delay, v_left / c - a);
+    max_backlog = std::max(max_backlog, v_left - c * a);
+    const Bits v_b = total->bits(b);
+    max_delay = std::max(max_delay, v_b / c - b);
+    max_backlog = std::max(max_backlog, v_b - c * b);
+    if (!busy_closed && approx_le(v_b, c * b)) {
+      // First downward crossing of A_tot against C·t. A jump at b only
+      // inflates the chord slope, which can only push the computed crossing
+      // later (a conservative, i.e. larger, busy period).
+      const double slope = (v_b - v_a) / (b - a);
+      Seconds cross = b;
+      if (slope < c && v_a > c * a) {
+        cross = std::clamp((v_a - slope * a) / (c - slope), a, b);
+      } else if (approx_le(v_a, c * a)) {
+        cross = a;
+      }
+      busy_end = cross;
+      busy_closed = true;
+    }
+    a = b;
+    v_a = v_b;
+  }
+
+  PortBounds bounds;
+  bounds.busy_period = busy_end;
+  bounds.queueing_delay = std::max(0.0, max_delay);
+  bounds.backlog = std::max(0.0, max_backlog);
+  return bounds;
+}
+
+std::optional<Seconds> FifoMuxServer::queueing_delay(
+    const EnvelopePtr& input) const {
+  const auto bounds = bound_port(input);
+  if (!bounds.has_value()) return std::nullopt;
+  return bounds->queueing_delay;
+}
+
+std::optional<ServerAnalysis> FifoMuxServer::analyze(
+    const EnvelopePtr& input) const {
+  const auto bounds = bound_port(input);
+  if (!bounds.has_value()) return std::nullopt;
+  if (bounds->backlog > params_.buffer_limit * (1.0 + 1e-12)) {
+    return std::nullopt;  // port buffer overflow ⟹ loss ⟹ no delay bound
+  }
+  const Seconds delay = bounds->queueing_delay + params_.non_preemption;
+
+  ServerAnalysis result;
+  result.worst_case_delay = delay;
+  result.buffer_required = bounds->backlog;
+  // FIFO output bound: departures in a window of length I arrived within
+  // I + d; a single flow additionally cannot beat the raw link rate (plus
+  // one cell of slack for the unit in transmission).
+  result.output = rate_cap(shift_envelope(input, delay), params_.capacity,
+                           params_.cell_bits);
+  return result;
+}
+
+}  // namespace hetnet

@@ -1,0 +1,86 @@
+// The FIFO output-port multiplexer: the Output_Port server of an interface
+// device and the output ports of ATM switches (Sections 4.3.2/4.3.3; the
+// analysis method of Cruz [5,6] and Raha-Kamat-Zhao [2,14]).
+//
+// Cells from several connections share a link of capacity C (FIFO order).
+// With aggregate arrival envelope A_tot(t) = Σ_j A_j(t):
+//
+//   busy period   B  = min{ t>0 : A_tot(t) <= C·t }
+//   delay bound   d  = max_{0<t<=B} ( A_tot(t)/C − t ) + T_np
+//   backlog bound Q  = max_{0<t<=B} ( A_tot(t) − C·t )
+//   output        A'_j(I) = min( A_j(I + d),  C·I + L_cell )
+//
+// T_np is the non-preemption term (a cell already in transmission finishes),
+// and the per-flow output bound is the standard FIFO result: whatever leaves
+// in a window of length I entered within I + d, and a single flow cannot
+// occupy more than the full link plus one cell.
+//
+// The server is constructed per-connection with the *cross traffic* — the
+// aggregate envelope of all other connections at this port, computed by the
+// network analyzer in topological order. The delay and backlog bounds are
+// properties of the shared port (identical for every flow through it); the
+// output descriptor is per-flow.
+//
+// Exactness: all envelopes reaching a mux are piecewise affine with complete
+// breakpoint sets (sources, staircases, shifts/mins/quantizations thereof),
+// so B, d and Q are found by exact segment-wise search, not grid sampling.
+#pragma once
+
+#include <limits>
+
+#include "src/servers/server.h"
+
+namespace hetnet {
+
+struct FifoMuxParams {
+  // Link capacity in the same accounting as the input envelopes (payload
+  // bits/second if cells are payload-accounted; wire bits/second if
+  // wire-accounted).
+  BitsPerSecond capacity = 0.0;
+  // Non-preemption term: worst-case residual transmission time of the unit
+  // in service when a cell arrives (one cell time on ATM links).
+  Seconds non_preemption = 0.0;
+  // Burst term for the per-flow output cap (one cell, in the envelope
+  // accounting).
+  Bits cell_bits = 0.0;
+  // Port buffer; the analysis reports no bound (rejection) if the worst-case
+  // backlog exceeds it. Infinite by default.
+  Bits buffer_limit = std::numeric_limits<double>::infinity();
+  // Scan horizon cap: if the busy period has not closed by this many seconds
+  // the analysis conservatively gives up. The closed-form tail crossing
+  // normally ends the search long before this.
+  Seconds max_busy_period = 60.0;
+};
+
+class FifoMuxServer final : public Server {
+ public:
+  // `cross_traffic` is the aggregate envelope of the OTHER connections
+  // multiplexed at this port (ZeroEnvelope if none).
+  FifoMuxServer(std::string name, FifoMuxParams params,
+                EnvelopePtr cross_traffic, const AnalysisConfig& config = {});
+
+  std::optional<ServerAnalysis> analyze(
+      const EnvelopePtr& input) const override;
+  std::string name() const override { return name_; }
+
+  const FifoMuxParams& params() const { return params_; }
+
+  // The port-wide worst-case queueing delay (before adding T_np) for the
+  // aggregate of `input` plus the cross traffic; exposed for tests.
+  std::optional<Seconds> queueing_delay(const EnvelopePtr& input) const;
+
+ private:
+  struct PortBounds {
+    Seconds busy_period;
+    Seconds queueing_delay;
+    Bits backlog;
+  };
+  std::optional<PortBounds> bound_port(const EnvelopePtr& input) const;
+
+  std::string name_;
+  FifoMuxParams params_;
+  EnvelopePtr cross_;
+  AnalysisConfig config_;
+};
+
+}  // namespace hetnet

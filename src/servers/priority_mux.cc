@@ -1,0 +1,17 @@
+#include "src/servers/priority_mux.h"
+
+namespace hetnet {
+
+PriorityMuxServer::PriorityMuxServer(std::string name, FifoMuxParams params,
+                                     EnvelopePtr rt_cross_traffic,
+                                     const AnalysisConfig& config)
+    : inner_(std::move(name), params, std::move(rt_cross_traffic), config) {}
+
+std::optional<ServerAnalysis> PriorityMuxServer::analyze(
+    const EnvelopePtr& input) const {
+  // The real-time class forms a FIFO of its own; lower-priority traffic is
+  // already accounted by the non-preemption term inside `params`.
+  return inner_.analyze(input);
+}
+
+}  // namespace hetnet

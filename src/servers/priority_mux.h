@@ -1,0 +1,49 @@
+// Static-priority output port: an alternative to the FIFO discipline of the
+// paper's interface devices and switches (the related-work families of
+// Section 2 — priority and deadline scheduling in point-to-point networks).
+//
+// Real-time cells are served ahead of best-effort cells; among real-time
+// cells the order is FIFO. For the real-time class the classic
+// non-preemptive static-priority bound applies:
+//
+//   busy-style delay  d_RT = sup_t [ A_RT(t)/C − t ]⁺ + T_np
+//
+// — identical in form to the FIFO bound but with ONLY the real-time
+// aggregate in A_RT: best-effort traffic contributes just the one-cell
+// non-preemption term T_np, no matter how much of it there is. This is why
+// a priority port admits the same real-time set with far smaller bounds
+// when heavy best-effort traffic shares the link
+// (bench/ablation_scheduling).
+//
+// The implementation composes the FIFO machinery: the real-time class is a
+// FIFO among itself, so a FifoMuxServer over the real-time flows with the
+// non-preemption term gives exactly the bound above.
+#pragma once
+
+#include "src/servers/fifo_mux.h"
+
+namespace hetnet {
+
+class PriorityMuxServer final : public Server {
+ public:
+  // `params.capacity`/`cell_bits`/`non_preemption` as for FifoMuxServer;
+  // `rt_cross_traffic` is the aggregate envelope of the OTHER real-time
+  // flows at this port. Best-effort traffic needs no envelope at all — its
+  // entire effect on the real-time class is the non-preemption term.
+  PriorityMuxServer(std::string name, FifoMuxParams params,
+                    EnvelopePtr rt_cross_traffic,
+                    const AnalysisConfig& config = {});
+
+  std::optional<ServerAnalysis> analyze(
+      const EnvelopePtr& input) const override;
+  std::string name() const override { return inner_.name(); }
+
+  std::optional<Seconds> queueing_delay(const EnvelopePtr& input) const {
+    return inner_.queueing_delay(input);
+  }
+
+ private:
+  FifoMuxServer inner_;
+};
+
+}  // namespace hetnet

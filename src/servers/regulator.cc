@@ -1,0 +1,84 @@
+#include "src/servers/regulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/traffic/algebra.h"
+#include "src/util/check.h"
+
+namespace hetnet {
+
+RegulatorServer::RegulatorServer(std::string name,
+                                 const RegulatorParams& params,
+                                 const AnalysisConfig& config)
+    : name_(std::move(name)), params_(params), config_(config) {
+  HETNET_CHECK(params_.sigma >= 0, "bucket depth must be >= 0");
+  HETNET_CHECK(params_.rho > 0, "token rate must be positive");
+  HETNET_CHECK(params_.buffer_limit > 0, "buffer limit must be positive");
+}
+
+std::optional<ServerAnalysis> RegulatorServer::analyze(
+    const EnvelopePtr& input) const {
+  HETNET_CHECK(input != nullptr, "null envelope");
+  const Bits sigma = params_.sigma;
+  const BitsPerSecond rho = params_.rho;
+  const BitsPerSecond in_rate = input->long_term_rate();
+  if (in_rate > rho * (1.0 + 1e-9)) {
+    return std::nullopt;  // shaping an over-rate flow backlogs forever
+  }
+  const Bits burst = input->burst_bound();
+  if (!std::isfinite(burst)) return std::nullopt;
+
+  // Both supremands fall below zero once the input majorization
+  // b + in_rate·t dips under σ + ρ·t; scan only that far (global suprema
+  // without subadditivity, as in fifo_mux.cc).
+  Seconds horizon;
+  if (burst <= sigma) {
+    // The input already conforms at every scale the majorization sees;
+    // a short scan still catches sub-burst structure.
+    horizon = 1e-3;
+  } else if (rho - in_rate < 1e-12 * rho) {
+    return std::nullopt;  // exactly saturated: no finite guard
+  } else {
+    horizon = (burst - sigma) / (rho - in_rate) + kEps;
+  }
+  if (horizon > params_.max_busy_period) return std::nullopt;
+
+  std::vector<Seconds> ends = input->breakpoints(horizon);
+  if (ends.size() > static_cast<std::size_t>(config_.max_candidates)) {
+    return std::nullopt;
+  }
+  if (ends.empty() || !approx_eq(ends.back(), horizon)) {
+    ends.push_back(horizon);
+  }
+
+  double max_delay = std::max(0.0, (input->bits(0.0) - sigma) / rho);
+  double max_backlog = std::max(0.0, input->bits(0.0) - sigma);
+  Seconds a = 0.0;
+  for (Seconds b : ends) {
+    if (b <= a) continue;
+    const Bits v_left = input->bits(a + (b - a) * 1e-9);
+    max_delay = std::max(max_delay, (v_left - sigma) / rho - a);
+    max_backlog = std::max(max_backlog, v_left - sigma - rho * a);
+    const Bits v_b = input->bits(b);
+    max_delay = std::max(max_delay, (v_b - sigma) / rho - b);
+    max_backlog = std::max(max_backlog, v_b - sigma - rho * b);
+    a = b;
+  }
+  max_delay = std::max(0.0, max_delay);
+  max_backlog = std::max(0.0, max_backlog);
+  if (max_backlog > params_.buffer_limit * (1.0 + 1e-12)) {
+    return std::nullopt;
+  }
+
+  ServerAnalysis result;
+  result.worst_case_delay = max_delay;
+  result.buffer_required = max_backlog;
+  // The output both left the FIFO shaper within `max_delay` and conforms to
+  // the bucket by construction.
+  result.output =
+      rate_cap(shift_envelope(input, max_delay), rho, sigma);
+  return result;
+}
+
+}  // namespace hetnet

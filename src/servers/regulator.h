@@ -1,0 +1,52 @@
+// Leaky-bucket traffic regulator (shaper) — the companion mechanism of
+// Raha-Kamat-Zhao, "Using Traffic Regulation to Meet End-to-End Deadlines
+// in ATM LANs" (reference [15] of the paper).
+//
+// A (σ, ρ) regulator delays traffic just enough that its output conforms to
+// the envelope σ + ρ·I. Inserted at an interface device it trades a local,
+// known shaping delay for much smaller disturbance at every downstream FIFO
+// port (bench/ablation_regulation quantifies the trade).
+//
+// Analysis (service-curve σ + ρ·t, FIFO):
+//   delay bound    d = sup_t [ (A(t) − σ)/ρ − t ]⁺
+//   backlog bound  Q = sup_t [ A(t) − σ − ρ·t ]⁺
+//   output         A'(I) = min( A(I + d),  σ + ρ·I )
+// The suprema are computed exactly by the same segment-walk the FIFO mux
+// uses, with the scan horizon derived from the input's leaky-bucket
+// majorization (sound for non-subadditive composed envelopes).
+#pragma once
+
+#include <limits>
+
+#include "src/servers/server.h"
+
+namespace hetnet {
+
+struct RegulatorParams {
+  // Bucket depth σ (bits) and token rate ρ (bits/second).
+  Bits sigma = 0.0;
+  BitsPerSecond rho = 0.0;
+  // Shaper buffer; nullopt-analysis if the backlog bound exceeds it.
+  Bits buffer_limit = std::numeric_limits<double>::infinity();
+  // Conservative cap on the scan horizon.
+  Seconds max_busy_period = 60.0;
+};
+
+class RegulatorServer final : public Server {
+ public:
+  RegulatorServer(std::string name, const RegulatorParams& params,
+                  const AnalysisConfig& config = {});
+
+  std::optional<ServerAnalysis> analyze(
+      const EnvelopePtr& input) const override;
+  std::string name() const override { return name_; }
+
+  const RegulatorParams& params() const { return params_; }
+
+ private:
+  std::string name_;
+  RegulatorParams params_;
+  AnalysisConfig config_;
+};
+
+}  // namespace hetnet

@@ -1,0 +1,5 @@
+#include "src/servers/server.h"
+
+// Currently header-only; this translation unit anchors the vtable of Server
+// implementations that are defined inline in headers (none today) and keeps
+// the build layout uniform (every module contributes objects to libhetnet).

@@ -1,0 +1,75 @@
+// The decomposition approach of Section 4: a connection's path is a chain of
+// servers, each of which is analyzed for (a) the worst-case delay it adds and
+// (b) the traffic descriptor of the connection at its exit.
+//
+// `analyze()` returns std::nullopt when NO finite worst-case bound exists —
+// the server is unstable (arrival rate exceeds guaranteed service rate), a
+// finite buffer would overflow (the paper's Theorem 1 returns delay = ∞ in
+// that case, because overflow loses data), or the analysis budget in
+// `AnalysisConfig` was exceeded (treated conservatively as unbounded). A
+// nullopt anywhere along a chain means the connection must be rejected.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/traffic/envelope.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+
+// Budgets and knobs for the exact worst-case scans. The Theorem-1/2 and
+// FIFO-multiplexer computations are exact (they enumerate every candidate
+// extremum); these limits only bound how long the analysis is allowed to
+// search before conservatively giving up.
+struct AnalysisConfig {
+  // Maximum token rotations (TTRT multiples) scanned for the FDDI-MAC busy
+  // interval B (Theorem 1). A busy interval longer than this is treated as
+  // unbounded.
+  int max_busy_rotations = 4096;
+
+  // Maximum candidate extremum points examined in any single scan.
+  int max_candidates = 200000;
+
+  // FDDI-MAC output envelopes (Theorem 1's Υ) are rasterized into explicit
+  // conservative staircases so that downstream servers scan a bounded,
+  // exactly-affine envelope (see src/traffic/staircase.h). The staircase
+  // covers `output_horizon_rotations` token rotations and then grows at the
+  // ring rate (a valid Lipschitz bound for traffic that crossed the ring).
+  bool rasterize_mac_output = true;
+  int output_horizon_rotations = 64;
+  int rasterize_max_points = 128;
+};
+
+// Result of analyzing one server for one connection.
+struct ServerAnalysis {
+  // Upper bound on the delay any bit of this connection suffers in the
+  // server (d^wc in the paper).
+  Seconds worst_case_delay = 0.0;
+  // Upper bound on the connection's backlog inside the server (F in
+  // Theorem 1); what a deployment must provision to honor the "no buffer
+  // overflow" part of the QoS contract.
+  Bits buffer_required = 0.0;
+  // Traffic descriptor of the connection at the server exit, input to the
+  // next server in the chain.
+  EnvelopePtr output;
+};
+
+class Server {
+ public:
+  virtual ~Server() = default;
+
+  // Analyzes the server for a connection whose traffic at the server
+  // entrance is described by `input`. Returns nullopt if no finite
+  // worst-case bound exists (see file comment).
+  virtual std::optional<ServerAnalysis> analyze(
+      const EnvelopePtr& input) const = 0;
+
+  // Short identifier used in chain breakdowns ("FDDI_MAC", "Output_Port"...).
+  virtual std::string name() const = 0;
+};
+
+using ServerPtr = std::shared_ptr<const Server>;
+
+}  // namespace hetnet

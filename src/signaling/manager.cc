@@ -1,0 +1,102 @@
+#include "src/signaling/manager.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace hetnet::signaling {
+
+ConnectionManager::ConnectionManager(const net::AbhnTopology* topology,
+                                     const core::CacConfig& cac_config,
+                                     const SignalingParams& params)
+    : topology_(topology), cac_(topology, cac_config), params_(params) {
+  HETNET_CHECK(topology_ != nullptr, "null topology");
+  HETNET_CHECK(params_.node_processing >= 0 &&
+                   params_.host_processing >= 0 &&
+                   params_.cac_processing >= 0,
+               "signaling latencies must be >= 0");
+}
+
+Seconds ConnectionManager::path_latency(
+    const net::ConnectionSpec& spec) const {
+  const auto hops = topology_->backbone_route(spec.src, spec.dst);
+  Seconds latency = params_.host_processing;           // source host stack
+  latency += topology_->params().ring.propagation;     // source ring
+  for (const auto& hop : hops) {
+    latency += params_.node_processing + hop.propagation + hop.fabric;
+  }
+  if (!hops.empty()) {
+    latency += topology_->params().ring.propagation;   // destination ring
+  }
+  latency += params_.host_processing;                  // terminating stack
+  return latency;
+}
+
+void ConnectionManager::request_setup(
+    const net::ConnectionSpec& spec, Seconds when,
+    std::function<void(const SetupRecord&)> on_complete) {
+  queue_.schedule_at(when, [this, spec, on_complete = std::move(
+                                            on_complete)] {
+    HETNET_CHECK(!states_.contains(spec.id),
+                 "SETUP for an id already in the state table");
+    states_.emplace(spec.id, ConnectionState::kSetupInProgress);
+    const Seconds requested_at = queue_.now();
+    const Seconds forward = path_latency(spec);
+    // The SETUP reaches the controller, which decides after its processing
+    // time; the verdict travels back the same path.
+    queue_.schedule_in(
+        forward + params_.cac_processing,
+        [this, spec, requested_at, on_complete = std::move(on_complete)] {
+          const core::AdmissionDecision decision = cac_.request(spec);
+          const Seconds back = path_latency(spec);
+          queue_.schedule_in(back, [this, spec, requested_at, decision,
+                                    on_complete =
+                                        std::move(on_complete)] {
+            SetupRecord record;
+            record.id = spec.id;
+            record.admitted = decision.admitted;
+            record.reason = decision.reason;
+            record.requested_at = requested_at;
+            record.setup_latency = queue_.now() - requested_at;
+            record.granted = decision.alloc;
+            if (decision.admitted) {
+              states_[spec.id] = ConnectionState::kEstablished;
+            } else {
+              states_.erase(spec.id);
+            }
+            records_.push_back(record);
+            if (on_complete) on_complete(record);
+          });
+        });
+  });
+}
+
+void ConnectionManager::request_release(net::ConnectionId id, Seconds when) {
+  queue_.schedule_at(when, [this, id] {
+    const auto it = states_.find(id);
+    HETNET_CHECK(it != states_.end(), "RELEASE for an unknown connection");
+    HETNET_CHECK(it->second == ConnectionState::kEstablished,
+                 "RELEASE is only valid for an established connection");
+    it->second = ConnectionState::kReleasing;
+    // The RELEASE must reach the controller before the bandwidth returns.
+    const auto& conn = cac_.active().at(id);
+    const Seconds forward = path_latency(conn.spec);
+    queue_.schedule_in(forward + params_.host_processing, [this, id] {
+      cac_.release(id);
+      states_.erase(id);
+    });
+  });
+}
+
+std::vector<SetupRecord> ConnectionManager::run() {
+  queue_.run();
+  return records_;
+}
+
+ConnectionState ConnectionManager::state(net::ConnectionId id) const {
+  const auto it = states_.find(id);
+  HETNET_CHECK(it != states_.end(), "unknown connection");
+  return it->second;
+}
+
+}  // namespace hetnet::signaling

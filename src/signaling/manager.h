@@ -1,0 +1,100 @@
+// Connection management: the signaling face of connection-oriented service.
+//
+// Applications do not call the CAC directly — they exchange signaling
+// messages: a SETUP travels from the source host across the interface
+// devices and switches to wherever admission control runs, the CAC decides,
+// and a CONNECT or REJECT travels back; a RELEASE tears the connection
+// down. The ConnectionManager drives those exchanges over the
+// discrete-event queue, tracks each connection's state machine
+//
+//     IDLE → SETUP_IN_PROGRESS → ESTABLISHED → RELEASING → (gone)
+//                       ↘ (rejected) ↗
+//
+// and records per-request setup latency = signaling round-trip + CAC
+// decision time. Setup latency is what an application actually waits
+// before its contract starts — the end-to-end counterpart of the paper's
+// Step-1 efficiency claim (bench/cac_microbench measures the decision in
+// isolation; this measures it in context).
+//
+// Resources are charged pessimistically: bandwidth is reserved when the CAC
+// decides (before the CONNECT reaches the caller) and released only when
+// the RELEASE reaches the controller — the window where a contract exists
+// but the application does not know yet is never double-sold.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/core/cac.h"
+#include "src/sim/event_queue.h"
+
+namespace hetnet::signaling {
+
+enum class ConnectionState {
+  kSetupInProgress,
+  kEstablished,
+  kReleasing,
+};
+
+struct SignalingParams {
+  // Per-node SETUP/CONNECT processing latency (interface devices,
+  // switches).
+  Seconds node_processing = units::us(100);
+  // Endpoint (host / controller) processing latency.
+  Seconds host_processing = units::us(50);
+  // Time charged for the CAC decision itself. The default models the
+  // Section-6-era controller CPU; set 0 to isolate pure signaling latency.
+  Seconds cac_processing = units::ms(2);
+};
+
+struct SetupRecord {
+  net::ConnectionId id = 0;
+  bool admitted = false;
+  core::RejectReason reason = core::RejectReason::kNone;
+  Seconds requested_at = 0.0;
+  // Total time the application waited for CONNECT/REJECT.
+  Seconds setup_latency = 0.0;
+  net::Allocation granted;
+};
+
+class ConnectionManager {
+ public:
+  ConnectionManager(const net::AbhnTopology* topology,
+                    const core::CacConfig& cac_config,
+                    const SignalingParams& params = {});
+
+  // Schedules a SETUP to leave the source host at `when` (simulated time).
+  // `on_complete` (optional) fires when the CONNECT/REJECT arrives back.
+  void request_setup(const net::ConnectionSpec& spec, Seconds when,
+                     std::function<void(const SetupRecord&)> on_complete =
+                         nullptr);
+
+  // Schedules a RELEASE for an established (or establishing) connection.
+  // Invalid for unknown connections once the calendar reaches `when`.
+  void request_release(net::ConnectionId id, Seconds when);
+
+  // Runs the signaling calendar to completion and returns every setup's
+  // record in request order.
+  std::vector<SetupRecord> run();
+
+  // State inspection (valid during callbacks and after run()).
+  bool known(net::ConnectionId id) const { return states_.contains(id); }
+  ConnectionState state(net::ConnectionId id) const;
+  const core::AdmissionController& cac() const { return cac_; }
+  sim::EventQueue& queue() { return queue_; }
+
+ private:
+  // One-way signaling latency between a host and the controller: per-node
+  // processing along the route plus link/ring propagation.
+  Seconds path_latency(const net::ConnectionSpec& spec) const;
+
+  const net::AbhnTopology* topology_;
+  core::AdmissionController cac_;
+  SignalingParams params_;
+  sim::EventQueue queue_;
+  std::map<net::ConnectionId, ConnectionState> states_;
+  std::vector<SetupRecord> records_;
+};
+
+}  // namespace hetnet::signaling

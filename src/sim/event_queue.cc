@@ -1,0 +1,36 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace hetnet::sim {
+
+void EventQueue::schedule_at(Seconds when, Callback fn) {
+  HETNET_CHECK(when >= now_ - kEps, "cannot schedule into the past");
+  HETNET_CHECK(fn != nullptr, "null event callback");
+  heap_.push({when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(Seconds delay, Callback fn) {
+  HETNET_CHECK(delay >= 0, "negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+std::size_t EventQueue::run(Seconds until) {
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    if (until >= 0.0 && heap_.top().when > until) break;
+    // Entry must be moved out before the callback runs: the callback may
+    // schedule new events and reshuffle the heap.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    entry.fn();
+    ++executed;
+  }
+  if (until >= 0.0 && now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace hetnet::sim

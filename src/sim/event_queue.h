@@ -1,0 +1,54 @@
+// Discrete-event simulation core.
+//
+// A minimal, deterministic event calendar: events are (time, callback)
+// pairs; ties are broken by insertion order so runs are reproducible. Used
+// by the admission-level workload simulator and the packet-level network
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace hetnet::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute time `when` (must not precede the current
+  // simulation time).
+  void schedule_at(Seconds when, Callback fn);
+  // Schedules `fn` after `delay` seconds of simulated time.
+  void schedule_in(Seconds delay, Callback fn);
+
+  // Runs events in time order until the calendar is empty or the optional
+  // time limit is passed. Returns the number of events executed.
+  std::size_t run(Seconds until = -1.0);
+
+  Seconds now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Seconds when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace hetnet::sim

@@ -1,0 +1,442 @@
+#include "src/sim/packet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "src/fddi/ring.h"
+#include "src/sim/event_queue.h"
+#include "src/traffic/sources.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace hetnet::sim {
+namespace {
+
+// Concrete generator parameters extracted from the connection's envelope.
+struct SourceModel {
+  Bits c1 = 0.0;
+  Seconds p1 = 0.0;
+  Bits c2 = 0.0;
+  Seconds p2 = 0.0;
+};
+
+SourceModel extract_source(const EnvelopePtr& env) {
+  HETNET_CHECK(env != nullptr, "null source envelope");
+  if (const auto* dual =
+          dynamic_cast<const DualPeriodicEnvelope*>(env.get())) {
+    return {dual->c1(), dual->p1(), dual->c2(), dual->p2()};
+  }
+  if (const auto* periodic =
+          dynamic_cast<const PeriodicEnvelope*>(env.get())) {
+    return {periodic->bits_per_period(), periodic->period(),
+            periodic->bits_per_period(), periodic->period()};
+  }
+  HETNET_CHECK(false,
+               "packet simulation needs a periodic or dual-periodic source");
+  return {};
+}
+
+struct Message {
+  Seconds born = 0.0;
+  Bits size = 0.0;
+  Bits delivered = 0.0;
+};
+
+// A chunk of one message queued at a MAC (source host or interface device).
+struct MacChunk {
+  std::uint64_t msg = 0;
+  Bits remaining = 0.0;
+  bool end_of_message = false;
+};
+
+struct Cell {
+  std::size_t conn = 0;
+  std::uint64_t msg = 0;
+  Bits payload = 0.0;       // actual message bits carried (<= cell payload)
+  bool end_of_message = false;
+  std::size_t hop = 0;      // index into the connection's port path
+};
+
+class Simulation {
+ public:
+  Simulation(const net::AbhnTopology& topo,
+             const std::vector<core::ConnectionInstance>& set,
+             const PacketSimConfig& config)
+      : topo_(topo), set_(set), config_(config), rng_(config.seed) {}
+
+  PacketSimResult run();
+
+ private:
+  struct ConnState {
+    SourceModel src;
+    net::HostId src_host;
+    net::HostId dst_host;
+    Seconds h_s = 0.0;
+    Seconds h_r = 0.0;
+    Bits frame_s = 0.0;
+    Bits frame_r = 0.0;
+    BitsPerSecond rate_s = 0.0;  // effective payload rate during a window
+    BitsPerSecond rate_r = 0.0;
+    std::vector<atm::Hop> hops;
+    std::uint64_t next_msg = 0;
+    std::unordered_map<std::uint64_t, Message> messages;
+    std::deque<MacChunk> mac_s_queue;   // at the source host
+    std::deque<MacChunk> mac_r_queue;   // at the destination's ID
+    // Reassembly state at ID_R.
+    Bits assembling = 0.0;
+    std::uint64_t assembling_msg = 0;
+    ConnectionTrace trace;
+  };
+
+  struct Port {
+    Seconds cell_time = 0.0;
+    Seconds propagation = 0.0;
+    std::deque<Cell> queue;
+    Bits backlog = 0.0;
+    bool busy = false;
+  };
+
+  void generate_bursts(std::size_t ci, Seconds phase);
+  void wake_ring(int ring);
+  void rotate_ring(int ring);
+  Seconds serve_station(std::size_t ci, std::deque<MacChunk>& queue,
+                        Seconds budget, Bits frame_size, BitsPerSecond rate,
+                        Seconds now, bool toward_id);
+  void frame_at_id_s(std::size_t ci, Bits payload, std::uint64_t msg,
+                     bool end_of_message);
+  void port_enqueue(std::size_t port_index, Cell cell);
+  void port_start(std::size_t port_index);
+  void cell_delivered(std::size_t port_index, Cell cell);
+  void cell_at_id_r(Cell cell);
+  void flush_frame_at_id_r(std::size_t ci, Bits payload, std::uint64_t msg);
+  void frame_at_destination(std::size_t ci, Bits payload, std::uint64_t msg);
+
+  const net::AbhnTopology& topo_;
+  const std::vector<core::ConnectionInstance>& set_;
+  PacketSimConfig config_;
+  Rng rng_;
+  EventQueue q_;
+  std::vector<ConnState> conns_;
+  std::vector<bool> ring_rotating_;
+  std::unordered_map<int, Port> ports_;  // backbone PortId → state
+  Bits max_port_backlog_ = 0.0;
+  Seconds max_rotation_ = 0.0;
+};
+
+void Simulation::generate_bursts(std::size_t ci, Seconds phase) {
+  ConnState& c = conns_[ci];
+  const int sub_bursts =
+      static_cast<int>(std::ceil(c.src.c1 / c.src.c2 - 1e-12));
+  for (Seconds window = phase; window < config_.duration;
+       window += c.src.p1) {
+    for (int j = 0; j < sub_bursts; ++j) {
+      const Seconds when = window + j * c.src.p2;
+      if (when >= config_.duration) break;
+      const Bits size = std::min(c.src.c2, c.src.c1 - j * c.src.c2);
+      q_.schedule_at(when, [this, ci, size] {
+        ConnState& conn = conns_[ci];
+        const std::uint64_t id = conn.next_msg++;
+        conn.messages[id] = {q_.now(), size, 0.0};
+        conn.mac_s_queue.push_back({id, size, true});
+        ++conn.trace.messages_generated;
+        // A burst near the end of the run can land after its ring parked.
+        wake_ring(conn.src_host.ring);
+      });
+    }
+  }
+}
+
+// Serves one station's per-connection synchronous window: transmits up to
+// `budget` seconds of frames (the last frame of a window may be partial, so
+// the full H·rate payload budget is usable — exactly the analysis' avail()
+// model). Returns the time spent transmitting.
+Seconds Simulation::serve_station(std::size_t ci, std::deque<MacChunk>& queue,
+                                  Seconds budget, Bits frame_size,
+                                  BitsPerSecond rate, Seconds now,
+                                  bool toward_id) {
+  Seconds used = 0.0;
+  while (!queue.empty() && budget - used > 1e-12) {
+    MacChunk& chunk = queue.front();
+    const Bits budget_bits = (budget - used) * rate;
+    const Bits payload =
+        std::min({frame_size, chunk.remaining, budget_bits});
+    if (payload <= 0.0) break;
+    const Seconds tx = payload / rate;
+    const Seconds arrival =
+        now + used + tx + topo_.params().ring.propagation;
+    chunk.remaining -= payload;
+    const bool last = chunk.remaining <= 1e-9 && chunk.end_of_message;
+    const std::uint64_t msg = chunk.msg;
+    if (chunk.remaining <= 1e-9) queue.pop_front();
+    if (toward_id) {
+      q_.schedule_at(arrival, [this, ci, payload, msg, last] {
+        frame_at_id_s(ci, payload, msg, last);
+      });
+    } else {
+      q_.schedule_at(arrival, [this, ci, payload, msg] {
+        frame_at_destination(ci, payload, msg);
+      });
+    }
+    used += tx;
+  }
+  return used;
+}
+
+void Simulation::rotate_ring(int ring) {
+  // One full token rotation handled in a single event: the internal cursor
+  // advances across stations (hosts, then the interface device), spending
+  // walk latency plus each station's transmission time.
+  const Seconds start = q_.now();
+  Seconds cursor = start;
+  const int stations = topo_.params().hosts_per_ring + 1;
+  const Seconds walk = topo_.params().ring.propagation / stations;
+  for (int st = 0; st < stations; ++st) {
+    cursor += walk;
+    if (st < topo_.params().hosts_per_ring) {
+      // Host station: serve the (single) connection originating here.
+      // Intra-ring connections (no backbone hops) deliver directly to the
+      // destination host over the ring.
+      for (std::size_t ci = 0; ci < conns_.size(); ++ci) {
+        ConnState& c = conns_[ci];
+        if (c.src_host.ring == ring && c.src_host.index == st) {
+          cursor += serve_station(ci, c.mac_s_queue, c.h_s, c.frame_s,
+                                  c.rate_s, cursor,
+                                  /*toward_id=*/!c.hops.empty());
+        }
+      }
+    } else {
+      // Interface device: serve every inbound connection's window.
+      for (std::size_t ci = 0; ci < conns_.size(); ++ci) {
+        ConnState& c = conns_[ci];
+        if (c.dst_host.ring == ring) {
+          cursor += serve_station(ci, c.mac_r_queue, c.h_r, c.frame_r,
+                                  c.rate_r, cursor, /*toward_id=*/false);
+        }
+      }
+    }
+  }
+  // Asynchronous background traffic stretches the rotation (never past the
+  // point where synchronous service already filled it).
+  cursor = std::max(cursor,
+                    start + config_.async_fill * topo_.params().ring.ttrt);
+  if (cursor <= start) cursor = start + 1e-9;
+  max_rotation_ = std::max(max_rotation_, cursor - start);
+  // Keep rotating while sources still generate, and afterwards until this
+  // ring's queues drain (bounded by a hard stop so an accidentally
+  // unstable set cannot spin forever).
+  bool ring_busy = false;
+  for (const ConnState& c : conns_) {
+    if ((c.src_host.ring == ring && !c.mac_s_queue.empty()) ||
+        (c.dst_host.ring == ring && !c.mac_r_queue.empty())) {
+      ring_busy = true;
+      break;
+    }
+  }
+  const Seconds hard_stop = 2.0 * config_.duration + 1.0;
+  if (cursor < config_.duration || (ring_busy && cursor < hard_stop)) {
+    q_.schedule_at(cursor, [this, ring] { rotate_ring(ring); });
+  } else {
+    // Parked; a late frame arrival restarts the rotation (see
+    // flush_frame_at_id_r).
+    ring_rotating_[static_cast<std::size_t>(ring)] = false;
+  }
+}
+
+void Simulation::frame_at_id_s(std::size_t ci, Bits payload,
+                               std::uint64_t msg, bool end_of_message) {
+  const auto& id_params = topo_.params().interface_device;
+  const Seconds ready = q_.now() + id_params.input_port_delay +
+                        id_params.frame_switch_delay +
+                        id_params.frame_cell_conversion;
+  q_.schedule_at(ready, [this, ci, payload, msg, end_of_message] {
+    // Segment the frame into cells (the last cell of a frame may be
+    // partially filled; padding travels on the wire but carries no payload).
+    const Bits cell_payload = topo_.params().cells.payload;
+    Bits remaining = payload;
+    while (remaining > 1e-9) {
+      Cell cell;
+      cell.conn = ci;
+      cell.msg = msg;
+      cell.payload = std::min(cell_payload, remaining);
+      remaining -= cell.payload;
+      cell.end_of_message = end_of_message && remaining <= 1e-9;
+      cell.hop = 0;
+      port_enqueue(static_cast<std::size_t>(conns_[ci].hops[0].port),
+                   std::move(cell));
+    }
+  });
+}
+
+void Simulation::port_enqueue(std::size_t port_index, Cell cell) {
+  Port& port = ports_[static_cast<int>(port_index)];
+  port.backlog += cell.payload;
+  max_port_backlog_ = std::max(max_port_backlog_, port.backlog);
+  port.queue.push_back(std::move(cell));
+  if (!port.busy) port_start(port_index);
+}
+
+void Simulation::port_start(std::size_t port_index) {
+  Port& port = ports_[static_cast<int>(port_index)];
+  if (port.queue.empty()) {
+    port.busy = false;
+    return;
+  }
+  port.busy = true;
+  Cell cell = std::move(port.queue.front());
+  port.queue.pop_front();
+  port.backlog -= cell.payload;
+  q_.schedule_in(port.cell_time, [this, port_index, cell = std::move(cell)] {
+    cell_delivered(port_index, cell);
+    port_start(port_index);
+  });
+}
+
+void Simulation::cell_delivered(std::size_t port_index, Cell cell) {
+  const Port& port = ports_.at(static_cast<int>(port_index));
+  const ConnState& c = conns_[cell.conn];
+  const Seconds arrive = q_.now() + port.propagation;
+  if (cell.hop + 1 < c.hops.size()) {
+    const atm::Hop next = c.hops[cell.hop + 1];
+    cell.hop += 1;
+    q_.schedule_at(arrive + next.fabric,
+                   [this, next, cell = std::move(cell)]() mutable {
+                     port_enqueue(static_cast<std::size_t>(next.port),
+                                  std::move(cell));
+                   });
+  } else {
+    q_.schedule_at(arrive, [this, cell = std::move(cell)] {
+      cell_at_id_r(cell);
+    });
+  }
+}
+
+void Simulation::cell_at_id_r(Cell cell) {
+  ConnState& c = conns_[cell.conn];
+  // Cells of one connection arrive in FIFO order (every stage preserves
+  // order), so sequential accumulation into the current frame is exact.
+  if (c.assembling <= 0.0) c.assembling_msg = cell.msg;
+  c.assembling += cell.payload;
+  const bool frame_full = c.assembling >= c.frame_r - 1e-9;
+  if (frame_full || cell.end_of_message) {
+    const Bits payload = c.assembling;
+    const std::uint64_t msg = c.assembling_msg;
+    c.assembling = 0.0;
+    const auto& id_params = topo_.params().interface_device;
+    const Seconds ready = q_.now() + id_params.input_port_delay +
+                          id_params.cell_frame_conversion +
+                          id_params.frame_switch_delay;
+    const std::size_t ci = cell.conn;
+    q_.schedule_at(ready, [this, ci, payload, msg] {
+      flush_frame_at_id_r(ci, payload, msg);
+    });
+  }
+}
+
+void Simulation::wake_ring(int ring) {
+  // Restarts a parked token (post-duration drain) so late frames/bursts are
+  // still delivered.
+  const auto idx = static_cast<std::size_t>(ring);
+  if (!ring_rotating_[idx]) {
+    ring_rotating_[idx] = true;
+    q_.schedule_in(0.0, [this, ring] { rotate_ring(ring); });
+  }
+}
+
+void Simulation::flush_frame_at_id_r(std::size_t ci, Bits payload,
+                                     std::uint64_t msg) {
+  ConnState& c = conns_[ci];
+  // The reassembled frame queues at the interface device's MAC for the
+  // destination ring; end_of_message is recomputed at delivery from the
+  // message's byte count, so it is not tracked per chunk here.
+  c.mac_r_queue.push_back({msg, payload, false});
+  wake_ring(c.dst_host.ring);
+}
+
+void Simulation::frame_at_destination(std::size_t ci, Bits payload,
+                                      std::uint64_t msg) {
+  ConnState& c = conns_[ci];
+  const auto it = c.messages.find(msg);
+  HETNET_CHECK(it != c.messages.end(), "frame for unknown message");
+  Message& m = it->second;
+  m.delivered += payload;
+  if (m.delivered >= m.size - 1e-6) {
+    c.trace.delay.add(q_.now() - m.born);
+    ++c.trace.messages_delivered;
+    c.messages.erase(it);
+  }
+}
+
+PacketSimResult Simulation::run() {
+  const net::TopologyParams& p = topo_.params();
+  conns_.resize(set_.size());
+  for (std::size_t i = 0; i < set_.size(); ++i) {
+    const core::ConnectionInstance& inst = set_[i];
+    ConnState& c = conns_[i];
+    c.src = extract_source(inst.spec.source);
+    c.src_host = inst.spec.src;
+    c.dst_host = inst.spec.dst;
+    c.h_s = inst.alloc.h_s;
+    c.h_r = inst.alloc.h_r;
+    const bool intra = inst.spec.src.ring == inst.spec.dst.ring;
+    HETNET_CHECK(c.h_s > 0 && (intra || c.h_r > 0),
+                 "simulating an unallocated conn");
+    c.frame_s = fddi::frame_payload_for_allocation(p.ring, c.h_s);
+    c.rate_s = fddi::effective_payload_rate(p.ring, c.frame_s);
+    if (!intra) {
+      c.frame_r = fddi::frame_payload_for_allocation(p.ring, c.h_r);
+      c.rate_r = fddi::effective_payload_rate(p.ring, c.frame_r);
+    }
+    c.hops = topo_.backbone_route(c.src_host, c.dst_host);
+    if (c.hops.empty()) {
+      // Intra-ring: the receive-side allocation plays no role.
+      c.h_r = c.h_s;
+      c.frame_r = c.frame_s;
+      c.rate_r = c.rate_s;
+    }
+    c.trace.id = inst.spec.id;
+    for (const atm::Hop& hop : c.hops) {
+      Port& port = ports_[hop.port];
+      port.cell_time = topo_.backbone().port_cell_time(hop.port);
+      port.propagation = hop.propagation;
+    }
+    const Seconds phase =
+        config_.randomize_phases ? rng_.uniform(0.0, c.src.p1) : 0.0;
+    generate_bursts(i, phase);
+  }
+  ring_rotating_.assign(static_cast<std::size_t>(p.num_rings), true);
+  for (int ring = 0; ring < p.num_rings; ++ring) {
+    // Stagger token starts so rings do not rotate in lockstep.
+    q_.schedule_at(rng_.uniform(0.0, p.ring.ttrt * 0.1),
+                   [this, ring] { rotate_ring(ring); });
+  }
+  // Let in-flight traffic drain: rings stop rotating at `duration` but the
+  // calendar finishes transmissions already scheduled.
+  const std::size_t events = q_.run();
+
+  PacketSimResult result;
+  result.events_executed = events;
+  result.max_port_backlog = max_port_backlog_;
+  result.max_token_rotation = max_rotation_;
+  result.connections.reserve(conns_.size());
+  for (auto& c : conns_) {
+    result.connections.push_back(std::move(c.trace));
+  }
+  return result;
+}
+
+}  // namespace
+
+PacketSimResult run_packet_simulation(
+    const net::AbhnTopology& topology,
+    const std::vector<core::ConnectionInstance>& connections,
+    const PacketSimConfig& config) {
+  HETNET_CHECK(config.duration > 0, "duration must be positive");
+  Simulation sim(topology, connections, config);
+  return sim.run();
+}
+
+}  // namespace hetnet::sim

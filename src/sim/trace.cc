@@ -1,0 +1,184 @@
+#include "src/sim/trace.h"
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/traffic/sources.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace hetnet::sim {
+namespace {
+
+bool blank_or_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TraceRequest> parse_trace(std::istream& in) {
+  std::vector<TraceRequest> trace;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (blank_or_comment(line)) continue;
+    // Optional header: starts with a non-numeric field.
+    if (line.find("arrival") != std::string::npos) continue;
+    std::istringstream row(line);
+    std::string cell;
+    std::vector<double> fields;
+    while (std::getline(row, cell, ',')) {
+      try {
+        fields.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                    ": bad field '" + cell + "'");
+      }
+    }
+    if (fields.size() != 9) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": expected 9 fields, got " +
+                                  std::to_string(fields.size()));
+    }
+    TraceRequest r;
+    r.arrival = fields[0];
+    r.src_host = static_cast<int>(fields[1]);
+    r.dst_host = static_cast<int>(fields[2]);
+    r.c1 = fields[3];
+    r.p1 = fields[4];
+    r.c2 = fields[5];
+    r.p2 = fields[6];
+    r.deadline = fields[7];
+    r.lifetime = fields[8];
+    if (!trace.empty() && r.arrival < trace.back().arrival) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": arrivals must be nondecreasing");
+    }
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceRequest>& trace) {
+  out << "arrival_s,src_host,dst_host,c1_bits,p1_s,c2_bits,p2_s,"
+         "deadline_s,lifetime_s\n";
+  for (const auto& r : trace) {
+    out << r.arrival << ',' << r.src_host << ',' << r.dst_host << ','
+        << r.c1 << ',' << r.p1 << ',' << r.c2 << ',' << r.p2 << ','
+        << r.deadline << ',' << r.lifetime << '\n';
+  }
+}
+
+std::vector<TraceRequest> synthesize_trace(const WorkloadParams& workload,
+                                           const net::AbhnTopology& topo) {
+  HETNET_CHECK(workload.lambda > 0, "λ must be positive");
+  Rng rng(workload.seed);
+  std::vector<TraceRequest> trace;
+  Seconds now = 0.0;
+  const int total = workload.warmup_requests + workload.num_requests;
+  for (int i = 0; i < total; ++i) {
+    now += rng.exponential_mean(1.0 / workload.lambda);
+    TraceRequest r;
+    r.arrival = now;
+    r.src_host = static_cast<int>(rng.pick(
+        static_cast<std::size_t>(topo.num_hosts())));
+    const net::HostId src = topo.host_at(r.src_host);
+    std::vector<int> remote;
+    for (int h = 0; h < topo.num_hosts(); ++h) {
+      if (topo.host_at(h).ring != src.ring) remote.push_back(h);
+    }
+    r.dst_host = remote[rng.pick(remote.size())];
+    r.c1 = workload.c1;
+    r.p1 = workload.p1;
+    r.c2 = workload.c2;
+    r.p2 = workload.p2;
+    r.deadline = workload.deadline;
+    r.lifetime = rng.exponential_mean(workload.mean_lifetime);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+SimulationResult run_trace_simulation(const net::AbhnTopology& topo,
+                                      const core::CacConfig& cac_config,
+                                      const std::vector<TraceRequest>& trace,
+                                      int measure_from) {
+  HETNET_CHECK(measure_from >= 0, "measure_from cannot be negative");
+  core::AdmissionController cac(&topo, cac_config);
+  SimulationResult result;
+
+  std::vector<bool> busy(static_cast<std::size_t>(topo.num_hosts()), false);
+  struct Departure {
+    Seconds when;
+    net::ConnectionId id;
+    int host;
+    bool operator>(const Departure& o) const { return when > o.when; }
+  };
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+
+  net::ConnectionId next_id = 1;
+  int index = 0;
+  for (const TraceRequest& req : trace) {
+    while (!departures.empty() && departures.top().when <= req.arrival) {
+      const Departure d = departures.top();
+      departures.pop();
+      cac.release(d.id);
+      busy[static_cast<std::size_t>(d.host)] = false;
+    }
+    const bool measured = index++ >= measure_from;
+    if (measured) {
+      result.active_at_arrival.add(static_cast<double>(cac.active_count()));
+      ++result.total_requests;
+    }
+    HETNET_CHECK(req.src_host >= 0 && req.src_host < topo.num_hosts(),
+                 "trace source host out of range");
+    HETNET_CHECK(req.dst_host >= 0 && req.dst_host < topo.num_hosts(),
+                 "trace destination host out of range");
+    if (busy[static_cast<std::size_t>(req.src_host)]) {
+      if (measured) {
+        ++result.skipped_no_source;
+        result.admission.add(false);
+      }
+      continue;
+    }
+    net::ConnectionSpec spec;
+    spec.id = next_id++;
+    spec.src = topo.host_at(req.src_host);
+    spec.dst = topo.host_at(req.dst_host);
+    spec.source = std::make_shared<DualPeriodicEnvelope>(req.c1, req.p1,
+                                                         req.c2, req.p2);
+    spec.deadline = req.deadline;
+    const auto decision = cac.request(spec);
+    if (measured) result.admission.add(decision.admitted);
+    if (decision.admitted) {
+      if (measured) {
+        ++result.admitted;
+        result.granted_h_s.add(decision.alloc.h_s);
+        result.granted_h_r.add(decision.alloc.h_r);
+        result.admitted_delay.add(decision.worst_case_delay);
+      }
+      busy[static_cast<std::size_t>(req.src_host)] = true;
+      departures.push({req.arrival + req.lifetime, spec.id, req.src_host});
+    } else if (measured) {
+      if (decision.reason == core::RejectReason::kNoSyncBandwidth) {
+        ++result.rejected_no_bandwidth;
+      } else {
+        ++result.rejected_infeasible;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hetnet::sim

@@ -1,0 +1,57 @@
+// Trace-driven admission workloads.
+//
+// A trace is an explicit list of connection requests — arrival time,
+// endpoints, dual-periodic source parameters, deadline, and lifetime — in a
+// plain CSV format. Traces make admission experiments exactly repeatable
+// across machines and library versions, let external tools generate
+// scenarios, and pin regression cases ("this exact sequence used to admit
+// 17 of 20").
+//
+// CSV columns (header optional, `#` comments ignored):
+//   arrival_s, src_host, dst_host, c1_bits, p1_s, c2_bits, p2_s,
+//   deadline_s, lifetime_s
+// Hosts use the topology's flat ring-major numbering.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/sim/workload.h"
+
+namespace hetnet::sim {
+
+struct TraceRequest {
+  Seconds arrival = 0.0;
+  int src_host = 0;
+  int dst_host = 0;
+  Bits c1 = 0.0;
+  Seconds p1 = 0.0;
+  Bits c2 = 0.0;
+  Seconds p2 = 0.0;
+  Seconds deadline = 0.0;
+  Seconds lifetime = 0.0;
+};
+
+// Parses a trace; throws std::invalid_argument on malformed rows.
+std::vector<TraceRequest> parse_trace(std::istream& in);
+
+// Writes a trace in the same format (with a header line).
+void write_trace(std::ostream& out, const std::vector<TraceRequest>& trace);
+
+// Draws a trace from the Section-6 stochastic model: Poisson arrivals,
+// uniform random endpoints across rings, exponential lifetimes. The trace
+// has `workload.warmup_requests + workload.num_requests` entries; sources
+// pick any host (occupancy is resolved at replay time).
+std::vector<TraceRequest> synthesize_trace(const WorkloadParams& workload,
+                                           const net::AbhnTopology& topo);
+
+// Replays a trace against a fresh controller. Requests whose source host
+// still has a live connection are refused (counted in skipped_no_source),
+// mirroring the one-connection-per-host model. The first
+// `measure_from` requests are treated as warm-up.
+SimulationResult run_trace_simulation(const net::AbhnTopology& topo,
+                                      const core::CacConfig& cac_config,
+                                      const std::vector<TraceRequest>& trace,
+                                      int measure_from = 0);
+
+}  // namespace hetnet::sim

@@ -1,0 +1,133 @@
+#include "src/sim/workload.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/traffic/sources.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace hetnet::sim {
+
+double source_rate(const WorkloadParams& w) { return w.c1 / w.p1; }
+
+double offered_utilization(const WorkloadParams& w,
+                           const net::AbhnTopology& topo) {
+  const double capacity = topo.params().link.wire_rate;
+  const double links = topo.num_rings();  // one backbone link per ring pair
+  return w.lambda * w.mean_lifetime / links * source_rate(w) / capacity;
+}
+
+double lambda_for_utilization(double u, const WorkloadParams& w,
+                              const net::AbhnTopology& topo) {
+  HETNET_CHECK(u > 0, "utilization must be positive");
+  const double capacity = topo.params().link.wire_rate;
+  const double links = topo.num_rings();
+  return u * links * capacity / (w.mean_lifetime * source_rate(w));
+}
+
+SimulationResult run_admission_simulation(const net::AbhnTopology& topo,
+                                          const core::CacConfig& cac_config,
+                                          const WorkloadParams& workload) {
+  HETNET_CHECK(workload.lambda > 0, "λ must be positive");
+  HETNET_CHECK(workload.mean_lifetime > 0, "1/μ must be positive");
+  HETNET_CHECK(workload.num_requests > 0, "need at least one request");
+  HETNET_CHECK(workload.warmup_requests >= 0, "warm-up cannot be negative");
+
+  core::AdmissionController cac(&topo, cac_config);
+  Rng rng(workload.seed);
+  SimulationResult result;
+
+  // Host occupancy: a host may originate at most one connection.
+  std::vector<bool> busy(static_cast<std::size_t>(topo.num_hosts()), false);
+  // Pending departures: (time, connection id, source host flat index).
+  struct Departure {
+    Seconds when;
+    net::ConnectionId id;
+    int host;
+    bool operator>(const Departure& o) const { return when > o.when; }
+  };
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+
+  const int total =
+      workload.warmup_requests + workload.num_requests;
+  Seconds now = 0.0;
+  net::ConnectionId next_id = 1;
+
+  for (int req = 0; req < total; ++req) {
+    now += rng.exponential_mean(1.0 / workload.lambda);
+    while (!departures.empty() && departures.top().when <= now) {
+      const Departure d = departures.top();
+      departures.pop();
+      cac.release(d.id);
+      busy[static_cast<std::size_t>(d.host)] = false;
+    }
+    const bool measured = req >= workload.warmup_requests;
+    if (measured) {
+      result.active_at_arrival.add(static_cast<double>(cac.active_count()));
+    }
+
+    // Uniform source among idle hosts (Section 6).
+    std::vector<int> idle;
+    for (int h = 0; h < topo.num_hosts(); ++h) {
+      if (!busy[static_cast<std::size_t>(h)]) idle.push_back(h);
+    }
+    if (idle.empty()) {
+      // Every host already originates a connection: the request is refused.
+      if (measured) {
+        ++result.skipped_no_source;
+        ++result.total_requests;
+        result.admission.add(false);
+      }
+      continue;
+    }
+    const int src_flat = idle[rng.pick(idle.size())];
+    const net::HostId src = topo.host_at(src_flat);
+    // Uniform destination on another ring (the route always crosses the
+    // backbone).
+    std::vector<int> remote;
+    for (int h = 0; h < topo.num_hosts(); ++h) {
+      if (topo.host_at(h).ring != src.ring) remote.push_back(h);
+    }
+    const net::HostId dst = topo.host_at(remote[rng.pick(remote.size())]);
+
+    net::ConnectionSpec spec;
+    spec.id = next_id++;
+    spec.src = src;
+    spec.dst = dst;
+    spec.source = std::make_shared<DualPeriodicEnvelope>(
+        workload.c1, workload.p1, workload.c2, workload.p2, workload.peak);
+    spec.deadline = workload.deadline;
+
+    const core::AdmissionDecision decision = cac.request(spec);
+    if (measured) {
+      ++result.total_requests;
+      result.admission.add(decision.admitted);
+    }
+    if (decision.admitted) {
+      if (measured) {
+        ++result.admitted;
+        result.granted_h_s.add(decision.alloc.h_s);
+        result.granted_h_r.add(decision.alloc.h_r);
+        result.admitted_delay.add(decision.worst_case_delay);
+      }
+      busy[static_cast<std::size_t>(src_flat)] = true;
+      departures.push(
+          {now + rng.exponential_mean(workload.mean_lifetime), spec.id,
+           src_flat});
+    } else if (measured) {
+      if (decision.reason == core::RejectReason::kNoSyncBandwidth) {
+        ++result.rejected_no_bandwidth;
+      } else {
+        ++result.rejected_infeasible;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hetnet::sim

@@ -1,0 +1,95 @@
+// The admission-level simulation of Section 6.
+//
+// Connection requests arrive as a Poisson process of rate λ; the source host
+// is drawn uniformly from the hosts that have no outgoing connection (at
+// most one connection per host, Section 3.2); the destination is a uniform
+// host on another ring, so the route always crosses the ATM backbone.
+// Admitted connections live Exp(1/μ) and then release their bandwidth.
+// Sources follow the dual-periodic model of eq. (37).
+//
+// The measured metric is the paper's admission probability
+//
+//     AP = admitted requests / total requests,
+//
+// counted after a warm-up prefix. An arrival that finds every host busy is
+// a refused request like any other — it counts against AP (and is also
+// tallied separately as `skipped_no_source`); excluding it would condition
+// AP on host availability and make it non-monotone in the offered load.
+//
+// The paper's load knob is the average backbone-link utilization
+//
+//     U = (λ / (3μ)) · ρ / C_link          (Section 6)
+//
+// with ρ = C1/P1; helpers convert between U and λ for the topology in use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/core/cac.h"
+#include "src/net/topology.h"
+#include "src/util/stats.h"
+
+namespace hetnet::sim {
+
+struct WorkloadParams {
+  // Poisson arrival rate λ of connection requests (1/s).
+  double lambda = 1.0;
+  // Mean connection lifetime 1/μ (s).
+  double mean_lifetime = 20.0;
+
+  // Dual-periodic source (eq. 37): C1 bits per P1, in C2-bit sub-bursts
+  // every P2, with optional in-burst peak rate. Defaults give ρ = 5 Mb/s
+  // per connection with 50-kbit bursts — bursty enough that the FIFO-port
+  // disturbance of a new connection is felt by tightly-allocated existing
+  // ones (the β = 0 failure mode), small enough that a dozen connections
+  // fit the rings (the β = 1 failure mode needs headroom to waste).
+  Bits c1 = units::kbits(500);
+  Seconds p1 = units::ms(100);
+  Bits c2 = units::kbits(50);
+  Seconds p2 = units::ms(10);
+  BitsPerSecond peak = std::numeric_limits<double>::infinity();
+
+  // End-to-end deadline D of every connection. The solo delay floor at
+  // maximal allocation is ≈ 2·(2·TTRT) + conversions ≈ 33 ms; 80 ms leaves
+  // room for the CAC to trade allocation against disturbance headroom.
+  Seconds deadline = units::ms(80);
+
+  // Number of measured requests per run, after the warm-up prefix.
+  int num_requests = 400;
+  int warmup_requests = 50;
+
+  std::uint64_t seed = 1;
+};
+
+// ρ = C1/P1 (eq. 38).
+double source_rate(const WorkloadParams& w);
+
+// The offered average utilization of one backbone link (the paper's U).
+double offered_utilization(const WorkloadParams& w,
+                           const net::AbhnTopology& topo);
+
+// The λ that produces offered utilization `u` with the other workload
+// parameters unchanged.
+double lambda_for_utilization(double u, const WorkloadParams& w,
+                              const net::AbhnTopology& topo);
+
+struct SimulationResult {
+  ProportionStats admission;        // AP (measured requests only)
+  std::size_t total_requests = 0;   // measured requests
+  std::size_t admitted = 0;
+  std::size_t rejected_no_bandwidth = 0;   // RejectReason::kNoSyncBandwidth
+  std::size_t rejected_infeasible = 0;     // RejectReason::kInfeasible
+  std::size_t skipped_no_source = 0;       // arrivals with every host busy
+  RunningStats active_at_arrival;   // active connections seen by arrivals
+  RunningStats granted_h_s;         // granted H_S of admitted connections (s)
+  RunningStats granted_h_r;
+  RunningStats admitted_delay;      // worst-case bound granted at admission
+};
+
+// Runs one admission-level simulation replica.
+SimulationResult run_admission_simulation(const net::AbhnTopology& topo,
+                                          const core::CacConfig& cac_config,
+                                          const WorkloadParams& workload);
+
+}  // namespace hetnet::sim

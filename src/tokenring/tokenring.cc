@@ -1,0 +1,63 @@
+#include "src/tokenring/tokenring.h"
+
+#include "src/util/check.h"
+
+namespace hetnet::tokenring {
+namespace {
+
+FddiMacParams as_timed_token(const TokenRingParams& ring, Bits frame_payload,
+                             Seconds cycle, Bits buffer_limit) {
+  HETNET_CHECK(frame_payload > 0, "frame payload must be positive");
+  HETNET_CHECK(cycle > 0, "cycle must be positive");
+  // One frame per visit ⟺ synchronous window of exactly one frame time at
+  // the effective payload rate; the cycle plays TTRT's role.
+  FddiMacParams params;
+  params.ttrt = cycle;
+  params.ring_rate = effective_payload_rate(ring, frame_payload);
+  params.sync_allocation = frame_payload / params.ring_rate;
+  HETNET_CHECK(params.sync_allocation <= cycle,
+               "one frame must fit within the worst-case cycle");
+  params.buffer_limit = buffer_limit;
+  return params;
+}
+
+}  // namespace
+
+Seconds worst_cycle(const TokenRingParams& ring,
+                    const std::vector<Bits>& frame_payloads) {
+  HETNET_CHECK(ring.ring_rate > 0, "ring rate must be positive");
+  Seconds cycle = ring.walk_latency;
+  for (Bits payload : frame_payloads) {
+    HETNET_CHECK(payload > 0, "frame payload must be positive");
+    cycle += (payload + ring.frame_overhead) / ring.ring_rate;
+  }
+  return cycle;
+}
+
+BitsPerSecond effective_payload_rate(const TokenRingParams& ring,
+                                     Bits frame_payload) {
+  HETNET_CHECK(frame_payload > 0, "frame payload must be positive");
+  return ring.ring_rate * frame_payload /
+         (frame_payload + ring.frame_overhead);
+}
+
+TokenRingMacServer::TokenRingMacServer(std::string name,
+                                       const TokenRingParams& ring,
+                                       Bits frame_payload, Seconds cycle,
+                                       Bits buffer_limit,
+                                       const AnalysisConfig& config)
+    : inner_(std::move(name),
+             as_timed_token(ring, frame_payload, cycle, buffer_limit),
+             config) {}
+
+std::optional<ServerAnalysis> TokenRingMacServer::analyze(
+    const EnvelopePtr& input) const {
+  return inner_.analyze(input);
+}
+
+BitsPerSecond TokenRingMacServer::guaranteed_rate() const {
+  return inner_.params().sync_allocation * inner_.params().ring_rate /
+         inner_.params().ttrt;
+}
+
+}  // namespace hetnet::tokenring

@@ -1,0 +1,71 @@
+// IEEE 802.5 token-ring MAC server — the Section 7 extension.
+//
+// "Our methodology can be easily extended to the networks with different
+//  configurations. For example, if the LAN segments are IEEE 802.5 token
+//  rings, one only needs to analyze an 802.5_MAC server in addition to the
+//  servers that have been analyzed in this paper."
+//
+// Model (the classic priority-token analysis of Strosnider [20]): each
+// real-time station transmits at most one frame of its reserved size per
+// token visit, and the token returns within the worst-case cycle
+//
+//     T_cycle = walk latency + Σ_j (frame_j + overhead) / ring rate
+//
+// over all stations j on the ring. The guaranteed service is therefore one
+// frame per T_cycle — the same step-function structure as the FDDI
+// timed-token bound with TTRT → T_cycle and H·BW → frame payload, so the
+// Theorem-1 machinery applies verbatim. This module packages that
+// correspondence: it computes the worst-case cycle for a station population
+// and exposes an 802.5 MAC server that can be dropped into any ServerChain
+// (e.g. an 802.5-ATM-802.5 path; see tests/tokenring for a full chain).
+#pragma once
+
+#include <vector>
+
+#include "src/servers/fddi_mac.h"
+#include "src/servers/server.h"
+#include "src/util/units.h"
+
+namespace hetnet::tokenring {
+
+struct TokenRingParams {
+  // 4 or 16 Mb/s rings were deployed; default to the fast variant.
+  BitsPerSecond ring_rate = units::mbps(16);
+  // Token walk latency around the ring (propagation + per-station repeat).
+  Seconds walk_latency = units::us(30);
+  // Per-frame MAC overhead: SD+AC+FC+DA+SA+FCS+ED+FS = 21 bytes.
+  Bits frame_overhead = units::bytes(21);
+};
+
+// Worst-case token cycle when every station j may hold the token for one
+// frame of payload `frame_payloads[j]` per visit.
+Seconds worst_cycle(const TokenRingParams& ring,
+                    const std::vector<Bits>& frame_payloads);
+
+// Effective payload rate while a station transmits its frame.
+BitsPerSecond effective_payload_rate(const TokenRingParams& ring,
+                                     Bits frame_payload);
+
+class TokenRingMacServer final : public Server {
+ public:
+  // A station reserving one `frame_payload`-bit frame per token visit, on a
+  // ring whose worst-case cycle (all stations' reservations included) is
+  // `cycle`. `buffer_limit` mirrors Theorem 1's S.
+  TokenRingMacServer(std::string name, const TokenRingParams& ring,
+                     Bits frame_payload, Seconds cycle,
+                     Bits buffer_limit =
+                         std::numeric_limits<double>::infinity(),
+                     const AnalysisConfig& config = {});
+
+  std::optional<ServerAnalysis> analyze(
+      const EnvelopePtr& input) const override;
+  std::string name() const override { return inner_.name(); }
+
+  // The guaranteed-rate view: one frame per cycle.
+  BitsPerSecond guaranteed_rate() const;
+
+ private:
+  FddiMacServer inner_;
+};
+
+}  // namespace hetnet::tokenring

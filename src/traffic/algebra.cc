@@ -1,0 +1,303 @@
+#include "src/traffic/algebra.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "src/traffic/sources.h"
+#include "src/util/check.h"
+
+namespace hetnet {
+namespace {
+
+class SumEnvelope final : public ArrivalEnvelope {
+ public:
+  explicit SumEnvelope(std::vector<EnvelopePtr> parts)
+      : parts_(std::move(parts)) {
+    HETNET_CHECK(!parts_.empty(), "sum of zero envelopes");
+    for (const auto& p : parts_) HETNET_CHECK(p != nullptr, "null envelope");
+  }
+
+  Bits bits(Seconds interval) const override {
+    Bits total = 0.0;
+    for (const auto& p : parts_) total += p->bits(interval);
+    return total;
+  }
+
+  BitsPerSecond long_term_rate() const override {
+    BitsPerSecond total = 0.0;
+    for (const auto& p : parts_) total += p->long_term_rate();
+    return total;
+  }
+
+  Bits burst_bound() const override {
+    Bits total = 0.0;
+    for (const auto& p : parts_) total += p->burst_bound();
+    return total;
+  }
+
+  std::vector<Seconds> breakpoints(Seconds horizon) const override {
+    std::vector<std::vector<Seconds>> lists;
+    lists.reserve(parts_.size());
+    for (const auto& p : parts_) lists.push_back(p->breakpoints(horizon));
+    return merge_breakpoints(std::move(lists));
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "sum(" << parts_.size() << " flows)";
+    return os.str();
+  }
+
+ private:
+  std::vector<EnvelopePtr> parts_;
+};
+
+class ShiftEnvelope final : public ArrivalEnvelope {
+ public:
+  ShiftEnvelope(EnvelopePtr input, Seconds delay)
+      : input_(std::move(input)), delay_(delay) {
+    HETNET_CHECK(input_ != nullptr, "null envelope");
+    HETNET_CHECK(delay_ >= 0, "shift delay must be >= 0");
+  }
+
+  Bits bits(Seconds interval) const override {
+    return input_->bits(interval + delay_);
+  }
+
+  BitsPerSecond long_term_rate() const override {
+    return input_->long_term_rate();
+  }
+
+  // A(I + d) <= b + ρ·(I + d) = (b + ρ·d) + ρ·I.
+  Bits burst_bound() const override {
+    return input_->burst_bound() + input_->long_term_rate() * delay_;
+  }
+
+  std::vector<Seconds> breakpoints(Seconds horizon) const override {
+    std::vector<Seconds> pts;
+    for (Seconds b : input_->breakpoints(horizon + delay_)) {
+      if (b > delay_ && !approx_eq(b, delay_)) pts.push_back(b - delay_);
+    }
+    return pts;
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "shift(" << input_->describe() << ", d=" << delay_ << "s)";
+    return os.str();
+  }
+
+ private:
+  EnvelopePtr input_;
+  Seconds delay_;
+};
+
+// Breakpoints of min(a, b): the union of both operand breakpoint sets plus
+// the points where the two (piecewise-affine) curves cross inside a segment.
+std::vector<Seconds> min_breakpoints(const ArrivalEnvelope& a,
+                                     const ArrivalEnvelope& b,
+                                     Seconds horizon) {
+  std::vector<Seconds> base =
+      merge_breakpoints({a.breakpoints(horizon), b.breakpoints(horizon)});
+  std::vector<Seconds> crossings;
+  Seconds prev = 0.0;
+  auto diff = [&](Seconds t) { return a.bits(t) - b.bits(t); };
+  std::vector<Seconds> ends = base;
+  ends.push_back(horizon);
+  for (Seconds end : ends) {
+    if (end <= prev) continue;
+    // Evaluate strictly inside the segment to dodge jumps at its endpoints.
+    const Seconds lo = prev + (end - prev) * 1e-6;
+    const Seconds hi = end - (end - prev) * 1e-6;
+    const double d_lo = diff(lo);
+    const double d_hi = diff(hi);
+    if ((d_lo < 0) != (d_hi < 0) && hi > lo) {
+      // Both curves are affine on (prev, end); solve for the crossing.
+      const double denom = d_hi - d_lo;
+      if (std::abs(denom) > 0) {
+        const Seconds cross = lo + (hi - lo) * (-d_lo / denom);
+        if (cross > 0 && approx_le(cross, horizon)) {
+          crossings.push_back(cross);
+        }
+      }
+    }
+    prev = end;
+  }
+  return merge_breakpoints({std::move(base), std::move(crossings)});
+}
+
+class MinEnvelope final : public ArrivalEnvelope {
+ public:
+  MinEnvelope(EnvelopePtr a, EnvelopePtr b)
+      : a_(std::move(a)), b_(std::move(b)) {
+    HETNET_CHECK(a_ != nullptr && b_ != nullptr, "null envelope");
+  }
+
+  Bits bits(Seconds interval) const override {
+    return std::min(a_->bits(interval), b_->bits(interval));
+  }
+
+  BitsPerSecond long_term_rate() const override {
+    return std::min(a_->long_term_rate(), b_->long_term_rate());
+  }
+
+  // min(A, B) <= whichever operand has the smaller long-term rate, so that
+  // operand's majorization is a valid bound at the min's long-term rate.
+  Bits burst_bound() const override {
+    const BitsPerSecond ra = a_->long_term_rate();
+    const BitsPerSecond rb = b_->long_term_rate();
+    if (ra < rb) return a_->burst_bound();
+    if (rb < ra) return b_->burst_bound();
+    return std::min(a_->burst_bound(), b_->burst_bound());
+  }
+
+  std::vector<Seconds> breakpoints(Seconds horizon) const override {
+    return min_breakpoints(*a_, *b_, horizon);
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "min(" << a_->describe() << ", " << b_->describe() << ")";
+    return os.str();
+  }
+
+ private:
+  EnvelopePtr a_;
+  EnvelopePtr b_;
+};
+
+class QuantizeEnvelope final : public ArrivalEnvelope {
+ public:
+  QuantizeEnvelope(EnvelopePtr input, Bits in_unit, Bits out_unit)
+      : input_(std::move(input)), in_unit_(in_unit), out_unit_(out_unit) {
+    HETNET_CHECK(input_ != nullptr, "null envelope");
+    HETNET_CHECK(in_unit_ > 0 && out_unit_ > 0,
+                 "quantize units must be positive");
+  }
+
+  Bits bits(Seconds interval) const override {
+    const Bits in = input_->bits(interval);
+    // Tolerate FP noise: 3.0000000001 units is 3 units, not 4.
+    const double units = std::ceil(in / in_unit_ - kEps);
+    return units * out_unit_;
+  }
+
+  BitsPerSecond long_term_rate() const override {
+    return input_->long_term_rate() / in_unit_ * out_unit_;
+  }
+
+  // ⌈A/u⌉·v <= (A/u + 1)·v = (v/u)·A + v <= (v/u)·b + v + ltr'·I.
+  Bits burst_bound() const override {
+    return input_->burst_bound() / in_unit_ * out_unit_ + out_unit_;
+  }
+
+  std::vector<Seconds> breakpoints(Seconds horizon) const override {
+    std::vector<Seconds> base = input_->breakpoints(horizon);
+    std::vector<Seconds> steps;
+    // Between input breakpoints the input is affine; the quantized output
+    // steps exactly where the input crosses a multiple of in_unit_.
+    Seconds prev = 0.0;
+    std::vector<Seconds> ends = base;
+    ends.push_back(horizon);
+    for (Seconds end : ends) {
+      if (end <= prev) continue;
+      const Seconds lo = prev + (end - prev) * 1e-9;
+      const Seconds hi = end - (end - prev) * 1e-9;
+      const Bits v_lo = input_->bits(lo);
+      const Bits v_hi = input_->bits(hi);
+      if (v_hi > v_lo && hi > lo) {
+        const double k_first = std::ceil(v_lo / in_unit_ + kEps);
+        const double k_last = std::floor(v_hi / in_unit_ - kEps);
+        const double slope = (v_hi - v_lo) / (hi - lo);
+        for (double k = k_first; k <= k_last; ++k) {
+          const Seconds cross = lo + (k * in_unit_ - v_lo) / slope;
+          if (cross > 0 && approx_le(cross, horizon)) steps.push_back(cross);
+        }
+      }
+      prev = end;
+    }
+    return merge_breakpoints({std::move(base), std::move(steps)});
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "quantize(" << input_->describe() << ", " << in_unit_ << "b → "
+       << out_unit_ << "b)";
+    return os.str();
+  }
+
+ private:
+  EnvelopePtr input_;
+  Bits in_unit_;
+  Bits out_unit_;
+};
+
+class ScaleEnvelope final : public ArrivalEnvelope {
+ public:
+  ScaleEnvelope(EnvelopePtr input, double factor)
+      : input_(std::move(input)), factor_(factor) {
+    HETNET_CHECK(input_ != nullptr, "null envelope");
+    HETNET_CHECK(factor_ > 0, "scale factor must be positive");
+  }
+
+  Bits bits(Seconds interval) const override {
+    return factor_ * input_->bits(interval);
+  }
+
+  BitsPerSecond long_term_rate() const override {
+    return factor_ * input_->long_term_rate();
+  }
+
+  Bits burst_bound() const override {
+    return factor_ * input_->burst_bound();
+  }
+
+  std::vector<Seconds> breakpoints(Seconds horizon) const override {
+    return input_->breakpoints(horizon);
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "scale(" << input_->describe() << ", ×" << factor_ << ")";
+    return os.str();
+  }
+
+ private:
+  EnvelopePtr input_;
+  double factor_;
+};
+
+}  // namespace
+
+EnvelopePtr sum_envelopes(std::vector<EnvelopePtr> parts) {
+  if (parts.empty()) return std::make_shared<ZeroEnvelope>();
+  if (parts.size() == 1) return parts.front();
+  return std::make_shared<SumEnvelope>(std::move(parts));
+}
+
+EnvelopePtr shift_envelope(EnvelopePtr input, Seconds delay) {
+  if (delay == 0.0) return input;
+  return std::make_shared<ShiftEnvelope>(std::move(input), delay);
+}
+
+EnvelopePtr min_envelope(EnvelopePtr a, EnvelopePtr b) {
+  return std::make_shared<MinEnvelope>(std::move(a), std::move(b));
+}
+
+EnvelopePtr rate_cap(EnvelopePtr input, BitsPerSecond rate, Bits burst) {
+  auto cap = std::make_shared<LeakyBucketEnvelope>(burst, rate);
+  return min_envelope(std::move(input), std::move(cap));
+}
+
+EnvelopePtr quantize_envelope(EnvelopePtr input, Bits in_unit, Bits out_unit) {
+  return std::make_shared<QuantizeEnvelope>(std::move(input), in_unit,
+                                            out_unit);
+}
+
+EnvelopePtr scale_envelope(EnvelopePtr input, double factor) {
+  if (factor == 1.0) return input;
+  return std::make_shared<ScaleEnvelope>(std::move(input), factor);
+}
+
+}  // namespace hetnet

@@ -1,0 +1,40 @@
+// Envelope algebra: the composition operators the server analyses are built
+// from. All operators return new immutable envelopes holding their operands
+// by shared pointer; evaluation is lazy.
+//
+//   sum_envelopes({A1..An})      (Σ Ai)(I) = A1(I)+...+An(I)
+//       Aggregate traffic of flows multiplexed at a server input.
+//   shift_envelope(A, d)         A'(I) = A(I + d)
+//       Output bound of a FIFO element with worst-case delay d (Cruz):
+//       whatever leaves in a window of length I entered within I + d.
+//   min_envelope(A, B)           A'(I) = min(A(I), B(I))
+//       Combine independently-valid bounds.
+//   rate_cap(A, r, b)            A'(I) = min(A(I), b + r·I)
+//       A flow that traversed a link of rate r cannot exceed r·I plus a
+//       one-packet burst b in any window.
+//   quantize_envelope(A, u, v)   A'(I) = ⌈A(I)/u⌉ · v
+//       Unit conversion with last-unit padding: u input bits become v output
+//       bits, partial units rounded up. This is exactly the Theorem-2
+//       frame→cell transform (u = frame payload F_S, v = F_C·C_S) and its
+//       ID_R mirror (cells→frames).
+//   scale_envelope(A, f)         A'(I) = f · A(I)
+//       Proportional accounting changes (e.g. payload ↔ wire bits when
+//       per-unit padding is negligible or already applied).
+//
+// Every operator preserves the ArrivalEnvelope contract: monotonicity, a
+// correct long_term_rate(), and breakpoints between which the result is
+// affine (min/quantize insert the crossing points they create).
+#pragma once
+
+#include "src/traffic/envelope.h"
+
+namespace hetnet {
+
+EnvelopePtr sum_envelopes(std::vector<EnvelopePtr> parts);
+EnvelopePtr shift_envelope(EnvelopePtr input, Seconds delay);
+EnvelopePtr min_envelope(EnvelopePtr a, EnvelopePtr b);
+EnvelopePtr rate_cap(EnvelopePtr input, BitsPerSecond rate, Bits burst = 0.0);
+EnvelopePtr quantize_envelope(EnvelopePtr input, Bits in_unit, Bits out_unit);
+EnvelopePtr scale_envelope(EnvelopePtr input, double factor);
+
+}  // namespace hetnet

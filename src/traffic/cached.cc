@@ -1,0 +1,67 @@
+#include "src/traffic/cached.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+namespace {
+
+class CachedEnvelope final : public ArrivalEnvelope {
+ public:
+  CachedEnvelope(EnvelopePtr input, std::size_t max_entries)
+      : input_(std::move(input)), max_entries_(max_entries) {
+    HETNET_CHECK(input_ != nullptr, "null envelope");
+    HETNET_CHECK(max_entries_ > 0, "cache must hold at least one entry");
+    cache_.reserve(std::min<std::size_t>(max_entries_, 512));
+  }
+
+  Bits bits(Seconds interval) const override {
+    std::uint64_t key;
+    static_assert(sizeof(key) == sizeof(interval));
+    std::memcpy(&key, &interval, sizeof(key));
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      return it->second;
+    }
+    const Bits value = input_->bits(interval);
+    if (cache_.size() >= max_entries_) cache_.clear();
+    cache_.emplace(key, value);
+    return value;
+  }
+
+  BitsPerSecond long_term_rate() const override {
+    return input_->long_term_rate();
+  }
+
+  Bits burst_bound() const override { return input_->burst_bound(); }
+
+  std::vector<Seconds> breakpoints(Seconds horizon) const override {
+    return input_->breakpoints(horizon);
+  }
+
+  std::string describe() const override {
+    return "cached(" + input_->describe() + ")";
+  }
+
+  bool is_cache() const { return true; }
+
+ private:
+  EnvelopePtr input_;
+  std::size_t max_entries_;
+  mutable std::unordered_map<std::uint64_t, Bits> cache_;
+};
+
+}  // namespace
+
+EnvelopePtr cache_envelope(EnvelopePtr input, std::size_t max_entries) {
+  HETNET_CHECK(input != nullptr, "null envelope");
+  if (dynamic_cast<const CachedEnvelope*>(input.get()) != nullptr) {
+    return input;
+  }
+  return std::make_shared<CachedEnvelope>(std::move(input), max_entries);
+}
+
+}  // namespace hetnet

@@ -1,0 +1,21 @@
+// Memoizing envelope wrapper.
+//
+// The worst-case scans in src/servers evaluate the same envelope at the same
+// interval lengths many times (e.g. every candidate t of an outer scan
+// re-evaluates A(t + I) over the inner scan's grid). Wrapping a computed
+// envelope in `cache_envelope` makes repeated evaluation O(1).
+//
+// NOT thread-safe: the cache mutates on read. The analysis engine is
+// single-threaded by design (each simulation replica owns its own state).
+#pragma once
+
+#include "src/traffic/envelope.h"
+
+namespace hetnet {
+
+// Wraps `input` with a bounded memoization cache (`max_entries` distinct
+// interval values; the cache resets when full). Returns `input` itself if it
+// is already cached.
+EnvelopePtr cache_envelope(EnvelopePtr input, std::size_t max_entries = 16384);
+
+}  // namespace hetnet

@@ -1,0 +1,40 @@
+#include "src/traffic/envelope.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+
+BitsPerSecond ArrivalEnvelope::rate(Seconds interval) const {
+  HETNET_CHECK(interval > 0, "rate(I) requires I > 0");
+  return bits(interval) / interval;
+}
+
+std::vector<Seconds> merge_breakpoints(
+    std::vector<std::vector<Seconds>> lists) {
+  std::vector<Seconds> merged;
+  std::size_t total = 0;
+  for (const auto& list : lists) total += list.size();
+  merged.reserve(total);
+  for (auto& list : lists) {
+    merged.insert(merged.end(), list.begin(), list.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  std::vector<Seconds> out;
+  out.reserve(merged.size());
+  for (Seconds p : merged) {
+    if (out.empty() || !approx_eq(out.back(), p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Seconds> add_grid(std::vector<Seconds> points, Seconds step,
+                              Seconds horizon) {
+  HETNET_CHECK(step > 0, "grid step must be positive");
+  std::vector<Seconds> grid;
+  for (Seconds t = step; approx_le(t, horizon); t += step) grid.push_back(t);
+  return merge_breakpoints({std::move(points), std::move(grid)});
+}
+
+}  // namespace hetnet

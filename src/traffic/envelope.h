@@ -1,0 +1,83 @@
+// Traffic description by maximum-rate functions (Section 4.2 of the paper).
+//
+// The paper describes a connection's traffic at any point in the network by
+// the *maximum rate function* Γ(I): the maximum arrival rate over any time
+// interval of length I. We represent the equivalent *arrival envelope*
+//
+//     A(I) = I · Γ(I)  =  maximum number of bits arriving in ANY window of
+//                         length I,
+//
+// because A composes more naturally through servers (sums, shifts and
+// quantizations act on bits, not rates). Γ(I) is recovered as A(I)/I.
+//
+// Required properties of every implementation:
+//   * A(I) >= 0 and A is nondecreasing in I.  A(0) may be positive — it is
+//     the maximum instantaneous burst (e.g. a whole packet arriving "at
+//     once" at the source interface).
+//   * long_term_rate() == lim_{I→∞} A(I)/I  (eq. 38), used by stability
+//     checks (a server whose guaranteed rate is below this limit has an
+//     unbounded backlog and the analysis reports "no bound").
+//   * breakpoints(horizon) returns every interval length in (0, horizon]
+//     at which the envelope's growth changes character (slope change or
+//     jump). Between consecutive breakpoints A must be affine (linear).
+//     The exact worst-case scans in src/servers rely on this: they evaluate
+//     candidate extrema only at breakpoints (plus server-specific points),
+//     which makes the Theorem-1/Theorem-2 computations exact rather than
+//     grid-approximate.
+//
+// Envelopes are immutable and shared (`EnvelopePtr`); transformed envelopes
+// (server outputs) hold their inputs by shared pointer and evaluate lazily.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace hetnet {
+
+class ArrivalEnvelope;
+using EnvelopePtr = std::shared_ptr<const ArrivalEnvelope>;
+
+class ArrivalEnvelope {
+ public:
+  virtual ~ArrivalEnvelope() = default;
+
+  // A(I): maximum bits arriving in any window of length `interval` seconds.
+  // Requires interval >= 0. Implementations must be nondecreasing.
+  virtual Bits bits(Seconds interval) const = 0;
+
+  // Γ(I) = A(I)/I for I > 0 (bits/second).
+  BitsPerSecond rate(Seconds interval) const;
+
+  // lim_{I→∞} Γ(I): the long-term average rate ρ of the flow.
+  virtual BitsPerSecond long_term_rate() const = 0;
+
+  // A finite burst constant b such that A(I) <= b + long_term_rate()·I for
+  // ALL I >= 0 — the leaky-bucket majorization of the envelope. Used to
+  // construct sound linear tails when rasterizing computed envelopes and to
+  // reason about stability. Every traffic model in this library admits a
+  // finite bound (a periodic source of C bits per P satisfies A(I) <=
+  // C + ρ·I, etc.).
+  virtual Bits burst_bound() const = 0;
+
+  // Sorted, de-duplicated interval lengths in (0, horizon] at which the
+  // envelope changes slope or jumps; A must be affine between consecutive
+  // returned points (and between 0 and the first point).
+  virtual std::vector<Seconds> breakpoints(Seconds horizon) const = 0;
+
+  // One-line human-readable description (used in traces and error text).
+  virtual std::string describe() const = 0;
+};
+
+// Merges several sorted breakpoint lists into one sorted, de-duplicated list
+// (duplicates within `kEps` of each other are collapsed).
+std::vector<Seconds> merge_breakpoints(
+    std::vector<std::vector<Seconds>> lists);
+
+// Inserts multiples of `step` up to `horizon` into `points` (sorted, deduped).
+std::vector<Seconds> add_grid(std::vector<Seconds> points, Seconds step,
+                              Seconds horizon);
+
+}  // namespace hetnet

@@ -1,0 +1,110 @@
+#include "src/traffic/multi_periodic.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+
+MultiPeriodicEnvelope::MultiPeriodicEnvelope(
+    std::vector<PeriodicLevel> levels, BitsPerSecond peak_rate)
+    : levels_(std::move(levels)), peak_(peak_rate) {
+  HETNET_CHECK(!levels_.empty(), "multi-periodic needs at least one level");
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    HETNET_CHECK(levels_[k].bits > 0 && levels_[k].period > 0,
+                 "levels must have positive bits and period");
+    if (k > 0) {
+      HETNET_CHECK(levels_[k].bits <= levels_[k - 1].bits,
+                   "level bit counts must be nonincreasing");
+      HETNET_CHECK(levels_[k].period <= levels_[k - 1].period,
+                   "level periods must be nonincreasing");
+    }
+  }
+  const PeriodicLevel& inner = levels_.back();
+  HETNET_CHECK(peak_ * inner.period >= inner.bits || std::isinf(peak_),
+               "peak rate too low for the innermost burst");
+}
+
+Bits MultiPeriodicEnvelope::level_bits(std::size_t k, Seconds r) const {
+  if (k == levels_.size()) {
+    if (r <= 0) return 0.0;
+    if (std::isinf(peak_)) return levels_.back().bits;  // clamped by caller
+    return peak_ * r;
+  }
+  const PeriodicLevel& level = levels_[k];
+  const double whole = std::floor(r / level.period);
+  const Seconds rest = r - whole * level.period;
+  return whole * level.bits +
+         std::min(level.bits, level_bits(k + 1, rest));
+}
+
+Bits MultiPeriodicEnvelope::bits(Seconds interval) const {
+  HETNET_CHECK(interval >= 0, "bits(I) requires I >= 0");
+  return level_bits(0, interval);
+}
+
+BitsPerSecond MultiPeriodicEnvelope::long_term_rate() const {
+  return levels_.front().bits / levels_.front().period;
+}
+
+// Emits the slope-change points of level k's burst train inside the window
+// [offset, end): sub-burst starts (j > 0; j = 0 coincides with a point the
+// parent already emitted) and, at the innermost level, burst ends when the
+// peak rate is finite. `budget` is the bits the parent allows this window.
+void MultiPeriodicEnvelope::level_breakpoints(
+    std::size_t k, Seconds offset, Bits budget, Seconds end, Seconds horizon,
+    std::vector<Seconds>& out) const {
+  const PeriodicLevel& level = levels_[k];
+  for (double j = 0;; ++j) {
+    if (j * level.bits >= budget - kEps) break;  // window budget exhausted
+    const Seconds start = offset + j * level.period;
+    if (start >= end || start > horizon) break;
+    if (j > 0) out.push_back(start);
+    const Bits quota = std::min(level.bits, budget - j * level.bits);
+    if (k + 1 == levels_.size()) {
+      if (!std::isinf(peak_)) {
+        const Seconds burst_end = start + quota / peak_;
+        if (burst_end > start &&
+            approx_le(burst_end, std::min(end, horizon))) {
+          out.push_back(burst_end);
+        }
+      }
+    } else {
+      level_breakpoints(k + 1, start, quota,
+                        std::min(start + level.period, end), horizon, out);
+    }
+  }
+}
+
+std::vector<Seconds> MultiPeriodicEnvelope::breakpoints(
+    Seconds horizon) const {
+  std::vector<Seconds> pts;
+  const PeriodicLevel& outer = levels_.front();
+  for (double w = 0;; ++w) {
+    const Seconds start = w * outer.period;
+    if (start > horizon) break;
+    if (start > 0) pts.push_back(start);
+    if (levels_.size() == 1) {
+      if (!std::isinf(peak_)) {
+        const Seconds burst_end = start + outer.bits / peak_;
+        if (approx_le(burst_end, horizon) && burst_end > start) {
+          pts.push_back(burst_end);
+        }
+      }
+    } else {
+      level_breakpoints(1, start, outer.bits,
+                        start + outer.period, horizon, pts);
+    }
+  }
+  return merge_breakpoints({std::move(pts)});
+}
+
+std::string MultiPeriodicEnvelope::describe() const {
+  std::ostringstream os;
+  os << "multi-periodic(" << levels_.size() << " levels, C1="
+     << levels_.front().bits << "b/P1=" << levels_.front().period << "s)";
+  return os.str();
+}
+
+}  // namespace hetnet

@@ -1,0 +1,55 @@
+// N-level nested periodic sources: the natural generalization of the
+// paper's dual-periodic model (eq. 37) to arbitrarily many burst scales.
+//
+// Level 1 delivers C1 bits per P1; those bits arrive as level-2 bursts of
+// C2 every P2; those as level-3 bursts of C3 every P3; ...; the innermost
+// bursts arrive at `peak_rate`. MPEG-style traffic (GOP / frame / slice
+// periodicities) is the textbook instance. With two levels this reproduces
+// DualPeriodicEnvelope bit for bit.
+//
+//     A(I) = L_1(I)
+//     L_k(r) = ⌊r/P_k⌋·C_k + min(C_k, L_{k+1}(r mod P_k)),  k = 1..n
+//     L_{n+1}(r) = peak_rate · r   (∞ ⇒ instantaneous bursts)
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "src/traffic/envelope.h"
+
+namespace hetnet {
+
+struct PeriodicLevel {
+  Bits bits = 0.0;     // C_k
+  Seconds period = 0.0;  // P_k
+};
+
+class MultiPeriodicEnvelope final : public ArrivalEnvelope {
+ public:
+  // Levels ordered outermost → innermost. Requires at least one level,
+  // nonincreasing C_k and P_k, positive everything, and peak_rate able to
+  // deliver the innermost burst within its period.
+  explicit MultiPeriodicEnvelope(
+      std::vector<PeriodicLevel> levels,
+      BitsPerSecond peak_rate = std::numeric_limits<double>::infinity());
+
+  Bits bits(Seconds interval) const override;
+  BitsPerSecond long_term_rate() const override;
+  Bits burst_bound() const override { return levels_.front().bits; }
+  std::vector<Seconds> breakpoints(Seconds horizon) const override;
+  std::string describe() const override;
+
+  const std::vector<PeriodicLevel>& levels() const { return levels_; }
+  BitsPerSecond peak_rate() const { return peak_; }
+
+ private:
+  Bits level_bits(std::size_t k, Seconds r) const;
+  void level_breakpoints(std::size_t k, Seconds offset, Bits budget,
+                         Seconds end, Seconds horizon,
+                         std::vector<Seconds>& out) const;
+
+  std::vector<PeriodicLevel> levels_;
+  BitsPerSecond peak_;
+};
+
+}  // namespace hetnet

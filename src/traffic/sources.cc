@@ -1,0 +1,131 @@
+#include "src/traffic/sources.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+namespace {
+
+// min(limit, peak * elapsed) that is well-defined for peak = +infinity
+// (an instantaneous burst delivers `limit` bits for any elapsed > 0).
+Bits burst_progress(Bits limit, BitsPerSecond peak, Seconds elapsed) {
+  if (elapsed <= 0) return 0.0;
+  if (std::isinf(peak)) return limit;
+  return std::min(limit, peak * elapsed);
+}
+
+}  // namespace
+
+PeriodicEnvelope::PeriodicEnvelope(Bits bits_per_period, Seconds period,
+                                   BitsPerSecond peak_rate)
+    : c_(bits_per_period), p_(period), peak_(peak_rate) {
+  HETNET_CHECK(c_ > 0, "periodic source needs positive bits per period");
+  HETNET_CHECK(p_ > 0, "periodic source needs positive period");
+  HETNET_CHECK(peak_ * p_ >= c_ || std::isinf(peak_),
+               "peak rate too low to deliver C bits within one period");
+}
+
+Bits PeriodicEnvelope::bits(Seconds interval) const {
+  HETNET_CHECK(interval >= 0, "bits(I) requires I >= 0");
+  const double k = std::floor(interval / p_);
+  const Seconds r = interval - k * p_;
+  return k * c_ + burst_progress(c_, peak_, r);
+}
+
+std::vector<Seconds> PeriodicEnvelope::breakpoints(Seconds horizon) const {
+  std::vector<Seconds> pts;
+  const Seconds burst_len = std::isinf(peak_) ? 0.0 : c_ / peak_;
+  for (double k = 0;; ++k) {
+    const Seconds start = k * p_;
+    if (start > horizon) break;
+    if (start > 0) pts.push_back(start);
+    const Seconds end = start + burst_len;
+    if (burst_len > 0 && end > 0 && approx_le(end, horizon)) {
+      pts.push_back(end);
+    }
+  }
+  return merge_breakpoints({std::move(pts)});
+}
+
+std::string PeriodicEnvelope::describe() const {
+  std::ostringstream os;
+  os << "periodic(C=" << c_ << "b, P=" << p_ << "s)";
+  return os.str();
+}
+
+DualPeriodicEnvelope::DualPeriodicEnvelope(Bits c1, Seconds p1, Bits c2,
+                                           Seconds p2,
+                                           BitsPerSecond peak_rate)
+    : c1_(c1), p1_(p1), c2_(c2), p2_(p2), peak_(peak_rate) {
+  HETNET_CHECK(c2_ > 0 && c1_ >= c2_, "dual-periodic needs 0 < C2 <= C1");
+  HETNET_CHECK(p2_ > 0 && p1_ >= p2_, "dual-periodic needs 0 < P2 <= P1");
+  HETNET_CHECK(peak_ * p2_ >= c2_ || std::isinf(peak_),
+               "peak rate too low to deliver C2 bits within one sub-period");
+}
+
+Bits DualPeriodicEnvelope::inner(Seconds r) const {
+  const double k2 = std::floor(r / p2_);
+  const Seconds rr = r - k2 * p2_;
+  return k2 * c2_ + burst_progress(c2_, peak_, rr);
+}
+
+Bits DualPeriodicEnvelope::bits(Seconds interval) const {
+  HETNET_CHECK(interval >= 0, "bits(I) requires I >= 0");
+  const double k1 = std::floor(interval / p1_);
+  const Seconds r = interval - k1 * p1_;
+  return k1 * c1_ + std::min(c1_, inner(r));
+}
+
+std::vector<Seconds> DualPeriodicEnvelope::breakpoints(Seconds horizon) const {
+  std::vector<Seconds> pts;
+  // Sub-bursts per outer window needed to exhaust C1.
+  const double n_sub = std::ceil(c1_ / c2_);
+  for (double k1 = 0;; ++k1) {
+    const Seconds start = k1 * p1_;
+    if (start > horizon) break;
+    if (start > 0) pts.push_back(start);
+    for (double k2 = 0; k2 < n_sub; ++k2) {
+      const Seconds sub = start + k2 * p2_;
+      if (sub > horizon) break;
+      if (sub > start) pts.push_back(sub);
+      if (!std::isinf(peak_)) {
+        const Bits remaining = std::min(c2_, c1_ - k2 * c2_);
+        const Seconds end = sub + remaining / peak_;
+        if (approx_le(end, horizon) && end > start) pts.push_back(end);
+      }
+    }
+  }
+  return merge_breakpoints({std::move(pts)});
+}
+
+std::string DualPeriodicEnvelope::describe() const {
+  std::ostringstream os;
+  os << "dual-periodic(C1=" << c1_ << "b, P1=" << p1_ << "s, C2=" << c2_
+     << "b, P2=" << p2_ << "s)";
+  return os.str();
+}
+
+LeakyBucketEnvelope::LeakyBucketEnvelope(Bits sigma, BitsPerSecond rho)
+    : sigma_(sigma), rho_(rho) {
+  HETNET_CHECK(sigma_ >= 0 && rho_ >= 0, "leaky bucket needs σ, ρ >= 0");
+  HETNET_CHECK(sigma_ + rho_ > 0, "leaky bucket must carry some traffic");
+}
+
+Bits LeakyBucketEnvelope::bits(Seconds interval) const {
+  HETNET_CHECK(interval >= 0, "bits(I) requires I >= 0");
+  return sigma_ + rho_ * interval;
+}
+
+std::vector<Seconds> LeakyBucketEnvelope::breakpoints(Seconds) const {
+  return {};
+}
+
+std::string LeakyBucketEnvelope::describe() const {
+  std::ostringstream os;
+  os << "leaky-bucket(σ=" << sigma_ << "b, ρ=" << rho_ << "b/s)";
+  return os.str();
+}
+
+}  // namespace hetnet

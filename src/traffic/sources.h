@@ -1,0 +1,117 @@
+// Source traffic models.
+//
+// These are the envelopes applications attach to a connection request:
+//
+//  * PeriodicEnvelope      — the classic "C bits every P seconds" model.
+//  * DualPeriodicEnvelope  — the paper's evaluation workload (eq. 37):
+//                            C1 bits per P1 window, delivered as bursts of
+//                            C2 bits every P2 within the window. Generalizes
+//                            the periodic model with controlled burstiness.
+//  * LeakyBucketEnvelope   — (σ, ρ) token-bucket constrained traffic
+//                            (Cruz's model), A(I) = σ + ρ·I.
+//  * ZeroEnvelope          — no traffic (useful as an identity for sums).
+//
+// Bursts are peak-rate limited: within a burst, bits arrive at `peak_rate`
+// (the speed of the source's link). `peak_rate = +infinity` gives the
+// idealized instantaneous-burst reading of eq. (37). See DESIGN.md §2 for
+// why this parameter exists.
+#pragma once
+
+#include <limits>
+
+#include "src/traffic/envelope.h"
+
+namespace hetnet {
+
+class PeriodicEnvelope final : public ArrivalEnvelope {
+ public:
+  // `bits_per_period` = C, `period` = P, `peak_rate` = in-burst arrival rate.
+  // Requires C > 0, P > 0, peak_rate >= C/P.
+  PeriodicEnvelope(Bits bits_per_period, Seconds period,
+                   BitsPerSecond peak_rate =
+                       std::numeric_limits<double>::infinity());
+
+  Bits bits(Seconds interval) const override;
+  BitsPerSecond long_term_rate() const override { return c_ / p_; }
+  Bits burst_bound() const override { return c_; }
+  std::vector<Seconds> breakpoints(Seconds horizon) const override;
+  std::string describe() const override;
+
+  Bits bits_per_period() const { return c_; }
+  Seconds period() const { return p_; }
+  BitsPerSecond peak_rate() const { return peak_; }
+
+ private:
+  Bits c_;
+  Seconds p_;
+  BitsPerSecond peak_;
+};
+
+// The dual-periodic model of Section 6 / eq. (37). The maximum traffic in a
+// window of length I is
+//
+//   A(I) = ⌊I/P1⌋·C1 + min(C1, inner(I mod P1))
+//   inner(r) = ⌊r/P2⌋·C2 + min(C2, peak·(r mod P2))
+//
+// i.e. C1 bits per outer period P1, arriving as sub-bursts of C2 bits every
+// P2. Long-term rate ρ = C1/P1 (eq. 38).
+class DualPeriodicEnvelope final : public ArrivalEnvelope {
+ public:
+  // Requires 0 < C2 <= C1, 0 < P2 <= P1, peak_rate >= C2/P2.
+  DualPeriodicEnvelope(Bits c1, Seconds p1, Bits c2, Seconds p2,
+                       BitsPerSecond peak_rate =
+                           std::numeric_limits<double>::infinity());
+
+  Bits bits(Seconds interval) const override;
+  BitsPerSecond long_term_rate() const override { return c1_ / p1_; }
+  Bits burst_bound() const override { return c1_; }
+  std::vector<Seconds> breakpoints(Seconds horizon) const override;
+  std::string describe() const override;
+
+  Bits c1() const { return c1_; }
+  Seconds p1() const { return p1_; }
+  Bits c2() const { return c2_; }
+  Seconds p2() const { return p2_; }
+  BitsPerSecond peak_rate() const { return peak_; }
+
+ private:
+  // inner(r) for r in [0, P1).
+  Bits inner(Seconds r) const;
+
+  Bits c1_;
+  Seconds p1_;
+  Bits c2_;
+  Seconds p2_;
+  BitsPerSecond peak_;
+};
+
+// Cruz-style (σ, ρ) envelope: A(I) = σ + ρ·I. σ is the burst tolerance, ρ
+// the sustained rate. Requires σ >= 0, ρ >= 0, σ + ρ > 0.
+class LeakyBucketEnvelope final : public ArrivalEnvelope {
+ public:
+  LeakyBucketEnvelope(Bits sigma, BitsPerSecond rho);
+
+  Bits bits(Seconds interval) const override;
+  BitsPerSecond long_term_rate() const override { return rho_; }
+  Bits burst_bound() const override { return sigma_; }
+  std::vector<Seconds> breakpoints(Seconds horizon) const override;
+  std::string describe() const override;
+
+  Bits sigma() const { return sigma_; }
+  BitsPerSecond rho() const { return rho_; }
+
+ private:
+  Bits sigma_;
+  BitsPerSecond rho_;
+};
+
+class ZeroEnvelope final : public ArrivalEnvelope {
+ public:
+  Bits bits(Seconds) const override { return 0.0; }
+  BitsPerSecond long_term_rate() const override { return 0.0; }
+  Bits burst_bound() const override { return 0.0; }
+  std::vector<Seconds> breakpoints(Seconds) const override { return {}; }
+  std::string describe() const override { return "zero"; }
+};
+
+}  // namespace hetnet

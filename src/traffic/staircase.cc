@@ -1,0 +1,118 @@
+#include "src/traffic/staircase.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+
+StaircaseEnvelope::StaircaseEnvelope(std::vector<Seconds> intervals,
+                                     std::vector<Bits> values,
+                                     BitsPerSecond tail_rate)
+    : intervals_(std::move(intervals)),
+      values_(std::move(values)),
+      tail_rate_(tail_rate) {
+  HETNET_CHECK(!intervals_.empty(), "staircase needs at least one point");
+  HETNET_CHECK(intervals_.size() == values_.size(),
+               "staircase intervals/values size mismatch");
+  HETNET_CHECK(intervals_.front() == 0.0, "staircase must start at I = 0");
+  HETNET_CHECK(tail_rate_ >= 0, "tail rate must be >= 0");
+  for (std::size_t i = 1; i < intervals_.size(); ++i) {
+    HETNET_CHECK(intervals_[i] > intervals_[i - 1],
+                 "staircase intervals must be strictly increasing");
+    HETNET_CHECK(values_[i] >= values_[i - 1],
+                 "staircase values must be nondecreasing");
+  }
+  // The value values_[i] is already taken just past the LEFT edge of its
+  // segment (intervals_[i-1], intervals_[i]], so the majorization
+  // A(I) <= burst + tail·I must hold with I = the left edge.
+  burst_bound_ = values_.front();
+  for (std::size_t i = 1; i < intervals_.size(); ++i) {
+    burst_bound_ =
+        std::max(burst_bound_, values_[i] - tail_rate_ * intervals_[i - 1]);
+  }
+}
+
+Bits StaircaseEnvelope::bits(Seconds interval) const {
+  HETNET_CHECK(interval >= 0, "bits(I) requires I >= 0");
+  if (interval >= intervals_.back()) {
+    return values_.back() + tail_rate_ * (interval - intervals_.back());
+  }
+  // First index k with intervals_[k] >= interval (value held on the segment
+  // (intervals_[k-1], intervals_[k]]).
+  const auto it =
+      std::lower_bound(intervals_.begin(), intervals_.end(), interval);
+  return values_[static_cast<std::size_t>(it - intervals_.begin())];
+}
+
+std::vector<Seconds> StaircaseEnvelope::breakpoints(Seconds horizon) const {
+  std::vector<Seconds> pts;
+  for (std::size_t i = 1; i < intervals_.size(); ++i) {
+    if (intervals_[i] > horizon) break;
+    pts.push_back(intervals_[i]);
+  }
+  return pts;
+}
+
+std::string StaircaseEnvelope::describe() const {
+  std::ostringstream os;
+  os << "staircase(" << intervals_.size() << " pts, tail=" << tail_rate_
+     << "b/s)";
+  return os.str();
+}
+
+EnvelopePtr rasterize(const EnvelopePtr& src, Seconds horizon,
+                      std::size_t max_points) {
+  HETNET_CHECK(src != nullptr, "null envelope");
+  HETNET_CHECK(horizon > 0, "rasterize horizon must be positive");
+  HETNET_CHECK(max_points >= 2, "rasterize needs at least two points");
+  const BitsPerSecond tail_rate = src->long_term_rate();
+  const Bits tail_burst = src->burst_bound();
+  HETNET_CHECK(std::isfinite(tail_burst),
+               "cannot rasterize an envelope without a finite burst bound");
+
+  // Candidate sample points: the source's own breakpoints plus a uniform
+  // backbone (so pathological sources with no breakpoints still get
+  // resolution), thinned to the point budget. Thinning only *raises* the
+  // staircase (each segment takes the value at its right end), so the result
+  // stays an upper bound.
+  std::vector<Seconds> candidates = src->breakpoints(horizon);
+  std::vector<Seconds> backbone;
+  const std::size_t backbone_n = std::min<std::size_t>(max_points / 4 + 1, 64);
+  for (std::size_t i = 1; i <= backbone_n; ++i) {
+    backbone.push_back(horizon * static_cast<double>(i) /
+                       static_cast<double>(backbone_n));
+  }
+  candidates = merge_breakpoints({std::move(candidates), std::move(backbone)});
+  if (candidates.empty() || !approx_eq(candidates.back(), horizon)) {
+    candidates.push_back(horizon);
+  }
+
+  std::vector<Seconds> xs{0.0};
+  std::vector<Bits> vs{src->bits(0.0)};
+  const std::size_t stride =
+      candidates.size() <= max_points - 1
+          ? 1
+          : (candidates.size() + max_points - 2) / (max_points - 1);
+  for (std::size_t i = 0; i < candidates.size(); i += stride) {
+    // Land on the last point of each stride group so no candidate "peeks
+    // over" the recorded right-end value; always include the final one.
+    const std::size_t idx = std::min(i + stride - 1, candidates.size() - 1);
+    const Seconds x = candidates[idx];
+    if (x <= xs.back()) continue;
+    xs.push_back(x);
+    vs.push_back(std::max(vs.back(), src->bits(x)));
+  }
+  // Sound linear tail: for I >= horizon, src(I) <= tail_burst + tail_rate·I.
+  // Raise the final sample so the staircase dominates that majorization from
+  // the horizon onward.
+  vs.back() = std::max(vs.back(), tail_burst + tail_rate * xs.back());
+  // Re-establish monotonicity from the raise (it can only be the last entry
+  // that changed, so nothing to do; kept as an invariant check).
+  return std::make_shared<StaircaseEnvelope>(std::move(xs), std::move(vs),
+                                             tail_rate);
+}
+
+}  // namespace hetnet

@@ -1,0 +1,56 @@
+// Explicit staircase envelopes and conservative rasterization.
+//
+// Deeply composed envelopes (a FDDI-MAC output feeding a mux feeding another
+// mux ...) can get expensive to evaluate because each layer's bits(I) scans
+// candidates of the layer below, and their exact breakpoint sets can grow
+// combinatorially. `rasterize()` collapses such a tower into an explicit
+// staircase WITHOUT losing soundness:
+//
+//   * on (x_{k-1}, x_k] the staircase takes the source's value at the RIGHT
+//     end x_k — an upper bound because envelopes are nondecreasing;
+//   * beyond the horizon it follows the source's leaky-bucket majorization
+//     A(I) <= burst_bound() + long_term_rate()·I (see ArrivalEnvelope), so
+//     the tail is sound for every I and the staircase's long-term rate is
+//     the true ρ (keeping downstream stability checks exact).
+//
+// The result is an upper bound of the source envelope everywhere, so delay
+// and buffer bounds computed from it remain valid worst-case bounds.
+#pragma once
+
+#include "src/traffic/envelope.h"
+
+namespace hetnet {
+
+class StaircaseEnvelope final : public ArrivalEnvelope {
+ public:
+  // `intervals` must be sorted strictly increasing with intervals[0] == 0;
+  // `values` (same size) must be nondecreasing. For I in (intervals[k-1],
+  // intervals[k]] the envelope equals values[k]; beyond the last interval it
+  // equals values.back() + tail_rate * (I - intervals.back()).
+  StaircaseEnvelope(std::vector<Seconds> intervals, std::vector<Bits> values,
+                    BitsPerSecond tail_rate);
+
+  Bits bits(Seconds interval) const override;
+  BitsPerSecond long_term_rate() const override { return tail_rate_; }
+  Bits burst_bound() const override { return burst_bound_; }
+  std::vector<Seconds> breakpoints(Seconds horizon) const override;
+  std::string describe() const override;
+
+  std::size_t size() const { return intervals_.size(); }
+
+ private:
+  std::vector<Seconds> intervals_;
+  std::vector<Bits> values_;
+  BitsPerSecond tail_rate_;
+  Bits burst_bound_ = 0.0;  // max_k (values_[k] - tail_rate_·intervals_[k])
+};
+
+// Samples `src` at its own breakpoints within (0, horizon] (thinned evenly to
+// at most `max_points` samples, plus a uniform backbone grid) and returns a
+// conservative staircase upper bound of `src`. Beyond the horizon the result
+// follows src's leaky-bucket majorization (burst_bound + ρ·I), which must be
+// finite.
+EnvelopePtr rasterize(const EnvelopePtr& src, Seconds horizon,
+                      std::size_t max_points);
+
+}  // namespace hetnet

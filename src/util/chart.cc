@@ -1,0 +1,100 @@
+#include "src/util/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height) {
+  HETNET_CHECK(width_ >= 8 && height_ >= 3, "canvas too small to plot");
+}
+
+void AsciiChart::add_series(std::string label, char glyph,
+                            std::vector<std::pair<double, double>> points) {
+  HETNET_CHECK(!points.empty(), "series must have at least one point");
+  series_.push_back({std::move(label), glyph, std::move(points)});
+}
+
+void AsciiChart::set_y_range(double lo, double hi) {
+  HETNET_CHECK(hi > lo, "y-range must be non-empty");
+  fixed_y_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string AsciiChart::render() const {
+  HETNET_CHECK(!series_.empty(), "nothing to plot");
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = y_lo_;
+  double y_hi = y_hi_;
+  if (!fixed_y_) {
+    y_lo = std::numeric_limits<double>::infinity();
+    y_hi = -y_lo;
+  }
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      if (!fixed_y_) {
+        y_lo = std::min(y_lo, y);
+        y_hi = std::max(y_hi, y);
+      }
+    }
+  }
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+  if (!fixed_y_) {
+    const double margin = std::max(1e-12, (y_hi - y_lo) * 0.05);
+    y_lo -= margin;
+    y_hi += margin;
+  }
+
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(height_),
+      std::string(static_cast<std::size_t>(width_), ' '));
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      const int col = static_cast<int>(
+          std::lround((x - x_lo) / (x_hi - x_lo) * (width_ - 1)));
+      const int row = static_cast<int>(
+          std::lround((y - y_lo) / (y_hi - y_lo) * (height_ - 1)));
+      if (col < 0 || col >= width_ || row < 0 || row >= height_) continue;
+      canvas[static_cast<std::size_t>(height_ - 1 - row)]
+            [static_cast<std::size_t>(col)] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  for (int r = 0; r < height_; ++r) {
+    const double y_here =
+        y_hi - (y_hi - y_lo) * r / std::max(1, height_ - 1);
+    os << std::setw(8) << std::setprecision(3) << std::fixed << y_here
+       << " |" << canvas[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(9, ' ') << '+' << std::string(
+            static_cast<std::size_t>(width_), '-')
+     << "\n";
+  std::ostringstream xlabel;
+  xlabel << std::setprecision(3) << x_lo;
+  std::ostringstream xhilabel;
+  xhilabel << std::setprecision(3) << x_hi;
+  os << std::string(10, ' ') << xlabel.str()
+     << std::string(
+            std::max<std::size_t>(
+                1, static_cast<std::size_t>(width_) - xlabel.str().size() -
+                       xhilabel.str().size()),
+            ' ')
+     << xhilabel.str() << "\n";
+  for (const auto& s : series_) {
+    os << "          " << s.glyph << " = " << s.label << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetnet

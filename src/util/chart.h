@@ -1,0 +1,49 @@
+// ASCII line charts for benchmark output.
+//
+// The figure-reproduction benches print their data as tables (and CSV); a
+// small plot alongside makes the paper's curve shapes — the β hump of
+// Figure 7, the monotone decline of Figure 8 — visible straight in the
+// terminal. Multiple series share the canvas, each drawn with its own
+// glyph; collisions show the later series' glyph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace hetnet {
+
+class AsciiChart {
+ public:
+  // Canvas size in character cells (excluding axis labels).
+  AsciiChart(int width, int height);
+
+  // Adds a series of (x, y) points drawn with `glyph`. Points need not be
+  // sorted; at least one point is required when render() is called.
+  void add_series(std::string label, char glyph,
+                  std::vector<std::pair<double, double>> points);
+
+  // Fixes the y-range (otherwise auto-scaled to the data with margin).
+  void set_y_range(double lo, double hi);
+
+  // Renders the canvas with y-axis labels, an x-axis line with min/max
+  // labels, and a legend.
+  std::string render() const;
+
+ private:
+  int width_;
+  int height_;
+  bool fixed_y_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+
+  struct Series {
+    std::string label;
+    char glyph;
+    std::vector<std::pair<double, double>> points;
+  };
+  std::vector<Series> series_;
+};
+
+}  // namespace hetnet

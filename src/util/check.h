@@ -1,0 +1,31 @@
+// Precondition / invariant checking.
+//
+// HETNET_CHECK fires on programmer errors (violated preconditions, broken
+// invariants). Recoverable conditions -- an inadmissible connection, an
+// unstable server, an overflowing buffer -- are *values* in this codebase
+// (e.g. DelayBound::infinite(), AdmissionResult::rejected()), never checks.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hetnet::internal {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace hetnet::internal
+
+#define HETNET_CHECK(cond, ...)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::hetnet::internal::check_failed(#cond, __FILE__, __LINE__,    \
+                                       ::std::string(__VA_ARGS__)); \
+    }                                                                \
+  } while (false)

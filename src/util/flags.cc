@@ -1,0 +1,66 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hetnet {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value, got '" + arg + "'");
+    }
+    values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+}
+
+double Flags::get(const std::string& key, double fallback) {
+  known_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(it->second, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag '" + key + "' is not a number: '" +
+                                it->second + "'");
+  }
+  if (consumed != it->second.size()) {
+    throw std::invalid_argument("flag '" + key + "' has trailing junk: '" +
+                                it->second + "'");
+  }
+  return value;
+}
+
+std::string Flags::get_string(const std::string& key,
+                              const std::string& fallback) {
+  known_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::set<std::string> Flags::unknown_keys() const {
+  std::set<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (!known_.contains(key)) unknown.insert(key);
+  }
+  return unknown;
+}
+
+void Flags::check_unknown() const {
+  const auto unknown = unknown_keys();
+  if (unknown.empty()) return;
+  for (const auto& key : unknown) {
+    std::fprintf(stderr, "unknown flag '%s'\n", key.c_str());
+  }
+  std::fprintf(stderr, "accepted flags:");
+  for (const auto& key : known_) std::fprintf(stderr, " %s", key.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+}  // namespace hetnet

@@ -1,0 +1,41 @@
+// Minimal `key=value` command-line flags for the bench and example
+// binaries: no registration, no global state — parse argv, read values with
+// defaults, then `check_unknown()` to catch typos.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace hetnet {
+
+class Flags {
+ public:
+  // Parses `key=value` arguments. Throws std::invalid_argument on a
+  // malformed argument (no '=' or empty key).
+  Flags(int argc, const char* const* argv);
+
+  // Returns the double value of `key`, or `fallback` if absent. Throws
+  // std::invalid_argument if the value does not parse as a double. Marks
+  // the key as known for check_unknown().
+  double get(const std::string& key, double fallback);
+
+  // String-valued variant.
+  std::string get_string(const std::string& key, const std::string& fallback);
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+  // Returns the list of present-but-never-read keys (typos). Call after all
+  // get()s.
+  std::set<std::string> unknown_keys() const;
+
+  // Convenience used by binaries: print unknown keys (with the accepted
+  // set) to stderr and exit(2) if any exist.
+  void check_unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> known_;
+};
+
+}  // namespace hetnet

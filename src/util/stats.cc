@@ -1,0 +1,91 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double ProportionStats::proportion() const {
+  if (trials_ == 0) return 0.0;
+  return static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+double ProportionStats::ci95_halfwidth() const {
+  if (trials_ == 0) return 0.0;
+  const double p = proportion();
+  return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(trials_));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)) {
+  HETNET_CHECK(hi > lo, "histogram range must be non-empty");
+  HETNET_CHECK(bins > 0, "histogram needs at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else {
+    const double offset = (x - lo_) / bin_width_;
+    idx = std::min(counts_.size() - 1, static_cast<std::size_t>(offset));
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::quantile_upper(double q) const {
+  HETNET_CHECK(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) return lo_ + bin_width_ * static_cast<double>(i + 1);
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::ostringstream os;
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double left = lo_ + bin_width_ * static_cast<double>(i);
+    const double right = left + bin_width_;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_width / peak;
+    os << "[" << left << ", " << right << ") " << std::string(bar, '#') << " "
+       << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetnet

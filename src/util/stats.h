@@ -1,0 +1,89 @@
+// Online statistics used by the simulators and benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hetnet {
+
+// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Half-width of the ~95% normal-approximation confidence interval on the
+  // mean; 0 for fewer than 2 samples.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Accumulator for a binomial proportion (e.g. admission probability):
+// successes / trials, with a Wald 95% confidence interval.
+class ProportionStats {
+ public:
+  void add(bool success) {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  // Pools another accumulator's trials into this one (e.g. merging
+  // independent simulation seeds).
+  void merge(const ProportionStats& other) {
+    trials_ += other.trials_;
+    successes_ += other.successes_;
+  }
+
+  std::size_t trials() const { return trials_; }
+  std::size_t successes() const { return successes_; }
+  double proportion() const;
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+// Fixed-bin histogram over [lo, hi); values outside the range are clamped to
+// the first/last bin. Used for packet-delay distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  const std::vector<std::size_t>& bins() const { return counts_; }
+
+  // Smallest x such that at least `q` (0..1] of the mass is at or below x,
+  // computed from bin upper edges (conservative). Returns lo() when empty.
+  double quantile_upper(double q) const;
+
+  // Multi-line ASCII rendering (one row per non-empty bin).
+  std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hetnet

@@ -1,0 +1,79 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HETNET_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  HETNET_CHECK(cells.size() == headers_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TableWriter::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TableWriter::to_csv() const {
+  std::ostringstream os;
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find(',') != std::string::npos) {
+      os << '"' << cell << '"';
+    } else {
+      os << cell;
+    }
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      emit_cell(row[c]);
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TableWriter::print(std::ostream& os) const { os << to_ascii(); }
+
+}  // namespace hetnet

@@ -1,0 +1,39 @@
+// Aligned ASCII / CSV table emission for benchmark harnesses.
+//
+// Every bench binary regenerating a paper table or figure prints its data
+// through TableWriter so the output rows are uniform, aligned for reading,
+// and optionally machine-readable (CSV) for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hetnet {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  // Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Renders with column alignment and a header separator.
+  std::string to_ascii() const;
+  // Renders as RFC-4180-ish CSV (no quoting of embedded commas expected in
+  // our numeric outputs; cells containing a comma are quoted anyway).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hetnet

@@ -1,0 +1,61 @@
+// Units and numeric conventions used throughout hetnet-rt.
+//
+// The delay-analysis engine is dense numeric code, so quantities are plain
+// `double`s with *documented* units rather than wrapped strong types:
+//
+//   - time:       seconds        (alias `Seconds`)
+//   - data:       bits           (alias `Bits`)
+//   - bandwidth:  bits/second    (alias `BitsPerSecond`)
+//
+// Every interface states the unit of every parameter; the helpers below make
+// call sites self-describing (e.g. `units::mbps(155)`, `units::ms(8)`).
+#pragma once
+
+namespace hetnet {
+
+using Seconds = double;
+using Bits = double;
+using BitsPerSecond = double;
+
+namespace units {
+
+// --- time ---
+constexpr Seconds sec(double v) { return v; }
+constexpr Seconds ms(double v) { return v * 1e-3; }
+constexpr Seconds us(double v) { return v * 1e-6; }
+constexpr Seconds ns(double v) { return v * 1e-9; }
+
+// --- data ---
+constexpr Bits bits(double v) { return v; }
+constexpr Bits bytes(double v) { return v * 8.0; }
+constexpr Bits kbits(double v) { return v * 1e3; }
+constexpr Bits mbits(double v) { return v * 1e6; }
+
+// --- bandwidth ---
+constexpr BitsPerSecond bps(double v) { return v; }
+constexpr BitsPerSecond kbps(double v) { return v * 1e3; }
+constexpr BitsPerSecond mbps(double v) { return v * 1e6; }
+constexpr BitsPerSecond gbps(double v) { return v * 1e9; }
+
+}  // namespace units
+
+// A tolerance used when comparing times/bit-counts that went through floating
+// point arithmetic. All analysis code treats |a-b| <= kEps * max(1,|a|,|b|)
+// as equality.
+inline constexpr double kEps = 1e-9;
+
+// Returns true if a <= b up to the relative/absolute tolerance above.
+inline bool approx_le(double a, double b) {
+  double scale = 1.0;
+  double abs_a = a < 0 ? -a : a;
+  double abs_b = b < 0 ? -b : b;
+  if (abs_a > scale) scale = abs_a;
+  if (abs_b > scale) scale = abs_b;
+  return a <= b + kEps * scale;
+}
+
+inline bool approx_eq(double a, double b) {
+  return approx_le(a, b) && approx_le(b, a);
+}
+
+}  // namespace hetnet

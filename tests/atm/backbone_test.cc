@@ -1,0 +1,118 @@
+#include "src/atm/backbone.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/units.h"
+
+namespace hetnet::atm {
+namespace {
+
+TEST(CellFormatTest, PayloadCapacity) {
+  CellFormat cells;  // 48/53
+  EXPECT_NEAR(payload_capacity(units::mbps(155), cells),
+              units::mbps(155) * 48.0 / 53.0, 1.0);
+}
+
+TEST(CellFormatTest, CellTime) {
+  CellFormat cells;
+  EXPECT_NEAR(cell_time(units::mbps(155), cells), 424.0 / 155e6, 1e-15);
+}
+
+TEST(BackboneTest, MeshHasExpectedPorts) {
+  const Backbone bb = make_mesh_backbone(3, LinkParams{});
+  // 3 switch-switch links (×2 directions) + 3 access links (×2).
+  EXPECT_EQ(bb.num_ports(), 12);
+  EXPECT_EQ(bb.num_switches(), 3);
+  EXPECT_EQ(bb.num_accesses(), 3);
+}
+
+TEST(BackboneTest, RouteBetweenAccessesViaTwoSwitches) {
+  const Backbone bb = make_mesh_backbone(3, LinkParams{});
+  const auto route = bb.route(0, 2);
+  ASSERT_TRUE(route.has_value());
+  // ID0 → S0 → S2 → ID2: three sending ports.
+  ASSERT_EQ(route->size(), 3u);
+  // First hop leaves the interface device: no fabric latency.
+  EXPECT_DOUBLE_EQ((*route)[0].fabric, 0.0);
+  // Later hops cross a switch.
+  EXPECT_DOUBLE_EQ((*route)[1].fabric, bb.switch_fabric_delay());
+  EXPECT_DOUBLE_EQ((*route)[2].fabric, bb.switch_fabric_delay());
+}
+
+TEST(BackboneTest, RouteIsDeterministic) {
+  const Backbone bb = make_mesh_backbone(4, LinkParams{});
+  const auto r1 = bb.route(1, 3);
+  const auto r2 = bb.route(1, 3);
+  ASSERT_TRUE(r1.has_value() && r2.has_value());
+  ASSERT_EQ(r1->size(), r2->size());
+  for (std::size_t i = 0; i < r1->size(); ++i) {
+    EXPECT_EQ((*r1)[i].port, (*r2)[i].port);
+  }
+}
+
+TEST(BackboneTest, ReverseRouteUsesDifferentPorts) {
+  const Backbone bb = make_mesh_backbone(3, LinkParams{});
+  const auto fwd = bb.route(0, 1);
+  const auto rev = bb.route(1, 0);
+  ASSERT_TRUE(fwd.has_value() && rev.has_value());
+  // Directed ports: A→B traffic never queues behind B→A traffic.
+  for (const auto& hf : *fwd) {
+    for (const auto& hr : *rev) {
+      EXPECT_NE(hf.port, hr.port);
+    }
+  }
+}
+
+TEST(BackboneTest, RoutesDoNotTransitOtherAccessPoints) {
+  // With only two switches, access 0 → access 1 must go ID0→S0→S1→ID1 and
+  // never "through" another interface device.
+  Backbone bb(2, CellFormat{});
+  bb.connect_switches(0, 1, LinkParams{});
+  const AccessId a0 = bb.attach_access(0, LinkParams{});
+  const AccessId a1 = bb.attach_access(1, LinkParams{});
+  const AccessId a2 = bb.attach_access(0, LinkParams{});  // extra ID
+  (void)a2;
+  const auto route = bb.route(a0, a1);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->size(), 3u);
+}
+
+TEST(BackboneTest, DisconnectedAccessesReturnNullopt) {
+  Backbone bb(2, CellFormat{});  // two switches, NO link between them
+  const AccessId a0 = bb.attach_access(0, LinkParams{});
+  const AccessId a1 = bb.attach_access(1, LinkParams{});
+  EXPECT_FALSE(bb.route(a0, a1).has_value());
+}
+
+TEST(BackboneTest, LineBackboneRoutesAlongTheChain) {
+  const Backbone bb = make_line_backbone(4, LinkParams{});
+  const auto route = bb.route(0, 3);
+  ASSERT_TRUE(route.has_value());
+  // ID0 → S0 → S1 → S2 → S3 → ID3.
+  EXPECT_EQ(route->size(), 5u);
+  const auto adjacent = bb.route(1, 2);
+  ASSERT_TRUE(adjacent.has_value());
+  EXPECT_EQ(adjacent->size(), 3u);
+}
+
+TEST(BackboneTest, PortAccessorsValidateRange) {
+  const Backbone bb = make_mesh_backbone(3, LinkParams{});
+  EXPECT_THROW(bb.port_link(-1), std::logic_error);
+  EXPECT_THROW(bb.port_link(bb.num_ports()), std::logic_error);
+}
+
+TEST(BackboneTest, SelfRouteRejected) {
+  const Backbone bb = make_mesh_backbone(3, LinkParams{});
+  EXPECT_THROW(bb.route(1, 1), std::logic_error);
+}
+
+TEST(BackboneTest, ConstructionValidation) {
+  EXPECT_THROW(Backbone(0, CellFormat{}), std::logic_error);
+  Backbone bb(2, CellFormat{});
+  EXPECT_THROW(bb.connect_switches(0, 0, LinkParams{}), std::logic_error);
+  EXPECT_THROW(bb.connect_switches(0, 5, LinkParams{}), std::logic_error);
+  EXPECT_THROW(bb.attach_access(7, LinkParams{}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hetnet::atm

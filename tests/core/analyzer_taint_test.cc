@@ -1,0 +1,102 @@
+// Unbounded-connection semantics of the joint analyzer: when a shared port
+// has no finite bound, everything through it must report +infinity — an
+// optimistic number for ANY coupled connection could let the CAC admit a
+// violating configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/analyzer.h"
+#include "src/util/units.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::core {
+namespace {
+
+using hetnet::testing::make_spec;
+using hetnet::testing::paper_topology;
+
+EnvelopePtr heavy_source() {
+  // ρ = 40 Mb/s: stable at a MAC with H = 3.4 ms (service ≈ 42 Mb/s), but
+  // four of these through one 140 Mb/s payload port overbook it.
+  return std::make_shared<DualPeriodicEnvelope>(
+      units::mbits(4), units::ms(100), units::kbits(400), units::ms(10));
+}
+
+TEST(AnalyzerTaintTest, OverbookedPortPoisonsEveryFlowThroughIt) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  // Two from ring 0 and two from ring 1, all into ring 2: the S→ID_2
+  // downlink carries 4 × 40 = 160 Mb/s > 140 Mb/s payload capacity.
+  std::vector<ConnectionInstance> set;
+  const net::Allocation alloc{units::ms(3.4), units::ms(1.0)};
+  set.push_back({make_spec(1, {0, 0}, {2, 0}, heavy_source(), 1.0), alloc});
+  set.push_back({make_spec(2, {0, 1}, {2, 1}, heavy_source(), 1.0), alloc});
+  set.push_back({make_spec(3, {1, 0}, {2, 2}, heavy_source(), 1.0), alloc});
+  set.push_back({make_spec(4, {1, 1}, {2, 3}, heavy_source(), 1.0), alloc});
+  const auto delays = analyzer.analyze(set);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(delays[i], kUnbounded) << "connection " << i;
+  }
+}
+
+TEST(AnalyzerTaintTest, UncoupledConnectionSurvivesOthersOverbooking) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  std::vector<ConnectionInstance> set;
+  const net::Allocation heavy_alloc{units::ms(3.4), units::ms(1.0)};
+  set.push_back(
+      {make_spec(1, {0, 0}, {2, 0}, heavy_source(), 1.0), heavy_alloc});
+  set.push_back(
+      {make_spec(2, {0, 1}, {2, 1}, heavy_source(), 1.0), heavy_alloc});
+  set.push_back(
+      {make_spec(3, {1, 0}, {2, 2}, heavy_source(), 1.0), heavy_alloc});
+  set.push_back(
+      {make_spec(4, {1, 1}, {2, 3}, heavy_source(), 1.0), heavy_alloc});
+  // Reverse direction (2 → 0): disjoint directed ports.
+  set.push_back({make_spec(5, {2, 0}, {0, 0},
+                           hetnet::testing::sensor_source(), 1.0),
+                 {units::ms(1), units::ms(1)}});
+  const auto delays = analyzer.analyze(set);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(delays[i], kUnbounded);
+  EXPECT_TRUE(std::isfinite(delays[4]));
+}
+
+TEST(AnalyzerTaintTest, PortReportsOmitUnboundedPorts) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  std::vector<ConnectionInstance> set;
+  const net::Allocation alloc{units::ms(3.4), units::ms(1.0)};
+  set.push_back({make_spec(1, {0, 0}, {2, 0}, heavy_source(), 1.0), alloc});
+  set.push_back({make_spec(2, {0, 1}, {2, 1}, heavy_source(), 1.0), alloc});
+  set.push_back({make_spec(3, {1, 0}, {2, 2}, heavy_source(), 1.0), alloc});
+  set.push_back({make_spec(4, {1, 1}, {2, 3}, heavy_source(), 1.0), alloc});
+  const auto ports = analyzer.port_reports(set);
+  // The uplink ports (two flows each, 80 Mb/s) are bounded; the shared
+  // downlink is overbooked and must be absent.
+  for (const auto& [port, report] : ports) {
+    EXPECT_LE(report.flows, 2) << "the 4-flow downlink must not be reported";
+  }
+}
+
+TEST(AnalyzerTaintTest, PrefixFailureIsLocal) {
+  // An unallocated (zero H_S) connection reports unbounded, while a
+  // well-allocated connection sharing its would-be ports is analyzed
+  // normally — by the time CAC acts, the infinite entry rejects the
+  // configuration anyway (documented contract).
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  std::vector<ConnectionInstance> set;
+  set.push_back({make_spec(1, {0, 0}, {1, 0},
+                           hetnet::testing::video_source(), 1.0),
+                 {0.0, units::ms(1)}});
+  set.push_back({make_spec(2, {0, 1}, {1, 1},
+                           hetnet::testing::video_source(), 1.0),
+                 {units::ms(2), units::ms(2)}});
+  const auto delays = analyzer.analyze(set);
+  EXPECT_EQ(delays[0], kUnbounded);
+  EXPECT_TRUE(std::isfinite(delays[1]));
+}
+
+}  // namespace
+}  // namespace hetnet::core

@@ -1,0 +1,173 @@
+#include "src/core/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/units.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::core {
+namespace {
+
+using hetnet::testing::make_spec;
+using hetnet::testing::paper_topology;
+using hetnet::testing::sensor_source;
+using hetnet::testing::video_source;
+
+TEST(DelayAnalyzerTest, SingleConnectionFiniteBound) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(200));
+  const auto delays = analyzer.analyze({{spec, {units::ms(2), units::ms(2)}}});
+  ASSERT_EQ(delays.size(), 1u);
+  EXPECT_TRUE(std::isfinite(delays[0]));
+  // Dominated by the two timed-token MACs: at least 2·TTRT each.
+  EXPECT_GE(delays[0], 4 * units::ms(8));
+  EXPECT_LT(delays[0], units::ms(200));
+}
+
+TEST(DelayAnalyzerTest, DelayDecreasesWithSendAllocation) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(500));
+  Seconds prev = 1e9;
+  for (double h_ms : {0.3, 0.6, 1.2, 2.4, 4.8}) {
+    const auto d = analyzer.analyze(
+        {{spec, {units::ms(h_ms), units::ms(2)}}});
+    ASSERT_TRUE(std::isfinite(d[0])) << "H_S=" << h_ms << "ms";
+    EXPECT_LE(d[0], prev * (1 + 1e-9)) << "H_S=" << h_ms << "ms";
+    prev = d[0];
+  }
+}
+
+TEST(DelayAnalyzerTest, DelayDecreasesWithReceiveAllocation) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(500));
+  Seconds prev = 1e9;
+  for (double h_ms : {0.3, 0.6, 1.2, 2.4, 4.8}) {
+    const auto d = analyzer.analyze(
+        {{spec, {units::ms(2), units::ms(h_ms)}}});
+    ASSERT_TRUE(std::isfinite(d[0])) << "H_R=" << h_ms << "ms";
+    EXPECT_LE(d[0], prev * (1 + 1e-9)) << "H_R=" << h_ms << "ms";
+    prev = d[0];
+  }
+}
+
+TEST(DelayAnalyzerTest, UnusableAllocationIsUnbounded) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(200));
+  EXPECT_EQ(analyzer.analyze({{spec, {0.0, units::ms(2)}}})[0], kUnbounded);
+  EXPECT_EQ(analyzer.analyze({{spec, {units::ms(2), 0.0}}})[0], kUnbounded);
+  // An allocation whose guaranteed rate is below the source rate.
+  EXPECT_EQ(analyzer.analyze({{spec, {units::us(50), units::ms(2)}}})[0],
+            kUnbounded);
+}
+
+TEST(DelayAnalyzerTest, SharedPortCouplesConnections) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const net::Allocation alloc{units::ms(2), units::ms(2)};
+  const auto a = make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(500));
+  // Same ring pair → same backbone ports.
+  const auto b = make_spec(2, {0, 1}, {1, 1}, video_source(), units::ms(500));
+  const Seconds alone = analyzer.analyze({{a, alloc}})[0];
+  const auto both = analyzer.analyze({{a, alloc}, {b, alloc}});
+  ASSERT_TRUE(std::isfinite(both[0]) && std::isfinite(both[1]));
+  EXPECT_GT(both[0], alone);
+}
+
+TEST(DelayAnalyzerTest, DisjointConnectionsDoNotInterfere) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const net::Allocation alloc{units::ms(2), units::ms(2)};
+  const auto a = make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(500));
+  // Reverse direction: all ports are directed, so no sharing.
+  const auto b = make_spec(2, {1, 1}, {0, 1}, video_source(), units::ms(500));
+  const Seconds alone = analyzer.analyze({{a, alloc}})[0];
+  const auto both = analyzer.analyze({{a, alloc}, {b, alloc}});
+  EXPECT_NEAR(both[0], alone, 1e-12);
+}
+
+TEST(DelayAnalyzerTest, SendPrefixCachingMatchesDirectAnalysis) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const net::Allocation alloc{units::ms(2), units::ms(2)};
+  const auto a = make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(500));
+  const auto b = make_spec(2, {2, 0}, {1, 1}, sensor_source(), units::ms(500));
+  const std::vector<ConnectionInstance> set = {{a, alloc}, {b, alloc}};
+  std::vector<SendPrefix> prefixes;
+  for (const auto& inst : set) {
+    prefixes.push_back(analyzer.send_prefix(inst.spec, inst.alloc.h_s));
+  }
+  const auto via_prefix = analyzer.complete(set, prefixes);
+  const auto direct = analyzer.analyze(set);
+  ASSERT_EQ(via_prefix.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(via_prefix[i], direct[i]);
+  }
+}
+
+TEST(DelayAnalyzerTest, BreakdownStagesSumToTotal) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const auto spec =
+      make_spec(1, {0, 0}, {2, 1}, video_source(), units::ms(500));
+  const std::vector<ConnectionInstance> set = {
+      {spec, {units::ms(2), units::ms(2)}}};
+  const auto breakdown = analyzer.breakdown(set, 0);
+  ASSERT_TRUE(breakdown.has_value());
+  // FDDI_S(2) + ID_S(3) + 3 ATM hops + ID_R(3) + FDDI_R(2) = 13 stages.
+  EXPECT_EQ(breakdown->stages.size(), 13u);
+  EXPECT_EQ(breakdown->stages.front().server_name, "FDDI_S.MAC");
+  EXPECT_EQ(breakdown->stages.back().server_name, "FDDI_R.Delay_Line");
+  Seconds sum = 0.0;
+  for (const auto& stage : breakdown->stages) {
+    EXPECT_GE(stage.analysis.worst_case_delay, 0.0);
+    sum += stage.analysis.worst_case_delay;
+  }
+  EXPECT_NEAR(sum, breakdown->total_delay, 1e-12);
+  // Breakdown agrees with the plain analysis.
+  EXPECT_NEAR(analyzer.analyze(set)[0], breakdown->total_delay, 1e-12);
+}
+
+TEST(DelayAnalyzerTest, BreakdownOfUnboundedConnectionIsNullopt) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(200));
+  EXPECT_FALSE(
+      analyzer.breakdown({{spec, {units::us(10), units::ms(2)}}}, 0)
+          .has_value());
+}
+
+TEST(DelayAnalyzerTest, ManyConnectionsAllFinite) {
+  // Fill several hosts across all rings and check the joint analysis holds
+  // everything finite with moderate allocations.
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  std::vector<ConnectionInstance> set;
+  net::ConnectionId id = 1;
+  for (int ring = 0; ring < 3; ++ring) {
+    for (int host = 0; host < 2; ++host) {
+      const auto spec = make_spec(id, {ring, host}, {(ring + 1) % 3, host},
+                                  sensor_source(), units::ms(500));
+      set.push_back({spec, {units::ms(0.5), units::ms(0.5)}});
+      ++id;
+    }
+  }
+  const auto delays = analyzer.analyze(set);
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(delays[i])) << "connection " << i;
+    EXPECT_LT(delays[i], units::ms(200)) << "connection " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hetnet::core

@@ -1,0 +1,166 @@
+// Parameterized property suite for the CAC (Section 5.3): the structural
+// invariants of the algorithm must hold across β values, workload shapes,
+// and network load levels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "src/core/cac.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::core {
+namespace {
+
+using hetnet::testing::make_spec;
+using hetnet::testing::paper_topology;
+
+struct CacCase {
+  std::string name;
+  double beta;
+  int preload;           // background connections admitted first
+  double rho_mbps;       // requesting connection's sustained rate
+  double deadline_ms;
+};
+
+const CacCase kCases[] = {
+    {"beta0_empty", 0.0, 0, 5.0, 80.0},
+    {"beta0_loaded", 0.0, 3, 5.0, 80.0},
+    {"beta25_loaded", 0.25, 3, 5.0, 80.0},
+    {"beta50_empty", 0.5, 0, 5.0, 80.0},
+    {"beta50_loaded", 0.5, 3, 5.0, 80.0},
+    {"beta50_tight", 0.5, 2, 5.0, 45.0},
+    {"beta75_loaded", 0.75, 3, 5.0, 80.0},
+    {"beta100_empty", 1.0, 0, 5.0, 80.0},
+    {"beta100_loaded", 1.0, 3, 5.0, 80.0},
+    {"small_flow", 0.5, 3, 0.5, 60.0},
+    {"big_flow", 0.5, 1, 20.0, 100.0},
+};
+
+EnvelopePtr flow_source(double rho_mbps) {
+  const Bits c1 = units::mbps(rho_mbps) * units::ms(100);
+  return std::make_shared<DualPeriodicEnvelope>(c1, units::ms(100), c1 / 10.0,
+                                                units::ms(10));
+}
+
+class CacPropertyTest : public ::testing::TestWithParam<CacCase> {
+ protected:
+  void SetUp() override {
+    topo_ = std::make_unique<net::AbhnTopology>(net::paper_topology_params());
+    CacConfig config;
+    config.beta = GetParam().beta;
+    cac_ = std::make_unique<AdmissionController>(topo_.get(), config);
+    for (int i = 0; i < GetParam().preload; ++i) {
+      auto bg = make_spec(static_cast<net::ConnectionId>(100 + i),
+                          {0, i + 1}, {1, i + 1}, flow_source(5.0),
+                          units::ms(80));
+      cac_->request(bg);
+    }
+    spec_ = make_spec(1, {0, 0}, {1, 0}, flow_source(GetParam().rho_mbps),
+                      units::ms(GetParam().deadline_ms));
+    decision_ = cac_->request(spec_);
+  }
+
+  std::unique_ptr<net::AbhnTopology> topo_;
+  std::unique_ptr<AdmissionController> cac_;
+  net::ConnectionSpec spec_;
+  AdmissionDecision decision_;
+};
+
+TEST_P(CacPropertyTest, AdmittedImpliesDeadlineMet) {
+  if (!decision_.admitted) GTEST_SKIP() << "rejected in this scenario";
+  EXPECT_TRUE(std::isfinite(decision_.worst_case_delay));
+  EXPECT_LE(decision_.worst_case_delay, spec_.deadline * (1 + 1e-9));
+}
+
+TEST_P(CacPropertyTest, AnchorsOrderedOnTheLine) {
+  if (!decision_.admitted) GTEST_SKIP() << "rejected in this scenario";
+  EXPECT_LE(decision_.min_need.h_s, decision_.max_need.h_s + 1e-12);
+  EXPECT_LE(decision_.max_need.h_s, decision_.max_avail.h_s + 1e-12);
+  EXPECT_LE(decision_.min_need.h_r, decision_.max_need.h_r + 1e-12);
+  EXPECT_LE(decision_.max_need.h_r, decision_.max_avail.h_r + 1e-12);
+  EXPECT_LE(decision_.alloc.h_s, decision_.max_avail.h_s + 1e-12);
+  EXPECT_GE(decision_.alloc.h_s, decision_.min_need.h_s - 1e-12);
+}
+
+TEST_P(CacPropertyTest, BetaInterpolationRespected) {
+  if (!decision_.admitted) GTEST_SKIP() << "rejected in this scenario";
+  // eq. (35): H_S = min_need + β (max_need − min_need), up to the fallback
+  // the controller may take at bisection resolution.
+  const double expected =
+      decision_.min_need.h_s +
+      GetParam().beta * (decision_.max_need.h_s - decision_.min_need.h_s);
+  EXPECT_NEAR(decision_.alloc.h_s, expected,
+              0.05 * decision_.max_avail.h_s + 1e-9);
+}
+
+TEST_P(CacPropertyTest, LedgersMatchActiveSet) {
+  std::vector<Seconds> per_ring(static_cast<std::size_t>(topo_->num_rings()),
+                                0.0);
+  for (const auto& [id, conn] : cac_->active()) {
+    per_ring[static_cast<std::size_t>(conn.spec.src.ring)] += conn.alloc.h_s;
+    per_ring[static_cast<std::size_t>(conn.spec.dst.ring)] += conn.alloc.h_r;
+  }
+  for (int r = 0; r < topo_->num_rings(); ++r) {
+    EXPECT_NEAR(cac_->ledger(r).allocated(),
+                per_ring[static_cast<std::size_t>(r)], 1e-12)
+        << "ring " << r;
+    EXPECT_LE(cac_->ledger(r).allocated(),
+              cac_->ledger(r).capacity() * (1 + 1e-9));
+  }
+}
+
+TEST_P(CacPropertyTest, WholeActiveSetStillFeasible) {
+  std::vector<ConnectionInstance> set;
+  for (const auto& [id, conn] : cac_->active()) {
+    set.push_back({conn.spec, conn.alloc});
+  }
+  if (set.empty()) GTEST_SKIP() << "nothing admitted";
+  const auto delays = cac_->analyzer().analyze(set);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(delays[i])) << "connection " << i;
+    EXPECT_LE(delays[i], set[i].spec.deadline * (1 + 1e-9))
+        << "connection " << i;
+  }
+}
+
+TEST_P(CacPropertyTest, ReleaseRestoresLedgersExactly) {
+  std::vector<net::ConnectionId> ids;
+  for (const auto& [id, conn] : cac_->active()) ids.push_back(id);
+  for (net::ConnectionId id : ids) cac_->release(id);
+  for (int r = 0; r < topo_->num_rings(); ++r) {
+    EXPECT_NEAR(cac_->ledger(r).allocated(), 0.0, 1e-12);
+    EXPECT_EQ(cac_->ledger(r).reservations(), 0u);
+  }
+  EXPECT_EQ(cac_->active_count(), 0u);
+}
+
+TEST_P(CacPropertyTest, DecisionIsDeterministic) {
+  // A second controller given the identical request sequence decides
+  // identically (the analysis has no hidden randomness).
+  CacConfig config;
+  config.beta = GetParam().beta;
+  AdmissionController other(topo_.get(), config);
+  for (int i = 0; i < GetParam().preload; ++i) {
+    auto bg = make_spec(static_cast<net::ConnectionId>(100 + i), {0, i + 1},
+                        {1, i + 1}, flow_source(5.0), units::ms(80));
+    other.request(bg);
+  }
+  const auto repeat = other.request(spec_);
+  EXPECT_EQ(repeat.admitted, decision_.admitted);
+  if (repeat.admitted) {
+    EXPECT_DOUBLE_EQ(repeat.alloc.h_s, decision_.alloc.h_s);
+    EXPECT_DOUBLE_EQ(repeat.alloc.h_r, decision_.alloc.h_r);
+    EXPECT_DOUBLE_EQ(repeat.worst_case_delay, decision_.worst_case_delay);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, CacPropertyTest,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace hetnet::core

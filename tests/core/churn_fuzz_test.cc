@@ -1,0 +1,124 @@
+// Randomized churn fuzzing of the admission controller: long random
+// admit/release sequences with invariant checks after every operation.
+// Catches ledger leaks, stale coupling state, and any configuration the
+// CAC could be driven into where an admitted contract silently breaks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/core/cac.h"
+#include "src/traffic/sources.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::core {
+namespace {
+
+using hetnet::testing::make_spec;
+
+class ChurnFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnFuzzTest, InvariantsSurviveRandomChurn) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  CacConfig config;
+  config.beta = 0.5;
+  AdmissionController cac(&topo, config);
+  Rng rng(GetParam());
+
+  std::vector<net::ConnectionId> live;
+  std::vector<int> live_host;  // flat source host per live connection
+  std::vector<bool> host_busy(static_cast<std::size_t>(topo.num_hosts()),
+                              false);
+  net::ConnectionId next_id = 1;
+  int admitted_total = 0;
+
+  for (int step = 0; step < 120; ++step) {
+    const bool do_release = !live.empty() && rng.bernoulli(0.4);
+    if (do_release) {
+      const std::size_t k = rng.pick(live.size());
+      cac.release(live[k]);
+      host_busy[static_cast<std::size_t>(live_host[k])] = false;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+      live_host.erase(live_host.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      std::vector<int> idle;
+      for (int h = 0; h < topo.num_hosts(); ++h) {
+        if (!host_busy[static_cast<std::size_t>(h)]) idle.push_back(h);
+      }
+      if (idle.empty()) continue;
+      const int src_flat = idle[rng.pick(idle.size())];
+      const net::HostId src = topo.host_at(src_flat);
+      // Mix inter-ring and intra-ring requests.
+      net::HostId dst;
+      if (rng.bernoulli(0.2)) {
+        dst = {src.ring, (src.index + 1 + static_cast<int>(rng.pick(3))) % 4};
+      } else {
+        dst = {(src.ring + 1 + static_cast<int>(rng.pick(2))) % 3,
+               static_cast<int>(rng.pick(4))};
+      }
+      const double rho_mbps = rng.uniform(0.5, 8.0);
+      const Bits c1 = units::mbps(rho_mbps) * units::ms(100);
+      auto spec = make_spec(next_id++, src, dst,
+                            std::make_shared<DualPeriodicEnvelope>(
+                                c1, units::ms(100), c1 / 10.0, units::ms(10)),
+                            units::ms(rng.uniform(50.0, 150.0)));
+      const auto d = cac.request(spec);
+      if (d.admitted) {
+        ++admitted_total;
+        live.push_back(spec.id);
+        live_host.push_back(src_flat);
+        host_busy[static_cast<std::size_t>(src_flat)] = true;
+        EXPECT_LE(d.worst_case_delay, spec.deadline * (1 + 1e-9));
+      }
+    }
+
+    // --- Invariants after every operation. ---
+    ASSERT_EQ(cac.active_count(), live.size());
+    std::vector<Seconds> per_ring(3, 0.0);
+    std::vector<std::size_t> per_ring_count(3, 0);
+    for (const auto& [id, conn] : cac.active()) {
+      per_ring[static_cast<std::size_t>(conn.spec.src.ring)] +=
+          conn.alloc.h_s;
+      ++per_ring_count[static_cast<std::size_t>(conn.spec.src.ring)];
+      if (conn.spec.src.ring != conn.spec.dst.ring) {
+        per_ring[static_cast<std::size_t>(conn.spec.dst.ring)] +=
+            conn.alloc.h_r;
+        ++per_ring_count[static_cast<std::size_t>(conn.spec.dst.ring)];
+      }
+    }
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_NEAR(cac.ledger(r).allocated(),
+                  per_ring[static_cast<std::size_t>(r)], 1e-9)
+          << "ring " << r << " at step " << step;
+      ASSERT_EQ(cac.ledger(r).reservations(),
+                per_ring_count[static_cast<std::size_t>(r)]);
+      ASSERT_LE(cac.ledger(r).allocated(),
+                cac.ledger(r).capacity() * (1 + 1e-9));
+    }
+  }
+
+  // The run must have actually exercised admissions.
+  EXPECT_GT(admitted_total, 5);
+
+  // Final joint verification: every surviving contract still holds.
+  std::vector<ConnectionInstance> set;
+  for (const auto& [id, conn] : cac.active()) {
+    set.push_back({conn.spec, conn.alloc});
+  }
+  if (!set.empty()) {
+    const auto delays = cac.analyzer().analyze(set);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(delays[i])) << i;
+      EXPECT_LE(delays[i], set[i].spec.deadline * (1 + 1e-9)) << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnFuzzTest,
+                         ::testing::Values(11u, 23u, 47u, 101u, 907u));
+
+}  // namespace
+}  // namespace hetnet::core

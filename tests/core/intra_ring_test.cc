@@ -1,0 +1,137 @@
+// Intra-ring connections (Section 4.1 case 1): hosts on the same FDDI ring
+// reach each other over the ring alone — no interface devices, no backbone,
+// no receive-side allocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/core/cac.h"
+#include "src/sim/packet_sim.h"
+#include "src/util/units.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::core {
+namespace {
+
+using hetnet::testing::make_spec;
+using hetnet::testing::paper_topology;
+using hetnet::testing::sensor_source;
+using hetnet::testing::video_source;
+
+TEST(IntraRingTest, AnalyzerPathIsMacPlusDelayLine) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const auto spec =
+      make_spec(1, {0, 0}, {0, 2}, video_source(), units::ms(100));
+  const std::vector<ConnectionInstance> set = {{spec, {units::ms(2), 0.0}}};
+  const auto breakdown = analyzer.breakdown(set, 0);
+  ASSERT_TRUE(breakdown.has_value());
+  ASSERT_EQ(breakdown->stages.size(), 2u);
+  EXPECT_EQ(breakdown->stages[0].server_name, "FDDI_S.MAC");
+  EXPECT_EQ(breakdown->stages[1].server_name, "FDDI_S.Delay_Line");
+}
+
+TEST(IntraRingTest, CheaperThanBackboneCrossing) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const auto local =
+      make_spec(1, {0, 0}, {0, 2}, video_source(), units::ms(100));
+  const auto remote =
+      make_spec(2, {0, 0}, {1, 2}, video_source(), units::ms(100));
+  const Seconds d_local =
+      analyzer.analyze({{local, {units::ms(2), 0.0}}})[0];
+  const Seconds d_remote =
+      analyzer.analyze({{remote, {units::ms(2), units::ms(2)}}})[0];
+  ASSERT_TRUE(std::isfinite(d_local) && std::isfinite(d_remote));
+  EXPECT_LT(d_local, d_remote);
+}
+
+TEST(IntraRingTest, DoesNotShareBackbonePorts) {
+  const auto topo = paper_topology();
+  const DelayAnalyzer analyzer(&topo);
+  const auto remote =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(200));
+  const auto local =
+      make_spec(2, {0, 1}, {0, 2}, video_source(), units::ms(200));
+  const net::Allocation a{units::ms(2), units::ms(2)};
+  const Seconds alone = analyzer.analyze({{remote, a}})[0];
+  const auto both =
+      analyzer.analyze({{remote, a}, {local, {units::ms(2), 0.0}}});
+  EXPECT_NEAR(both[0], alone, 1e-12);
+}
+
+TEST(IntraRingTest, CacAdmitsWithSourceRingOnly) {
+  const auto topo = paper_topology();
+  AdmissionController cac(&topo, CacConfig{});
+  const auto spec =
+      make_spec(1, {2, 0}, {2, 3}, video_source(), units::ms(60));
+  const auto d = cac.request(spec);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_GT(d.alloc.h_s, 0.0);
+  EXPECT_DOUBLE_EQ(d.alloc.h_r, 0.0);
+  EXPECT_DOUBLE_EQ(cac.ledger(2).allocated(), d.alloc.h_s);
+  EXPECT_DOUBLE_EQ(cac.ledger(0).allocated(), 0.0);
+  EXPECT_DOUBLE_EQ(cac.ledger(1).allocated(), 0.0);
+  cac.release(1);
+  EXPECT_DOUBLE_EQ(cac.ledger(2).allocated(), 0.0);
+}
+
+TEST(IntraRingTest, SingleMacFloorNotDouble) {
+  // Only one timed-token MAC on the path: the floor is ~2·TTRT, not 4·TTRT,
+  // so deadlines infeasible for backbone crossings are feasible locally.
+  const auto topo = paper_topology();
+  AdmissionController cac(&topo, CacConfig{});
+  const auto local =
+      make_spec(1, {0, 0}, {0, 1}, sensor_source(), units::ms(22));
+  EXPECT_TRUE(cac.request(local).admitted);
+  const auto remote =
+      make_spec(2, {1, 0}, {2, 1}, sensor_source(), units::ms(22));
+  EXPECT_FALSE(cac.request(remote).admitted);
+}
+
+TEST(IntraRingTest, PacketSimDeliversLocally) {
+  const auto topo = paper_topology();
+  const auto spec =
+      make_spec(1, {0, 0}, {0, 2}, video_source(), units::ms(100));
+  const std::vector<ConnectionInstance> set = {{spec, {units::ms(2), 0.0}}};
+  const DelayAnalyzer analyzer(&topo);
+  const Seconds bound = analyzer.analyze(set)[0];
+  ASSERT_TRUE(std::isfinite(bound));
+
+  sim::PacketSimConfig cfg;
+  cfg.duration = 1.0;
+  cfg.async_fill = 0.9;
+  cfg.randomize_phases = false;
+  const auto result = sim::run_packet_simulation(topo, set, cfg);
+  const auto& trace = result.connections[0];
+  EXPECT_GT(trace.messages_generated, 0u);
+  EXPECT_EQ(trace.messages_delivered, trace.messages_generated);
+  EXPECT_LE(trace.delay.max(), bound);
+}
+
+TEST(IntraRingTest, MixedLocalAndRemoteWorkload) {
+  const auto topo = paper_topology();
+  AdmissionController cac(&topo, CacConfig{});
+  int admitted = 0;
+  for (int i = 0; i < 6; ++i) {
+    const bool local = i % 2 == 0;
+    const auto spec = make_spec(
+        static_cast<net::ConnectionId>(i + 1), {i % 3, 0 + (i / 3)},
+        local ? net::HostId{i % 3, 3} : net::HostId{(i + 1) % 3, 3},
+        sensor_source(), units::ms(80));
+    if (cac.request(spec).admitted) ++admitted;
+  }
+  EXPECT_EQ(admitted, 6);
+  // Joint analysis stays consistent.
+  std::vector<ConnectionInstance> set;
+  for (const auto& [id, conn] : cac.active()) set.push_back({conn.spec, conn.alloc});
+  const auto delays = cac.analyzer().analyze(set);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(delays[i]));
+    EXPECT_LE(delays[i], set[i].spec.deadline * (1 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace hetnet::core

@@ -1,0 +1,92 @@
+#include "src/core/provisioning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/units.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::core {
+namespace {
+
+using hetnet::testing::make_spec;
+using hetnet::testing::paper_topology;
+using hetnet::testing::video_source;
+
+class ProvisioningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_ = std::make_unique<net::AbhnTopology>(net::paper_topology_params());
+    cac_ = std::make_unique<AdmissionController>(topo_.get(), CacConfig{});
+    for (int i = 0; i < 4; ++i) {
+      auto spec = make_spec(static_cast<net::ConnectionId>(i + 1),
+                            {i % 3, i % 4}, {(i + 1) % 3, i % 4},
+                            video_source(), units::ms(120));
+      ASSERT_TRUE(cac_->request(spec).admitted) << i;
+    }
+  }
+
+  std::unique_ptr<net::AbhnTopology> topo_;
+  std::unique_ptr<AdmissionController> cac_;
+};
+
+TEST_F(ProvisioningTest, RingRowsMatchLedgers) {
+  const auto report = provisioning_report(*cac_);
+  ASSERT_EQ(report.rings.size(), 3u);
+  for (const auto& ring : report.rings) {
+    EXPECT_DOUBLE_EQ(ring.allocated,
+                     cac_->ledger(ring.ring).allocated());
+    EXPECT_DOUBLE_EQ(ring.capacity, cac_->ledger(ring.ring).capacity());
+    EXPECT_LE(ring.allocated, ring.capacity * (1 + 1e-9));
+  }
+}
+
+TEST_F(ProvisioningTest, PortsCoverEveryRouteHop) {
+  const auto report = provisioning_report(*cac_);
+  // 4 connections on distinct ring pairs: each uses 3 ports; overlaps
+  // possible, but at least 3 distinct ports must appear and every port row
+  // must carry at least one flow and a positive buffer.
+  EXPECT_GE(report.ports.size(), 3u);
+  int total_flow_slots = 0;
+  for (const auto& port : report.ports) {
+    EXPECT_GE(port.flows, 1);
+    // A lone smooth flow through a fast port can legitimately need no
+    // buffer; the bound must simply be well-defined and non-negative.
+    EXPECT_GE(port.buffer_required, 0.0);
+    EXPECT_GE(port.delay_bound, 0.0);
+    total_flow_slots += port.flows;
+  }
+  // Each of the 4 connections crosses exactly 3 ports.
+  EXPECT_EQ(total_flow_slots, 12);
+}
+
+TEST_F(ProvisioningTest, ConnectionRowsAreWithinContracts) {
+  const auto report = provisioning_report(*cac_);
+  ASSERT_EQ(report.connections.size(), 4u);
+  for (const auto& conn : report.connections) {
+    EXPECT_TRUE(std::isfinite(conn.worst_case_delay));
+    EXPECT_LE(conn.worst_case_delay, conn.deadline * (1 + 1e-9));
+    EXPECT_GT(conn.private_buffers, 0.0);
+  }
+}
+
+TEST_F(ProvisioningTest, RenderingContainsAllSections) {
+  const auto report = provisioning_report(*cac_);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("synchronous bandwidth"), std::string::npos);
+  EXPECT_NE(text.find("ATM output ports"), std::string::npos);
+  EXPECT_NE(text.find("connections:"), std::string::npos);
+}
+
+TEST(ProvisioningEmptyTest, EmptyControllerYieldsEmptySections) {
+  const auto topo = paper_topology();
+  AdmissionController cac(&topo, CacConfig{});
+  const auto report = provisioning_report(cac);
+  EXPECT_EQ(report.rings.size(), 3u);
+  EXPECT_TRUE(report.ports.empty());
+  EXPECT_TRUE(report.connections.empty());
+}
+
+}  // namespace
+}  // namespace hetnet::core

@@ -1,0 +1,109 @@
+#include "src/core/region.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/units.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::core {
+namespace {
+
+using hetnet::testing::make_spec;
+using hetnet::testing::paper_topology;
+using hetnet::testing::video_source;
+
+TEST(RegionTest, GridShapeAndCoordinates) {
+  const auto topo = paper_topology();
+  AdmissionController cac(&topo, CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(100));
+  const RegionGrid grid = sample_feasible_region(cac, spec, 5, 4);
+  EXPECT_EQ(grid.steps_s, 5);
+  EXPECT_EQ(grid.steps_r, 4);
+  EXPECT_EQ(grid.samples.size(), 20u);
+  EXPECT_DOUBLE_EQ(grid.at(4, 3).h_s, grid.h_s_max);
+  EXPECT_DOUBLE_EQ(grid.at(4, 3).h_r, grid.h_r_max);
+}
+
+TEST(RegionTest, RegionIsUpwardClosed) {
+  // More bandwidth never breaks feasibility (alone in the network, there is
+  // no cross-traffic coupling): if (i, j) is feasible, so is (i', j') >= it.
+  const auto topo = paper_topology();
+  AdmissionController cac(&topo, CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(100));
+  const RegionGrid grid = sample_feasible_region(cac, spec, 9, 9);
+  for (int j = 0; j < 9; ++j) {
+    for (int i = 0; i < 9; ++i) {
+      if (!grid.at(i, j).feasible) continue;
+      for (int jj = j; jj < 9; ++jj) {
+        for (int ii = i; ii < 9; ++ii) {
+          EXPECT_TRUE(grid.at(ii, jj).feasible)
+              << "(" << i << "," << j << ") feasible but (" << ii << ","
+              << jj << ") not";
+        }
+      }
+    }
+  }
+}
+
+TEST(RegionTest, ConvexityHoldsEmpirically) {
+  // Theorems 3–4: the feasible region is convex. Checked on the Figure-6
+  // scenario (background connections sharing the path).
+  const auto topo = paper_topology();
+  AdmissionController cac(&topo, CacConfig{});
+  for (int i = 0; i < 2; ++i) {
+    auto bg = make_spec(static_cast<net::ConnectionId>(i + 1), {0, i + 1},
+                        {1, i + 1}, video_source(), units::ms(100));
+    ASSERT_TRUE(cac.request(bg).admitted);
+  }
+  const auto spec =
+      make_spec(99, {0, 0}, {1, 0}, video_source(), units::ms(100));
+  const RegionGrid grid = sample_feasible_region(cac, spec, 11, 11);
+  EXPECT_EQ(count_convexity_violations(grid), 0);
+}
+
+TEST(RegionTest, DelayDecreasesUpward) {
+  const auto topo = paper_topology();
+  AdmissionController cac(&topo, CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(100));
+  const RegionGrid grid = sample_feasible_region(cac, spec, 6, 6);
+  for (int j = 1; j < 6; ++j) {
+    for (int i = 1; i < 6; ++i) {
+      const auto& here = grid.at(i, j);
+      const auto& left = grid.at(i - 1, j);
+      const auto& below = grid.at(i, j - 1);
+      if (std::isfinite(here.delay) && std::isfinite(left.delay)) {
+        EXPECT_LE(here.delay, left.delay * (1 + 1e-9));
+      }
+      if (std::isfinite(here.delay) && std::isfinite(below.delay)) {
+        EXPECT_LE(here.delay, below.delay * (1 + 1e-9));
+      }
+    }
+  }
+}
+
+TEST(RegionTest, RenderMarksFeasibleCells) {
+  const auto topo = paper_topology();
+  AdmissionController cac(&topo, CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(100));
+  const RegionGrid grid = sample_feasible_region(cac, spec, 6, 6);
+  const std::string art = render_region(grid);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("H_R"), std::string::npos);
+}
+
+TEST(RegionTest, EmptyGridRejected) {
+  const auto topo = paper_topology();
+  AdmissionController cac(&topo, CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(100));
+  EXPECT_THROW(sample_feasible_region(cac, spec, 0, 3), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hetnet::core

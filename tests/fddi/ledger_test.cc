@@ -1,0 +1,88 @@
+#include "src/fddi/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/units.h"
+
+namespace hetnet::fddi {
+namespace {
+
+RingParams ring() { return RingParams{}; }  // TTRT 8 ms, Δ 1 ms
+
+TEST(LedgerTest, CapacityIsTtrtMinusOverhead) {
+  SyncBandwidthLedger ledger(ring());
+  EXPECT_DOUBLE_EQ(ledger.capacity(), units::ms(7));
+  EXPECT_DOUBLE_EQ(ledger.available(), units::ms(7));
+  EXPECT_DOUBLE_EQ(ledger.allocated(), 0.0);
+}
+
+TEST(LedgerTest, ReserveAndRelease) {
+  SyncBandwidthLedger ledger(ring());
+  ASSERT_TRUE(ledger.reserve(1, units::ms(2)));
+  EXPECT_DOUBLE_EQ(ledger.allocated(), units::ms(2));
+  EXPECT_DOUBLE_EQ(ledger.available(), units::ms(5));
+  EXPECT_TRUE(ledger.holds(1));
+  EXPECT_DOUBLE_EQ(ledger.held(1), units::ms(2));
+  ledger.release(1);
+  EXPECT_DOUBLE_EQ(ledger.available(), units::ms(7));
+  EXPECT_FALSE(ledger.holds(1));
+}
+
+TEST(LedgerTest, ProtocolConstraintEnforced) {
+  // ΣH + Δ <= TTRT: cannot hand out more than 7 ms total.
+  SyncBandwidthLedger ledger(ring());
+  ASSERT_TRUE(ledger.reserve(1, units::ms(4)));
+  EXPECT_FALSE(ledger.reserve(2, units::ms(4)));  // would exceed capacity
+  ASSERT_TRUE(ledger.reserve(2, units::ms(3)));   // exactly fills it
+  EXPECT_DOUBLE_EQ(ledger.available(), 0.0);
+}
+
+TEST(LedgerTest, ExactFillViaApproxTolerance) {
+  SyncBandwidthLedger ledger(ring());
+  // Many small grants summing to capacity with FP noise must still fit.
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(ledger.reserve(static_cast<std::uint64_t>(i), units::ms(1)))
+        << i;
+  }
+  EXPECT_NEAR(ledger.available(), 0.0, 1e-12);
+}
+
+TEST(LedgerTest, DuplicateKeyRejected) {
+  SyncBandwidthLedger ledger(ring());
+  ASSERT_TRUE(ledger.reserve(7, units::ms(1)));
+  EXPECT_FALSE(ledger.reserve(7, units::ms(1)));
+  // The failed attempt must not change the books.
+  EXPECT_DOUBLE_EQ(ledger.allocated(), units::ms(1));
+}
+
+TEST(LedgerTest, NonPositiveReservationRejected) {
+  SyncBandwidthLedger ledger(ring());
+  EXPECT_FALSE(ledger.reserve(1, 0.0));
+  EXPECT_FALSE(ledger.reserve(1, -units::ms(1)));
+}
+
+TEST(LedgerTest, ReleaseUnknownKeyThrows) {
+  SyncBandwidthLedger ledger(ring());
+  EXPECT_THROW(ledger.release(99), std::logic_error);
+  EXPECT_THROW(ledger.held(99), std::logic_error);
+}
+
+TEST(LedgerTest, ReservationCountTracked) {
+  SyncBandwidthLedger ledger(ring());
+  EXPECT_EQ(ledger.reservations(), 0u);
+  ledger.reserve(1, units::ms(1));
+  ledger.reserve(2, units::ms(1));
+  EXPECT_EQ(ledger.reservations(), 2u);
+  ledger.release(1);
+  EXPECT_EQ(ledger.reservations(), 1u);
+}
+
+TEST(LedgerTest, InvalidRingRejected) {
+  RingParams bad;
+  bad.ttrt = units::ms(1);
+  bad.protocol_overhead = units::ms(2);
+  EXPECT_THROW(SyncBandwidthLedger{bad}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace hetnet::fddi

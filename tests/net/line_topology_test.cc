@@ -1,0 +1,101 @@
+// The linear-backbone variant: long multi-switch routes exercise deep
+// server chains and many coupled ports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/cac.h"
+#include "src/net/topology.h"
+#include "src/sim/packet_sim.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::net {
+namespace {
+
+TopologyParams line_params(int rings) {
+  TopologyParams p = paper_topology_params();
+  p.backbone_shape = BackboneShape::kLine;
+  p.num_rings = rings;
+  return p;
+}
+
+TEST(LineTopologyTest, EndToEndRouteLengthGrowsWithDistance) {
+  const AbhnTopology topo(line_params(5));
+  // Adjacent rings: ID → S_a → S_b → ID = 3 ports.
+  EXPECT_EQ(topo.backbone_route({0, 0}, {1, 0}).size(), 3u);
+  // End to end: ID → S0 → S1 → S2 → S3 → S4 → ID = 6 ports.
+  EXPECT_EQ(topo.backbone_route({0, 0}, {4, 0}).size(), 6u);
+}
+
+TEST(LineTopologyTest, LongChainAnalysisIsFinite) {
+  const AbhnTopology topo(line_params(5));
+  const core::DelayAnalyzer analyzer(&topo);
+  const auto spec = testing::make_spec(1, {0, 0}, {4, 0},
+                                       testing::video_source(),
+                                       units::ms(200));
+  const auto delays =
+      analyzer.analyze({{spec, {units::ms(2), units::ms(2)}}});
+  ASSERT_TRUE(std::isfinite(delays[0]));
+  // Still dominated by the two MACs, not the extra switch hops.
+  EXPECT_LT(delays[0], units::ms(100));
+  // The breakdown covers every hop: 2 + 3 + 6 + 3 + 2 stages.
+  const auto breakdown =
+      analyzer.breakdown({{spec, {units::ms(2), units::ms(2)}}}, 0);
+  ASSERT_TRUE(breakdown.has_value());
+  EXPECT_EQ(breakdown->stages.size(), 16u);
+}
+
+TEST(LineTopologyTest, TransitTrafficCouplesAtMiddleLinks) {
+  // A middle link (S1→S2) carries both the 0→4 and the 1→3 connections:
+  // the long connection's bound rises when the overlapping one appears.
+  const AbhnTopology topo(line_params(5));
+  const core::DelayAnalyzer analyzer(&topo);
+  const net::Allocation alloc{units::ms(2), units::ms(2)};
+  const auto long_conn = testing::make_spec(1, {0, 0}, {4, 0},
+                                            testing::video_source(),
+                                            units::ms(200));
+  const auto overlap = testing::make_spec(2, {1, 0}, {3, 0},
+                                          testing::video_source(),
+                                          units::ms(200));
+  const Seconds alone = analyzer.analyze({{long_conn, alloc}})[0];
+  const auto both = analyzer.analyze({{long_conn, alloc}, {overlap, alloc}});
+  EXPECT_GT(both[0], alone);
+}
+
+TEST(LineTopologyTest, CacAdmitsAcrossTheLine) {
+  const AbhnTopology topo(line_params(4));
+  core::AdmissionController cac(&topo, core::CacConfig{});
+  const auto spec = testing::make_spec(1, {0, 0}, {3, 0},
+                                       testing::video_source(),
+                                       units::ms(120));
+  const auto d = cac.request(spec);
+  ASSERT_TRUE(d.admitted);
+  EXPECT_LE(d.worst_case_delay, spec.deadline);
+  // Only the endpoint rings hold allocations; transit rings are untouched.
+  EXPECT_GT(cac.ledger(0).allocated(), 0.0);
+  EXPECT_DOUBLE_EQ(cac.ledger(1).allocated(), 0.0);
+  EXPECT_DOUBLE_EQ(cac.ledger(2).allocated(), 0.0);
+  EXPECT_GT(cac.ledger(3).allocated(), 0.0);
+}
+
+TEST(LineTopologyTest, PacketSimBoundsHoldOnLongChains) {
+  const AbhnTopology topo(line_params(4));
+  const core::DelayAnalyzer analyzer(&topo);
+  const auto spec = testing::make_spec(1, {0, 0}, {3, 1},
+                                       testing::video_source(),
+                                       units::ms(200));
+  const std::vector<core::ConnectionInstance> set = {
+      {spec, {units::ms(2), units::ms(2)}}};
+  const Seconds bound = analyzer.analyze(set)[0];
+  ASSERT_TRUE(std::isfinite(bound));
+  sim::PacketSimConfig cfg;
+  cfg.duration = 1.5;
+  cfg.randomize_phases = false;
+  cfg.async_fill = 0.9;
+  const auto result = sim::run_packet_simulation(topo, set, cfg);
+  ASSERT_GT(result.connections[0].messages_delivered, 0u);
+  EXPECT_LE(result.connections[0].delay.max(), bound);
+}
+
+}  // namespace
+}  // namespace hetnet::net

@@ -1,0 +1,67 @@
+#include "src/net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/scenario.h"
+
+namespace hetnet::net {
+namespace {
+
+TEST(TopologyTest, PaperScenarioShape) {
+  const AbhnTopology topo = testing::paper_topology();
+  EXPECT_EQ(topo.num_rings(), 3);
+  EXPECT_EQ(topo.num_hosts(), 12);
+  EXPECT_EQ(topo.backbone().num_switches(), 3);
+  EXPECT_EQ(topo.backbone().num_accesses(), 3);
+}
+
+TEST(TopologyTest, FlatIndexingRoundTrips) {
+  const AbhnTopology topo = testing::paper_topology();
+  for (int i = 0; i < topo.num_hosts(); ++i) {
+    const HostId h = topo.host_at(i);
+    EXPECT_TRUE(topo.valid_host(h));
+    EXPECT_EQ(topo.flat_index(h), i);
+  }
+  EXPECT_THROW(topo.host_at(12), std::logic_error);
+  EXPECT_THROW(topo.host_at(-1), std::logic_error);
+}
+
+TEST(TopologyTest, ValidHostBounds) {
+  const AbhnTopology topo = testing::paper_topology();
+  EXPECT_TRUE(topo.valid_host({0, 0}));
+  EXPECT_TRUE(topo.valid_host({2, 3}));
+  EXPECT_FALSE(topo.valid_host({3, 0}));
+  EXPECT_FALSE(topo.valid_host({0, 4}));
+  EXPECT_FALSE(topo.valid_host({-1, 0}));
+}
+
+TEST(TopologyTest, BackboneRouteCrossesThreePorts) {
+  const AbhnTopology topo = testing::paper_topology();
+  const auto hops = topo.backbone_route({0, 1}, {2, 3});
+  // ID0 → S0 → S2 → ID2.
+  EXPECT_EQ(hops.size(), 3u);
+}
+
+TEST(TopologyTest, SameRingRouteIsDirect) {
+  const AbhnTopology topo = testing::paper_topology();
+  EXPECT_TRUE(topo.backbone_route({0, 0}, {0, 1}).empty());
+}
+
+TEST(TopologyTest, SameRingPairsShareRoutePorts) {
+  const AbhnTopology topo = testing::paper_topology();
+  const auto h1 = topo.backbone_route({0, 0}, {1, 0});
+  const auto h2 = topo.backbone_route({0, 3}, {1, 2});
+  ASSERT_EQ(h1.size(), h2.size());
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    EXPECT_EQ(h1[i].port, h2[i].port);
+  }
+}
+
+TEST(TopologyTest, TooFewRingsRejected) {
+  TopologyParams p = paper_topology_params();
+  p.num_rings = 1;
+  EXPECT_THROW(AbhnTopology{p}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace hetnet::net

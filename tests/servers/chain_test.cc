@@ -1,0 +1,112 @@
+#include "src/servers/chain.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/servers/constant_delay.h"
+#include "src/servers/conversion.h"
+#include "src/servers/fddi_mac.h"
+#include "src/servers/fifo_mux.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+namespace {
+
+TEST(ServerChainTest, SumsDelays) {
+  ServerChain chain;
+  chain.append(std::make_shared<ConstantDelayServer>("a", units::us(10)));
+  chain.append(std::make_shared<ConstantDelayServer>("b", units::us(20)));
+  chain.append(std::make_shared<ConstantDelayServer>("c", units::us(30)));
+  auto input = std::make_shared<LeakyBucketEnvelope>(100.0, 1000.0);
+  const auto result = chain.analyze(input);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->total_delay, units::us(60));
+  EXPECT_EQ(result->stages.size(), 3u);
+  EXPECT_EQ(result->stages[1].server_name, "b");
+}
+
+TEST(ServerChainTest, PropagatesEnvelopesThroughStages) {
+  ServerChain chain;
+  chain.append(make_frame_to_cell_server("F2C", 1000.0, 384.0, 424.0, 0.0));
+  chain.append(std::make_shared<ConstantDelayServer>("line", units::us(5)));
+  auto input = std::make_shared<LeakyBucketEnvelope>(0.0, 1000.0);
+  const auto result = chain.analyze(input);
+  ASSERT_TRUE(result.has_value());
+  // Final envelope reflects the conversion (3 cells × 424 per 1000-bit frame).
+  EXPECT_DOUBLE_EQ(result->final_output->bits(1.0), 3.0 * 424.0);
+}
+
+TEST(ServerChainTest, NulloptPropagates) {
+  ServerChain chain;
+  chain.append(std::make_shared<ConstantDelayServer>("ok", units::us(10)));
+  // Overbooked mux in the middle.
+  FifoMuxParams p;
+  p.capacity = units::mbps(1);
+  chain.append(std::make_shared<FifoMuxServer>(
+      "port", p, std::make_shared<ZeroEnvelope>()));
+  auto input = std::make_shared<LeakyBucketEnvelope>(0.0, units::mbps(2));
+  EXPECT_FALSE(chain.analyze(input).has_value());
+}
+
+TEST(ServerChainTest, EmptyChainIsIdentity) {
+  ServerChain chain;
+  auto input = std::make_shared<LeakyBucketEnvelope>(100.0, 1000.0);
+  const auto result = chain.analyze(input);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->total_delay, 0.0);
+  EXPECT_EQ(result->final_output.get(), input.get());
+}
+
+TEST(ServerChainTest, RejectsNullServer) {
+  ServerChain chain;
+  EXPECT_THROW(chain.append(nullptr), std::logic_error);
+  EXPECT_THROW(ServerChain({nullptr}), std::logic_error);
+}
+
+// An end-to-end FDDI→conversion→mux chain: the miniature of the paper's
+// FDDI_S + ID_S decomposition, checked for finiteness and sane ordering.
+TEST(ServerChainTest, MiniatureSendSideDecomposition) {
+  FddiMacParams mac;
+  mac.ttrt = units::ms(8);
+  mac.sync_allocation = units::ms(1);
+  mac.ring_rate = units::mbps(100);
+
+  FifoMuxParams port;
+  port.capacity = units::mbps(155) * 48.0 / 53.0;
+  port.non_preemption = 424.0 / units::mbps(155);
+  port.cell_bits = 384.0;
+
+  ServerChain chain;
+  chain.append(std::make_shared<FddiMacServer>("FDDI_MAC", mac));
+  chain.append(std::make_shared<ConstantDelayServer>("Delay_Line",
+                                                     units::us(40)));
+  chain.append(std::make_shared<ConstantDelayServer>("Input_Port",
+                                                     units::us(10)));
+  chain.append(std::make_shared<ConstantDelayServer>("Frame_Switch",
+                                                     units::us(10)));
+  chain.append(make_frame_to_cell_server("Frame_Cell", 36000.0, 384.0, 384.0,
+                                         units::us(50)));
+  chain.append(std::make_shared<FifoMuxServer>(
+      "Output_Port", port, std::make_shared<ZeroEnvelope>()));
+
+  auto source = std::make_shared<DualPeriodicEnvelope>(
+      300000.0, units::ms(100), 100000.0, units::ms(20));
+  const auto result = chain.analyze(source);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->stages.size(), 6u);
+  // The MAC dominates the budget (queueing against 8 ms rotations).
+  EXPECT_GT(result->stages[0].analysis.worst_case_delay, units::ms(10));
+  EXPECT_LT(result->total_delay, units::sec(1));
+  // Every stage contributes a nonnegative delay summing to the total.
+  Seconds sum = 0.0;
+  for (const auto& stage : result->stages) {
+    EXPECT_GE(stage.analysis.worst_case_delay, 0.0);
+    sum += stage.analysis.worst_case_delay;
+  }
+  EXPECT_DOUBLE_EQ(sum, result->total_delay);
+}
+
+}  // namespace
+}  // namespace hetnet

@@ -1,0 +1,80 @@
+#include "src/servers/conversion.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+namespace {
+
+TEST(ConversionServerTest, FrameToCellUnits) {
+  // F_S = 4000-bit frames, 384-bit cell payloads: F_C = ⌈4000/384⌉ = 11
+  // cells per frame, accounted at the 424-bit wire size.
+  auto s = make_frame_to_cell_server("F2C", 4000.0, 384.0, 424.0, 0.0);
+  EXPECT_DOUBLE_EQ(s->in_unit(), 4000.0);
+  EXPECT_DOUBLE_EQ(s->out_unit(), 11.0 * 424.0);
+}
+
+TEST(ConversionServerTest, CellToFrameUnits) {
+  auto s = make_cell_to_frame_server("C2F", 4000.0, 384.0, 424.0, 0.0);
+  EXPECT_DOUBLE_EQ(s->in_unit(), 11.0 * 424.0);
+  EXPECT_DOUBLE_EQ(s->out_unit(), 4000.0);
+}
+
+TEST(ConversionServerTest, Theorem2EnvelopeTransform) {
+  // A'(I) = ⌈A(I)/F_S⌉ · F_C·C_S (eq. 21), payload accounting.
+  auto s = make_frame_to_cell_server("F2C", 1000.0, 384.0, 384.0,
+                                     units::us(10));
+  auto input = std::make_shared<LeakyBucketEnvelope>(0.0, 1000.0);
+  const auto result = s->analyze(input);
+  ASSERT_TRUE(result.has_value());
+  const double f_c_cs = 3.0 * 384.0;  // ⌈1000/384⌉ = 3 cells
+  EXPECT_DOUBLE_EQ(result->output->bits(0.5), 1.0 * f_c_cs);
+  EXPECT_DOUBLE_EQ(result->output->bits(1.0), 1.0 * f_c_cs);
+  EXPECT_DOUBLE_EQ(result->output->bits(2.5), 3.0 * f_c_cs);
+}
+
+TEST(ConversionServerTest, ProcessingDelayReported) {
+  auto s = make_frame_to_cell_server("F2C", 1000.0, 384.0, 424.0,
+                                     units::us(25));
+  auto input = std::make_shared<ZeroEnvelope>();
+  const auto result = s->analyze(input);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->worst_case_delay, units::us(25));
+}
+
+TEST(ConversionServerTest, RoundTripPreservesRateUpToPadding) {
+  // frame → cells → frame keeps the long-term rate within the cell-padding
+  // inflation factor.
+  auto f2c = make_frame_to_cell_server("F2C", 4000.0, 384.0, 424.0, 0.0);
+  auto c2f = make_cell_to_frame_server("C2F", 4000.0, 384.0, 424.0, 0.0);
+  auto input = std::make_shared<PeriodicEnvelope>(4000.0, units::ms(10));
+  const auto mid = f2c->analyze(input);
+  ASSERT_TRUE(mid.has_value());
+  const auto out = c2f->analyze(mid->output);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(out->output->long_term_rate(), input->long_term_rate());
+}
+
+TEST(ConversionServerTest, BufferHoldsOneUnitPlusInflight) {
+  auto s = make_frame_to_cell_server("F2C", 1000.0, 384.0, 424.0, 1.0);
+  auto input = std::make_shared<LeakyBucketEnvelope>(100.0, 50.0);
+  const auto result = s->analyze(input);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->buffer_required, 1000.0 + 150.0);
+}
+
+TEST(ConversionServerTest, RejectsBadParameters) {
+  EXPECT_THROW(ConversionServer("x", 0.0, 1.0, 0.0), std::logic_error);
+  EXPECT_THROW(ConversionServer("x", 1.0, 0.0, 0.0), std::logic_error);
+  EXPECT_THROW(ConversionServer("x", 1.0, 1.0, -1.0), std::logic_error);
+  // Accounting smaller than payload.
+  EXPECT_THROW(make_frame_to_cell_server("x", 1000.0, 384.0, 100.0, 0.0),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace hetnet

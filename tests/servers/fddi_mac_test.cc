@@ -1,0 +1,186 @@
+#include "src/servers/fddi_mac.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+namespace {
+
+// Reference configuration: TTRT = 8 ms, 100 Mb/s ring, H = 1 ms per visit
+// (per-visit service quantum H·BW = 100 kbit).
+FddiMacParams ref_params() {
+  FddiMacParams p;
+  p.ttrt = units::ms(8);
+  p.sync_allocation = units::ms(1);
+  p.ring_rate = units::mbps(100);
+  return p;
+}
+
+TEST(FddiMacServerTest, AvailStepsAtRotations) {
+  FddiMacServer s("mac", ref_params());
+  const Bits per_visit = units::ms(1) * units::mbps(100);  // 1e5 bits
+  EXPECT_DOUBLE_EQ(s.avail(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.avail(units::ms(4)), 0.0);
+  EXPECT_DOUBLE_EQ(s.avail(units::ms(8)), 0.0);   // (⌊1⌋−1)·pv = 0
+  EXPECT_DOUBLE_EQ(s.avail(units::ms(16)), per_visit);
+  EXPECT_DOUBLE_EQ(s.avail(units::ms(24)), 2 * per_visit);
+  // The left limit lags one rotation at the boundary.
+  EXPECT_DOUBLE_EQ(s.avail_left(units::ms(16)), 0.0);
+  EXPECT_DOUBLE_EQ(s.avail_left(units::ms(24)), per_visit);
+}
+
+TEST(FddiMacServerTest, SmallMessageDelayIsTwoTTRT) {
+  // A message that fits in one synchronous window has the classic timed-token
+  // worst case of 2·TTRT (wait for the current rotation, send on the next).
+  FddiMacServer s("mac", ref_params());
+  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::sec(1));
+  const auto result = s.analyze(msg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->worst_case_delay, 2 * units::ms(8), 1e-9);
+}
+
+TEST(FddiMacServerTest, MultiWindowMessageDelay) {
+  // 250 kbit needs ⌈250k/100k⌉ = 3 token visits: delay = (3+1)·TTRT.
+  FddiMacServer s("mac", ref_params());
+  auto msg = std::make_shared<PeriodicEnvelope>(250000.0, units::sec(10));
+  const auto result = s.analyze(msg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->worst_case_delay, 4 * units::ms(8), 1e-9);
+}
+
+TEST(FddiMacServerTest, BusyIntervalForSmallBurst) {
+  FddiMacServer s("mac", ref_params());
+  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::sec(1));
+  const auto busy = s.busy_interval(msg);
+  ASSERT_TRUE(busy.has_value());
+  // 50 kbit <= avail at the 2nd rotation (1 visit credited).
+  EXPECT_DOUBLE_EQ(*busy, units::ms(16));
+}
+
+TEST(FddiMacServerTest, UnstableSourceHasNoBound) {
+  // Long-term rate 50 Mb/s against a guaranteed 100k/8ms = 12.5 Mb/s.
+  FddiMacServer s("mac", ref_params());
+  auto msg = std::make_shared<LeakyBucketEnvelope>(0.0, units::mbps(50));
+  EXPECT_FALSE(s.busy_interval(msg).has_value());
+  EXPECT_FALSE(s.analyze(msg).has_value());
+}
+
+TEST(FddiMacServerTest, BufferBoundEqualsPeakBacklog) {
+  FddiMacServer s("mac", ref_params());
+  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::sec(1));
+  const auto result = s.analyze(msg);
+  ASSERT_TRUE(result.has_value());
+  // The whole burst is buffered before the first credited visit.
+  EXPECT_DOUBLE_EQ(result->buffer_required, 50000.0);
+}
+
+TEST(FddiMacServerTest, FiniteBufferOverflowRejects) {
+  FddiMacParams p = ref_params();
+  p.buffer_limit = 40000.0;  // smaller than the 50 kbit burst
+  FddiMacServer s("mac", p);
+  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::sec(1));
+  EXPECT_FALSE(s.analyze(msg).has_value());
+}
+
+TEST(FddiMacServerTest, DelayDecreasesWithAllocation) {
+  auto msg = std::make_shared<PeriodicEnvelope>(300000.0, units::ms(100));
+  Seconds prev = 1e9;
+  for (double h_ms : {0.5, 1.0, 2.0, 4.0}) {
+    FddiMacParams p = ref_params();
+    p.sync_allocation = units::ms(h_ms);
+    FddiMacServer s("mac", p);
+    const auto result = s.analyze(msg);
+    ASSERT_TRUE(result.has_value()) << "H=" << h_ms << "ms";
+    EXPECT_LE(result->worst_case_delay, prev + 1e-12) << "H=" << h_ms << "ms";
+    prev = result->worst_case_delay;
+  }
+}
+
+TEST(FddiMacServerTest, OutputCappedByRingRate) {
+  FddiMacServer s("mac", ref_params());
+  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::ms(100));
+  const auto result = s.analyze(msg);
+  ASSERT_TRUE(result.has_value());
+  for (double i = 1e-5; i < 0.05; i += 0.0013) {
+    EXPECT_LE(result->output->bits(i), units::mbps(100) * i * (1 + 1e-9))
+        << "I=" << i;
+  }
+}
+
+TEST(FddiMacServerTest, OutputPreservesLongTermRate) {
+  FddiMacServer s("mac", ref_params());
+  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::ms(100));
+  const auto result = s.analyze(msg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->output->long_term_rate(), msg->long_term_rate(), 1e-6);
+}
+
+TEST(FddiMacServerTest, OutputIsMonotone) {
+  FddiMacServer s("mac", ref_params());
+  auto msg = std::make_shared<DualPeriodicEnvelope>(
+      300000.0, units::ms(100), 100000.0, units::ms(20));
+  const auto result = s.analyze(msg);
+  ASSERT_TRUE(result.has_value());
+  double prev = -1.0;
+  for (double i = 0.0; i < 0.2; i += 0.00071) {
+    const double v = result->output->bits(i);
+    EXPECT_GE(v, prev - 1e-6) << "I=" << i;
+    prev = v;
+  }
+}
+
+// Υ must upper-bound what can actually leave the MAC: over any window of
+// length I the departures cannot exceed arrivals ever admitted... the
+// cheapest executable check is against the unrasterized definition at the
+// sampled points: rasterization may only raise values.
+TEST(FddiMacServerTest, RasterizedOutputDominatesExactOutput) {
+  auto msg = std::make_shared<DualPeriodicEnvelope>(
+      300000.0, units::ms(100), 100000.0, units::ms(20));
+  AnalysisConfig raw_cfg;
+  raw_cfg.rasterize_mac_output = false;
+  AnalysisConfig ras_cfg;  // default: rasterized
+  FddiMacServer raw("mac", ref_params(), raw_cfg);
+  FddiMacServer ras("mac", ref_params(), ras_cfg);
+  const auto raw_result = raw.analyze(msg);
+  const auto ras_result = ras.analyze(msg);
+  ASSERT_TRUE(raw_result.has_value());
+  ASSERT_TRUE(ras_result.has_value());
+  for (double i = 0.0; i < 0.4; i += 0.0017) {
+    EXPECT_GE(ras_result->output->bits(i),
+              raw_result->output->bits(i) - 1e-6)
+        << "I=" << i;
+  }
+}
+
+TEST(FddiMacServerTest, DelayInfinityViaBudgetExhaustion) {
+  // A source at 99.99% of the guaranteed rate with large bursts closes its
+  // busy interval far beyond the rotation budget.
+  AnalysisConfig cfg;
+  cfg.max_busy_rotations = 4;
+  FddiMacServer s("mac", ref_params(), cfg);
+  auto msg = std::make_shared<LeakyBucketEnvelope>(units::mbits(1),
+                                                   units::mbps(12.4));
+  EXPECT_FALSE(s.analyze(msg).has_value());
+}
+
+TEST(FddiMacServerTest, ConstructorValidatesParams) {
+  FddiMacParams p = ref_params();
+  p.ttrt = 0.0;
+  EXPECT_THROW(FddiMacServer("m", p), std::logic_error);
+  p = ref_params();
+  p.sync_allocation = 0.0;
+  EXPECT_THROW(FddiMacServer("m", p), std::logic_error);
+  p = ref_params();
+  p.sync_allocation = units::ms(9);  // H > TTRT
+  EXPECT_THROW(FddiMacServer("m", p), std::logic_error);
+  p = ref_params();
+  p.ring_rate = 0.0;
+  EXPECT_THROW(FddiMacServer("m", p), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hetnet

@@ -1,0 +1,213 @@
+// Reference-implementation cross-checks for the worst-case scans.
+//
+// The production analyses locate extrema exactly (rotation boundaries,
+// breakpoint segments, level crossings). These tests recompute the same
+// quantities with a deliberately dumb dense-grid evaluation of the defining
+// formulas; the dense grid can only UNDERestimate a supremum, so the
+// production bound must always dominate it — and should match it closely
+// when the grid is fine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/traffic/algebra.h"
+
+#include "src/servers/fddi_mac.h"
+#include "src/servers/fifo_mux.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+namespace {
+
+struct MacCase {
+  std::string name;
+  Seconds ttrt;
+  Seconds h;
+  std::function<EnvelopePtr()> source;
+};
+
+const MacCase kMacCases[] = {
+    {"small_periodic", units::ms(8), units::ms(1),
+     [] { return std::make_shared<PeriodicEnvelope>(50000.0, units::ms(50)); }},
+    {"multi_visit_burst", units::ms(8), units::ms(1),
+     [] {
+       return std::make_shared<PeriodicEnvelope>(250000.0, units::ms(80));
+     }},
+    {"dual_periodic", units::ms(8), units::ms(2),
+     [] {
+       return std::make_shared<DualPeriodicEnvelope>(
+           500000.0, units::ms(100), 100000.0, units::ms(20));
+     }},
+    {"peak_limited", units::ms(8), units::ms(1),
+     [] {
+       return std::make_shared<DualPeriodicEnvelope>(
+           300000.0, units::ms(100), 50000.0, units::ms(10),
+           units::mbps(100));
+     }},
+    {"leaky_bucket", units::ms(4), units::ms(1),
+     [] {
+       return std::make_shared<LeakyBucketEnvelope>(80000.0, units::mbps(10));
+     }},
+    {"tight_ttrt", units::ms(16), units::ms(4),
+     [] {
+       return std::make_shared<PeriodicEnvelope>(400000.0, units::ms(60));
+     }},
+};
+
+class MacReferenceTest : public ::testing::TestWithParam<MacCase> {};
+
+TEST_P(MacReferenceTest, DelayDominatesDenseGridSupremum) {
+  const MacCase& c = GetParam();
+  FddiMacParams params;
+  params.ttrt = c.ttrt;
+  params.sync_allocation = c.h;
+  params.ring_rate = units::mbps(100);
+  const FddiMacServer server("mac", params);
+  const auto env = c.source();
+  const auto result = server.analyze(env);
+  ASSERT_TRUE(result.has_value());
+
+  // Reference: χ_ref = max over a dense grid of t of
+  //   min{ d : avail(t+d) >= A(t) }  with  avail from the same server.
+  const Bits per_visit = c.h * params.ring_rate;
+  const Seconds t_end = 64 * c.ttrt;
+  double chi_ref = 0.0;
+  for (double t = 1e-7; t < t_end; t += c.ttrt / 97.0) {
+    const Bits backlog = env->bits(t);
+    if (backlog <= 0) continue;
+    const double visits_needed = std::ceil(backlog / per_visit - 1e-9);
+    const Seconds service_at = (visits_needed + 1.0) * c.ttrt;
+    chi_ref = std::max(chi_ref, service_at - t);
+  }
+  EXPECT_GE(result->worst_case_delay, chi_ref - 1e-9) << "unsound bound";
+  // The exact computation should not exceed the reference by more than one
+  // rotation (grid quantization slack).
+  EXPECT_LE(result->worst_case_delay, chi_ref + c.ttrt + 1e-9);
+}
+
+TEST_P(MacReferenceTest, BufferDominatesDenseGridSupremum) {
+  const MacCase& c = GetParam();
+  FddiMacParams params;
+  params.ttrt = c.ttrt;
+  params.sync_allocation = c.h;
+  params.ring_rate = units::mbps(100);
+  const FddiMacServer server("mac", params);
+  const auto env = c.source();
+  const auto result = server.analyze(env);
+  ASSERT_TRUE(result.has_value());
+
+  double f_ref = 0.0;
+  for (double t = 1e-7; t < 64 * c.ttrt; t += c.ttrt / 101.0) {
+    f_ref = std::max(f_ref, env->bits(t) - server.avail(t));
+  }
+  EXPECT_GE(result->buffer_required, f_ref - 1e-6) << "unsound buffer bound";
+}
+
+TEST_P(MacReferenceTest, OutputDominatesDepartureProcess) {
+  // Υ must bound what can leave: in any window the departures are at most
+  // the arrivals by the window end minus the service already guaranteed
+  // before it started — evaluated here on the dense grid.
+  const MacCase& c = GetParam();
+  FddiMacParams params;
+  params.ttrt = c.ttrt;
+  params.sync_allocation = c.h;
+  params.ring_rate = units::mbps(100);
+  const FddiMacServer server("mac", params);
+  const auto env = c.source();
+  const auto result = server.analyze(env);
+  ASSERT_TRUE(result.has_value());
+
+  for (double interval : {0.0, 0.001, 0.004, 0.016, 0.05}) {
+    double ref = env->bits(interval);  // t = 0 term
+    for (double t = c.ttrt; t < 32 * c.ttrt; t += c.ttrt) {
+      ref = std::max(ref, env->bits(t + interval) - server.avail_left(t));
+    }
+    ref = std::max(0.0, std::min(ref, params.ring_rate * interval));
+    EXPECT_GE(result->output->bits(interval), ref - 1e-6)
+        << "I=" << interval;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Theorem1, MacReferenceTest,
+                         ::testing::ValuesIn(kMacCases),
+                         [](const auto& info) { return info.param.name; });
+
+struct MuxCase {
+  std::string name;
+  BitsPerSecond capacity;
+  std::function<std::vector<EnvelopePtr>()> flows;
+};
+
+const MuxCase kMuxCases[] = {
+    {"two_buckets", units::mbps(100),
+     [] {
+       return std::vector<EnvelopePtr>{
+           std::make_shared<LeakyBucketEnvelope>(50000.0, units::mbps(20)),
+           std::make_shared<LeakyBucketEnvelope>(30000.0, units::mbps(30))};
+     }},
+    {"periodic_pair", units::mbps(140),
+     [] {
+       return std::vector<EnvelopePtr>{
+           std::make_shared<PeriodicEnvelope>(100000.0, units::ms(20)),
+           std::make_shared<PeriodicEnvelope>(80000.0, units::ms(15))};
+     }},
+    {"mixed_three", units::mbps(140),
+     [] {
+       return std::vector<EnvelopePtr>{
+           std::make_shared<DualPeriodicEnvelope>(300000.0, units::ms(100),
+                                                  60000.0, units::ms(10)),
+           std::make_shared<PeriodicEnvelope>(50000.0, units::ms(25)),
+           std::make_shared<LeakyBucketEnvelope>(20000.0, units::mbps(5))};
+     }},
+};
+
+class MuxReferenceTest : public ::testing::TestWithParam<MuxCase> {};
+
+TEST_P(MuxReferenceTest, DelayDominatesDenseGridSupremum) {
+  const MuxCase& c = GetParam();
+  FifoMuxParams params;
+  params.capacity = c.capacity;
+  auto flows = c.flows();
+  EnvelopePtr total = sum_envelopes(flows);
+  const FifoMuxServer server("port", params,
+                             std::make_shared<ZeroEnvelope>());
+  const auto d = server.queueing_delay(total);
+  ASSERT_TRUE(d.has_value());
+
+  double ref = 0.0;
+  for (double t = 1e-7; t < 0.2; t += 3.1e-5) {
+    ref = std::max(ref, total->bits(t) / c.capacity - t);
+  }
+  EXPECT_GE(*d, ref - 1e-9) << "unsound mux bound";
+  EXPECT_LE(*d, ref + 1e-3) << "mux bound far above the reference";
+}
+
+TEST_P(MuxReferenceTest, BacklogDominatesDenseGridSupremum) {
+  const MuxCase& c = GetParam();
+  FifoMuxParams params;
+  params.capacity = c.capacity;
+  auto flows = c.flows();
+  EnvelopePtr total = sum_envelopes(flows);
+  const FifoMuxServer server("port", params,
+                             std::make_shared<ZeroEnvelope>());
+  const auto result = server.analyze(total);
+  ASSERT_TRUE(result.has_value());
+
+  double ref = 0.0;
+  for (double t = 1e-7; t < 0.2; t += 2.9e-5) {
+    ref = std::max(ref, total->bits(t) - c.capacity * t);
+  }
+  EXPECT_GE(result->buffer_required, ref - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(FifoPorts, MuxReferenceTest,
+                         ::testing::ValuesIn(kMuxCases),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace hetnet

@@ -1,0 +1,139 @@
+#include "src/signaling/manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/units.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::signaling {
+namespace {
+
+using hetnet::testing::make_spec;
+using hetnet::testing::sensor_source;
+using hetnet::testing::video_source;
+
+TEST(ConnectionManagerTest, SetupEstablishesAndRecordsLatency) {
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(150));
+  manager.request_setup(spec, 0.0);
+  const auto records = manager.run();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].admitted);
+  EXPECT_TRUE(manager.known(1));
+  EXPECT_EQ(manager.state(1), ConnectionState::kEstablished);
+  // Latency = 2 × path + CAC processing; with the defaults this sits in the
+  // low milliseconds and must exceed the pure CAC term.
+  EXPECT_GT(records[0].setup_latency, units::ms(2));
+  EXPECT_LT(records[0].setup_latency, units::ms(10));
+}
+
+TEST(ConnectionManagerTest, RejectedSetupLeavesNoState) {
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(1));
+  manager.request_setup(spec, 0.0);
+  const auto records = manager.run();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].admitted);
+  EXPECT_EQ(records[0].reason, core::RejectReason::kInfeasible);
+  EXPECT_FALSE(manager.known(1));
+  EXPECT_EQ(manager.cac().active_count(), 0u);
+}
+
+TEST(ConnectionManagerTest, ReleaseReturnsBandwidthAfterPropagation) {
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(150));
+  manager.request_setup(spec, 0.0);
+  manager.request_release(1, 1.0);
+  manager.run();
+  EXPECT_FALSE(manager.known(1));
+  EXPECT_EQ(manager.cac().active_count(), 0u);
+  EXPECT_DOUBLE_EQ(manager.cac().ledger(0).allocated(), 0.0);
+}
+
+TEST(ConnectionManagerTest, BandwidthChargedBeforeConnectArrives) {
+  // The CAC reserves at decision time; a second setup racing the CONNECT of
+  // the first must already see the reduced availability.
+  const auto topo = hetnet::testing::paper_topology();
+  SignalingParams params;
+  params.cac_processing = units::ms(1);
+  ConnectionManager manager(&topo, core::CacConfig{}, params);
+  const auto a = make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(150));
+  const auto b = make_spec(2, {0, 1}, {1, 1}, video_source(), units::ms(150));
+  manager.request_setup(a, 0.0);
+  // b's SETUP leaves while a's CONNECT is still in flight.
+  manager.request_setup(b, units::ms(3.5));
+  std::vector<SetupRecord> records = manager.run();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].admitted);
+  EXPECT_TRUE(records[1].admitted);
+  // Both grants coexist in the ledgers — no double-sold bandwidth.
+  EXPECT_NEAR(manager.cac().ledger(0).allocated(),
+              records[0].granted.h_s + records[1].granted.h_s, 1e-12);
+}
+
+TEST(ConnectionManagerTest, CompletionCallbackFires) {
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  const auto spec =
+      make_spec(1, {2, 0}, {0, 2}, sensor_source(), units::ms(100));
+  int callbacks = 0;
+  manager.request_setup(spec, 0.5, [&](const SetupRecord& record) {
+    ++callbacks;
+    EXPECT_EQ(record.id, 1u);
+    EXPECT_TRUE(record.admitted);
+    EXPECT_DOUBLE_EQ(record.requested_at, 0.5);
+  });
+  manager.run();
+  EXPECT_EQ(callbacks, 1);
+}
+
+TEST(ConnectionManagerTest, IntraRingSetupHasShorterPath) {
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  const auto local =
+      make_spec(1, {0, 0}, {0, 1}, sensor_source(), units::ms(100));
+  const auto remote =
+      make_spec(2, {1, 0}, {2, 1}, sensor_source(), units::ms(100));
+  manager.request_setup(local, 0.0);
+  manager.request_setup(remote, 0.0);
+  const auto records = manager.run();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].admitted && records[1].admitted);
+  EXPECT_LT(records[0].setup_latency, records[1].setup_latency);
+}
+
+TEST(ConnectionManagerTest, InvalidTransitionsCaught) {
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  // RELEASE of an unknown connection trips the state machine check once the
+  // calendar reaches it.
+  manager.request_release(99, 0.0);
+  EXPECT_THROW(manager.run(), std::logic_error);
+}
+
+TEST(ConnectionManagerTest, ChurnSequenceKeepsLedgersExact) {
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  for (int i = 0; i < 6; ++i) {
+    const auto spec = make_spec(static_cast<net::ConnectionId>(i + 1),
+                                {i % 3, i % 4}, {(i + 1) % 3, i % 4},
+                                sensor_source(), units::ms(100));
+    manager.request_setup(spec, 0.1 * i);
+    manager.request_release(static_cast<net::ConnectionId>(i + 1),
+                            2.0 + 0.1 * i);
+  }
+  const auto records = manager.run();
+  EXPECT_EQ(records.size(), 6u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(manager.cac().ledger(r).allocated(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hetnet::signaling

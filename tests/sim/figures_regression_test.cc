@@ -1,0 +1,63 @@
+// Regression locks on the paper's headline results, at reduced fidelity so
+// the suite stays fast. These assert ORDERINGS (who wins), not absolute AP
+// values, so they are robust to small numeric changes but catch anything
+// that breaks the β trade-off or the load response.
+#include <gtest/gtest.h>
+
+#include "src/sim/workload.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::sim {
+namespace {
+
+WorkloadParams regression_workload() {
+  WorkloadParams w;
+  w.num_requests = 150;
+  w.warmup_requests = 30;
+  w.seed = 42;
+  return w;
+}
+
+double ap_at(const net::AbhnTopology& topo, double u, double beta) {
+  WorkloadParams w = regression_workload();
+  w.lambda = lambda_for_utilization(u, w, topo);
+  core::CacConfig cfg;
+  cfg.beta = beta;
+  cfg.equality_tolerance = 0.05;
+  ProportionStats ap;
+  for (std::uint64_t seed : {42u, 1042u}) {
+    w.seed = seed;
+    ap.merge(run_admission_simulation(topo, cfg, w).admission);
+  }
+  return ap.proportion();
+}
+
+TEST(FiguresRegressionTest, Figure7MidBetaBeatsExtremesUnderHeavyLoad) {
+  const auto topo = hetnet::testing::paper_topology();
+  const double ap0 = ap_at(topo, 0.9, 0.0);
+  const double ap_mid = ap_at(topo, 0.9, 0.3);
+  const double ap1 = ap_at(topo, 0.9, 1.0);
+  EXPECT_GT(ap_mid, ap0) << "β=0 should underperform the middle";
+  EXPECT_GT(ap_mid, ap1) << "β=1 should underperform the middle";
+}
+
+TEST(FiguresRegressionTest, Figure8ApDeclinesWithLoad) {
+  const auto topo = hetnet::testing::paper_topology();
+  const double light = ap_at(topo, 0.1, 0.5);
+  const double medium = ap_at(topo, 0.5, 0.5);
+  const double heavy = ap_at(topo, 0.9, 0.5);
+  EXPECT_GT(light, medium);
+  EXPECT_GT(medium, heavy);
+}
+
+TEST(FiguresRegressionTest, Figure8MidBetaDominatesAcrossLoads) {
+  const auto topo = hetnet::testing::paper_topology();
+  for (double u : {0.3, 0.9}) {
+    const double mid = ap_at(topo, u, 0.5);
+    EXPECT_GT(mid, ap_at(topo, u, 0.0)) << "U=" << u;
+    EXPECT_GE(mid, ap_at(topo, u, 1.0) * 0.95) << "U=" << u;
+  }
+}
+
+}  // namespace
+}  // namespace hetnet::sim

@@ -1,0 +1,116 @@
+#include "src/sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/scenario.h"
+
+namespace hetnet::sim {
+namespace {
+
+WorkloadParams quick_workload() {
+  WorkloadParams w;
+  w.num_requests = 60;
+  w.warmup_requests = 10;
+  return w;
+}
+
+TEST(WorkloadTest, UtilizationConversionsRoundTrip) {
+  const auto topo = hetnet::testing::paper_topology();
+  WorkloadParams w = quick_workload();
+  for (double u : {0.1, 0.5, 0.9}) {
+    w.lambda = lambda_for_utilization(u, w, topo);
+    EXPECT_NEAR(offered_utilization(w, topo), u, 1e-12);
+  }
+}
+
+TEST(WorkloadTest, SourceRateIsC1OverP1) {
+  WorkloadParams w = quick_workload();
+  EXPECT_DOUBLE_EQ(source_rate(w), w.c1 / w.p1);
+}
+
+TEST(WorkloadTest, SimulationIsReproducible) {
+  const auto topo = hetnet::testing::paper_topology();
+  core::CacConfig cfg;
+  WorkloadParams w = quick_workload();
+  w.lambda = lambda_for_utilization(0.3, w, topo);
+  const auto a = run_admission_simulation(topo, cfg, w);
+  const auto b = run_admission_simulation(topo, cfg, w);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_DOUBLE_EQ(a.admission.proportion(), b.admission.proportion());
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  const auto topo = hetnet::testing::paper_topology();
+  core::CacConfig cfg;
+  WorkloadParams w = quick_workload();
+  w.lambda = lambda_for_utilization(0.5, w, topo);
+  const auto a = run_admission_simulation(topo, cfg, w);
+  w.seed = 999;
+  const auto b = run_admission_simulation(topo, cfg, w);
+  // Either the admitted counts differ or (rarely) the mean allocations do.
+  EXPECT_TRUE(a.admitted != b.admitted ||
+              a.granted_h_s.mean() != b.granted_h_s.mean());
+}
+
+TEST(WorkloadTest, BookkeepingIsConsistent) {
+  const auto topo = hetnet::testing::paper_topology();
+  core::CacConfig cfg;
+  WorkloadParams w = quick_workload();
+  w.lambda = lambda_for_utilization(0.6, w, topo);
+  const auto r = run_admission_simulation(topo, cfg, w);
+  EXPECT_EQ(r.total_requests,
+            static_cast<std::size_t>(w.num_requests));
+  EXPECT_EQ(r.admission.trials(), r.total_requests);
+  EXPECT_EQ(r.admitted + r.rejected_no_bandwidth + r.rejected_infeasible +
+                r.skipped_no_source,
+            r.total_requests);
+  EXPECT_EQ(r.admission.successes(), r.admitted);
+}
+
+TEST(WorkloadTest, LightLoadAdmitsMost) {
+  const auto topo = hetnet::testing::paper_topology();
+  core::CacConfig cfg;
+  WorkloadParams w = quick_workload();
+  w.lambda = lambda_for_utilization(0.02, w, topo);
+  const auto r = run_admission_simulation(topo, cfg, w);
+  EXPECT_GT(r.admission.proportion(), 0.8);
+}
+
+TEST(WorkloadTest, OverloadAdmitsFewerThanLightLoad) {
+  const auto topo = hetnet::testing::paper_topology();
+  core::CacConfig cfg;
+  WorkloadParams w = quick_workload();
+  w.num_requests = 120;
+  w.lambda = lambda_for_utilization(0.05, w, topo);
+  const auto light = run_admission_simulation(topo, cfg, w);
+  w.lambda = lambda_for_utilization(0.9, w, topo);
+  const auto heavy = run_admission_simulation(topo, cfg, w);
+  EXPECT_GT(light.admission.proportion(), heavy.admission.proportion());
+}
+
+TEST(WorkloadTest, AdmittedDelaysRespectDeadline) {
+  const auto topo = hetnet::testing::paper_topology();
+  core::CacConfig cfg;
+  WorkloadParams w = quick_workload();
+  w.lambda = lambda_for_utilization(0.4, w, topo);
+  const auto r = run_admission_simulation(topo, cfg, w);
+  ASSERT_GT(r.admitted, 0u);
+  EXPECT_LE(r.admitted_delay.max(), w.deadline * (1 + 1e-9));
+}
+
+TEST(WorkloadTest, InvalidParametersRejected) {
+  const auto topo = hetnet::testing::paper_topology();
+  core::CacConfig cfg;
+  WorkloadParams w = quick_workload();
+  w.lambda = 0.0;
+  EXPECT_THROW(run_admission_simulation(topo, cfg, w), std::logic_error);
+  w = quick_workload();
+  w.lambda = 1.0;
+  w.num_requests = 0;
+  EXPECT_THROW(run_admission_simulation(topo, cfg, w), std::logic_error);
+  EXPECT_THROW(lambda_for_utilization(0.0, w, topo), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hetnet::sim

@@ -1,0 +1,42 @@
+// Shared scenario builders for tests: the paper's 3-ring topology and
+// representative real-time connections.
+#pragma once
+
+#include <memory>
+
+#include "src/net/connection.h"
+#include "src/net/topology.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace hetnet::testing {
+
+inline net::AbhnTopology paper_topology() {
+  return net::AbhnTopology(net::paper_topology_params());
+}
+
+// A moderately bursty dual-periodic source: ρ = 3 Mb/s, 100-kbit sub-bursts
+// every 20 ms (the evaluation workload's shape from Section 6).
+inline EnvelopePtr video_source() {
+  return std::make_shared<DualPeriodicEnvelope>(
+      units::kbits(300), units::ms(100), units::kbits(100), units::ms(20));
+}
+
+// A small strictly periodic source: ρ = 0.5 Mb/s.
+inline EnvelopePtr sensor_source() {
+  return std::make_shared<PeriodicEnvelope>(units::kbits(10), units::ms(20));
+}
+
+inline net::ConnectionSpec make_spec(net::ConnectionId id, net::HostId src,
+                                     net::HostId dst, EnvelopePtr source,
+                                     Seconds deadline) {
+  net::ConnectionSpec spec;
+  spec.id = id;
+  spec.src = src;
+  spec.dst = dst;
+  spec.source = std::move(source);
+  spec.deadline = deadline;
+  return spec;
+}
+
+}  // namespace hetnet::testing

@@ -1,0 +1,167 @@
+// Parameterized property suite: every envelope construction in the library
+// must satisfy the ArrivalEnvelope contract (see src/traffic/envelope.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/traffic/algebra.h"
+#include "src/traffic/cached.h"
+#include "src/traffic/envelope.h"
+#include "src/traffic/multi_periodic.h"
+#include "src/traffic/sources.h"
+#include "src/traffic/staircase.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+namespace {
+
+struct EnvelopeCase {
+  std::string name;
+  std::function<EnvelopePtr()> make;
+};
+
+EnvelopePtr dual() {
+  return std::make_shared<DualPeriodicEnvelope>(3000.0, units::ms(30), 1000.0,
+                                                units::ms(5), units::mbps(50));
+}
+
+const EnvelopeCase kCases[] = {
+    {"periodic_instant",
+     [] { return std::make_shared<PeriodicEnvelope>(1000.0, units::ms(10)); }},
+    {"periodic_peaked",
+     [] {
+       return std::make_shared<PeriodicEnvelope>(1000.0, units::ms(10),
+                                                 units::mbps(1));
+     }},
+    {"dual_periodic", [] { return dual(); }},
+    {"multi_periodic_3",
+     [] {
+       return std::make_shared<MultiPeriodicEnvelope>(
+           std::vector<PeriodicLevel>{{units::kbits(120), units::ms(120)},
+                                      {units::kbits(40), units::ms(40)},
+                                      {units::kbits(10), units::ms(10)}},
+           units::mbps(50));
+     }},
+    {"leaky_bucket",
+     [] { return std::make_shared<LeakyBucketEnvelope>(500.0, 2000.0); }},
+    {"zero", [] { return std::make_shared<ZeroEnvelope>(); }},
+    {"sum",
+     [] {
+       return sum_envelopes(
+           {dual(), std::make_shared<PeriodicEnvelope>(700.0, units::ms(7))});
+     }},
+    {"shift", [] { return shift_envelope(dual(), units::ms(3)); }},
+    {"min",
+     [] {
+       return min_envelope(
+           dual(), std::make_shared<LeakyBucketEnvelope>(800.0, 150000.0));
+     }},
+    {"rate_cap", [] { return rate_cap(dual(), units::mbps(1), 424.0); }},
+    {"quantize", [] { return quantize_envelope(dual(), 1000.0, 1272.0); }},
+    {"scale", [] { return scale_envelope(dual(), 1.0625); }},
+    {"staircase",
+     [] { return rasterize(dual(), units::ms(120), 48); }},
+    {"cached", [] { return cache_envelope(dual()); }},
+    {"deep_composition",
+     [] {
+       return rate_cap(
+           quantize_envelope(
+               shift_envelope(sum_envelopes({dual(), dual()}), units::ms(2)),
+               1000.0, 1272.0),
+           units::mbps(140), 424.0);
+     }},
+};
+
+class EnvelopeContractTest : public ::testing::TestWithParam<EnvelopeCase> {};
+
+TEST_P(EnvelopeContractTest, NonNegativeAndMonotone) {
+  const auto env = GetParam().make();
+  double prev = -1.0;
+  for (double i = 0.0; i < 0.25; i += 0.00073) {
+    const double v = env->bits(i);
+    EXPECT_GE(v, 0.0) << "I=" << i;
+    EXPECT_GE(v, prev - 1e-9) << "I=" << i;
+    prev = v;
+  }
+}
+
+TEST_P(EnvelopeContractTest, BurstBoundMajorizes) {
+  const auto env = GetParam().make();
+  const double rho = env->long_term_rate();
+  const double b = env->burst_bound();
+  ASSERT_TRUE(std::isfinite(b));
+  for (double i = 0.0; i < 1.0; i += 0.0041) {
+    EXPECT_LE(env->bits(i), b + rho * i + 1e-6) << "I=" << i;
+  }
+}
+
+TEST_P(EnvelopeContractTest, BreakpointsSortedAndInRange) {
+  const auto env = GetParam().make();
+  const Seconds horizon = units::ms(80);
+  const auto pts = env->breakpoints(horizon);
+  double prev = 0.0;
+  for (double p : pts) {
+    EXPECT_GT(p, prev) << "breakpoints must be strictly increasing";
+    EXPECT_LE(p, horizon * (1 + 1e-9));
+    prev = p;
+  }
+}
+
+TEST_P(EnvelopeContractTest, AffineBetweenBreakpoints) {
+  const auto env = GetParam().make();
+  const Seconds horizon = units::ms(80);
+  auto pts = env->breakpoints(horizon);
+  pts.push_back(horizon);
+  Seconds a = 0.0;
+  for (Seconds b : pts) {
+    if (b - a > 1e-7) {
+      // Probe strictly inside the open segment; affine ⇒ the midpoint value
+      // is the average of values near the ends.
+      const Seconds lo = a + (b - a) * 0.05;
+      const Seconds hi = b - (b - a) * 0.05;
+      const Seconds mid = 0.5 * (lo + hi);
+      const double expected = 0.5 * (env->bits(lo) + env->bits(hi));
+      const double scale = std::max(1.0, std::abs(expected));
+      EXPECT_NEAR(env->bits(mid), expected, 1e-6 * scale)
+          << "segment (" << a << ", " << b << ")";
+    }
+    a = b;
+  }
+}
+
+TEST_P(EnvelopeContractTest, LongTermRateIsAsymptoticSlope) {
+  const auto env = GetParam().make();
+  const double rho = env->long_term_rate();
+  const Seconds far = 500.0;
+  // b + ρT >= A(T) >= ρT − b-ish; both sides pinched at large T.
+  EXPECT_NEAR(env->bits(far) / far, rho,
+              env->burst_bound() / far + 1e-6 + rho * 1e-6);
+}
+
+TEST_P(EnvelopeContractTest, DescribeIsNonEmpty) {
+  EXPECT_FALSE(GetParam().make()->describe().empty());
+}
+
+TEST_P(EnvelopeContractTest, CachedWrapperAgrees) {
+  const auto env = GetParam().make();
+  const auto cached = cache_envelope(env);
+  for (double i = 0.0; i < 0.1; i += 0.0019) {
+    EXPECT_DOUBLE_EQ(cached->bits(i), env->bits(i));
+    // Second lookup hits the cache and must agree.
+    EXPECT_DOUBLE_EQ(cached->bits(i), env->bits(i));
+  }
+  EXPECT_DOUBLE_EQ(cached->long_term_rate(), env->long_term_rate());
+  EXPECT_DOUBLE_EQ(cached->burst_bound(), env->burst_bound());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnvelopes, EnvelopeContractTest, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<EnvelopeCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace hetnet

@@ -1,0 +1,81 @@
+#include "src/util/chart.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hetnet {
+namespace {
+
+TEST(AsciiChartTest, RendersSeriesGlyphs) {
+  AsciiChart chart(20, 6);
+  chart.add_series("rising", '*', {{0, 0}, {1, 1}, {2, 2}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = rising"), std::string::npos);
+}
+
+TEST(AsciiChartTest, MultipleSeriesDistinctGlyphs) {
+  AsciiChart chart(30, 8);
+  chart.add_series("a", 'a', {{0, 0}, {1, 0.2}});
+  chart.add_series("b", 'b', {{0, 1}, {1, 0.8}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiChartTest, HighPointSitsAboveLowPoint) {
+  AsciiChart chart(10, 5);
+  chart.add_series("s", '#', {{0, 0.0}, {1, 1.0}});
+  const std::string out = chart.render();
+  // The first canvas line holds the high point; the last one the low point.
+  const auto first_hash = out.find('#');
+  const auto last_hash = out.rfind('#');
+  EXPECT_LT(first_hash, last_hash);
+  // The high point is rendered further right? No — higher row. Check rows:
+  const std::string up_to_first = out.substr(0, first_hash);
+  const std::string up_to_last = out.substr(0, last_hash);
+  const auto lines_before_first =
+      std::count(up_to_first.begin(), up_to_first.end(), '\n');
+  const auto lines_before_last =
+      std::count(up_to_last.begin(), up_to_last.end(), '\n');
+  EXPECT_LT(lines_before_first, lines_before_last);
+}
+
+TEST(AsciiChartTest, FixedYRangeClipsOutliers) {
+  AsciiChart chart(12, 4);
+  chart.set_y_range(0.0, 1.0);
+  chart.add_series("s", '#', {{0, 0.5}, {1, 50.0}});  // outlier clipped
+  const std::string out = chart.render();
+  // Exactly one visible point remains.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '#'),
+            1 + 1);  // point + legend glyph
+}
+
+TEST(AsciiChartTest, AxisLabelsPresent) {
+  AsciiChart chart(16, 4);
+  chart.set_y_range(0.0, 1.0);
+  chart.add_series("s", '#', {{0.0, 0.2}, {2.0, 0.8}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+  EXPECT_NE(out.find("0.000"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiChartTest, Validation) {
+  EXPECT_THROW(AsciiChart(2, 2), std::logic_error);
+  AsciiChart chart(12, 4);
+  EXPECT_THROW(chart.add_series("s", '#', {}), std::logic_error);
+  EXPECT_THROW(chart.set_y_range(1.0, 1.0), std::logic_error);
+  EXPECT_THROW(chart.render(), std::logic_error);  // nothing to plot
+}
+
+TEST(AsciiChartTest, SinglePointSeries) {
+  AsciiChart chart(12, 4);
+  chart.add_series("dot", 'o', {{5.0, 5.0}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetnet

@@ -1,0 +1,74 @@
+#include "src/util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hetnet {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  Flags f = make({"requests=500", "beta=0.5"});
+  EXPECT_DOUBLE_EQ(f.get("requests", 0.0), 500.0);
+  EXPECT_DOUBLE_EQ(f.get("beta", 0.0), 0.5);
+}
+
+TEST(FlagsTest, FallbackWhenAbsent) {
+  Flags f = make({});
+  EXPECT_DOUBLE_EQ(f.get("missing", 42.0), 42.0);
+}
+
+TEST(FlagsTest, MalformedArgumentThrows) {
+  EXPECT_THROW(make({"no-equals"}), std::invalid_argument);
+  EXPECT_THROW(make({"=value"}), std::invalid_argument);
+}
+
+TEST(FlagsTest, NonNumericValueThrows) {
+  Flags f = make({"x=abc"});
+  EXPECT_THROW(f.get("x", 0.0), std::invalid_argument);
+  Flags g = make({"x=1.5junk"});
+  EXPECT_THROW(g.get("x", 0.0), std::invalid_argument);
+}
+
+TEST(FlagsTest, StringValues) {
+  Flags f = make({"mode=fast"});
+  EXPECT_EQ(f.get_string("mode", "slow"), "fast");
+  EXPECT_EQ(f.get_string("other", "slow"), "slow");
+}
+
+TEST(FlagsTest, UnknownKeysDetected) {
+  Flags f = make({"known=1", "typo=2"});
+  f.get("known", 0.0);
+  const auto unknown = f.unknown_keys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_TRUE(unknown.contains("typo"));
+}
+
+TEST(FlagsTest, AllKeysReadMeansNoUnknown) {
+  Flags f = make({"a=1", "b=2"});
+  f.get("a", 0.0);
+  f.get("b", 0.0);
+  f.get("c", 0.0);  // absent key still marks as known
+  EXPECT_TRUE(f.unknown_keys().empty());
+}
+
+TEST(FlagsTest, HasReportsPresence) {
+  Flags f = make({"a=1"});
+  EXPECT_TRUE(f.has("a"));
+  EXPECT_FALSE(f.has("b"));
+}
+
+TEST(FlagsTest, NegativeAndScientificValues) {
+  Flags f = make({"x=-2.5", "y=1e-3"});
+  EXPECT_DOUBLE_EQ(f.get("x", 0.0), -2.5);
+  EXPECT_DOUBLE_EQ(f.get("y", 0.0), 1e-3);
+}
+
+}  // namespace
+}  // namespace hetnet

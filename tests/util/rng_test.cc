@@ -1,0 +1,132 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace hetnet {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(RngTest, UniformRangeRejectsInvertedBounds) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::logic_error);
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, UniformIndexRejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_index(0), std::logic_error);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_mean(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng rng(13);
+  EXPECT_THROW(rng.exponential_mean(0.0), std::logic_error);
+  EXPECT_THROW(rng.exponential_mean(-1.0), std::logic_error);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(19);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  Rng parent_copy(19);
+  parent_copy.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(23);
+  Rng b(23);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(RngTest, PickStaysInRange) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.pick(5), 5u);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(31);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(31);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace hetnet

@@ -1,0 +1,126 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hetnet {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: Σ(x-5)² = 32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MinMaxTracked) {
+  RunningStats s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(10.0);
+  EXPECT_EQ(s.min(), -1.0);
+  EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStatsTest, CiShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(ProportionStatsTest, CountsSuccesses) {
+  ProportionStats p;
+  p.add(true);
+  p.add(false);
+  p.add(true);
+  p.add(true);
+  EXPECT_EQ(p.trials(), 4u);
+  EXPECT_EQ(p.successes(), 3u);
+  EXPECT_DOUBLE_EQ(p.proportion(), 0.75);
+}
+
+TEST(ProportionStatsTest, EmptyProportionIsZero) {
+  ProportionStats p;
+  EXPECT_EQ(p.proportion(), 0.0);
+  EXPECT_EQ(p.ci95_halfwidth(), 0.0);
+}
+
+TEST(ProportionStatsTest, DegenerateProportionHasZeroCi) {
+  ProportionStats p;
+  for (int i = 0; i < 10; ++i) p.add(true);
+  EXPECT_DOUBLE_EQ(p.proportion(), 1.0);
+  EXPECT_DOUBLE_EQ(p.ci95_halfwidth(), 0.0);
+}
+
+TEST(HistogramTest, BinsAndTotal) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.9);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[1], 2u);
+  EXPECT_EQ(h.bins()[9], 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[9], 1u);
+}
+
+TEST(HistogramTest, QuantileUpperIsConservative) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 99; ++i) h.add(0.5);
+  h.add(9.5);
+  // 99% of the mass in the first bin: the 0.5-quantile's upper edge is 1.0.
+  EXPECT_DOUBLE_EQ(h.quantile_upper(0.5), 1.0);
+  // The full-mass quantile must cover the top bin.
+  EXPECT_DOUBLE_EQ(h.quantile_upper(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileRejectsOutOfRangeQ) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  EXPECT_THROW(h.quantile_upper(0.0), std::logic_error);
+  EXPECT_THROW(h.quantile_upper(1.5), std::logic_error);
+}
+
+TEST(HistogramTest, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::logic_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+TEST(HistogramTest, ToStringShowsNonEmptyBins) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("[0, 1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetnet

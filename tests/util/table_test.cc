@@ -1,0 +1,78 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hetnet {
+namespace {
+
+TEST(TableWriterTest, AsciiContainsHeadersAndRows) {
+  TableWriter t({"beta", "AP"});
+  t.add_row({"0.5", "0.93"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("0.93"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableWriterTest, RowWidthMismatchThrows) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::logic_error);
+}
+
+TEST(TableWriterTest, EmptyHeadersRejected) {
+  EXPECT_THROW(TableWriter({}), std::logic_error);
+}
+
+TEST(TableWriterTest, CsvRoundTrip) {
+  TableWriter t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableWriterTest, CsvQuotesCommas) {
+  TableWriter t({"k", "v"});
+  t.add_row({"a,b", "c"});
+  EXPECT_EQ(t.to_csv(), "k,v\n\"a,b\",c\n");
+}
+
+TEST(TableWriterTest, FmtPrecision) {
+  EXPECT_EQ(TableWriter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::fmt(1.0, 3), "1.000");
+}
+
+TEST(TableWriterTest, ColumnsAreAligned) {
+  TableWriter t({"name", "v"});
+  t.add_row({"longer-name", "1"});
+  t.add_row({"x", "2"});
+  std::istringstream in(t.to_ascii());
+  std::string header, sep, row1, row2;
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  // The second column starts at the same offset in every row.
+  EXPECT_EQ(row1.find(" 1"), row2.find(" 2"));
+}
+
+TEST(TableWriterTest, PrintWritesToStream) {
+  TableWriter t({"a"});
+  t.add_row({"z"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_ascii());
+}
+
+TEST(TableWriterTest, RowsCounts) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace hetnet

@@ -1,0 +1,48 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hetnet {
+namespace {
+
+TEST(UnitsTest, TimeConversions) {
+  EXPECT_DOUBLE_EQ(units::ms(8.0), 0.008);
+  EXPECT_DOUBLE_EQ(units::us(50.0), 50e-6);
+  EXPECT_DOUBLE_EQ(units::ns(100.0), 100e-9);
+  EXPECT_DOUBLE_EQ(units::sec(2.0), 2.0);
+}
+
+TEST(UnitsTest, DataConversions) {
+  EXPECT_DOUBLE_EQ(units::bytes(53.0), 424.0);
+  EXPECT_DOUBLE_EQ(units::kbits(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(units::mbits(2.0), 2e6);
+}
+
+TEST(UnitsTest, BandwidthConversions) {
+  EXPECT_DOUBLE_EQ(units::mbps(155.0), 155e6);
+  EXPECT_DOUBLE_EQ(units::mbps(100.0), 1e8);
+  EXPECT_DOUBLE_EQ(units::gbps(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(units::kbps(64.0), 64000.0);
+}
+
+TEST(UnitsTest, ApproxLeHandlesExactAndNoise) {
+  EXPECT_TRUE(approx_le(1.0, 1.0));
+  EXPECT_TRUE(approx_le(1.0, 2.0));
+  EXPECT_FALSE(approx_le(2.0, 1.0));
+  // Values within relative tolerance count as <=.
+  EXPECT_TRUE(approx_le(1.0 + 1e-12, 1.0));
+  EXPECT_FALSE(approx_le(1.0 + 1e-6, 1.0));
+}
+
+TEST(UnitsTest, ApproxLeScalesWithMagnitude) {
+  EXPECT_TRUE(approx_le(1e12 + 1.0, 1e12));
+  EXPECT_FALSE(approx_le(1e12 + 1e6, 1e12));
+}
+
+TEST(UnitsTest, ApproxEq) {
+  EXPECT_TRUE(approx_eq(3.0, 3.0 + 1e-12));
+  EXPECT_FALSE(approx_eq(3.0, 3.1));
+}
+
+}  // namespace
+}  // namespace hetnet
