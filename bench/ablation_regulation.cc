@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
 
   std::printf("# Ablation: ingress regulation (flow %.1f Mb/s, %d cross "
               "flows per port, %d contended hops, all flows shaped)\n",
-              sim::source_rate(w) / 1e6, cross_flows, hops);
+              val(sim::source_rate(w)) / 1e6, cross_flows, hops);
   TableWriter table(
       {"sigma_kbit", "shaping_ms", "per_port_ms", "end_to_end_ms"});
 
@@ -60,8 +60,8 @@ int main(int argc, char** argv) {
     const auto d = mux.analyze(source());
     if (d.has_value()) {
       table.add_row({"(none)", "0.00",
-                     TableWriter::fmt(d->worst_case_delay * 1e3, 2),
-                     TableWriter::fmt(hops * d->worst_case_delay * 1e3, 2)});
+                     TableWriter::fmt(d->worst_case_delay.value() * 1e3, 2),
+                     TableWriter::fmt(hops * d->worst_case_delay.value() * 1e3, 2)});
     }
   }
   for (double sigma_kbit : {100.0, 50.0, 25.0, 10.0, 5.0, 2.0}) {
@@ -84,10 +84,10 @@ int main(int argc, char** argv) {
     const auto at_port = mux.analyze(shaped->output);
     if (!at_port.has_value()) continue;
     const double total =
-        shaped->worst_case_delay + hops * at_port->worst_case_delay;
+        shaped->worst_case_delay.value() + val(hops * at_port->worst_case_delay);
     table.add_row({TableWriter::fmt(sigma_kbit, 0),
-                   TableWriter::fmt(shaped->worst_case_delay * 1e3, 2),
-                   TableWriter::fmt(at_port->worst_case_delay * 1e3, 2),
+                   TableWriter::fmt(shaped->worst_case_delay.value() * 1e3, 2),
+                   TableWriter::fmt(at_port->worst_case_delay.value() * 1e3, 2),
                    TableWriter::fmt(total * 1e3, 2)});
   }
   std::printf("%s", table.to_ascii().c_str());

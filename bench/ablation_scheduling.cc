@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
 
   std::printf("# Ablation: FIFO vs static-priority port (%d real-time flows "
               "of %.1f Mb/s + best-effort)\n",
-              rt_flows, sim::source_rate(w) / 1e6);
+              rt_flows, val(sim::source_rate(w)) / 1e6);
   TableWriter table(
       {"BE load (Mb/s)", "BE burst (kbit)", "FIFO d (ms)", "priority d (ms)"});
 
@@ -65,9 +65,9 @@ int main(int argc, char** argv) {
 
       table.add_row(
           {TableWriter::fmt(be_mbps, 0), TableWriter::fmt(be_burst_kbit, 0),
-           d_fifo.has_value() ? TableWriter::fmt(*d_fifo * 1e3, 3)
+           d_fifo.has_value() ? TableWriter::fmt(val(d_fifo.value()) * 1e3, 3)
                               : "(unbounded)",
-           d_prio.has_value() ? TableWriter::fmt(*d_prio * 1e3, 3)
+           d_prio.has_value() ? TableWriter::fmt(val(d_prio.value()) * 1e3, 3)
                               : "(unbounded)"});
       if (be_mbps == 0.0) break;  // burst size is moot with no BE traffic
     }
@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
     const auto d = fifo.queueing_delay(control);
     if (d.has_value()) {
       std::printf("(FIFO would give the control flow %.0f us)\n",
-                  *d * 1e6);
+                  val(*d) * 1e6);
     }
   }
   return 0;

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   flags.check_unknown();
 
   std::printf("# Ablation: TTRT sweep (U = %.2f, D = %.0f ms)\n", u,
-              base.deadline * 1e3);
+              val(base.deadline) * 1e3);
   TableWriter table({"TTRT (ms)", "sync budget (ms)", "AP",
                      "mean admitted bound (ms)"});
   for (double ttrt_ms : {2.0, 4.0, 8.0, 12.0, 16.0, 24.0}) {

@@ -18,13 +18,13 @@ using hetnet::Flags;
 // values documented in EXPERIMENTS.md; λ is set per sweep point from U).
 inline sim::WorkloadParams workload_from_flags(Flags& flags) {
   sim::WorkloadParams w;
-  const double rho = units::mbps(flags.get("rho_mbps", 5.0));
+  const BitsPerSecond rho = units::mbps(flags.get("rho_mbps", 5.0));
   w.p1 = units::ms(flags.get("p1_ms", 100.0));
   w.c1 = rho * w.p1;
   w.c2 = units::kbits(flags.get("c2_kbits", 50.0));
   w.p2 = units::ms(flags.get("p2_ms", 10.0));
   w.deadline = units::ms(flags.get("deadline_ms", 80.0));
-  w.mean_lifetime = flags.get("lifetime_s", 20.0);
+  w.mean_lifetime = units::sec(flags.get("lifetime_s", 20.0));
   w.num_requests = static_cast<int>(flags.get("requests", 400));
   w.warmup_requests = static_cast<int>(flags.get("warmup", 50));
   w.seed = static_cast<std::uint64_t>(flags.get("seed", 1));

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
 
   std::printf("# Figure 6: feasible region of (H_S, H_R)\n");
   std::printf("# background connections admitted: %d; deadline %.0f ms\n",
-              admitted, w.deadline * 1e3);
+              admitted, val(w.deadline) * 1e3);
 
   const core::RegionGrid grid =
       core::sample_feasible_region(cac, spec, steps, steps);
@@ -71,12 +71,12 @@ int main(int argc, char** argv) {
     std::printf(
         "CAC anchors on line ζ: min_need=(%.3f, %.3f) ms, "
         "max_need=(%.3f, %.3f) ms, max_avail=(%.3f, %.3f) ms\n",
-        decision.min_need.h_s * 1e3, decision.min_need.h_r * 1e3,
-        decision.max_need.h_s * 1e3, decision.max_need.h_r * 1e3,
-        decision.max_avail.h_s * 1e3, decision.max_avail.h_r * 1e3);
+        val(decision.min_need.h_s) * 1e3, val(decision.min_need.h_r) * 1e3,
+        val(decision.max_need.h_s) * 1e3, val(decision.max_need.h_r) * 1e3,
+        val(decision.max_avail.h_s) * 1e3, val(decision.max_avail.h_r) * 1e3);
     std::printf("granted (beta=%.2f): (%.3f, %.3f) ms, bound %.2f ms\n",
-                cfg.beta, decision.alloc.h_s * 1e3, decision.alloc.h_r * 1e3,
-                decision.worst_case_delay * 1e3);
+                cfg.beta, val(decision.alloc.h_s) * 1e3, val(decision.alloc.h_r) * 1e3,
+                val(decision.worst_case_delay) * 1e3);
   } else {
     std::printf("requesting connection rejected (reason %d)\n",
                 static_cast<int>(decision.reason));

@@ -34,8 +34,9 @@ int main(int argc, char** argv) {
   std::printf("# Figure 8: admission probability vs offered utilization\n");
   std::printf("# workload: rho=%.1f Mb/s, C2=%.0f kb / P2=%.0f ms, D=%.0f ms, "
               "1/mu=%.0f s, %d+%d requests x %d seeds\n",
-              sim::source_rate(base) / 1e6, base.c2 / 1e3, base.p2 * 1e3,
-              base.deadline * 1e3, base.mean_lifetime, base.warmup_requests,
+              val(sim::source_rate(base)) / 1e6, val(base.c2) / 1e3,
+              val(base.p2) * 1e3, val(base.deadline) * 1e3,
+              val(base.mean_lifetime), base.warmup_requests,
               base.num_requests, seeds);
 
   TableWriter table({"U", "AP(beta=0)", "AP(beta=0.5)", "AP(beta=1)"});

@@ -53,10 +53,10 @@ int main(int argc, char** argv) {
     }
     const double n = static_cast<double>(total);
     table.add_row({TableWriter::fmt(beta, 2),
-                   TableWriter::fmt(admitted / n, 3),
-                   TableWriter::fmt(infeasible / n, 3),
-                   TableWriter::fmt(no_bw / n, 3),
-                   TableWriter::fmt(skipped / n, 3),
+                   TableWriter::fmt(static_cast<double>(admitted) / n, 3),
+                   TableWriter::fmt(static_cast<double>(infeasible) / n, 3),
+                   TableWriter::fmt(static_cast<double>(no_bw) / n, 3),
+                   TableWriter::fmt(static_cast<double>(skipped) / n, 3),
                    TableWriter::fmt(h_s.mean() * 1e3, 2)});
     std::fprintf(stderr, "beta=%.2f done\n", beta);
   }

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   const auto bounds = cac.analyzer().analyze(set);
 
   sim::PacketSimConfig sim_cfg;
-  sim_cfg.duration = duration;
+  sim_cfg.duration = Seconds{duration};
   sim_cfg.seed = w.seed;
   sim_cfg.randomize_phases = !aligned;
   sim_cfg.async_fill = async_fill;
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   bool sound = true;
   for (std::size_t i = 0; i < set.size(); ++i) {
     const auto& trace = sim_result.connections[i];
-    const double bound = bounds[i];
+    const double bound = val(bounds[i]);
     const double sim_max = trace.delay.max();
     if (trace.messages_delivered > 0 && sim_max > bound) sound = false;
     char route[32];
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_ascii().c_str());
   std::printf("max ATM port backlog: %.0f bits\n",
-              sim_result.max_port_backlog);
+              val(sim_result.max_port_backlog));
   std::printf("soundness (every sim max <= bound): %s\n",
               sound ? "HOLDS" : "VIOLATED");
   return sound ? 0 : 1;

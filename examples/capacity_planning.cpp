@@ -55,8 +55,8 @@ int main() {
     }
     char used[32];
     std::snprintf(used, sizeof used, "%.2f / %.2f ms",
-                  cac.ledger(0).allocated() * 1e3,
-                  cac.ledger(0).capacity() * 1e3);
+                  val(cac.ledger(0).allocated()) * 1e3,
+                  val(cac.ledger(0).capacity()) * 1e3);
     capacity.add_row({TableWriter::fmt(deadline_ms, 0),
                       std::to_string(admitted), used});
   }

@@ -45,8 +45,8 @@ int main() {
                 d.admitted ? "admitted" : "rejected");
     if (d.admitted) {
       ++admitted;
-      std::printf(" (bound %.2f ms, H_S %.0f µs)", d.worst_case_delay * 1e3,
-                  d.alloc.h_s * 1e6);
+      std::printf(" (bound %.2f ms, H_S %.0f µs)", val(d.worst_case_delay) * 1e3,
+                  val(d.alloc.h_s) * 1e6);
     }
     std::printf("\n");
   }
@@ -76,14 +76,14 @@ int main() {
     const auto breakdown = cac.analyzer().breakdown(active, i);
     if (!breakdown.has_value()) break;
     std::printf("\nbuffer provisioning for control loop 1:\n");
-    Bits total = 0.0;
+    Bits total;
     for (const auto& stage : breakdown->stages) {
       std::printf("  %-28s %8.0f bits\n", stage.server_name.c_str(),
-                  stage.analysis.buffer_required);
+                  val(stage.analysis.buffer_required));
       total += stage.analysis.buffer_required;
     }
-    std::printf("  %-28s %8.0f bits (%.1f kB)\n", "TOTAL PATH", total,
-                total / 8e3);
+    std::printf("  %-28s %8.0f bits (%.1f kB)\n", "TOTAL PATH", val(total),
+                val(total) / 8e3);
   }
 
   // 4) Saturate: keep adding loops until the CAC says no.

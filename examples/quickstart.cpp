@@ -54,10 +54,11 @@ int main() {
     if (!d.admitted) continue;
     std::printf("  granted H_S = %.3f ms, H_R = %.3f ms "
                 "(line anchors: min %.3f, max-useful %.3f, available %.3f)\n",
-                d.alloc.h_s * 1e3, d.alloc.h_r * 1e3, d.min_need.h_s * 1e3,
-                d.max_need.h_s * 1e3, d.max_avail.h_s * 1e3);
+                val(d.alloc.h_s) * 1e3, val(d.alloc.h_r) * 1e3,
+                val(d.min_need.h_s) * 1e3, val(d.max_need.h_s) * 1e3,
+                val(d.max_avail.h_s) * 1e3);
     std::printf("  worst-case end-to-end delay %.2f ms (deadline %.0f ms)\n",
-                d.worst_case_delay * 1e3, spec.deadline * 1e3);
+                val(d.worst_case_delay) * 1e3, val(spec.deadline) * 1e3);
   }
 
   // Per-server delay budget of the video connection under the final state.
@@ -73,10 +74,11 @@ int main() {
     for (const auto& stage : breakdown->stages) {
       std::printf("  %-28s %8.3f ms   buffer %8.0f bits\n",
                   stage.server_name.c_str(),
-                  stage.analysis.worst_case_delay * 1e3,
-                  stage.analysis.buffer_required);
+                  val(stage.analysis.worst_case_delay) * 1e3,
+                  val(stage.analysis.buffer_required));
     }
-    std::printf("  %-28s %8.3f ms\n", "TOTAL", breakdown->total_delay * 1e3);
+    std::printf("  %-28s %8.3f ms\n", "TOTAL",
+                val(breakdown->total_delay) * 1e3);
   }
   return 0;
 }

@@ -59,10 +59,10 @@ int main() {
 
     const auto result = chain.analyze(source);
     if (result.has_value()) {
-      std::printf("%8d  %10.3f  %21.2f\n", stations, cycle * 1e3,
-                  result->total_delay * 1e3);
+      std::printf("%8d  %10.3f  %21.2f\n", stations, val(cycle) * 1e3,
+                  val(result->total_delay) * 1e3);
     } else {
-      std::printf("%8d  %10.3f  %21s\n", stations, cycle * 1e3,
+      std::printf("%8d  %10.3f  %21s\n", stations, val(cycle) * 1e3,
                   "unbounded (ring saturated)");
     }
   }

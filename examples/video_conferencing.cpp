@@ -67,16 +67,17 @@ int main() {
                 leg.dst.ring, d.admitted ? "admitted" : "rejected");
     if (d.admitted) {
       ++admitted;
-      std::printf("  H=(%.2f, %.2f) ms  bound %.1f ms", d.alloc.h_s * 1e3,
-                  d.alloc.h_r * 1e3, d.worst_case_delay * 1e3);
+      std::printf("  H=(%.2f, %.2f) ms  bound %.1f ms", val(d.alloc.h_s) * 1e3,
+                  val(d.alloc.h_r) * 1e3, val(d.worst_case_delay) * 1e3);
     }
     std::printf("\n");
   }
   std::printf("\n%d of %zu conference legs admitted; ring allocations: ",
               admitted, legs.size());
   for (int r = 0; r < topo.num_rings(); ++r) {
-    std::printf("ring%d %.2f/%.2f ms  ", r, cac.ledger(r).allocated() * 1e3,
-                cac.ledger(r).capacity() * 1e3);
+    std::printf("ring%d %.2f/%.2f ms  ", r,
+                val(cac.ledger(r).allocated()) * 1e3,
+                val(cac.ledger(r).capacity()) * 1e3);
   }
   std::printf("\n");
 
@@ -89,7 +90,7 @@ int main() {
   const auto bounds = cac.analyzer().analyze(active);
 
   sim::PacketSimConfig sim_config;
-  sim_config.duration = 3.0;
+  sim_config.duration = Seconds{3.0};
   sim_config.randomize_phases = false;
   sim_config.async_fill = 0.85;
   const auto replay = sim::run_packet_simulation(topo, active, sim_config);
@@ -101,7 +102,8 @@ int main() {
         "  leg %2llu: %4zu frames, mean %6.2f ms, max %6.2f ms  "
         "(bound %6.2f ms — %s)\n",
         static_cast<unsigned long long>(trace.id), trace.messages_delivered,
-        trace.delay.mean() * 1e3, trace.delay.max() * 1e3, bounds[i] * 1e3,
+        trace.delay.mean() * 1e3, trace.delay.max() * 1e3,
+        val(bounds[i]) * 1e3,
         trace.delay.max() <= bounds[i] ? "respected" : "VIOLATED");
   }
   return 0;

@@ -100,7 +100,7 @@ std::optional<std::vector<Hop>> Backbone::route(AccessId from,
     hop.propagation = rec.link.propagation;
     // Cells pay the fabric latency when crossing a switch to reach this
     // port; the first hop leaves directly from the interface device.
-    hop.fabric = rec.from_node < num_switches_ ? fabric_delay_ : 0.0;
+    hop.fabric = rec.from_node < num_switches_ ? fabric_delay_ : Seconds{};
     hops.push_back(hop);
     node = rec.from_node;
   }

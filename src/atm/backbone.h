@@ -46,7 +46,7 @@ struct LinkParams {
   BitsPerSecond wire_rate = units::mbps(155);
   Seconds propagation = units::us(5);
   // Output-port buffer on the sending side (payload bits).
-  Bits port_buffer = 1e18;
+  Bits port_buffer{1e18};
 };
 
 using SwitchId = int;
@@ -56,8 +56,8 @@ using PortId = int;
 // One hop of a resolved route.
 struct Hop {
   PortId port = -1;          // sending FIFO port of this hop's link
-  Seconds propagation = 0.0; // link propagation after the port
-  Seconds fabric = 0.0;      // switch-fabric latency before the port
+  Seconds propagation; // link propagation after the port
+  Seconds fabric;      // switch-fabric latency before the port
                              // (zero for the access uplink)
 };
 

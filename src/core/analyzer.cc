@@ -68,7 +68,7 @@ SendPrefix DelayAnalyzer::prefix_with_stages(
       p.interface_device.frame_cell_conversion);
 
   EnvelopePtr env = spec.source;
-  Seconds delay = 0.0;
+  Seconds delay;
   std::vector<const Server*> path;
   if (spec.src.ring == spec.dst.ring) {
     // Section 4.1 case 1: the ring delivers directly — the "prefix" is the
@@ -105,7 +105,7 @@ std::vector<Seconds> DelayAnalyzer::run(
   const net::TopologyParams& p = topology_->params();
   const std::size_t n = set.size();
 
-  std::vector<Seconds> delays(n, 0.0);
+  std::vector<Seconds> delays(n);
   std::vector<bool> alive(n, false);
   std::vector<EnvelopePtr> envs(n);
   std::vector<std::vector<atm::Hop>> routes(n);

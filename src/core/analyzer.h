@@ -45,7 +45,7 @@ struct ConnectionInstance {
   net::Allocation alloc;
 };
 
-inline constexpr Seconds kUnbounded = std::numeric_limits<double>::infinity();
+inline constexpr Seconds kUnbounded = Seconds::infinity();
 
 // The send-side private prefix of one connection (host MAC through
 // frame→cell conversion): its delay and the envelope entering the
@@ -53,7 +53,7 @@ inline constexpr Seconds kUnbounded = std::numeric_limits<double>::infinity();
 // so callers may cache it across feasibility probes that keep H_S fixed.
 struct SendPrefix {
   bool finite = false;
-  Seconds delay = 0.0;
+  Seconds delay;
   EnvelopePtr at_uplink;  // set iff finite
 };
 
@@ -86,8 +86,8 @@ class DelayAnalyzer {
   // deployment must buffer there. Ports whose aggregate has no finite bound
   // are absent from the map.
   struct PortReport {
-    Seconds delay = 0.0;
-    Bits backlog = 0.0;
+    Seconds delay;
+    Bits backlog;
     int flows = 0;
   };
   std::map<atm::PortId, PortReport> port_reports(

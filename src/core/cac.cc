@@ -11,7 +11,7 @@ namespace {
 bool all_deadlines_met(const std::vector<ConnectionInstance>& set,
                        const std::vector<Seconds>& delays) {
   for (std::size_t i = 0; i < set.size(); ++i) {
-    if (!std::isfinite(delays[i])) return false;
+    if (!isfinite(delays[i])) return false;
     if (!approx_le(delays[i], set[i].spec.deadline)) return false;
   }
   return true;
@@ -93,7 +93,7 @@ AdmissionDecision AdmissionController::request(
       ledgers_[static_cast<std::size_t>(spec.src.ring)].available();
   const Seconds h_r_max =
       intra_ring
-          ? 0.0
+          ? Seconds{}
           : ledgers_[static_cast<std::size_t>(spec.dst.ring)].available();
   decision.max_avail = {h_s_max, h_r_max};
   if (h_s_max < config_.h_min_abs ||
@@ -118,7 +118,7 @@ AdmissionDecision AdmissionController::request(
     net::Allocation a;
     a.h_s = config_.h_min_abs + lambda * (h_s_max - config_.h_min_abs);
     a.h_r = intra_ring
-                ? 0.0
+                ? Seconds{}
                 : config_.h_min_abs + lambda * (h_r_max - config_.h_min_abs);
     return a;
   };
@@ -146,10 +146,10 @@ AdmissionDecision AdmissionController::request(
   const auto delays_saturated = [&](const net::Allocation& alloc) {
     const std::vector<Seconds> d = probe.eval(alloc);
     for (std::size_t i = 0; i < d.size(); ++i) {
-      if (!std::isfinite(d[i])) return false;
-      const double scale =
-          std::max({std::abs(ref_delays[i]), std::abs(d[i]), 1e-9});
-      if (std::abs(d[i] - ref_delays[i]) >
+      if (!isfinite(d[i])) return false;
+      const Seconds scale =
+          std::max({abs(ref_delays[i]), abs(d[i]), Seconds{1e-9}});
+      if (abs(d[i] - ref_delays[i]) >
           config_.equality_tolerance * scale) {
         return false;
       }

@@ -70,7 +70,7 @@ struct AdmissionDecision {
   bool admitted = false;
   RejectReason reason = RejectReason::kNone;
   net::Allocation alloc;          // granted allocation (if admitted)
-  Seconds worst_case_delay = 0.0; // the new connection's bound at `alloc`
+  Seconds worst_case_delay; // the new connection's bound at `alloc`
   // Diagnostics: the anchors of the allocation line.
   net::Allocation max_avail;
   net::Allocation min_need;

@@ -52,8 +52,8 @@ std::string ProvisioningReport::to_string() const {
                           "reservations"});
   for (const auto& r : rings) {
     ring_table.add_row({std::to_string(r.ring),
-                        TableWriter::fmt(r.allocated * 1e3, 3),
-                        TableWriter::fmt(r.capacity * 1e3, 3),
+                        TableWriter::fmt(r.allocated.value() * 1e3, 3),
+                        TableWriter::fmt(r.capacity.value() * 1e3, 3),
                         std::to_string(r.reservations)});
   }
   os << "synchronous bandwidth (Ω per ring):\n" << ring_table.to_ascii();
@@ -62,8 +62,8 @@ std::string ProvisioningReport::to_string() const {
                           "buffer (kbit)"});
   for (const auto& p : ports) {
     port_table.add_row({std::to_string(p.port), std::to_string(p.flows),
-                        TableWriter::fmt(p.delay_bound * 1e3, 3),
-                        TableWriter::fmt(p.buffer_required / 1e3, 1)});
+                        TableWriter::fmt(p.delay_bound.value() * 1e3, 3),
+                        TableWriter::fmt(p.buffer_required.value() / 1e3, 1)});
   }
   os << "\nATM output ports:\n" << port_table.to_ascii();
 
@@ -71,9 +71,9 @@ std::string ProvisioningReport::to_string() const {
                           "private buffers (kbit)"});
   for (const auto& c : connections) {
     conn_table.add_row({std::to_string(c.id),
-                        TableWriter::fmt(c.worst_case_delay * 1e3, 2),
-                        TableWriter::fmt(c.deadline * 1e3, 0),
-                        TableWriter::fmt(c.private_buffers / 1e3, 1)});
+                        TableWriter::fmt(c.worst_case_delay.value() * 1e3, 2),
+                        TableWriter::fmt(c.deadline.value() * 1e3, 0),
+                        TableWriter::fmt(c.private_buffers.value() / 1e3, 1)});
   }
   os << "\nconnections:\n" << conn_table.to_ascii();
   return os.str();

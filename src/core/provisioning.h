@@ -14,26 +14,26 @@ namespace hetnet::core {
 
 struct RingProvision {
   int ring = 0;
-  Seconds allocated = 0.0;  // Ω
-  Seconds capacity = 0.0;   // TTRT − Δ
+  Seconds allocated;  // Ω
+  Seconds capacity;   // TTRT − Δ
   std::size_t reservations = 0;
 };
 
 struct PortProvision {
   atm::PortId port = -1;
   int flows = 0;
-  Seconds delay_bound = 0.0;  // the port-wide FIFO bound
-  Bits buffer_required = 0.0;
+  Seconds delay_bound;  // the port-wide FIFO bound
+  Bits buffer_required;
 };
 
 struct ConnectionProvision {
   net::ConnectionId id = 0;
-  Seconds worst_case_delay = 0.0;
-  Seconds deadline = 0.0;
+  Seconds worst_case_delay;
+  Seconds deadline;
   // Buffer the connection needs in its PRIVATE stages (host MAC, interface
   // device conversions, receive MAC) — shared ATM port buffers are reported
   // per port, not per connection.
-  Bits private_buffers = 0.0;
+  Bits private_buffers;
 };
 
 struct ProvisioningReport {

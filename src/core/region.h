@@ -19,19 +19,19 @@
 namespace hetnet::core {
 
 struct RegionSample {
-  Seconds h_s = 0.0;
-  Seconds h_r = 0.0;
+  Seconds h_s;
+  Seconds h_r;
   bool feasible = false;
   // The requesting connection's worst-case bound at this allocation
   // (kUnbounded when no finite bound exists).
-  Seconds delay = 0.0;
+  Seconds delay;
 };
 
 struct RegionGrid {
   int steps_s = 0;  // samples along H_S
   int steps_r = 0;  // samples along H_R
-  Seconds h_s_max = 0.0;
-  Seconds h_r_max = 0.0;
+  Seconds h_s_max;
+  Seconds h_r_max;
   // Row-major: sample (i, j) = samples[j * steps_s + i] has
   // h_s = (i+1)/steps_s · h_s_max, h_r = (j+1)/steps_r · h_r_max.
   std::vector<RegionSample> samples;

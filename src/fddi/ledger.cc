@@ -17,7 +17,7 @@ Seconds SyncBandwidthLedger::capacity() const {
 }
 
 Seconds SyncBandwidthLedger::available() const {
-  return std::max(0.0, capacity() - allocated_);
+  return std::max(Seconds{}, capacity() - allocated_);
 }
 
 bool SyncBandwidthLedger::reserve(std::uint64_t key, Seconds h) {
@@ -33,7 +33,7 @@ void SyncBandwidthLedger::release(std::uint64_t key) {
   const auto it = grants_.find(key);
   HETNET_CHECK(it != grants_.end(), "releasing a key that holds nothing");
   allocated_ -= it->second;
-  if (allocated_ < 0.0) allocated_ = 0.0;  // absorb FP residue
+  if (allocated_ < 0.0) allocated_ = Seconds{};  // absorb FP residue
   grants_.erase(it);
 }
 

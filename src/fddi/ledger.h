@@ -42,7 +42,7 @@ class SyncBandwidthLedger {
 
  private:
   RingParams ring_;
-  Seconds allocated_ = 0.0;
+  Seconds allocated_;
   std::unordered_map<std::uint64_t, Seconds> grants_;
 };
 

@@ -20,13 +20,13 @@ struct ConnectionSpec {
   // (payload bits).
   EnvelopePtr source;
   // D_{i,j}: the worst-case end-to-end packet delay must not exceed this.
-  Seconds deadline = 0.0;
+  Seconds deadline;
 };
 
 // The synchronous-bandwidth pair the CAC allocates on admission.
 struct Allocation {
-  Seconds h_s = 0.0;  // on the source ring (held by the source host)
-  Seconds h_r = 0.0;  // on the destination ring (held by the ID)
+  Seconds h_s;  // on the source ring (held by the source host)
+  Seconds h_r;  // on the destination ring (held by the ID)
 
   friend bool operator==(const Allocation&, const Allocation&) = default;
 };

@@ -30,7 +30,7 @@ struct InterfaceDeviceParams {
   Seconds cell_frame_conversion = units::us(50);   // ID_R mirror
   // Transmit buffer of the device's FDDI MAC (per connection), used on the
   // receive path when frames queue for the destination ring.
-  Bits mac_buffer = 1e18;
+  Bits mac_buffer{1e18};
 };
 
 enum class BackboneShape {
@@ -48,7 +48,7 @@ struct TopologyParams {
   Seconds switch_fabric_delay = units::us(10);
   InterfaceDeviceParams interface_device;
   // Transmit buffer of a host's FDDI MAC (bits).
-  Bits host_mac_buffer = 1e18;
+  Bits host_mac_buffer{1e18};
 };
 
 class AbhnTopology {

@@ -19,7 +19,7 @@ struct ChainStage {
 
 struct ChainAnalysis {
   // Σ of per-server worst-case delays: the end-to-end bound of eq. (7).
-  Seconds total_delay = 0.0;
+  Seconds total_delay;
   // Traffic descriptor at the chain exit.
   EnvelopePtr final_output;
   // Per-server breakdown in path order.

@@ -34,9 +34,9 @@ bool EdfMuxServer::schedulable() const {
   std::vector<EdfFlow> flows = others_;
   flows.push_back(own_);
 
-  BitsPerSecond total_rate = 0.0;
-  Bits total_burst = 0.0;
-  double weighted_deadline = 0.0;
+  BitsPerSecond total_rate;
+  Bits total_burst;
+  Bits weighted_deadline;
   for (const auto& flow : flows) {
     total_rate += flow.envelope->long_term_rate();
     total_burst += flow.envelope->burst_bound();
@@ -99,14 +99,14 @@ bool EdfMuxServer::schedulable() const {
   // segment implies one at an endpoint; jumps are caught just after the
   // left edge. d_min itself is in the kink set, so segments below it are
   // skipped whole.
-  Seconds a = 0.0;
+  Seconds a;
   for (Seconds b : ends) {
     if (b <= a) continue;
-    if (a >= d_min - kEps) {
+    if (a >= d_min - Seconds{kEps}) {
       const Seconds left = a + (b - a) * 1e-9;
       if (!approx_le(demand(left), capacity_ * a)) return false;
     }
-    if (b >= d_min - kEps) {
+    if (b >= d_min - Seconds{kEps}) {
       if (!approx_le(demand(b), capacity_ * b)) return false;
     }
     a = b;
@@ -127,12 +127,12 @@ std::optional<ServerAnalysis> EdfMuxServer::analyze(
   const EnvelopePtr total = sum_envelopes(parts);
   const Bits burst = total->burst_bound();
   const BitsPerSecond rho = total->long_term_rate();
-  Bits backlog = total->bits(0.0);
-  if (rho < capacity_ && std::isfinite(burst)) {
-    const Seconds horizon = burst / (capacity_ - rho) + kEps;
+  Bits backlog = total->bits(Seconds{});
+  if (rho < capacity_ && isfinite(burst)) {
+    const Seconds horizon = burst / (capacity_ - rho) + Seconds{kEps};
     std::vector<Seconds> ends = total->breakpoints(horizon);
     ends.push_back(horizon);
-    Seconds a = 0.0;
+    Seconds a;
     for (Seconds b : ends) {
       if (b <= a) continue;
       backlog = std::max(backlog,
@@ -144,7 +144,7 @@ std::optional<ServerAnalysis> EdfMuxServer::analyze(
 
   ServerAnalysis result;
   result.worst_case_delay = own_.local_deadline;
-  result.buffer_required = std::max(0.0, backlog);
+  result.buffer_required = std::max(Bits{}, backlog);
   result.output =
       rate_cap(shift_envelope(input, own_.local_deadline), capacity_,
                cell_bits_);

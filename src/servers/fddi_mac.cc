@@ -50,7 +50,7 @@ class MacOutputEnvelope final : public ArrivalEnvelope {
       const Bits credit = static_cast<double>(k - 2) * per_visit;
       best = std::max(best, input_->bits(t + interval) - credit);
     }
-    return std::max(0.0, std::min(cap, best));
+    return std::max(Bits{}, std::min(cap, best));
   }
 
   BitsPerSecond long_term_rate() const override {
@@ -103,12 +103,12 @@ FddiMacServer::FddiMacServer(std::string name, const FddiMacParams& params,
 
 Bits FddiMacServer::avail(Seconds t) const {
   const double visits = rotations(t, params_.ttrt) - 1.0;
-  return std::max(0.0, visits * params_.sync_allocation * params_.ring_rate);
+  return std::max(Bits{}, visits * params_.sync_allocation * params_.ring_rate);
 }
 
 Bits FddiMacServer::avail_left(Seconds t) const {
   const double visits = rotations_left(t, params_.ttrt) - 1.0;
-  return std::max(0.0, visits * params_.sync_allocation * params_.ring_rate);
+  return std::max(Bits{}, visits * params_.sync_allocation * params_.ring_rate);
 }
 
 std::optional<Seconds> FddiMacServer::busy_interval(
@@ -141,7 +141,7 @@ std::optional<ServerAnalysis> FddiMacServer::analyze(
   const BitsPerSecond service_rate = per_visit / params_.ttrt;
   const BitsPerSecond rho = input->long_term_rate();
   const Bits burst = input->burst_bound();
-  if (!std::isfinite(burst)) return std::nullopt;
+  if (!isfinite(burst)) return std::nullopt;
 
   // Theorem 1 restricts its maxima to the busy interval (0, B], which is
   // exact for subadditive envelopes (all source models are). Deep computed
@@ -171,7 +171,7 @@ std::optional<ServerAnalysis> FddiMacServer::analyze(
   // per-window supremum is at the window's right end (right-continuous A
   // value there is >= the open-interval supremum: conservative and tight up
   // to a jump that the next window accounts with its own credit).
-  Bits buffer = input->bits(0.0);
+  Bits buffer = input->bits(Seconds{});
   for (int k = 0; k < k_max; ++k) {
     const Seconds right = static_cast<double>(k + 1) * params_.ttrt;
     const Bits credit = std::max(0.0, static_cast<double>(k - 1)) * per_visit;
@@ -205,7 +205,7 @@ std::optional<ServerAnalysis> FddiMacServer::analyze(
   if (ends.empty() || !approx_eq(ends.back(), t_scan)) {
     ends.push_back(t_scan);
   }
-  Seconds delay = 0.0;
+  Seconds delay;
   const auto consider = [&](Seconds u, double level) {
     delay = std::max(delay,
                      params_.ttrt * (level + 1.0) - u);
@@ -221,19 +221,19 @@ std::optional<ServerAnalysis> FddiMacServer::analyze(
       reached = n_here;
     }
   };
-  cross_up_to(0.0, input->bits(0.0));
-  Seconds a = 0.0;
+  cross_up_to(Seconds{}, input->bits(Seconds{}));
+  Seconds a;
   for (Seconds b : ends) {
     if (b <= a) continue;
     const Seconds da = (b - a) * 1e-9;
     const Bits va = input->bits(a + da);   // post-jump value at left edge
     cross_up_to(a, va);                    // jump at `a` crosses in a batch
     const Bits vb = input->bits(b - da);   // pre-jump value at right edge
-    if (vb > va + kEps) {
-      const double slope = (vb - va) / (b - a - 2 * da);
+    if (vb > va + Bits{kEps}) {
+      const BitsPerSecond slope = (vb - va) / (b - a - 2 * da);
       // Affine span: each level threshold in (va, vb) crossed one by one.
       for (double n = reached + 1.0;
-           (n - 1.0) * per_visit < vb - kEps; ++n) {
+           (n - 1.0) * per_visit < vb - Bits{kEps}; ++n) {
         const Seconds u = a + da + ((n - 1.0) * per_visit - va) / slope;
         consider(u, n);
         reached = n;
@@ -242,7 +242,7 @@ std::optional<ServerAnalysis> FddiMacServer::analyze(
     a = b;
   }
   cross_up_to(t_scan, a_end);  // right-continuous value at the scan end
-  delay = std::max(delay, 0.0);
+  delay = std::max(delay, Seconds{});
 
   // --- Theorem 1.4: output descriptor Υ. ---
   EnvelopePtr output =
@@ -256,7 +256,7 @@ std::optional<ServerAnalysis> FddiMacServer::analyze(
     // Rasterization raises segment values to their right-end samples, which
     // forfeits the BW·I physical cap; re-apply it (still a sound upper
     // bound: the true output satisfies both operands).
-    output = rate_cap(std::move(output), params_.ring_rate, 0.0);
+    output = rate_cap(std::move(output), params_.ring_rate, Bits{});
   }
 
   ServerAnalysis result;

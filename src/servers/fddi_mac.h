@@ -40,19 +40,19 @@ namespace hetnet {
 
 struct FddiMacParams {
   // Target token rotation time of the ring (seconds).
-  Seconds ttrt = 0.0;
+  Seconds ttrt;
   // Synchronous allocation H of this connection at this station: seconds of
   // transmission per token visit. Must satisfy 0 < H and the ring-level
   // constraint ΣH + Δ <= TTRT (enforced by fddi::SyncBandwidthLedger, not
   // here).
-  Seconds sync_allocation = 0.0;
+  Seconds sync_allocation;
   // Effective transmission rate while the station holds the token
   // (bits/second of *payload*; FDDI frame overhead is accounted by using
   // the effective rate — see fddi/ring.h).
-  BitsPerSecond ring_rate = 0.0;
+  BitsPerSecond ring_rate;
   // MAC transmit buffer S in bits; delay is unbounded if the worst-case
   // backlog F exceeds it (Theorem 1 case 3). Infinite by default.
-  Bits buffer_limit = std::numeric_limits<double>::infinity();
+  Bits buffer_limit = Bits::infinity();
 };
 
 class FddiMacServer final : public Server {

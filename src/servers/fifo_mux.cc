@@ -43,8 +43,8 @@ std::optional<FifoMuxServer::PortBounds> FifoMuxServer::bound_port(
   // composed envelopes here (quantized staircases etc.) need not be
   // subadditive.
   const Bits burst = total->burst_bound();
-  if (!std::isfinite(burst)) return std::nullopt;
-  const Seconds horizon = burst / (c - rho) + kEps;
+  if (!isfinite(burst)) return std::nullopt;
+  const Seconds horizon = burst / (c - rho) + Seconds{kEps};
   if (horizon > params_.max_busy_period) {
     return std::nullopt;  // analysis budget exceeded: give up conservatively
   }
@@ -67,10 +67,10 @@ std::optional<FifoMuxServer::PortBounds> FifoMuxServer::bound_port(
   // recorded — it is the Theorem-style bound reported for tests/diagnostics.
   Seconds busy_end = horizon;
   bool busy_closed = false;
-  Bits v0 = total->bits(0.0);
-  double max_delay = v0 / c;
-  double max_backlog = v0;
-  Seconds a = 0.0;
+  Bits v0 = total->bits(Seconds{});
+  Seconds max_delay = v0 / c;
+  Bits max_backlog = v0;
+  Seconds a;
   Bits v_a = v0;
   for (Seconds b : ends) {
     if (b <= a) continue;
@@ -84,7 +84,7 @@ std::optional<FifoMuxServer::PortBounds> FifoMuxServer::bound_port(
       // First downward crossing of A_tot against C·t. A jump at b only
       // inflates the chord slope, which can only push the computed crossing
       // later (a conservative, i.e. larger, busy period).
-      const double slope = (v_b - v_a) / (b - a);
+      const BitsPerSecond slope = (v_b - v_a) / (b - a);
       Seconds cross = b;
       if (slope < c && v_a > c * a) {
         cross = std::clamp((v_a - slope * a) / (c - slope), a, b);
@@ -100,8 +100,8 @@ std::optional<FifoMuxServer::PortBounds> FifoMuxServer::bound_port(
 
   PortBounds bounds;
   bounds.busy_period = busy_end;
-  bounds.queueing_delay = std::max(0.0, max_delay);
-  bounds.backlog = std::max(0.0, max_backlog);
+  bounds.queueing_delay = std::max(Seconds{}, max_delay);
+  bounds.backlog = std::max(Bits{}, max_backlog);
   return bounds;
 }
 

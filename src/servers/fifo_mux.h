@@ -36,20 +36,20 @@ struct FifoMuxParams {
   // Link capacity in the same accounting as the input envelopes (payload
   // bits/second if cells are payload-accounted; wire bits/second if
   // wire-accounted).
-  BitsPerSecond capacity = 0.0;
+  BitsPerSecond capacity;
   // Non-preemption term: worst-case residual transmission time of the unit
   // in service when a cell arrives (one cell time on ATM links).
-  Seconds non_preemption = 0.0;
+  Seconds non_preemption;
   // Burst term for the per-flow output cap (one cell, in the envelope
   // accounting).
-  Bits cell_bits = 0.0;
+  Bits cell_bits;
   // Port buffer; the analysis reports no bound (rejection) if the worst-case
   // backlog exceeds it. Infinite by default.
-  Bits buffer_limit = std::numeric_limits<double>::infinity();
+  Bits buffer_limit = Bits::infinity();
   // Scan horizon cap: if the busy period has not closed by this many seconds
   // the analysis conservatively gives up. The closed-form tail crossing
   // normally ends the search long before this.
-  Seconds max_busy_period = 60.0;
+  Seconds max_busy_period{60.0};
 };
 
 class FifoMuxServer final : public Server {

@@ -27,7 +27,7 @@ std::optional<ServerAnalysis> RegulatorServer::analyze(
     return std::nullopt;  // shaping an over-rate flow backlogs forever
   }
   const Bits burst = input->burst_bound();
-  if (!std::isfinite(burst)) return std::nullopt;
+  if (!isfinite(burst)) return std::nullopt;
 
   // Both supremands fall below zero once the input majorization
   // b + in_rate·t dips under σ + ρ·t; scan only that far (global suprema
@@ -36,11 +36,11 @@ std::optional<ServerAnalysis> RegulatorServer::analyze(
   if (burst <= sigma) {
     // The input already conforms at every scale the majorization sees;
     // a short scan still catches sub-burst structure.
-    horizon = 1e-3;
+    horizon = Seconds{1e-3};
   } else if (rho - in_rate < 1e-12 * rho) {
     return std::nullopt;  // exactly saturated: no finite guard
   } else {
-    horizon = (burst - sigma) / (rho - in_rate) + kEps;
+    horizon = (burst - sigma) / (rho - in_rate) + Seconds{kEps};
   }
   if (horizon > params_.max_busy_period) return std::nullopt;
 
@@ -52,9 +52,9 @@ std::optional<ServerAnalysis> RegulatorServer::analyze(
     ends.push_back(horizon);
   }
 
-  double max_delay = std::max(0.0, (input->bits(0.0) - sigma) / rho);
-  double max_backlog = std::max(0.0, input->bits(0.0) - sigma);
-  Seconds a = 0.0;
+  Seconds max_delay = std::max(Seconds{}, (input->bits(Seconds{}) - sigma) / rho);
+  Bits max_backlog = std::max(Bits{}, input->bits(Seconds{}) - sigma);
+  Seconds a;
   for (Seconds b : ends) {
     if (b <= a) continue;
     const Bits v_left = input->bits(a + (b - a) * 1e-9);
@@ -65,8 +65,8 @@ std::optional<ServerAnalysis> RegulatorServer::analyze(
     max_backlog = std::max(max_backlog, v_b - sigma - rho * b);
     a = b;
   }
-  max_delay = std::max(0.0, max_delay);
-  max_backlog = std::max(0.0, max_backlog);
+  max_delay = std::max(Seconds{}, max_delay);
+  max_backlog = std::max(Bits{}, max_backlog);
   if (max_backlog > params_.buffer_limit * (1.0 + 1e-12)) {
     return std::nullopt;
   }

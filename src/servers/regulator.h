@@ -24,12 +24,12 @@ namespace hetnet {
 
 struct RegulatorParams {
   // Bucket depth σ (bits) and token rate ρ (bits/second).
-  Bits sigma = 0.0;
-  BitsPerSecond rho = 0.0;
+  Bits sigma;
+  BitsPerSecond rho;
   // Shaper buffer; nullopt-analysis if the backlog bound exceeds it.
-  Bits buffer_limit = std::numeric_limits<double>::infinity();
+  Bits buffer_limit = Bits::infinity();
   // Conservative cap on the scan horizon.
-  Seconds max_busy_period = 60.0;
+  Seconds max_busy_period{60.0};
 };
 
 class RegulatorServer final : public Server {

@@ -46,11 +46,11 @@ struct AnalysisConfig {
 struct ServerAnalysis {
   // Upper bound on the delay any bit of this connection suffers in the
   // server (d^wc in the paper).
-  Seconds worst_case_delay = 0.0;
+  Seconds worst_case_delay;
   // Upper bound on the connection's backlog inside the server (F in
   // Theorem 1); what a deployment must provision to honor the "no buffer
   // overflow" part of the QoS contract.
-  Bits buffer_required = 0.0;
+  Bits buffer_required;
   // Traffic descriptor of the connection at the server exit, input to the
   // next server in the chain.
   EnvelopePtr output;

@@ -52,9 +52,9 @@ struct SetupRecord {
   net::ConnectionId id = 0;
   bool admitted = false;
   core::RejectReason reason = core::RejectReason::kNone;
-  Seconds requested_at = 0.0;
+  Seconds requested_at;
   // Total time the application waited for CONNECT/REJECT.
-  Seconds setup_latency = 0.0;
+  Seconds setup_latency;
   net::Allocation granted;
 };
 

@@ -7,7 +7,7 @@
 namespace hetnet::sim {
 
 void EventQueue::schedule_at(Seconds when, Callback fn) {
-  HETNET_CHECK(when >= now_ - kEps, "cannot schedule into the past");
+  HETNET_CHECK(when >= now_ - Seconds{kEps}, "cannot schedule into the past");
   HETNET_CHECK(fn != nullptr, "null event callback");
   heap_.push({when, next_seq_++, std::move(fn)});
 }

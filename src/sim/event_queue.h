@@ -27,7 +27,7 @@ class EventQueue {
 
   // Runs events in time order until the calendar is empty or the optional
   // time limit is passed. Returns the number of events executed.
-  std::size_t run(Seconds until = -1.0);
+  std::size_t run(Seconds until = Seconds{-1.0});
 
   Seconds now() const { return now_; }
   bool empty() const { return heap_.empty(); }
@@ -46,7 +46,7 @@ class EventQueue {
     }
   };
 
-  Seconds now_ = 0.0;
+  Seconds now_;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 };

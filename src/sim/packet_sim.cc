@@ -18,10 +18,10 @@ namespace {
 
 // Concrete generator parameters extracted from the connection's envelope.
 struct SourceModel {
-  Bits c1 = 0.0;
-  Seconds p1 = 0.0;
-  Bits c2 = 0.0;
-  Seconds p2 = 0.0;
+  Bits c1;
+  Seconds p1;
+  Bits c2;
+  Seconds p2;
 };
 
 SourceModel extract_source(const EnvelopePtr& env) {
@@ -41,22 +41,22 @@ SourceModel extract_source(const EnvelopePtr& env) {
 }
 
 struct Message {
-  Seconds born = 0.0;
-  Bits size = 0.0;
-  Bits delivered = 0.0;
+  Seconds born;
+  Bits size;
+  Bits delivered;
 };
 
 // A chunk of one message queued at a MAC (source host or interface device).
 struct MacChunk {
   std::uint64_t msg = 0;
-  Bits remaining = 0.0;
+  Bits remaining;
   bool end_of_message = false;
 };
 
 struct Cell {
   std::size_t conn = 0;
   std::uint64_t msg = 0;
-  Bits payload = 0.0;       // actual message bits carried (<= cell payload)
+  Bits payload;       // actual message bits carried (<= cell payload)
   bool end_of_message = false;
   std::size_t hop = 0;      // index into the connection's port path
 };
@@ -75,28 +75,28 @@ class Simulation {
     SourceModel src;
     net::HostId src_host;
     net::HostId dst_host;
-    Seconds h_s = 0.0;
-    Seconds h_r = 0.0;
-    Bits frame_s = 0.0;
-    Bits frame_r = 0.0;
-    BitsPerSecond rate_s = 0.0;  // effective payload rate during a window
-    BitsPerSecond rate_r = 0.0;
+    Seconds h_s;
+    Seconds h_r;
+    Bits frame_s;
+    Bits frame_r;
+    BitsPerSecond rate_s;  // effective payload rate during a window
+    BitsPerSecond rate_r;
     std::vector<atm::Hop> hops;
     std::uint64_t next_msg = 0;
     std::unordered_map<std::uint64_t, Message> messages;
     std::deque<MacChunk> mac_s_queue;   // at the source host
     std::deque<MacChunk> mac_r_queue;   // at the destination's ID
     // Reassembly state at ID_R.
-    Bits assembling = 0.0;
+    Bits assembling;
     std::uint64_t assembling_msg = 0;
     ConnectionTrace trace;
   };
 
   struct Port {
-    Seconds cell_time = 0.0;
-    Seconds propagation = 0.0;
+    Seconds cell_time;
+    Seconds propagation;
     std::deque<Cell> queue;
-    Bits backlog = 0.0;
+    Bits backlog;
     bool busy = false;
   };
 
@@ -123,8 +123,8 @@ class Simulation {
   std::vector<ConnState> conns_;
   std::vector<bool> ring_rotating_;
   std::unordered_map<int, Port> ports_;  // backbone PortId → state
-  Bits max_port_backlog_ = 0.0;
-  Seconds max_rotation_ = 0.0;
+  Bits max_port_backlog_;
+  Seconds max_rotation_;
 };
 
 void Simulation::generate_bursts(std::size_t ci, Seconds phase) {
@@ -140,7 +140,7 @@ void Simulation::generate_bursts(std::size_t ci, Seconds phase) {
       q_.schedule_at(when, [this, ci, size] {
         ConnState& conn = conns_[ci];
         const std::uint64_t id = conn.next_msg++;
-        conn.messages[id] = {q_.now(), size, 0.0};
+        conn.messages[id] = {q_.now(), size, Bits{}};
         conn.mac_s_queue.push_back({id, size, true});
         ++conn.trace.messages_generated;
         // A burst near the end of the run can land after its ring parked.
@@ -158,7 +158,7 @@ Seconds Simulation::serve_station(std::size_t ci, std::deque<MacChunk>& queue,
                                   Seconds budget, Bits frame_size,
                                   BitsPerSecond rate, Seconds now,
                                   bool toward_id) {
-  Seconds used = 0.0;
+  Seconds used;
   while (!queue.empty() && budget - used > 1e-12) {
     MacChunk& chunk = queue.front();
     const Bits budget_bits = (budget - used) * rate;
@@ -223,7 +223,7 @@ void Simulation::rotate_ring(int ring) {
   // point where synchronous service already filled it).
   cursor = std::max(cursor,
                     start + config_.async_fill * topo_.params().ring.ttrt);
-  if (cursor <= start) cursor = start + 1e-9;
+  if (cursor <= start) cursor = start + Seconds{1e-9};
   max_rotation_ = std::max(max_rotation_, cursor - start);
   // Keep rotating while sources still generate, and afterwards until this
   // ring's queues drain (bounded by a hard stop so an accidentally
@@ -236,7 +236,7 @@ void Simulation::rotate_ring(int ring) {
       break;
     }
   }
-  const Seconds hard_stop = 2.0 * config_.duration + 1.0;
+  const Seconds hard_stop = 2.0 * config_.duration + Seconds{1.0};
   if (cursor < config_.duration || (ring_busy && cursor < hard_stop)) {
     q_.schedule_at(cursor, [this, ring] { rotate_ring(ring); });
   } else {
@@ -320,11 +320,11 @@ void Simulation::cell_at_id_r(Cell cell) {
   // order), so sequential accumulation into the current frame is exact.
   if (c.assembling <= 0.0) c.assembling_msg = cell.msg;
   c.assembling += cell.payload;
-  const bool frame_full = c.assembling >= c.frame_r - 1e-9;
+  const bool frame_full = c.assembling >= c.frame_r - Bits{1e-9};
   if (frame_full || cell.end_of_message) {
     const Bits payload = c.assembling;
     const std::uint64_t msg = c.assembling_msg;
-    c.assembling = 0.0;
+    c.assembling = Bits{};
     const auto& id_params = topo_.params().interface_device;
     const Seconds ready = q_.now() + id_params.input_port_delay +
                           id_params.cell_frame_conversion +
@@ -342,7 +342,7 @@ void Simulation::wake_ring(int ring) {
   const auto idx = static_cast<std::size_t>(ring);
   if (!ring_rotating_[idx]) {
     ring_rotating_[idx] = true;
-    q_.schedule_in(0.0, [this, ring] { rotate_ring(ring); });
+    q_.schedule_in(Seconds{}, [this, ring] { rotate_ring(ring); });
   }
 }
 
@@ -363,8 +363,8 @@ void Simulation::frame_at_destination(std::size_t ci, Bits payload,
   HETNET_CHECK(it != c.messages.end(), "frame for unknown message");
   Message& m = it->second;
   m.delivered += payload;
-  if (m.delivered >= m.size - 1e-6) {
-    c.trace.delay.add(q_.now() - m.born);
+  if (m.delivered >= m.size - Bits{1e-6}) {
+    c.trace.delay.add((q_.now() - m.born).value());
     ++c.trace.messages_delivered;
     c.messages.erase(it);
   }
@@ -404,13 +404,14 @@ PacketSimResult Simulation::run() {
       port.propagation = hop.propagation;
     }
     const Seconds phase =
-        config_.randomize_phases ? rng_.uniform(0.0, c.src.p1) : 0.0;
+        config_.randomize_phases ? Seconds{rng_.uniform(0.0, c.src.p1.value())}
+                                 : Seconds{};
     generate_bursts(i, phase);
   }
   ring_rotating_.assign(static_cast<std::size_t>(p.num_rings), true);
   for (int ring = 0; ring < p.num_rings; ++ring) {
     // Stagger token starts so rings do not rotate in lockstep.
-    q_.schedule_at(rng_.uniform(0.0, p.ring.ttrt * 0.1),
+    q_.schedule_at(Seconds{rng_.uniform(0.0, p.ring.ttrt.value() * 0.1)},
                    [this, ring] { rotate_ring(ring); });
   }
   // Let in-flight traffic drain: rings stop rotating at `duration` but the

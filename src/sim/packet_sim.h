@@ -33,7 +33,7 @@ namespace hetnet::sim {
 
 struct PacketSimConfig {
   // Simulated duration (seconds).
-  Seconds duration = 5.0;
+  Seconds duration{5.0};
   std::uint64_t seed = 1;
   // true: each source starts at a uniform random phase of its outer period.
   // false: all sources burst at t = 0 together (adversarial alignment).
@@ -60,12 +60,12 @@ struct PacketSimResult {
   std::vector<ConnectionTrace> connections;
   std::size_t events_executed = 0;
   // Largest backlog observed at any ATM output port (payload bits).
-  Bits max_port_backlog = 0.0;
+  Bits max_port_backlog;
   // Longest token rotation observed on any ring. The timed-token protocol
   // property the whole analysis rests on is max_token_rotation <= TTRT
   // whenever ΣH + Δ <= TTRT; the simulator exposes it so tests can assert
   // the invariant actually held during the run.
-  Seconds max_token_rotation = 0.0;
+  Seconds max_token_rotation;
 };
 
 // Simulates the given admitted connections (each with its allocation) on

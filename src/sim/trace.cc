@@ -51,15 +51,15 @@ std::vector<TraceRequest> parse_trace(std::istream& in) {
                                   std::to_string(fields.size()));
     }
     TraceRequest r;
-    r.arrival = fields[0];
+    r.arrival = Seconds{fields[0]};
     r.src_host = static_cast<int>(fields[1]);
     r.dst_host = static_cast<int>(fields[2]);
-    r.c1 = fields[3];
-    r.p1 = fields[4];
-    r.c2 = fields[5];
-    r.p2 = fields[6];
-    r.deadline = fields[7];
-    r.lifetime = fields[8];
+    r.c1 = Bits{fields[3]};
+    r.p1 = Seconds{fields[4]};
+    r.c2 = Bits{fields[5]};
+    r.p2 = Seconds{fields[6]};
+    r.deadline = Seconds{fields[7]};
+    r.lifetime = Seconds{fields[8]};
     if (!trace.empty() && r.arrival < trace.back().arrival) {
       throw std::invalid_argument("trace line " + std::to_string(line_no) +
                                   ": arrivals must be nondecreasing");
@@ -84,10 +84,10 @@ std::vector<TraceRequest> synthesize_trace(const WorkloadParams& workload,
   HETNET_CHECK(workload.lambda > 0, "λ must be positive");
   Rng rng(workload.seed);
   std::vector<TraceRequest> trace;
-  Seconds now = 0.0;
+  Seconds now;
   const int total = workload.warmup_requests + workload.num_requests;
   for (int i = 0; i < total; ++i) {
-    now += rng.exponential_mean(1.0 / workload.lambda);
+    now += Seconds{rng.exponential_mean(1.0 / workload.lambda)};
     TraceRequest r;
     r.arrival = now;
     r.src_host = static_cast<int>(rng.pick(
@@ -103,7 +103,7 @@ std::vector<TraceRequest> synthesize_trace(const WorkloadParams& workload,
     r.c2 = workload.c2;
     r.p2 = workload.p2;
     r.deadline = workload.deadline;
-    r.lifetime = rng.exponential_mean(workload.mean_lifetime);
+    r.lifetime = Seconds{rng.exponential_mean(val(workload.mean_lifetime))};
     trace.push_back(r);
   }
   return trace;
@@ -164,9 +164,9 @@ SimulationResult run_trace_simulation(const net::AbhnTopology& topo,
     if (decision.admitted) {
       if (measured) {
         ++result.admitted;
-        result.granted_h_s.add(decision.alloc.h_s);
-        result.granted_h_r.add(decision.alloc.h_r);
-        result.admitted_delay.add(decision.worst_case_delay);
+        result.granted_h_s.add(decision.alloc.h_s.value());
+        result.granted_h_r.add(decision.alloc.h_r.value());
+        result.admitted_delay.add(decision.worst_case_delay.value());
       }
       busy[static_cast<std::size_t>(req.src_host)] = true;
       departures.push({req.arrival + req.lifetime, spec.id, req.src_host});

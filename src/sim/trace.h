@@ -21,15 +21,15 @@
 namespace hetnet::sim {
 
 struct TraceRequest {
-  Seconds arrival = 0.0;
+  Seconds arrival;
   int src_host = 0;
   int dst_host = 0;
-  Bits c1 = 0.0;
-  Seconds p1 = 0.0;
-  Bits c2 = 0.0;
-  Seconds p2 = 0.0;
-  Seconds deadline = 0.0;
-  Seconds lifetime = 0.0;
+  Bits c1;
+  Seconds p1;
+  Bits c2;
+  Seconds p2;
+  Seconds deadline;
+  Seconds lifetime;
 };
 
 // Parses a trace; throws std::invalid_argument on malformed rows.

@@ -12,21 +12,21 @@
 
 namespace hetnet::sim {
 
-double source_rate(const WorkloadParams& w) { return w.c1 / w.p1; }
+BitsPerSecond source_rate(const WorkloadParams& w) { return w.c1 / w.p1; }
 
 double offered_utilization(const WorkloadParams& w,
                            const net::AbhnTopology& topo) {
-  const double capacity = topo.params().link.wire_rate;
+  const BitsPerSecond capacity = topo.params().link.wire_rate;
   const double links = topo.num_rings();  // one backbone link per ring pair
-  return w.lambda * w.mean_lifetime / links * source_rate(w) / capacity;
+  return w.lambda * val(w.mean_lifetime * source_rate(w) / capacity) / links;
 }
 
 double lambda_for_utilization(double u, const WorkloadParams& w,
                               const net::AbhnTopology& topo) {
   HETNET_CHECK(u > 0, "utilization must be positive");
-  const double capacity = topo.params().link.wire_rate;
+  const BitsPerSecond capacity = topo.params().link.wire_rate;
   const double links = topo.num_rings();
-  return u * links * capacity / (w.mean_lifetime * source_rate(w));
+  return u * links * val(capacity / source_rate(w)) / val(w.mean_lifetime);
 }
 
 SimulationResult run_admission_simulation(const net::AbhnTopology& topo,
@@ -55,11 +55,11 @@ SimulationResult run_admission_simulation(const net::AbhnTopology& topo,
 
   const int total =
       workload.warmup_requests + workload.num_requests;
-  Seconds now = 0.0;
+  Seconds now;
   net::ConnectionId next_id = 1;
 
   for (int req = 0; req < total; ++req) {
-    now += rng.exponential_mean(1.0 / workload.lambda);
+    now += Seconds{rng.exponential_mean(1.0 / workload.lambda)};
     while (!departures.empty() && departures.top().when <= now) {
       const Departure d = departures.top();
       departures.pop();
@@ -111,14 +111,14 @@ SimulationResult run_admission_simulation(const net::AbhnTopology& topo,
     if (decision.admitted) {
       if (measured) {
         ++result.admitted;
-        result.granted_h_s.add(decision.alloc.h_s);
-        result.granted_h_r.add(decision.alloc.h_r);
-        result.admitted_delay.add(decision.worst_case_delay);
+        result.granted_h_s.add(decision.alloc.h_s.value());
+        result.granted_h_r.add(decision.alloc.h_r.value());
+        result.admitted_delay.add(decision.worst_case_delay.value());
       }
       busy[static_cast<std::size_t>(src_flat)] = true;
       departures.push(
-          {now + rng.exponential_mean(workload.mean_lifetime), spec.id,
-           src_flat});
+          {now + Seconds{rng.exponential_mean(val(workload.mean_lifetime))},
+           spec.id, src_flat});
     } else if (measured) {
       if (decision.reason == core::RejectReason::kNoSyncBandwidth) {
         ++result.rejected_no_bandwidth;

@@ -35,8 +35,8 @@ namespace hetnet::sim {
 struct WorkloadParams {
   // Poisson arrival rate λ of connection requests (1/s).
   double lambda = 1.0;
-  // Mean connection lifetime 1/μ (s).
-  double mean_lifetime = 20.0;
+  // Mean connection lifetime 1/μ.
+  Seconds mean_lifetime = units::sec(20);
 
   // Dual-periodic source (eq. 37): C1 bits per P1, in C2-bit sub-bursts
   // every P2, with optional in-burst peak rate. Defaults give ρ = 5 Mb/s
@@ -48,7 +48,7 @@ struct WorkloadParams {
   Seconds p1 = units::ms(100);
   Bits c2 = units::kbits(50);
   Seconds p2 = units::ms(10);
-  BitsPerSecond peak = std::numeric_limits<double>::infinity();
+  BitsPerSecond peak = BitsPerSecond::infinity();
 
   // End-to-end deadline D of every connection. The solo delay floor at
   // maximal allocation is ≈ 2·(2·TTRT) + conversions ≈ 33 ms; 80 ms leaves
@@ -63,7 +63,7 @@ struct WorkloadParams {
 };
 
 // ρ = C1/P1 (eq. 38).
-double source_rate(const WorkloadParams& w);
+BitsPerSecond source_rate(const WorkloadParams& w);
 
 // The offered average utilization of one backbone link (the paper's U).
 double offered_utilization(const WorkloadParams& w,

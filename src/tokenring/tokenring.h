@@ -54,7 +54,7 @@ class TokenRingMacServer final : public Server {
   TokenRingMacServer(std::string name, const TokenRingParams& ring,
                      Bits frame_payload, Seconds cycle,
                      Bits buffer_limit =
-                         std::numeric_limits<double>::infinity(),
+                         Bits::infinity(),
                      const AnalysisConfig& config = {});
 
   std::optional<ServerAnalysis> analyze(

@@ -19,19 +19,19 @@ class SumEnvelope final : public ArrivalEnvelope {
   }
 
   Bits bits(Seconds interval) const override {
-    Bits total = 0.0;
+    Bits total;
     for (const auto& p : parts_) total += p->bits(interval);
     return total;
   }
 
   BitsPerSecond long_term_rate() const override {
-    BitsPerSecond total = 0.0;
+    BitsPerSecond total;
     for (const auto& p : parts_) total += p->long_term_rate();
     return total;
   }
 
   Bits burst_bound() const override {
-    Bits total = 0.0;
+    Bits total;
     for (const auto& p : parts_) total += p->burst_bound();
     return total;
   }
@@ -101,7 +101,7 @@ std::vector<Seconds> min_breakpoints(const ArrivalEnvelope& a,
   std::vector<Seconds> base =
       merge_breakpoints({a.breakpoints(horizon), b.breakpoints(horizon)});
   std::vector<Seconds> crossings;
-  Seconds prev = 0.0;
+  Seconds prev;
   auto diff = [&](Seconds t) { return a.bits(t) - b.bits(t); };
   std::vector<Seconds> ends = base;
   ends.push_back(horizon);
@@ -110,13 +110,13 @@ std::vector<Seconds> min_breakpoints(const ArrivalEnvelope& a,
     // Evaluate strictly inside the segment to dodge jumps at its endpoints.
     const Seconds lo = prev + (end - prev) * 1e-6;
     const Seconds hi = end - (end - prev) * 1e-6;
-    const double d_lo = diff(lo);
-    const double d_hi = diff(hi);
+    const Bits d_lo = diff(lo);
+    const Bits d_hi = diff(hi);
     if ((d_lo < 0) != (d_hi < 0) && hi > lo) {
       // Both curves are affine on (prev, end); solve for the crossing.
-      const double denom = d_hi - d_lo;
-      if (std::abs(denom) > 0) {
-        const Seconds cross = lo + (hi - lo) * (-d_lo / denom);
+      const Bits denom = d_hi - d_lo;
+      if (abs(denom) > 0) {
+        const Seconds cross = lo + (hi - lo) * (-(d_lo / denom));
         if (cross > 0 && approx_le(cross, horizon)) {
           crossings.push_back(cross);
         }
@@ -197,7 +197,7 @@ class QuantizeEnvelope final : public ArrivalEnvelope {
     std::vector<Seconds> steps;
     // Between input breakpoints the input is affine; the quantized output
     // steps exactly where the input crosses a multiple of in_unit_.
-    Seconds prev = 0.0;
+    Seconds prev;
     std::vector<Seconds> ends = base;
     ends.push_back(horizon);
     for (Seconds end : ends) {
@@ -209,7 +209,7 @@ class QuantizeEnvelope final : public ArrivalEnvelope {
       if (v_hi > v_lo && hi > lo) {
         const double k_first = std::ceil(v_lo / in_unit_ + kEps);
         const double k_last = std::floor(v_hi / in_unit_ - kEps);
-        const double slope = (v_hi - v_lo) / (hi - lo);
+        const BitsPerSecond slope = (v_hi - v_lo) / (hi - lo);
         for (double k = k_first; k <= k_last; ++k) {
           const Seconds cross = lo + (k * in_unit_ - v_lo) / slope;
           if (cross > 0 && approx_le(cross, horizon)) steps.push_back(cross);

@@ -33,7 +33,7 @@ namespace hetnet {
 EnvelopePtr sum_envelopes(std::vector<EnvelopePtr> parts);
 EnvelopePtr shift_envelope(EnvelopePtr input, Seconds delay);
 EnvelopePtr min_envelope(EnvelopePtr a, EnvelopePtr b);
-EnvelopePtr rate_cap(EnvelopePtr input, BitsPerSecond rate, Bits burst = 0.0);
+EnvelopePtr rate_cap(EnvelopePtr input, BitsPerSecond rate, Bits burst = Bits{});
 EnvelopePtr quantize_envelope(EnvelopePtr input, Bits in_unit, Bits out_unit);
 EnvelopePtr scale_envelope(EnvelopePtr input, double factor);
 

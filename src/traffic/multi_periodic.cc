@@ -22,14 +22,14 @@ MultiPeriodicEnvelope::MultiPeriodicEnvelope(
     }
   }
   const PeriodicLevel& inner = levels_.back();
-  HETNET_CHECK(peak_ * inner.period >= inner.bits || std::isinf(peak_),
+  HETNET_CHECK(peak_ * inner.period >= inner.bits || isinf(peak_),
                "peak rate too low for the innermost burst");
 }
 
 Bits MultiPeriodicEnvelope::level_bits(std::size_t k, Seconds r) const {
   if (k == levels_.size()) {
-    if (r <= 0) return 0.0;
-    if (std::isinf(peak_)) return levels_.back().bits;  // clamped by caller
+    if (r <= 0) return Bits{};
+    if (isinf(peak_)) return levels_.back().bits;  // clamped by caller
     return peak_ * r;
   }
   const PeriodicLevel& level = levels_[k];
@@ -57,13 +57,13 @@ void MultiPeriodicEnvelope::level_breakpoints(
     std::vector<Seconds>& out) const {
   const PeriodicLevel& level = levels_[k];
   for (double j = 0;; ++j) {
-    if (j * level.bits >= budget - kEps) break;  // window budget exhausted
+    if (j * level.bits >= budget - Bits{kEps}) break;  // window budget exhausted
     const Seconds start = offset + j * level.period;
     if (start >= end || start > horizon) break;
     if (j > 0) out.push_back(start);
     const Bits quota = std::min(level.bits, budget - j * level.bits);
     if (k + 1 == levels_.size()) {
-      if (!std::isinf(peak_)) {
+      if (!isinf(peak_)) {
         const Seconds burst_end = start + quota / peak_;
         if (burst_end > start &&
             approx_le(burst_end, std::min(end, horizon))) {
@@ -86,7 +86,7 @@ std::vector<Seconds> MultiPeriodicEnvelope::breakpoints(
     if (start > horizon) break;
     if (start > 0) pts.push_back(start);
     if (levels_.size() == 1) {
-      if (!std::isinf(peak_)) {
+      if (!isinf(peak_)) {
         const Seconds burst_end = start + outer.bits / peak_;
         if (approx_le(burst_end, horizon) && burst_end > start) {
           pts.push_back(burst_end);

@@ -20,8 +20,8 @@
 namespace hetnet {
 
 struct PeriodicLevel {
-  Bits bits = 0.0;     // C_k
-  Seconds period = 0.0;  // P_k
+  Bits bits;     // C_k
+  Seconds period;  // P_k
 };
 
 class MultiPeriodicEnvelope final : public ArrivalEnvelope {
@@ -31,7 +31,7 @@ class MultiPeriodicEnvelope final : public ArrivalEnvelope {
   // deliver the innermost burst within its period.
   explicit MultiPeriodicEnvelope(
       std::vector<PeriodicLevel> levels,
-      BitsPerSecond peak_rate = std::numeric_limits<double>::infinity());
+      BitsPerSecond peak_rate = BitsPerSecond::infinity());
 
   Bits bits(Seconds interval) const override;
   BitsPerSecond long_term_rate() const override;

@@ -11,8 +11,8 @@ namespace {
 // min(limit, peak * elapsed) that is well-defined for peak = +infinity
 // (an instantaneous burst delivers `limit` bits for any elapsed > 0).
 Bits burst_progress(Bits limit, BitsPerSecond peak, Seconds elapsed) {
-  if (elapsed <= 0) return 0.0;
-  if (std::isinf(peak)) return limit;
+  if (elapsed <= 0) return Bits{};
+  if (isinf(peak)) return limit;
   return std::min(limit, peak * elapsed);
 }
 
@@ -23,7 +23,7 @@ PeriodicEnvelope::PeriodicEnvelope(Bits bits_per_period, Seconds period,
     : c_(bits_per_period), p_(period), peak_(peak_rate) {
   HETNET_CHECK(c_ > 0, "periodic source needs positive bits per period");
   HETNET_CHECK(p_ > 0, "periodic source needs positive period");
-  HETNET_CHECK(peak_ * p_ >= c_ || std::isinf(peak_),
+  HETNET_CHECK(peak_ * p_ >= c_ || isinf(peak_),
                "peak rate too low to deliver C bits within one period");
 }
 
@@ -36,7 +36,7 @@ Bits PeriodicEnvelope::bits(Seconds interval) const {
 
 std::vector<Seconds> PeriodicEnvelope::breakpoints(Seconds horizon) const {
   std::vector<Seconds> pts;
-  const Seconds burst_len = std::isinf(peak_) ? 0.0 : c_ / peak_;
+  const Seconds burst_len = isinf(peak_) ? Seconds{} : c_ / peak_;
   for (double k = 0;; ++k) {
     const Seconds start = k * p_;
     if (start > horizon) break;
@@ -61,7 +61,7 @@ DualPeriodicEnvelope::DualPeriodicEnvelope(Bits c1, Seconds p1, Bits c2,
     : c1_(c1), p1_(p1), c2_(c2), p2_(p2), peak_(peak_rate) {
   HETNET_CHECK(c2_ > 0 && c1_ >= c2_, "dual-periodic needs 0 < C2 <= C1");
   HETNET_CHECK(p2_ > 0 && p1_ >= p2_, "dual-periodic needs 0 < P2 <= P1");
-  HETNET_CHECK(peak_ * p2_ >= c2_ || std::isinf(peak_),
+  HETNET_CHECK(peak_ * p2_ >= c2_ || isinf(peak_),
                "peak rate too low to deliver C2 bits within one sub-period");
 }
 
@@ -90,7 +90,7 @@ std::vector<Seconds> DualPeriodicEnvelope::breakpoints(Seconds horizon) const {
       const Seconds sub = start + k2 * p2_;
       if (sub > horizon) break;
       if (sub > start) pts.push_back(sub);
-      if (!std::isinf(peak_)) {
+      if (!isinf(peak_)) {
         const Bits remaining = std::min(c2_, c1_ - k2 * c2_);
         const Seconds end = sub + remaining / peak_;
         if (approx_le(end, horizon) && end > start) pts.push_back(end);
@@ -110,7 +110,7 @@ std::string DualPeriodicEnvelope::describe() const {
 LeakyBucketEnvelope::LeakyBucketEnvelope(Bits sigma, BitsPerSecond rho)
     : sigma_(sigma), rho_(rho) {
   HETNET_CHECK(sigma_ >= 0 && rho_ >= 0, "leaky bucket needs σ, ρ >= 0");
-  HETNET_CHECK(sigma_ + rho_ > 0, "leaky bucket must carry some traffic");
+  HETNET_CHECK(sigma_ > 0 || rho_ > 0, "leaky bucket must carry some traffic");
 }
 
 Bits LeakyBucketEnvelope::bits(Seconds interval) const {

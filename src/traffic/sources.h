@@ -29,7 +29,7 @@ class PeriodicEnvelope final : public ArrivalEnvelope {
   // Requires C > 0, P > 0, peak_rate >= C/P.
   PeriodicEnvelope(Bits bits_per_period, Seconds period,
                    BitsPerSecond peak_rate =
-                       std::numeric_limits<double>::infinity());
+                       BitsPerSecond::infinity());
 
   Bits bits(Seconds interval) const override;
   BitsPerSecond long_term_rate() const override { return c_ / p_; }
@@ -60,7 +60,7 @@ class DualPeriodicEnvelope final : public ArrivalEnvelope {
   // Requires 0 < C2 <= C1, 0 < P2 <= P1, peak_rate >= C2/P2.
   DualPeriodicEnvelope(Bits c1, Seconds p1, Bits c2, Seconds p2,
                        BitsPerSecond peak_rate =
-                           std::numeric_limits<double>::infinity());
+                           BitsPerSecond::infinity());
 
   Bits bits(Seconds interval) const override;
   BitsPerSecond long_term_rate() const override { return c1_ / p1_; }
@@ -107,9 +107,9 @@ class LeakyBucketEnvelope final : public ArrivalEnvelope {
 
 class ZeroEnvelope final : public ArrivalEnvelope {
  public:
-  Bits bits(Seconds) const override { return 0.0; }
-  BitsPerSecond long_term_rate() const override { return 0.0; }
-  Bits burst_bound() const override { return 0.0; }
+  Bits bits(Seconds) const override { return Bits{}; }
+  BitsPerSecond long_term_rate() const override { return BitsPerSecond{}; }
+  Bits burst_bound() const override { return Bits{}; }
   std::vector<Seconds> breakpoints(Seconds) const override { return {}; }
   std::string describe() const override { return "zero"; }
 };

@@ -70,7 +70,7 @@ EnvelopePtr rasterize(const EnvelopePtr& src, Seconds horizon,
   HETNET_CHECK(max_points >= 2, "rasterize needs at least two points");
   const BitsPerSecond tail_rate = src->long_term_rate();
   const Bits tail_burst = src->burst_bound();
-  HETNET_CHECK(std::isfinite(tail_burst),
+  HETNET_CHECK(isfinite(tail_burst),
                "cannot rasterize an envelope without a finite burst bound");
 
   // Candidate sample points: the source's own breakpoints plus a uniform
@@ -90,8 +90,8 @@ EnvelopePtr rasterize(const EnvelopePtr& src, Seconds horizon,
     candidates.push_back(horizon);
   }
 
-  std::vector<Seconds> xs{0.0};
-  std::vector<Bits> vs{src->bits(0.0)};
+  std::vector<Seconds> xs{Seconds{}};
+  std::vector<Bits> vs{src->bits(Seconds{})};
   const std::size_t stride =
       candidates.size() <= max_points - 1
           ? 1

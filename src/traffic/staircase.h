@@ -42,7 +42,7 @@ class StaircaseEnvelope final : public ArrivalEnvelope {
   std::vector<Seconds> intervals_;
   std::vector<Bits> values_;
   BitsPerSecond tail_rate_;
-  Bits burst_bound_ = 0.0;  // max_k (values_[k] - tail_rate_·intervals_[k])
+  Bits burst_bound_;  // max_k (values_[k] - tail_rate_·intervals_[k])
 };
 
 // Samples `src` at its own breakpoints within (0, horizon] (thinned evenly to

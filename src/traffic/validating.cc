@@ -1,0 +1,139 @@
+#include "src/traffic/validating.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+namespace {
+
+// Interpolation comparisons accumulate rounding from multiple envelope
+// evaluations; allow slack well above one ulp but far below any real
+// contract violation.
+constexpr double kRelTol = 1e-6;
+
+Bits tol_for(Bits scale) { return Bits{kRelTol} + kRelTol * abs(scale); }
+
+bool close_enough(Bits a, Bits b, Bits scale) {
+  return abs(a - b) <= tol_for(scale);
+}
+
+bool leq_with_tol(Bits a, Bits b, Bits scale) {
+  return a <= b + tol_for(scale);
+}
+
+}  // namespace
+
+ValidatingEnvelope::ValidatingEnvelope(EnvelopePtr inner)
+    : inner_(std::move(inner)) {
+  HETNET_CHECK(inner_ != nullptr, "ValidatingEnvelope needs an envelope");
+}
+
+Bits ValidatingEnvelope::bits(Seconds interval) const {
+  const Bits value = inner_->bits(interval);
+  HETNET_CHECK(value >= 0.0,
+               "envelope contract: A(I) must be nonnegative for " +
+                   inner_->describe());
+  check_monotone(interval, value);
+  check_majorized(interval, value);
+  check_affine_between_breakpoints(interval);
+  return value;
+}
+
+BitsPerSecond ValidatingEnvelope::long_term_rate() const {
+  const BitsPerSecond rho = inner_->long_term_rate();
+  HETNET_CHECK(rho >= 0.0,
+               "envelope contract: long_term_rate must be nonnegative for " +
+                   inner_->describe());
+  return rho;
+}
+
+Bits ValidatingEnvelope::burst_bound() const {
+  const Bits b = inner_->burst_bound();
+  HETNET_CHECK(b >= 0.0,
+               "envelope contract: burst_bound must be nonnegative for " +
+                   inner_->describe());
+  return b;
+}
+
+std::vector<Seconds> ValidatingEnvelope::breakpoints(Seconds horizon) const {
+  std::vector<Seconds> points = inner_->breakpoints(horizon);
+  Seconds prev;
+  for (const Seconds p : points) {
+    HETNET_CHECK(p > 0.0 && approx_le(p, horizon),
+                 "envelope contract: breakpoints must lie in (0, horizon] "
+                 "for " +
+                     inner_->describe());
+    HETNET_CHECK(p > prev,
+                 "envelope contract: breakpoints must be strictly "
+                 "increasing for " +
+                     inner_->describe());
+    prev = p;
+  }
+  return points;
+}
+
+std::string ValidatingEnvelope::describe() const {
+  return inner_->describe();
+}
+
+void ValidatingEnvelope::check_monotone(Seconds interval, Bits value) const {
+  auto [it, inserted] = seen_.emplace(interval, value);
+  if (!inserted) {
+    HETNET_CHECK(close_enough(value, it->second, value),
+                 "envelope contract: A(I) changed between evaluations of " +
+                     inner_->describe());
+    return;
+  }
+  if (it != seen_.begin()) {
+    const auto& [t_lo, a_lo] = *std::prev(it);
+    HETNET_CHECK(leq_with_tol(a_lo, value, value),
+                 "envelope contract: A nondecreasing violated by " +
+                     inner_->describe());
+  }
+  if (const auto next = std::next(it); next != seen_.end()) {
+    const auto& [t_hi, a_hi] = *next;
+    HETNET_CHECK(leq_with_tol(value, a_hi, a_hi),
+                 "envelope contract: A nondecreasing violated by " +
+                     inner_->describe());
+  }
+}
+
+void ValidatingEnvelope::check_majorized(Seconds interval, Bits value) const {
+  const Bits cap = inner_->burst_bound() + inner_->long_term_rate() * interval;
+  HETNET_CHECK(leq_with_tol(value, cap, cap),
+               "envelope contract: burst_bound majorization violated by " +
+                   inner_->describe());
+}
+
+void ValidatingEnvelope::check_affine_between_breakpoints(
+    Seconds interval) const {
+  if (interval <= 0.0) return;
+  // Find the breakpoint segment [lo, hi] containing `interval`. Envelopes
+  // may JUMP at a breakpoint, so affinity is only promised on the open
+  // segment: sample at 1/4, 1/2 and 3/4 strictly inside it and require the
+  // middle sample to interpolate the outer two.
+  const std::vector<Seconds> points = inner_->breakpoints(2.0 * interval);
+  Seconds lo;
+  Seconds hi = 2.0 * interval;
+  for (const Seconds p : points) {
+    if (approx_le(p, interval)) {
+      lo = p;
+    } else {
+      hi = p;
+      break;
+    }
+  }
+  const Seconds width = hi - lo;
+  if (width <= Seconds{16 * kEps}) return;
+  const Bits a_q1 = inner_->bits(lo + 0.25 * width);
+  const Bits a_mid = inner_->bits(lo + 0.5 * width);
+  const Bits a_q3 = inner_->bits(lo + 0.75 * width);
+  const Bits expect = a_q1 + 0.5 * (a_q3 - a_q1);
+  HETNET_CHECK(close_enough(a_mid, expect, a_q3),
+               "envelope contract: A not affine between breakpoints of " +
+                   inner_->describe());
+}
+
+}  // namespace hetnet

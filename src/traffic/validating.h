@@ -1,0 +1,65 @@
+// Runtime contract checking for ArrivalEnvelope implementations.
+//
+// ValidatingEnvelope wraps any envelope and spot-checks the interface
+// contract documented in envelope.h on every query:
+//   * bits() is nonnegative and nondecreasing (checked against the queries
+//     already observed),
+//   * bits() is affine between consecutive breakpoints (checked by midpoint
+//     interpolation on the segment containing the query),
+//   * burst_bound() majorizes the envelope: A(I) <= b + ρ·I at every query.
+//
+// The wrapper is for test builds: wrap_validating() is a pass-through unless
+// the build defines HETNET_VALIDATE (CMake option -DHETNET_VALIDATE=ON), so
+// production call sites can wrap unconditionally at no cost. Checks fire
+// through HETNET_CHECK (std::logic_error) to fail the offending test.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/traffic/envelope.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+
+class ValidatingEnvelope final : public ArrivalEnvelope {
+ public:
+  explicit ValidatingEnvelope(EnvelopePtr inner);
+
+  Bits bits(Seconds interval) const override;
+  BitsPerSecond long_term_rate() const override;
+  Bits burst_bound() const override;
+  std::vector<Seconds> breakpoints(Seconds horizon) const override;
+  std::string describe() const override;
+
+  const EnvelopePtr& inner() const { return inner_; }
+
+ private:
+  void check_monotone(Seconds interval, Bits value) const;
+  void check_majorized(Seconds interval, Bits value) const;
+  void check_affine_between_breakpoints(Seconds interval) const;
+
+  EnvelopePtr inner_;
+  // Queries observed so far, for the nondecreasing check. Mutable: the
+  // envelope interface is logically const, the validation memo is not state.
+  mutable std::map<Seconds, Bits> seen_;
+};
+
+// Wraps `env` in a ValidatingEnvelope when the translation unit enables
+// validation (HETNET_VALIDATE), otherwise returns it unchanged. Inline so
+// each target's compile definitions decide — the test suites turn it on
+// without rebuilding the library.
+inline EnvelopePtr wrap_validating(EnvelopePtr env) {
+#ifdef HETNET_VALIDATE
+  if (env && !std::dynamic_pointer_cast<const ValidatingEnvelope>(env)) {
+    return std::make_shared<ValidatingEnvelope>(std::move(env));
+  }
+  return env;
+#else
+  return env;
+#endif
+}
+
+}  // namespace hetnet

@@ -1,41 +1,220 @@
 // Units and numeric conventions used throughout hetnet-rt.
 //
-// The delay-analysis engine is dense numeric code, so quantities are plain
-// `double`s with *documented* units rather than wrapped strong types:
+// The delay-analysis engine is dense floating-point code, so physical
+// quantities are *compile-time checked* strong types rather than documented
+// `double` aliases. Every quantity is a `Quantity<TimeDim, DataDim>` — a
+// zero-overhead wrapper around one `double` whose template parameters record
+// the exponent of each base dimension:
 //
-//   - time:       seconds        (alias `Seconds`)
-//   - data:       bits           (alias `Bits`)
-//   - bandwidth:  bits/second    (alias `BitsPerSecond`)
+//   - time:       seconds        `Seconds        = Quantity< 1, 0>`
+//   - data:       bits           `Bits           = Quantity< 0, 1>`
+//   - bandwidth:  bits/second    `BitsPerSecond  = Quantity<-1, 1>`
 //
-// Every interface states the unit of every parameter; the helpers below make
-// call sites self-describing (e.g. `units::mbps(155)`, `units::ms(8)`).
+// The arithmetic operators implement dimensional analysis:
+//
+//   Seconds + Seconds            -> Seconds        (same-dimension add/sub)
+//   Bits / Seconds               -> BitsPerSecond  (exponents subtract)
+//   BitsPerSecond * Seconds      -> Bits           (exponents add)
+//   Bits / Bits                  -> double         (dimensionless collapses)
+//   Seconds * double             -> Seconds        (scalar scaling)
+//   Seconds + Bits               -> COMPILE ERROR
+//   Seconds s = 0.25;            -> COMPILE ERROR  (construction is explicit)
+//   f(Seconds); f(units::mbps(1))-> COMPILE ERROR  (no cross-unit conversion)
+//
+// Conventions:
+//   * Construct from raw doubles explicitly — prefer the `units::` helpers
+//     (`units::mbps(155)`, `units::ms(8)`) which make the unit visible at the
+//     call site, or `Seconds{x}` when wrapping an already-converted value.
+//   * Unwrap with `.value()` only at true boundaries: printf/format strings,
+//     generic numeric utilities (stats, charts, tables), and serialization.
+//   * Ordering comparisons against a raw double (`delay > 0`,
+//     `rate < kEps`) are allowed — bounds and sentinels read naturally —
+//     but arithmetic with raw doubles other than scalar * and / is not.
+//   * `Quantity` is trivially copyable and exactly the size of a double;
+//     pass it by value.
+//
+// Enforcement: `tests/negative/` holds a negative-compilation suite (wired
+// into ctest) proving the COMPILE ERROR lines above really do not compile,
+// and `tools/lint.py` rejects raw `double` parameters with quantity-like
+// names in public headers. See DESIGN.md, "Static analysis & invariants".
 #pragma once
+
+#include <cmath>
+#include <limits>
+#include <ostream>
 
 namespace hetnet {
 
-using Seconds = double;
-using Bits = double;
-using BitsPerSecond = double;
+namespace internal {
+
+// Maps a dimension vector to the result type of * and /: a Quantity in
+// general, collapsing to a raw double when all exponents cancel.
+template <int TimeDim, int DataDim>
+struct QuantityResult;
+
+}  // namespace internal
+
+template <int TimeDim, int DataDim>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  // The raw magnitude in base units (seconds / bits / bits-per-second).
+  constexpr double value() const { return v_; }
+
+  static constexpr Quantity infinity() {
+    return Quantity(std::numeric_limits<double>::infinity());
+  }
+
+  // --- same-dimension arithmetic ---
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.v_ + b.v_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.v_ - b.v_);
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity(-a.v_); }
+  friend constexpr Quantity operator+(Quantity a) { return a; }
+
+  // --- scalar scaling ---
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.v_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(s * a.v_);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.v_ / s);
+  }
+
+  // --- comparisons (same dimension, or against a raw double bound) ---
+  friend constexpr bool operator==(Quantity a, Quantity b) {
+    return a.v_ == b.v_;
+  }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) {
+    return a.v_ <=> b.v_;
+  }
+  friend constexpr bool operator==(Quantity a, double b) { return a.v_ == b; }
+  friend constexpr auto operator<=>(Quantity a, double b) {
+    return a.v_ <=> b;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+namespace internal {
+
+template <int TimeDim, int DataDim>
+struct QuantityResult {
+  using type = Quantity<TimeDim, DataDim>;
+  static constexpr type make(double v) { return type(v); }
+};
+
+template <>
+struct QuantityResult<0, 0> {
+  using type = double;
+  static constexpr double make(double v) { return v; }
+};
+
+}  // namespace internal
+
+// --- dimensional multiply / divide: exponents add / subtract ---
+template <int T1, int D1, int T2, int D2>
+constexpr auto operator*(Quantity<T1, D1> a, Quantity<T2, D2> b) {
+  return internal::QuantityResult<T1 + T2, D1 + D2>::make(a.value() *
+                                                          b.value());
+}
+
+template <int T1, int D1, int T2, int D2>
+constexpr auto operator/(Quantity<T1, D1> a, Quantity<T2, D2> b) {
+  return internal::QuantityResult<T1 - T2, D1 - D2>::make(a.value() /
+                                                          b.value());
+}
+
+template <int T, int D>
+constexpr auto operator/(double s, Quantity<T, D> q) {
+  return internal::QuantityResult<-T, -D>::make(s / q.value());
+}
+
+using Seconds = Quantity<1, 0>;
+using Bits = Quantity<0, 1>;
+using BitsPerSecond = Quantity<-1, 1>;
+
+// --- math helpers (found by ADL; mirror <cmath> names) ---
+template <int T, int D>
+inline bool isfinite(Quantity<T, D> q) {
+  return std::isfinite(q.value());
+}
+
+template <int T, int D>
+inline bool isnan(Quantity<T, D> q) {
+  return std::isnan(q.value());
+}
+
+template <int T, int D>
+inline bool isinf(Quantity<T, D> q) {
+  return std::isinf(q.value());
+}
+
+template <int T, int D>
+constexpr Quantity<T, D> abs(Quantity<T, D> q) {
+  return q.value() < 0 ? Quantity<T, D>(-q.value()) : q;
+}
+
+// Unwraps a quantity (or passes a double through) at genuinely unitless
+// boundaries: printf-style formatting, generic numeric utilities (stats,
+// charts, tables) and test assertions that compare raw magnitudes.
+constexpr double val(double v) { return v; }
+template <int T, int D>
+constexpr double val(Quantity<T, D> q) {
+  return q.value();
+}
+
+// Streams the raw magnitude, exactly like the pre-strong-type doubles did
+// (traces, tables and golden files stay byte-identical).
+template <int T, int D>
+std::ostream& operator<<(std::ostream& os, Quantity<T, D> q) {
+  return os << q.value();
+}
 
 namespace units {
 
 // --- time ---
-constexpr Seconds sec(double v) { return v; }
-constexpr Seconds ms(double v) { return v * 1e-3; }
-constexpr Seconds us(double v) { return v * 1e-6; }
-constexpr Seconds ns(double v) { return v * 1e-9; }
+constexpr Seconds sec(double v) { return Seconds(v); }
+constexpr Seconds ms(double v) { return Seconds(v * 1e-3); }
+constexpr Seconds us(double v) { return Seconds(v * 1e-6); }
+constexpr Seconds ns(double v) { return Seconds(v * 1e-9); }
 
 // --- data ---
-constexpr Bits bits(double v) { return v; }
-constexpr Bits bytes(double v) { return v * 8.0; }
-constexpr Bits kbits(double v) { return v * 1e3; }
-constexpr Bits mbits(double v) { return v * 1e6; }
+constexpr Bits bits(double v) { return Bits(v); }
+constexpr Bits bytes(double v) { return Bits(v * 8.0); }
+constexpr Bits kbits(double v) { return Bits(v * 1e3); }
+constexpr Bits mbits(double v) { return Bits(v * 1e6); }
 
 // --- bandwidth ---
-constexpr BitsPerSecond bps(double v) { return v; }
-constexpr BitsPerSecond kbps(double v) { return v * 1e3; }
-constexpr BitsPerSecond mbps(double v) { return v * 1e6; }
-constexpr BitsPerSecond gbps(double v) { return v * 1e9; }
+constexpr BitsPerSecond bps(double v) { return BitsPerSecond(v); }
+constexpr BitsPerSecond kbps(double v) { return BitsPerSecond(v * 1e3); }
+constexpr BitsPerSecond mbps(double v) { return BitsPerSecond(v * 1e6); }
+constexpr BitsPerSecond gbps(double v) { return BitsPerSecond(v * 1e9); }
 
 }  // namespace units
 
@@ -57,5 +236,35 @@ inline bool approx_le(double a, double b) {
 inline bool approx_eq(double a, double b) {
   return approx_le(a, b) && approx_le(b, a);
 }
+
+// Tolerant comparisons lift to same-dimension quantities (and to a raw
+// double bound, matching the ordering-comparison policy above).
+template <int T, int D>
+inline bool approx_le(Quantity<T, D> a, Quantity<T, D> b) {
+  return approx_le(a.value(), b.value());
+}
+template <int T, int D>
+inline bool approx_le(Quantity<T, D> a, double b) {
+  return approx_le(a.value(), b);
+}
+template <int T, int D>
+inline bool approx_le(double a, Quantity<T, D> b) {
+  return approx_le(a, b.value());
+}
+template <int T, int D>
+inline bool approx_eq(Quantity<T, D> a, Quantity<T, D> b) {
+  return approx_eq(a.value(), b.value());
+}
+template <int T, int D>
+inline bool approx_eq(Quantity<T, D> a, double b) {
+  return approx_eq(a.value(), b);
+}
+template <int T, int D>
+inline bool approx_eq(double a, Quantity<T, D> b) {
+  return approx_eq(a, b.value());
+}
+
+static_assert(sizeof(Seconds) == sizeof(double),
+              "Quantity must stay a zero-overhead double wrapper");
 
 }  // namespace hetnet

@@ -9,13 +9,13 @@ namespace {
 
 TEST(CellFormatTest, PayloadCapacity) {
   CellFormat cells;  // 48/53
-  EXPECT_NEAR(payload_capacity(units::mbps(155), cells),
-              units::mbps(155) * 48.0 / 53.0, 1.0);
+  EXPECT_NEAR(val(payload_capacity(units::mbps(155), cells)),
+              val(units::mbps(155) * 48.0 / 53.0), 1.0);
 }
 
 TEST(CellFormatTest, CellTime) {
   CellFormat cells;
-  EXPECT_NEAR(cell_time(units::mbps(155), cells), 424.0 / 155e6, 1e-15);
+  EXPECT_NEAR(val(cell_time(units::mbps(155), cells)), val(424.0 / 155e6), 1e-15);
 }
 
 TEST(BackboneTest, MeshHasExpectedPorts) {
@@ -33,10 +33,10 @@ TEST(BackboneTest, RouteBetweenAccessesViaTwoSwitches) {
   // ID0 → S0 → S2 → ID2: three sending ports.
   ASSERT_EQ(route->size(), 3u);
   // First hop leaves the interface device: no fabric latency.
-  EXPECT_DOUBLE_EQ((*route)[0].fabric, 0.0);
+  EXPECT_DOUBLE_EQ((*route)[0].fabric.value(), 0.0);
   // Later hops cross a switch.
-  EXPECT_DOUBLE_EQ((*route)[1].fabric, bb.switch_fabric_delay());
-  EXPECT_DOUBLE_EQ((*route)[2].fabric, bb.switch_fabric_delay());
+  EXPECT_DOUBLE_EQ((*route)[1].fabric.value(), val(bb.switch_fabric_delay()));
+  EXPECT_DOUBLE_EQ((*route)[2].fabric.value(), val(bb.switch_fabric_delay()));
 }
 
 TEST(BackboneTest, RouteIsDeterministic) {

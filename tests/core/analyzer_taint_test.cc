@@ -30,10 +30,10 @@ TEST(AnalyzerTaintTest, OverbookedPortPoisonsEveryFlowThroughIt) {
   // downlink carries 4 × 40 = 160 Mb/s > 140 Mb/s payload capacity.
   std::vector<ConnectionInstance> set;
   const net::Allocation alloc{units::ms(3.4), units::ms(1.0)};
-  set.push_back({make_spec(1, {0, 0}, {2, 0}, heavy_source(), 1.0), alloc});
-  set.push_back({make_spec(2, {0, 1}, {2, 1}, heavy_source(), 1.0), alloc});
-  set.push_back({make_spec(3, {1, 0}, {2, 2}, heavy_source(), 1.0), alloc});
-  set.push_back({make_spec(4, {1, 1}, {2, 3}, heavy_source(), 1.0), alloc});
+  set.push_back({make_spec(1, {0, 0}, {2, 0}, heavy_source(), Seconds{1.0}), alloc});
+  set.push_back({make_spec(2, {0, 1}, {2, 1}, heavy_source(), Seconds{1.0}), alloc});
+  set.push_back({make_spec(3, {1, 0}, {2, 2}, heavy_source(), Seconds{1.0}), alloc});
+  set.push_back({make_spec(4, {1, 1}, {2, 3}, heavy_source(), Seconds{1.0}), alloc});
   const auto delays = analyzer.analyze(set);
   for (std::size_t i = 0; i < set.size(); ++i) {
     EXPECT_EQ(delays[i], kUnbounded) << "connection " << i;
@@ -46,20 +46,20 @@ TEST(AnalyzerTaintTest, UncoupledConnectionSurvivesOthersOverbooking) {
   std::vector<ConnectionInstance> set;
   const net::Allocation heavy_alloc{units::ms(3.4), units::ms(1.0)};
   set.push_back(
-      {make_spec(1, {0, 0}, {2, 0}, heavy_source(), 1.0), heavy_alloc});
+      {make_spec(1, {0, 0}, {2, 0}, heavy_source(), Seconds{1.0}), heavy_alloc});
   set.push_back(
-      {make_spec(2, {0, 1}, {2, 1}, heavy_source(), 1.0), heavy_alloc});
+      {make_spec(2, {0, 1}, {2, 1}, heavy_source(), Seconds{1.0}), heavy_alloc});
   set.push_back(
-      {make_spec(3, {1, 0}, {2, 2}, heavy_source(), 1.0), heavy_alloc});
+      {make_spec(3, {1, 0}, {2, 2}, heavy_source(), Seconds{1.0}), heavy_alloc});
   set.push_back(
-      {make_spec(4, {1, 1}, {2, 3}, heavy_source(), 1.0), heavy_alloc});
+      {make_spec(4, {1, 1}, {2, 3}, heavy_source(), Seconds{1.0}), heavy_alloc});
   // Reverse direction (2 → 0): disjoint directed ports.
   set.push_back({make_spec(5, {2, 0}, {0, 0},
-                           hetnet::testing::sensor_source(), 1.0),
+                           hetnet::testing::sensor_source(), Seconds{1.0}),
                  {units::ms(1), units::ms(1)}});
   const auto delays = analyzer.analyze(set);
   for (int i = 0; i < 4; ++i) EXPECT_EQ(delays[i], kUnbounded);
-  EXPECT_TRUE(std::isfinite(delays[4]));
+  EXPECT_TRUE(isfinite(delays[4]));
 }
 
 TEST(AnalyzerTaintTest, PortReportsOmitUnboundedPorts) {
@@ -67,10 +67,10 @@ TEST(AnalyzerTaintTest, PortReportsOmitUnboundedPorts) {
   const DelayAnalyzer analyzer(&topo);
   std::vector<ConnectionInstance> set;
   const net::Allocation alloc{units::ms(3.4), units::ms(1.0)};
-  set.push_back({make_spec(1, {0, 0}, {2, 0}, heavy_source(), 1.0), alloc});
-  set.push_back({make_spec(2, {0, 1}, {2, 1}, heavy_source(), 1.0), alloc});
-  set.push_back({make_spec(3, {1, 0}, {2, 2}, heavy_source(), 1.0), alloc});
-  set.push_back({make_spec(4, {1, 1}, {2, 3}, heavy_source(), 1.0), alloc});
+  set.push_back({make_spec(1, {0, 0}, {2, 0}, heavy_source(), Seconds{1.0}), alloc});
+  set.push_back({make_spec(2, {0, 1}, {2, 1}, heavy_source(), Seconds{1.0}), alloc});
+  set.push_back({make_spec(3, {1, 0}, {2, 2}, heavy_source(), Seconds{1.0}), alloc});
+  set.push_back({make_spec(4, {1, 1}, {2, 3}, heavy_source(), Seconds{1.0}), alloc});
   const auto ports = analyzer.port_reports(set);
   // The uplink ports (two flows each, 80 Mb/s) are bounded; the shared
   // downlink is overbooked and must be absent.
@@ -88,14 +88,14 @@ TEST(AnalyzerTaintTest, PrefixFailureIsLocal) {
   const DelayAnalyzer analyzer(&topo);
   std::vector<ConnectionInstance> set;
   set.push_back({make_spec(1, {0, 0}, {1, 0},
-                           hetnet::testing::video_source(), 1.0),
-                 {0.0, units::ms(1)}});
+                           hetnet::testing::video_source(), Seconds{1.0}),
+                 {Seconds{}, units::ms(1)}});
   set.push_back({make_spec(2, {0, 1}, {1, 1},
-                           hetnet::testing::video_source(), 1.0),
+                           hetnet::testing::video_source(), Seconds{1.0}),
                  {units::ms(2), units::ms(2)}});
   const auto delays = analyzer.analyze(set);
   EXPECT_EQ(delays[0], kUnbounded);
-  EXPECT_TRUE(std::isfinite(delays[1]));
+  EXPECT_TRUE(isfinite(delays[1]));
 }
 
 }  // namespace

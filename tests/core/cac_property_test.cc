@@ -72,41 +72,41 @@ class CacPropertyTest : public ::testing::TestWithParam<CacCase> {
 
 TEST_P(CacPropertyTest, AdmittedImpliesDeadlineMet) {
   if (!decision_.admitted) GTEST_SKIP() << "rejected in this scenario";
-  EXPECT_TRUE(std::isfinite(decision_.worst_case_delay));
+  EXPECT_TRUE(isfinite(decision_.worst_case_delay));
   EXPECT_LE(decision_.worst_case_delay, spec_.deadline * (1 + 1e-9));
 }
 
 TEST_P(CacPropertyTest, AnchorsOrderedOnTheLine) {
   if (!decision_.admitted) GTEST_SKIP() << "rejected in this scenario";
-  EXPECT_LE(decision_.min_need.h_s, decision_.max_need.h_s + 1e-12);
-  EXPECT_LE(decision_.max_need.h_s, decision_.max_avail.h_s + 1e-12);
-  EXPECT_LE(decision_.min_need.h_r, decision_.max_need.h_r + 1e-12);
-  EXPECT_LE(decision_.max_need.h_r, decision_.max_avail.h_r + 1e-12);
-  EXPECT_LE(decision_.alloc.h_s, decision_.max_avail.h_s + 1e-12);
-  EXPECT_GE(decision_.alloc.h_s, decision_.min_need.h_s - 1e-12);
+  const Seconds tol{1e-12};
+  EXPECT_LE(decision_.min_need.h_s, decision_.max_need.h_s + tol);
+  EXPECT_LE(decision_.max_need.h_s, decision_.max_avail.h_s + tol);
+  EXPECT_LE(decision_.min_need.h_r, decision_.max_need.h_r + tol);
+  EXPECT_LE(decision_.max_need.h_r, decision_.max_avail.h_r + tol);
+  EXPECT_LE(decision_.alloc.h_s, decision_.max_avail.h_s + tol);
+  EXPECT_GE(decision_.alloc.h_s, decision_.min_need.h_s - tol);
 }
 
 TEST_P(CacPropertyTest, BetaInterpolationRespected) {
   if (!decision_.admitted) GTEST_SKIP() << "rejected in this scenario";
   // eq. (35): H_S = min_need + β (max_need − min_need), up to the fallback
   // the controller may take at bisection resolution.
-  const double expected =
+  const Seconds expected =
       decision_.min_need.h_s +
       GetParam().beta * (decision_.max_need.h_s - decision_.min_need.h_s);
-  EXPECT_NEAR(decision_.alloc.h_s, expected,
-              0.05 * decision_.max_avail.h_s + 1e-9);
+  EXPECT_NEAR(val(decision_.alloc.h_s), val(expected),
+              0.05 * val(decision_.max_avail.h_s) + 1e-9);
 }
 
 TEST_P(CacPropertyTest, LedgersMatchActiveSet) {
-  std::vector<Seconds> per_ring(static_cast<std::size_t>(topo_->num_rings()),
-                                0.0);
+  std::vector<Seconds> per_ring(static_cast<std::size_t>(topo_->num_rings()));
   for (const auto& [id, conn] : cac_->active()) {
     per_ring[static_cast<std::size_t>(conn.spec.src.ring)] += conn.alloc.h_s;
     per_ring[static_cast<std::size_t>(conn.spec.dst.ring)] += conn.alloc.h_r;
   }
   for (int r = 0; r < topo_->num_rings(); ++r) {
-    EXPECT_NEAR(cac_->ledger(r).allocated(),
-                per_ring[static_cast<std::size_t>(r)], 1e-12)
+    EXPECT_NEAR(val(cac_->ledger(r).allocated()),
+                val(per_ring[static_cast<std::size_t>(r)]), 1e-12)
         << "ring " << r;
     EXPECT_LE(cac_->ledger(r).allocated(),
               cac_->ledger(r).capacity() * (1 + 1e-9));
@@ -121,7 +121,7 @@ TEST_P(CacPropertyTest, WholeActiveSetStillFeasible) {
   if (set.empty()) GTEST_SKIP() << "nothing admitted";
   const auto delays = cac_->analyzer().analyze(set);
   for (std::size_t i = 0; i < set.size(); ++i) {
-    EXPECT_TRUE(std::isfinite(delays[i])) << "connection " << i;
+    EXPECT_TRUE(isfinite(delays[i])) << "connection " << i;
     EXPECT_LE(delays[i], set[i].spec.deadline * (1 + 1e-9))
         << "connection " << i;
   }
@@ -132,7 +132,7 @@ TEST_P(CacPropertyTest, ReleaseRestoresLedgersExactly) {
   for (const auto& [id, conn] : cac_->active()) ids.push_back(id);
   for (net::ConnectionId id : ids) cac_->release(id);
   for (int r = 0; r < topo_->num_rings(); ++r) {
-    EXPECT_NEAR(cac_->ledger(r).allocated(), 0.0, 1e-12);
+    EXPECT_NEAR(val(cac_->ledger(r).allocated()), 0.0, 1e-12);
     EXPECT_EQ(cac_->ledger(r).reservations(), 0u);
   }
   EXPECT_EQ(cac_->active_count(), 0u);
@@ -152,9 +152,10 @@ TEST_P(CacPropertyTest, DecisionIsDeterministic) {
   const auto repeat = other.request(spec_);
   EXPECT_EQ(repeat.admitted, decision_.admitted);
   if (repeat.admitted) {
-    EXPECT_DOUBLE_EQ(repeat.alloc.h_s, decision_.alloc.h_s);
-    EXPECT_DOUBLE_EQ(repeat.alloc.h_r, decision_.alloc.h_r);
-    EXPECT_DOUBLE_EQ(repeat.worst_case_delay, decision_.worst_case_delay);
+    EXPECT_DOUBLE_EQ(val(repeat.alloc.h_s), val(decision_.alloc.h_s));
+    EXPECT_DOUBLE_EQ(val(repeat.alloc.h_r), val(decision_.alloc.h_r));
+    EXPECT_DOUBLE_EQ(val(repeat.worst_case_delay),
+                     val(decision_.worst_case_delay));
   }
 }
 

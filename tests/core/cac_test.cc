@@ -34,8 +34,8 @@ TEST(AdmissionControllerTest, AdmitsAFeasibleConnection) {
   EXPECT_GT(decision.alloc.h_r, 0.0);
   EXPECT_EQ(cac.active_count(), 1u);
   // The ledgers reflect the grant.
-  EXPECT_DOUBLE_EQ(cac.ledger(0).allocated(), decision.alloc.h_s);
-  EXPECT_DOUBLE_EQ(cac.ledger(1).allocated(), decision.alloc.h_r);
+  EXPECT_DOUBLE_EQ(val(cac.ledger(0).allocated()), val(decision.alloc.h_s));
+  EXPECT_DOUBLE_EQ(val(cac.ledger(1).allocated()), val(decision.alloc.h_r));
 }
 
 TEST(AdmissionControllerTest, AnchorsAreOrderedAlongTheLine) {
@@ -46,12 +46,13 @@ TEST(AdmissionControllerTest, AnchorsAreOrderedAlongTheLine) {
   const auto d = cac.request(spec);
   ASSERT_TRUE(d.admitted);
   // min_need <= alloc <= max_need <= max_avail, componentwise.
-  EXPECT_LE(d.min_need.h_s, d.alloc.h_s + 1e-12);
-  EXPECT_LE(d.alloc.h_s, d.max_need.h_s + 1e-12);
-  EXPECT_LE(d.max_need.h_s, d.max_avail.h_s + 1e-12);
-  EXPECT_LE(d.min_need.h_r, d.alloc.h_r + 1e-12);
-  EXPECT_LE(d.alloc.h_r, d.max_need.h_r + 1e-12);
-  EXPECT_LE(d.max_need.h_r, d.max_avail.h_r + 1e-12);
+  const Seconds tol{1e-12};
+  EXPECT_LE(d.min_need.h_s, d.alloc.h_s + tol);
+  EXPECT_LE(d.alloc.h_s, d.max_need.h_s + tol);
+  EXPECT_LE(d.max_need.h_s, d.max_avail.h_s + tol);
+  EXPECT_LE(d.min_need.h_r, d.alloc.h_r + tol);
+  EXPECT_LE(d.alloc.h_r, d.max_need.h_r + tol);
+  EXPECT_LE(d.max_need.h_r, d.max_avail.h_r + tol);
 }
 
 TEST(AdmissionControllerTest, ProportionalRuleHoldsOnTheLine) {
@@ -67,7 +68,7 @@ TEST(AdmissionControllerTest, ProportionalRuleHoldsOnTheLine) {
       make_spec(2, {0, 0}, {1, 1}, video_source(), units::ms(150));
   const auto d = cac.request(spec);
   ASSERT_TRUE(d.admitted);
-  const double h_min = cac.config().h_min_abs;
+  const Seconds h_min = cac.config().h_min_abs;
   const double lambda_s =
       (d.alloc.h_s - h_min) / (d.max_avail.h_s - h_min);
   const double lambda_r =
@@ -79,12 +80,12 @@ TEST(AdmissionControllerTest, BetaOrdersAllocations) {
   const auto topo = paper_topology();
   const auto spec =
       make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(80));
-  Seconds prev_h_s = -1.0;
+  Seconds prev_h_s{-1.0};
   for (double beta : {0.0, 0.5, 1.0}) {
     AdmissionController cac(&topo, default_config(beta));
     const auto d = cac.request(spec);
     ASSERT_TRUE(d.admitted) << "beta=" << beta;
-    EXPECT_GE(d.alloc.h_s, prev_h_s - 1e-12) << "beta=" << beta;
+    EXPECT_GE(d.alloc.h_s, prev_h_s - Seconds{1e-12}) << "beta=" << beta;
     prev_h_s = d.alloc.h_s;
   }
 }
@@ -99,8 +100,8 @@ TEST(AdmissionControllerTest, ImpossibleDeadlineRejected) {
   EXPECT_EQ(d.reason, RejectReason::kInfeasible);
   EXPECT_EQ(cac.active_count(), 0u);
   // Nothing leaked into the ledgers.
-  EXPECT_DOUBLE_EQ(cac.ledger(0).allocated(), 0.0);
-  EXPECT_DOUBLE_EQ(cac.ledger(1).allocated(), 0.0);
+  EXPECT_DOUBLE_EQ(val(cac.ledger(0).allocated()), 0.0);
+  EXPECT_DOUBLE_EQ(val(cac.ledger(1).allocated()), 0.0);
 }
 
 TEST(AdmissionControllerTest, ReleaseReturnsBandwidth) {
@@ -111,8 +112,8 @@ TEST(AdmissionControllerTest, ReleaseReturnsBandwidth) {
   ASSERT_TRUE(cac.request(spec).admitted);
   cac.release(1);
   EXPECT_EQ(cac.active_count(), 0u);
-  EXPECT_DOUBLE_EQ(cac.ledger(0).allocated(), 0.0);
-  EXPECT_DOUBLE_EQ(cac.ledger(1).allocated(), 0.0);
+  EXPECT_DOUBLE_EQ(val(cac.ledger(0).allocated()), 0.0);
+  EXPECT_DOUBLE_EQ(val(cac.ledger(1).allocated()), 0.0);
   EXPECT_THROW(cac.release(1), std::logic_error);
 }
 
@@ -139,7 +140,7 @@ TEST(AdmissionControllerTest, ExistingConnectionsProtected) {
   }
   const auto delays = cac.analyzer().analyze(set);
   for (std::size_t i = 0; i < set.size(); ++i) {
-    EXPECT_TRUE(std::isfinite(delays[i]));
+    EXPECT_TRUE(isfinite(delays[i]));
     EXPECT_LE(delays[i], set[i].spec.deadline * (1 + 1e-9));
   }
 }
@@ -157,7 +158,7 @@ TEST(AdmissionControllerTest, RingExhaustionRejects) {
       make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(150));
   ASSERT_TRUE(hog.request(big).admitted);
   // Ring 0 (and ring 1) are now fully allocated.
-  EXPECT_NEAR(hog.ledger(0).available(), 0.0, 1e-9);
+  EXPECT_NEAR(val(hog.ledger(0).available()), 0.0, 1e-9);
   const auto next =
       make_spec(2, {0, 1}, {1, 1}, sensor_source(), units::ms(150));
   const auto d = hog.request(next);
@@ -185,7 +186,7 @@ TEST(AdmissionControllerTest, AdmittedDelayIsMonotoneInBeta) {
   const auto topo = paper_topology();
   const auto spec =
       make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(80));
-  Seconds prev = 1e9;
+  Seconds prev{1e9};
   for (double beta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     AdmissionController cac(&topo, default_config(beta));
     const auto d = cac.request(spec);
@@ -210,7 +211,7 @@ TEST(AdmissionControllerTest, ConfigValidation) {
   cfg.beta = 1.5;
   EXPECT_THROW(AdmissionController(&topo, cfg), std::logic_error);
   cfg = CacConfig{};
-  cfg.h_min_abs = 0.0;
+  cfg.h_min_abs = Seconds{};
   EXPECT_THROW(AdmissionController(&topo, cfg), std::logic_error);
 }
 

@@ -35,9 +35,10 @@ TEST_F(ProvisioningTest, RingRowsMatchLedgers) {
   const auto report = provisioning_report(*cac_);
   ASSERT_EQ(report.rings.size(), 3u);
   for (const auto& ring : report.rings) {
-    EXPECT_DOUBLE_EQ(ring.allocated,
-                     cac_->ledger(ring.ring).allocated());
-    EXPECT_DOUBLE_EQ(ring.capacity, cac_->ledger(ring.ring).capacity());
+    EXPECT_DOUBLE_EQ(ring.allocated.value(),
+                     val(cac_->ledger(ring.ring).allocated()));
+    EXPECT_DOUBLE_EQ(ring.capacity.value(),
+                     val(cac_->ledger(ring.ring).capacity()));
     EXPECT_LE(ring.allocated, ring.capacity * (1 + 1e-9));
   }
 }
@@ -65,7 +66,7 @@ TEST_F(ProvisioningTest, ConnectionRowsAreWithinContracts) {
   const auto report = provisioning_report(*cac_);
   ASSERT_EQ(report.connections.size(), 4u);
   for (const auto& conn : report.connections) {
-    EXPECT_TRUE(std::isfinite(conn.worst_case_delay));
+    EXPECT_TRUE(isfinite(conn.worst_case_delay));
     EXPECT_LE(conn.worst_case_delay, conn.deadline * (1 + 1e-9));
     EXPECT_GT(conn.private_buffers, 0.0);
   }

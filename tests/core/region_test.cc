@@ -23,8 +23,8 @@ TEST(RegionTest, GridShapeAndCoordinates) {
   EXPECT_EQ(grid.steps_s, 5);
   EXPECT_EQ(grid.steps_r, 4);
   EXPECT_EQ(grid.samples.size(), 20u);
-  EXPECT_DOUBLE_EQ(grid.at(4, 3).h_s, grid.h_s_max);
-  EXPECT_DOUBLE_EQ(grid.at(4, 3).h_r, grid.h_r_max);
+  EXPECT_DOUBLE_EQ(grid.at(4, 3).h_s.value(), val(grid.h_s_max));
+  EXPECT_DOUBLE_EQ(grid.at(4, 3).h_r.value(), val(grid.h_r_max));
 }
 
 TEST(RegionTest, RegionIsUpwardClosed) {
@@ -76,10 +76,10 @@ TEST(RegionTest, DelayDecreasesUpward) {
       const auto& here = grid.at(i, j);
       const auto& left = grid.at(i - 1, j);
       const auto& below = grid.at(i, j - 1);
-      if (std::isfinite(here.delay) && std::isfinite(left.delay)) {
+      if (isfinite(here.delay) && isfinite(left.delay)) {
         EXPECT_LE(here.delay, left.delay * (1 + 1e-9));
       }
-      if (std::isfinite(here.delay) && std::isfinite(below.delay)) {
+      if (isfinite(here.delay) && isfinite(below.delay)) {
         EXPECT_LE(here.delay, below.delay * (1 + 1e-9));
       }
     }

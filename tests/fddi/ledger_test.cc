@@ -11,20 +11,20 @@ RingParams ring() { return RingParams{}; }  // TTRT 8 ms, Δ 1 ms
 
 TEST(LedgerTest, CapacityIsTtrtMinusOverhead) {
   SyncBandwidthLedger ledger(ring());
-  EXPECT_DOUBLE_EQ(ledger.capacity(), units::ms(7));
-  EXPECT_DOUBLE_EQ(ledger.available(), units::ms(7));
-  EXPECT_DOUBLE_EQ(ledger.allocated(), 0.0);
+  EXPECT_DOUBLE_EQ(val(ledger.capacity()), val(units::ms(7)));
+  EXPECT_DOUBLE_EQ(val(ledger.available()), val(units::ms(7)));
+  EXPECT_DOUBLE_EQ(val(ledger.allocated()), 0.0);
 }
 
 TEST(LedgerTest, ReserveAndRelease) {
   SyncBandwidthLedger ledger(ring());
   ASSERT_TRUE(ledger.reserve(1, units::ms(2)));
-  EXPECT_DOUBLE_EQ(ledger.allocated(), units::ms(2));
-  EXPECT_DOUBLE_EQ(ledger.available(), units::ms(5));
+  EXPECT_DOUBLE_EQ(val(ledger.allocated()), val(units::ms(2)));
+  EXPECT_DOUBLE_EQ(val(ledger.available()), val(units::ms(5)));
   EXPECT_TRUE(ledger.holds(1));
-  EXPECT_DOUBLE_EQ(ledger.held(1), units::ms(2));
+  EXPECT_DOUBLE_EQ(val(ledger.held(1)), val(units::ms(2)));
   ledger.release(1);
-  EXPECT_DOUBLE_EQ(ledger.available(), units::ms(7));
+  EXPECT_DOUBLE_EQ(val(ledger.available()), val(units::ms(7)));
   EXPECT_FALSE(ledger.holds(1));
 }
 
@@ -34,7 +34,7 @@ TEST(LedgerTest, ProtocolConstraintEnforced) {
   ASSERT_TRUE(ledger.reserve(1, units::ms(4)));
   EXPECT_FALSE(ledger.reserve(2, units::ms(4)));  // would exceed capacity
   ASSERT_TRUE(ledger.reserve(2, units::ms(3)));   // exactly fills it
-  EXPECT_DOUBLE_EQ(ledger.available(), 0.0);
+  EXPECT_DOUBLE_EQ(val(ledger.available()), 0.0);
 }
 
 TEST(LedgerTest, ExactFillViaApproxTolerance) {
@@ -44,7 +44,7 @@ TEST(LedgerTest, ExactFillViaApproxTolerance) {
     ASSERT_TRUE(ledger.reserve(static_cast<std::uint64_t>(i), units::ms(1)))
         << i;
   }
-  EXPECT_NEAR(ledger.available(), 0.0, 1e-12);
+  EXPECT_NEAR(val(ledger.available()), 0.0, 1e-12);
 }
 
 TEST(LedgerTest, DuplicateKeyRejected) {
@@ -52,12 +52,12 @@ TEST(LedgerTest, DuplicateKeyRejected) {
   ASSERT_TRUE(ledger.reserve(7, units::ms(1)));
   EXPECT_FALSE(ledger.reserve(7, units::ms(1)));
   // The failed attempt must not change the books.
-  EXPECT_DOUBLE_EQ(ledger.allocated(), units::ms(1));
+  EXPECT_DOUBLE_EQ(val(ledger.allocated()), val(units::ms(1)));
 }
 
 TEST(LedgerTest, NonPositiveReservationRejected) {
   SyncBandwidthLedger ledger(ring());
-  EXPECT_FALSE(ledger.reserve(1, 0.0));
+  EXPECT_FALSE(ledger.reserve(1, Seconds{0.0}));
   EXPECT_FALSE(ledger.reserve(1, -units::ms(1)));
 }
 

@@ -10,8 +10,8 @@ namespace {
 TEST(RingTest, EffectivePayloadRateDiscountsOverhead) {
   RingParams ring;
   // 4472-byte payload + 28-byte overhead: efficiency = 4472/4500.
-  const double rate = effective_payload_rate(ring, units::bytes(4472));
-  EXPECT_NEAR(rate, units::mbps(100) * 4472.0 / 4500.0, 1.0);
+  const BitsPerSecond rate = effective_payload_rate(ring, units::bytes(4472));
+  EXPECT_NEAR(val(rate), val(units::mbps(100) * 4472.0 / 4500.0), 1.0);
   EXPECT_LT(rate, ring.raw_rate);
 }
 
@@ -24,25 +24,25 @@ TEST(RingTest, SmallFramesAreLessEfficient) {
 TEST(RingTest, FramePayloadTracksAllocationUntilCap) {
   RingParams ring;
   // H = 100 µs at 100 Mb/s: 10 kbit, below the 4472-byte cap.
-  EXPECT_DOUBLE_EQ(frame_payload_for_allocation(ring, units::us(100)),
+  EXPECT_DOUBLE_EQ(val(frame_payload_for_allocation(ring, units::us(100))),
                    10000.0);
   // H = 1 ms: 100 kbit exceeds the cap → clamped to the max frame payload.
-  EXPECT_DOUBLE_EQ(frame_payload_for_allocation(ring, units::ms(1)),
-                   ring.max_frame_payload);
+  EXPECT_DOUBLE_EQ(val(frame_payload_for_allocation(ring, units::ms(1))),
+                   val(ring.max_frame_payload));
 }
 
 TEST(RingTest, EffectiveRateForAllocationComposes) {
   RingParams ring;
   const Seconds h = units::us(200);
   EXPECT_DOUBLE_EQ(
-      effective_rate_for_allocation(ring, h),
-      effective_payload_rate(ring, frame_payload_for_allocation(ring, h)));
+      val(effective_rate_for_allocation(ring, h)),
+      val(effective_payload_rate(ring, frame_payload_for_allocation(ring, h))));
 }
 
 TEST(RingTest, RejectsNonPositiveInputs) {
   RingParams ring;
-  EXPECT_THROW(effective_payload_rate(ring, 0.0), std::logic_error);
-  EXPECT_THROW(frame_payload_for_allocation(ring, 0.0), std::logic_error);
+  EXPECT_THROW(effective_payload_rate(ring, Bits{0.0}), std::logic_error);
+  EXPECT_THROW(frame_payload_for_allocation(ring, Seconds{0.0}), std::logic_error);
 }
 
 }  // namespace

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: adding a duration to a data amount is dimensionally
+// meaningless; Quantity only defines operator+ between identical dimensions.
+#include "src/util/units.h"
+
+namespace hetnet {
+
+double broken(Seconds t, Bits b) {
+  return val(t + b);  // error: no operator+(Seconds, Bits)
+}
+
+}  // namespace hetnet
+
+int main() { return 0; }

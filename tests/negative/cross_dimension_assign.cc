@@ -1,0 +1,14 @@
+// MUST NOT COMPILE: the result of Bits / Seconds is a BitsPerSecond; it
+// cannot be stored back into a Bits variable.
+#include "src/util/units.h"
+
+namespace hetnet {
+
+void broken() {
+  Bits burst{42400.0};
+  burst = burst / units::ms(1);  // error: Quantity<-1,1> is not Bits
+}
+
+}  // namespace hetnet
+
+int main() { return 0; }

@@ -1,0 +1,15 @@
+// MUST NOT COMPILE: Quantity's double constructor is explicit, so a bare
+// magnitude cannot silently become a physical quantity — the unit (seconds?
+// milliseconds?) must be stated at the point of creation.
+#include "src/util/units.h"
+
+namespace hetnet {
+
+Seconds broken() {
+  Seconds s = 1.0;  // error: explicit constructor
+  return s;
+}
+
+}  // namespace hetnet
+
+int main() { return 0; }

@@ -1,0 +1,28 @@
+// Positive control: the same surrounding code as the failing cases, with
+// dimensionally correct expressions. Must compile — otherwise the negative
+// cases are failing for the wrong reason (broken include path, bad flag, …).
+#include "src/util/units.h"
+
+namespace hetnet {
+
+Seconds transmission_time(Bits frame, BitsPerSecond rate) {
+  return frame / rate;
+}
+
+Bits bits_in_window(BitsPerSecond rate, Seconds window) {
+  return rate * window;
+}
+
+Seconds total_latency(Seconds queueing, Seconds propagation) {
+  return queueing + propagation;
+}
+
+double utilization(BitsPerSecond offered, BitsPerSecond capacity) {
+  return offered / capacity;
+}
+
+Seconds explicit_construction() { return Seconds{1.5e-3}; }
+
+}  // namespace hetnet
+
+int main() { return 0; }

@@ -1,0 +1,19 @@
+// MUST NOT COMPILE: passing a bandwidth where a duration is expected. The
+// classic bug this library exists to prevent — swapped arguments at a
+// call site compile fine when everything is `double`.
+#include "src/util/units.h"
+
+namespace hetnet {
+
+Seconds deadline_slack(Seconds deadline, Seconds elapsed) {
+  return deadline - elapsed;
+}
+
+Seconds broken() {
+  const BitsPerSecond link = units::mbps(100);
+  return deadline_slack(link, units::ms(5));  // error: BitsPerSecond != Seconds
+}
+
+}  // namespace hetnet
+
+int main() { return 0; }

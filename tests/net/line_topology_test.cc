@@ -35,7 +35,7 @@ TEST(LineTopologyTest, LongChainAnalysisIsFinite) {
                                        units::ms(200));
   const auto delays =
       analyzer.analyze({{spec, {units::ms(2), units::ms(2)}}});
-  ASSERT_TRUE(std::isfinite(delays[0]));
+  ASSERT_TRUE(isfinite(delays[0]));
   // Still dominated by the two MACs, not the extra switch hops.
   EXPECT_LT(delays[0], units::ms(100));
   // The breakdown covers every hop: 2 + 3 + 6 + 3 + 2 stages.
@@ -73,8 +73,8 @@ TEST(LineTopologyTest, CacAdmitsAcrossTheLine) {
   EXPECT_LE(d.worst_case_delay, spec.deadline);
   // Only the endpoint rings hold allocations; transit rings are untouched.
   EXPECT_GT(cac.ledger(0).allocated(), 0.0);
-  EXPECT_DOUBLE_EQ(cac.ledger(1).allocated(), 0.0);
-  EXPECT_DOUBLE_EQ(cac.ledger(2).allocated(), 0.0);
+  EXPECT_DOUBLE_EQ(val(cac.ledger(1).allocated()), 0.0);
+  EXPECT_DOUBLE_EQ(val(cac.ledger(2).allocated()), 0.0);
   EXPECT_GT(cac.ledger(3).allocated(), 0.0);
 }
 
@@ -87,9 +87,9 @@ TEST(LineTopologyTest, PacketSimBoundsHoldOnLongChains) {
   const std::vector<core::ConnectionInstance> set = {
       {spec, {units::ms(2), units::ms(2)}}};
   const Seconds bound = analyzer.analyze(set)[0];
-  ASSERT_TRUE(std::isfinite(bound));
+  ASSERT_TRUE(isfinite(bound));
   sim::PacketSimConfig cfg;
-  cfg.duration = 1.5;
+  cfg.duration = Seconds{1.5};
   cfg.randomize_phases = false;
   cfg.async_fill = 0.9;
   const auto result = sim::run_packet_simulation(topo, set, cfg);

@@ -19,23 +19,23 @@ TEST(ServerChainTest, SumsDelays) {
   chain.append(std::make_shared<ConstantDelayServer>("a", units::us(10)));
   chain.append(std::make_shared<ConstantDelayServer>("b", units::us(20)));
   chain.append(std::make_shared<ConstantDelayServer>("c", units::us(30)));
-  auto input = std::make_shared<LeakyBucketEnvelope>(100.0, 1000.0);
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{100.0}, BitsPerSecond{1000.0});
   const auto result = chain.analyze(input);
   ASSERT_TRUE(result.has_value());
-  EXPECT_DOUBLE_EQ(result->total_delay, units::us(60));
+  EXPECT_DOUBLE_EQ(result->total_delay.value(), val(units::us(60)));
   EXPECT_EQ(result->stages.size(), 3u);
   EXPECT_EQ(result->stages[1].server_name, "b");
 }
 
 TEST(ServerChainTest, PropagatesEnvelopesThroughStages) {
   ServerChain chain;
-  chain.append(make_frame_to_cell_server("F2C", 1000.0, 384.0, 424.0, 0.0));
+  chain.append(make_frame_to_cell_server("F2C", Bits{1000.0}, Bits{384.0}, Bits{424.0}, Seconds{0.0}));
   chain.append(std::make_shared<ConstantDelayServer>("line", units::us(5)));
-  auto input = std::make_shared<LeakyBucketEnvelope>(0.0, 1000.0);
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{}, BitsPerSecond{1000.0});
   const auto result = chain.analyze(input);
   ASSERT_TRUE(result.has_value());
   // Final envelope reflects the conversion (3 cells × 424 per 1000-bit frame).
-  EXPECT_DOUBLE_EQ(result->final_output->bits(1.0), 3.0 * 424.0);
+  EXPECT_DOUBLE_EQ(val(result->final_output->bits(Seconds{1.0})), val(3.0 * 424.0));
 }
 
 TEST(ServerChainTest, NulloptPropagates) {
@@ -46,16 +46,16 @@ TEST(ServerChainTest, NulloptPropagates) {
   p.capacity = units::mbps(1);
   chain.append(std::make_shared<FifoMuxServer>(
       "port", p, std::make_shared<ZeroEnvelope>()));
-  auto input = std::make_shared<LeakyBucketEnvelope>(0.0, units::mbps(2));
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{}, units::mbps(2));
   EXPECT_FALSE(chain.analyze(input).has_value());
 }
 
 TEST(ServerChainTest, EmptyChainIsIdentity) {
   ServerChain chain;
-  auto input = std::make_shared<LeakyBucketEnvelope>(100.0, 1000.0);
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{100.0}, BitsPerSecond{1000.0});
   const auto result = chain.analyze(input);
   ASSERT_TRUE(result.has_value());
-  EXPECT_DOUBLE_EQ(result->total_delay, 0.0);
+  EXPECT_DOUBLE_EQ(result->total_delay.value(), 0.0);
   EXPECT_EQ(result->final_output.get(), input.get());
 }
 
@@ -75,8 +75,8 @@ TEST(ServerChainTest, MiniatureSendSideDecomposition) {
 
   FifoMuxParams port;
   port.capacity = units::mbps(155) * 48.0 / 53.0;
-  port.non_preemption = 424.0 / units::mbps(155);
-  port.cell_bits = 384.0;
+  port.non_preemption = Bits{424.0} / units::mbps(155);
+  port.cell_bits = Bits{384.0};
 
   ServerChain chain;
   chain.append(std::make_shared<FddiMacServer>("FDDI_MAC", mac));
@@ -86,13 +86,13 @@ TEST(ServerChainTest, MiniatureSendSideDecomposition) {
                                                      units::us(10)));
   chain.append(std::make_shared<ConstantDelayServer>("Frame_Switch",
                                                      units::us(10)));
-  chain.append(make_frame_to_cell_server("Frame_Cell", 36000.0, 384.0, 384.0,
+  chain.append(make_frame_to_cell_server("Frame_Cell", Bits{36000.0}, Bits{384.0}, Bits{384.0},
                                          units::us(50)));
   chain.append(std::make_shared<FifoMuxServer>(
       "Output_Port", port, std::make_shared<ZeroEnvelope>()));
 
   auto source = std::make_shared<DualPeriodicEnvelope>(
-      300000.0, units::ms(100), 100000.0, units::ms(20));
+      Bits{300000.0}, units::ms(100), Bits{100000.0}, units::ms(20));
   const auto result = chain.analyze(source);
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->stages.size(), 6u);
@@ -100,12 +100,12 @@ TEST(ServerChainTest, MiniatureSendSideDecomposition) {
   EXPECT_GT(result->stages[0].analysis.worst_case_delay, units::ms(10));
   EXPECT_LT(result->total_delay, units::sec(1));
   // Every stage contributes a nonnegative delay summing to the total.
-  Seconds sum = 0.0;
+  Seconds sum;
   for (const auto& stage : result->stages) {
     EXPECT_GE(stage.analysis.worst_case_delay, 0.0);
     sum += stage.analysis.worst_case_delay;
   }
-  EXPECT_DOUBLE_EQ(sum, result->total_delay);
+  EXPECT_DOUBLE_EQ(val(sum), val(result->total_delay));
 }
 
 }  // namespace

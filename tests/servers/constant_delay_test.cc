@@ -12,45 +12,45 @@ namespace {
 
 TEST(ConstantDelayServerTest, ReportsItsDelay) {
   ConstantDelayServer s("Input_Port", units::us(50));
-  auto input = std::make_shared<LeakyBucketEnvelope>(100.0, 1000.0);
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{100.0}, BitsPerSecond{1000.0});
   const auto result = s.analyze(input);
   ASSERT_TRUE(result.has_value());
-  EXPECT_DOUBLE_EQ(result->worst_case_delay, units::us(50));
+  EXPECT_DOUBLE_EQ(result->worst_case_delay.value(), val(units::us(50)));
 }
 
 TEST(ConstantDelayServerTest, TrafficPassesThroughUnchanged) {
   // Eqs. (13), (17), (19): a constant-delay server does not alter the
   // traffic descriptor.
   ConstantDelayServer s("Delay_Line", units::us(20));
-  auto input = std::make_shared<PeriodicEnvelope>(1000.0, units::ms(10));
+  auto input = std::make_shared<PeriodicEnvelope>(Bits{1000.0}, units::ms(10));
   const auto result = s.analyze(input);
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->output.get(), input.get());
 }
 
 TEST(ConstantDelayServerTest, BufferIsInFlightBits) {
-  ConstantDelayServer s("Delay_Line", 1.0);
-  auto input = std::make_shared<LeakyBucketEnvelope>(100.0, 1000.0);
+  ConstantDelayServer s("Delay_Line", Seconds{1.0});
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{100.0}, BitsPerSecond{1000.0});
   const auto result = s.analyze(input);
   ASSERT_TRUE(result.has_value());
-  EXPECT_DOUBLE_EQ(result->buffer_required, 1100.0);
+  EXPECT_DOUBLE_EQ(result->buffer_required.value(), 1100.0);
 }
 
 TEST(ConstantDelayServerTest, ZeroDelayAllowed) {
-  ConstantDelayServer s("noop", 0.0);
+  ConstantDelayServer s("noop", Seconds{});
   auto input = std::make_shared<ZeroEnvelope>();
   const auto result = s.analyze(input);
   ASSERT_TRUE(result.has_value());
-  EXPECT_DOUBLE_EQ(result->worst_case_delay, 0.0);
-  EXPECT_DOUBLE_EQ(result->buffer_required, 0.0);
+  EXPECT_DOUBLE_EQ(result->worst_case_delay.value(), 0.0);
+  EXPECT_DOUBLE_EQ(result->buffer_required.value(), 0.0);
 }
 
 TEST(ConstantDelayServerTest, NegativeDelayRejected) {
-  EXPECT_THROW(ConstantDelayServer("bad", -1.0), std::logic_error);
+  EXPECT_THROW(ConstantDelayServer("bad", Seconds{-1.0}), std::logic_error);
 }
 
 TEST(ConstantDelayServerTest, NameIsReported) {
-  ConstantDelayServer s("Frame_Switch", 0.001);
+  ConstantDelayServer s("Frame_Switch", Seconds{0.001});
   EXPECT_EQ(s.name(), "Frame_Switch");
 }
 

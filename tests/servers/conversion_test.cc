@@ -13,66 +13,66 @@ namespace {
 TEST(ConversionServerTest, FrameToCellUnits) {
   // F_S = 4000-bit frames, 384-bit cell payloads: F_C = ⌈4000/384⌉ = 11
   // cells per frame, accounted at the 424-bit wire size.
-  auto s = make_frame_to_cell_server("F2C", 4000.0, 384.0, 424.0, 0.0);
-  EXPECT_DOUBLE_EQ(s->in_unit(), 4000.0);
-  EXPECT_DOUBLE_EQ(s->out_unit(), 11.0 * 424.0);
+  auto s = make_frame_to_cell_server("F2C", Bits{4000.0}, Bits{384.0}, Bits{424.0}, Seconds{0.0});
+  EXPECT_DOUBLE_EQ(val(s->in_unit()), 4000.0);
+  EXPECT_DOUBLE_EQ(val(s->out_unit()), val(11.0 * 424.0));
 }
 
 TEST(ConversionServerTest, CellToFrameUnits) {
-  auto s = make_cell_to_frame_server("C2F", 4000.0, 384.0, 424.0, 0.0);
-  EXPECT_DOUBLE_EQ(s->in_unit(), 11.0 * 424.0);
-  EXPECT_DOUBLE_EQ(s->out_unit(), 4000.0);
+  auto s = make_cell_to_frame_server("C2F", Bits{4000.0}, Bits{384.0}, Bits{424.0}, Seconds{0.0});
+  EXPECT_DOUBLE_EQ(val(s->in_unit()), val(11.0 * 424.0));
+  EXPECT_DOUBLE_EQ(val(s->out_unit()), 4000.0);
 }
 
 TEST(ConversionServerTest, Theorem2EnvelopeTransform) {
   // A'(I) = ⌈A(I)/F_S⌉ · F_C·C_S (eq. 21), payload accounting.
-  auto s = make_frame_to_cell_server("F2C", 1000.0, 384.0, 384.0,
+  auto s = make_frame_to_cell_server("F2C", Bits{1000.0}, Bits{384.0}, Bits{384.0},
                                      units::us(10));
-  auto input = std::make_shared<LeakyBucketEnvelope>(0.0, 1000.0);
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{}, BitsPerSecond{1000.0});
   const auto result = s->analyze(input);
   ASSERT_TRUE(result.has_value());
   const double f_c_cs = 3.0 * 384.0;  // ⌈1000/384⌉ = 3 cells
-  EXPECT_DOUBLE_EQ(result->output->bits(0.5), 1.0 * f_c_cs);
-  EXPECT_DOUBLE_EQ(result->output->bits(1.0), 1.0 * f_c_cs);
-  EXPECT_DOUBLE_EQ(result->output->bits(2.5), 3.0 * f_c_cs);
+  EXPECT_DOUBLE_EQ(val(result->output->bits(Seconds{0.5})), val(1.0 * f_c_cs));
+  EXPECT_DOUBLE_EQ(val(result->output->bits(Seconds{1.0})), val(1.0 * f_c_cs));
+  EXPECT_DOUBLE_EQ(val(result->output->bits(Seconds{2.5})), val(3.0 * f_c_cs));
 }
 
 TEST(ConversionServerTest, ProcessingDelayReported) {
-  auto s = make_frame_to_cell_server("F2C", 1000.0, 384.0, 424.0,
+  auto s = make_frame_to_cell_server("F2C", Bits{1000.0}, Bits{384.0}, Bits{424.0},
                                      units::us(25));
   auto input = std::make_shared<ZeroEnvelope>();
   const auto result = s->analyze(input);
   ASSERT_TRUE(result.has_value());
-  EXPECT_DOUBLE_EQ(result->worst_case_delay, units::us(25));
+  EXPECT_DOUBLE_EQ(result->worst_case_delay.value(), val(units::us(25)));
 }
 
 TEST(ConversionServerTest, RoundTripPreservesRateUpToPadding) {
   // frame → cells → frame keeps the long-term rate within the cell-padding
   // inflation factor.
-  auto f2c = make_frame_to_cell_server("F2C", 4000.0, 384.0, 424.0, 0.0);
-  auto c2f = make_cell_to_frame_server("C2F", 4000.0, 384.0, 424.0, 0.0);
-  auto input = std::make_shared<PeriodicEnvelope>(4000.0, units::ms(10));
+  auto f2c = make_frame_to_cell_server("F2C", Bits{4000.0}, Bits{384.0}, Bits{424.0}, Seconds{0.0});
+  auto c2f = make_cell_to_frame_server("C2F", Bits{4000.0}, Bits{384.0}, Bits{424.0}, Seconds{0.0});
+  auto input = std::make_shared<PeriodicEnvelope>(Bits{4000.0}, units::ms(10));
   const auto mid = f2c->analyze(input);
   ASSERT_TRUE(mid.has_value());
   const auto out = c2f->analyze(mid->output);
   ASSERT_TRUE(out.has_value());
-  EXPECT_DOUBLE_EQ(out->output->long_term_rate(), input->long_term_rate());
+  EXPECT_DOUBLE_EQ(val(out->output->long_term_rate()), val(input->long_term_rate()));
 }
 
 TEST(ConversionServerTest, BufferHoldsOneUnitPlusInflight) {
-  auto s = make_frame_to_cell_server("F2C", 1000.0, 384.0, 424.0, 1.0);
-  auto input = std::make_shared<LeakyBucketEnvelope>(100.0, 50.0);
+  auto s = make_frame_to_cell_server("F2C", Bits{1000.0}, Bits{384.0}, Bits{424.0}, Seconds{1.0});
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{100.0}, BitsPerSecond{50.0});
   const auto result = s->analyze(input);
   ASSERT_TRUE(result.has_value());
-  EXPECT_DOUBLE_EQ(result->buffer_required, 1000.0 + 150.0);
+  EXPECT_DOUBLE_EQ(result->buffer_required.value(), 1000.0 + 150.0);
 }
 
 TEST(ConversionServerTest, RejectsBadParameters) {
-  EXPECT_THROW(ConversionServer("x", 0.0, 1.0, 0.0), std::logic_error);
-  EXPECT_THROW(ConversionServer("x", 1.0, 0.0, 0.0), std::logic_error);
-  EXPECT_THROW(ConversionServer("x", 1.0, 1.0, -1.0), std::logic_error);
+  EXPECT_THROW(ConversionServer("x", Bits{}, Bits{1.0}, Seconds{}), std::logic_error);
+  EXPECT_THROW(ConversionServer("x", Bits{1.0}, Bits{}, Seconds{}), std::logic_error);
+  EXPECT_THROW(ConversionServer("x", Bits{1.0}, Bits{1.0}, Seconds{-1.0}), std::logic_error);
   // Accounting smaller than payload.
-  EXPECT_THROW(make_frame_to_cell_server("x", 1000.0, 384.0, 100.0, 0.0),
+  EXPECT_THROW(make_frame_to_cell_server("x", Bits{1000.0}, Bits{384.0}, Bits{100.0}, Seconds{0.0}),
                std::logic_error);
 }
 

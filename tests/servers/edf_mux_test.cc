@@ -12,9 +12,9 @@
 namespace hetnet {
 namespace {
 
-constexpr BitsPerSecond kCapacity = 140e6;
-constexpr Seconds kCellTime = 424.0 / 155e6;
-constexpr Bits kCell = 384.0;
+constexpr BitsPerSecond kCapacity = BitsPerSecond{140e6};
+constexpr Seconds kCellTime{424.0 / 155e6};
+constexpr Bits kCell = Bits{384.0};
 
 EdfFlow flow(Bits burst, BitsPerSecond rate, Seconds deadline) {
   return {std::make_shared<LeakyBucketEnvelope>(burst, rate), deadline};
@@ -22,28 +22,28 @@ EdfFlow flow(Bits burst, BitsPerSecond rate, Seconds deadline) {
 
 TEST(EdfMuxTest, GenerousDeadlinesAreSchedulable) {
   EdfMuxServer edf("edf", kCapacity, kCellTime, kCell,
-                   flow(50000.0, units::mbps(10), units::ms(5)),
-                   {flow(50000.0, units::mbps(10), units::ms(5))});
+                   flow(Bits{50000.0}, units::mbps(10), units::ms(5)),
+                   {flow(Bits{50000.0}, units::mbps(10), units::ms(5))});
   EXPECT_TRUE(edf.schedulable());
   const auto result =
-      edf.analyze(std::make_shared<LeakyBucketEnvelope>(50000.0,
+      edf.analyze(std::make_shared<LeakyBucketEnvelope>(Bits{50000.0},
                                                         units::mbps(10)));
   ASSERT_TRUE(result.has_value());
-  EXPECT_DOUBLE_EQ(result->worst_case_delay, units::ms(5));
+  EXPECT_DOUBLE_EQ(val(result->worst_case_delay), val(units::ms(5)));
 }
 
 TEST(EdfMuxTest, ImpossibleDeadlineRejected) {
   // The burst alone needs 50k/140M ≈ 0.36 ms of link time; a 0.1 ms local
   // deadline cannot be met.
   EdfMuxServer edf("edf", kCapacity, kCellTime, kCell,
-                   flow(50000.0, units::mbps(10), units::us(100)), {});
+                   flow(Bits{50000.0}, units::mbps(10), units::us(100)), {});
   EXPECT_FALSE(edf.schedulable());
 }
 
 TEST(EdfMuxTest, OverbookedPortRejected) {
   EdfMuxServer edf("edf", kCapacity, kCellTime, kCell,
-                   flow(1000.0, units::mbps(80), units::ms(50)),
-                   {flow(1000.0, units::mbps(80), units::ms(50))});
+                   flow(Bits{1000.0}, units::mbps(80), units::ms(50)),
+                   {flow(Bits{1000.0}, units::mbps(80), units::ms(50))});
   EXPECT_FALSE(edf.schedulable());
 }
 
@@ -51,9 +51,9 @@ TEST(EdfMuxTest, HeterogeneousDeadlinesBeatFifo) {
   // FIFO gives every flow the same aggregate bound; EDF can promise the
   // control flow far less while the video flow absorbs the slack.
   const auto control =
-      std::make_shared<LeakyBucketEnvelope>(5000.0, units::mbps(1));
+      std::make_shared<LeakyBucketEnvelope>(Bits{5000.0}, units::mbps(1));
   const auto video =
-      std::make_shared<LeakyBucketEnvelope>(400000.0, units::mbps(40));
+      std::make_shared<LeakyBucketEnvelope>(Bits{400000.0}, units::mbps(40));
 
   FifoMuxParams fifo_params;
   fifo_params.capacity = kCapacity;
@@ -70,18 +70,18 @@ TEST(EdfMuxTest, HeterogeneousDeadlinesBeatFifo) {
                    {control, units::us(500)}, {{video, units::ms(5)}});
   const auto edf_bound = edf.analyze(control);
   ASSERT_TRUE(edf_bound.has_value());
-  EXPECT_DOUBLE_EQ(edf_bound->worst_case_delay, units::us(500));
+  EXPECT_DOUBLE_EQ(val(edf_bound->worst_case_delay), val(units::us(500)));
   EXPECT_LT(edf_bound->worst_case_delay, fifo_bound->worst_case_delay);
 }
 
 TEST(EdfMuxTest, TighteningOneDeadlineEventuallyFails) {
   const auto video =
-      std::make_shared<LeakyBucketEnvelope>(400000.0, units::mbps(40));
+      std::make_shared<LeakyBucketEnvelope>(Bits{400000.0}, units::mbps(40));
   bool seen_schedulable = false;
   bool seen_unschedulable = false;
   for (double d_us : {3000.0, 1000.0, 300.0, 100.0, 30.0, 10.0}) {
     EdfMuxServer edf("edf", kCapacity, kCellTime, kCell,
-                     flow(50000.0, units::mbps(10), units::us(d_us)),
+                     flow(Bits{50000.0}, units::mbps(10), units::us(d_us)),
                      {{video, units::ms(5)}});
     if (edf.schedulable()) {
       EXPECT_FALSE(seen_unschedulable)
@@ -98,9 +98,9 @@ TEST(EdfMuxTest, TighteningOneDeadlineEventuallyFails) {
 TEST(EdfMuxTest, PeriodicFlowsExactKinksHandled) {
   // Bursty periodic flows: the demand curve jumps at d_i + k·P; the exact
   // kink walk must catch a violation hidden between coarse times.
-  EdfFlow own{std::make_shared<PeriodicEnvelope>(200000.0, units::ms(10)),
+  EdfFlow own{std::make_shared<PeriodicEnvelope>(Bits{200000.0}, units::ms(10)),
               units::ms(2)};
-  EdfFlow other{std::make_shared<PeriodicEnvelope>(200000.0, units::ms(10)),
+  EdfFlow other{std::make_shared<PeriodicEnvelope>(Bits{200000.0}, units::ms(10)),
                 units::ms(2)};
   // Demand at t = 2ms⁺ is 400 kbit; C·t = 280 kbit → unschedulable.
   EdfMuxServer tight("edf", kCapacity, kCellTime, kCell, own, {other});
@@ -114,26 +114,28 @@ TEST(EdfMuxTest, PeriodicFlowsExactKinksHandled) {
 
 TEST(EdfMuxTest, OutputShiftedByLocalDeadline) {
   const auto env =
-      std::make_shared<LeakyBucketEnvelope>(10000.0, units::mbps(5));
+      std::make_shared<LeakyBucketEnvelope>(Bits{10000.0}, units::mbps(5));
   EdfMuxServer edf("edf", kCapacity, kCellTime, kCell,
                    {env, units::ms(2)}, {});
   const auto result = edf.analyze(env);
   ASSERT_TRUE(result.has_value());
-  for (double i = 0.0; i < 0.02; i += 0.00031) {
-    EXPECT_LE(result->output->bits(i), env->bits(i + units::ms(2)) + 1e-6);
+  for (Seconds i; i < 0.02; i += Seconds{0.00031}) {
+    EXPECT_LE(result->output->bits(i), env->bits(i + units::ms(2)) + Bits{1e-6});
   }
 }
 
 TEST(EdfMuxTest, Validation) {
-  EXPECT_THROW(EdfMuxServer("e", 0.0, 0.0, 0.0,
-                            flow(1.0, 1.0, 1.0), {}),
+  EXPECT_THROW(
+      EdfMuxServer("e", BitsPerSecond{}, Seconds{}, Bits{},
+                   flow(Bits{1.0}, BitsPerSecond{1.0}, Seconds{1.0}), {}),
+      std::logic_error);
+  EXPECT_THROW(EdfMuxServer("e", BitsPerSecond{1e6}, Seconds{}, Bits{},
+                            {nullptr, Seconds{1.0}}, {}),
                std::logic_error);
-  EXPECT_THROW(EdfMuxServer("e", 1e6, 0.0, 0.0,
-                            {nullptr, 1.0}, {}),
-               std::logic_error);
-  EXPECT_THROW(EdfMuxServer("e", 1e6, 0.0, 0.0,
-                            flow(1.0, 1.0, 0.0), {}),
-               std::logic_error);
+  EXPECT_THROW(
+      EdfMuxServer("e", BitsPerSecond{1e6}, Seconds{}, Bits{},
+                   flow(Bits{1.0}, BitsPerSecond{1.0}, Seconds{}), {}),
+      std::logic_error);
 }
 
 }  // namespace

@@ -23,89 +23,90 @@ FddiMacParams ref_params() {
 TEST(FddiMacServerTest, AvailStepsAtRotations) {
   FddiMacServer s("mac", ref_params());
   const Bits per_visit = units::ms(1) * units::mbps(100);  // 1e5 bits
-  EXPECT_DOUBLE_EQ(s.avail(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(s.avail(units::ms(4)), 0.0);
-  EXPECT_DOUBLE_EQ(s.avail(units::ms(8)), 0.0);   // (⌊1⌋−1)·pv = 0
-  EXPECT_DOUBLE_EQ(s.avail(units::ms(16)), per_visit);
-  EXPECT_DOUBLE_EQ(s.avail(units::ms(24)), 2 * per_visit);
+  EXPECT_DOUBLE_EQ(val(s.avail(Seconds{0.0})), 0.0);
+  EXPECT_DOUBLE_EQ(val(s.avail(units::ms(4))), 0.0);
+  EXPECT_DOUBLE_EQ(val(s.avail(units::ms(8))), 0.0);   // (⌊1⌋−1)·pv = 0
+  EXPECT_DOUBLE_EQ(val(s.avail(units::ms(16))), val(per_visit));
+  EXPECT_DOUBLE_EQ(val(s.avail(units::ms(24))), val(2 * per_visit));
   // The left limit lags one rotation at the boundary.
-  EXPECT_DOUBLE_EQ(s.avail_left(units::ms(16)), 0.0);
-  EXPECT_DOUBLE_EQ(s.avail_left(units::ms(24)), per_visit);
+  EXPECT_DOUBLE_EQ(val(s.avail_left(units::ms(16))), 0.0);
+  EXPECT_DOUBLE_EQ(val(s.avail_left(units::ms(24))), val(per_visit));
 }
 
 TEST(FddiMacServerTest, SmallMessageDelayIsTwoTTRT) {
   // A message that fits in one synchronous window has the classic timed-token
   // worst case of 2·TTRT (wait for the current rotation, send on the next).
   FddiMacServer s("mac", ref_params());
-  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::sec(1));
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::sec(1));
   const auto result = s.analyze(msg);
   ASSERT_TRUE(result.has_value());
-  EXPECT_NEAR(result->worst_case_delay, 2 * units::ms(8), 1e-9);
+  EXPECT_NEAR(val(result->worst_case_delay), val(2 * units::ms(8)), 1e-9);
 }
 
 TEST(FddiMacServerTest, MultiWindowMessageDelay) {
   // 250 kbit needs ⌈250k/100k⌉ = 3 token visits: delay = (3+1)·TTRT.
   FddiMacServer s("mac", ref_params());
-  auto msg = std::make_shared<PeriodicEnvelope>(250000.0, units::sec(10));
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{250000.0}, units::sec(10));
   const auto result = s.analyze(msg);
   ASSERT_TRUE(result.has_value());
-  EXPECT_NEAR(result->worst_case_delay, 4 * units::ms(8), 1e-9);
+  EXPECT_NEAR(val(result->worst_case_delay), val(4 * units::ms(8)), 1e-9);
 }
 
 TEST(FddiMacServerTest, BusyIntervalForSmallBurst) {
   FddiMacServer s("mac", ref_params());
-  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::sec(1));
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::sec(1));
   const auto busy = s.busy_interval(msg);
   ASSERT_TRUE(busy.has_value());
   // 50 kbit <= avail at the 2nd rotation (1 visit credited).
-  EXPECT_DOUBLE_EQ(*busy, units::ms(16));
+  EXPECT_DOUBLE_EQ(val(*busy), val(units::ms(16)));
 }
 
 TEST(FddiMacServerTest, UnstableSourceHasNoBound) {
   // Long-term rate 50 Mb/s against a guaranteed 100k/8ms = 12.5 Mb/s.
   FddiMacServer s("mac", ref_params());
-  auto msg = std::make_shared<LeakyBucketEnvelope>(0.0, units::mbps(50));
+  auto msg = std::make_shared<LeakyBucketEnvelope>(Bits{}, units::mbps(50));
   EXPECT_FALSE(s.busy_interval(msg).has_value());
   EXPECT_FALSE(s.analyze(msg).has_value());
 }
 
 TEST(FddiMacServerTest, BufferBoundEqualsPeakBacklog) {
   FddiMacServer s("mac", ref_params());
-  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::sec(1));
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::sec(1));
   const auto result = s.analyze(msg);
   ASSERT_TRUE(result.has_value());
   // The whole burst is buffered before the first credited visit.
-  EXPECT_DOUBLE_EQ(result->buffer_required, 50000.0);
+  EXPECT_DOUBLE_EQ(result->buffer_required.value(), 50000.0);
 }
 
 TEST(FddiMacServerTest, FiniteBufferOverflowRejects) {
   FddiMacParams p = ref_params();
-  p.buffer_limit = 40000.0;  // smaller than the 50 kbit burst
+  p.buffer_limit = Bits{40000.0};  // smaller than the 50 kbit burst
   FddiMacServer s("mac", p);
-  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::sec(1));
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::sec(1));
   EXPECT_FALSE(s.analyze(msg).has_value());
 }
 
 TEST(FddiMacServerTest, DelayDecreasesWithAllocation) {
-  auto msg = std::make_shared<PeriodicEnvelope>(300000.0, units::ms(100));
-  Seconds prev = 1e9;
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{300000.0}, units::ms(100));
+  Seconds prev{1e9};
   for (double h_ms : {0.5, 1.0, 2.0, 4.0}) {
     FddiMacParams p = ref_params();
     p.sync_allocation = units::ms(h_ms);
     FddiMacServer s("mac", p);
     const auto result = s.analyze(msg);
     ASSERT_TRUE(result.has_value()) << "H=" << h_ms << "ms";
-    EXPECT_LE(result->worst_case_delay, prev + 1e-12) << "H=" << h_ms << "ms";
+    EXPECT_LE(result->worst_case_delay, prev + Seconds{1e-12})
+        << "H=" << h_ms << "ms";
     prev = result->worst_case_delay;
   }
 }
 
 TEST(FddiMacServerTest, OutputCappedByRingRate) {
   FddiMacServer s("mac", ref_params());
-  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::ms(100));
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::ms(100));
   const auto result = s.analyze(msg);
   ASSERT_TRUE(result.has_value());
-  for (double i = 1e-5; i < 0.05; i += 0.0013) {
+  for (Seconds i{1e-5}; i < 0.05; i += Seconds{0.0013}) {
     EXPECT_LE(result->output->bits(i), units::mbps(100) * i * (1 + 1e-9))
         << "I=" << i;
   }
@@ -113,22 +114,22 @@ TEST(FddiMacServerTest, OutputCappedByRingRate) {
 
 TEST(FddiMacServerTest, OutputPreservesLongTermRate) {
   FddiMacServer s("mac", ref_params());
-  auto msg = std::make_shared<PeriodicEnvelope>(50000.0, units::ms(100));
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::ms(100));
   const auto result = s.analyze(msg);
   ASSERT_TRUE(result.has_value());
-  EXPECT_NEAR(result->output->long_term_rate(), msg->long_term_rate(), 1e-6);
+  EXPECT_NEAR(val(result->output->long_term_rate()), val(msg->long_term_rate()), 1e-6);
 }
 
 TEST(FddiMacServerTest, OutputIsMonotone) {
   FddiMacServer s("mac", ref_params());
   auto msg = std::make_shared<DualPeriodicEnvelope>(
-      300000.0, units::ms(100), 100000.0, units::ms(20));
+      Bits{300000.0}, units::ms(100), Bits{100000.0}, units::ms(20));
   const auto result = s.analyze(msg);
   ASSERT_TRUE(result.has_value());
-  double prev = -1.0;
-  for (double i = 0.0; i < 0.2; i += 0.00071) {
-    const double v = result->output->bits(i);
-    EXPECT_GE(v, prev - 1e-6) << "I=" << i;
+  Bits prev{-1.0};
+  for (Seconds i; i < 0.2; i += Seconds{0.00071}) {
+    const Bits v = result->output->bits(i);
+    EXPECT_GE(v, prev - Bits{1e-6}) << "I=" << i;
     prev = v;
   }
 }
@@ -139,7 +140,7 @@ TEST(FddiMacServerTest, OutputIsMonotone) {
 // sampled points: rasterization may only raise values.
 TEST(FddiMacServerTest, RasterizedOutputDominatesExactOutput) {
   auto msg = std::make_shared<DualPeriodicEnvelope>(
-      300000.0, units::ms(100), 100000.0, units::ms(20));
+      Bits{300000.0}, units::ms(100), Bits{100000.0}, units::ms(20));
   AnalysisConfig raw_cfg;
   raw_cfg.rasterize_mac_output = false;
   AnalysisConfig ras_cfg;  // default: rasterized
@@ -149,9 +150,9 @@ TEST(FddiMacServerTest, RasterizedOutputDominatesExactOutput) {
   const auto ras_result = ras.analyze(msg);
   ASSERT_TRUE(raw_result.has_value());
   ASSERT_TRUE(ras_result.has_value());
-  for (double i = 0.0; i < 0.4; i += 0.0017) {
+  for (Seconds i; i < 0.4; i += Seconds{0.0017}) {
     EXPECT_GE(ras_result->output->bits(i),
-              raw_result->output->bits(i) - 1e-6)
+              raw_result->output->bits(i) - Bits{1e-6})
         << "I=" << i;
   }
 }
@@ -169,16 +170,16 @@ TEST(FddiMacServerTest, DelayInfinityViaBudgetExhaustion) {
 
 TEST(FddiMacServerTest, ConstructorValidatesParams) {
   FddiMacParams p = ref_params();
-  p.ttrt = 0.0;
+  p.ttrt = Seconds{};
   EXPECT_THROW(FddiMacServer("m", p), std::logic_error);
   p = ref_params();
-  p.sync_allocation = 0.0;
+  p.sync_allocation = Seconds{};
   EXPECT_THROW(FddiMacServer("m", p), std::logic_error);
   p = ref_params();
   p.sync_allocation = units::ms(9);  // H > TTRT
   EXPECT_THROW(FddiMacServer("m", p), std::logic_error);
   p = ref_params();
-  p.ring_rate = 0.0;
+  p.ring_rate = BitsPerSecond{};
   EXPECT_THROW(FddiMacServer("m", p), std::logic_error);
 }
 

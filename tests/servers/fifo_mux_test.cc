@@ -15,8 +15,8 @@ EnvelopePtr zero() { return std::make_shared<ZeroEnvelope>(); }
 FifoMuxParams ref_params() {
   FifoMuxParams p;
   p.capacity = units::mbps(155) * 48.0 / 53.0;  // payload-accounted ATM link
-  p.non_preemption = 424.0 / units::mbps(155);  // one wire cell time
-  p.cell_bits = 384.0;
+  p.non_preemption = Bits{424.0} / units::mbps(155);  // one wire cell time
+  p.cell_bits = Bits{384.0};
   return p;
 }
 
@@ -25,101 +25,101 @@ TEST(FifoMuxServerTest, LoneLeakyBucketDelay) {
   // queueing delay σ/C.
   FifoMuxParams p = ref_params();
   FifoMuxServer s("port", p, zero());
-  const Bits sigma = 42400.0;
+  const Bits sigma{42400.0};
   auto input = std::make_shared<LeakyBucketEnvelope>(sigma, units::mbps(10));
   const auto d = s.queueing_delay(input);
   ASSERT_TRUE(d.has_value());
-  EXPECT_NEAR(*d, sigma / p.capacity, 1e-12);
+  EXPECT_NEAR(val(*d), val(sigma / p.capacity), 1e-12);
   const auto full = s.analyze(input);
   ASSERT_TRUE(full.has_value());
-  EXPECT_NEAR(full->worst_case_delay, sigma / p.capacity + p.non_preemption,
-              1e-12);
+  EXPECT_NEAR(val(full->worst_case_delay),
+              val(sigma / p.capacity + p.non_preemption), 1e-12);
 }
 
 TEST(FifoMuxServerTest, BacklogEqualsBurst) {
   FifoMuxServer s("port", ref_params(), zero());
-  auto input = std::make_shared<LeakyBucketEnvelope>(5000.0, units::mbps(1));
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{5000.0}, units::mbps(1));
   const auto result = s.analyze(input);
   ASSERT_TRUE(result.has_value());
-  EXPECT_NEAR(result->buffer_required, 5000.0, 1e-6);
+  EXPECT_NEAR(result->buffer_required.value(), 5000.0, 1e-6);
 }
 
 TEST(FifoMuxServerTest, OverbookedPortRejected) {
   FifoMuxParams p = ref_params();
   FifoMuxServer s("port", p,
-                  std::make_shared<LeakyBucketEnvelope>(0.0, units::mbps(100)));
-  auto input = std::make_shared<LeakyBucketEnvelope>(0.0, units::mbps(60));
+                  std::make_shared<LeakyBucketEnvelope>(Bits{}, units::mbps(100)));
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{}, units::mbps(60));
   // 100 + 60 > 140.4 Mb/s payload capacity.
   EXPECT_FALSE(s.analyze(input).has_value());
 }
 
 TEST(FifoMuxServerTest, CrossTrafficIncreasesDelay) {
-  auto input = std::make_shared<LeakyBucketEnvelope>(10000.0, units::mbps(5));
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{10000.0}, units::mbps(5));
   FifoMuxServer lone("port", ref_params(), zero());
   FifoMuxServer shared(
       "port", ref_params(),
-      std::make_shared<LeakyBucketEnvelope>(50000.0, units::mbps(40)));
+      std::make_shared<LeakyBucketEnvelope>(Bits{50000.0}, units::mbps(40)));
   const auto d_lone = lone.queueing_delay(input);
   const auto d_shared = shared.queueing_delay(input);
   ASSERT_TRUE(d_lone.has_value());
   ASSERT_TRUE(d_shared.has_value());
   EXPECT_GT(*d_shared, *d_lone);
   // FIFO: σ_total/C.
-  EXPECT_NEAR(*d_shared, 60000.0 / ref_params().capacity, 1e-12);
+  EXPECT_NEAR(val(*d_shared), val(Bits{60000.0} / ref_params().capacity), 1e-12);
 }
 
 TEST(FifoMuxServerTest, PeriodicAggregateDelayMatchesHandComputation) {
   // Two synchronized periodic flows, 100 kbit each at t=0 (instant bursts):
   // the 2nd flow's burst waits for the 1st: delay = 200k/C.
   FifoMuxParams p = ref_params();
-  auto a = std::make_shared<PeriodicEnvelope>(100000.0, units::ms(50));
-  auto b = std::make_shared<PeriodicEnvelope>(100000.0, units::ms(50));
+  auto a = std::make_shared<PeriodicEnvelope>(Bits{100000.0}, units::ms(50));
+  auto b = std::make_shared<PeriodicEnvelope>(Bits{100000.0}, units::ms(50));
   FifoMuxServer s("port", p, a);
   const auto d = s.queueing_delay(b);
   ASSERT_TRUE(d.has_value());
-  EXPECT_NEAR(*d, 200000.0 / p.capacity, 1e-12);
+  EXPECT_NEAR(val(*d), val(Bits{200000.0} / p.capacity), 1e-12);
 }
 
 TEST(FifoMuxServerTest, BufferLimitEnforced) {
   FifoMuxParams p = ref_params();
-  p.buffer_limit = 4000.0;
+  p.buffer_limit = Bits{4000.0};
   FifoMuxServer s("port", p, zero());
-  auto input = std::make_shared<LeakyBucketEnvelope>(5000.0, units::mbps(1));
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{5000.0}, units::mbps(1));
   EXPECT_FALSE(s.analyze(input).has_value());
 }
 
 TEST(FifoMuxServerTest, OutputIsShiftedAndCapped) {
   FifoMuxParams p = ref_params();
   FifoMuxServer s("port", p, zero());
-  auto input = std::make_shared<LeakyBucketEnvelope>(42400.0, units::mbps(10));
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{42400.0}, units::mbps(10));
   const auto result = s.analyze(input);
   ASSERT_TRUE(result.has_value());
   const Seconds d = result->worst_case_delay;
-  for (double i = 0.0; i < 0.01; i += 0.00013) {
-    const double expected =
+  for (Seconds i; i < 0.01; i += Seconds{0.00013}) {
+    const Bits expected =
         std::min(input->bits(i + d), p.cell_bits + p.capacity * i);
-    EXPECT_NEAR(result->output->bits(i), expected, 1e-6) << "I=" << i;
+    EXPECT_NEAR(val(result->output->bits(i)), val(expected), 1e-6) << "I=" << i;
   }
 }
 
 TEST(FifoMuxServerTest, DelayIsSharedAcrossFlows) {
   // FIFO property: the port-wide bound does not depend on which flow asks.
-  auto f1 = std::make_shared<LeakyBucketEnvelope>(10000.0, units::mbps(5));
-  auto f2 = std::make_shared<LeakyBucketEnvelope>(30000.0, units::mbps(20));
+  auto f1 = std::make_shared<LeakyBucketEnvelope>(Bits{10000.0}, units::mbps(5));
+  auto f2 = std::make_shared<LeakyBucketEnvelope>(Bits{30000.0}, units::mbps(20));
   FifoMuxServer from_f1("port", ref_params(), f2);
   FifoMuxServer from_f2("port", ref_params(), f1);
   const auto d1 = from_f1.queueing_delay(f1);
   const auto d2 = from_f2.queueing_delay(f2);
   ASSERT_TRUE(d1.has_value());
   ASSERT_TRUE(d2.has_value());
-  EXPECT_NEAR(*d1, *d2, 1e-12);
+  EXPECT_NEAR(val(*d1), val(*d2), 1e-12);
 }
 
 TEST(FifoMuxServerTest, ZeroTrafficZeroDelay) {
   FifoMuxServer s("port", ref_params(), zero());
   const auto d = s.queueing_delay(zero());
   ASSERT_TRUE(d.has_value());
-  EXPECT_DOUBLE_EQ(*d, 0.0);
+  EXPECT_DOUBLE_EQ(val(*d), 0.0);
 }
 
 TEST(FifoMuxServerTest, HorizonBudgetExceededRejects) {
@@ -134,10 +134,10 @@ TEST(FifoMuxServerTest, HorizonBudgetExceededRejects) {
 
 TEST(FifoMuxServerTest, ConstructorValidatesParams) {
   FifoMuxParams p = ref_params();
-  p.capacity = 0.0;
+  p.capacity = BitsPerSecond{};
   EXPECT_THROW(FifoMuxServer("m", p, zero()), std::logic_error);
   p = ref_params();
-  p.non_preemption = -1.0;
+  p.non_preemption = Seconds{-1.0};
   EXPECT_THROW(FifoMuxServer("m", p, zero()), std::logic_error);
   p = ref_params();
   EXPECT_THROW(FifoMuxServer("m", p, nullptr), std::logic_error);

@@ -21,22 +21,22 @@ FifoMuxParams port() {
 
 TEST(PriorityMuxTest, MatchesFifoWithoutBestEffort) {
   // With no lower-priority traffic the disciplines coincide.
-  auto rt = std::make_shared<LeakyBucketEnvelope>(40000.0, units::mbps(10));
-  auto cross = std::make_shared<LeakyBucketEnvelope>(20000.0, units::mbps(5));
+  auto rt = std::make_shared<LeakyBucketEnvelope>(Bits{40000.0}, units::mbps(10));
+  auto cross = std::make_shared<LeakyBucketEnvelope>(Bits{20000.0}, units::mbps(5));
   const FifoMuxServer fifo("f", port(), cross);
   const PriorityMuxServer prio("p", port(), cross);
   const auto df = fifo.queueing_delay(rt);
   const auto dp = prio.queueing_delay(rt);
   ASSERT_TRUE(df.has_value() && dp.has_value());
-  EXPECT_DOUBLE_EQ(*df, *dp);
+  EXPECT_DOUBLE_EQ(val(*df), val(*dp));
 }
 
 TEST(PriorityMuxTest, RealTimeBoundIndependentOfBestEffort) {
   // The priority port's real-time bound never references the best-effort
   // envelope: only real-time cross traffic enters the analysis.
-  auto rt = std::make_shared<LeakyBucketEnvelope>(40000.0, units::mbps(10));
+  auto rt = std::make_shared<LeakyBucketEnvelope>(Bits{40000.0}, units::mbps(10));
   auto rt_cross =
-      std::make_shared<LeakyBucketEnvelope>(20000.0, units::mbps(5));
+      std::make_shared<LeakyBucketEnvelope>(Bits{20000.0}, units::mbps(5));
   const PriorityMuxServer prio("p", port(), rt_cross);
   const auto d1 = prio.queueing_delay(rt);
   ASSERT_TRUE(d1.has_value());
@@ -51,24 +51,24 @@ TEST(PriorityMuxTest, RealTimeBoundIndependentOfBestEffort) {
 }
 
 TEST(PriorityMuxTest, AnalyzeProducesOutputEnvelope) {
-  auto rt = std::make_shared<PeriodicEnvelope>(50000.0, units::ms(20));
+  auto rt = std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::ms(20));
   const PriorityMuxServer prio("p", port(),
                                std::make_shared<ZeroEnvelope>());
   const auto result = prio.analyze(rt);
   ASSERT_TRUE(result.has_value());
   EXPECT_GT(result->worst_case_delay, 0.0);
   // Output conforms to the shifted-input bound.
-  for (double i = 0.0; i < 0.05; i += 0.0007) {
+  for (Seconds i; i < 0.05; i += Seconds{0.0007}) {
     EXPECT_LE(result->output->bits(i),
-              rt->bits(i + result->worst_case_delay) + 1e-6);
+              rt->bits(i + result->worst_case_delay) + Bits{1e-6});
   }
 }
 
 TEST(PriorityMuxTest, OverbookedRealTimeClassRejected) {
   const PriorityMuxServer prio(
       "p", port(),
-      std::make_shared<LeakyBucketEnvelope>(0.0, units::mbps(100)));
-  auto rt = std::make_shared<LeakyBucketEnvelope>(0.0, units::mbps(60));
+      std::make_shared<LeakyBucketEnvelope>(Bits{}, units::mbps(100)));
+  auto rt = std::make_shared<LeakyBucketEnvelope>(Bits{}, units::mbps(60));
   EXPECT_FALSE(prio.analyze(rt).has_value());
 }
 

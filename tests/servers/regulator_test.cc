@@ -13,64 +13,64 @@ namespace {
 
 TEST(RegulatorTest, ConformingTrafficPassesUndelayed) {
   // Input already inside the bucket: zero worst-case delay.
-  RegulatorParams p{.sigma = 2000.0, .rho = units::mbps(10)};
+  RegulatorParams p{.sigma = Bits{2000.0}, .rho = units::mbps(10)};
   RegulatorServer reg("shaper", p);
-  auto input = std::make_shared<LeakyBucketEnvelope>(1000.0, units::mbps(5));
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{1000.0}, units::mbps(5));
   const auto result = reg.analyze(input);
   ASSERT_TRUE(result.has_value());
-  EXPECT_DOUBLE_EQ(result->worst_case_delay, 0.0);
-  EXPECT_DOUBLE_EQ(result->buffer_required, 0.0);
+  EXPECT_DOUBLE_EQ(result->worst_case_delay.value(), 0.0);
+  EXPECT_DOUBLE_EQ(result->buffer_required.value(), 0.0);
 }
 
 TEST(RegulatorTest, BurstShapedWithKnownDelay) {
   // A 100-kbit instantaneous burst through a (10 kbit, 10 Mb/s) bucket: the
   // last bit waits (100k − 10k)/10M = 9 ms.
-  RegulatorParams p{.sigma = 10000.0, .rho = units::mbps(10)};
+  RegulatorParams p{.sigma = Bits{10000.0}, .rho = units::mbps(10)};
   RegulatorServer reg("shaper", p);
-  auto input = std::make_shared<PeriodicEnvelope>(100000.0, units::sec(1));
+  auto input = std::make_shared<PeriodicEnvelope>(Bits{100000.0}, units::sec(1));
   const auto result = reg.analyze(input);
   ASSERT_TRUE(result.has_value());
-  EXPECT_NEAR(result->worst_case_delay, units::ms(9), 1e-9);
-  EXPECT_NEAR(result->buffer_required, 90000.0, 1e-6);
+  EXPECT_NEAR(val(result->worst_case_delay), val(units::ms(9)), 1e-9);
+  EXPECT_NEAR(result->buffer_required.value(), 90000.0, 1e-6);
 }
 
 TEST(RegulatorTest, OutputConformsToBucket) {
-  RegulatorParams p{.sigma = 10000.0, .rho = units::mbps(10)};
+  RegulatorParams p{.sigma = Bits{10000.0}, .rho = units::mbps(10)};
   RegulatorServer reg("shaper", p);
   auto input = std::make_shared<DualPeriodicEnvelope>(
-      300000.0, units::ms(100), 100000.0, units::ms(20));
+      Bits{300000.0}, units::ms(100), Bits{100000.0}, units::ms(20));
   const auto result = reg.analyze(input);
   ASSERT_TRUE(result.has_value());
-  for (double i = 0.0; i < 0.3; i += 0.0011) {
-    EXPECT_LE(result->output->bits(i), p.sigma + p.rho * i + 1e-6)
+  for (Seconds i; i < 0.3; i += Seconds{0.0011}) {
+    EXPECT_LE(result->output->bits(i), p.sigma + p.rho * i + Bits{1e-6})
         << "I=" << i;
   }
 }
 
 TEST(RegulatorTest, OutputBoundedByShiftedInput) {
-  RegulatorParams p{.sigma = 10000.0, .rho = units::mbps(10)};
+  RegulatorParams p{.sigma = Bits{10000.0}, .rho = units::mbps(10)};
   RegulatorServer reg("shaper", p);
-  auto input = std::make_shared<PeriodicEnvelope>(50000.0, units::ms(50));
+  auto input = std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::ms(50));
   const auto result = reg.analyze(input);
   ASSERT_TRUE(result.has_value());
-  for (double i = 0.0; i < 0.2; i += 0.0013) {
+  for (Seconds i; i < 0.2; i += Seconds{0.0013}) {
     EXPECT_LE(result->output->bits(i),
-              input->bits(i + result->worst_case_delay) + 1e-6);
+              input->bits(i + result->worst_case_delay) + Bits{1e-6});
   }
 }
 
 TEST(RegulatorTest, OverRateFlowRejected) {
-  RegulatorParams p{.sigma = 10000.0, .rho = units::mbps(1)};
+  RegulatorParams p{.sigma = Bits{10000.0}, .rho = units::mbps(1)};
   RegulatorServer reg("shaper", p);
-  auto input = std::make_shared<LeakyBucketEnvelope>(0.0, units::mbps(2));
+  auto input = std::make_shared<LeakyBucketEnvelope>(Bits{}, units::mbps(2));
   EXPECT_FALSE(reg.analyze(input).has_value());
 }
 
 TEST(RegulatorTest, BufferLimitEnforced) {
-  RegulatorParams p{.sigma = 10000.0, .rho = units::mbps(10)};
-  p.buffer_limit = 50000.0;  // the 100-kbit burst needs 90 kbit of buffer
+  RegulatorParams p{.sigma = Bits{10000.0}, .rho = units::mbps(10)};
+  p.buffer_limit = Bits{50000.0};  // the 100-kbit burst needs 90 kbit of buffer
   RegulatorServer reg("shaper", p);
-  auto input = std::make_shared<PeriodicEnvelope>(100000.0, units::sec(1));
+  auto input = std::make_shared<PeriodicEnvelope>(Bits{100000.0}, units::sec(1));
   EXPECT_FALSE(reg.analyze(input).has_value());
 }
 
@@ -78,31 +78,32 @@ TEST(RegulatorTest, TighterBucketMeansMoreDelayLessDownstream) {
   // The [15] trade-off in one picture: shrinking σ raises the shaping delay
   // but lowers the delay a downstream FIFO port adds.
   auto input = std::make_shared<DualPeriodicEnvelope>(
-      300000.0, units::ms(100), 100000.0, units::ms(20));
+      Bits{300000.0}, units::ms(100), Bits{100000.0}, units::ms(20));
   FifoMuxParams port;
   port.capacity = units::mbps(20);
   const FifoMuxServer mux("port", port, std::make_shared<ZeroEnvelope>());
 
-  Seconds prev_shaping = -1.0;
-  Seconds prev_port = 1e9;
-  for (Bits sigma : {100000.0, 50000.0, 20000.0, 5000.0}) {
+  Seconds prev_shaping{-1.0};
+  Seconds prev_port{1e9};
+  for (Bits sigma :
+       {Bits{100000.0}, Bits{50000.0}, Bits{20000.0}, Bits{5000.0}}) {
     RegulatorParams p{.sigma = sigma, .rho = units::mbps(4)};
     RegulatorServer reg("shaper", p);
     const auto shaped = reg.analyze(input);
     ASSERT_TRUE(shaped.has_value()) << sigma;
     const auto port_delay = mux.queueing_delay(shaped->output);
     ASSERT_TRUE(port_delay.has_value()) << sigma;
-    EXPECT_GE(shaped->worst_case_delay, prev_shaping - 1e-12) << sigma;
-    EXPECT_LE(*port_delay, prev_port + 1e-12) << sigma;
+    EXPECT_GE(shaped->worst_case_delay, prev_shaping - Seconds{1e-12}) << sigma;
+    EXPECT_LE(*port_delay, prev_port + Seconds{1e-12}) << sigma;
     prev_shaping = shaped->worst_case_delay;
     prev_port = *port_delay;
   }
 }
 
 TEST(RegulatorTest, ParameterValidation) {
-  EXPECT_THROW(RegulatorServer("r", {.sigma = -1.0, .rho = 1.0}),
+  EXPECT_THROW(RegulatorServer("r", {.sigma = Bits{-1.0}, .rho = BitsPerSecond{1.0}}),
                std::logic_error);
-  EXPECT_THROW(RegulatorServer("r", {.sigma = 0.0, .rho = 0.0}),
+  EXPECT_THROW(RegulatorServer("r", {.sigma = Bits{}, .rho = BitsPerSecond{}}),
                std::logic_error);
 }
 

@@ -33,29 +33,29 @@ struct MacCase {
 
 const MacCase kMacCases[] = {
     {"small_periodic", units::ms(8), units::ms(1),
-     [] { return std::make_shared<PeriodicEnvelope>(50000.0, units::ms(50)); }},
+     [] { return std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::ms(50)); }},
     {"multi_visit_burst", units::ms(8), units::ms(1),
      [] {
-       return std::make_shared<PeriodicEnvelope>(250000.0, units::ms(80));
+       return std::make_shared<PeriodicEnvelope>(Bits{250000.0}, units::ms(80));
      }},
     {"dual_periodic", units::ms(8), units::ms(2),
      [] {
        return std::make_shared<DualPeriodicEnvelope>(
-           500000.0, units::ms(100), 100000.0, units::ms(20));
+           Bits{500000.0}, units::ms(100), Bits{100000.0}, units::ms(20));
      }},
     {"peak_limited", units::ms(8), units::ms(1),
      [] {
        return std::make_shared<DualPeriodicEnvelope>(
-           300000.0, units::ms(100), 50000.0, units::ms(10),
+           Bits{300000.0}, units::ms(100), Bits{50000.0}, units::ms(10),
            units::mbps(100));
      }},
     {"leaky_bucket", units::ms(4), units::ms(1),
      [] {
-       return std::make_shared<LeakyBucketEnvelope>(80000.0, units::mbps(10));
+       return std::make_shared<LeakyBucketEnvelope>(Bits{80000.0}, units::mbps(10));
      }},
     {"tight_ttrt", units::ms(16), units::ms(4),
      [] {
-       return std::make_shared<PeriodicEnvelope>(400000.0, units::ms(60));
+       return std::make_shared<PeriodicEnvelope>(Bits{400000.0}, units::ms(60));
      }},
 };
 
@@ -76,18 +76,19 @@ TEST_P(MacReferenceTest, DelayDominatesDenseGridSupremum) {
   //   min{ d : avail(t+d) >= A(t) }  with  avail from the same server.
   const Bits per_visit = c.h * params.ring_rate;
   const Seconds t_end = 64 * c.ttrt;
-  double chi_ref = 0.0;
-  for (double t = 1e-7; t < t_end; t += c.ttrt / 97.0) {
+  Seconds chi_ref;
+  for (Seconds t{1e-7}; t < t_end; t += c.ttrt / 97.0) {
     const Bits backlog = env->bits(t);
     if (backlog <= 0) continue;
     const double visits_needed = std::ceil(backlog / per_visit - 1e-9);
     const Seconds service_at = (visits_needed + 1.0) * c.ttrt;
     chi_ref = std::max(chi_ref, service_at - t);
   }
-  EXPECT_GE(result->worst_case_delay, chi_ref - 1e-9) << "unsound bound";
+  EXPECT_GE(result->worst_case_delay, chi_ref - Seconds{1e-9})
+      << "unsound bound";
   // The exact computation should not exceed the reference by more than one
   // rotation (grid quantization slack).
-  EXPECT_LE(result->worst_case_delay, chi_ref + c.ttrt + 1e-9);
+  EXPECT_LE(result->worst_case_delay, chi_ref + c.ttrt + Seconds{1e-9});
 }
 
 TEST_P(MacReferenceTest, BufferDominatesDenseGridSupremum) {
@@ -101,11 +102,13 @@ TEST_P(MacReferenceTest, BufferDominatesDenseGridSupremum) {
   const auto result = server.analyze(env);
   ASSERT_TRUE(result.has_value());
 
-  double f_ref = 0.0;
-  for (double t = 1e-7; t < 64 * c.ttrt; t += c.ttrt / 101.0) {
+  Bits f_ref;
+  const Seconds t_end = 64 * c.ttrt;
+  for (Seconds t{1e-7}; t < t_end; t += c.ttrt / 101.0) {
     f_ref = std::max(f_ref, env->bits(t) - server.avail(t));
   }
-  EXPECT_GE(result->buffer_required, f_ref - 1e-6) << "unsound buffer bound";
+  EXPECT_GE(result->buffer_required, f_ref - Bits{1e-6})
+      << "unsound buffer bound";
 }
 
 TEST_P(MacReferenceTest, OutputDominatesDepartureProcess) {
@@ -122,13 +125,16 @@ TEST_P(MacReferenceTest, OutputDominatesDepartureProcess) {
   const auto result = server.analyze(env);
   ASSERT_TRUE(result.has_value());
 
-  for (double interval : {0.0, 0.001, 0.004, 0.016, 0.05}) {
-    double ref = env->bits(interval);  // t = 0 term
-    for (double t = c.ttrt; t < 32 * c.ttrt; t += c.ttrt) {
+  for (Seconds interval :
+       {Seconds{}, Seconds{0.001}, Seconds{0.004}, Seconds{0.016},
+        Seconds{0.05}}) {
+    Bits ref = env->bits(interval);  // t = 0 term
+    const Seconds t_end = 32 * c.ttrt;
+    for (Seconds t = c.ttrt; t < t_end; t += c.ttrt) {
       ref = std::max(ref, env->bits(t + interval) - server.avail_left(t));
     }
-    ref = std::max(0.0, std::min(ref, params.ring_rate * interval));
-    EXPECT_GE(result->output->bits(interval), ref - 1e-6)
+    ref = std::max(Bits{}, std::min(ref, params.ring_rate * interval));
+    EXPECT_GE(result->output->bits(interval), ref - Bits{1e-6})
         << "I=" << interval;
   }
 }
@@ -147,22 +153,22 @@ const MuxCase kMuxCases[] = {
     {"two_buckets", units::mbps(100),
      [] {
        return std::vector<EnvelopePtr>{
-           std::make_shared<LeakyBucketEnvelope>(50000.0, units::mbps(20)),
-           std::make_shared<LeakyBucketEnvelope>(30000.0, units::mbps(30))};
+           std::make_shared<LeakyBucketEnvelope>(Bits{50000.0}, units::mbps(20)),
+           std::make_shared<LeakyBucketEnvelope>(Bits{30000.0}, units::mbps(30))};
      }},
     {"periodic_pair", units::mbps(140),
      [] {
        return std::vector<EnvelopePtr>{
-           std::make_shared<PeriodicEnvelope>(100000.0, units::ms(20)),
-           std::make_shared<PeriodicEnvelope>(80000.0, units::ms(15))};
+           std::make_shared<PeriodicEnvelope>(Bits{100000.0}, units::ms(20)),
+           std::make_shared<PeriodicEnvelope>(Bits{80000.0}, units::ms(15))};
      }},
     {"mixed_three", units::mbps(140),
      [] {
        return std::vector<EnvelopePtr>{
-           std::make_shared<DualPeriodicEnvelope>(300000.0, units::ms(100),
-                                                  60000.0, units::ms(10)),
-           std::make_shared<PeriodicEnvelope>(50000.0, units::ms(25)),
-           std::make_shared<LeakyBucketEnvelope>(20000.0, units::mbps(5))};
+           std::make_shared<DualPeriodicEnvelope>(
+               Bits{300000.0}, units::ms(100), Bits{60000.0}, units::ms(10)),
+           std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::ms(25)),
+           std::make_shared<LeakyBucketEnvelope>(Bits{20000.0}, units::mbps(5))};
      }},
 };
 
@@ -179,12 +185,12 @@ TEST_P(MuxReferenceTest, DelayDominatesDenseGridSupremum) {
   const auto d = server.queueing_delay(total);
   ASSERT_TRUE(d.has_value());
 
-  double ref = 0.0;
-  for (double t = 1e-7; t < 0.2; t += 3.1e-5) {
+  Seconds ref;
+  for (Seconds t{1e-7}; t < 0.2; t += Seconds{3.1e-5}) {
     ref = std::max(ref, total->bits(t) / c.capacity - t);
   }
-  EXPECT_GE(*d, ref - 1e-9) << "unsound mux bound";
-  EXPECT_LE(*d, ref + 1e-3) << "mux bound far above the reference";
+  EXPECT_GE(*d, ref - Seconds{1e-9}) << "unsound mux bound";
+  EXPECT_LE(*d, ref + Seconds{1e-3}) << "mux bound far above the reference";
 }
 
 TEST_P(MuxReferenceTest, BacklogDominatesDenseGridSupremum) {
@@ -198,11 +204,11 @@ TEST_P(MuxReferenceTest, BacklogDominatesDenseGridSupremum) {
   const auto result = server.analyze(total);
   ASSERT_TRUE(result.has_value());
 
-  double ref = 0.0;
-  for (double t = 1e-7; t < 0.2; t += 2.9e-5) {
+  Bits ref;
+  for (Seconds t{1e-7}; t < 0.2; t += Seconds{2.9e-5}) {
     ref = std::max(ref, total->bits(t) - c.capacity * t);
   }
-  EXPECT_GE(result->buffer_required, ref - 1e-6);
+  EXPECT_GE(result->buffer_required, ref - Bits{1e-6});
 }
 
 INSTANTIATE_TEST_SUITE_P(FifoPorts, MuxReferenceTest,

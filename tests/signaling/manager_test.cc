@@ -17,7 +17,7 @@ TEST(ConnectionManagerTest, SetupEstablishesAndRecordsLatency) {
   ConnectionManager manager(&topo, core::CacConfig{});
   const auto spec =
       make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(150));
-  manager.request_setup(spec, 0.0);
+  manager.request_setup(spec, Seconds{0.0});
   const auto records = manager.run();
   ASSERT_EQ(records.size(), 1u);
   EXPECT_TRUE(records[0].admitted);
@@ -34,7 +34,7 @@ TEST(ConnectionManagerTest, RejectedSetupLeavesNoState) {
   ConnectionManager manager(&topo, core::CacConfig{});
   const auto spec =
       make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(1));
-  manager.request_setup(spec, 0.0);
+  manager.request_setup(spec, Seconds{0.0});
   const auto records = manager.run();
   ASSERT_EQ(records.size(), 1u);
   EXPECT_FALSE(records[0].admitted);
@@ -48,12 +48,12 @@ TEST(ConnectionManagerTest, ReleaseReturnsBandwidthAfterPropagation) {
   ConnectionManager manager(&topo, core::CacConfig{});
   const auto spec =
       make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(150));
-  manager.request_setup(spec, 0.0);
-  manager.request_release(1, 1.0);
+  manager.request_setup(spec, Seconds{0.0});
+  manager.request_release(1, Seconds{1.0});
   manager.run();
   EXPECT_FALSE(manager.known(1));
   EXPECT_EQ(manager.cac().active_count(), 0u);
-  EXPECT_DOUBLE_EQ(manager.cac().ledger(0).allocated(), 0.0);
+  EXPECT_DOUBLE_EQ(val(manager.cac().ledger(0).allocated()), 0.0);
 }
 
 TEST(ConnectionManagerTest, BandwidthChargedBeforeConnectArrives) {
@@ -65,7 +65,7 @@ TEST(ConnectionManagerTest, BandwidthChargedBeforeConnectArrives) {
   ConnectionManager manager(&topo, core::CacConfig{}, params);
   const auto a = make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(150));
   const auto b = make_spec(2, {0, 1}, {1, 1}, video_source(), units::ms(150));
-  manager.request_setup(a, 0.0);
+  manager.request_setup(a, Seconds{0.0});
   // b's SETUP leaves while a's CONNECT is still in flight.
   manager.request_setup(b, units::ms(3.5));
   std::vector<SetupRecord> records = manager.run();
@@ -73,8 +73,8 @@ TEST(ConnectionManagerTest, BandwidthChargedBeforeConnectArrives) {
   EXPECT_TRUE(records[0].admitted);
   EXPECT_TRUE(records[1].admitted);
   // Both grants coexist in the ledgers — no double-sold bandwidth.
-  EXPECT_NEAR(manager.cac().ledger(0).allocated(),
-              records[0].granted.h_s + records[1].granted.h_s, 1e-12);
+  EXPECT_NEAR(val(manager.cac().ledger(0).allocated()),
+              val(records[0].granted.h_s + records[1].granted.h_s), 1e-12);
 }
 
 TEST(ConnectionManagerTest, CompletionCallbackFires) {
@@ -83,11 +83,11 @@ TEST(ConnectionManagerTest, CompletionCallbackFires) {
   const auto spec =
       make_spec(1, {2, 0}, {0, 2}, sensor_source(), units::ms(100));
   int callbacks = 0;
-  manager.request_setup(spec, 0.5, [&](const SetupRecord& record) {
+  manager.request_setup(spec, Seconds{0.5}, [&](const SetupRecord& record) {
     ++callbacks;
     EXPECT_EQ(record.id, 1u);
     EXPECT_TRUE(record.admitted);
-    EXPECT_DOUBLE_EQ(record.requested_at, 0.5);
+    EXPECT_DOUBLE_EQ(record.requested_at.value(), 0.5);
   });
   manager.run();
   EXPECT_EQ(callbacks, 1);
@@ -100,8 +100,8 @@ TEST(ConnectionManagerTest, IntraRingSetupHasShorterPath) {
       make_spec(1, {0, 0}, {0, 1}, sensor_source(), units::ms(100));
   const auto remote =
       make_spec(2, {1, 0}, {2, 1}, sensor_source(), units::ms(100));
-  manager.request_setup(local, 0.0);
-  manager.request_setup(remote, 0.0);
+  manager.request_setup(local, Seconds{0.0});
+  manager.request_setup(remote, Seconds{0.0});
   const auto records = manager.run();
   ASSERT_EQ(records.size(), 2u);
   EXPECT_TRUE(records[0].admitted && records[1].admitted);
@@ -113,7 +113,7 @@ TEST(ConnectionManagerTest, InvalidTransitionsCaught) {
   ConnectionManager manager(&topo, core::CacConfig{});
   // RELEASE of an unknown connection trips the state machine check once the
   // calendar reaches it.
-  manager.request_release(99, 0.0);
+  manager.request_release(99, Seconds{0.0});
   EXPECT_THROW(manager.run(), std::logic_error);
 }
 
@@ -124,14 +124,14 @@ TEST(ConnectionManagerTest, ChurnSequenceKeepsLedgersExact) {
     const auto spec = make_spec(static_cast<net::ConnectionId>(i + 1),
                                 {i % 3, i % 4}, {(i + 1) % 3, i % 4},
                                 sensor_source(), units::ms(100));
-    manager.request_setup(spec, 0.1 * i);
+    manager.request_setup(spec, Seconds{0.1 * i});
     manager.request_release(static_cast<net::ConnectionId>(i + 1),
-                            2.0 + 0.1 * i);
+                            Seconds{2.0 + 0.1 * i});
   }
   const auto records = manager.run();
   EXPECT_EQ(records.size(), 6u);
   for (int r = 0; r < 3; ++r) {
-    EXPECT_DOUBLE_EQ(manager.cac().ledger(r).allocated(), 0.0);
+    EXPECT_DOUBLE_EQ(val(manager.cac().ledger(r).allocated()), 0.0);
   }
 }
 

@@ -10,20 +10,20 @@ namespace {
 TEST(EventQueueTest, RunsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule_at(3.0, [&] { order.push_back(3); });
-  q.schedule_at(1.0, [&] { order.push_back(1); });
-  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.schedule_at(Seconds{3.0}, [&] { order.push_back(3); });
+  q.schedule_at(Seconds{1.0}, [&] { order.push_back(1); });
+  q.schedule_at(Seconds{2.0}, [&] { order.push_back(2); });
   EXPECT_EQ(q.run(), 3u);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_DOUBLE_EQ(val(q.now()), 3.0);
 }
 
 TEST(EventQueueTest, TiesBreakByInsertionOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule_at(1.0, [&] { order.push_back(1); });
-  q.schedule_at(1.0, [&] { order.push_back(2); });
-  q.schedule_at(1.0, [&] { order.push_back(3); });
+  q.schedule_at(Seconds{1.0}, [&] { order.push_back(1); });
+  q.schedule_at(Seconds{1.0}, [&] { order.push_back(2); });
+  q.schedule_at(Seconds{1.0}, [&] { order.push_back(3); });
   q.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -33,22 +33,22 @@ TEST(EventQueueTest, CallbacksMayScheduleMore) {
   int fired = 0;
   std::function<void()> chain = [&] {
     ++fired;
-    if (fired < 5) q.schedule_in(1.0, chain);
+    if (fired < 5) q.schedule_in(Seconds{1.0}, chain);
   };
-  q.schedule_at(0.0, chain);
+  q.schedule_at(Seconds{0.0}, chain);
   EXPECT_EQ(q.run(), 5u);
   EXPECT_EQ(fired, 5);
-  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+  EXPECT_DOUBLE_EQ(val(q.now()), 4.0);
 }
 
 TEST(EventQueueTest, RunUntilStopsEarly) {
   EventQueue q;
   int fired = 0;
-  q.schedule_at(1.0, [&] { ++fired; });
-  q.schedule_at(5.0, [&] { ++fired; });
-  EXPECT_EQ(q.run(2.0), 1u);
+  q.schedule_at(Seconds{1.0}, [&] { ++fired; });
+  q.schedule_at(Seconds{5.0}, [&] { ++fired; });
+  EXPECT_EQ(q.run(Seconds{2.0}), 1u);
   EXPECT_EQ(fired, 1);
-  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_DOUBLE_EQ(val(q.now()), 2.0);
   EXPECT_EQ(q.pending(), 1u);
   q.run();
   EXPECT_EQ(fired, 2);
@@ -56,33 +56,33 @@ TEST(EventQueueTest, RunUntilStopsEarly) {
 
 TEST(EventQueueTest, SchedulingInPastRejected) {
   EventQueue q;
-  q.schedule_at(2.0, [] {});
+  q.schedule_at(Seconds{2.0}, [] {});
   q.run();
-  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::logic_error);
-  EXPECT_THROW(q.schedule_in(-1.0, [] {}), std::logic_error);
+  EXPECT_THROW(q.schedule_at(Seconds{1.0}, [] {}), std::logic_error);
+  EXPECT_THROW(q.schedule_in(Seconds{-1.0}, [] {}), std::logic_error);
 }
 
 TEST(EventQueueTest, ScheduleInIsRelative) {
   EventQueue q;
-  Seconds seen = -1.0;
-  q.schedule_at(2.0, [&] {
-    q.schedule_in(3.0, [&] { seen = q.now(); });
+  Seconds seen{-1.0};
+  q.schedule_at(Seconds{2.0}, [&] {
+    q.schedule_in(Seconds{3.0}, [&] { seen = q.now(); });
   });
   q.run();
-  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(val(seen), 5.0);
 }
 
 TEST(EventQueueTest, EmptyAccessors) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.run(), 0u);
-  q.schedule_at(1.0, [] {});
+  q.schedule_at(Seconds{1.0}, [] {});
   EXPECT_FALSE(q.empty());
 }
 
 TEST(EventQueueTest, NullCallbackRejected) {
   EventQueue q;
-  EXPECT_THROW(q.schedule_at(1.0, nullptr), std::logic_error);
+  EXPECT_THROW(q.schedule_at(Seconds{1.0}, nullptr), std::logic_error);
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ std::vector<core::ConnectionInstance> one_video_connection() {
 TEST(PacketSimTest, DeliversAllMessages) {
   const auto topo = paper_topology();
   PacketSimConfig cfg;
-  cfg.duration = 1.0;
+  cfg.duration = Seconds{1.0};
   const auto result = run_packet_simulation(topo, one_video_connection(), cfg);
   ASSERT_EQ(result.connections.size(), 1u);
   const auto& trace = result.connections[0];
@@ -39,10 +39,10 @@ TEST(PacketSimTest, DelaysAreBoundedByAnalysis) {
   const auto set = one_video_connection();
   const core::DelayAnalyzer analyzer(&topo);
   const Seconds bound = analyzer.analyze(set)[0];
-  ASSERT_TRUE(std::isfinite(bound));
+  ASSERT_TRUE(isfinite(bound));
 
   PacketSimConfig cfg;
-  cfg.duration = 2.0;
+  cfg.duration = Seconds{2.0};
   cfg.randomize_phases = false;
   cfg.async_fill = 0.9;  // adversarial rotations
   const auto result = run_packet_simulation(topo, set, cfg);
@@ -73,7 +73,7 @@ TEST(PacketSimTest, AdmittedSetRespectsBoundsUnderAdversarialSettings) {
   const auto bounds = cac.analyzer().analyze(set);
 
   PacketSimConfig cfg;
-  cfg.duration = 2.0;
+  cfg.duration = Seconds{2.0};
   cfg.randomize_phases = false;
   cfg.async_fill = 0.9;
   const auto result = run_packet_simulation(topo, set, cfg);
@@ -89,7 +89,7 @@ TEST(PacketSimTest, AsyncFillSlowsDelivery) {
   const auto topo = paper_topology();
   const auto set = one_video_connection();
   PacketSimConfig fast;
-  fast.duration = 1.0;
+  fast.duration = Seconds{1.0};
   PacketSimConfig slow = fast;
   slow.async_fill = 0.9;
   const auto r_fast = run_packet_simulation(topo, set, fast);
@@ -102,7 +102,7 @@ TEST(PacketSimTest, DeterministicForFixedSeed) {
   const auto topo = paper_topology();
   const auto set = one_video_connection();
   PacketSimConfig cfg;
-  cfg.duration = 0.7;
+  cfg.duration = Seconds{0.7};
   const auto a = run_packet_simulation(topo, set, cfg);
   const auto b = run_packet_simulation(topo, set, cfg);
   EXPECT_EQ(a.events_executed, b.events_executed);
@@ -130,7 +130,7 @@ TEST(PacketSimTest, ConvergingFlowsBuildPortBacklog) {
                                   units::ms(150)),
                         alloc});
   PacketSimConfig cfg;
-  cfg.duration = 1.0;
+  cfg.duration = Seconds{1.0};
   cfg.randomize_phases = false;  // aligned bursts collide at the downlink
   const auto r1 = run_packet_simulation(topo, one, cfg);
   const auto r3 = run_packet_simulation(topo, converging, cfg);
@@ -156,7 +156,7 @@ TEST(PacketSimTest, TokenRotationNeverExceedsTtrt) {
   }
   ASSERT_FALSE(set.empty());
   PacketSimConfig cfg;
-  cfg.duration = 2.0;
+  cfg.duration = Seconds{2.0};
   cfg.randomize_phases = false;
   cfg.async_fill = 0.9;
   const auto result = run_packet_simulation(topo, set, cfg);
@@ -168,7 +168,7 @@ TEST(PacketSimTest, TokenRotationNeverExceedsTtrt) {
 TEST(PacketSimTest, RejectsNonGeneratorSources) {
   const auto topo = paper_topology();
   auto spec = make_spec(1, {0, 0}, {1, 0},
-                        std::make_shared<LeakyBucketEnvelope>(1000.0, 1e6),
+                        std::make_shared<LeakyBucketEnvelope>(Bits{1000.0}, BitsPerSecond{1e6}),
                         units::ms(150));
   std::vector<core::ConnectionInstance> set = {
       {spec, {units::ms(2), units::ms(2)}}};
@@ -179,7 +179,7 @@ TEST(PacketSimTest, RejectsNonGeneratorSources) {
 TEST(PacketSimTest, RejectsUnallocatedConnections) {
   const auto topo = paper_topology();
   auto set = one_video_connection();
-  set[0].alloc.h_s = 0.0;
+  set[0].alloc.h_s = Seconds{};
   PacketSimConfig cfg;
   EXPECT_THROW(run_packet_simulation(topo, set, cfg), std::logic_error);
 }

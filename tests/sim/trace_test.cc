@@ -13,15 +13,15 @@ TEST(TraceTest, ParseRoundTrip) {
   std::vector<TraceRequest> trace;
   for (int i = 0; i < 5; ++i) {
     TraceRequest r;
-    r.arrival = 0.5 * i;
+    r.arrival = Seconds{0.5 * i};
     r.src_host = i % 12;
     r.dst_host = (i + 4) % 12;
-    r.c1 = 500000.0;
-    r.p1 = 0.1;
-    r.c2 = 50000.0;
-    r.p2 = 0.01;
-    r.deadline = 0.08;
-    r.lifetime = 10.0 + i;
+    r.c1 = Bits{500000.0};
+    r.p1 = Seconds{0.1};
+    r.c2 = Bits{50000.0};
+    r.p2 = Seconds{0.01};
+    r.deadline = Seconds{0.08};
+    r.lifetime = Seconds{10.0 + i};
     trace.push_back(r);
   }
   std::stringstream buffer;
@@ -29,10 +29,10 @@ TEST(TraceTest, ParseRoundTrip) {
   const auto parsed = parse_trace(buffer);
   ASSERT_EQ(parsed.size(), trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    EXPECT_DOUBLE_EQ(parsed[i].arrival, trace[i].arrival);
+    EXPECT_DOUBLE_EQ(val(parsed[i].arrival), val(trace[i].arrival));
     EXPECT_EQ(parsed[i].src_host, trace[i].src_host);
     EXPECT_EQ(parsed[i].dst_host, trace[i].dst_host);
-    EXPECT_DOUBLE_EQ(parsed[i].lifetime, trace[i].lifetime);
+    EXPECT_DOUBLE_EQ(val(parsed[i].lifetime), val(trace[i].lifetime));
   }
 }
 
@@ -45,7 +45,7 @@ TEST(TraceTest, ParserSkipsCommentsAndHeader) {
       "1.0,0,4,500000,0.1,50000,0.01,0.08,12.5\n");
   const auto trace = parse_trace(in);
   ASSERT_EQ(trace.size(), 1u);
-  EXPECT_DOUBLE_EQ(trace[0].arrival, 1.0);
+  EXPECT_DOUBLE_EQ(trace[0].arrival.value(), 1.0);
   EXPECT_EQ(trace[0].dst_host, 4);
 }
 
@@ -68,11 +68,11 @@ TEST(TraceTest, SynthesizedTraceMatchesWorkloadShape) {
   w.lambda = 2.0;
   const auto trace = synthesize_trace(w, topo);
   ASSERT_EQ(trace.size(), 110u);
-  double prev = 0.0;
+  Seconds prev;
   RunningStats gaps;
   for (const auto& r : trace) {
     EXPECT_GE(r.arrival, prev);
-    gaps.add(r.arrival - prev);
+    gaps.add(val(r.arrival - prev));
     prev = r.arrival;
     EXPECT_GE(r.src_host, 0);
     EXPECT_LT(r.src_host, 12);
@@ -138,15 +138,15 @@ TEST(TraceTest, RoundTripThroughTextPreservesReplay) {
 TEST(TraceTest, OutOfRangeHostRejected) {
   const auto topo = hetnet::testing::paper_topology();
   TraceRequest r;
-  r.arrival = 0.0;
+  r.arrival = Seconds{};
   r.src_host = 99;
   r.dst_host = 0;
-  r.c1 = 1000.0;
-  r.p1 = 0.1;
-  r.c2 = 1000.0;
-  r.p2 = 0.1;
-  r.deadline = 0.1;
-  r.lifetime = 1.0;
+  r.c1 = Bits{1000.0};
+  r.p1 = Seconds{0.1};
+  r.c2 = Bits{1000.0};
+  r.p2 = Seconds{0.1};
+  r.deadline = Seconds{0.1};
+  r.lifetime = Seconds{1.0};
   core::CacConfig cfg;
   EXPECT_THROW(run_trace_simulation(topo, cfg, {r}), std::logic_error);
 }

@@ -25,7 +25,7 @@ TEST(WorkloadTest, UtilizationConversionsRoundTrip) {
 
 TEST(WorkloadTest, SourceRateIsC1OverP1) {
   WorkloadParams w = quick_workload();
-  EXPECT_DOUBLE_EQ(source_rate(w), w.c1 / w.p1);
+  EXPECT_DOUBLE_EQ(val(source_rate(w)), val(w.c1 / w.p1));
 }
 
 TEST(WorkloadTest, SimulationIsReproducible) {

@@ -21,94 +21,95 @@ TokenRingParams ring16() { return TokenRingParams{}; }  // 16 Mb/s
 TEST(TokenRingTest, WorstCycleSumsFrameTimes) {
   const TokenRingParams ring = ring16();
   // Two stations with 4000-bit frames: walk + 2·(4000+168)/16e6.
-  const Seconds cycle = worst_cycle(ring, {4000.0, 4000.0});
-  EXPECT_NEAR(cycle, units::us(30) + 2 * 4168.0 / 16e6, 1e-12);
+  const Seconds cycle = worst_cycle(ring, {Bits{4000.0}, Bits{4000.0}});
+  EXPECT_NEAR(val(cycle), val(units::us(30)) + 2 * 4168.0 / 16e6, 1e-12);
 }
 
 TEST(TokenRingTest, EffectiveRateDiscountsOverhead) {
   const TokenRingParams ring = ring16();
-  const double rate = effective_payload_rate(ring, 4000.0);
-  EXPECT_NEAR(rate, 16e6 * 4000.0 / 4168.0, 1.0);
+  const BitsPerSecond rate = effective_payload_rate(ring, Bits{4000.0});
+  EXPECT_NEAR(val(rate), 16e6 * 4000.0 / 4168.0, 1.0);
   EXPECT_LT(rate, ring.ring_rate);
 }
 
 TEST(TokenRingTest, SmallMessageDelayIsTwoCycles) {
   // One frame per visit, message fits in one frame: the 2·T_cycle classic.
   const TokenRingParams ring = ring16();
-  const Seconds cycle = worst_cycle(ring, {4000.0, 4000.0, 4000.0});
-  TokenRingMacServer mac("802.5_MAC", ring, 4000.0, cycle);
-  auto msg = std::make_shared<PeriodicEnvelope>(4000.0, units::sec(1));
+  const Seconds cycle =
+      worst_cycle(ring, {Bits{4000.0}, Bits{4000.0}, Bits{4000.0}});
+  TokenRingMacServer mac("802.5_MAC", ring, Bits{4000.0}, cycle);
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{4000.0}, units::sec(1));
   const auto result = mac.analyze(msg);
   ASSERT_TRUE(result.has_value());
-  EXPECT_NEAR(result->worst_case_delay, 2 * cycle, 1e-9);
+  EXPECT_NEAR(val(result->worst_case_delay), val(2 * cycle), 1e-9);
 }
 
 TEST(TokenRingTest, MultiFrameMessageDelay) {
   const TokenRingParams ring = ring16();
-  const Seconds cycle = worst_cycle(ring, {4000.0, 4000.0});
-  TokenRingMacServer mac("802.5_MAC", ring, 4000.0, cycle);
+  const Seconds cycle = worst_cycle(ring, {Bits{4000.0}, Bits{4000.0}});
+  TokenRingMacServer mac("802.5_MAC", ring, Bits{4000.0}, cycle);
   // Three frames' worth: (3 + 1)·cycle.
-  auto msg = std::make_shared<PeriodicEnvelope>(12000.0, units::sec(1));
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{12000.0}, units::sec(1));
   const auto result = mac.analyze(msg);
   ASSERT_TRUE(result.has_value());
-  EXPECT_NEAR(result->worst_case_delay, 4 * cycle, 1e-9);
+  EXPECT_NEAR(val(result->worst_case_delay), val(4 * cycle), 1e-9);
 }
 
 TEST(TokenRingTest, GuaranteedRateIsFramePerCycle) {
   const TokenRingParams ring = ring16();
-  const Seconds cycle = worst_cycle(ring, {4000.0, 4000.0});
-  TokenRingMacServer mac("802.5_MAC", ring, 4000.0, cycle);
-  EXPECT_NEAR(mac.guaranteed_rate(), 4000.0 / cycle, 1e-6);
+  const Seconds cycle = worst_cycle(ring, {Bits{4000.0}, Bits{4000.0}});
+  TokenRingMacServer mac("802.5_MAC", ring, Bits{4000.0}, cycle);
+  EXPECT_NEAR(val(mac.guaranteed_rate()), val(Bits{4000.0} / cycle), 1e-6);
 }
 
 TEST(TokenRingTest, OverloadedStationUnbounded) {
   const TokenRingParams ring = ring16();
-  const Seconds cycle = worst_cycle(ring, {4000.0, 4000.0});
-  TokenRingMacServer mac("802.5_MAC", ring, 4000.0, cycle);
+  const Seconds cycle = worst_cycle(ring, {Bits{4000.0}, Bits{4000.0}});
+  TokenRingMacServer mac("802.5_MAC", ring, Bits{4000.0}, cycle);
   // Arrival rate above one frame per cycle.
   auto msg = std::make_shared<LeakyBucketEnvelope>(
-      0.0, 2.0 * 4000.0 / cycle);
+      Bits{}, 2.0 * Bits{4000.0} / cycle);
   EXPECT_FALSE(mac.analyze(msg).has_value());
 }
 
 TEST(TokenRingTest, FrameMustFitCycle) {
   const TokenRingParams ring = ring16();
-  EXPECT_THROW(TokenRingMacServer("m", ring, 4000.0, units::us(1)),
+  EXPECT_THROW(TokenRingMacServer("m", ring, Bits{4000.0}, units::us(1)),
                std::logic_error);
-  EXPECT_THROW(worst_cycle(ring, {0.0}), std::logic_error);
+  EXPECT_THROW(worst_cycle(ring, {Bits{}}), std::logic_error);
 }
 
 // The promised heterogeneous extension: an 802.5 → ATM → 802.5 path built
 // from the same server vocabulary, analyzed end to end.
 TEST(TokenRingTest, TokenRingAtmTokenRingChain) {
   const TokenRingParams ring = ring16();
-  const Bits frame = 4000.0;
+  const Bits frame{4000.0};
   const Seconds cycle = worst_cycle(ring, {frame, frame, frame, frame});
 
   FifoMuxParams port;
   port.capacity = units::mbps(155) * 48.0 / 53.0;
-  port.non_preemption = 424.0 / units::mbps(155);
-  port.cell_bits = 384.0;
+  port.non_preemption = Bits{424.0} / units::mbps(155);
+  port.cell_bits = Bits{384.0};
 
   ServerChain chain;
   chain.append(std::make_shared<TokenRingMacServer>("802.5_S.MAC", ring,
                                                     frame, cycle));
   chain.append(std::make_shared<ConstantDelayServer>("Delay_Line",
                                                      units::us(30)));
-  chain.append(make_frame_to_cell_server("ID_S.Frame_Cell", frame, 384.0,
-                                         384.0, units::us(50)));
+  chain.append(make_frame_to_cell_server("ID_S.Frame_Cell", frame, Bits{384.0},
+                                         Bits{384.0}, units::us(50)));
   chain.append(std::make_shared<FifoMuxServer>(
       "ATM.Port", port, std::make_shared<ZeroEnvelope>()));
-  chain.append(make_cell_to_frame_server("ID_R.Cell_Frame", frame, 384.0,
-                                         384.0, units::us(50)));
+  chain.append(make_cell_to_frame_server("ID_R.Cell_Frame", frame, Bits{384.0},
+                                         Bits{384.0}, units::us(50)));
   chain.append(std::make_shared<TokenRingMacServer>("802.5_R.MAC", ring,
                                                     frame, cycle));
 
   // A 200 kb/s periodic source: one ~2 kbit sample per 10 ms.
-  auto src = std::make_shared<PeriodicEnvelope>(2000.0, units::ms(10));
+  auto src = std::make_shared<PeriodicEnvelope>(Bits{2000.0}, units::ms(10));
   const auto result = chain.analyze(src);
   ASSERT_TRUE(result.has_value());
-  EXPECT_GT(result->total_delay, 4 * cycle - 1e-9);  // 2 MACs × 2 cycles
+  EXPECT_GT(result->total_delay, 4 * cycle - Seconds{1e-9});  // 2 MACs × 2 cycles
   EXPECT_LT(result->total_delay, units::ms(50));
   EXPECT_EQ(result->stages.size(), 6u);
 }
@@ -119,14 +120,15 @@ TEST(TokenRingTest, SparseMessageDelayMatchesClosedForm) {
   // frames do NOT always help, because every station's reservation also
   // stretches the cycle.
   const TokenRingParams ring = ring16();
-  auto msg = std::make_shared<PeriodicEnvelope>(16000.0, units::ms(100));
-  for (Bits frame : {2000.0, 4000.0, 8000.0, 16000.0}) {
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{16000.0}, units::ms(100));
+  for (Bits frame : {Bits{2000.0}, Bits{4000.0}, Bits{8000.0}, Bits{16000.0}}) {
     const Seconds cycle = worst_cycle(ring, {frame, frame});
     TokenRingMacServer mac("m", ring, frame, cycle);
     const auto result = mac.analyze(msg);
     ASSERT_TRUE(result.has_value()) << frame;
-    const double frames_needed = std::ceil(16000.0 / frame);
-    EXPECT_NEAR(result->worst_case_delay, (frames_needed + 1) * cycle, 1e-9)
+    const double frames_needed = std::ceil(val(Bits{16000.0} / frame));
+    EXPECT_NEAR(val(result->worst_case_delay), val((frames_needed + 1) * cycle),
+                1e-9)
         << frame;
   }
 }

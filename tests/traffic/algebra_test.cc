@@ -19,31 +19,31 @@ EnvelopePtr bucket(Bits sigma, BitsPerSecond rho) {
 }
 
 TEST(SumEnvelopeTest, AddsBitsAndRates) {
-  auto s = sum_envelopes({bucket(100.0, 10.0), bucket(50.0, 5.0)});
-  EXPECT_DOUBLE_EQ(s->bits(2.0), 150.0 + 30.0);
-  EXPECT_DOUBLE_EQ(s->long_term_rate(), 15.0);
-  EXPECT_DOUBLE_EQ(s->burst_bound(), 150.0);
+  auto s = sum_envelopes({bucket(Bits{100.0}, BitsPerSecond{10.0}), bucket(Bits{50.0}, BitsPerSecond{5.0})});
+  EXPECT_DOUBLE_EQ(val(s->bits(Seconds{2.0})), 150.0 + 30.0);
+  EXPECT_DOUBLE_EQ(val(s->long_term_rate()), 15.0);
+  EXPECT_DOUBLE_EQ(val(s->burst_bound()), 150.0);
 }
 
 TEST(SumEnvelopeTest, EmptySumIsZero) {
   auto s = sum_envelopes({});
-  EXPECT_DOUBLE_EQ(s->bits(5.0), 0.0);
-  EXPECT_DOUBLE_EQ(s->long_term_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(val(s->bits(Seconds{5.0})), 0.0);
+  EXPECT_DOUBLE_EQ(val(s->long_term_rate()), 0.0);
 }
 
 TEST(SumEnvelopeTest, SingletonPassesThrough) {
-  auto b = bucket(100.0, 10.0);
+  auto b = bucket(Bits{100.0}, BitsPerSecond{10.0});
   auto s = sum_envelopes({b});
   EXPECT_EQ(s.get(), b.get());
 }
 
 TEST(SumEnvelopeTest, MergesBreakpoints) {
-  auto s = sum_envelopes({periodic(1000.0, units::ms(10)),
-                          periodic(500.0, units::ms(7))});
+  auto s = sum_envelopes({periodic(Bits{1000.0}, units::ms(10)),
+                          periodic(Bits{500.0}, units::ms(7))});
   const auto pts = s->breakpoints(units::ms(25));
   // Must include multiples of both periods.
-  auto contains = [&](double v) {
-    for (double p : pts) {
+  auto contains = [&](Seconds v) {
+    for (Seconds p : pts) {
       if (approx_eq(p, v)) return true;
     }
     return false;
@@ -56,109 +56,109 @@ TEST(SumEnvelopeTest, MergesBreakpoints) {
 }
 
 TEST(ShiftEnvelopeTest, ShiftsWindow) {
-  auto s = shift_envelope(bucket(100.0, 10.0), 2.0);
+  auto s = shift_envelope(bucket(Bits{100.0}, BitsPerSecond{10.0}), Seconds{2.0});
   // A'(I) = A(I + 2) = 100 + 10·(I + 2).
-  EXPECT_DOUBLE_EQ(s->bits(0.0), 120.0);
-  EXPECT_DOUBLE_EQ(s->bits(3.0), 150.0);
-  EXPECT_DOUBLE_EQ(s->long_term_rate(), 10.0);
-  EXPECT_DOUBLE_EQ(s->burst_bound(), 120.0);
+  EXPECT_DOUBLE_EQ(val(s->bits(Seconds{0.0})), 120.0);
+  EXPECT_DOUBLE_EQ(val(s->bits(Seconds{3.0})), 150.0);
+  EXPECT_DOUBLE_EQ(val(s->long_term_rate()), 10.0);
+  EXPECT_DOUBLE_EQ(val(s->burst_bound()), 120.0);
 }
 
 TEST(ShiftEnvelopeTest, ZeroShiftIsIdentity) {
-  auto b = bucket(100.0, 10.0);
-  EXPECT_EQ(shift_envelope(b, 0.0).get(), b.get());
+  auto b = bucket(Bits{100.0}, BitsPerSecond{10.0});
+  EXPECT_EQ(shift_envelope(b, Seconds{0.0}).get(), b.get());
 }
 
 TEST(ShiftEnvelopeTest, BreakpointsShiftLeft) {
-  auto s = shift_envelope(periodic(1000.0, units::ms(10)), units::ms(4));
+  auto s = shift_envelope(periodic(Bits{1000.0}, units::ms(10)), units::ms(4));
   const auto pts = s->breakpoints(units::ms(20));
   // Input breakpoints at 10, 20 ms map to 6, 16 ms.
   ASSERT_GE(pts.size(), 2u);
-  EXPECT_NEAR(pts[0], units::ms(6), 1e-12);
-  EXPECT_NEAR(pts[1], units::ms(16), 1e-12);
+  EXPECT_NEAR(val(pts[0]), val(units::ms(6)), 1e-12);
+  EXPECT_NEAR(val(pts[1]), val(units::ms(16)), 1e-12);
 }
 
 TEST(MinEnvelopeTest, PointwiseMin) {
-  auto m = min_envelope(bucket(1000.0, 1.0), bucket(0.0, 100.0));
+  auto m = min_envelope(bucket(Bits{1000.0}, BitsPerSecond{1.0}), bucket(Bits{0.0}, BitsPerSecond{100.0}));
   // Early: the 100 b/s line is lower; late: the 1 b/s line.
-  EXPECT_DOUBLE_EQ(m->bits(1.0), 100.0);
-  EXPECT_DOUBLE_EQ(m->bits(100.0), 1100.0);
-  EXPECT_DOUBLE_EQ(m->long_term_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(val(m->bits(Seconds{1.0})), 100.0);
+  EXPECT_DOUBLE_EQ(val(m->bits(Seconds{100.0})), 1100.0);
+  EXPECT_DOUBLE_EQ(val(m->long_term_rate()), 1.0);
 }
 
 TEST(MinEnvelopeTest, BreakpointsIncludeCrossing) {
   // Curves cross where 1000 + t = 100·t → t = 1000/99.
-  auto m = min_envelope(bucket(1000.0, 1.0), bucket(0.0, 100.0));
-  const auto pts = m->breakpoints(20.0);
+  auto m = min_envelope(bucket(Bits{1000.0}, BitsPerSecond{1.0}), bucket(Bits{0.0}, BitsPerSecond{100.0}));
+  const auto pts = m->breakpoints(Seconds{20.0});
   bool found = false;
-  for (double p : pts) {
-    if (std::abs(p - 1000.0 / 99.0) < 1e-6) found = true;
+  for (Seconds p : pts) {
+    if (abs(p - Seconds{1000.0 / 99.0}) < 1e-6) found = true;
   }
   EXPECT_TRUE(found);
 }
 
 TEST(MinEnvelopeTest, BurstBoundPairsWithSlowerOperand) {
-  auto m = min_envelope(bucket(1000.0, 1.0), bucket(5.0, 100.0));
+  auto m = min_envelope(bucket(Bits{1000.0}, BitsPerSecond{1.0}), bucket(Bits{5.0}, BitsPerSecond{100.0}));
   // ltr = 1 (first operand); its burst (1000) is the valid majorization.
-  EXPECT_DOUBLE_EQ(m->long_term_rate(), 1.0);
-  EXPECT_DOUBLE_EQ(m->burst_bound(), 1000.0);
+  EXPECT_DOUBLE_EQ(val(m->long_term_rate()), 1.0);
+  EXPECT_DOUBLE_EQ(val(m->burst_bound()), 1000.0);
 }
 
 TEST(RateCapTest, CapsEnvelope) {
-  auto capped = rate_cap(bucket(10000.0, 5.0), 100.0, 50.0);
-  EXPECT_DOUBLE_EQ(capped->bits(1.0), 150.0);  // cap active: 50 + 100·1
+  auto capped = rate_cap(bucket(Bits{10000.0}, BitsPerSecond{5.0}), BitsPerSecond{100.0}, Bits{50.0});
+  EXPECT_DOUBLE_EQ(val(capped->bits(Seconds{1.0})), 150.0);  // cap active: 50 + 100·1
   // Far out the original (slower) envelope takes over.
-  EXPECT_DOUBLE_EQ(capped->bits(1000.0), 15000.0);
+  EXPECT_DOUBLE_EQ(val(capped->bits(Seconds{1000.0})), 15000.0);
 }
 
 TEST(QuantizeEnvelopeTest, CeilToUnits) {
   // Frames of 1000 bits become 3 cells of 400 accounted bits (Theorem 2
   // with F_S=1000, C_S=384 → F_C=3; here simplified numbers).
-  auto q = quantize_envelope(bucket(0.0, 1000.0), 1000.0, 1200.0);
-  EXPECT_DOUBLE_EQ(q->bits(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(q->bits(0.5), 1200.0);   // 500 bits → 1 frame → 1200
-  EXPECT_DOUBLE_EQ(q->bits(1.0), 1200.0);   // exactly 1 frame
-  EXPECT_DOUBLE_EQ(q->bits(1.001), 2400.0); // just over → 2 frames
-  EXPECT_DOUBLE_EQ(q->long_term_rate(), 1200.0);
+  auto q = quantize_envelope(bucket(Bits{0.0}, BitsPerSecond{1000.0}), Bits{1000.0}, Bits{1200.0});
+  EXPECT_DOUBLE_EQ(val(q->bits(Seconds{0.0})), 0.0);
+  EXPECT_DOUBLE_EQ(val(q->bits(Seconds{0.5})), 1200.0);   // 500 bits → 1 frame
+  EXPECT_DOUBLE_EQ(val(q->bits(Seconds{1.0})), 1200.0);   // exactly 1 frame
+  EXPECT_DOUBLE_EQ(val(q->bits(Seconds{1.001})), 2400.0); // just over → 2
+  EXPECT_DOUBLE_EQ(val(q->long_term_rate()), 1200.0);
 }
 
 TEST(QuantizeEnvelopeTest, ToleratesFloatNoiseAtBoundary) {
-  auto q = quantize_envelope(bucket(0.0, 1000.0), 1000.0, 1000.0);
+  auto q = quantize_envelope(bucket(Bits{0.0}, BitsPerSecond{1000.0}), Bits{1000.0}, Bits{1000.0});
   // 3 seconds → 3000 bits → exactly 3 units even with FP noise.
-  EXPECT_DOUBLE_EQ(q->bits(3.0), 3000.0);
+  EXPECT_DOUBLE_EQ(val(q->bits(Seconds{3.0})), 3000.0);
 }
 
 TEST(QuantizeEnvelopeTest, BreakpointsAtUnitCrossings) {
-  auto q = quantize_envelope(bucket(0.0, 1000.0), 500.0, 500.0);
-  const auto pts = q->breakpoints(2.05);
+  auto q = quantize_envelope(bucket(Bits{0.0}, BitsPerSecond{1000.0}), Bits{500.0}, Bits{500.0});
+  const auto pts = q->breakpoints(Seconds{2.05});
   // Steps at 0.5, 1.0, 1.5, 2.0 seconds.
   ASSERT_GE(pts.size(), 4u);
-  EXPECT_NEAR(pts[0], 0.5, 1e-9);
-  EXPECT_NEAR(pts[1], 1.0, 1e-9);
-  EXPECT_NEAR(pts[2], 1.5, 1e-9);
-  EXPECT_NEAR(pts[3], 2.0, 1e-9);
+  EXPECT_NEAR(val(pts[0]), 0.5, 1e-9);
+  EXPECT_NEAR(val(pts[1]), 1.0, 1e-9);
+  EXPECT_NEAR(val(pts[2]), 1.5, 1e-9);
+  EXPECT_NEAR(val(pts[3]), 2.0, 1e-9);
 }
 
 TEST(QuantizeEnvelopeTest, BurstBoundMajorizes) {
   auto q = quantize_envelope(
-      std::make_shared<PeriodicEnvelope>(3000.0, units::ms(10)), 1000.0,
-      1100.0);
-  const double rho = q->long_term_rate();
-  const double b = q->burst_bound();
-  for (double i = 0.0; i < 0.1; i += 0.00037) {
-    EXPECT_LE(q->bits(i), b + rho * i + 1e-6);
+      std::make_shared<PeriodicEnvelope>(Bits{3000.0}, units::ms(10)), Bits{1000.0},
+      Bits{1100.0});
+  const BitsPerSecond rho = q->long_term_rate();
+  const Bits b = q->burst_bound();
+  for (Seconds i; i < 0.1; i += Seconds{0.00037}) {
+    EXPECT_LE(q->bits(i), b + rho * i + Bits{1e-6});
   }
 }
 
 TEST(ScaleEnvelopeTest, ScalesEverything) {
-  auto s = scale_envelope(bucket(100.0, 10.0), 2.5);
-  EXPECT_DOUBLE_EQ(s->bits(2.0), 2.5 * 120.0);
-  EXPECT_DOUBLE_EQ(s->long_term_rate(), 25.0);
-  EXPECT_DOUBLE_EQ(s->burst_bound(), 250.0);
+  auto s = scale_envelope(bucket(Bits{100.0}, BitsPerSecond{10.0}), 2.5);
+  EXPECT_DOUBLE_EQ(val(s->bits(Seconds{2.0})), 2.5 * 120.0);
+  EXPECT_DOUBLE_EQ(val(s->long_term_rate()), 25.0);
+  EXPECT_DOUBLE_EQ(val(s->burst_bound()), 250.0);
 }
 
 TEST(ScaleEnvelopeTest, UnitFactorIsIdentity) {
-  auto b = bucket(100.0, 10.0);
+  auto b = bucket(Bits{100.0}, BitsPerSecond{10.0});
   EXPECT_EQ(scale_envelope(b, 1.0).get(), b.get());
 }
 
@@ -166,15 +166,15 @@ TEST(AlgebraTest, ComposedChainStaysMonotone) {
   auto e = rate_cap(
       quantize_envelope(
           shift_envelope(
-              sum_envelopes({periodic(1000.0, units::ms(10)),
-                             periodic(700.0, units::ms(7))}),
+              sum_envelopes({periodic(Bits{1000.0}, units::ms(10)),
+                             periodic(Bits{700.0}, units::ms(7))}),
               units::ms(3)),
-          500.0, 530.0),
-      units::mbps(1), 530.0);
-  double prev = -1.0;
-  for (double i = 0.0; i < 0.06; i += 0.00017) {
-    const double v = e->bits(i);
-    EXPECT_GE(v, prev - 1e-9) << "I=" << i;
+          Bits{500.0}, Bits{530.0}),
+      units::mbps(1), Bits{530.0});
+  Bits prev{-1.0};
+  for (Seconds i; i < 0.06; i += Seconds{0.00017}) {
+    const Bits v = e->bits(i);
+    EXPECT_GE(v, prev - Bits{1e-9}) << "I=" << i;
     prev = v;
   }
 }

@@ -1,0 +1,84 @@
+// merge_breakpoints / add_grid: the exact worst-case scans evaluate extrema
+// only at breakpoints, so the merge must sort, deduplicate, and collapse
+// floating-point near-duplicates without dropping genuine neighbors.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/traffic/envelope.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+namespace {
+
+std::vector<double> raw(const std::vector<Seconds>& points) {
+  std::vector<double> out;
+  for (const Seconds p : points) out.push_back(p.value());
+  return out;
+}
+
+TEST(MergeBreakpointsTest, MergesAndSortsDisjointLists) {
+  const auto merged = merge_breakpoints(
+      {{Seconds{0.3}, Seconds{0.1}}, {Seconds{0.2}}, {Seconds{0.4}}});
+  EXPECT_EQ(raw(merged), (std::vector<double>{0.1, 0.2, 0.3, 0.4}));
+}
+
+TEST(MergeBreakpointsTest, CollapsesExactDuplicates) {
+  const auto merged = merge_breakpoints(
+      {{Seconds{0.1}, Seconds{0.2}}, {Seconds{0.2}, Seconds{0.1}}});
+  EXPECT_EQ(raw(merged), (std::vector<double>{0.1, 0.2}));
+}
+
+TEST(MergeBreakpointsTest, CollapsesNearDuplicatesWithinTolerance) {
+  // Two lists computed through different arithmetic land within kEps of the
+  // same instant: the scan must see ONE candidate point, not two.
+  const auto merged = merge_breakpoints(
+      {{Seconds{0.1}}, {Seconds{0.1 + 0.5 * kEps}}, {Seconds{0.2}}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].value(), 0.1);
+  EXPECT_DOUBLE_EQ(merged[1].value(), 0.2);
+}
+
+TEST(MergeBreakpointsTest, KeepsGenuineNeighborsOutsideTolerance) {
+  const double gap = 1e-6;  // well beyond kEps at this magnitude
+  const auto merged =
+      merge_breakpoints({{Seconds{0.1}}, {Seconds{0.1 + gap}}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_NEAR(merged[1].value() - merged[0].value(), gap, 1e-2 * gap);
+}
+
+TEST(MergeBreakpointsTest, ToleranceScalesWithMagnitude) {
+  // At t = 1000 s the relative tolerance is 1000 * kEps: a 1e-7 offset is
+  // inside it and collapses, while the same offset at t = 0.1 s survives.
+  const auto big = merge_breakpoints({{Seconds{1000.0}},
+                                      {Seconds{1000.0 + 1e-7}}});
+  EXPECT_EQ(big.size(), 1u);
+  const auto small = merge_breakpoints({{Seconds{0.1}},
+                                        {Seconds{0.1 + 1e-7}}});
+  EXPECT_EQ(small.size(), 2u);
+}
+
+TEST(MergeBreakpointsTest, EmptyInputsYieldEmptyOutput) {
+  EXPECT_TRUE(merge_breakpoints({}).empty());
+  EXPECT_TRUE(merge_breakpoints({{}, {}}).empty());
+  const auto merged = merge_breakpoints({{}, {Seconds{0.5}}, {}});
+  EXPECT_EQ(raw(merged), (std::vector<double>{0.5}));
+}
+
+TEST(AddGridTest, InsertsMultiplesUpToHorizon) {
+  const auto grid =
+      add_grid({Seconds{0.25}}, Seconds{0.1}, Seconds{0.3});
+  const std::vector<double> expected = {0.1, 0.2, 0.25, 0.3};
+  ASSERT_EQ(grid.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(grid[i].value(), expected[i], 1e-12) << i;
+  }
+}
+
+TEST(AddGridTest, RejectsNonPositiveStep) {
+  EXPECT_THROW(add_grid({}, Seconds{}, Seconds{1.0}), std::logic_error);
+  EXPECT_THROW(add_grid({}, Seconds{-0.1}, Seconds{1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hetnet

@@ -13,6 +13,7 @@
 #include "src/traffic/multi_periodic.h"
 #include "src/traffic/sources.h"
 #include "src/traffic/staircase.h"
+#include "src/traffic/validating.h"
 #include "src/util/units.h"
 
 namespace hetnet {
@@ -24,16 +25,18 @@ struct EnvelopeCase {
 };
 
 EnvelopePtr dual() {
-  return std::make_shared<DualPeriodicEnvelope>(3000.0, units::ms(30), 1000.0,
-                                                units::ms(5), units::mbps(50));
+  return std::make_shared<DualPeriodicEnvelope>(
+      Bits{3000.0}, units::ms(30), Bits{1000.0}, units::ms(5), units::mbps(50));
 }
 
 const EnvelopeCase kCases[] = {
     {"periodic_instant",
-     [] { return std::make_shared<PeriodicEnvelope>(1000.0, units::ms(10)); }},
+     [] {
+       return std::make_shared<PeriodicEnvelope>(Bits{1000.0}, units::ms(10));
+     }},
     {"periodic_peaked",
      [] {
-       return std::make_shared<PeriodicEnvelope>(1000.0, units::ms(10),
+       return std::make_shared<PeriodicEnvelope>(Bits{1000.0}, units::ms(10),
                                                  units::mbps(1));
      }},
     {"dual_periodic", [] { return dual(); }},
@@ -46,21 +49,24 @@ const EnvelopeCase kCases[] = {
            units::mbps(50));
      }},
     {"leaky_bucket",
-     [] { return std::make_shared<LeakyBucketEnvelope>(500.0, 2000.0); }},
+     [] {
+       return std::make_shared<LeakyBucketEnvelope>(Bits{500.0},
+                                                    BitsPerSecond{2000.0});
+     }},
     {"zero", [] { return std::make_shared<ZeroEnvelope>(); }},
     {"sum",
      [] {
-       return sum_envelopes(
-           {dual(), std::make_shared<PeriodicEnvelope>(700.0, units::ms(7))});
+       return sum_envelopes({dual(), std::make_shared<PeriodicEnvelope>(
+                                         Bits{700.0}, units::ms(7))});
      }},
     {"shift", [] { return shift_envelope(dual(), units::ms(3)); }},
     {"min",
      [] {
-       return min_envelope(
-           dual(), std::make_shared<LeakyBucketEnvelope>(800.0, 150000.0));
+       return min_envelope(dual(), std::make_shared<LeakyBucketEnvelope>(
+                                       Bits{800.0}, BitsPerSecond{150000.0}));
      }},
-    {"rate_cap", [] { return rate_cap(dual(), units::mbps(1), 424.0); }},
-    {"quantize", [] { return quantize_envelope(dual(), 1000.0, 1272.0); }},
+    {"rate_cap", [] { return rate_cap(dual(), units::mbps(1), Bits{424.0}); }},
+    {"quantize", [] { return quantize_envelope(dual(), Bits{1000.0}, Bits{1272.0}); }},
     {"scale", [] { return scale_envelope(dual(), 1.0625); }},
     {"staircase",
      [] { return rasterize(dual(), units::ms(120), 48); }},
@@ -70,40 +76,40 @@ const EnvelopeCase kCases[] = {
        return rate_cap(
            quantize_envelope(
                shift_envelope(sum_envelopes({dual(), dual()}), units::ms(2)),
-               1000.0, 1272.0),
-           units::mbps(140), 424.0);
+               Bits{1000.0}, Bits{1272.0}),
+           units::mbps(140), Bits{424.0});
      }},
 };
 
 class EnvelopeContractTest : public ::testing::TestWithParam<EnvelopeCase> {};
 
 TEST_P(EnvelopeContractTest, NonNegativeAndMonotone) {
-  const auto env = GetParam().make();
-  double prev = -1.0;
-  for (double i = 0.0; i < 0.25; i += 0.00073) {
-    const double v = env->bits(i);
+  const auto env = wrap_validating(GetParam().make());
+  Bits prev{-1.0};
+  for (Seconds i; i < 0.25; i += Seconds{0.00073}) {
+    const Bits v = env->bits(i);
     EXPECT_GE(v, 0.0) << "I=" << i;
-    EXPECT_GE(v, prev - 1e-9) << "I=" << i;
+    EXPECT_GE(v, prev - Bits{1e-9}) << "I=" << i;
     prev = v;
   }
 }
 
 TEST_P(EnvelopeContractTest, BurstBoundMajorizes) {
-  const auto env = GetParam().make();
-  const double rho = env->long_term_rate();
-  const double b = env->burst_bound();
-  ASSERT_TRUE(std::isfinite(b));
-  for (double i = 0.0; i < 1.0; i += 0.0041) {
-    EXPECT_LE(env->bits(i), b + rho * i + 1e-6) << "I=" << i;
+  const auto env = wrap_validating(GetParam().make());
+  const BitsPerSecond rho = env->long_term_rate();
+  const Bits b = env->burst_bound();
+  ASSERT_TRUE(isfinite(b));
+  for (Seconds i; i < 1.0; i += Seconds{0.0041}) {
+    EXPECT_LE(env->bits(i), b + rho * i + Bits{1e-6}) << "I=" << i;
   }
 }
 
 TEST_P(EnvelopeContractTest, BreakpointsSortedAndInRange) {
-  const auto env = GetParam().make();
+  const auto env = wrap_validating(GetParam().make());
   const Seconds horizon = units::ms(80);
   const auto pts = env->breakpoints(horizon);
-  double prev = 0.0;
-  for (double p : pts) {
+  Seconds prev;
+  for (Seconds p : pts) {
     EXPECT_GT(p, prev) << "breakpoints must be strictly increasing";
     EXPECT_LE(p, horizon * (1 + 1e-9));
     prev = p;
@@ -111,11 +117,11 @@ TEST_P(EnvelopeContractTest, BreakpointsSortedAndInRange) {
 }
 
 TEST_P(EnvelopeContractTest, AffineBetweenBreakpoints) {
-  const auto env = GetParam().make();
+  const auto env = wrap_validating(GetParam().make());
   const Seconds horizon = units::ms(80);
   auto pts = env->breakpoints(horizon);
   pts.push_back(horizon);
-  Seconds a = 0.0;
+  Seconds a;
   for (Seconds b : pts) {
     if (b - a > 1e-7) {
       // Probe strictly inside the open segment; affine ⇒ the midpoint value
@@ -123,9 +129,9 @@ TEST_P(EnvelopeContractTest, AffineBetweenBreakpoints) {
       const Seconds lo = a + (b - a) * 0.05;
       const Seconds hi = b - (b - a) * 0.05;
       const Seconds mid = 0.5 * (lo + hi);
-      const double expected = 0.5 * (env->bits(lo) + env->bits(hi));
-      const double scale = std::max(1.0, std::abs(expected));
-      EXPECT_NEAR(env->bits(mid), expected, 1e-6 * scale)
+      const Bits expected = 0.5 * (env->bits(lo) + env->bits(hi));
+      const double scale = std::max(1.0, val(abs(expected)));
+      EXPECT_NEAR(val(env->bits(mid)), val(expected), 1e-6 * scale)
           << "segment (" << a << ", " << b << ")";
     }
     a = b;
@@ -133,12 +139,12 @@ TEST_P(EnvelopeContractTest, AffineBetweenBreakpoints) {
 }
 
 TEST_P(EnvelopeContractTest, LongTermRateIsAsymptoticSlope) {
-  const auto env = GetParam().make();
-  const double rho = env->long_term_rate();
-  const Seconds far = 500.0;
+  const auto env = wrap_validating(GetParam().make());
+  const BitsPerSecond rho = env->long_term_rate();
+  const Seconds far{500.0};
   // b + ρT >= A(T) >= ρT − b-ish; both sides pinched at large T.
-  EXPECT_NEAR(env->bits(far) / far, rho,
-              env->burst_bound() / far + 1e-6 + rho * 1e-6);
+  EXPECT_NEAR(val(env->bits(far) / far), val(rho),
+              val(env->burst_bound() / far) + 1e-6 + val(rho) * 1e-6);
 }
 
 TEST_P(EnvelopeContractTest, DescribeIsNonEmpty) {
@@ -146,15 +152,15 @@ TEST_P(EnvelopeContractTest, DescribeIsNonEmpty) {
 }
 
 TEST_P(EnvelopeContractTest, CachedWrapperAgrees) {
-  const auto env = GetParam().make();
+  const auto env = wrap_validating(GetParam().make());
   const auto cached = cache_envelope(env);
-  for (double i = 0.0; i < 0.1; i += 0.0019) {
-    EXPECT_DOUBLE_EQ(cached->bits(i), env->bits(i));
+  for (Seconds i; i < 0.1; i += Seconds{0.0019}) {
+    EXPECT_DOUBLE_EQ(val(cached->bits(i)), val(env->bits(i)));
     // Second lookup hits the cache and must agree.
-    EXPECT_DOUBLE_EQ(cached->bits(i), env->bits(i));
+    EXPECT_DOUBLE_EQ(val(cached->bits(i)), val(env->bits(i)));
   }
-  EXPECT_DOUBLE_EQ(cached->long_term_rate(), env->long_term_rate());
-  EXPECT_DOUBLE_EQ(cached->burst_bound(), env->burst_bound());
+  EXPECT_DOUBLE_EQ(val(cached->long_term_rate()), val(env->long_term_rate()));
+  EXPECT_DOUBLE_EQ(val(cached->burst_bound()), val(env->burst_bound()));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -12,30 +12,30 @@ namespace {
 
 TEST(MultiPeriodicTest, TwoLevelsMatchDualPeriodic) {
   MultiPeriodicEnvelope multi(
-      {{3000.0, units::ms(30)}, {1000.0, units::ms(5)}});
-  DualPeriodicEnvelope dual(3000.0, units::ms(30), 1000.0, units::ms(5));
-  for (double i = 0.0; i < 0.2; i += 0.00037) {
-    EXPECT_DOUBLE_EQ(multi.bits(i), dual.bits(i)) << "I=" << i;
+      {{Bits{3000.0}, units::ms(30)}, {Bits{1000.0}, units::ms(5)}});
+  DualPeriodicEnvelope dual(Bits{3000.0}, units::ms(30), Bits{1000.0}, units::ms(5));
+  for (Seconds i; i < 0.2; i += Seconds{0.00037}) {
+    EXPECT_DOUBLE_EQ(val(multi.bits(i)), val(dual.bits(i))) << "I=" << i;
   }
-  EXPECT_DOUBLE_EQ(multi.long_term_rate(), dual.long_term_rate());
-  EXPECT_DOUBLE_EQ(multi.burst_bound(), dual.burst_bound());
+  EXPECT_DOUBLE_EQ(val(multi.long_term_rate()), val(dual.long_term_rate()));
+  EXPECT_DOUBLE_EQ(val(multi.burst_bound()), val(dual.burst_bound()));
 }
 
 TEST(MultiPeriodicTest, TwoLevelsMatchDualPeriodicWithPeak) {
   MultiPeriodicEnvelope multi(
-      {{3000.0, units::ms(30)}, {1000.0, units::ms(5)}}, units::mbps(1));
-  DualPeriodicEnvelope dual(3000.0, units::ms(30), 1000.0, units::ms(5),
+      {{Bits{3000.0}, units::ms(30)}, {Bits{1000.0}, units::ms(5)}}, units::mbps(1));
+  DualPeriodicEnvelope dual(Bits{3000.0}, units::ms(30), Bits{1000.0}, units::ms(5),
                             units::mbps(1));
-  for (double i = 0.0; i < 0.1; i += 0.00021) {
-    EXPECT_DOUBLE_EQ(multi.bits(i), dual.bits(i)) << "I=" << i;
+  for (Seconds i; i < 0.1; i += Seconds{0.00021}) {
+    EXPECT_DOUBLE_EQ(val(multi.bits(i)), val(dual.bits(i))) << "I=" << i;
   }
 }
 
 TEST(MultiPeriodicTest, OneLevelMatchesPeriodic) {
-  MultiPeriodicEnvelope multi({{1000.0, units::ms(10)}});
-  PeriodicEnvelope single(1000.0, units::ms(10));
-  for (double i = 0.0; i < 0.05; i += 0.00093) {
-    EXPECT_DOUBLE_EQ(multi.bits(i), single.bits(i)) << "I=" << i;
+  MultiPeriodicEnvelope multi({{Bits{1000.0}, units::ms(10)}});
+  PeriodicEnvelope single(Bits{1000.0}, units::ms(10));
+  for (Seconds i; i < 0.05; i += Seconds{0.00093}) {
+    EXPECT_DOUBLE_EQ(val(multi.bits(i)), val(single.bits(i))) << "I=" << i;
   }
 }
 
@@ -45,15 +45,15 @@ TEST(MultiPeriodicTest, ThreeLevelMpegLikeValues) {
                               {units::kbits(40), units::ms(40)},
                               {units::kbits(10), units::ms(10)}});
   // First instant: one slice.
-  EXPECT_DOUBLE_EQ(mpeg.bits(units::ms(1)), units::kbits(10));
+  EXPECT_DOUBLE_EQ(val(mpeg.bits(units::ms(1))), val(units::kbits(10)));
   // 35 ms: slices at 0, 10, 20, 30 ms, capped by the 40-kbit frame.
-  EXPECT_DOUBLE_EQ(mpeg.bits(units::ms(35)), units::kbits(40));
+  EXPECT_DOUBLE_EQ(val(mpeg.bits(units::ms(35))), val(units::kbits(40)));
   // 45 ms: one full frame + first slice of the next.
-  EXPECT_DOUBLE_EQ(mpeg.bits(units::ms(45)), units::kbits(50));
+  EXPECT_DOUBLE_EQ(val(mpeg.bits(units::ms(45))), val(units::kbits(50)));
   // Long windows: ρ = 480 kbit / 500 ms.
-  EXPECT_DOUBLE_EQ(mpeg.long_term_rate(), units::kbits(480) / 0.5);
-  EXPECT_NEAR(mpeg.rate(units::sec(100)), mpeg.long_term_rate(),
-              units::kbits(480) / 100.0 + 1.0);
+  EXPECT_DOUBLE_EQ(val(mpeg.long_term_rate()), val(units::kbits(480) / Seconds{0.5}));
+  EXPECT_NEAR(val(mpeg.rate(units::sec(100))), val(mpeg.long_term_rate()),
+              val(units::kbits(480)) / 100.0 + 1.0);
 }
 
 TEST(MultiPeriodicTest, GopCapsFrames) {
@@ -61,8 +61,8 @@ TEST(MultiPeriodicTest, GopCapsFrames) {
   MultiPeriodicEnvelope mpeg({{units::kbits(480), units::ms(500)},
                               {units::kbits(40), units::ms(40)},
                               {units::kbits(10), units::ms(10)}});
-  EXPECT_DOUBLE_EQ(mpeg.bits(units::ms(499)), units::kbits(480));
-  EXPECT_DOUBLE_EQ(mpeg.bits(units::ms(501)), units::kbits(490));
+  EXPECT_DOUBLE_EQ(val(mpeg.bits(units::ms(499))), val(units::kbits(480)));
+  EXPECT_DOUBLE_EQ(val(mpeg.bits(units::ms(501))), val(units::kbits(490)));
 }
 
 TEST(MultiPeriodicTest, MonotoneAndBurstBounded) {
@@ -70,13 +70,13 @@ TEST(MultiPeriodicTest, MonotoneAndBurstBounded) {
                               {units::kbits(40), units::ms(40)},
                               {units::kbits(10), units::ms(10)}},
                              units::mbps(50));
-  double prev = -1.0;
-  const double rho = mpeg.long_term_rate();
-  const double b = mpeg.burst_bound();
-  for (double i = 0.0; i < 1.5; i += 0.0017) {
-    const double v = mpeg.bits(i);
-    EXPECT_GE(v, prev - 1e-9);
-    EXPECT_LE(v, b + rho * i + 1e-6);
+  Bits prev{-1.0};
+  const BitsPerSecond rho = mpeg.long_term_rate();
+  const Bits b = mpeg.burst_bound();
+  for (Seconds i; i < 1.5; i += Seconds{0.0017}) {
+    const Bits v = mpeg.bits(i);
+    EXPECT_GE(v, prev - Bits{1e-9});
+    EXPECT_LE(v, b + rho * i + Bits{1e-6});
     prev = v;
   }
 }
@@ -90,15 +90,15 @@ TEST(MultiPeriodicTest, AffineBetweenBreakpoints) {
   auto pts = mpeg.breakpoints(horizon);
   ASSERT_FALSE(pts.empty());
   pts.push_back(horizon);
-  Seconds a = 0.0;
+  Seconds a;
   for (Seconds b : pts) {
     if (b - a > 1e-7) {
       const Seconds lo = a + (b - a) * 0.02;
       const Seconds hi = b - (b - a) * 0.02;
       const Seconds mid = 0.5 * (lo + hi);
-      const double expected = 0.5 * (mpeg.bits(lo) + mpeg.bits(hi));
-      EXPECT_NEAR(mpeg.bits(mid), expected,
-                  1e-6 * std::max(1.0, expected))
+      const Bits expected = 0.5 * (mpeg.bits(lo) + mpeg.bits(hi));
+      EXPECT_NEAR(val(mpeg.bits(mid)), val(expected),
+                  1e-6 * std::max(1.0, val(expected)))
           << "segment (" << a << ", " << b << ")";
     }
     a = b;
@@ -108,16 +108,16 @@ TEST(MultiPeriodicTest, AffineBetweenBreakpoints) {
 TEST(MultiPeriodicTest, RejectsBadLevelStructure) {
   // Increasing bits.
   EXPECT_THROW(MultiPeriodicEnvelope(
-                   {{1000.0, units::ms(30)}, {2000.0, units::ms(5)}}),
+                   {{Bits{1000.0}, units::ms(30)}, {Bits{2000.0}, units::ms(5)}}),
                std::logic_error);
   // Increasing period.
   EXPECT_THROW(MultiPeriodicEnvelope(
-                   {{2000.0, units::ms(5)}, {1000.0, units::ms(30)}}),
+                   {{Bits{2000.0}, units::ms(5)}, {Bits{1000.0}, units::ms(30)}}),
                std::logic_error);
   // Empty.
   EXPECT_THROW(MultiPeriodicEnvelope({}), std::logic_error);
   // Peak too low for the innermost burst.
-  EXPECT_THROW(MultiPeriodicEnvelope({{1000.0, units::ms(1)}}, 1000.0),
+  EXPECT_THROW(MultiPeriodicEnvelope({{Bits{1000.0}, units::ms(1)}}, BitsPerSecond{1000.0}),
                std::logic_error);
 }
 

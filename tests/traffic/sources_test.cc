@@ -14,54 +14,54 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 TEST(PeriodicEnvelopeTest, InstantBurstValues) {
   // 1000 bits every 10 ms, instantaneous bursts (eq. 37 one-period reading).
-  PeriodicEnvelope e(1000.0, units::ms(10));
-  EXPECT_DOUBLE_EQ(e.bits(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(1)), 1000.0);   // window catches 1 burst
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(10)), 1000.0);  // exactly one period
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(15)), 2000.0);  // 1 full + partial
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(30)), 3000.0);
+  PeriodicEnvelope e(Bits{1000.0}, units::ms(10));
+  EXPECT_DOUBLE_EQ(val(e.bits(Seconds{0.0})), 0.0);
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(1))), 1000.0);   // window catches 1 burst
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(10))), 1000.0);  // exactly one period
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(15))), 2000.0);  // 1 full + partial
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(30))), 3000.0);
 }
 
 TEST(PeriodicEnvelopeTest, PeakRateLimitedBurst) {
   // 1000 bits every 10 ms at 1 Mb/s peak: a burst takes 1 ms to arrive.
-  PeriodicEnvelope e(1000.0, units::ms(10), units::mbps(1));
-  EXPECT_DOUBLE_EQ(e.bits(units::us(500)), 500.0);  // mid-burst
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(1)), 1000.0);   // burst complete
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(5)), 1000.0);   // idle until next period
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(10.5)), 1500.0);
+  PeriodicEnvelope e(Bits{1000.0}, units::ms(10), units::mbps(1));
+  EXPECT_DOUBLE_EQ(val(e.bits(units::us(500))), 500.0);  // mid-burst
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(1))), 1000.0);   // burst complete
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(5))), 1000.0);   // idle until next period
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(10.5))), 1500.0);
 }
 
 TEST(PeriodicEnvelopeTest, LongTermRate) {
-  PeriodicEnvelope e(1000.0, units::ms(10));
-  EXPECT_DOUBLE_EQ(e.long_term_rate(), 100000.0);
+  PeriodicEnvelope e(Bits{1000.0}, units::ms(10));
+  EXPECT_DOUBLE_EQ(val(e.long_term_rate()), 100000.0);
   // Γ(I) → ρ as I grows (eq. 38).
-  EXPECT_NEAR(e.rate(units::sec(100)), 100000.0, 20.0);
+  EXPECT_NEAR(val(e.rate(units::sec(100))), 100000.0, 20.0);
 }
 
 TEST(PeriodicEnvelopeTest, BurstBoundMajorizes) {
-  PeriodicEnvelope e(1000.0, units::ms(10), units::mbps(1));
-  const double rho = e.long_term_rate();
-  const double b = e.burst_bound();
-  for (double i = 0.0; i < 0.1; i += 0.0007) {
-    EXPECT_LE(e.bits(i), b + rho * i + 1e-6);
+  PeriodicEnvelope e(Bits{1000.0}, units::ms(10), units::mbps(1));
+  const BitsPerSecond rho = e.long_term_rate();
+  const Bits b = e.burst_bound();
+  for (Seconds i; i < 0.1; i += Seconds{0.0007}) {
+    EXPECT_LE(e.bits(i), b + rho * i + Bits{1e-6});
   }
 }
 
 TEST(PeriodicEnvelopeTest, RejectsBadParameters) {
-  EXPECT_THROW(PeriodicEnvelope(0.0, 1.0), std::logic_error);
-  EXPECT_THROW(PeriodicEnvelope(1000.0, 0.0), std::logic_error);
+  EXPECT_THROW(PeriodicEnvelope(Bits{0.0}, Seconds{1.0}), std::logic_error);
+  EXPECT_THROW(PeriodicEnvelope(Bits{1000.0}, Seconds{0.0}), std::logic_error);
   // Peak rate too low to deliver C within P.
-  EXPECT_THROW(PeriodicEnvelope(1000.0, units::ms(1), 1000.0),
+  EXPECT_THROW(PeriodicEnvelope(Bits{1000.0}, units::ms(1), BitsPerSecond{1000.0}),
                std::logic_error);
 }
 
 TEST(PeriodicEnvelopeTest, BreakpointsCoverBurstEdges) {
-  PeriodicEnvelope e(1000.0, units::ms(10), units::mbps(1));
+  PeriodicEnvelope e(Bits{1000.0}, units::ms(10), units::mbps(1));
   const auto pts = e.breakpoints(units::ms(25));
   // Expect burst ends at 1ms, 11ms, 21ms and period starts at 10ms, 20ms.
-  auto contains = [&](double v) {
-    for (double p : pts) {
-      if (std::abs(p - v) < 1e-12) return true;
+  auto contains = [&](Seconds v) {
+    for (Seconds p : pts) {
+      if (abs(p - v) < 1e-12) return true;
     }
     return false;
   };
@@ -74,89 +74,89 @@ TEST(PeriodicEnvelopeTest, BreakpointsCoverBurstEdges) {
 
 TEST(DualPeriodicEnvelopeTest, MatchesEquation37) {
   // C1 = 3000 bits per P1 = 30 ms, as C2 = 1000-bit bursts every P2 = 5 ms.
-  DualPeriodicEnvelope e(3000.0, units::ms(30), 1000.0, units::ms(5));
+  DualPeriodicEnvelope e(Bits{3000.0}, units::ms(30), Bits{1000.0}, units::ms(5));
   // Within the first outer window: bursts at 0, 5, 10 ms, saturating at C1.
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(1)), 1000.0);
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(6)), 2000.0);
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(11)), 3000.0);
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(29)), 3000.0);  // saturated at C1
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(31)), 4000.0);  // next window begins
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(60)), 6000.0);
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(1))), 1000.0);
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(6))), 2000.0);
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(11))), 3000.0);
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(29))), 3000.0);  // saturated at C1
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(31))), 4000.0);  // next window begins
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(60))), 6000.0);
 }
 
 TEST(DualPeriodicEnvelopeTest, LongTermRateIsC1OverP1) {
-  DualPeriodicEnvelope e(3000.0, units::ms(30), 1000.0, units::ms(5));
-  EXPECT_DOUBLE_EQ(e.long_term_rate(), 100000.0);
-  EXPECT_NEAR(e.rate(units::sec(300)), 100000.0, 15.0);
+  DualPeriodicEnvelope e(Bits{3000.0}, units::ms(30), Bits{1000.0}, units::ms(5));
+  EXPECT_DOUBLE_EQ(val(e.long_term_rate()), 100000.0);
+  EXPECT_NEAR(val(e.rate(units::sec(300))), 100000.0, 15.0);
 }
 
 TEST(DualPeriodicEnvelopeTest, PeakRateLimitsSubBursts) {
-  DualPeriodicEnvelope e(3000.0, units::ms(30), 1000.0, units::ms(5),
+  DualPeriodicEnvelope e(Bits{3000.0}, units::ms(30), Bits{1000.0}, units::ms(5),
                          units::mbps(1));
   // A sub-burst takes 1 ms to arrive at 1 Mb/s.
-  EXPECT_DOUBLE_EQ(e.bits(units::us(500)), 500.0);
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(1)), 1000.0);
-  EXPECT_DOUBLE_EQ(e.bits(units::ms(5.5)), 1500.0);
+  EXPECT_DOUBLE_EQ(val(e.bits(units::us(500))), 500.0);
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(1))), 1000.0);
+  EXPECT_DOUBLE_EQ(val(e.bits(units::ms(5.5))), 1500.0);
 }
 
 TEST(DualPeriodicEnvelopeTest, DegeneratesToPeriodicWhenC2EqualsC1) {
-  DualPeriodicEnvelope dual(1000.0, units::ms(10), 1000.0, units::ms(10));
-  PeriodicEnvelope single(1000.0, units::ms(10));
-  for (double i = 0.0; i < 0.05; i += 0.0013) {
-    EXPECT_DOUBLE_EQ(dual.bits(i), single.bits(i)) << "I=" << i;
+  DualPeriodicEnvelope dual(Bits{1000.0}, units::ms(10), Bits{1000.0}, units::ms(10));
+  PeriodicEnvelope single(Bits{1000.0}, units::ms(10));
+  for (Seconds i; i < 0.05; i += Seconds{0.0013}) {
+    EXPECT_DOUBLE_EQ(val(dual.bits(i)), val(single.bits(i))) << "I=" << i;
   }
 }
 
 TEST(DualPeriodicEnvelopeTest, RejectsBadParameters) {
   // C2 > C1.
-  EXPECT_THROW(DualPeriodicEnvelope(1000.0, 0.03, 2000.0, 0.005),
+  EXPECT_THROW(DualPeriodicEnvelope(Bits{1000.0}, Seconds{0.03}, Bits{2000.0}, Seconds{0.005}),
                std::logic_error);
   // P2 > P1.
-  EXPECT_THROW(DualPeriodicEnvelope(3000.0, 0.005, 1000.0, 0.03),
+  EXPECT_THROW(DualPeriodicEnvelope(Bits{3000.0}, Seconds{0.005}, Bits{1000.0}, Seconds{0.03}),
                std::logic_error);
   // Peak too low for C2 within P2.
-  EXPECT_THROW(DualPeriodicEnvelope(3000.0, 0.03, 1000.0, 0.005, 1000.0),
+  EXPECT_THROW(DualPeriodicEnvelope(Bits{3000.0}, Seconds{0.03}, Bits{1000.0}, Seconds{0.005}, BitsPerSecond{1000.0}),
                std::logic_error);
 }
 
 TEST(DualPeriodicEnvelopeTest, BurstBoundMajorizes) {
-  DualPeriodicEnvelope e(3000.0, units::ms(30), 1000.0, units::ms(5));
-  const double rho = e.long_term_rate();
-  const double b = e.burst_bound();
-  for (double i = 0.0; i < 0.2; i += 0.0011) {
-    EXPECT_LE(e.bits(i), b + rho * i + 1e-6);
+  DualPeriodicEnvelope e(Bits{3000.0}, units::ms(30), Bits{1000.0}, units::ms(5));
+  const BitsPerSecond rho = e.long_term_rate();
+  const Bits b = e.burst_bound();
+  for (Seconds i; i < 0.2; i += Seconds{0.0011}) {
+    EXPECT_LE(e.bits(i), b + rho * i + Bits{1e-6});
   }
 }
 
 TEST(LeakyBucketEnvelopeTest, AffineForm) {
-  LeakyBucketEnvelope e(500.0, 1000.0);
-  EXPECT_DOUBLE_EQ(e.bits(0.0), 500.0);
-  EXPECT_DOUBLE_EQ(e.bits(2.0), 2500.0);
-  EXPECT_DOUBLE_EQ(e.long_term_rate(), 1000.0);
-  EXPECT_DOUBLE_EQ(e.burst_bound(), 500.0);
-  EXPECT_TRUE(e.breakpoints(10.0).empty());
+  LeakyBucketEnvelope e(Bits{500.0}, BitsPerSecond{1000.0});
+  EXPECT_DOUBLE_EQ(val(e.bits(Seconds{0.0})), 500.0);
+  EXPECT_DOUBLE_EQ(val(e.bits(Seconds{2.0})), 2500.0);
+  EXPECT_DOUBLE_EQ(val(e.long_term_rate()), 1000.0);
+  EXPECT_DOUBLE_EQ(val(e.burst_bound()), 500.0);
+  EXPECT_TRUE(e.breakpoints(Seconds{10.0}).empty());
 }
 
 TEST(LeakyBucketEnvelopeTest, RejectsEmptyBucket) {
-  EXPECT_THROW(LeakyBucketEnvelope(0.0, 0.0), std::logic_error);
-  EXPECT_THROW(LeakyBucketEnvelope(-1.0, 10.0), std::logic_error);
+  EXPECT_THROW(LeakyBucketEnvelope(Bits{0.0}, BitsPerSecond{0.0}), std::logic_error);
+  EXPECT_THROW(LeakyBucketEnvelope(Bits{-1.0}, BitsPerSecond{10.0}), std::logic_error);
 }
 
 TEST(ZeroEnvelopeTest, AlwaysZero) {
   ZeroEnvelope z;
-  EXPECT_DOUBLE_EQ(z.bits(100.0), 0.0);
-  EXPECT_DOUBLE_EQ(z.long_term_rate(), 0.0);
-  EXPECT_DOUBLE_EQ(z.burst_bound(), 0.0);
+  EXPECT_DOUBLE_EQ(val(z.bits(Seconds{100.0})), 0.0);
+  EXPECT_DOUBLE_EQ(val(z.long_term_rate()), 0.0);
+  EXPECT_DOUBLE_EQ(val(z.burst_bound()), 0.0);
 }
 
 TEST(SourceTest, NegativeIntervalRejected) {
-  PeriodicEnvelope e(1000.0, 0.01);
-  EXPECT_THROW(e.bits(-1.0), std::logic_error);
+  PeriodicEnvelope e(Bits{1000.0}, Seconds{0.01});
+  EXPECT_THROW(e.bits(Seconds{-1.0}), std::logic_error);
 }
 
 TEST(SourceTest, RateRequiresPositiveInterval) {
-  PeriodicEnvelope e(1000.0, 0.01);
-  EXPECT_THROW(e.rate(0.0), std::logic_error);
+  PeriodicEnvelope e(Bits{1000.0}, Seconds{0.01});
+  EXPECT_THROW(e.rate(Seconds{0.0}), std::logic_error);
 }
 
 }  // namespace

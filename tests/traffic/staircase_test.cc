@@ -12,40 +12,49 @@ namespace hetnet {
 namespace {
 
 TEST(StaircaseEnvelopeTest, StepSemantics) {
-  StaircaseEnvelope s({0.0, 1.0, 2.0}, {10.0, 20.0, 30.0}, 5.0);
-  EXPECT_DOUBLE_EQ(s.bits(0.0), 10.0);
-  EXPECT_DOUBLE_EQ(s.bits(0.5), 20.0);  // (0,1] → second value
-  EXPECT_DOUBLE_EQ(s.bits(1.0), 20.0);
-  EXPECT_DOUBLE_EQ(s.bits(1.5), 30.0);
-  EXPECT_DOUBLE_EQ(s.bits(2.0), 30.0);
+  StaircaseEnvelope s({Seconds{0.0}, Seconds{1.0}, Seconds{2.0}},
+                      {Bits{10.0}, Bits{20.0}, Bits{30.0}}, BitsPerSecond{5.0});
+  EXPECT_DOUBLE_EQ(val(s.bits(Seconds{0.0})), 10.0);
+  EXPECT_DOUBLE_EQ(val(s.bits(Seconds{0.5})), 20.0);  // (0,1] → second value
+  EXPECT_DOUBLE_EQ(val(s.bits(Seconds{1.0})), 20.0);
+  EXPECT_DOUBLE_EQ(val(s.bits(Seconds{1.5})), 30.0);
+  EXPECT_DOUBLE_EQ(val(s.bits(Seconds{2.0})), 30.0);
   // Beyond the last point: linear tail.
-  EXPECT_DOUBLE_EQ(s.bits(4.0), 30.0 + 5.0 * 2.0);
+  EXPECT_DOUBLE_EQ(val(s.bits(Seconds{4.0})), val(30.0 + 5.0 * 2.0));
 }
 
 TEST(StaircaseEnvelopeTest, BurstBoundDominates) {
-  StaircaseEnvelope s({0.0, 1.0, 2.0}, {10.0, 20.0, 30.0}, 5.0);
-  const double b = s.burst_bound();
-  for (double i = 0.0; i < 10.0; i += 0.1) {
-    EXPECT_LE(s.bits(i), b + s.long_term_rate() * i + 1e-9);
+  StaircaseEnvelope s({Seconds{0.0}, Seconds{1.0}, Seconds{2.0}},
+                      {Bits{10.0}, Bits{20.0}, Bits{30.0}}, BitsPerSecond{5.0});
+  const Bits b = s.burst_bound();
+  for (Seconds i; i < 10.0; i += Seconds{0.1}) {
+    EXPECT_LE(s.bits(i), b + s.long_term_rate() * i + Bits{1e-9});
   }
 }
 
 TEST(StaircaseEnvelopeTest, RejectsBadConstruction) {
-  EXPECT_THROW(StaircaseEnvelope({}, {}, 1.0), std::logic_error);
-  EXPECT_THROW(StaircaseEnvelope({1.0}, {5.0}, 1.0), std::logic_error);
-  EXPECT_THROW(StaircaseEnvelope({0.0, 1.0}, {5.0}, 1.0), std::logic_error);
+  const BitsPerSecond r{1.0};
+  EXPECT_THROW(StaircaseEnvelope({}, {}, r), std::logic_error);
+  EXPECT_THROW(StaircaseEnvelope({Seconds{1.0}}, {Bits{5.0}}, r),
+               std::logic_error);
+  EXPECT_THROW(StaircaseEnvelope({Seconds{0.0}, Seconds{1.0}}, {Bits{5.0}}, r),
+               std::logic_error);
   // Decreasing values.
-  EXPECT_THROW(StaircaseEnvelope({0.0, 1.0}, {5.0, 4.0}, 1.0),
+  EXPECT_THROW(StaircaseEnvelope({Seconds{0.0}, Seconds{1.0}},
+                                 {Bits{5.0}, Bits{4.0}}, r),
                std::logic_error);
   // Non-increasing intervals.
-  EXPECT_THROW(StaircaseEnvelope({0.0, 1.0, 1.0}, {1.0, 2.0, 3.0}, 1.0),
+  EXPECT_THROW(StaircaseEnvelope({Seconds{0.0}, Seconds{1.0}, Seconds{1.0}},
+                                 {Bits{1.0}, Bits{2.0}, Bits{3.0}}, r),
                std::logic_error);
 }
 
 TEST(StaircaseEnvelopeTest, BreakpointsWithinHorizon) {
-  StaircaseEnvelope s({0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 2.0, 3.0}, 1.0);
-  EXPECT_EQ(s.breakpoints(2.5).size(), 2u);
-  EXPECT_EQ(s.breakpoints(10.0).size(), 3u);
+  StaircaseEnvelope s({Seconds{0.0}, Seconds{1.0}, Seconds{2.0}, Seconds{3.0}},
+                      {Bits{0.0}, Bits{1.0}, Bits{2.0}, Bits{3.0}},
+                      BitsPerSecond{1.0});
+  EXPECT_EQ(s.breakpoints(Seconds{2.5}).size(), 2u);
+  EXPECT_EQ(s.breakpoints(Seconds{10.0}).size(), 3u);
 }
 
 // The fundamental rasterization property: the staircase upper-bounds the
@@ -53,56 +62,56 @@ TEST(StaircaseEnvelopeTest, BreakpointsWithinHorizon) {
 // via the leaky-bucket tail).
 TEST(RasterizeTest, UpperBoundsSourceEverywhere) {
   auto src = std::make_shared<DualPeriodicEnvelope>(
-      3000.0, units::ms(30), 1000.0, units::ms(5), units::mbps(10));
+      Bits{3000.0}, units::ms(30), Bits{1000.0}, units::ms(5), units::mbps(10));
   auto r = rasterize(src, units::ms(100), 32);
-  for (double i = 0.0; i < 0.5; i += 0.00093) {
-    EXPECT_GE(r->bits(i), src->bits(i) - 1e-6) << "I=" << i;
+  for (Seconds i; i < 0.5; i += Seconds{0.00093}) {
+    EXPECT_GE(r->bits(i), src->bits(i) - Bits{1e-6}) << "I=" << i;
   }
 }
 
 TEST(RasterizeTest, TightWithGenerousBudget) {
-  auto src = std::make_shared<PeriodicEnvelope>(1000.0, units::ms(10));
+  auto src = std::make_shared<PeriodicEnvelope>(Bits{1000.0}, units::ms(10));
   auto r = rasterize(src, units::ms(100), 1024);
   // With all breakpoints kept, the staircase matches the source exactly at
   // the sampled right-ends within the horizon.
   for (double k = 1; k <= 9; ++k) {
-    EXPECT_DOUBLE_EQ(r->bits(k * units::ms(10)), src->bits(k * units::ms(10)));
+    EXPECT_DOUBLE_EQ(val(r->bits(k * units::ms(10))), val(src->bits(k * units::ms(10))));
   }
 }
 
 TEST(RasterizeTest, ThinnedBudgetStillConservative) {
-  auto src = std::make_shared<DualPeriodicEnvelope>(3000.0, units::ms(30),
-                                                    1000.0, units::ms(5));
+  auto src = std::make_shared<DualPeriodicEnvelope>(
+      Bits{3000.0}, units::ms(30), Bits{1000.0}, units::ms(5));
   auto coarse = rasterize(src, units::ms(200), 4);
-  for (double i = 0.0; i < 1.0; i += 0.0017) {
-    EXPECT_GE(coarse->bits(i), src->bits(i) - 1e-6) << "I=" << i;
+  for (Seconds i; i < 1.0; i += Seconds{0.0017}) {
+    EXPECT_GE(coarse->bits(i), src->bits(i) - Bits{1e-6}) << "I=" << i;
   }
 }
 
 TEST(RasterizeTest, PreservesLongTermRate) {
-  auto src = std::make_shared<PeriodicEnvelope>(1000.0, units::ms(10));
+  auto src = std::make_shared<PeriodicEnvelope>(Bits{1000.0}, units::ms(10));
   auto r = rasterize(src, units::ms(50), 16);
-  EXPECT_DOUBLE_EQ(r->long_term_rate(), src->long_term_rate());
+  EXPECT_DOUBLE_EQ(val(r->long_term_rate()), val(src->long_term_rate()));
 }
 
 TEST(RasterizeTest, ComposedEnvelopeStaysBounded) {
   // Rasterize a shifted, capped periodic source and verify domination.
   auto src = rate_cap(
       shift_envelope(
-          std::make_shared<PeriodicEnvelope>(2000.0, units::ms(8)),
+          std::make_shared<PeriodicEnvelope>(Bits{2000.0}, units::ms(8)),
           units::ms(3)),
-      units::mbps(100), 424.0);
+      units::mbps(100), Bits{424.0});
   auto r = rasterize(src, units::ms(64), 24);
-  for (double i = 0.0; i < 0.3; i += 0.00041) {
-    EXPECT_GE(r->bits(i), src->bits(i) - 1e-6) << "I=" << i;
+  for (Seconds i; i < 0.3; i += Seconds{0.00041}) {
+    EXPECT_GE(r->bits(i), src->bits(i) - Bits{1e-6}) << "I=" << i;
   }
 }
 
 TEST(RasterizeTest, RejectsBadArguments) {
-  auto src = std::make_shared<PeriodicEnvelope>(1000.0, units::ms(10));
-  EXPECT_THROW(rasterize(src, 0.0, 16), std::logic_error);
-  EXPECT_THROW(rasterize(src, 1.0, 1), std::logic_error);
-  EXPECT_THROW(rasterize(nullptr, 1.0, 16), std::logic_error);
+  auto src = std::make_shared<PeriodicEnvelope>(Bits{1000.0}, units::ms(10));
+  EXPECT_THROW(rasterize(src, Seconds{0.0}, 16), std::logic_error);
+  EXPECT_THROW(rasterize(src, Seconds{1.0}, 1), std::logic_error);
+  EXPECT_THROW(rasterize(nullptr, Seconds{1.0}, 16), std::logic_error);
 }
 
 }  // namespace

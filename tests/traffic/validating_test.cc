@@ -1,0 +1,158 @@
+#include "src/traffic/validating.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/traffic/sources.h"
+#include "src/traffic/staircase.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+namespace {
+
+// A configurable envelope for injecting each possible contract violation.
+class MockEnvelope : public ArrivalEnvelope {
+ public:
+  std::function<double(double)> bits_fn = [](double i) {
+    return 100.0 + 50.0 * i;
+  };
+  double rho = 50.0;
+  double burst = 100.0;
+  std::vector<Seconds> points;
+
+  Bits bits(Seconds interval) const override {
+    return Bits{bits_fn(interval.value())};
+  }
+  BitsPerSecond long_term_rate() const override { return BitsPerSecond{rho}; }
+  Bits burst_bound() const override { return Bits{burst}; }
+  std::vector<Seconds> breakpoints(Seconds horizon) const override {
+    std::vector<Seconds> inside;
+    for (const Seconds p : points) {
+      if (p <= horizon) inside.push_back(p);
+    }
+    return inside;
+  }
+  std::string describe() const override { return "mock"; }
+};
+
+void probe(const ArrivalEnvelope& env) {
+  for (Seconds i; i < 0.3; i += Seconds{0.0137}) {
+    (void)env.bits(i);
+  }
+  (void)env.long_term_rate();
+  (void)env.burst_bound();
+  (void)env.breakpoints(Seconds{0.5});
+}
+
+TEST(ValidatingEnvelopeTest, AcceptsAllStandardSources) {
+  const std::vector<EnvelopePtr> sources = {
+      std::make_shared<LeakyBucketEnvelope>(Bits{50000.0}, units::mbps(10)),
+      std::make_shared<PeriodicEnvelope>(Bits{100000.0}, units::ms(20)),
+      std::make_shared<DualPeriodicEnvelope>(Bits{500000.0}, units::ms(100),
+                                             Bits{100000.0}, units::ms(20)),
+      std::make_shared<DualPeriodicEnvelope>(Bits{300000.0}, units::ms(100),
+                                             Bits{50000.0}, units::ms(10),
+                                             units::mbps(100)),
+      std::make_shared<ZeroEnvelope>(),
+  };
+  for (const auto& src : sources) {
+    const ValidatingEnvelope checked(src);
+    EXPECT_NO_THROW(probe(checked)) << src->describe();
+    EXPECT_EQ(checked.describe(), src->describe());
+  }
+}
+
+TEST(ValidatingEnvelopeTest, ResultsPassThroughUnchanged) {
+  const auto src =
+      std::make_shared<PeriodicEnvelope>(Bits{80000.0}, units::ms(25));
+  const ValidatingEnvelope checked(src);
+  for (Seconds i; i < 0.2; i += Seconds{0.009}) {
+    EXPECT_EQ(checked.bits(i), src->bits(i));
+  }
+  EXPECT_EQ(checked.long_term_rate(), src->long_term_rate());
+  EXPECT_EQ(checked.burst_bound(), src->burst_bound());
+}
+
+TEST(ValidatingEnvelopeTest, RejectsNullInner) {
+  EXPECT_THROW(ValidatingEnvelope(nullptr), std::logic_error);
+}
+
+TEST(ValidatingEnvelopeTest, CatchesNegativeBits) {
+  auto mock = std::make_shared<MockEnvelope>();
+  mock->bits_fn = [](double) { return -1.0; };
+  const ValidatingEnvelope checked(mock);
+  EXPECT_THROW(checked.bits(Seconds{0.1}), std::logic_error);
+}
+
+TEST(ValidatingEnvelopeTest, CatchesDecreasingEnvelope) {
+  auto mock = std::make_shared<MockEnvelope>();
+  mock->bits_fn = [](double i) { return 1000.0 - 100.0 * i; };
+  mock->burst = 2000.0;
+  const ValidatingEnvelope checked(mock);
+  (void)checked.bits(Seconds{0.1});
+  EXPECT_THROW(checked.bits(Seconds{3.0}), std::logic_error);
+}
+
+TEST(ValidatingEnvelopeTest, CatchesBurstBoundViolation) {
+  auto mock = std::make_shared<MockEnvelope>();
+  // A(I) = 100 + 80 I but claims rho = 50: majorization fails for large I.
+  mock->bits_fn = [](double i) { return 100.0 + 80.0 * i; };
+  const ValidatingEnvelope checked(mock);
+  EXPECT_THROW(checked.bits(Seconds{10.0}), std::logic_error);
+}
+
+TEST(ValidatingEnvelopeTest, CatchesNonAffineSegment) {
+  auto mock = std::make_shared<MockEnvelope>();
+  // Quadratic growth with no breakpoints: cannot be affine on (0, I].
+  mock->bits_fn = [](double i) { return 10.0 + 1000.0 * i * i; };
+  mock->rho = 1e9;
+  mock->burst = 1e9;
+  const ValidatingEnvelope checked(mock);
+  EXPECT_THROW(checked.bits(Seconds{0.5}), std::logic_error);
+}
+
+TEST(ValidatingEnvelopeTest, CatchesUnsortedBreakpoints) {
+  auto mock = std::make_shared<MockEnvelope>();
+  mock->points = {Seconds{0.2}, Seconds{0.1}};
+  const ValidatingEnvelope checked(mock);
+  EXPECT_THROW(checked.breakpoints(Seconds{1.0}), std::logic_error);
+}
+
+TEST(ValidatingEnvelopeTest, CatchesNonPositiveBreakpoint) {
+  auto mock = std::make_shared<MockEnvelope>();
+  mock->points = {Seconds{-0.1}, Seconds{0.1}};
+  const ValidatingEnvelope checked(mock);
+  EXPECT_THROW(checked.breakpoints(Seconds{1.0}), std::logic_error);
+}
+
+TEST(ValidatingEnvelopeTest, WrapRespectsBuildFlag) {
+  const auto src =
+      std::make_shared<LeakyBucketEnvelope>(Bits{1000.0}, units::mbps(1));
+  const EnvelopePtr wrapped = wrap_validating(src);
+#ifdef HETNET_VALIDATE
+  EXPECT_NE(wrapped.get(), src.get());
+  ASSERT_NE(std::dynamic_pointer_cast<const ValidatingEnvelope>(wrapped),
+            nullptr);
+  // Re-wrapping is idempotent.
+  EXPECT_EQ(wrap_validating(wrapped).get(), wrapped.get());
+#else
+  EXPECT_EQ(wrapped.get(), src.get());
+#endif
+  EXPECT_EQ(wrap_validating(nullptr), nullptr);
+}
+
+TEST(ValidatingEnvelopeTest, StaircaseSurvivesValidation) {
+  // The staircase has genuine jumps at breakpoints: the affine check must
+  // not flag the discontinuities themselves.
+  const auto stairs = std::make_shared<StaircaseEnvelope>(
+      std::vector<Seconds>{Seconds{0.0}, Seconds{0.01}, Seconds{0.05}},
+      std::vector<Bits>{Bits{1000.0}, Bits{5000.0}, Bits{9000.0}},
+      BitsPerSecond{100000.0});
+  const ValidatingEnvelope checked(stairs);
+  EXPECT_NO_THROW(probe(checked));
+}
+
+}  // namespace
+}  // namespace hetnet

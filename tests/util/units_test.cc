@@ -6,23 +6,23 @@ namespace hetnet {
 namespace {
 
 TEST(UnitsTest, TimeConversions) {
-  EXPECT_DOUBLE_EQ(units::ms(8.0), 0.008);
-  EXPECT_DOUBLE_EQ(units::us(50.0), 50e-6);
-  EXPECT_DOUBLE_EQ(units::ns(100.0), 100e-9);
-  EXPECT_DOUBLE_EQ(units::sec(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(val(units::ms(8.0)), 0.008);
+  EXPECT_DOUBLE_EQ(val(units::us(50.0)), 50e-6);
+  EXPECT_DOUBLE_EQ(val(units::ns(100.0)), 100e-9);
+  EXPECT_DOUBLE_EQ(val(units::sec(2.0)), 2.0);
 }
 
 TEST(UnitsTest, DataConversions) {
-  EXPECT_DOUBLE_EQ(units::bytes(53.0), 424.0);
-  EXPECT_DOUBLE_EQ(units::kbits(1.5), 1500.0);
-  EXPECT_DOUBLE_EQ(units::mbits(2.0), 2e6);
+  EXPECT_DOUBLE_EQ(val(units::bytes(53.0)), 424.0);
+  EXPECT_DOUBLE_EQ(val(units::kbits(1.5)), 1500.0);
+  EXPECT_DOUBLE_EQ(val(units::mbits(2.0)), 2e6);
 }
 
 TEST(UnitsTest, BandwidthConversions) {
-  EXPECT_DOUBLE_EQ(units::mbps(155.0), 155e6);
-  EXPECT_DOUBLE_EQ(units::mbps(100.0), 1e8);
-  EXPECT_DOUBLE_EQ(units::gbps(1.0), 1e9);
-  EXPECT_DOUBLE_EQ(units::kbps(64.0), 64000.0);
+  EXPECT_DOUBLE_EQ(val(units::mbps(155.0)), 155e6);
+  EXPECT_DOUBLE_EQ(val(units::mbps(100.0)), 1e8);
+  EXPECT_DOUBLE_EQ(val(units::gbps(1.0)), 1e9);
+  EXPECT_DOUBLE_EQ(val(units::kbps(64.0)), 64000.0);
 }
 
 TEST(UnitsTest, ApproxLeHandlesExactAndNoise) {
@@ -42,6 +42,73 @@ TEST(UnitsTest, ApproxLeScalesWithMagnitude) {
 TEST(UnitsTest, ApproxEq) {
   EXPECT_TRUE(approx_eq(3.0, 3.0 + 1e-12));
   EXPECT_FALSE(approx_eq(3.0, 3.1));
+}
+
+TEST(UnitsTest, ApproxLeExactEpsilonBoundary) {
+  // The tolerance is kEps * max(1, |a|, |b|). At unit scale the boundary
+  // sits exactly at b + kEps: on it passes, just beyond it fails.
+  EXPECT_TRUE(approx_le(1.0 + kEps, 1.0));
+  EXPECT_FALSE(approx_le(1.0 + 2.5 * kEps, 1.0));
+  // Below unit magnitude the tolerance stays absolute (scale floors at 1).
+  EXPECT_TRUE(approx_le(kEps, 0.0));
+  EXPECT_FALSE(approx_le(3.0 * kEps, 0.0));
+}
+
+TEST(UnitsTest, ApproxLeNegativeValues) {
+  EXPECT_TRUE(approx_le(-2.0, -1.0));
+  EXPECT_FALSE(approx_le(-1.0, -2.0));
+  EXPECT_TRUE(approx_le(-1.0, -1.0 - 1e-12));
+  EXPECT_TRUE(approx_le(-1e12, 1e12));
+  // Tolerance scales with the larger magnitude even when negative.
+  EXPECT_TRUE(approx_le(-1e12 + 1.0, -1e12));
+  EXPECT_FALSE(approx_le(-1e12 + 1e6, -1e12));
+}
+
+TEST(UnitsTest, ApproxEqLargeMagnitudes) {
+  EXPECT_TRUE(approx_eq(1e15, 1e15 + 1e3));
+  EXPECT_FALSE(approx_eq(1e15, 1e15 + 1e8));
+  EXPECT_TRUE(approx_eq(0.0, 0.0));
+  EXPECT_TRUE(approx_eq(0.0, kEps / 2.0));
+}
+
+TEST(UnitsTest, ApproxHelpersLiftToQuantities) {
+  EXPECT_TRUE(approx_le(units::ms(1), units::ms(1)));
+  EXPECT_TRUE(approx_le(units::ms(1), units::ms(2)));
+  EXPECT_FALSE(approx_le(units::ms(2), units::ms(1)));
+  EXPECT_TRUE(approx_eq(units::mbps(100), units::mbps(100)));
+  EXPECT_FALSE(approx_eq(units::mbps(100), units::mbps(101)));
+  // Mixed quantity/double overloads follow the raw-bound policy.
+  EXPECT_TRUE(approx_le(units::sec(1), 1.0));
+  EXPECT_TRUE(approx_le(0.0, units::sec(1)));
+  EXPECT_FALSE(approx_le(units::sec(2), 1.0));
+  EXPECT_TRUE(approx_eq(units::bytes(53), 424.0));
+}
+
+TEST(UnitsTest, DimensionalArithmetic) {
+  const Bits b = units::mbps(10) * units::ms(100);
+  EXPECT_DOUBLE_EQ(val(b), 1e6);
+  const BitsPerSecond r = units::kbits(8) / units::ms(1);
+  EXPECT_DOUBLE_EQ(val(r), 8e6);
+  const Seconds t = units::kbits(424) / units::mbps(212);
+  EXPECT_DOUBLE_EQ(val(t), 2e-3);
+  // Same-dimension division collapses to a dimensionless double.
+  const double ratio = units::mbps(50) / units::mbps(100);
+  EXPECT_DOUBLE_EQ(ratio, 0.5);
+}
+
+TEST(UnitsTest, QuantityIsZeroOverhead) {
+  static_assert(sizeof(Seconds) == sizeof(double));
+  static_assert(sizeof(BitsPerSecond) == sizeof(double));
+  static_assert(std::is_trivially_copyable_v<Bits>);
+}
+
+TEST(UnitsTest, AdlMathHelpers) {
+  EXPECT_TRUE(isfinite(units::sec(1)));
+  EXPECT_FALSE(isfinite(Seconds::infinity()));
+  EXPECT_TRUE(isinf(Seconds::infinity()));
+  EXPECT_FALSE(isnan(units::sec(1)));
+  EXPECT_DOUBLE_EQ(val(abs(Seconds{-2.0})), 2.0);
+  EXPECT_DOUBLE_EQ(val(2.5), 2.5);  // val() passes raw doubles through
 }
 
 }  // namespace
