@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <sstream>
+#include <string>
 #include <utility>
 
 #include "src/fddi/ring.h"
@@ -29,6 +29,12 @@ bool run_stage(const Server& server, EnvelopePtr& env, Seconds& delay,
     stages->push_back({server.name(), std::move(*result)});
   }
   return true;
+}
+
+// Cheap fixed-format port label (the hot Kahn loop used to pay for an
+// ostringstream per port per probe).
+std::string port_name(atm::PortId port) {
+  return "ATM.Port[" + std::to_string(port) + "]";
 }
 
 }  // namespace
@@ -100,10 +106,15 @@ std::vector<Seconds> DelayAnalyzer::run(
     const std::vector<ConnectionInstance>& set,
     const std::vector<SendPrefix>& prefixes,
     std::vector<ChainAnalysis>* details,
-    std::map<atm::PortId, PortReport>* ports) const {
+    std::map<atm::PortId, PortReport>* ports,
+    AnalysisSession* session) const {
   HETNET_CHECK(prefixes.size() == set.size(), "prefixes misaligned with set");
   const net::TopologyParams& p = topology_->params();
   const std::size_t n = set.size();
+  // The breakdown path needs per-stage records the memo does not keep, so it
+  // always recomputes.
+  AnalysisSession* memo = details == nullptr ? session : nullptr;
+  if (memo != nullptr) memo->trim();
 
   std::vector<Seconds> delays(n);
   std::vector<bool> alive(n, false);
@@ -166,32 +177,91 @@ std::vector<Seconds> DelayAnalyzer::run(
       mux.non_preemption = topology_->backbone().port_cell_time(port);
       mux.cell_bits = p.cells.payload;
       mux.buffer_limit = topology_->backbone().port_link(port).port_buffer;
-      std::ostringstream name;
-      name << "ATM.Port[" << port << "]";
-      const FifoMuxServer server(name.str(), mux,
-                                 std::make_shared<ZeroEnvelope>(), config_);
-      const auto bound = server.analyze(sum_envelopes(flows));
-      if (ports != nullptr && bound.has_value()) {
-        (*ports)[port] = {bound->worst_case_delay, bound->buffer_required,
+
+      // Between probes the port's live input envelopes usually have not
+      // changed (only flows downstream of the candidate's route do), so the
+      // port bound — and every flow's output envelope — can be reused
+      // verbatim from the session memo.
+      AnalysisSession::PortEntry* entry = nullptr;
+      bool hit = false;
+      if (memo != nullptr) {
+        AnalysisSession::PortKey key{port, {}};
+        key.second.reserve(flows.size());
+        for (const EnvelopePtr& f : flows) {
+          key.second.push_back(f->fingerprint());
+        }
+        const auto [it, inserted] =
+            memo->ports_.try_emplace(std::move(key));
+        entry = &it->second;
+        hit = !inserted;
+        if (hit) {
+          ++memo->stats_.port_hits;
+        } else {
+          ++memo->stats_.port_evals;
+        }
+      }
+      bool bounded = false;
+      Seconds port_delay;
+      Bits port_backlog;
+      if (hit) {
+        bounded = entry->bounded;
+        port_delay = entry->delay;
+        port_backlog = entry->backlog;
+      } else {
+        const FifoMuxServer server(port_name(port), mux,
+                                   std::make_shared<ZeroEnvelope>(), config_);
+        const auto bound = server.analyze_port(sum_envelopes(flows));
+        bounded = bound.has_value();
+        if (bounded) {
+          port_delay = bound->worst_case_delay;
+          port_backlog = bound->buffer_required;
+        }
+        if (entry != nullptr) {
+          entry->bounded = bounded;
+          entry->delay = port_delay;
+          entry->backlog = port_backlog;
+        }
+      }
+      if (ports != nullptr && bounded) {
+        (*ports)[port] = {port_delay, port_backlog,
                           static_cast<int>(users.size())};
       }
       for (std::size_t i : users) {
-        if (!bound.has_value()) {
+        if (!bounded) {
           alive[i] = false;
           continue;
         }
         const atm::Hop& hop = routes[i][next_hop[i]];
         const Seconds stage_delay =
-            hop.fabric + bound->worst_case_delay + hop.propagation;
+            hop.fabric + port_delay + hop.propagation;
         delays[i] += stage_delay;
-        envs[i] = rate_cap(shift_envelope(envs[i], bound->worst_case_delay),
-                           mux.capacity, mux.cell_bits);
+        EnvelopePtr out;
+        if (hit) {
+          const std::uint64_t in_fp = envs[i]->fingerprint();
+          for (const auto& [fp_key, env] : entry->outputs) {
+            if (fp_key == in_fp) {
+              out = env;
+              break;
+            }
+          }
+        }
+        if (out == nullptr) {
+          // Per-flow FIFO output bound (identical to FifoMuxServer::
+          // flow_output): whatever leaves in a window of length I entered
+          // within I + d, and one flow cannot beat the link plus one cell.
+          out = rate_cap(shift_envelope(envs[i], port_delay), mux.capacity,
+                         mux.cell_bits);
+          if (entry != nullptr && !hit) {
+            entry->outputs.emplace_back(envs[i]->fingerprint(), out);
+          }
+        }
+        envs[i] = out;
         if (det != nullptr) {
           ServerAnalysis sa;
           sa.worst_case_delay = stage_delay;
-          sa.buffer_required = bound->buffer_required;
+          sa.buffer_required = port_backlog;
           sa.output = envs[i];
-          (*det)[i].stages.push_back({name.str(), std::move(sa)});
+          (*det)[i].stages.push_back({port_name(port), std::move(sa)});
         }
         ++next_hop[i];
       }
@@ -205,7 +275,10 @@ std::vector<Seconds> DelayAnalyzer::run(
 
   // ---- Receive-side suffix (ID_R + FDDI_R), private per connection.
   // Intra-ring connections were delivered by the prefix already (no
-  // interface devices on their path).
+  // interface devices on their path). The suffix depends only on the
+  // envelope leaving the backbone and on H_R, so the session memo reuses it
+  // whenever neither changed (i.e. the flow crossed no port downstream of
+  // the candidate's route).
   for (std::size_t i = 0; i < n; ++i) {
     if (!alive[i]) continue;
     if (set[i].spec.src.ring == set[i].spec.dst.ring) continue;
@@ -214,41 +287,33 @@ std::vector<Seconds> DelayAnalyzer::run(
       alive[i] = false;
       continue;
     }
-    const Bits frame_r = fddi::frame_payload_for_allocation(p.ring, h_r);
-    const ConstantDelayServer input_port(
-        "ID_R.Input_Port", p.interface_device.input_port_delay);
-    const auto conversion = make_cell_to_frame_server(
-        "ID_R.Cell_Frame_Conversion", frame_r, p.cells.payload,
-        p.cells.payload, p.interface_device.cell_frame_conversion);
-    const ConstantDelayServer frame_switch(
-        "ID_R.Frame_Switch", p.interface_device.frame_switch_delay);
-    FddiMacParams mac;
-    mac.ttrt = p.ring.ttrt;
-    mac.sync_allocation = h_r;
-    mac.ring_rate = fddi::effective_payload_rate(p.ring, frame_r);
-    mac.buffer_limit = p.interface_device.mac_buffer;
-    // The receive MAC is the last queueing server on the path — its output
-    // feeds only the constant delay line to the host, so the (expensive)
-    // conservative rasterization of Υ buys nothing here.
-    AnalysisConfig rx_config = config_;
-    rx_config.rasterize_mac_output = false;
-    const FddiMacServer mac_server("FDDI_R.MAC", mac, rx_config);
-    const ConstantDelayServer delay_line("FDDI_R.Delay_Line",
-                                         p.ring.propagation);
-
-    std::vector<ChainStage>* stages =
-        det != nullptr ? &(*det)[i].stages : nullptr;
-    for (const Server* s :
-         {static_cast<const Server*>(&input_port),
-          static_cast<const Server*>(conversion.get()),
-          static_cast<const Server*>(&frame_switch),
-          static_cast<const Server*>(&mac_server),
-          static_cast<const Server*>(&delay_line)}) {
-      if (!run_stage(*s, envs[i], delays[i], stages)) {
-        alive[i] = false;
-        break;
+    const AnalysisSession::SuffixEntry* walk = nullptr;
+    AnalysisSession::SuffixEntry local;
+    if (memo != nullptr) {
+      const AnalysisSession::SuffixKey key{envs[i]->fingerprint(),
+                                           fp::of_double(h_r.value())};
+      const auto [it, inserted] = memo->suffixes_.try_emplace(key);
+      if (inserted) {
+        it->second = walk_receive_suffix(envs[i], h_r, nullptr);
+        ++memo->stats_.suffix_evals;
+      } else {
+        ++memo->stats_.suffix_hits;
       }
+      walk = &it->second;
+    } else {
+      std::vector<ChainStage>* stages =
+          det != nullptr ? &(*det)[i].stages : nullptr;
+      local = walk_receive_suffix(envs[i], h_r, stages);
+      walk = &local;
     }
+    if (!walk->finite) {
+      alive[i] = false;
+      continue;
+    }
+    // Replay the per-stage additions in order — bit-identical to the cold
+    // walk's accumulation.
+    for (const Seconds d : walk->stage_delays) delays[i] += d;
+    envs[i] = walk->final_env;
   }
 
   // A connection with no finite bound poisons everything it shares a port
@@ -285,52 +350,96 @@ std::vector<Seconds> DelayAnalyzer::run(
   return out;
 }
 
+AnalysisSession::SuffixEntry DelayAnalyzer::walk_receive_suffix(
+    const EnvelopePtr& entry, Seconds h_r,
+    std::vector<ChainStage>* stages) const {
+  const net::TopologyParams& p = topology_->params();
+  const Bits frame_r = fddi::frame_payload_for_allocation(p.ring, h_r);
+  const ConstantDelayServer input_port(
+      "ID_R.Input_Port", p.interface_device.input_port_delay);
+  const auto conversion = make_cell_to_frame_server(
+      "ID_R.Cell_Frame_Conversion", frame_r, p.cells.payload,
+      p.cells.payload, p.interface_device.cell_frame_conversion);
+  const ConstantDelayServer frame_switch(
+      "ID_R.Frame_Switch", p.interface_device.frame_switch_delay);
+  FddiMacParams mac;
+  mac.ttrt = p.ring.ttrt;
+  mac.sync_allocation = h_r;
+  mac.ring_rate = fddi::effective_payload_rate(p.ring, frame_r);
+  mac.buffer_limit = p.interface_device.mac_buffer;
+  // The receive MAC is the last queueing server on the path — its output
+  // feeds only the constant delay line to the host, so the (expensive)
+  // conservative rasterization of Υ buys nothing here.
+  AnalysisConfig rx_config = config_;
+  rx_config.rasterize_mac_output = false;
+  const FddiMacServer mac_server("FDDI_R.MAC", mac, rx_config);
+  const ConstantDelayServer delay_line("FDDI_R.Delay_Line",
+                                       p.ring.propagation);
+
+  AnalysisSession::SuffixEntry out;
+  EnvelopePtr env = entry;
+  for (const Server* s :
+       {static_cast<const Server*>(&input_port),
+        static_cast<const Server*>(conversion.get()),
+        static_cast<const Server*>(&frame_switch),
+        static_cast<const Server*>(&mac_server),
+        static_cast<const Server*>(&delay_line)}) {
+    Seconds stage_delay;
+    if (!run_stage(*s, env, stage_delay, stages)) return out;
+    out.stage_delays.push_back(stage_delay);
+  }
+  out.finite = true;
+  out.final_env = std::move(env);
+  return out;
+}
+
+std::vector<SendPrefix> DelayAnalyzer::compute_prefixes(
+    const std::vector<ConnectionInstance>& set, std::ptrdiff_t stage_index,
+    std::vector<ChainStage>* stages) const {
+  std::vector<SendPrefix> prefixes;
+  prefixes.reserve(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const ConnectionInstance& inst = set[i];
+    prefixes.push_back(
+        static_cast<std::ptrdiff_t>(i) == stage_index
+            ? prefix_with_stages(inst.spec, inst.alloc.h_s, stages)
+            : send_prefix(inst.spec, inst.alloc.h_s));
+  }
+  return prefixes;
+}
+
 std::vector<Seconds> DelayAnalyzer::complete(
     const std::vector<ConnectionInstance>& set,
-    const std::vector<SendPrefix>& prefixes) const {
-  return run(set, prefixes, nullptr);
+    const std::vector<SendPrefix>& prefixes, AnalysisSession* session) const {
+  return run(set, prefixes, nullptr, nullptr, session);
 }
 
 std::map<atm::PortId, DelayAnalyzer::PortReport> DelayAnalyzer::port_reports(
     const std::vector<ConnectionInstance>& set) const {
-  std::vector<SendPrefix> prefixes;
-  prefixes.reserve(set.size());
-  for (const auto& inst : set) {
-    prefixes.push_back(send_prefix(inst.spec, inst.alloc.h_s));
-  }
   std::map<atm::PortId, PortReport> ports;
-  run(set, prefixes, nullptr, &ports);
+  run(set, compute_prefixes(set), nullptr, &ports);
   return ports;
 }
 
 std::vector<Seconds> DelayAnalyzer::analyze(
     const std::vector<ConnectionInstance>& set) const {
-  std::vector<SendPrefix> prefixes;
-  prefixes.reserve(set.size());
-  for (const auto& inst : set) {
-    prefixes.push_back(send_prefix(inst.spec, inst.alloc.h_s));
-  }
-  return run(set, prefixes, nullptr);
+  return run(set, compute_prefixes(set), nullptr);
 }
 
 std::optional<ChainAnalysis> DelayAnalyzer::breakdown(
     const std::vector<ConnectionInstance>& set, std::size_t index) const {
   HETNET_CHECK(index < set.size(), "breakdown index out of range");
-  std::vector<SendPrefix> prefixes;
+  // The indexed connection's prefix is walked ONCE, recording its stages
+  // up front (run() consumes precomputed prefixes, so the prefix stages
+  // would otherwise be absent from `details`).
+  ChainAnalysis full;
+  const std::vector<SendPrefix> prefixes = compute_prefixes(
+      set, static_cast<std::ptrdiff_t>(index), &full.stages);
   std::vector<ChainAnalysis> details;
-  prefixes.reserve(set.size());
-  for (const auto& inst : set) {
-    prefixes.push_back(send_prefix(inst.spec, inst.alloc.h_s));
-  }
   const auto delays = run(set, prefixes, &details);
   if (delays[index] == kUnbounded) return std::nullopt;
-  // run() consumed precomputed prefixes, so the prefix stages are absent
-  // from `details`; re-walk the private prefix once with stage recording.
-  ChainAnalysis full;
-  const SendPrefix pre = prefix_with_stages(set[index].spec,
-                                            set[index].alloc.h_s,
-                                            &full.stages);
-  HETNET_CHECK(pre.finite, "prefix must be finite when the bound is");
+  HETNET_CHECK(prefixes[index].finite,
+               "prefix must be finite when the bound is");
   for (auto& stage : details[index].stages) {
     full.stages.push_back(std::move(stage));
   }

@@ -26,11 +26,13 @@
 // never admits a violating configuration.
 #pragma once
 
+#include <cstddef>
 #include <limits>
 #include <map>
 #include <optional>
 #include <vector>
 
+#include "src/core/session.h"
 #include "src/net/connection.h"
 #include "src/net/topology.h"
 #include "src/servers/chain.h"
@@ -68,9 +70,13 @@ class DelayAnalyzer {
   // Jointly computes the end-to-end worst-case delay bound of every
   // instance (kUnbounded where no finite bound exists). `prefixes` must be
   // aligned with `set` and produced by send_prefix() for the same specs and
-  // allocations.
+  // allocations. When `session` is non-null, per-port bounds and receive
+  // suffixes are served from (and recorded into) its memo tables — results
+  // are bit-identical to the cold recompute, only faster when consecutive
+  // calls share structure (see src/core/session.h).
   std::vector<Seconds> complete(const std::vector<ConnectionInstance>& set,
-                                const std::vector<SendPrefix>& prefixes) const;
+                                const std::vector<SendPrefix>& prefixes,
+                                AnalysisSession* session = nullptr) const;
 
   // Convenience: send_prefix for each instance, then complete().
   std::vector<Seconds> analyze(const std::vector<ConnectionInstance>& set) const;
@@ -98,11 +104,22 @@ class DelayAnalyzer {
  private:
   SendPrefix prefix_with_stages(const net::ConnectionSpec& spec, Seconds h_s,
                                 std::vector<ChainStage>* stages) const;
+  // send_prefix() for every instance; the instance at `stage_index` (if any)
+  // additionally records its per-stage breakdown into `stages`.
+  std::vector<SendPrefix> compute_prefixes(
+      const std::vector<ConnectionInstance>& set,
+      std::ptrdiff_t stage_index = -1,
+      std::vector<ChainStage>* stages = nullptr) const;
+  // Walks the private receive-side suffix (ID_R + FDDI_R) for a flow whose
+  // envelope leaving the backbone is `entry`, under allocation h_r.
+  AnalysisSession::SuffixEntry walk_receive_suffix(
+      const EnvelopePtr& entry, Seconds h_r,
+      std::vector<ChainStage>* stages) const;
   std::vector<Seconds> run(const std::vector<ConnectionInstance>& set,
                            const std::vector<SendPrefix>& prefixes,
                            std::vector<ChainAnalysis>* details,
-                           std::map<atm::PortId, PortReport>* ports =
-                               nullptr) const;
+                           std::map<atm::PortId, PortReport>* ports = nullptr,
+                           AnalysisSession* session = nullptr) const;
 
   const net::AbhnTopology* topology_;
   AnalysisConfig config_;

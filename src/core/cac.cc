@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "src/traffic/fingerprint.h"
 #include "src/util/check.h"
 
 namespace hetnet::core {
@@ -22,36 +24,60 @@ bool all_deadlines_met(const std::vector<ConnectionInstance>& set,
 // One admission request's evaluation context: the active set plus the
 // requesting connection in the last slot, with the active connections'
 // send-side prefixes computed once (they do not depend on the candidate
-// allocation).
+// allocation). Under config.incremental the active prefixes come from the
+// controller's cross-request cache and every probe runs against the
+// controller's AnalysisSession, so per-probe cost scales with what the
+// candidate's allocation actually changes.
 struct AdmissionController::Probe {
-  Probe(const AdmissionController& cac, const net::ConnectionSpec& spec) {
+  Probe(const AdmissionController& cac, const net::ConnectionSpec& spec)
+      : analyzer(&cac.analyzer_),
+        session(cac.config_.incremental ? &cac.session_ : nullptr) {
     set.reserve(cac.active_.size() + 1);
     prefixes.reserve(cac.active_.size() + 1);
     for (const auto& [id, conn] : cac.active_) {
       set.push_back({conn.spec, conn.alloc});
-      prefixes.push_back(
-          cac.analyzer_.send_prefix(conn.spec, conn.alloc.h_s));
+      prefixes.push_back(session != nullptr
+                             ? cac.cached_prefix(id, conn)
+                             : cac.analyzer_.send_prefix(conn.spec,
+                                                         conn.alloc.h_s));
     }
     set.push_back({spec, {}});
     prefixes.emplace_back();
-    analyzer = &cac.analyzer_;
   }
 
   // Evaluates every connection's bound with the candidate allocation in the
   // last slot.
   std::vector<Seconds> eval(const net::Allocation& alloc) {
     set.back().alloc = alloc;
-    prefixes.back() = analyzer->send_prefix(set.back().spec, alloc.h_s);
-    return analyzer->complete(set, prefixes);
+    prefixes.back() = candidate_prefix(alloc.h_s);
+    return analyzer->complete(set, prefixes, session);
   }
 
   bool feasible(const net::Allocation& alloc) {
     return all_deadlines_met(set, eval(alloc));
   }
 
+  // The candidate's prefix for a given H_S, memoized within this request:
+  // bisection revisits anchor points (max_avail, the saturated point), and
+  // returning the SAME SendPrefix object keeps the downstream envelope
+  // fingerprints — and therefore the session's port memo keys — stable.
+  SendPrefix candidate_prefix(Seconds h_s) {
+    if (session == nullptr) {
+      return analyzer->send_prefix(set.back().spec, h_s);
+    }
+    const auto [it, inserted] =
+        candidate_prefixes.try_emplace(fp::of_double(h_s.value()));
+    if (inserted) {
+      it->second = analyzer->send_prefix(set.back().spec, h_s);
+    }
+    return it->second;
+  }
+
   const DelayAnalyzer* analyzer = nullptr;
+  AnalysisSession* session = nullptr;
   std::vector<ConnectionInstance> set;
   std::vector<SendPrefix> prefixes;
+  std::map<std::uint64_t, SendPrefix> candidate_prefixes;
 };
 
 AdmissionController::AdmissionController(const net::AbhnTopology* topology,
@@ -105,14 +131,14 @@ AdmissionDecision AdmissionController::request(
   Probe probe(*this, spec);
   const net::Allocation max_avail{h_s_max, h_r_max};
 
-  // --- Step 2: Theorem 4 — if max_avai fails, the region is empty. ---
+  // --- Step 2: Theorem 4 — if max_avail fails, the region is empty. ---
   const std::vector<Seconds> ref_delays = probe.eval(max_avail);
   if (!all_deadlines_met(probe.set, ref_delays)) {
     decision.reason = RejectReason::kInfeasible;
     return decision;
   }
 
-  // The allocation line from (H^min_abs, H^min_abs) to max_avai (its H_R
+  // The allocation line from (H^min_abs, H^min_abs) to max_avail (its H_R
   // coordinate collapses to zero for an intra-ring request).
   const auto lerp = [&](double lambda) -> net::Allocation {
     net::Allocation a;
@@ -142,7 +168,7 @@ AdmissionDecision AdmissionController::request(
 
   // --- Step 4: bisect for (H_S^max_need, H_R^max_need) via eqs. (31)–(33):
   // the smallest point on the line whose delay vector already equals the
-  // delay vector at max_avai.
+  // delay vector at max_avail.
   const auto delays_saturated = [&](const net::Allocation& alloc) {
     const std::vector<Seconds> d = probe.eval(alloc);
     for (std::size_t i = 0; i < d.size(); ++i) {
@@ -189,7 +215,7 @@ AdmissionDecision AdmissionController::request(
   std::vector<Seconds> final_delays = probe.eval(alloc);
   if (!all_deadlines_met(probe.set, final_delays)) {
     // Bisection resolution can leave λ_alloc a hair inside the infeasible
-    // side; the saturated point and max_avai are feasible by construction.
+    // side; the saturated point and max_avail are feasible by construction.
     alloc = lerp(lambda_max);
     final_delays = probe.eval(alloc);
     if (!all_deadlines_met(probe.set, final_delays)) {
@@ -214,6 +240,20 @@ AdmissionDecision AdmissionController::request(
   return decision;
 }
 
+const SendPrefix& AdmissionController::cached_prefix(
+    net::ConnectionId id, const net::ActiveConnection& conn) const {
+  auto it = prefix_cache_.find(id);
+  if (it == prefix_cache_.end() || it->second.h_s != conn.alloc.h_s) {
+    it = prefix_cache_
+             .insert_or_assign(
+                 id, PrefixCacheEntry{
+                         conn.alloc.h_s,
+                         analyzer_.send_prefix(conn.spec, conn.alloc.h_s)})
+             .first;
+  }
+  return it->second.prefix;
+}
+
 void AdmissionController::release(net::ConnectionId id) {
   const auto it = active_.find(id);
   HETNET_CHECK(it != active_.end(), "releasing an unknown connection");
@@ -222,6 +262,11 @@ void AdmissionController::release(net::ConnectionId id) {
     ledgers_[static_cast<std::size_t>(it->second.spec.dst.ring)].release(id);
   }
   active_.erase(it);
+  // Invalidate the released connection's send-prefix cache entry. The
+  // AnalysisSession needs no invalidation: its keys are pure envelope
+  // fingerprints, so entries the released connection contributed to simply
+  // stop being referenced.
+  prefix_cache_.erase(id);
 }
 
 bool AdmissionController::feasible_at(const net::ConnectionSpec& spec,

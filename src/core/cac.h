@@ -2,19 +2,19 @@
 //
 // On a request for connection M_ij the controller:
 //
-//   1. computes H^max_avai on the source and destination rings from the
+//   1. computes H^max_avail on the source and destination rings from the
 //      synchronous-bandwidth ledgers (eqs. 26–27);
 //   2. rejects if the maximum-available allocation cannot satisfy every
 //      deadline — the requesting connection's (eq. 25) and every existing
 //      connection's (eq. 24); by Theorem 4 the feasible region is then
 //      empty;
 //   3. bisects along the line from (H^min_abs, H^min_abs) to
-//      (H_S^max_avai, H_R^max_avai) for the minimum-needed allocation
+//      (H_S^max_avail, H_R^max_avail) for the minimum-needed allocation
 //      (H_S^min_need, H_R^min_need) — the smallest point on the line where
 //      all deadlines hold;
-//   4. bisects between min_need and max_avai for the maximum-useful
+//   4. bisects between min_need and max_avail for the maximum-useful
 //      allocation (H_S^max_need, H_R^max_need) — the smallest point whose
-//      delays already equal those at max_avai (eqs. 31–33): beyond it,
+//      delays already equal those at max_avail (eqs. 31–33): beyond it,
 //      extra bandwidth buys nothing;
 //   5. allocates the β-interpolation (eqs. 35–36)
 //          H = H^min_need + β (H^max_need − H^min_need)
@@ -57,13 +57,19 @@ struct CacConfig {
   int bisection_iters = 12;
   // Relative tolerance for the delay-equality tests of eqs. (31)–(32).
   double equality_tolerance = 1e-3;
+  // Incremental evaluation engine: cache active connections' send prefixes
+  // across probes and requests, and memoize per-port FIFO bounds and
+  // receive suffixes in an AnalysisSession (src/core/session.h). Decisions
+  // and delay vectors are bit-identical to the cold path — disable only for
+  // the cold reference in perf comparisons and soundness tests.
+  bool incremental = true;
   AnalysisConfig analysis;
 };
 
 enum class RejectReason {
   kNone,              // admitted
-  kNoSyncBandwidth,   // H^max_avai below H^min_abs on some ring (eq. 26/27)
-  kInfeasible,        // deadlines unsatisfiable even at max_avai (Theorem 4)
+  kNoSyncBandwidth,   // H^max_avail below H^min_abs on some ring (eq. 26/27)
+  kInfeasible,        // deadlines unsatisfiable even at max_avail (Theorem 4)
 };
 
 struct AdmissionDecision {
@@ -109,14 +115,35 @@ class AdmissionController {
   const CacConfig& config() const { return config_; }
   const DelayAnalyzer& analyzer() const { return analyzer_; }
 
+  // Memoization counters of the incremental engine (all zero when
+  // config().incremental is false). Exposed for tests and benchmarks.
+  const AnalysisSession::Stats& session_stats() const {
+    return session_.stats();
+  }
+
  private:
   struct Probe;  // see .cc: cached feasibility evaluation along the line
+
+  // The active connection's send prefix, computed at most once per (id,
+  // H_S) and reused across every probe of every later request. Erased on
+  // release(); recomputed transparently if the allocation ever changed.
+  const SendPrefix& cached_prefix(net::ConnectionId id,
+                                  const net::ActiveConnection& conn) const;
 
   const net::AbhnTopology* topology_;
   CacConfig config_;
   DelayAnalyzer analyzer_;
   std::map<net::ConnectionId, net::ActiveConnection> active_;
   std::vector<fddi::SyncBandwidthLedger> ledgers_;
+  // Incremental-engine state. Mutable: probes run inside const entry points
+  // (feasible_at, delay_at); the caches are semantically transparent. Like
+  // cache_envelope, they mutate on use — the controller is single-threaded.
+  struct PrefixCacheEntry {
+    Seconds h_s;
+    SendPrefix prefix;
+  };
+  mutable std::map<net::ConnectionId, PrefixCacheEntry> prefix_cache_;
+  mutable AnalysisSession session_;
 };
 
 }  // namespace hetnet::core

@@ -1,0 +1,15 @@
+#include "src/core/session.h"
+
+namespace hetnet::core {
+
+void AnalysisSession::clear() {
+  ports_.clear();
+  suffixes_.clear();
+}
+
+void AnalysisSession::trim() {
+  if (ports_.size() > kMaxEntries) ports_.clear();
+  if (suffixes_.size() > kMaxEntries) suffixes_.clear();
+}
+
+}  // namespace hetnet::core

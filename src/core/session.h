@@ -1,0 +1,98 @@
+// Incremental evaluation state for the admission-analysis hot path.
+//
+// The Section-5 CAC probes ~2×bisection_iters+3 candidate allocations per
+// admission request, and each probe re-runs the joint FDDI→ATM→FDDI analysis
+// of DelayAnalyzer::run(). Between two probes only the CANDIDATE's
+// allocation differs, so only the ports on its backbone route (and whatever
+// is downstream of them) can produce different bounds — every other port,
+// and the receive-side suffix of every connection not crossing a changed
+// port, is recomputed to the bit-identical result.
+//
+// AnalysisSession memoizes exactly those two computations:
+//
+//   * per-port FIFO bounds + per-flow output envelopes, keyed by
+//     (port, [fingerprints of the live input envelopes in multiplex order]);
+//   * per-connection receive-side suffixes (ID_R + FDDI_R), keyed by
+//     (fingerprint of the envelope leaving the last backbone port, H_R).
+//
+// Keys are the structural envelope fingerprints of src/traffic/fingerprint.h:
+// equal fingerprint ⇒ bit-identical envelope, so a memo hit returns exactly
+// what the cold recompute would have produced (the soundness tests in
+// tests/core/incremental_test.cc pin this bit-for-bit). Entries never go
+// stale — a released connection simply stops contributing its fingerprints —
+// so the session needs no invalidation protocol, only a size bound.
+//
+// NOT thread-safe (like cache_envelope, the memo mutates on use). One
+// session per AdmissionController; the controller is single-threaded by
+// design.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/atm/backbone.h"
+#include "src/traffic/envelope.h"
+#include "src/util/units.h"
+
+namespace hetnet::core {
+
+class DelayAnalyzer;
+
+class AnalysisSession {
+ public:
+  struct Stats {
+    std::uint64_t port_evals = 0;    // FIFO ports bounded from scratch
+    std::uint64_t port_hits = 0;     // ports served from the memo
+    std::uint64_t suffix_evals = 0;  // receive suffixes walked from scratch
+    std::uint64_t suffix_hits = 0;   // suffixes served from the memo
+  };
+
+  const Stats& stats() const { return stats_; }
+
+  // Drops all memoized results (keeps the counters).
+  void clear();
+
+  std::size_t size() const { return ports_.size() + suffixes_.size(); }
+
+ private:
+  friend class DelayAnalyzer;
+
+  // Backstop against unbounded growth under endless churn: when either
+  // table crosses this many entries it is dropped wholesale (correctness is
+  // unaffected — the memo is a pure cache).
+  static constexpr std::size_t kMaxEntries = 1 << 16;
+
+  struct PortEntry {
+    bool bounded = false;
+    Seconds delay;  // port-wide FIFO bound incl. non-preemption
+    Bits backlog;
+    // Input-envelope fingerprint → that flow's envelope at the port exit.
+    // Stored (not re-derived) so downstream stages see the SAME objects on a
+    // hit, keeping their own memo keys stable across probes.
+    std::vector<std::pair<std::uint64_t, EnvelopePtr>> outputs;
+  };
+
+  struct SuffixEntry {
+    bool finite = false;
+    // Per-stage delays, re-applied in order on a hit: replaying the exact
+    // addition sequence keeps accumulated delays bit-identical to the cold
+    // walk (floating-point addition is not associative).
+    std::vector<Seconds> stage_delays;
+    EnvelopePtr final_env;
+  };
+
+  // Exact keys (no hash folding): lookups compare the full fingerprint
+  // sequence, so the only collision channel is the fingerprint layer itself.
+  using PortKey = std::pair<atm::PortId, std::vector<std::uint64_t>>;
+  using SuffixKey = std::pair<std::uint64_t, std::uint64_t>;  // env fp, H_R
+
+  void trim();
+
+  std::map<PortKey, PortEntry> ports_;
+  std::map<SuffixKey, SuffixEntry> suffixes_;
+  Stats stats_;
+};
+
+}  // namespace hetnet::core

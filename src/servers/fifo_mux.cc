@@ -112,23 +112,32 @@ std::optional<Seconds> FifoMuxServer::queueing_delay(
   return bounds->queueing_delay;
 }
 
-std::optional<ServerAnalysis> FifoMuxServer::analyze(
+std::optional<FifoMuxServer::PortAnalysis> FifoMuxServer::analyze_port(
     const EnvelopePtr& input) const {
   const auto bounds = bound_port(input);
   if (!bounds.has_value()) return std::nullopt;
   if (bounds->backlog > params_.buffer_limit * (1.0 + 1e-12)) {
     return std::nullopt;  // port buffer overflow ⟹ loss ⟹ no delay bound
   }
-  const Seconds delay = bounds->queueing_delay + params_.non_preemption;
+  return PortAnalysis{bounds->queueing_delay + params_.non_preemption,
+                      bounds->backlog};
+}
+
+EnvelopePtr FifoMuxServer::flow_output(const EnvelopePtr& input,
+                                       Seconds delay) const {
+  return rate_cap(shift_envelope(input, delay), params_.capacity,
+                  params_.cell_bits);
+}
+
+std::optional<ServerAnalysis> FifoMuxServer::analyze(
+    const EnvelopePtr& input) const {
+  const auto port = analyze_port(input);
+  if (!port.has_value()) return std::nullopt;
 
   ServerAnalysis result;
-  result.worst_case_delay = delay;
-  result.buffer_required = bounds->backlog;
-  // FIFO output bound: departures in a window of length I arrived within
-  // I + d; a single flow additionally cannot beat the raw link rate (plus
-  // one cell of slack for the unit in transmission).
-  result.output = rate_cap(shift_envelope(input, delay), params_.capacity,
-                           params_.cell_bits);
+  result.worst_case_delay = port->worst_case_delay;
+  result.buffer_required = port->buffer_required;
+  result.output = flow_output(input, port->worst_case_delay);
   return result;
 }
 

@@ -65,6 +65,23 @@ class FifoMuxServer final : public Server {
 
   const FifoMuxParams& params() const { return params_; }
 
+  // Port-wide bounds for `input` plus the cross traffic, without deriving a
+  // per-flow output descriptor. The delay includes the non-preemption term;
+  // nullopt when no finite bound exists or the backlog overflows the port
+  // buffer. The network analyzer calls this once per shared port and derives
+  // each flow's output itself (see flow_output()).
+  struct PortAnalysis {
+    Seconds worst_case_delay;
+    Bits buffer_required;
+  };
+  std::optional<PortAnalysis> analyze_port(const EnvelopePtr& input) const;
+
+  // The standard FIFO per-flow output bound for a flow that entered the port
+  // as `input` when the port's delay bound is `delay`: departures in a
+  // window of length I arrived within I + delay, and a single flow cannot
+  // beat the link rate plus one cell of slack.
+  EnvelopePtr flow_output(const EnvelopePtr& input, Seconds delay) const;
+
   // The port-wide worst-case queueing delay (before adding T_np) for the
   // aggregate of `input` plus the cross traffic; exposed for tests.
   std::optional<Seconds> queueing_delay(const EnvelopePtr& input) const;

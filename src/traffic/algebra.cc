@@ -49,6 +49,14 @@ class SumEnvelope final : public ArrivalEnvelope {
     return os.str();
   }
 
+  // Order-dependent on purpose: floating-point addition is not associative,
+  // so only an identically-ordered sum is bit-identical.
+  std::uint64_t fingerprint() const override {
+    std::uint64_t h = fp::mix(0x2b);  // '+'
+    for (const auto& p : parts_) h = fp::combine(h, p->fingerprint());
+    return h;
+  }
+
  private:
   std::vector<EnvelopePtr> parts_;
 };
@@ -87,6 +95,14 @@ class ShiftEnvelope final : public ArrivalEnvelope {
     os << "shift(" << input_->describe() << ", d=" << delay_ << "s)";
     return os.str();
   }
+
+  std::uint64_t fingerprint() const override {
+    const std::uint64_t h = fp::combine(fp::mix(0x3e), input_->fingerprint());
+    return fp::combine(h, fp::of_double(delay_.value()));
+  }
+
+  const EnvelopePtr& input() const { return input_; }
+  Seconds delay() const { return delay_; }
 
  private:
   EnvelopePtr input_;
@@ -162,6 +178,14 @@ class MinEnvelope final : public ArrivalEnvelope {
     return os.str();
   }
 
+  std::uint64_t fingerprint() const override {
+    const std::uint64_t h = fp::combine(fp::mix(0x5e), a_->fingerprint());
+    return fp::combine(h, b_->fingerprint());
+  }
+
+  const EnvelopePtr& a() const { return a_; }
+  const EnvelopePtr& b() const { return b_; }
+
  private:
   EnvelopePtr a_;
   EnvelopePtr b_;
@@ -227,6 +251,12 @@ class QuantizeEnvelope final : public ArrivalEnvelope {
     return os.str();
   }
 
+  std::uint64_t fingerprint() const override {
+    std::uint64_t h = fp::combine(fp::mix(0x71), input_->fingerprint());
+    h = fp::combine(h, fp::of_double(in_unit_.value()));
+    return fp::combine(h, fp::of_double(out_unit_.value()));
+  }
+
  private:
   EnvelopePtr input_;
   Bits in_unit_;
@@ -263,6 +293,11 @@ class ScaleEnvelope final : public ArrivalEnvelope {
     return os.str();
   }
 
+  std::uint64_t fingerprint() const override {
+    const std::uint64_t h = fp::combine(fp::mix(0x2a), input_->fingerprint());
+    return fp::combine(h, fp::of_double(factor_));
+  }
+
  private:
   EnvelopePtr input_;
   double factor_;
@@ -278,6 +313,12 @@ EnvelopePtr sum_envelopes(std::vector<EnvelopePtr> parts) {
 
 EnvelopePtr shift_envelope(EnvelopePtr input, Seconds delay) {
   if (delay == 0.0) return input;
+  // Compaction: shift(shift(A, d1), d2) = shift(A, d1 + d2). Keeps chains of
+  // per-hop output bounds from deepening one node per re-derivation.
+  if (const auto* inner = dynamic_cast<const ShiftEnvelope*>(input.get())) {
+    return std::make_shared<ShiftEnvelope>(inner->input(),
+                                           inner->delay() + delay);
+  }
   return std::make_shared<ShiftEnvelope>(std::move(input), delay);
 }
 
@@ -285,7 +326,32 @@ EnvelopePtr min_envelope(EnvelopePtr a, EnvelopePtr b) {
   return std::make_shared<MinEnvelope>(std::move(a), std::move(b));
 }
 
+namespace {
+
+// True when `env` is already bounded by b + r·I everywhere, i.e. a further
+// rate_cap(r, b) is pointwise redundant: min(env, cap) == env EXACTLY. Looks
+// through the shapes the analyzer produces (a leaky bucket, or a min whose
+// right operand is one).
+bool cap_is_redundant(const ArrivalEnvelope& env, BitsPerSecond rate,
+                      Bits burst) {
+  if (const auto* lb = dynamic_cast<const LeakyBucketEnvelope*>(&env)) {
+    return lb->sigma() <= burst && lb->rho() <= rate;
+  }
+  if (const auto* m = dynamic_cast<const MinEnvelope*>(&env)) {
+    return cap_is_redundant(*m->a(), rate, burst) ||
+           cap_is_redundant(*m->b(), rate, burst);
+  }
+  return false;
+}
+
+}  // namespace
+
 EnvelopePtr rate_cap(EnvelopePtr input, BitsPerSecond rate, Bits burst) {
+  // Compaction: if the input already carries a cap at least as tight, the
+  // new one changes nothing (min with a pointwise-larger function is the
+  // identity — exact, not approximate). Repeated probes re-capping the same
+  // flow at the same port therefore reuse the input unchanged.
+  if (cap_is_redundant(*input, rate, burst)) return input;
   auto cap = std::make_shared<LeakyBucketEnvelope>(burst, rate);
   return min_envelope(std::move(input), std::move(cap));
 }

@@ -46,6 +46,9 @@ class CachedEnvelope final : public ArrivalEnvelope {
     return "cached(" + input_->describe() + ")";
   }
 
+  // Transparent for memoization: the cache never changes values.
+  std::uint64_t fingerprint() const override { return input_->fingerprint(); }
+
   bool is_cache() const { return true; }
 
  private:

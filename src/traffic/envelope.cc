@@ -1,10 +1,16 @@
 #include "src/traffic/envelope.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/util/check.h"
 
 namespace hetnet {
+
+ArrivalEnvelope::ArrivalEnvelope() {
+  static std::atomic<std::uint64_t> counter{1};
+  instance_fp_ = fp::mix(counter.fetch_add(1, std::memory_order_relaxed));
+}
 
 BitsPerSecond ArrivalEnvelope::rate(Seconds interval) const {
   HETNET_CHECK(interval > 0, "rate(I) requires I > 0");

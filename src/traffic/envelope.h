@@ -29,10 +29,12 @@
 // (server outputs) hold their inputs by shared pointer and evaluate lazily.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/traffic/fingerprint.h"
 #include "src/util/units.h"
 
 namespace hetnet {
@@ -42,7 +44,17 @@ using EnvelopePtr = std::shared_ptr<const ArrivalEnvelope>;
 
 class ArrivalEnvelope {
  public:
+  ArrivalEnvelope();
   virtual ~ArrivalEnvelope() = default;
+
+  // Structural identity for memoization: equal fingerprints imply
+  // bit-identical bits(I) at every interval (see fingerprint.h for the
+  // contract). The default is a unique per-instance id — always sound, never
+  // shared between distinct objects. Source models and algebra operators
+  // override it with a structural hash so that recreating the same
+  // composition (e.g. the same rate cap on the same flow in a later
+  // admission probe) yields the same key.
+  virtual std::uint64_t fingerprint() const { return instance_fp_; }
 
   // A(I): maximum bits arriving in any window of length `interval` seconds.
   // Requires interval >= 0. Implementations must be nondecreasing.
@@ -69,6 +81,9 @@ class ArrivalEnvelope {
 
   // One-line human-readable description (used in traces and error text).
   virtual std::string describe() const = 0;
+
+ private:
+  std::uint64_t instance_fp_;
 };
 
 // Merges several sorted breakpoint lists into one sorted, de-duplicated list

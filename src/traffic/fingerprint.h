@@ -1,0 +1,45 @@
+// Structural fingerprints for envelope memoization.
+//
+// A fingerprint is a 64-bit hash that identifies an envelope *structurally*:
+// two envelopes with equal fingerprints evaluate identically at every
+// interval (modulo the astronomically unlikely 64-bit collision). Source
+// models hash their parameters; algebra operators (sum/shift/min/...) hash
+// an operator tag plus their operands' fingerprints; everything else falls
+// back to a unique per-instance id (sound: an instance is trivially
+// structurally equal to itself, and computed envelopes are immutable and
+// shared by pointer).
+//
+// The incremental admission engine (src/core/session.h) keys its per-port
+// and per-suffix memo tables on these fingerprints, so the soundness
+// contract is: equal fingerprint ⇒ bit-identical bits(I) for all I. Every
+// override must preserve it.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace hetnet::fp {
+
+// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+inline std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combiner (boost-style with a mix on top).
+inline std::uint64_t combine(std::uint64_t seed, std::uint64_t v) {
+  return mix(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2)));
+}
+
+// The exact bit pattern of a double; distinguishes -0.0 from 0.0, which is
+// fine for memo keys (stricter than ==, never unsound).
+inline std::uint64_t of_double(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace hetnet::fp

@@ -107,4 +107,13 @@ std::string MultiPeriodicEnvelope::describe() const {
   return os.str();
 }
 
+std::uint64_t MultiPeriodicEnvelope::fingerprint() const {
+  std::uint64_t h = fp::mix(0x6d);  // 'm'ulti
+  for (const PeriodicLevel& level : levels_) {
+    h = fp::combine(h, fp::of_double(level.bits.value()));
+    h = fp::combine(h, fp::of_double(level.period.value()));
+  }
+  return fp::combine(h, fp::of_double(peak_.value()));
+}
+
 }  // namespace hetnet

@@ -38,6 +38,7 @@ class MultiPeriodicEnvelope final : public ArrivalEnvelope {
   Bits burst_bound() const override { return levels_.front().bits; }
   std::vector<Seconds> breakpoints(Seconds horizon) const override;
   std::string describe() const override;
+  std::uint64_t fingerprint() const override;
 
   const std::vector<PeriodicLevel>& levels() const { return levels_; }
   BitsPerSecond peak_rate() const { return peak_; }

@@ -55,6 +55,13 @@ std::string PeriodicEnvelope::describe() const {
   return os.str();
 }
 
+std::uint64_t PeriodicEnvelope::fingerprint() const {
+  std::uint64_t h = fp::mix(0x70);  // 'p'eriodic
+  h = fp::combine(h, fp::of_double(c_.value()));
+  h = fp::combine(h, fp::of_double(p_.value()));
+  return fp::combine(h, fp::of_double(peak_.value()));
+}
+
 DualPeriodicEnvelope::DualPeriodicEnvelope(Bits c1, Seconds p1, Bits c2,
                                            Seconds p2,
                                            BitsPerSecond peak_rate)
@@ -107,6 +114,15 @@ std::string DualPeriodicEnvelope::describe() const {
   return os.str();
 }
 
+std::uint64_t DualPeriodicEnvelope::fingerprint() const {
+  std::uint64_t h = fp::mix(0x64);  // 'd'ual
+  h = fp::combine(h, fp::of_double(c1_.value()));
+  h = fp::combine(h, fp::of_double(p1_.value()));
+  h = fp::combine(h, fp::of_double(c2_.value()));
+  h = fp::combine(h, fp::of_double(p2_.value()));
+  return fp::combine(h, fp::of_double(peak_.value()));
+}
+
 LeakyBucketEnvelope::LeakyBucketEnvelope(Bits sigma, BitsPerSecond rho)
     : sigma_(sigma), rho_(rho) {
   HETNET_CHECK(sigma_ >= 0 && rho_ >= 0, "leaky bucket needs σ, ρ >= 0");
@@ -126,6 +142,12 @@ std::string LeakyBucketEnvelope::describe() const {
   std::ostringstream os;
   os << "leaky-bucket(σ=" << sigma_ << "b, ρ=" << rho_ << "b/s)";
   return os.str();
+}
+
+std::uint64_t LeakyBucketEnvelope::fingerprint() const {
+  std::uint64_t h = fp::mix(0x6c);  // 'l'eaky
+  h = fp::combine(h, fp::of_double(sigma_.value()));
+  return fp::combine(h, fp::of_double(rho_.value()));
 }
 
 }  // namespace hetnet

@@ -36,6 +36,7 @@ class PeriodicEnvelope final : public ArrivalEnvelope {
   Bits burst_bound() const override { return c_; }
   std::vector<Seconds> breakpoints(Seconds horizon) const override;
   std::string describe() const override;
+  std::uint64_t fingerprint() const override;
 
   Bits bits_per_period() const { return c_; }
   Seconds period() const { return p_; }
@@ -67,6 +68,7 @@ class DualPeriodicEnvelope final : public ArrivalEnvelope {
   Bits burst_bound() const override { return c1_; }
   std::vector<Seconds> breakpoints(Seconds horizon) const override;
   std::string describe() const override;
+  std::uint64_t fingerprint() const override;
 
   Bits c1() const { return c1_; }
   Seconds p1() const { return p1_; }
@@ -96,6 +98,7 @@ class LeakyBucketEnvelope final : public ArrivalEnvelope {
   Bits burst_bound() const override { return sigma_; }
   std::vector<Seconds> breakpoints(Seconds horizon) const override;
   std::string describe() const override;
+  std::uint64_t fingerprint() const override;
 
   Bits sigma() const { return sigma_; }
   BitsPerSecond rho() const { return rho_; }
@@ -112,6 +115,7 @@ class ZeroEnvelope final : public ArrivalEnvelope {
   Bits burst_bound() const override { return Bits{}; }
   std::vector<Seconds> breakpoints(Seconds) const override { return {}; }
   std::string describe() const override { return "zero"; }
+  std::uint64_t fingerprint() const override { return fp::mix(0x5a); }
 };
 
 }  // namespace hetnet

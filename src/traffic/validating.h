@@ -33,6 +33,8 @@ class ValidatingEnvelope final : public ArrivalEnvelope {
   Bits burst_bound() const override;
   std::vector<Seconds> breakpoints(Seconds horizon) const override;
   std::string describe() const override;
+  // Transparent for memoization: validation never changes values.
+  std::uint64_t fingerprint() const override { return inner_->fingerprint(); }
 
   const EnvelopePtr& inner() const { return inner_; }
 

@@ -1,0 +1,206 @@
+// Soundness of the incremental admission-analysis engine: under randomized
+// admit/release churn, an incremental controller (prefix cache + session
+// memo) must make BIT-IDENTICAL decisions — allocations, delay bounds, line
+// anchors — to a cold controller that recomputes everything from scratch,
+// including after release() invalidation. The memo layer is a pure cache;
+// any divergence, however small, is a correctness bug.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/cac.h"
+#include "src/traffic/sources.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::core {
+namespace {
+
+using hetnet::testing::make_spec;
+using hetnet::testing::sensor_source;
+using hetnet::testing::video_source;
+
+CacConfig config_with(bool incremental) {
+  CacConfig config;
+  config.beta = 0.5;
+  config.incremental = incremental;
+  return config;
+}
+
+void expect_decisions_identical(const AdmissionDecision& inc,
+                                const AdmissionDecision& cold) {
+  EXPECT_EQ(inc.admitted, cold.admitted);
+  EXPECT_EQ(inc.reason, cold.reason);
+  // Exact floating-point equality on purpose: the incremental engine
+  // promises bit-identical results, not approximately equal ones.
+  EXPECT_EQ(inc.alloc.h_s.value(), cold.alloc.h_s.value());
+  EXPECT_EQ(inc.alloc.h_r.value(), cold.alloc.h_r.value());
+  EXPECT_EQ(inc.worst_case_delay.value(), cold.worst_case_delay.value());
+  EXPECT_EQ(inc.max_avail.h_s.value(), cold.max_avail.h_s.value());
+  EXPECT_EQ(inc.max_avail.h_r.value(), cold.max_avail.h_r.value());
+  EXPECT_EQ(inc.min_need.h_s.value(), cold.min_need.h_s.value());
+  EXPECT_EQ(inc.min_need.h_r.value(), cold.min_need.h_r.value());
+  EXPECT_EQ(inc.max_need.h_s.value(), cold.max_need.h_s.value());
+  EXPECT_EQ(inc.max_need.h_r.value(), cold.max_need.h_r.value());
+}
+
+// Every active connection's delay under both engines, via a joint analysis
+// of the full active set (which the two controllers must agree on exactly).
+void expect_active_sets_identical(const AdmissionController& inc,
+                                  const AdmissionController& cold) {
+  ASSERT_EQ(inc.active_count(), cold.active_count());
+  std::vector<ConnectionInstance> inc_set;
+  std::vector<ConnectionInstance> cold_set;
+  for (const auto& [id, conn] : inc.active()) {
+    inc_set.push_back({conn.spec, conn.alloc});
+  }
+  for (const auto& [id, conn] : cold.active()) {
+    cold_set.push_back({conn.spec, conn.alloc});
+  }
+  const auto inc_delays = inc.analyzer().analyze(inc_set);
+  const auto cold_delays = cold.analyzer().analyze(cold_set);
+  ASSERT_EQ(inc_delays.size(), cold_delays.size());
+  for (std::size_t i = 0; i < inc_delays.size(); ++i) {
+    EXPECT_EQ(inc_delays[i].value(), cold_delays[i].value());
+  }
+}
+
+class IncrementalChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalChurnTest, DecisionsBitIdenticalToColdRecompute) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  AdmissionController inc(&topo, config_with(true));
+  AdmissionController cold(&topo, config_with(false));
+  Rng rng(GetParam());
+
+  std::vector<net::ConnectionId> live;
+  net::ConnectionId next_id = 1;
+  int admitted = 0;
+
+  for (int step = 0; step < 60; ++step) {
+    const bool do_release = !live.empty() && rng.bernoulli(0.35);
+    if (do_release) {
+      const std::size_t k = rng.pick(live.size());
+      inc.release(live[k]);
+      cold.release(live[k]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      const net::HostId src = topo.host_at(
+          static_cast<int>(rng.pick(static_cast<std::size_t>(
+              topo.num_hosts()))));
+      net::HostId dst;
+      if (rng.bernoulli(0.2)) {  // intra-ring: the 1-D search path
+        dst = {src.ring, (src.index + 1 + static_cast<int>(rng.pick(3))) % 4};
+      } else {
+        dst = {(src.ring + 1 + static_cast<int>(rng.pick(2))) % 3,
+               static_cast<int>(rng.pick(4))};
+      }
+      const EnvelopePtr source =
+          rng.bernoulli(0.5) ? video_source() : sensor_source();
+      const Seconds deadline =
+          rng.bernoulli(0.5) ? units::ms(80) : units::ms(40);
+      const auto spec = make_spec(next_id, src, dst, source, deadline);
+      const auto d_inc = inc.request(spec);
+      const auto d_cold = cold.request(spec);
+      expect_decisions_identical(d_inc, d_cold);
+      if (d_inc.admitted) {
+        live.push_back(next_id);
+        ++admitted;
+      }
+      ++next_id;
+    }
+    if (HasFailure()) break;  // one divergence is enough to diagnose
+  }
+  expect_active_sets_identical(inc, cold);
+  // The workload must actually exercise the engine (admissions AND at least
+  // one release-triggered invalidation).
+  EXPECT_GT(admitted, 5);
+  // And the incremental engine must actually be reusing work.
+  EXPECT_GT(inc.session_stats().port_hits, 0u);
+  EXPECT_GT(inc.session_stats().suffix_hits, 0u);
+  EXPECT_EQ(cold.session_stats().port_hits + cold.session_stats().port_evals,
+            0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalChurnTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(IncrementalTest, SessionCompleteMatchesColdAnalyze) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  const DelayAnalyzer analyzer(&topo);
+
+  std::vector<ConnectionInstance> set;
+  for (int i = 0; i < 6; ++i) {
+    const net::HostId src{i % 3, i % 4};
+    const net::HostId dst{(i + 1) % 3, (i + 2) % 4};
+    auto spec = make_spec(static_cast<net::ConnectionId>(i + 1), src, dst,
+                          i % 2 == 0 ? video_source() : sensor_source(),
+                          units::ms(80));
+    set.push_back({spec, {units::us(400), units::us(400)}});
+  }
+
+  const auto cold = analyzer.analyze(set);
+
+  std::vector<SendPrefix> prefixes;
+  for (const auto& inst : set) {
+    prefixes.push_back(analyzer.send_prefix(inst.spec, inst.alloc.h_s));
+  }
+  AnalysisSession session;
+  const auto first = analyzer.complete(set, prefixes, &session);
+  const auto second = analyzer.complete(set, prefixes, &session);
+  ASSERT_EQ(first.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(first[i].value(), cold[i].value()) << "connection " << i;
+    EXPECT_EQ(second[i].value(), cold[i].value()) << "connection " << i;
+  }
+  // The second pass must have been served entirely from the memo.
+  EXPECT_GT(session.stats().port_hits, 0u);
+  EXPECT_GT(session.stats().suffix_hits, 0u);
+  EXPECT_EQ(session.stats().port_evals * 2,
+            session.stats().port_evals + session.stats().port_hits);
+}
+
+TEST(IncrementalTest, ReleaseInvalidatesPrefixCache) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  AdmissionController inc(&topo, config_with(true));
+  AdmissionController cold(&topo, config_with(false));
+
+  const auto a = make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(80));
+  const auto b = make_spec(2, {1, 1}, {2, 1}, video_source(), units::ms(80));
+  const auto c = make_spec(3, {2, 2}, {0, 2}, video_source(), units::ms(80));
+  for (const auto& spec : {a, b, c}) {
+    expect_decisions_identical(inc.request(spec), cold.request(spec));
+  }
+  inc.release(2);
+  cold.release(2);
+  // Re-admitting the same id after release must again match the cold
+  // engine exactly — a stale prefix or port bound would diverge here.
+  const auto b2 = make_spec(2, {1, 1}, {2, 1}, sensor_source(), units::ms(40));
+  expect_decisions_identical(inc.request(b2), cold.request(b2));
+  expect_active_sets_identical(inc, cold);
+}
+
+TEST(IncrementalTest, FeasibleAtAndDelayAtMatchCold) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  AdmissionController inc(&topo, config_with(true));
+  AdmissionController cold(&topo, config_with(false));
+  for (int i = 0; i < 4; ++i) {
+    const auto spec =
+        make_spec(static_cast<net::ConnectionId>(i + 1), {i % 3, i % 4},
+                  {(i + 1) % 3, i % 4}, video_source(), units::ms(80));
+    expect_decisions_identical(inc.request(spec), cold.request(spec));
+  }
+  const auto probe = make_spec(99, {0, 3}, {2, 3}, video_source(),
+                               units::ms(80));
+  for (const double us : {50.0, 200.0, 800.0, 3000.0}) {
+    const net::Allocation alloc{units::us(us), units::us(us)};
+    EXPECT_EQ(inc.feasible_at(probe, alloc), cold.feasible_at(probe, alloc));
+    EXPECT_EQ(inc.delay_at(probe, alloc).value(),
+              cold.delay_at(probe, alloc).value());
+  }
+}
+
+}  // namespace
+}  // namespace hetnet::core

@@ -1,0 +1,147 @@
+// Envelope fingerprint contract (src/traffic/fingerprint.h) and the
+// expression-tree compactions in the algebra factories. The incremental
+// admission engine keys its memo tables on fingerprints, so the properties
+// pinned here — structural equality ⇒ equal fingerprint, distinct structure
+// ⇒ distinct fingerprint, compaction preserves values exactly — are load-
+// bearing for admission-decision correctness.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/traffic/algebra.h"
+#include "src/traffic/cached.h"
+#include "src/traffic/sources.h"
+#include "src/traffic/validating.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+namespace {
+
+EnvelopePtr dual() {
+  return std::make_shared<DualPeriodicEnvelope>(
+      units::kbits(300), units::ms(100), units::kbits(100), units::ms(20));
+}
+
+TEST(FingerprintTest, SourcesAreStructural) {
+  // Two distinct instances with the same parameters are interchangeable
+  // bit-for-bit, so they must share a fingerprint.
+  EXPECT_EQ(dual()->fingerprint(), dual()->fingerprint());
+  const auto p1 =
+      std::make_shared<PeriodicEnvelope>(units::kbits(10), units::ms(20));
+  const auto p2 =
+      std::make_shared<PeriodicEnvelope>(units::kbits(10), units::ms(20));
+  EXPECT_EQ(p1->fingerprint(), p2->fingerprint());
+  const auto lb1 =
+      std::make_shared<LeakyBucketEnvelope>(units::kbits(5), units::mbps(1));
+  const auto lb2 =
+      std::make_shared<LeakyBucketEnvelope>(units::kbits(5), units::mbps(1));
+  EXPECT_EQ(lb1->fingerprint(), lb2->fingerprint());
+  EXPECT_EQ(ZeroEnvelope().fingerprint(), ZeroEnvelope().fingerprint());
+}
+
+TEST(FingerprintTest, DifferentParametersDiffer) {
+  const auto a =
+      std::make_shared<PeriodicEnvelope>(units::kbits(10), units::ms(20));
+  const auto b =
+      std::make_shared<PeriodicEnvelope>(units::kbits(10), units::ms(21));
+  const auto c =
+      std::make_shared<PeriodicEnvelope>(units::kbits(11), units::ms(20));
+  EXPECT_NE(a->fingerprint(), b->fingerprint());
+  EXPECT_NE(a->fingerprint(), c->fingerprint());
+  // A periodic source and a leaky bucket must never collide, even with
+  // numerically equal parameters.
+  const auto lb = std::make_shared<LeakyBucketEnvelope>(
+      units::kbits(10), units::kbits(10) / units::ms(20));
+  EXPECT_NE(a->fingerprint(), lb->fingerprint());
+}
+
+TEST(FingerprintTest, OperatorsAreStructural) {
+  const EnvelopePtr base = dual();
+  // Same operand object, same parameters → same fingerprint even across
+  // distinct wrapper instances (the re-derivation case in admission probes).
+  EXPECT_EQ(shift_envelope(base, units::ms(1))->fingerprint(),
+            shift_envelope(base, units::ms(1))->fingerprint());
+  EXPECT_NE(shift_envelope(base, units::ms(1))->fingerprint(),
+            shift_envelope(base, units::ms(2))->fingerprint());
+
+  const EnvelopePtr other = dual();
+  EXPECT_EQ(sum_envelopes({base, other})->fingerprint(),
+            sum_envelopes({base, other})->fingerprint());
+  // Floating-point addition is order-sensitive, so the sum fingerprint is
+  // order-sensitive too.
+  EXPECT_NE(
+      sum_envelopes({base, shift_envelope(other, units::ms(1))})->fingerprint(),
+      sum_envelopes({shift_envelope(other, units::ms(1)), base})->fingerprint());
+
+  EXPECT_EQ(rate_cap(base, units::mbps(10), units::kbits(1))->fingerprint(),
+            rate_cap(base, units::mbps(10), units::kbits(1))->fingerprint());
+  EXPECT_NE(rate_cap(base, units::mbps(10), units::kbits(1))->fingerprint(),
+            rate_cap(base, units::mbps(11), units::kbits(1))->fingerprint());
+
+  EXPECT_EQ(
+      quantize_envelope(base, units::kbits(4), units::kbits(5))->fingerprint(),
+      quantize_envelope(base, units::kbits(4), units::kbits(5))->fingerprint());
+  EXPECT_EQ(scale_envelope(base, 0.5)->fingerprint(),
+            scale_envelope(base, 0.5)->fingerprint());
+  EXPECT_NE(scale_envelope(base, 0.5)->fingerprint(),
+            scale_envelope(base, 0.25)->fingerprint());
+}
+
+TEST(FingerprintTest, WrappersAreTransparent) {
+  const EnvelopePtr base = dual();
+  EXPECT_EQ(cache_envelope(base)->fingerprint(), base->fingerprint());
+  EXPECT_EQ(ValidatingEnvelope(base).fingerprint(), base->fingerprint());
+}
+
+TEST(CompactionTest, ShiftOfShiftFlattens) {
+  const EnvelopePtr base = dual();
+  const EnvelopePtr nested =
+      shift_envelope(shift_envelope(base, units::ms(2)), units::ms(3));
+  // One shift node over the original input, not two.
+  EXPECT_EQ(nested->fingerprint(),
+            shift_envelope(base, units::ms(2) + units::ms(3))->fingerprint());
+  // And the flattened tree still computes the shifted envelope.
+  const Seconds combined = units::ms(2) + units::ms(3);
+  for (const double ms : {0.0, 1.0, 7.5, 40.0, 250.0}) {
+    const Seconds i = units::ms(ms);
+    EXPECT_EQ(nested->bits(i).value(), base->bits(i + combined).value());
+  }
+}
+
+TEST(CompactionTest, RedundantRateCapIsIdentity) {
+  const EnvelopePtr base = dual();
+  const EnvelopePtr capped = rate_cap(base, units::mbps(10), units::kbits(1));
+  // Re-capping at the same (or looser) rate/burst changes nothing — the
+  // factory must return the input unchanged (pointer equality), which is
+  // what keeps per-hop output chains from deepening across probes.
+  EXPECT_EQ(rate_cap(capped, units::mbps(10), units::kbits(1)).get(),
+            capped.get());
+  EXPECT_EQ(rate_cap(capped, units::mbps(20), units::kbits(2)).get(),
+            capped.get());
+  // A strictly tighter cap is NOT redundant and must add a node.
+  const EnvelopePtr tighter =
+      rate_cap(capped, units::mbps(5), units::kbits(1));
+  EXPECT_NE(tighter.get(), capped.get());
+  EXPECT_LE(tighter->long_term_rate().value(), units::mbps(5).value());
+}
+
+TEST(CompactionTest, InstanceFingerprintsAreUnique) {
+  // Envelopes without a structural override (e.g. two different computed
+  // staircases) must never share a fingerprint by accident: the default is
+  // a unique per-instance id.
+  class Opaque final : public ArrivalEnvelope {
+   public:
+    Bits bits(Seconds) const override { return Bits{1.0}; }
+    BitsPerSecond long_term_rate() const override { return BitsPerSecond{}; }
+    Bits burst_bound() const override { return Bits{1.0}; }
+    std::vector<Seconds> breakpoints(Seconds) const override { return {}; }
+    std::string describe() const override { return "opaque"; }
+  };
+  const Opaque a;
+  const Opaque b;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), a.fingerprint());
+}
+
+}  // namespace
+}  // namespace hetnet

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate cac_microbench perf results against a committed baseline.
+
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [--min-speedup-64 X]
+
+Both files are produced by `cac_microbench --json=...`. The gate compares
+the incremental-vs-cold SPEEDUP RATIO, not absolute nanoseconds: the ratio
+is a property of the algorithm (how much recomputation the memo layer
+avoids), so it transfers across machines and CI runners where raw timings
+do not.
+
+Failure conditions:
+  * any candidate point has decisions_match == false (the incremental
+    engine diverged from the cold recompute — a correctness bug, and a
+    fast wrong answer must never pass a perf gate);
+  * the speedup at 64 active connections fell below --min-speedup-64
+    (default 3.0, the acceptance floor for the incremental engine);
+  * any point's speedup regressed to below 80% of the baseline's.
+"""
+
+import argparse
+import json
+import sys
+
+REGRESSION_FRACTION = 0.8  # candidate speedup must be >= 80% of baseline
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "cac_microbench":
+        sys.exit(f"{path}: not a cac_microbench result file")
+    return {r["active"]: r for r in doc["results"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--min-speedup-64", type=float, default=3.0,
+                        help="absolute speedup floor at 64 active "
+                             "connections (default: %(default)s)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    failures = []
+    print(f"{'active':>6} {'base speedup':>13} {'cand speedup':>13} "
+          f"{'cand inc (ms)':>14} {'cand cold (ms)':>15} {'status':>8}")
+    for active in sorted(baseline):
+        base = baseline[active]
+        cand = candidate.get(active)
+        if cand is None:
+            failures.append(f"candidate is missing the {active}-active point")
+            continue
+        status = "ok"
+        if not cand.get("decisions_match", False):
+            status = "DIVERGED"
+            failures.append(
+                f"at {active} active: incremental and cold decisions differ")
+        floor = base["speedup"] * REGRESSION_FRACTION
+        if cand["speedup"] < floor:
+            status = "REGRESSED"
+            failures.append(
+                f"at {active} active: speedup {cand['speedup']:.2f}x is below "
+                f"{REGRESSION_FRACTION:.0%} of baseline "
+                f"{base['speedup']:.2f}x")
+        if active == 64 and cand["speedup"] < args.min_speedup_64:
+            status = "REGRESSED"
+            failures.append(
+                f"at 64 active: speedup {cand['speedup']:.2f}x is below the "
+                f"absolute floor {args.min_speedup_64:.2f}x")
+        print(f"{active:>6} {base['speedup']:>12.2f}x {cand['speedup']:>12.2f}x "
+              f"{cand['incremental_ns'] / 1e6:>14.2f} "
+              f"{cand['cold_ns'] / 1e6:>15.2f} {status:>8}")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nOK: incremental-engine speedups hold against the baseline")
+
+
+if __name__ == "__main__":
+    main()
