@@ -35,6 +35,7 @@ void Backbone::connect_switches(SwitchId a, SwitchId b,
   HETNET_CHECK(a != b, "cannot link a switch to itself");
   add_port(a, b, link);
   add_port(b, a, link);
+  ++num_switch_links_;
 }
 
 AccessId Backbone::attach_access(SwitchId s, const LinkParams& link) {

@@ -83,6 +83,9 @@ class Backbone {
   int num_switches() const { return num_switches_; }
   int num_accesses() const { return static_cast<int>(access_nodes_.size()); }
   int num_ports() const { return static_cast<int>(ports_.size()); }
+  // Bidirectional switch-to-switch links (access uplinks excluded): the
+  // paper's backbone-link count (3 for the Section-6 triangle).
+  int num_switch_links() const { return num_switch_links_; }
   const CellFormat& cells() const { return cells_; }
   Seconds switch_fabric_delay() const { return fabric_delay_; }
 
@@ -105,6 +108,7 @@ class Backbone {
   PortId add_port(int from, int to, const LinkParams& link);
 
   int num_switches_;
+  int num_switch_links_ = 0;
   CellFormat cells_;
   Seconds fabric_delay_;
   std::vector<PortRecord> ports_;

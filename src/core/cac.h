@@ -70,6 +70,10 @@ enum class RejectReason {
   kNone,              // admitted
   kNoSyncBandwidth,   // H^max_avail below H^min_abs on some ring (eq. 26/27)
   kInfeasible,        // deadlines unsatisfiable even at max_avail (Theorem 4)
+  // Refused by the signaling layer without consulting the CAC: the SETUP
+  // named an id whose previous instance is still in the state table (e.g.
+  // its RELEASE has not reached the controller yet).
+  kSignalingCollision,
 };
 
 struct AdmissionDecision {

@@ -1,5 +1,6 @@
 #include "src/core/region.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -32,21 +33,33 @@ RegionGrid sample_feasible_region(const AdmissionController& cac,
 }
 
 int count_convexity_violations(const RegionGrid& grid) {
+  // A violating midpoint is an INFEASIBLE grid point that is the exact
+  // midpoint of two feasible ones. Instead of scanning all even pairs of
+  // feasible points (quadratic in the grid size even on fully-convex
+  // grids), enumerate candidate midpoints directly and stop at the first
+  // witness pair — each midpoint is counted once, matching the documented
+  // semantics, and a feasible midpoint costs nothing.
   int violations = 0;
   const int ns = grid.steps_s;
   const int nr = grid.steps_r;
-  for (int j1 = 0; j1 < nr; ++j1) {
-    for (int i1 = 0; i1 < ns; ++i1) {
-      if (!grid.at(i1, j1).feasible) continue;
-      for (int j2 = j1; j2 < nr; ++j2) {
-        for (int i2 = 0; i2 < ns; ++i2) {
-          if (!grid.at(i2, j2).feasible) continue;
-          if ((i1 + i2) % 2 != 0 || (j1 + j2) % 2 != 0) continue;
-          if (!grid.at((i1 + i2) / 2, (j1 + j2) / 2).feasible) {
-            ++violations;
-          }
+  for (int jm = 0; jm < nr; ++jm) {
+    for (int im = 0; im < ns; ++im) {
+      if (grid.at(im, jm).feasible) continue;
+      // Endpoint pairs are (im−di, jm−dj) and (im+di, jm+dj); scanning
+      // di >= 0 covers every pair once ((di,dj) and (−di,−dj) name the
+      // same one), and (0,0) is excluded — the midpoint itself is
+      // infeasible.
+      const int di_max = std::min(im, ns - 1 - im);
+      const int dj_max = std::min(jm, nr - 1 - jm);
+      bool witnessed = false;
+      for (int di = 0; di <= di_max && !witnessed; ++di) {
+        for (int dj = di == 0 ? 1 : -dj_max; dj <= dj_max && !witnessed;
+             ++dj) {
+          witnessed = grid.at(im - di, jm - dj).feasible &&
+                      grid.at(im + di, jm + dj).feasible;
         }
       }
+      if (witnessed) ++violations;
     }
   }
   return violations;

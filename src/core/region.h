@@ -50,7 +50,10 @@ RegionGrid sample_feasible_region(const AdmissionController& cac,
 
 // Empirical convexity: for every pair of feasible grid points whose exact
 // midpoint is also a grid point, the midpoint must be feasible. Returns the
-// number of violating midpoints (0 ⟺ consistent with Theorems 3–4).
+// number of violating midpoints — infeasible grid points witnessed by at
+// least one such pair, each counted once (0 ⟺ consistent with Theorems
+// 3–4). Enumerates midpoints directly with early exit on the first
+// witness, rather than scanning all pairs of feasible points.
 int count_convexity_violations(const RegionGrid& grid);
 
 // ASCII map of the region: '#' feasible, '.' infeasible, H_S rightward,

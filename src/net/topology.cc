@@ -6,7 +6,10 @@ namespace hetnet::net {
 namespace {
 
 atm::Backbone build_backbone(const TopologyParams& p) {
-  HETNET_CHECK(p.num_rings >= 2, "an ABHN needs at least two rings");
+  // A single ring is a degenerate but valid ABHN: all traffic is intra-ring
+  // and the backbone carries nothing (workload generators must refuse
+  // inter-ring requests on it).
+  HETNET_CHECK(p.num_rings >= 1, "an ABHN needs at least one ring");
   HETNET_CHECK(p.hosts_per_ring >= 1, "rings need at least one host");
   switch (p.backbone_shape) {
     case BackboneShape::kLine:

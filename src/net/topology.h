@@ -62,6 +62,9 @@ class AbhnTopology {
 
   int num_rings() const { return params_.num_rings; }
   int num_hosts() const { return params_.num_rings * params_.hosts_per_ring; }
+  // Backbone links between switches (Section 6's per-link load divisor):
+  // R(R−1)/2 for the mesh, R−1 for the line, 0 for a single ring.
+  int num_backbone_links() const { return backbone_.num_switch_links(); }
   bool valid_host(HostId h) const;
 
   // Flat host numbering (for workload generators): ring-major order.

@@ -37,8 +37,21 @@ void ConnectionManager::request_setup(
     std::function<void(const SetupRecord&)> on_complete) {
   queue_.schedule_at(when, [this, spec, on_complete = std::move(
                                             on_complete)] {
-    HETNET_CHECK(!states_.contains(spec.id),
-                 "SETUP for an id already in the state table");
+    if (states_.contains(spec.id)) {
+      // The id's previous instance is still establishing, established, or
+      // releasing (its RELEASE has not reached the controller yet). The
+      // source host refuses locally — no SETUP enters the network.
+      ++stats_.setup_collisions;
+      SetupRecord record;
+      record.id = spec.id;
+      record.admitted = false;
+      record.reason = core::RejectReason::kSignalingCollision;
+      record.requested_at = queue_.now();
+      record.setup_latency = Seconds{};
+      records_.push_back(record);
+      if (on_complete) on_complete(record);
+      return;
+    }
     states_.emplace(spec.id, ConnectionState::kSetupInProgress);
     const Seconds requested_at = queue_.now();
     const Seconds forward = path_latency(spec);
@@ -63,9 +76,15 @@ void ConnectionManager::request_setup(
               states_[spec.id] = ConnectionState::kEstablished;
             } else {
               states_.erase(spec.id);
+              pending_release_.erase(spec.id);
             }
             records_.push_back(record);
             if (on_complete) on_complete(record);
+            // A RELEASE that raced this SETUP applies the moment the
+            // CONNECT lands.
+            if (decision.admitted && pending_release_.erase(spec.id) > 0) {
+              begin_release(spec.id);
+            }
           });
         });
   });
@@ -75,16 +94,31 @@ void ConnectionManager::request_release(net::ConnectionId id, Seconds when) {
   queue_.schedule_at(when, [this, id] {
     const auto it = states_.find(id);
     HETNET_CHECK(it != states_.end(), "RELEASE for an unknown connection");
-    HETNET_CHECK(it->second == ConnectionState::kEstablished,
-                 "RELEASE is only valid for an established connection");
-    it->second = ConnectionState::kReleasing;
-    // The RELEASE must reach the controller before the bandwidth returns.
-    const auto& conn = cac_.active().at(id);
-    const Seconds forward = path_latency(conn.spec);
-    queue_.schedule_in(forward + params_.host_processing, [this, id] {
-      cac_.release(id);
-      states_.erase(id);
-    });
+    switch (it->second) {
+      case ConnectionState::kSetupInProgress:
+        // The SETUP's verdict is still in flight; apply the RELEASE when it
+        // lands (or drop it with the REJECT).
+        ++stats_.deferred_releases;
+        pending_release_.insert(id);
+        return;
+      case ConnectionState::kReleasing:
+        ++stats_.duplicate_releases;  // teardown already under way
+        return;
+      case ConnectionState::kEstablished:
+        break;
+    }
+    begin_release(id);
+  });
+}
+
+void ConnectionManager::begin_release(net::ConnectionId id) {
+  states_[id] = ConnectionState::kReleasing;
+  // The RELEASE must reach the controller before the bandwidth returns.
+  const auto& conn = cac_.active().at(id);
+  const Seconds forward = path_latency(conn.spec);
+  queue_.schedule_in(forward + params_.host_processing, [this, id] {
+    cac_.release(id);
+    states_.erase(id);
   });
 }
 

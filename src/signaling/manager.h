@@ -20,10 +20,18 @@
 // decides (before the CONNECT reaches the caller) and released only when
 // the RELEASE reaches the controller — the window where a contract exists
 // but the application does not know yet is never double-sold.
+//
+// Signaling races are resolved, not crashed on: a SETUP reusing an id whose
+// previous instance is still in the table is refused at the source host
+// (RejectReason::kSignalingCollision); a RELEASE racing an in-flight SETUP
+// is deferred until the verdict arrives (applied on CONNECT, dropped on
+// REJECT); a duplicate RELEASE during teardown is a counted no-op. See
+// SignalingStats.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "src/core/cac.h"
@@ -58,6 +66,19 @@ struct SetupRecord {
   net::Allocation granted;
 };
 
+// Race-handling tallies: how often signaling resolved an interleaving that
+// would otherwise be an invalid state-machine transition.
+struct SignalingStats {
+  // SETUPs refused at the source host because the id was still in the state
+  // table (previous instance establishing, established, or releasing).
+  std::size_t setup_collisions = 0;
+  // RELEASEs that arrived while the SETUP was still in flight and were
+  // applied right after the CONNECT (or dropped with the REJECT).
+  std::size_t deferred_releases = 0;
+  // RELEASEs for a connection already releasing (duplicate teardown).
+  std::size_t duplicate_releases = 0;
+};
+
 class ConnectionManager {
  public:
   ConnectionManager(const net::AbhnTopology* topology,
@@ -71,7 +92,10 @@ class ConnectionManager {
                          nullptr);
 
   // Schedules a RELEASE for an established (or establishing) connection.
-  // Invalid for unknown connections once the calendar reaches `when`.
+  // A RELEASE reaching a connection whose SETUP is still in flight is
+  // deferred until the verdict arrives; one reaching a connection already
+  // releasing is a counted no-op. Invalid for unknown connections once the
+  // calendar reaches `when`.
   void request_release(net::ConnectionId id, Seconds when);
 
   // Runs the signaling calendar to completion and returns every setup's
@@ -82,6 +106,7 @@ class ConnectionManager {
   bool known(net::ConnectionId id) const { return states_.contains(id); }
   ConnectionState state(net::ConnectionId id) const;
   const core::AdmissionController& cac() const { return cac_; }
+  const SignalingStats& stats() const { return stats_; }
   sim::EventQueue& queue() { return queue_; }
 
  private:
@@ -89,11 +114,19 @@ class ConnectionManager {
   // processing along the route plus link/ring propagation.
   Seconds path_latency(const net::ConnectionSpec& spec) const;
 
+  // Starts the teardown of an established connection at the current
+  // simulated time: marks kReleasing and schedules the bandwidth return
+  // after the RELEASE propagates to the controller.
+  void begin_release(net::ConnectionId id);
+
   const net::AbhnTopology* topology_;
   core::AdmissionController cac_;
   SignalingParams params_;
   sim::EventQueue queue_;
   std::map<net::ConnectionId, ConnectionState> states_;
+  // Connections whose RELEASE arrived while their SETUP was in flight.
+  std::set<net::ConnectionId> pending_release_;
+  SignalingStats stats_;
   std::vector<SetupRecord> records_;
 };
 

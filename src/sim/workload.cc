@@ -16,16 +16,20 @@ BitsPerSecond source_rate(const WorkloadParams& w) { return w.c1 / w.p1; }
 
 double offered_utilization(const WorkloadParams& w,
                            const net::AbhnTopology& topo) {
+  HETNET_CHECK(topo.num_backbone_links() > 0,
+               "offered utilization needs a backbone link to load");
   const BitsPerSecond capacity = topo.params().link.wire_rate;
-  const double links = topo.num_rings();  // one backbone link per ring pair
+  const double links = topo.num_backbone_links();
   return w.lambda * val(w.mean_lifetime * source_rate(w) / capacity) / links;
 }
 
 double lambda_for_utilization(double u, const WorkloadParams& w,
                               const net::AbhnTopology& topo) {
   HETNET_CHECK(u > 0, "utilization must be positive");
+  HETNET_CHECK(topo.num_backbone_links() > 0,
+               "offered utilization needs a backbone link to load");
   const BitsPerSecond capacity = topo.params().link.wire_rate;
-  const double links = topo.num_rings();
+  const double links = topo.num_backbone_links();
   return u * links * val(capacity / source_rate(w)) / val(w.mean_lifetime);
 }
 
@@ -92,6 +96,16 @@ SimulationResult run_admission_simulation(const net::AbhnTopology& topo,
     std::vector<int> remote;
     for (int h = 0; h < topo.num_hosts(); ++h) {
       if (topo.host_at(h).ring != src.ring) remote.push_back(h);
+    }
+    if (remote.empty()) {
+      // Single-ring topology (or no hosts elsewhere): there is no backbone-
+      // crossing destination, so the request is refused like any other.
+      if (measured) {
+        ++result.skipped_no_destination;
+        ++result.total_requests;
+        result.admission.add(false);
+      }
+      continue;
     }
     const net::HostId dst = topo.host_at(remote[rng.pick(remote.size())]);
 

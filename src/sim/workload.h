@@ -18,9 +18,12 @@
 //
 // The paper's load knob is the average backbone-link utilization
 //
-//     U = (λ / (3μ)) · ρ / C_link          (Section 6)
+//     U = (λ / (Lμ)) · ρ / C_link          (Section 6)
 //
-// with ρ = C1/P1; helpers convert between U and λ for the topology in use.
+// with ρ = C1/P1 and L the number of backbone links (3 for the paper's
+// triangle mesh — its "3μ"); helpers convert between U and λ for the
+// topology in use, taking L from the topology rather than assuming the
+// mesh shape.
 #pragma once
 
 #include <cstdint>
@@ -81,6 +84,7 @@ struct SimulationResult {
   std::size_t rejected_no_bandwidth = 0;   // RejectReason::kNoSyncBandwidth
   std::size_t rejected_infeasible = 0;     // RejectReason::kInfeasible
   std::size_t skipped_no_source = 0;       // arrivals with every host busy
+  std::size_t skipped_no_destination = 0;  // no host on any other ring
   RunningStats active_at_arrival;   // active connections seen by arrivals
   RunningStats granted_h_s;         // granted H_S of admitted connections (s)
   RunningStats granted_h_r;

@@ -1,0 +1,149 @@
+#include "src/testing/fuzz/fuzzer.h"
+
+#include <fstream>
+#include <utility>
+
+#include "src/testing/fuzz/shrink.h"
+#include "src/util/check.h"
+
+namespace hetnet::fuzz {
+namespace {
+
+std::vector<std::string> failing_names(
+    const std::vector<OracleResult>& verdicts) {
+  std::vector<std::string> names;
+  for (const OracleResult& v : verdicts) {
+    if (!v.ok) names.push_back(v.oracle);
+  }
+  return names;
+}
+
+std::string write_repro_file(const FuzzFailure& failure,
+                             const std::string& dir) {
+  const std::string path =
+      dir + "/repro_seed_" + std::to_string(failure.seed) + ".json";
+  std::ofstream out(path);
+  HETNET_CHECK(out.good(), "cannot open repro file " + path);
+  out << failure_to_json(failure).dump();
+  HETNET_CHECK(out.good(), "failed writing repro file " + path);
+  return path;
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& options, std::ostream* log) {
+  FuzzReport report;
+  for (int i = 0; i < options.num_seeds; ++i) {
+    const std::uint64_t seed =
+        options.first_seed + static_cast<std::uint64_t>(i);
+    const FuzzScenario scenario = generate_scenario(seed);
+    const std::vector<OracleResult> verdicts =
+        run_all_oracles(scenario, options.oracle);
+    ++report.seeds_run;
+    const std::vector<std::string> failing = failing_names(verdicts);
+    if (failing.empty()) continue;
+
+    FuzzFailure failure;
+    failure.seed = seed;
+    failure.scenario = scenario;
+    failure.verdicts = verdicts;
+    if (log != nullptr) {
+      *log << "seed " << seed << ": FAIL (" << describe_scenario(scenario)
+           << ")\n";
+      for (const OracleResult& v : verdicts) {
+        if (!v.ok) *log << "  " << v.oracle << ": " << v.detail << "\n";
+      }
+    }
+    if (options.shrink) {
+      // Chase the same failure: the shrunk scenario must still trip at
+      // least one of the oracles that failed on the original.
+      const auto still_fails = [&](const FuzzScenario& s) {
+        for (const std::string& name : failing) {
+          if (!run_oracle(name, s, options.oracle).ok) return true;
+        }
+        return false;
+      };
+      const ShrinkResult shrunk = shrink_scenario(
+          scenario, still_fails, options.max_shrink_attempts);
+      failure.scenario = shrunk.scenario;
+      failure.verdicts = run_all_oracles(shrunk.scenario, options.oracle);
+      failure.shrink_steps = shrunk.steps;
+      failure.shrink_attempts = shrunk.attempts;
+      if (log != nullptr && shrunk.steps > 0) {
+        *log << "  shrunk in " << shrunk.steps << " steps ("
+             << shrunk.attempts << " attempts) to "
+             << describe_scenario(shrunk.scenario) << "\n";
+      }
+    }
+    if (!options.repro_dir.empty()) {
+      failure.repro_path = write_repro_file(failure, options.repro_dir);
+      if (log != nullptr) *log << "  repro: " << failure.repro_path << "\n";
+    }
+    report.failures.push_back(std::move(failure));
+  }
+  if (log != nullptr) {
+    *log << report.seeds_run << " seeds, " << report.failures.size()
+         << " failing\n";
+  }
+  return report;
+}
+
+json::Value failure_to_json(const FuzzFailure& failure) {
+  json::Value repro = json::Value::object();
+  repro.set("format", json::Value::string("hetnet-fuzz-repro-v1"));
+  repro.set("seed", json::Value::string(std::to_string(failure.seed)));
+  repro.set("scenario", scenario_to_json(failure.scenario));
+  json::Value verdicts = json::Value::array();
+  for (const OracleResult& v : failure.verdicts) {
+    json::Value entry = json::Value::object();
+    entry.set("oracle", json::Value::string(v.oracle));
+    entry.set("ok", json::Value::boolean(v.ok));
+    entry.set("detail", json::Value::string(v.detail));
+    verdicts.push(std::move(entry));
+  }
+  repro.set("verdicts", std::move(verdicts));
+  json::Value shrink = json::Value::object();
+  shrink.set("steps", json::Value::number(failure.shrink_steps));
+  shrink.set("attempts", json::Value::number(failure.shrink_attempts));
+  repro.set("shrink", std::move(shrink));
+  return repro;
+}
+
+FuzzFailure failure_from_json(const json::Value& value) {
+  HETNET_CHECK(value.str_at("format") == "hetnet-fuzz-repro-v1",
+               "unrecognized repro format (want hetnet-fuzz-repro-v1)");
+  FuzzFailure failure;
+  failure.seed = std::stoull(value.str_at("seed"));
+  failure.scenario = scenario_from_json(value.at("scenario"));
+  for (const json::Value& entry : value.at("verdicts").items()) {
+    failure.verdicts.push_back({entry.str_at("oracle"),
+                                entry.bool_at("ok"),
+                                entry.str_at("detail")});
+  }
+  const json::Value& shrink = value.at("shrink");
+  failure.shrink_steps = static_cast<int>(shrink.num_at("steps"));
+  failure.shrink_attempts = static_cast<int>(shrink.num_at("attempts"));
+  return failure;
+}
+
+ReplayOutcome replay_repro(const json::Value& repro,
+                           const OracleOptions& options) {
+  const FuzzFailure recorded = failure_from_json(repro);
+  ReplayOutcome outcome;
+  outcome.recorded = recorded.verdicts;
+  outcome.fresh = run_all_oracles(recorded.scenario, options);
+  outcome.matches_recorded =
+      outcome.fresh.size() == outcome.recorded.size();
+  if (outcome.matches_recorded) {
+    for (std::size_t i = 0; i < outcome.fresh.size(); ++i) {
+      if (outcome.fresh[i].oracle != outcome.recorded[i].oracle ||
+          outcome.fresh[i].ok != outcome.recorded[i].ok) {
+        outcome.matches_recorded = false;
+        break;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace hetnet::fuzz

@@ -1,0 +1,77 @@
+// The differential-fuzzing driver.
+//
+// run_fuzz() walks a contiguous seed range; for each seed it generates a
+// scenario, runs the four oracles (src/testing/fuzz/oracles.h), and on any
+// violation shrinks the scenario (src/testing/fuzz/shrink.h) chasing the
+// same set of failing oracles, then emits a self-contained JSON repro:
+//
+//   {
+//     "format": "hetnet-fuzz-repro-v1",
+//     "seed": "<originating seed>",
+//     "scenario": { ... },                  // scenario.h JSON schema
+//     "verdicts": [{"oracle", "ok", "detail"}, ...],   // all four oracles
+//     "shrink": {"steps": n, "attempts": m}
+//   }
+//
+// replay_repro() re-runs the oracles on a repro's scenario and compares the
+// fresh (oracle, ok) vector against the recorded one — the determinism
+// contract `fuzz_soundness --replay` enforces. Detail strings are reported
+// but not matched (they carry formatted floats that legitimately differ in
+// the last digits across compilers).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/testing/fuzz/json.h"
+#include "src/testing/fuzz/oracles.h"
+#include "src/testing/fuzz/scenario.h"
+
+namespace hetnet::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t first_seed = 1;
+  int num_seeds = 50;
+  OracleOptions oracle;
+  bool shrink = true;
+  int max_shrink_attempts = 200;
+  // When non-empty, each failure's repro JSON is written here as
+  // repro_seed_<seed>.json (directory must exist).
+  std::string repro_dir;
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  FuzzScenario scenario;                // shrunk (== generated if no shrink)
+  std::vector<OracleResult> verdicts;   // all four oracles on `scenario`
+  int shrink_steps = 0;
+  int shrink_attempts = 0;
+  std::string repro_path;  // empty when no repro_dir was configured
+};
+
+struct FuzzReport {
+  int seeds_run = 0;
+  std::vector<FuzzFailure> failures;
+};
+
+// Runs the seed sweep. Progress and failure summaries go to `log` when
+// non-null (one line per failure, one closing line).
+FuzzReport run_fuzz(const FuzzOptions& options, std::ostream* log = nullptr);
+
+// Repro serialization (schema above).
+json::Value failure_to_json(const FuzzFailure& failure);
+FuzzFailure failure_from_json(const json::Value& value);
+
+struct ReplayOutcome {
+  bool matches_recorded = false;  // (oracle, ok) vectors identical
+  std::vector<OracleResult> fresh;
+  std::vector<OracleResult> recorded;
+};
+
+// Re-runs all oracles on the repro's scenario and compares verdicts.
+ReplayOutcome replay_repro(const json::Value& repro,
+                           const OracleOptions& options = {});
+
+}  // namespace hetnet::fuzz

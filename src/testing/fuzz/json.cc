@@ -1,0 +1,389 @@
+#include "src/testing/fuzz/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace hetnet::fuzz::json {
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double d) {
+  HETNET_CHECK(std::isfinite(d), "JSON numbers must be finite");
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool Value::as_bool() const {
+  HETNET_CHECK(kind_ == Kind::kBool, "not a JSON bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  HETNET_CHECK(kind_ == Kind::kNumber, "not a JSON number");
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  HETNET_CHECK(kind_ == Kind::kString, "not a JSON string");
+  return str_;
+}
+
+void Value::push(Value v) {
+  HETNET_CHECK(kind_ == Kind::kArray, "push on a non-array");
+  items_.push_back(std::move(v));
+}
+
+const std::vector<Value>& Value::items() const {
+  HETNET_CHECK(kind_ == Kind::kArray, "items of a non-array");
+  return items_;
+}
+
+std::size_t Value::size() const {
+  HETNET_CHECK(kind_ == Kind::kArray || kind_ == Kind::kObject,
+               "size of a non-container");
+  return kind_ == Kind::kArray ? items_.size() : members_.size();
+}
+
+void Value::set(const std::string& key, Value v) {
+  HETNET_CHECK(kind_ == Kind::kObject, "set on a non-object");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+bool Value::has(const std::string& key) const {
+  HETNET_CHECK(kind_ == Kind::kObject, "member lookup on a non-object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Value& Value::at(const std::string& key) const {
+  HETNET_CHECK(kind_ == Kind::kObject, "member lookup on a non-object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  HETNET_CHECK(false, "missing JSON member '" + key + "'");
+  std::abort();  // unreachable: HETNET_CHECK(false) throws
+}
+
+double Value::num_at(const std::string& key) const {
+  return at(key).as_number();
+}
+
+bool Value::bool_at(const std::string& key) const { return at(key).as_bool(); }
+
+const std::string& Value::str_at(const std::string& key) const {
+  return at(key).as_string();
+}
+
+namespace {
+
+void write_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void write_number(std::string* out, double v) {
+  // Integers print without an exponent or trailing zeros; everything else
+  // uses enough digits for an exact double round trip.
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+void Value::write(std::string* out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      write_number(out, num_);
+      break;
+    case Kind::kString:
+      write_escaped(out, str_);
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        *out += inner;
+        items_[i].write(out, indent + 1);
+        if (i + 1 < items_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      *out += pad + "]";
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        *out += inner;
+        write_escaped(out, members_[i].first);
+        *out += ": ";
+        members_[i].second.write(out, indent + 1);
+        if (i + 1 < members_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      *out += pad + "}";
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  write(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    HETNET_CHECK(pos_ == text_.size(),
+                 "trailing bytes after JSON document at offset " +
+                     std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    HETNET_CHECK(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    HETNET_CHECK(pos_ < text_.size() && text_[pos_] == c,
+                 std::string("expected '") + c + "' at offset " +
+                     std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool try_consume(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string_token() {
+    expect('"');
+    std::string out;
+    while (true) {
+      HETNET_CHECK(pos_ < text_.size(), "unterminated JSON string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        HETNET_CHECK(pos_ < text_.size(), "unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'u': {
+            HETNET_CHECK(pos_ + 4 <= text_.size(), "truncated \\u escape");
+            const unsigned long code =
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            // Repro files only escape control characters (< 0x20); anything
+            // in the BMP below 0x80 maps to one byte.
+            HETNET_CHECK(code < 0x80,
+                         "only ASCII \\u escapes are supported in repros");
+            out.push_back(static_cast<char>(code));
+            break;
+          }
+          default:
+            HETNET_CHECK(false, std::string("unsupported escape '\\") + e +
+                                    "' at offset " + std::to_string(pos_));
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value::string(parse_string_token());
+    if (try_consume("true")) return Value::boolean(true);
+    if (try_consume("false")) return Value::boolean(false);
+    if (try_consume("null")) return Value();
+    // Number.
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    HETNET_CHECK(end != start, "malformed JSON value at offset " +
+                                   std::to_string(pos_));
+    pos_ += static_cast<std::size_t>(end - start);
+    return Value::number(v);
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string_token();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace hetnet::fuzz::json

@@ -1,0 +1,76 @@
+// Minimal JSON for fuzz repros — no third-party dependencies.
+//
+// A repro file must survive a round trip bit-for-bit at the semantic level
+// (same numbers, same structure), be human-readable in a bug report, and be
+// diffable in review. This module provides exactly that: a small document
+// value (null/bool/number/string/array/object), a pretty-printing writer,
+// and a recursive-descent parser. Object member order is preserved so the
+// emitted files are stable across a write→parse→write cycle.
+//
+// Numbers are doubles; 64-bit seeds are stored as strings by the scenario
+// layer (a double cannot hold every uint64 exactly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hetnet::fuzz::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  // Typed accessors; HETNET_CHECK-fail on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // Array operations (value must be an array).
+  void push(Value v);
+  const std::vector<Value>& items() const;
+  std::size_t size() const;
+
+  // Object operations (value must be an object). `set` appends or replaces;
+  // member order is insertion order.
+  void set(const std::string& key, Value v);
+  bool has(const std::string& key) const;
+  const Value& at(const std::string& key) const;  // checks presence
+
+  // Convenience typed lookups on objects.
+  double num_at(const std::string& key) const;
+  bool bool_at(const std::string& key) const;
+  const std::string& str_at(const std::string& key) const;
+
+  // Serializes with two-space indentation and a trailing newline at the top
+  // level; parse(dump()) reproduces the value exactly.
+  std::string dump() const;
+
+  // Parses a complete JSON document. HETNET_CHECK-fails (std::logic_error)
+  // on malformed input, with the byte offset in the message.
+  static Value parse(const std::string& text);
+
+ private:
+  void write(std::string* out, int indent) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+}  // namespace hetnet::fuzz::json

@@ -1,0 +1,472 @@
+#include "src/testing/fuzz/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "src/core/analyzer.h"
+#include "src/fddi/ring.h"
+#include "src/servers/conversion.h"
+#include "src/sim/packet_sim.h"
+#include "src/traffic/sources.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace hetnet::fuzz {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+std::string fmt(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+std::string fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+struct Replay {
+  // One entry per op; release ops carry a default-constructed decision.
+  std::vector<core::AdmissionDecision> decisions;
+  std::vector<core::ConnectionInstance> final_set;
+};
+
+Replay replay_ops(const FuzzScenario& s, core::AdmissionController* cac) {
+  Replay r;
+  std::vector<bool> live(s.connections.size(), false);
+  for (const FuzzOp& op : s.ops) {
+    if (op.release) {
+      if (op.conn >= 0 &&
+          op.conn < static_cast<int>(live.size()) &&
+          live[static_cast<std::size_t>(op.conn)]) {
+        cac->release(static_cast<net::ConnectionId>(op.conn + 1));
+        live[static_cast<std::size_t>(op.conn)] = false;
+      }
+      r.decisions.emplace_back();
+    } else {
+      const core::AdmissionDecision d =
+          cac->request(connection_spec(s, op.conn));
+      live[static_cast<std::size_t>(op.conn)] = d.admitted;
+      r.decisions.push_back(d);
+    }
+  }
+  for (const auto& [id, conn] : cac->active()) {
+    r.final_set.push_back({conn.spec, conn.alloc});
+  }
+  return r;
+}
+
+bool leq_with_tol(Seconds a, Seconds b) {
+  // a <= b, allowing relative rounding slack; +inf <= +inf holds.
+  if (std::isinf(val(b))) return true;
+  return val(a) <= val(b) * (1 + kRelTol);
+}
+
+}  // namespace
+
+OracleResult check_bound_soundness(const FuzzScenario& s,
+                                   const OracleOptions& options) {
+  OracleResult result{"bound_soundness", true, ""};
+  const net::AbhnTopology topo(topology_params(s));
+  core::AdmissionController cac(&topo, cac_config(s, true));
+  const Replay replay = replay_ops(s, &cac);
+  if (replay.final_set.empty()) return result;
+
+  // Analytic invariant: after arbitrary churn, every surviving contract
+  // still holds under the joint analysis (releases only remove cross
+  // traffic, so bounds must not have grown past deadlines).
+  const auto bounds = cac.analyzer().analyze(replay.final_set);
+  for (std::size_t i = 0; i < replay.final_set.size(); ++i) {
+    const auto& inst = replay.final_set[i];
+    if (!std::isfinite(val(bounds[i]))) {
+      result.ok = false;
+      result.detail = fmt("conn %llu: joint bound infinite after churn",
+                          static_cast<unsigned long long>(inst.spec.id));
+      return result;
+    }
+    if (!leq_with_tol(bounds[i], inst.spec.deadline)) {
+      result.ok = false;
+      result.detail =
+          fmt("conn %llu: joint bound %.9g ms exceeds deadline %.9g ms",
+              static_cast<unsigned long long>(inst.spec.id),
+              val(bounds[i]) * 1e3, val(inst.spec.deadline) * 1e3);
+      return result;
+    }
+  }
+  if (!options.run_packet_sim) return result;
+
+  // Empirical domination under adversarial phase alignment, at zero async
+  // fill and at the scenario's stretched-rotation level.
+  sim::PacketSimConfig cfg;
+  cfg.duration = s.sim_duration * std::max(0.05, options.sim_scale);
+  cfg.seed = s.sim_seed;
+  cfg.randomize_phases = false;
+  std::vector<double> fills = {0.0};
+  if (s.async_fill > 0.0) fills.push_back(s.async_fill);
+  for (const double fill : fills) {
+    cfg.async_fill = fill;
+    const sim::PacketSimResult sim =
+        sim::run_packet_simulation(topo, replay.final_set, cfg);
+    if (val(sim.max_token_rotation) > val(s.ttrt) * (1 + kRelTol)) {
+      result.ok = false;
+      result.detail = fmt(
+          "token rotation %.9g ms exceeded TTRT %.9g ms (async_fill %.2f)",
+          val(sim.max_token_rotation) * 1e3, val(s.ttrt) * 1e3, fill);
+      return result;
+    }
+    for (std::size_t i = 0; i < replay.final_set.size(); ++i) {
+      const sim::ConnectionTrace& trace = sim.connections[i];
+      if (trace.messages_delivered == 0) continue;
+      const double sim_max = trace.delay.max();
+      if (sim_max > val(bounds[i]) * (1 + kRelTol)) {
+        result.ok = false;
+        result.detail = fmt(
+            "conn %llu: simulated max delay %.9g ms exceeds analytic bound "
+            "%.9g ms (async_fill %.2f, %zu delivered)",
+            static_cast<unsigned long long>(
+                replay.final_set[i].spec.id),
+            sim_max * 1e3, val(bounds[i]) * 1e3, fill,
+            trace.messages_delivered);
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+OracleResult check_incremental_equivalence(const FuzzScenario& s) {
+  OracleResult result{"incremental_equivalence", true, ""};
+  const net::AbhnTopology topo(topology_params(s));
+  core::AdmissionController warm(&topo, cac_config(s, true));
+  core::AdmissionController cold(&topo, cac_config(s, false));
+  const Replay a = replay_ops(s, &warm);
+  const Replay b = replay_ops(s, &cold);
+  HETNET_CHECK(a.decisions.size() == b.decisions.size(),
+               "replays must see the same ops");
+  const auto same = [](Seconds x, Seconds y) {
+    return val(x) == val(y) || (std::isinf(val(x)) && std::isinf(val(y)));
+  };
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    const auto& da = a.decisions[i];
+    const auto& db = b.decisions[i];
+    std::string field;
+    if (da.admitted != db.admitted) {
+      field = "admitted";
+    } else if (da.reason != db.reason) {
+      field = "reason";
+    } else if (!same(da.alloc.h_s, db.alloc.h_s) ||
+               !same(da.alloc.h_r, db.alloc.h_r)) {
+      field = "alloc";
+    } else if (!same(da.worst_case_delay, db.worst_case_delay)) {
+      field = "worst_case_delay";
+    } else if (!same(da.max_avail.h_s, db.max_avail.h_s) ||
+               !same(da.max_avail.h_r, db.max_avail.h_r)) {
+      field = "max_avail";
+    } else if (!same(da.min_need.h_s, db.min_need.h_s) ||
+               !same(da.min_need.h_r, db.min_need.h_r)) {
+      field = "min_need";
+    } else if (!same(da.max_need.h_s, db.max_need.h_s) ||
+               !same(da.max_need.h_r, db.max_need.h_r)) {
+      field = "max_need";
+    }
+    if (!field.empty()) {
+      result.ok = false;
+      result.detail = fmt(
+          "op %zu: incremental and cold CAC disagree on %s "
+          "(incremental admitted=%d h_s=%.17g, cold admitted=%d h_s=%.17g)",
+          i, field.c_str(), da.admitted, val(da.alloc.h_s), db.admitted,
+          val(db.alloc.h_s));
+      return result;
+    }
+  }
+  for (int ring = 0; ring < s.num_rings; ++ring) {
+    if (val(warm.ledger(ring).allocated()) !=
+        val(cold.ledger(ring).allocated())) {
+      result.ok = false;
+      result.detail = fmt("ring %d: ledger divergence after churn "
+                          "(incremental %.17g s, cold %.17g s)",
+                          ring, val(warm.ledger(ring).allocated()),
+                          val(cold.ledger(ring).allocated()));
+      return result;
+    }
+  }
+  return result;
+}
+
+OracleResult check_line_monotonicity(const FuzzScenario& s) {
+  // End-to-end delay along the bisection line is NOT strictly monotone in
+  // this reproduction: the frame size F_S = H·BW couples the allocation
+  // into the Theorem-2 ⌈A/F_S⌉ quantization, so isolated H_S values
+  // inflate the converted envelope by one frame quantum and bump the
+  // downstream FIFO bound (the fuzzer's first latent-bug sweep measured
+  // ~0.3% spikes; count_convexity_violations quantifies the same effect in
+  // 2-D). The CAC is robust to it — it re-checks every deadline at the
+  // final allocation and falls back toward max_avail (cac.cc, step 5) —
+  // so this oracle asserts the properties admission soundness really
+  // rests on: the Theorem-1 send prefix IS monotone in H_S, the probe
+  // surface is self-consistent and deterministic (warm == cold,
+  // re-evaluation is pure), and the request path agrees bit-for-bit with
+  // the probe path at its own decision points.
+  OracleResult result{"line_monotonicity", true, ""};
+  const net::AbhnTopology topo(topology_params(s));
+  core::AdmissionController warm(&topo, cac_config(s, true));
+  replay_ops(s, &warm);
+  core::AdmissionController cold(&topo, cac_config(s, false));
+  replay_ops(s, &cold);
+  const auto same = [](Seconds x, Seconds y) {
+    return val(x) == val(y) || (std::isinf(val(x)) && std::isinf(val(y)));
+  };
+
+  constexpr int kSamples = 9;
+  const int probes =
+      std::min<int>(4, static_cast<int>(s.connections.size()));
+  for (int c = 0; c < probes; ++c) {
+    net::ConnectionSpec spec = connection_spec(s, c);
+    spec.id = static_cast<net::ConnectionId>(10000 + c);  // hypothetical
+    const Seconds h_min = warm.config().h_min_abs;
+    const Seconds hs_max = warm.ledger(spec.src.ring).available();
+    const Seconds hr_max = warm.ledger(spec.dst.ring).available();
+    if (hs_max <= h_min || hr_max <= h_min) continue;  // no line to walk
+    Seconds prev_prefix = Seconds::infinity();
+    bool prev_prefix_finite = false;
+    for (int k = 0; k < kSamples; ++k) {
+      const double t = static_cast<double>(k) / (kSamples - 1);
+      const net::Allocation alloc{h_min + (hs_max - h_min) * t,
+                                  h_min + (hr_max - h_min) * t};
+
+      // Theorem 1: the private send prefix (host MAC through conversion)
+      // sees only its own allocation — more bandwidth can never hurt it.
+      const core::SendPrefix prefix =
+          warm.analyzer().send_prefix(spec, alloc.h_s);
+      if (k > 0 && prev_prefix_finite && !prefix.finite) {
+        result.ok = false;
+        result.detail = fmt(
+            "probe conn %d: send prefix became unbounded as H_S grew "
+            "(t=%.3f)",
+            c, t);
+        return result;
+      }
+      if (k > 0 && prefix.finite && prev_prefix_finite &&
+          !leq_with_tol(prefix.delay, prev_prefix)) {
+        result.ok = false;
+        result.detail = fmt(
+            "probe conn %d: Theorem-1 send-prefix delay rose with H_S at "
+            "t=%.3f (%.9g ms after %.9g ms)",
+            c, t, val(prefix.delay) * 1e3, val(prev_prefix) * 1e3);
+        return result;
+      }
+      prev_prefix_finite = prefix.finite;
+      if (prefix.finite) prev_prefix = prefix.delay;
+
+      // Probe purity + warm/cold equivalence (the PR-2 bit-identical
+      // contract, exercised through the probe entry points).
+      const Seconds d1 = warm.delay_at(spec, alloc);
+      const bool f1 = warm.feasible_at(spec, alloc);
+      const Seconds d2 = warm.delay_at(spec, alloc);
+      const bool f2 = warm.feasible_at(spec, alloc);
+      if (!same(d1, d2) || f1 != f2) {
+        result.ok = false;
+        result.detail = fmt(
+            "probe conn %d: re-evaluating the same allocation changed the "
+            "answer at t=%.3f (%.17g -> %.17g, feasible %d -> %d) — "
+            "incremental cache corruption",
+            c, t, val(d1), val(d2), f1, f2);
+        return result;
+      }
+      const Seconds dc = cold.delay_at(spec, alloc);
+      const bool fc = cold.feasible_at(spec, alloc);
+      if (!same(d1, dc) || f1 != fc) {
+        result.ok = false;
+        result.detail = fmt(
+            "probe conn %d: incremental and cold probes disagree at t=%.3f "
+            "(delay %.17g vs %.17g, feasible %d vs %d)",
+            c, t, val(d1), val(dc), f1, fc);
+        return result;
+      }
+      if (f1 && !std::isfinite(val(d1))) {
+        result.ok = false;
+        result.detail =
+            fmt("probe conn %d: feasible at t=%.3f with an infinite "
+                "requester bound",
+                c, t);
+        return result;
+      }
+      if (f1 && !leq_with_tol(d1, spec.deadline)) {
+        result.ok = false;
+        result.detail = fmt(
+            "probe conn %d: allocation reported feasible at t=%.3f but the "
+            "requester's own bound %.9g ms exceeds its deadline %.9g ms",
+            c, t, val(d1) * 1e3, val(spec.deadline) * 1e3);
+        return result;
+      }
+    }
+
+    // Request-path vs probe-path differential: run the real CAC on a
+    // scratch controller and check its decision against the (identical,
+    // still pre-admission) warm controller's probe surface.
+    core::AdmissionController scratch(&topo, cac_config(s, true));
+    replay_ops(s, &scratch);
+    const core::AdmissionDecision decision = scratch.request(spec);
+    if (decision.admitted) {
+      if (!leq_with_tol(decision.worst_case_delay, spec.deadline)) {
+        result.ok = false;
+        result.detail = fmt(
+            "probe conn %d: admitted with bound %.9g ms over deadline "
+            "%.9g ms",
+            c, val(decision.worst_case_delay) * 1e3,
+            val(spec.deadline) * 1e3);
+        return result;
+      }
+      if (!warm.feasible_at(spec, decision.alloc)) {
+        result.ok = false;
+        result.detail = fmt(
+            "probe conn %d: request admitted at an allocation the probe "
+            "surface calls infeasible",
+            c);
+        return result;
+      }
+      const Seconds probed = warm.delay_at(spec, decision.alloc);
+      if (!same(probed, decision.worst_case_delay)) {
+        result.ok = false;
+        result.detail = fmt(
+            "probe conn %d: request-path bound %.17g s and probe-path "
+            "bound %.17g s disagree at the granted allocation",
+            c, val(decision.worst_case_delay), val(probed));
+        return result;
+      }
+    } else if (decision.reason == core::RejectReason::kInfeasible) {
+      if (warm.feasible_at(spec, decision.max_avail)) {
+        result.ok = false;
+        result.detail = fmt(
+            "probe conn %d: rejected as infeasible but the probe surface "
+            "calls max_avail feasible (Theorem-4 anchor mismatch)",
+            c);
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+OracleResult check_algebra_invariants(const FuzzScenario& s) {
+  OracleResult result{"algebra_invariants", true, ""};
+  Rng rng(s.seed ^ 0x9e3779b97f4a7c15ULL);
+  const int probes =
+      std::min<int>(6, static_cast<int>(s.connections.size()));
+  for (int c = 0; c < probes; ++c) {
+    const FuzzConnection& fc = s.connections[static_cast<std::size_t>(c)];
+    const auto env = std::make_shared<DualPeriodicEnvelope>(
+        fc.c1, fc.p1, fc.c2, fc.p2, fc.peak);
+    const Seconds horizon = fc.p1 * 2.5;
+    const Bits burst = env->burst_bound();
+    const BitsPerSecond rate = env->long_term_rate();
+    const auto tol = [](Bits reference) {
+      return Bits{1e-6 + kRelTol * std::fabs(val(reference))};
+    };
+    for (int trial = 0; trial < 16; ++trial) {
+      const Seconds u = Seconds{rng.uniform(1e-6, val(horizon))};
+      const Seconds v = Seconds{rng.uniform(1e-6, val(horizon))};
+      const Bits au = env->bits(u);
+      const Bits av = env->bits(v);
+      const Bits auv = env->bits(u + v);
+      if (au > auv + tol(auv)) {
+        result.ok = false;
+        result.detail = fmt(
+            "conn %d: envelope not monotone: A(%.9g) = %.9g > A(%.9g) = "
+            "%.9g",
+            c, val(u), val(au), val(u + v), val(auv));
+        return result;
+      }
+      if (auv > au + av + tol(au + av)) {
+        result.ok = false;
+        result.detail = fmt(
+            "conn %d: subadditivity violated: A(%.9g)+A(%.9g) = %.9g < "
+            "A(%.9g) = %.9g",
+            c, val(u), val(v), val(au + av), val(u + v), val(auv));
+        return result;
+      }
+      const Bits majorized = burst + rate * u;
+      if (au > majorized + tol(majorized)) {
+        result.ok = false;
+        result.detail = fmt(
+            "conn %d: A(%.9g) = %.9g escapes its leaky-bucket majorization "
+            "%.9g (burst %.9g + rho*I)",
+            c, val(u), val(au), val(majorized), val(burst));
+        return result;
+      }
+    }
+
+    // Theorem-2 conversion: cells only ever pad, so the converted envelope
+    // can never drop below its input (payload accounting, eq. 21).
+    const Bits cell_payload = units::bytes(48);
+    const fddi::RingParams ring_defaults;
+    const Bits frame_payload{
+        std::clamp(val(fc.c2), val(cell_payload),
+                   val(ring_defaults.max_frame_payload))};
+    const auto conv = make_frame_to_cell_server(
+        "f2c", frame_payload, cell_payload, cell_payload, units::us(50));
+    const auto analysis = conv->analyze(env);
+    if (!analysis.has_value()) {
+      result.ok = false;
+      result.detail =
+          fmt("conn %d: frame->cell conversion reported no bound", c);
+      return result;
+    }
+    for (int trial = 0; trial < 16; ++trial) {
+      const Seconds u = Seconds{rng.uniform(1e-6, val(horizon))};
+      const Bits in = env->bits(u);
+      const Bits out = analysis->output->bits(u);
+      if (out + tol(in) < in) {
+        result.ok = false;
+        result.detail = fmt(
+            "conn %d: conversion envelope below its input at I=%.9g "
+            "(out %.9g < in %.9g)",
+            c, val(u), val(out), val(in));
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<OracleResult> run_all_oracles(const FuzzScenario& scenario,
+                                          const OracleOptions& options) {
+  return {
+      run_oracle("bound_soundness", scenario, options),
+      run_oracle("incremental_equivalence", scenario, options),
+      run_oracle("line_monotonicity", scenario, options),
+      run_oracle("algebra_invariants", scenario, options),
+  };
+}
+
+OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
+                        const OracleOptions& options) {
+  try {
+    if (name == "bound_soundness") {
+      return check_bound_soundness(scenario, options);
+    }
+    if (name == "incremental_equivalence") {
+      return check_incremental_equivalence(scenario);
+    }
+    if (name == "line_monotonicity") {
+      return check_line_monotonicity(scenario);
+    }
+    if (name == "algebra_invariants") {
+      return check_algebra_invariants(scenario);
+    }
+    HETNET_CHECK(false, "unknown oracle '" + name + "'");
+  } catch (const std::exception& e) {
+    return {name, false, std::string("exception: ") + e.what()};
+  }
+  return {name, false, "unreachable"};
+}
+
+}  // namespace hetnet::fuzz

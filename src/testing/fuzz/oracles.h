@@ -1,0 +1,82 @@
+// The four soundness oracles of the differential fuzzer.
+//
+// Each oracle takes a scenario, rebuilds the system from scratch, and
+// checks one property the reproduction's claims rest on:
+//
+//   bound_soundness        — eq. 7 / Theorems 1–2: the analytic worst-case
+//                            bound of every connection in the final admitted
+//                            set dominates every message delay the packet
+//                            simulator produces under adversarially aligned
+//                            phases and async_fill-stretched rotations; the
+//                            token-rotation invariant (<= TTRT) holds; and
+//                            every surviving contract still meets its
+//                            deadline under the joint analysis.
+//   incremental_equivalence— PR-2 contract: replaying the admit/release
+//                            sequence with the incremental engine yields
+//                            bit-identical decisions, allocations, delay
+//                            bounds, and anchor points to the cold path.
+//   line_monotonicity      — the Section-5 allocation line, checked for
+//                            what admission soundness actually rests on:
+//                            the Theorem-1 send prefix is monotone in H_S,
+//                            the probe surface (feasible_at / delay_at) is
+//                            pure, warm/cold-identical, and consistent with
+//                            deadlines, and the request path agrees
+//                            bit-for-bit with the probe path at its own
+//                            decision points. (End-to-end delay is NOT
+//                            strictly monotone here — the H-dependent frame
+//                            size couples into the Theorem-2 quantization;
+//                            see the note in oracles.cc.)
+//   algebra_invariants     — traffic algebra: every source envelope is
+//                            monotone, subadditive (Γ's defining property),
+//                            and leaky-bucket majorized by
+//                            burst_bound() + ρ·I; the Theorem-2 frame→cell
+//                            conversion envelope never drops below its
+//                            input.
+//
+// Oracles never throw on a property violation — they return ok = false
+// with a human-readable detail string (exceptions are reserved for broken
+// preconditions, which the fuzzer reports as violations of a fifth kind,
+// "crash").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/testing/fuzz/scenario.h"
+
+namespace hetnet::fuzz {
+
+struct OracleResult {
+  std::string oracle;
+  bool ok = true;
+  std::string detail;  // empty when ok
+};
+
+struct OracleOptions {
+  // Multiplies the scenario's simulated duration (CI smoke turns this down;
+  // the nightly soak leaves it at 1).
+  double sim_scale = 1.0;
+  // Skip the packet simulation inside bound_soundness (the analytic checks
+  // still run). Used by the shrinker's cheap pre-pass, never by the fuzzer
+  // verdict itself.
+  bool run_packet_sim = true;
+};
+
+OracleResult check_bound_soundness(const FuzzScenario& scenario,
+                                   const OracleOptions& options = {});
+OracleResult check_incremental_equivalence(const FuzzScenario& scenario);
+OracleResult check_line_monotonicity(const FuzzScenario& scenario);
+OracleResult check_algebra_invariants(const FuzzScenario& scenario);
+
+// Runs all four; a thrown std::exception inside an oracle is converted into
+// a failing result whose detail carries the what() text.
+std::vector<OracleResult> run_all_oracles(const FuzzScenario& scenario,
+                                          const OracleOptions& options = {});
+
+// Runs one oracle by name ("bound_soundness", "incremental_equivalence",
+// "line_monotonicity", "algebra_invariants"), with the same exception
+// conversion. Used by the shrinker to re-check the failure it is chasing.
+OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
+                        const OracleOptions& options = {});
+
+}  // namespace hetnet::fuzz

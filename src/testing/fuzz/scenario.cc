@@ -1,0 +1,301 @@
+#include "src/testing/fuzz/scenario.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "src/traffic/sources.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace hetnet::fuzz {
+namespace {
+
+// Serializing 64-bit seeds through a double would lose bits; store decimal
+// strings instead.
+json::Value u64_value(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return json::Value::string(buf);
+}
+
+std::uint64_t u64_from(const json::Value& v) {
+  std::uint64_t out = 0;
+  std::sscanf(v.as_string().c_str(), "%" SCNu64, &out);
+  return out;
+}
+
+}  // namespace
+
+FuzzScenario generate_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzScenario s;
+  s.seed = seed;
+
+  // Topology: weight toward the paper's shape, but visit the edges —
+  // two-ring meshes, line backbones, single-host rings.
+  s.num_rings = 2 + static_cast<int>(rng.pick(3));          // 2..4
+  s.hosts_per_ring = 1 + static_cast<int>(rng.pick(4));     // 1..4
+  s.line_backbone = s.num_rings >= 3 && rng.bernoulli(0.3);
+  s.ttrt = units::ms(rng.uniform(4.0, 16.0));
+  s.protocol_overhead = units::ms(rng.uniform(0.5, 2.0));
+
+  s.beta = rng.uniform(0.0, 1.0);
+  s.bisection_iters = 10 + static_cast<int>(rng.pick(5));   // 10..14
+
+  // Connections: at most one per source host (Section 3.2), so the churn
+  // sequence below never needs host bookkeeping — distinct connections have
+  // distinct source hosts by construction.
+  const int num_hosts = s.num_rings * s.hosts_per_ring;
+  const int want = 1 + static_cast<int>(rng.pick(
+                           static_cast<std::size_t>(std::min(num_hosts, 8))));
+  std::vector<int> hosts(static_cast<std::size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) hosts[static_cast<std::size_t>(h)] = h;
+  // Fisher–Yates prefix: the first `want` entries are the source hosts.
+  for (int i = 0; i < want; ++i) {
+    const auto j = i + static_cast<int>(rng.pick(
+                           static_cast<std::size_t>(num_hosts - i)));
+    std::swap(hosts[static_cast<std::size_t>(i)],
+              hosts[static_cast<std::size_t>(j)]);
+  }
+  for (int i = 0; i < want; ++i) {
+    FuzzConnection c;
+    const int src = hosts[static_cast<std::size_t>(i)];
+    c.src_ring = src / s.hosts_per_ring;
+    c.src_index = src % s.hosts_per_ring;
+    // Destination: any other host; ~1/num_rings of the time this lands on
+    // the source ring (the intra-ring case-1 path).
+    int dst = src;
+    while (dst == src) {
+      dst = static_cast<int>(rng.pick(static_cast<std::size_t>(num_hosts)));
+    }
+    c.dst_ring = dst / s.hosts_per_ring;
+    c.dst_index = dst % s.hosts_per_ring;
+
+    // Dual-periodic source: ρ ∈ [0.2, 6] Mb/s, outer period 50–200 ms,
+    // C1 split into m sub-bursts every P1/k (m <= k keeps the sub-bursts
+    // inside the outer window, so ρ = C1/P1 exactly).
+    const double rho_mbps = rng.uniform(0.2, 6.0);
+    c.p1 = units::ms(rng.uniform(50.0, 200.0));
+    c.c1 = units::mbps(rho_mbps) * c.p1;
+    const int k = 2 + static_cast<int>(rng.pick(9));  // 2..10
+    const int m = 1 + static_cast<int>(rng.pick(static_cast<std::size_t>(k)));
+    c.p2 = c.p1 / static_cast<double>(k);
+    c.c2 = c.c1 / static_cast<double>(m);
+    c.peak = rng.bernoulli(0.25) ? units::mbps(100) + c.c2 / c.p2
+                                 : BitsPerSecond::infinity();
+    c.deadline = units::ms(rng.uniform(15.0, 250.0));
+    s.connections.push_back(c);
+  }
+
+  // Churn: admit every connection once, interleaved with releases of live
+  // ones; whatever survives is the final set the packet-sim oracle runs.
+  std::vector<int> unadmitted;
+  for (int i = 0; i < want; ++i) unadmitted.push_back(i);
+  std::vector<int> live;
+  while (!unadmitted.empty()) {
+    if (!live.empty() && rng.bernoulli(0.3)) {
+      const auto k = rng.pick(live.size());
+      s.ops.push_back({true, live[k]});
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      const auto k = rng.pick(unadmitted.size());
+      s.ops.push_back({false, unadmitted[k]});
+      live.push_back(unadmitted[k]);
+      unadmitted.erase(unadmitted.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+  }
+  // A few trailing releases, keeping at least one connection live when
+  // possible so the empirical oracle has traffic to measure.
+  while (live.size() > 1 && rng.bernoulli(0.35)) {
+    const auto k = rng.pick(live.size());
+    s.ops.push_back({true, live[k]});
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+
+  s.sim_duration = units::sec(rng.uniform(0.5, 2.0));
+  const double fills[] = {0.0, 0.5, 0.9};
+  s.async_fill = fills[rng.pick(3)];
+  s.sim_seed = rng.next_u64() | 1;
+  return s;
+}
+
+void normalize_scenario(FuzzScenario* s) {
+  s->num_rings = std::max(1, s->num_rings);
+  s->hosts_per_ring = std::max(1, s->hosts_per_ring);
+  if (s->num_rings < 3) s->line_backbone = false;
+  if (s->ttrt <= 0) s->ttrt = units::ms(8);
+  if (s->protocol_overhead <= 0) s->protocol_overhead = units::ms(1);
+  s->beta = std::clamp(s->beta, 0.0, 1.0);
+  s->bisection_iters = std::clamp(s->bisection_iters, 4, 24);
+  if (s->sim_duration <= 0) s->sim_duration = units::sec(0.5);
+  s->async_fill = std::clamp(s->async_fill, 0.0, 0.95);
+
+  for (auto& c : s->connections) {
+    c.src_ring = std::clamp(c.src_ring, 0, s->num_rings - 1);
+    c.dst_ring = std::clamp(c.dst_ring, 0, s->num_rings - 1);
+    c.src_index = std::clamp(c.src_index, 0, s->hosts_per_ring - 1);
+    c.dst_index = std::clamp(c.dst_index, 0, s->hosts_per_ring - 1);
+    if (c.p1 <= 0) c.p1 = units::ms(100);
+    if (c.c1 <= 0) c.c1 = units::kbits(100);
+    if (c.p2 <= 0 || c.p2 > c.p1) c.p2 = c.p1;
+    if (c.c2 <= 0 || c.c2 > c.c1) c.c2 = c.c1;
+    // Keep the sub-burst train inside the outer window: need
+    // (C1/C2)·P2 <= P1. Growing C2 toward C1 always restores it.
+    if (val(c.c1 / c.c2) * val(c.p2) > val(c.p1) * (1 + 1e-12)) {
+      c.c2 = c.c1 * val(c.p2 / c.p1);
+    }
+    if (c.peak < c.c2 / c.p2) c.peak = BitsPerSecond::infinity();
+    if (c.deadline <= 0) c.deadline = units::ms(80);
+  }
+
+  // Drop ops referencing dropped connections; keep admit-before-release
+  // ordering per connection and at most one admission each.
+  std::vector<FuzzOp> ops;
+  std::vector<int> state(s->connections.size(), 0);  // 0 new, 1 live, 2 done
+  for (const FuzzOp& op : s->ops) {
+    if (op.conn < 0 ||
+        op.conn >= static_cast<int>(s->connections.size())) {
+      continue;
+    }
+    auto& st = state[static_cast<std::size_t>(op.conn)];
+    if (!op.release && st == 0) {
+      st = 1;
+      ops.push_back(op);
+    } else if (op.release && st == 1) {
+      st = 2;
+      ops.push_back(op);
+    }
+  }
+  s->ops = std::move(ops);
+}
+
+net::TopologyParams topology_params(const FuzzScenario& s) {
+  net::TopologyParams p = net::paper_topology_params();
+  p.num_rings = s.num_rings;
+  p.hosts_per_ring = s.hosts_per_ring;
+  p.backbone_shape =
+      s.line_backbone ? net::BackboneShape::kLine : net::BackboneShape::kMesh;
+  p.ring.ttrt = s.ttrt;
+  p.ring.protocol_overhead = s.protocol_overhead;
+  return p;
+}
+
+core::CacConfig cac_config(const FuzzScenario& s, bool incremental) {
+  core::CacConfig cfg;
+  cfg.beta = s.beta;
+  cfg.bisection_iters = s.bisection_iters;
+  cfg.incremental = incremental;
+  return cfg;
+}
+
+net::ConnectionSpec connection_spec(const FuzzScenario& s, int conn) {
+  HETNET_CHECK(conn >= 0 &&
+                   conn < static_cast<int>(s.connections.size()),
+               "connection index out of range");
+  const FuzzConnection& c =
+      s.connections[static_cast<std::size_t>(conn)];
+  net::ConnectionSpec spec;
+  spec.id = static_cast<net::ConnectionId>(conn + 1);
+  spec.src = {c.src_ring, c.src_index};
+  spec.dst = {c.dst_ring, c.dst_index};
+  spec.source =
+      std::make_shared<DualPeriodicEnvelope>(c.c1, c.p1, c.c2, c.p2, c.peak);
+  spec.deadline = c.deadline;
+  return spec;
+}
+
+json::Value scenario_to_json(const FuzzScenario& s) {
+  json::Value v = json::Value::object();
+  v.set("seed", u64_value(s.seed));
+  v.set("num_rings", json::Value::number(s.num_rings));
+  v.set("hosts_per_ring", json::Value::number(s.hosts_per_ring));
+  v.set("line_backbone", json::Value::boolean(s.line_backbone));
+  v.set("ttrt_s", json::Value::number(val(s.ttrt)));
+  v.set("protocol_overhead_s", json::Value::number(val(s.protocol_overhead)));
+  v.set("beta", json::Value::number(s.beta));
+  v.set("bisection_iters", json::Value::number(s.bisection_iters));
+  json::Value conns = json::Value::array();
+  for (const FuzzConnection& c : s.connections) {
+    json::Value jc = json::Value::object();
+    jc.set("src_ring", json::Value::number(c.src_ring));
+    jc.set("src_index", json::Value::number(c.src_index));
+    jc.set("dst_ring", json::Value::number(c.dst_ring));
+    jc.set("dst_index", json::Value::number(c.dst_index));
+    jc.set("c1_bits", json::Value::number(val(c.c1)));
+    jc.set("p1_s", json::Value::number(val(c.p1)));
+    jc.set("c2_bits", json::Value::number(val(c.c2)));
+    jc.set("p2_s", json::Value::number(val(c.p2)));
+    // +infinity is not a JSON number; 0 encodes "unlimited".
+    jc.set("peak_bps", json::Value::number(
+                           std::isinf(val(c.peak)) ? 0.0 : val(c.peak)));
+    jc.set("deadline_s", json::Value::number(val(c.deadline)));
+    conns.push(std::move(jc));
+  }
+  v.set("connections", std::move(conns));
+  json::Value ops = json::Value::array();
+  for (const FuzzOp& op : s.ops) {
+    json::Value jo = json::Value::object();
+    jo.set("op", json::Value::string(op.release ? "release" : "admit"));
+    jo.set("conn", json::Value::number(op.conn));
+    ops.push(std::move(jo));
+  }
+  v.set("ops", std::move(ops));
+  v.set("sim_duration_s", json::Value::number(val(s.sim_duration)));
+  v.set("async_fill", json::Value::number(s.async_fill));
+  v.set("sim_seed", u64_value(s.sim_seed));
+  return v;
+}
+
+FuzzScenario scenario_from_json(const json::Value& v) {
+  FuzzScenario s;
+  s.seed = u64_from(v.at("seed"));
+  s.num_rings = static_cast<int>(v.num_at("num_rings"));
+  s.hosts_per_ring = static_cast<int>(v.num_at("hosts_per_ring"));
+  s.line_backbone = v.bool_at("line_backbone");
+  s.ttrt = Seconds{v.num_at("ttrt_s")};
+  s.protocol_overhead = Seconds{v.num_at("protocol_overhead_s")};
+  s.beta = v.num_at("beta");
+  s.bisection_iters = static_cast<int>(v.num_at("bisection_iters"));
+  for (const json::Value& jc : v.at("connections").items()) {
+    FuzzConnection c;
+    c.src_ring = static_cast<int>(jc.num_at("src_ring"));
+    c.src_index = static_cast<int>(jc.num_at("src_index"));
+    c.dst_ring = static_cast<int>(jc.num_at("dst_ring"));
+    c.dst_index = static_cast<int>(jc.num_at("dst_index"));
+    c.c1 = Bits{jc.num_at("c1_bits")};
+    c.p1 = Seconds{jc.num_at("p1_s")};
+    c.c2 = Bits{jc.num_at("c2_bits")};
+    c.p2 = Seconds{jc.num_at("p2_s")};
+    const double peak = jc.num_at("peak_bps");
+    c.peak = peak <= 0 ? BitsPerSecond::infinity() : BitsPerSecond{peak};
+    c.deadline = Seconds{jc.num_at("deadline_s")};
+    s.connections.push_back(c);
+  }
+  for (const json::Value& jo : v.at("ops").items()) {
+    FuzzOp op;
+    op.release = jo.str_at("op") == "release";
+    op.conn = static_cast<int>(jo.num_at("conn"));
+    s.ops.push_back(op);
+  }
+  s.sim_duration = Seconds{v.num_at("sim_duration_s")};
+  s.async_fill = v.num_at("async_fill");
+  s.sim_seed = u64_from(v.at("sim_seed"));
+  return s;
+}
+
+std::string describe_scenario(const FuzzScenario& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%d rings x %d hosts (%s), TTRT %.2f ms, beta %.2f, "
+                "%zu conns, %zu ops, async_fill %.2f",
+                s.num_rings, s.hosts_per_ring,
+                s.line_backbone ? "line" : "mesh", val(s.ttrt) * 1e3, s.beta,
+                s.connections.size(), s.ops.size(), s.async_fill);
+  return buf;
+}
+
+}  // namespace hetnet::fuzz

@@ -1,0 +1,100 @@
+// Random scenarios for the differential soundness fuzzer.
+//
+// A FuzzScenario is a complete, self-contained description of one test
+// case: the ABHN topology (ring count, hosts, TTRT, Δ, backbone shape),
+// the CAC configuration (β, bisection resolution), a set of dual-periodic
+// connection requests, an interleaved admit/release sequence, and the
+// packet-simulation parameters for the empirical oracle. Scenarios are
+//
+//   * generated deterministically from a 64-bit seed (same seed, same
+//     scenario, bit for bit),
+//   * serializable to JSON and back losslessly (repro files), and
+//   * structurally shrinkable (drop connections/ops, move parameters
+//     toward defaults) while staying valid.
+//
+// Validity invariants maintained by the generator and by normalize():
+// dual-periodic sources satisfy 0 < C2 <= C1, 0 < P2 <= P1,
+// peak >= C2/P2, and (C1/C2)·P2 <= P1 (the sub-bursts fit the outer
+// window, so C1/P1 really is the long-term rate); hosts are valid for the
+// topology; every release names a previously admitted connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/cac.h"
+#include "src/net/connection.h"
+#include "src/net/topology.h"
+#include "src/testing/fuzz/json.h"
+#include "src/util/units.h"
+
+namespace hetnet::fuzz {
+
+struct FuzzConnection {
+  int src_ring = 0;
+  int src_index = 0;
+  int dst_ring = 0;
+  int dst_index = 0;
+  Bits c1;
+  Seconds p1;
+  Bits c2;
+  Seconds p2;
+  BitsPerSecond peak = BitsPerSecond::infinity();
+  Seconds deadline;
+};
+
+// One step of the churn sequence. `conn` indexes FuzzScenario::connections;
+// connection ids on the wire are conn + 1.
+struct FuzzOp {
+  bool release = false;
+  int conn = 0;
+};
+
+struct FuzzScenario {
+  std::uint64_t seed = 0;  // generator provenance (0 = hand-written)
+
+  // Topology.
+  int num_rings = 3;
+  int hosts_per_ring = 4;
+  bool line_backbone = false;
+  Seconds ttrt = units::ms(8);
+  Seconds protocol_overhead = units::ms(1);
+
+  // CAC.
+  double beta = 0.5;
+  int bisection_iters = 12;
+
+  std::vector<FuzzConnection> connections;
+  std::vector<FuzzOp> ops;
+
+  // Packet-simulation oracle parameters. Phases are always adversarially
+  // aligned; async_fill stretches token rotations toward the Theorem-1
+  // worst case.
+  Seconds sim_duration = units::sec(1);
+  double async_fill = 0.0;
+  std::uint64_t sim_seed = 1;
+};
+
+// Deterministic scenario generation: the same seed yields the same scenario
+// on every platform (all randomness flows through util/rng).
+FuzzScenario generate_scenario(std::uint64_t seed);
+
+// Clamps a scenario into the validity envelope documented above (used after
+// shrinking transformations). Ops whose connection index is out of range
+// are dropped; releases with no preceding admit are dropped.
+void normalize_scenario(FuzzScenario* scenario);
+
+// Builders for the scenario's network objects.
+net::TopologyParams topology_params(const FuzzScenario& scenario);
+core::CacConfig cac_config(const FuzzScenario& scenario, bool incremental);
+net::ConnectionSpec connection_spec(const FuzzScenario& scenario, int conn);
+
+// Lossless JSON round trip (strong-typed fields serialized in base units).
+json::Value scenario_to_json(const FuzzScenario& scenario);
+FuzzScenario scenario_from_json(const json::Value& value);
+
+// Compact one-line summary for logs: ring/host counts, #connections, #ops.
+std::string describe_scenario(const FuzzScenario& scenario);
+
+}  // namespace hetnet::fuzz

@@ -1,0 +1,161 @@
+#include "src/testing/fuzz/shrink.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hetnet::fuzz {
+namespace {
+
+FuzzScenario drop_connection(const FuzzScenario& s, int idx) {
+  FuzzScenario t = s;
+  t.connections.erase(t.connections.begin() + idx);
+  std::vector<FuzzOp> kept;
+  for (const FuzzOp& op : t.ops) {
+    if (op.conn == idx) continue;
+    FuzzOp o = op;
+    if (o.conn > idx) --o.conn;
+    kept.push_back(o);
+  }
+  t.ops = std::move(kept);
+  return t;
+}
+
+FuzzScenario drop_op(const FuzzScenario& s, int idx) {
+  FuzzScenario t = s;
+  t.ops.erase(t.ops.begin() + idx);
+  return t;
+}
+
+// Halves the gap to `target`, snapping once the remaining gap is tiny.
+// Returns false when the value is already at the target (no candidate).
+bool toward(double* x, double target) {
+  if (*x == target) return false;
+  const double next = target + (*x - target) * 0.5;
+  const double scale = std::max({1.0, std::fabs(*x), std::fabs(target)});
+  *x = std::fabs(next - target) < 1e-9 * scale ? target : next;
+  return true;
+}
+
+bool toward_int(int* x, int target) {
+  if (*x == target) return false;
+  *x += (*x > target) ? -std::max(1, (*x - target) / 2)
+                      : std::max(1, (target - *x) / 2);
+  return true;
+}
+
+// One pass worth of candidate transformations of `s`, cheapest-win first:
+// structural deletions, then topology reductions, then parameter nudges.
+std::vector<FuzzScenario> candidates(const FuzzScenario& s) {
+  std::vector<FuzzScenario> out;
+  for (int i = 0; i < static_cast<int>(s.connections.size()); ++i) {
+    out.push_back(drop_connection(s, i));
+  }
+  for (int i = static_cast<int>(s.ops.size()) - 1; i >= 0; --i) {
+    out.push_back(drop_op(s, i));
+  }
+  if (s.num_rings > 1) {
+    FuzzScenario t = s;
+    --t.num_rings;
+    out.push_back(std::move(t));
+  }
+  if (s.hosts_per_ring > 1) {
+    FuzzScenario t = s;
+    t.hosts_per_ring = std::max(1, t.hosts_per_ring / 2);
+    out.push_back(std::move(t));
+  }
+  if (s.line_backbone) {
+    FuzzScenario t = s;
+    t.line_backbone = false;
+    out.push_back(std::move(t));
+  }
+  {
+    const FuzzScenario defaults;  // scenario.h field defaults
+    FuzzScenario t = s;
+    double v = val(t.ttrt);
+    if (toward(&v, val(defaults.ttrt))) {
+      t.ttrt = Seconds{v};
+      out.push_back(t);
+    }
+    t = s;
+    v = val(t.protocol_overhead);
+    if (toward(&v, val(defaults.protocol_overhead))) {
+      t.protocol_overhead = Seconds{v};
+      out.push_back(t);
+    }
+    t = s;
+    if (toward(&t.beta, defaults.beta)) out.push_back(t);
+    t = s;
+    if (toward_int(&t.bisection_iters, defaults.bisection_iters)) {
+      out.push_back(t);
+    }
+    t = s;
+    if (t.async_fill != 0.0) {
+      t.async_fill = 0.0;
+      out.push_back(t);
+    }
+    // Shorter simulations shrink the repro's wall-clock cost, which counts
+    // as "smaller" for a human replaying it.
+    t = s;
+    v = val(t.sim_duration);
+    if (toward(&v, 0.25)) {
+      t.sim_duration = Seconds{v};
+      out.push_back(t);
+    }
+  }
+  for (int i = 0; i < static_cast<int>(s.connections.size()); ++i) {
+    const FuzzConnection& c = s.connections[static_cast<std::size_t>(i)];
+    if (isfinite(c.peak)) {
+      FuzzScenario t = s;
+      t.connections[static_cast<std::size_t>(i)].peak =
+          BitsPerSecond::infinity();
+      out.push_back(std::move(t));
+    }
+    // A plain periodic source (C2 = C1, P2 = P1) is the simplest reading of
+    // the dual-periodic model.
+    if (val(c.c2) != val(c.c1) || val(c.p2) != val(c.p1)) {
+      FuzzScenario t = s;
+      FuzzConnection& tc = t.connections[static_cast<std::size_t>(i)];
+      tc.c2 = tc.c1;
+      tc.p2 = tc.p1;
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const FuzzScenario& failing,
+                             const FailurePredicate& still_fails,
+                             int max_attempts) {
+  ShrinkResult result;
+  result.scenario = failing;
+  const auto fingerprint = [](const FuzzScenario& s) {
+    return scenario_to_json(s).dump();
+  };
+  std::string best_fp = fingerprint(result.scenario);
+  bool progress = true;
+  while (progress && result.attempts < max_attempts) {
+    progress = false;
+    for (FuzzScenario& cand : candidates(result.scenario)) {
+      if (result.attempts >= max_attempts) break;
+      normalize_scenario(&cand);
+      const std::string fp = fingerprint(cand);
+      if (fp == best_fp) continue;  // normalization undid the transformation
+      ++result.attempts;
+      if (still_fails(cand)) {
+        result.scenario = std::move(cand);
+        best_fp = fp;
+        ++result.steps;
+        progress = true;
+        break;  // restart the pass on the smaller scenario
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hetnet::fuzz

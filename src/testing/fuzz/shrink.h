@@ -1,0 +1,36 @@
+// Greedy scenario shrinking.
+//
+// Given a failing scenario and a predicate that re-checks the failure, the
+// shrinker repeatedly applies structure-reducing transformations — drop a
+// connection (remapping the churn sequence), drop a churn op, remove a ring
+// or host column, move TTRT/Δ/β/durations toward their defaults, lift peak
+// limits — keeping a transformed scenario only when the predicate still
+// fails on it. The result is a local minimum: no single transformation can
+// make it smaller without losing the failure.
+//
+// The predicate is called on normalized scenarios only, so it can assume
+// the validity invariants documented in scenario.h.
+#pragma once
+
+#include <functional>
+
+#include "src/testing/fuzz/scenario.h"
+
+namespace hetnet::fuzz {
+
+// Returns true when the scenario still exhibits the failure being chased.
+using FailurePredicate = std::function<bool(const FuzzScenario&)>;
+
+struct ShrinkResult {
+  FuzzScenario scenario;  // the shrunk scenario (== input if nothing helped)
+  int steps = 0;          // accepted transformations
+  int attempts = 0;       // predicate evaluations spent
+};
+
+// Greedily shrinks `failing` (which must satisfy `still_fails`) until no
+// transformation helps or `max_attempts` predicate calls have been spent.
+ShrinkResult shrink_scenario(const FuzzScenario& failing,
+                             const FailurePredicate& still_fails,
+                             int max_attempts = 200);
+
+}  // namespace hetnet::fuzz

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "src/util/units.h"
 #include "tests/testing/scenario.h"
@@ -63,6 +65,76 @@ TEST(RegionTest, ConvexityHoldsEmpirically) {
       make_spec(99, {0, 0}, {1, 0}, video_source(), units::ms(100));
   const RegionGrid grid = sample_feasible_region(cac, spec, 11, 11);
   EXPECT_EQ(count_convexity_violations(grid), 0);
+}
+
+// Builds a grid from ASCII rows ('#' feasible, '.' infeasible); rows top to
+// bottom are decreasing j, matching render_region's orientation.
+RegionGrid grid_from_art(const std::vector<std::string>& rows) {
+  RegionGrid grid;
+  grid.steps_r = static_cast<int>(rows.size());
+  grid.steps_s = static_cast<int>(rows.front().size());
+  grid.h_s_max = units::ms(10);
+  grid.h_r_max = units::ms(10);
+  grid.samples.resize(static_cast<std::size_t>(grid.steps_s) *
+                      static_cast<std::size_t>(grid.steps_r));
+  for (int j = 0; j < grid.steps_r; ++j) {
+    for (int i = 0; i < grid.steps_s; ++i) {
+      RegionSample s;
+      s.h_s = grid.h_s_max * (i + 1) / grid.steps_s;
+      s.h_r = grid.h_r_max * (j + 1) / grid.steps_r;
+      s.feasible =
+          rows[static_cast<std::size_t>(grid.steps_r - 1 - j)]
+              [static_cast<std::size_t>(i)] == '#';
+      s.delay = s.feasible ? units::ms(1) : kUnbounded;
+      grid.samples[static_cast<std::size_t>(j * grid.steps_s + i)] = s;
+    }
+  }
+  return grid;
+}
+
+TEST(RegionTest, ConvexityViolationsCountMidpointsOnce) {
+  // A known non-convex grid: the middle column is infeasible, so every
+  // infeasible point between two feasible ones on its row is a violating
+  // midpoint. Each is counted ONCE no matter how many feasible pairs
+  // witness it.
+  const RegionGrid grid = grid_from_art({
+      "##.##",
+      "##.##",
+      "##.##",
+  });
+  // Each row's (2, j) has witnesses (e.g. (1,j)+(3,j), (0,j)+(4,j), and
+  // diagonal pairs across rows) but counts once → 3 violating midpoints.
+  EXPECT_EQ(count_convexity_violations(grid), 3);
+}
+
+TEST(RegionTest, ConvexGridHasNoViolations) {
+  // An upward-closed staircase region (the Figure-6 shape) is
+  // midpoint-convex: no infeasible point lies between two feasible ones.
+  const RegionGrid grid = grid_from_art({
+      "..###",
+      ".####",
+      "#####",
+  });
+  EXPECT_EQ(count_convexity_violations(grid), 0);
+}
+
+TEST(RegionTest, IsolatedInfeasibleHoleIsOneViolation) {
+  const RegionGrid grid = grid_from_art({
+      "###",
+      "#.#",
+      "###",
+  });
+  EXPECT_EQ(count_convexity_violations(grid), 1);
+}
+
+TEST(RegionTest, DiagonalPairWitnessesMidpoint) {
+  // Only a diagonal feasible pair witnesses the center: (0,0) and (2,2).
+  const RegionGrid grid = grid_from_art({
+      "..#",
+      "...",
+      "#..",
+  });
+  EXPECT_EQ(count_convexity_violations(grid), 1);
 }
 
 TEST(RegionTest, DelayDecreasesUpward) {

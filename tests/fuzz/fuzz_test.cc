@@ -1,0 +1,181 @@
+// Tests for the differential soundness fuzzer itself: JSON round trips,
+// deterministic generation, scenario normalization, the oracles on known
+// seeds, shrinking, and repro replay.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/testing/fuzz/fuzzer.h"
+#include "src/testing/fuzz/json.h"
+#include "src/testing/fuzz/oracles.h"
+#include "src/testing/fuzz/scenario.h"
+#include "src/testing/fuzz/shrink.h"
+
+namespace hetnet::fuzz {
+namespace {
+
+TEST(FuzzJsonTest, DumpParseRoundTrip) {
+  json::Value v = json::Value::object();
+  v.set("name", json::Value::string("line \"quoted\"\n\ttabbed"));
+  v.set("count", json::Value::number(42));
+  v.set("exact", json::Value::number(0.1));
+  v.set("flag", json::Value::boolean(true));
+  json::Value arr = json::Value::array();
+  arr.push(json::Value::number(1));
+  arr.push(json::Value());
+  arr.push(json::Value::object());
+  v.set("items", std::move(arr));
+
+  const json::Value back = json::Value::parse(v.dump());
+  EXPECT_EQ(back.str_at("name"), "line \"quoted\"\n\ttabbed");
+  EXPECT_EQ(back.num_at("count"), 42);
+  EXPECT_EQ(back.num_at("exact"), 0.1);  // %.17g survives the round trip
+  EXPECT_TRUE(back.bool_at("flag"));
+  EXPECT_EQ(back.at("items").size(), 3u);
+  EXPECT_EQ(back.dump(), v.dump());
+}
+
+TEST(FuzzJsonTest, MalformedInputIsRejected) {
+  EXPECT_THROW(json::Value::parse("{\"a\": }"), std::logic_error);
+  EXPECT_THROW(json::Value::parse("[1, 2"), std::logic_error);
+  EXPECT_THROW(json::Value::parse("{} trailing"), std::logic_error);
+  EXPECT_THROW(json::Value::parse(""), std::logic_error);
+}
+
+TEST(FuzzScenarioTest, GenerationIsDeterministic) {
+  for (const std::uint64_t seed : {1ull, 7ull, 123456789ull}) {
+    const FuzzScenario a = generate_scenario(seed);
+    const FuzzScenario b = generate_scenario(seed);
+    EXPECT_EQ(scenario_to_json(a).dump(), scenario_to_json(b).dump());
+  }
+  EXPECT_NE(scenario_to_json(generate_scenario(1)).dump(),
+            scenario_to_json(generate_scenario(2)).dump());
+}
+
+TEST(FuzzScenarioTest, GeneratedScenariosAreNormalFixpoints) {
+  // The generator must only emit scenarios already inside the validity
+  // envelope — normalize() may not change them.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    FuzzScenario s = generate_scenario(seed);
+    const std::string before = scenario_to_json(s).dump();
+    normalize_scenario(&s);
+    EXPECT_EQ(before, scenario_to_json(s).dump()) << "seed " << seed;
+  }
+}
+
+TEST(FuzzScenarioTest, JsonRoundTripIsLossless) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FuzzScenario s = generate_scenario(seed);
+    const FuzzScenario back = scenario_from_json(scenario_to_json(s));
+    EXPECT_EQ(scenario_to_json(s).dump(), scenario_to_json(back).dump());
+  }
+}
+
+TEST(FuzzScenarioTest, NormalizeRepairsInvalidScenarios) {
+  FuzzScenario s = generate_scenario(3);
+  s.connections.resize(1);
+  s.connections[0].c2 = s.connections[0].c1 * 2.0;  // C2 > C1
+  s.connections[0].p2 = s.connections[0].p1 * 3.0;  // P2 > P1
+  s.connections[0].src_ring = 99;
+  s.ops = {{false, 0}, {true, 5}, {true, 0}, {true, 0}, {false, 0}};
+  normalize_scenario(&s);
+  const FuzzConnection& c = s.connections[0];
+  EXPECT_LE(val(c.c2), val(c.c1));
+  EXPECT_LE(val(c.p2), val(c.p1));
+  EXPECT_LT(c.src_ring, s.num_rings);
+  // admit, release survive; the out-of-range and duplicate releases and the
+  // re-admit are dropped.
+  ASSERT_EQ(s.ops.size(), 2u);
+  EXPECT_FALSE(s.ops[0].release);
+  EXPECT_TRUE(s.ops[1].release);
+}
+
+TEST(FuzzOracleTest, KnownSeedsPassAllOracles) {
+  // A miniature version of the fuzz_smoke ctest entry, with the packet
+  // simulation scaled down: every oracle must hold on these seeds.
+  OracleOptions options;
+  options.sim_scale = 0.1;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const FuzzScenario s = generate_scenario(seed);
+    for (const OracleResult& v : run_all_oracles(s, options)) {
+      EXPECT_TRUE(v.ok) << "seed " << seed << ": " << v.oracle << ": "
+                        << v.detail;
+    }
+  }
+}
+
+TEST(FuzzOracleTest, UnknownOracleNameIsAFailingResult) {
+  const OracleResult r = run_oracle("no_such_oracle", generate_scenario(1));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("unknown oracle"), std::string::npos);
+}
+
+TEST(FuzzShrinkTest, ShrinksToMinimalFailingScenario) {
+  const FuzzScenario original = generate_scenario(11);
+  ASSERT_GE(original.connections.size(), 1u);
+  // Artificial failure: "fails" whenever any connection has deadline below
+  // one second. Minimal scenarios under the shrinker's moves keep exactly
+  // one connection and one op (its admission).
+  const auto still_fails = [](const FuzzScenario& s) {
+    for (const FuzzConnection& c : s.connections) {
+      if (c.deadline < 1.0) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(still_fails(original));
+  const ShrinkResult r = shrink_scenario(original, still_fails, 500);
+  EXPECT_TRUE(still_fails(r.scenario));
+  EXPECT_EQ(r.scenario.connections.size(), 1u);
+  EXPECT_LE(r.scenario.ops.size(), 1u);
+  EXPECT_EQ(r.scenario.num_rings, 1);
+  EXPECT_EQ(r.scenario.hosts_per_ring, 1);
+  EXPECT_GT(r.steps, 0);
+}
+
+TEST(FuzzShrinkTest, RobustFailureShrinksNotAtAll) {
+  const FuzzScenario original = generate_scenario(4);
+  const auto never_fails = [](const FuzzScenario&) { return false; };
+  const ShrinkResult r = shrink_scenario(original, never_fails, 100);
+  EXPECT_EQ(r.steps, 0);
+  EXPECT_EQ(scenario_to_json(r.scenario).dump(),
+            scenario_to_json(original).dump());
+}
+
+TEST(FuzzReplayTest, ReproRoundTripsAndReplaysDeterministically) {
+  OracleOptions options;
+  options.sim_scale = 0.1;
+  FuzzFailure snapshot;
+  snapshot.seed = 2;
+  snapshot.scenario = generate_scenario(2);
+  snapshot.verdicts = run_all_oracles(snapshot.scenario, options);
+  ASSERT_EQ(snapshot.verdicts.size(), 4u);
+
+  const json::Value repro = failure_to_json(snapshot);
+  const json::Value reparsed = json::Value::parse(repro.dump());
+  const ReplayOutcome outcome = replay_repro(reparsed, options);
+  EXPECT_TRUE(outcome.matches_recorded);
+  ASSERT_EQ(outcome.fresh.size(), outcome.recorded.size());
+  for (std::size_t i = 0; i < outcome.fresh.size(); ++i) {
+    EXPECT_EQ(outcome.fresh[i].oracle, outcome.recorded[i].oracle);
+    EXPECT_EQ(outcome.fresh[i].ok, outcome.recorded[i].ok);
+  }
+}
+
+TEST(FuzzReplayTest, TamperedVerdictIsDetected) {
+  OracleOptions options;
+  options.sim_scale = 0.1;
+  options.run_packet_sim = false;
+  FuzzFailure snapshot;
+  snapshot.seed = 3;
+  snapshot.scenario = generate_scenario(3);
+  snapshot.verdicts = run_all_oracles(snapshot.scenario, options);
+  snapshot.verdicts[0].ok = false;  // claim a violation that is not there
+  const ReplayOutcome outcome =
+      replay_repro(failure_to_json(snapshot), options);
+  EXPECT_FALSE(outcome.matches_recorded);
+}
+
+}  // namespace
+}  // namespace hetnet::fuzz

@@ -59,8 +59,29 @@ TEST(TopologyTest, SameRingPairsShareRoutePorts) {
 
 TEST(TopologyTest, TooFewRingsRejected) {
   TopologyParams p = paper_topology_params();
-  p.num_rings = 1;
+  p.num_rings = 0;
   EXPECT_THROW(AbhnTopology{p}, std::logic_error);
+}
+
+TEST(TopologyTest, SingleRingIsDegenerateButValid) {
+  // One ring: all traffic is intra-ring, the backbone has no links.
+  TopologyParams p = paper_topology_params();
+  p.num_rings = 1;
+  const AbhnTopology topo(p);
+  EXPECT_EQ(topo.num_hosts(), p.hosts_per_ring);
+  EXPECT_EQ(topo.num_backbone_links(), 0);
+  EXPECT_TRUE(topo.backbone_route({0, 0}, {0, 1}).empty());
+}
+
+TEST(TopologyTest, BackboneLinkCountMatchesShape) {
+  TopologyParams p = paper_topology_params();
+  for (int rings = 2; rings <= 5; ++rings) {
+    p.num_rings = rings;
+    p.backbone_shape = BackboneShape::kMesh;
+    EXPECT_EQ(AbhnTopology(p).num_backbone_links(), rings * (rings - 1) / 2);
+    p.backbone_shape = BackboneShape::kLine;
+    EXPECT_EQ(AbhnTopology(p).num_backbone_links(), rings - 1);
+  }
 }
 
 }  // namespace

@@ -108,6 +108,81 @@ TEST(ConnectionManagerTest, IntraRingSetupHasShorterPath) {
   EXPECT_LT(records[0].setup_latency, records[1].setup_latency);
 }
 
+TEST(ConnectionManagerTest, SetupDuringReleaseIsRefusedNotCrashed) {
+  // Regression: a SETUP reusing an id whose previous instance is still
+  // kReleasing used to abort the event loop with a CHECK failure. It must
+  // be a recorded refusal instead.
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(150));
+  manager.request_setup(spec, Seconds{0.0});
+  manager.request_release(1, Seconds{1.0});
+  // The RELEASE takes a path latency (~hundreds of µs) to reach the
+  // controller; this SETUP fires while the id is still kReleasing.
+  manager.request_setup(spec, Seconds{1.0} + units::us(10));
+  const auto records = manager.run();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].admitted);
+  EXPECT_FALSE(records[1].admitted);
+  EXPECT_EQ(records[1].reason, core::RejectReason::kSignalingCollision);
+  EXPECT_EQ(manager.stats().setup_collisions, 1u);
+  // The collision refusal must not disturb the original teardown.
+  EXPECT_FALSE(manager.known(1));
+  EXPECT_EQ(manager.cac().active_count(), 0u);
+}
+
+TEST(ConnectionManagerTest, ReleaseRacingSetupIsDeferred) {
+  // Regression: a RELEASE reaching a connection still kSetupInProgress used
+  // to abort the event loop. It must wait for the verdict and then apply.
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(150));
+  manager.request_setup(spec, Seconds{0.0});
+  // The SETUP round-trip takes >2 ms (CAC processing alone); this RELEASE
+  // fires long before the CONNECT lands.
+  manager.request_release(1, units::us(100));
+  const auto records = manager.run();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].admitted);
+  EXPECT_EQ(manager.stats().deferred_releases, 1u);
+  // After the CONNECT the deferred RELEASE ran to completion.
+  EXPECT_FALSE(manager.known(1));
+  EXPECT_EQ(manager.cac().active_count(), 0u);
+  EXPECT_DOUBLE_EQ(val(manager.cac().ledger(0).allocated()), 0.0);
+}
+
+TEST(ConnectionManagerTest, DeferredReleaseOfRejectedSetupIsDropped) {
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  // An infeasible deadline guarantees a REJECT.
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(1));
+  manager.request_setup(spec, Seconds{0.0});
+  manager.request_release(1, units::us(100));
+  const auto records = manager.run();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].admitted);
+  EXPECT_EQ(manager.stats().deferred_releases, 1u);
+  EXPECT_FALSE(manager.known(1));
+  EXPECT_EQ(manager.cac().active_count(), 0u);
+}
+
+TEST(ConnectionManagerTest, DuplicateReleaseDuringTeardownIsCountedNoOp) {
+  const auto topo = hetnet::testing::paper_topology();
+  ConnectionManager manager(&topo, core::CacConfig{});
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(150));
+  manager.request_setup(spec, Seconds{0.0});
+  manager.request_release(1, Seconds{1.0});
+  manager.request_release(1, Seconds{1.0} + units::us(10));
+  manager.run();
+  EXPECT_EQ(manager.stats().duplicate_releases, 1u);
+  EXPECT_FALSE(manager.known(1));
+  EXPECT_EQ(manager.cac().active_count(), 0u);
+}
+
 TEST(ConnectionManagerTest, InvalidTransitionsCaught) {
   const auto topo = hetnet::testing::paper_topology();
   ConnectionManager manager(&topo, core::CacConfig{});

@@ -23,6 +23,54 @@ TEST(WorkloadTest, UtilizationConversionsRoundTrip) {
   }
 }
 
+TEST(WorkloadTest, LambdaRoundTripsThroughUtilization) {
+  // lambda_for_utilization(offered_utilization(w)) ≈ w.lambda, on both the
+  // mesh and the line backbone (different link counts).
+  for (const auto shape :
+       {net::BackboneShape::kMesh, net::BackboneShape::kLine}) {
+    auto params = net::paper_topology_params();
+    params.backbone_shape = shape;
+    const net::AbhnTopology topo(params);
+    WorkloadParams w = quick_workload();
+    w.lambda = 3.7;
+    const double u = offered_utilization(w, topo);
+    EXPECT_NEAR(lambda_for_utilization(u, w, topo), w.lambda, 1e-12);
+  }
+}
+
+TEST(WorkloadTest, UtilizationLinkCountComesFromTopology) {
+  // The Section-6 divisor is the number of backbone links, not the number
+  // of rings: the 3-ring mesh (triangle) has 3 links, the 3-ring line only
+  // 2, so the same λ loads each line link 3/2 as much.
+  auto params = net::paper_topology_params();
+  const net::AbhnTopology mesh(params);
+  params.backbone_shape = net::BackboneShape::kLine;
+  const net::AbhnTopology line(params);
+  EXPECT_EQ(mesh.num_backbone_links(), 3);
+  EXPECT_EQ(line.num_backbone_links(), 2);
+  const WorkloadParams w = quick_workload();
+  EXPECT_NEAR(offered_utilization(w, line),
+              offered_utilization(w, mesh) * 3.0 / 2.0, 1e-12);
+}
+
+TEST(WorkloadTest, SingleRingTopologyRefusesInsteadOfCrashing) {
+  // Regression: with every host on one ring there is no backbone-crossing
+  // destination; each arrival must become a counted refusal, not an
+  // out-of-bounds pick from an empty candidate list.
+  auto params = net::paper_topology_params();
+  params.num_rings = 1;
+  const net::AbhnTopology topo(params);
+  core::CacConfig cfg;
+  WorkloadParams w = quick_workload();
+  w.lambda = 5.0;  // lambda_for_utilization needs a backbone; set λ directly
+  const auto r = run_admission_simulation(topo, cfg, w);
+  EXPECT_EQ(r.total_requests, static_cast<std::size_t>(w.num_requests));
+  EXPECT_EQ(r.skipped_no_destination, r.total_requests);
+  EXPECT_EQ(r.admitted, 0u);
+  EXPECT_DOUBLE_EQ(r.admission.proportion(), 0.0);
+  EXPECT_THROW(offered_utilization(w, topo), std::logic_error);
+}
+
 TEST(WorkloadTest, SourceRateIsC1OverP1) {
   WorkloadParams w = quick_workload();
   EXPECT_DOUBLE_EQ(val(source_rate(w)), val(w.c1 / w.p1));
@@ -63,7 +111,7 @@ TEST(WorkloadTest, BookkeepingIsConsistent) {
             static_cast<std::size_t>(w.num_requests));
   EXPECT_EQ(r.admission.trials(), r.total_requests);
   EXPECT_EQ(r.admitted + r.rejected_no_bandwidth + r.rejected_infeasible +
-                r.skipped_no_source,
+                r.skipped_no_source + r.skipped_no_destination,
             r.total_requests);
   EXPECT_EQ(r.admission.successes(), r.admitted);
 }

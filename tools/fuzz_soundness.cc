@@ -1,0 +1,140 @@
+// Differential soundness fuzzer CLI.
+//
+//   fuzz_soundness [--seeds N] [--first-seed S] [--out DIR]
+//                  [--sim-scale X] [--no-sim] [--no-shrink]
+//       Sweeps N consecutive seeds through the four oracles
+//       (src/testing/fuzz/oracles.h). Exit code 0 when every seed passes,
+//       1 when any oracle violation survives. With --out, each failure's
+//       shrunk repro is written to DIR as repro_seed_<seed>.json.
+//
+//   fuzz_soundness --replay FILE [--sim-scale X] [--no-sim]
+//       Re-runs the oracles on FILE's scenario and compares the fresh
+//       verdicts against the recorded ones. Exit code 0 iff they match.
+//
+//   fuzz_soundness --record SEED --out-file FILE [--sim-scale X] [--no-sim]
+//       Generates the scenario for SEED, runs the oracles, and writes the
+//       repro JSON (whatever the verdict) — used to snapshot the
+//       checked-in replay fixtures under tests/fuzz/repros/.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/testing/fuzz/fuzzer.h"
+
+namespace {
+
+using hetnet::fuzz::FuzzFailure;
+using hetnet::fuzz::FuzzOptions;
+using hetnet::fuzz::FuzzReport;
+using hetnet::fuzz::OracleResult;
+using hetnet::fuzz::ReplayOutcome;
+
+[[noreturn]] void usage(const std::string& error) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: fuzz_soundness [--seeds N] [--first-seed S] "
+               "[--out DIR] [--sim-scale X] [--no-sim] [--no-shrink]\n"
+               "       fuzz_soundness --replay FILE [--sim-scale X] "
+               "[--no-sim]\n"
+               "       fuzz_soundness --record SEED --out-file FILE "
+               "[--sim-scale X] [--no-sim]\n",
+               error.c_str());
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) usage("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void print_verdicts(const std::vector<OracleResult>& verdicts) {
+  for (const OracleResult& v : verdicts) {
+    std::printf("  %-24s %s%s%s\n", v.oracle.c_str(), v.ok ? "ok" : "FAIL",
+                v.detail.empty() ? "" : " — ", v.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  std::string replay_path;
+  std::string record_seed;
+  std::string out_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) usage(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      options.num_seeds = std::atoi(value("--seeds").c_str());
+    } else if (arg == "--first-seed") {
+      options.first_seed = std::strtoull(
+          value("--first-seed").c_str(), nullptr, 10);
+    } else if (arg == "--out") {
+      options.repro_dir = value("--out");
+    } else if (arg == "--sim-scale") {
+      options.oracle.sim_scale = std::atof(value("--sim-scale").c_str());
+    } else if (arg == "--no-sim") {
+      options.oracle.run_packet_sim = false;
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--replay") {
+      replay_path = value("--replay");
+    } else if (arg == "--record") {
+      record_seed = value("--record");
+    } else if (arg == "--out-file") {
+      out_file = value("--out-file");
+    } else {
+      usage("unknown argument '" + arg + "'");
+    }
+  }
+
+  try {
+    if (!replay_path.empty()) {
+      const auto repro =
+          hetnet::fuzz::json::Value::parse(read_file(replay_path));
+      const ReplayOutcome outcome =
+          hetnet::fuzz::replay_repro(repro, options.oracle);
+      std::printf("recorded verdicts:\n");
+      print_verdicts(outcome.recorded);
+      std::printf("fresh verdicts:\n");
+      print_verdicts(outcome.fresh);
+      std::printf("replay %s\n", outcome.matches_recorded
+                                     ? "MATCHES the recorded verdict"
+                                     : "DIVERGED from the recorded verdict");
+      return outcome.matches_recorded ? 0 : 1;
+    }
+
+    if (!record_seed.empty()) {
+      if (out_file.empty()) usage("--record needs --out-file");
+      FuzzFailure snapshot;
+      snapshot.seed = std::strtoull(record_seed.c_str(), nullptr, 10);
+      snapshot.scenario = hetnet::fuzz::generate_scenario(snapshot.seed);
+      snapshot.verdicts =
+          hetnet::fuzz::run_all_oracles(snapshot.scenario, options.oracle);
+      std::ofstream out(out_file);
+      if (!out.good()) usage("cannot write " + out_file);
+      out << hetnet::fuzz::failure_to_json(snapshot).dump();
+      std::printf("recorded seed %s (%s) to %s\n", record_seed.c_str(),
+                  hetnet::fuzz::describe_scenario(snapshot.scenario).c_str(),
+                  out_file.c_str());
+      print_verdicts(snapshot.verdicts);
+      return 0;
+    }
+
+    if (options.num_seeds <= 0) usage("--seeds must be positive");
+    const FuzzReport report = hetnet::fuzz::run_fuzz(options, &std::cout);
+    return report.failures.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  }
+}
