@@ -6,9 +6,13 @@
 // listing the accepted ones.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "src/core/cac.h"
 #include "src/sim/workload.h"
 #include "src/util/flags.h"
+#include "src/util/thread_pool.h"
 
 namespace hetnet::bench {
 
@@ -37,6 +41,33 @@ inline core::CacConfig cac_from_flags(Flags& flags, double beta) {
   cfg.bisection_iters = static_cast<int>(flags.get("iters", 12));
   cfg.equality_tolerance = flags.get("eqtol", 0.05);
   return cfg;
+}
+
+// Worker count for the sharded sweep drivers: `threads=N` flag, defaulting
+// to the machine's hardware concurrency.
+inline int threads_from_flags(Flags& flags) {
+  return static_cast<int>(
+      flags.get("threads", static_cast<double>(util::hardware_threads())));
+}
+
+// One point of a sweep: a full admission simulation under `cfg`/`params`.
+struct SimJob {
+  core::CacConfig cfg;
+  sim::WorkloadParams params;
+};
+
+// Sharded sweep driver: runs every job's simulation, `threads` at a time,
+// and returns the results in job order. Each replica owns its RNG stream
+// and controller (nothing shared), so the output is identical to the serial
+// loop for any thread count.
+inline std::vector<sim::SimulationResult> run_jobs(
+    const net::AbhnTopology& topo, const std::vector<SimJob>& jobs,
+    int threads) {
+  return util::parallel_map<sim::SimulationResult>(
+      jobs.size(), threads, [&](std::size_t k) {
+        return sim::run_admission_simulation(topo, jobs[k].cfg,
+                                             jobs[k].params);
+      });
 }
 
 }  // namespace hetnet::bench

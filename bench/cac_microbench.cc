@@ -13,11 +13,20 @@
 // also checks the two engines produce bit-identical decisions, written as
 // JSON for tools/bench_compare.py (CI gates on the speedup RATIO, which is
 // machine-independent, not on absolute times).
+//
+// `--threads N` additionally times the parallel engine
+// (CacConfig::analysis.threads = N) against the serial cold reference and
+// emits parallel_speedup per point. The parallel run is measured on the
+// COLD configuration: steady-state incremental requests are memo-bound
+// (almost no recomputation to parallelize), so the cold path is where the
+// wave/speculative decomposition must earn its keep. Decisions are checked
+// bit-identical against the serial engine first.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -65,12 +74,16 @@ void preload(core::AdmissionController& cac, int n) {
 
 // β = 0.2 keeps the per-connection grants lean enough that all 64 preloads
 // (and the probe) fit the ledgers; the default β = 0.5 saturates at ~53.
-core::CacConfig bench_config(bool incremental) {
+core::CacConfig bench_config(bool incremental, int threads = 1) {
   core::CacConfig cfg;
   cfg.beta = 0.2;
   cfg.incremental = incremental;
+  cfg.analysis.threads = threads;
   return cfg;
 }
+
+// Worker count for the parallel comparison (--threads N); 1 = skip it.
+int g_threads = 1;
 
 constexpr net::ConnectionId kProbeId = 99'999;
 
@@ -143,6 +156,10 @@ struct ComparePoint {
   double cold_ns = 0.0;
   double speedup = 0.0;
   bool decisions_match = false;
+  // --threads N comparison (zeros / trivially true when g_threads == 1).
+  double parallel_cold_ns = 0.0;
+  double parallel_speedup = 0.0;
+  bool parallel_decisions_match = true;
 };
 
 bool decisions_identical(const core::AdmissionDecision& a,
@@ -201,6 +218,22 @@ ComparePoint compare_at(int active) {
                              mean_request_ns(cold, spec, 0, iters));
   }
   point.speedup = point.cold_ns / point.incremental_ns;
+
+  if (g_threads > 1) {
+    core::AdmissionController par(&topo, bench_config(false, g_threads));
+    preload(par, active);
+    const auto serial_ref = cold.request(spec);
+    cold.release(kProbeId);
+    point.parallel_decisions_match =
+        decisions_identical(par.request(spec), serial_ref);
+    par.release(kProbeId);
+    point.parallel_cold_ns = mean_request_ns(par, spec, 1, iters);
+    for (int rep = 0; rep < 2; ++rep) {
+      point.parallel_cold_ns =
+          std::min(point.parallel_cold_ns, mean_request_ns(par, spec, 0, iters));
+    }
+    point.parallel_speedup = point.cold_ns / point.parallel_cold_ns;
+  }
   return point;
 }
 
@@ -213,6 +246,13 @@ int run_json(const std::string& path) {
                 points.back().active, points.back().incremental_ns,
                 points.back().cold_ns, points.back().speedup,
                 points.back().decisions_match ? "yes" : "NO");
+    if (g_threads > 1) {
+      std::printf("           parallel(%d)=%9.0f ns  parallel_speedup=%5.2fx"
+                  "  decisions_match=%s\n",
+                  g_threads, points.back().parallel_cold_ns,
+                  points.back().parallel_speedup,
+                  points.back().parallel_decisions_match ? "yes" : "NO");
+    }
   }
 
   std::ofstream out(path);
@@ -220,7 +260,8 @@ int run_json(const std::string& path) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return 1;
   }
-  out << "{\n  \"bench\": \"cac_microbench\",\n  \"results\": [\n";
+  out << "{\n  \"bench\": \"cac_microbench\",\n  \"threads\": " << g_threads
+      << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     out << "    {\"active\": " << p.active
@@ -228,7 +269,12 @@ int run_json(const std::string& path) {
         << ", \"cold_ns\": " << static_cast<long long>(p.cold_ns)
         << ", \"speedup\": " << p.speedup
         << ", \"decisions_match\": " << (p.decisions_match ? "true" : "false")
-        << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+        << ", \"parallel_cold_ns\": "
+        << static_cast<long long>(p.parallel_cold_ns)
+        << ", \"parallel_speedup\": " << p.parallel_speedup
+        << ", \"parallel_decisions_match\": "
+        << (p.parallel_decisions_match ? "true" : "false") << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::printf("wrote %s\n", path.c_str());
@@ -241,6 +287,13 @@ int run_json(const std::string& path) {
                    p.active);
       return 1;
     }
+    if (!p.parallel_decisions_match) {
+      std::fprintf(stderr,
+                   "FAIL: parallel and serial decisions diverge at %d "
+                   "active connections\n",
+                   p.active);
+      return 1;
+    }
   }
   return 0;
 }
@@ -248,13 +301,31 @@ int run_json(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path = "BENCH_cac.json";
+  std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") return run_json("BENCH_cac.json");
-    if (arg.rfind("--json=", 0) == 0) return run_json(arg.substr(7));
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      g_threads = std::atoi(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      g_threads = std::atoi(arg.substr(10).c_str());
+    } else {
+      passthrough.push_back(argv[i]);
+    }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  HETNET_CHECK(g_threads >= 1, "--threads must be >= 1");
+  if (json) return run_json(json_path);
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

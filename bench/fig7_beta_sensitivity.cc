@@ -10,7 +10,11 @@
 //   * a wide mid range of β performs near the maximum (≈ [0.4, 0.7]).
 //
 // Flags (key=value): requests warmup seed seeds rho_mbps c2_kbits p1_ms
-// p2_ms deadline_ms lifetime_s iters eqtol beta_steps
+// p2_ms deadline_ms lifetime_s iters eqtol beta_steps threads
+//
+// threads=N shards the (β, U, seed) replicas over N workers (default: all
+// hardware threads); every replica owns its RNG stream and controller, so
+// the table is identical for any N.
 #include <cstdio>
 #include <vector>
 
@@ -25,6 +29,7 @@ int main(int argc, char** argv) {
   const int beta_steps = static_cast<int>(flags.get("beta_steps", 11));
   const int seeds = static_cast<int>(flags.get("seeds", 3));
   core::CacConfig cac_probe = bench::cac_from_flags(flags, 0.5);
+  const int threads = bench::threads_from_flags(flags);
   flags.check_unknown();
 
   const net::AbhnTopology topo(net::paper_topology_params());
@@ -42,31 +47,47 @@ int main(int argc, char** argv) {
               val(base.mean_lifetime), base.warmup_requests,
               base.num_requests, seeds);
 
+  // Sharded sweep: enumerate every (β, U, seed) replica up front, run them
+  // over the worker pool, then fold the results in the same nested order
+  // the serial loop used (ProportionStats::merge is integer addition, so
+  // the fold order is immaterial anyway).
+  std::vector<bench::SimJob> jobs;
+  for (int bi = 0; bi < beta_steps; ++bi) {
+    const double beta =
+        beta_steps == 1 ? 0.5
+                        : static_cast<double>(bi) / (beta_steps - 1);
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      for (int s = 0; s < seeds; ++s) {
+        sim::WorkloadParams w = base;
+        w.seed = base.seed + static_cast<std::uint64_t>(1000 * s);
+        w.lambda = sim::lambda_for_utilization(loads[li], w, topo);
+        core::CacConfig cfg = cac_probe;
+        cfg.beta = beta;
+        jobs.push_back({cfg, w});
+      }
+    }
+  }
+  const std::vector<sim::SimulationResult> results =
+      bench::run_jobs(topo, jobs, threads);
+
   TableWriter table(
       {"beta", "AP(U=0.1)", "AP(U=0.3)", "AP(U=0.6)", "AP(U=0.9)"});
   std::vector<std::vector<std::pair<double, double>>> curves(loads.size());
+  std::size_t job = 0;
   for (int bi = 0; bi < beta_steps; ++bi) {
     const double beta =
         beta_steps == 1 ? 0.5
                         : static_cast<double>(bi) / (beta_steps - 1);
     std::vector<std::string> row{TableWriter::fmt(beta, 2)};
     for (std::size_t li = 0; li < loads.size(); ++li) {
-      const double u = loads[li];
       ProportionStats ap;
       for (int s = 0; s < seeds; ++s) {
-        sim::WorkloadParams w = base;
-        w.seed = base.seed + static_cast<std::uint64_t>(1000 * s);
-        w.lambda = sim::lambda_for_utilization(u, w, topo);
-        core::CacConfig cfg = cac_probe;
-        cfg.beta = beta;
-        const auto result = sim::run_admission_simulation(topo, cfg, w);
-        ap.merge(result.admission);
+        ap.merge(results[job++].admission);
       }
       row.push_back(TableWriter::fmt(ap.proportion(), 3));
       curves[li].push_back({beta, ap.proportion()});
     }
     table.add_row(std::move(row));
-    std::fprintf(stderr, "beta=%.2f done\n", beta);
   }
   std::printf("%s", table.to_ascii().c_str());
 

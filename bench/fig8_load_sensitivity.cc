@@ -9,7 +9,11 @@
 //     under heavy load (U = 0.9).
 //
 // Flags (key=value): requests warmup seed seeds rho_mbps c2_kbits p1_ms
-// p2_ms deadline_ms lifetime_s iters eqtol u_min u_max u_steps
+// p2_ms deadline_ms lifetime_s iters eqtol u_min u_max u_steps threads
+//
+// threads=N shards the (U, β, seed) replicas over N workers (default: all
+// hardware threads); every replica owns its RNG stream and controller, so
+// the table is identical for any N.
 #include <cstdio>
 #include <vector>
 
@@ -26,6 +30,7 @@ int main(int argc, char** argv) {
   const int u_steps = static_cast<int>(flags.get("u_steps", 10));
   const int seeds = static_cast<int>(flags.get("seeds", 3));
   core::CacConfig cac_probe = bench::cac_from_flags(flags, 0.5);
+  const int threads = bench::threads_from_flags(flags);
   flags.check_unknown();
 
   const net::AbhnTopology topo(net::paper_topology_params());
@@ -39,31 +44,46 @@ int main(int argc, char** argv) {
               val(base.mean_lifetime), base.warmup_requests,
               base.num_requests, seeds);
 
-  TableWriter table({"U", "AP(beta=0)", "AP(beta=0.5)", "AP(beta=1)"});
-  std::vector<std::vector<std::pair<double, double>>> curves(betas.size());
+  // Sharded sweep: enumerate every (U, β, seed) replica up front, run them
+  // over the worker pool, then fold in the serial loop's nested order
+  // (ProportionStats::merge is integer addition — order-immaterial).
+  const auto u_at = [&](int ui) {
+    return u_steps == 1
+               ? u_min
+               : u_min +
+                     (u_max - u_min) * static_cast<double>(ui) / (u_steps - 1);
+  };
+  std::vector<bench::SimJob> jobs;
   for (int ui = 0; ui < u_steps; ++ui) {
-    const double u =
-        u_steps == 1
-            ? u_min
-            : u_min + (u_max - u_min) * static_cast<double>(ui) / (u_steps - 1);
-    std::vector<std::string> row{TableWriter::fmt(u, 2)};
     for (std::size_t bi = 0; bi < betas.size(); ++bi) {
-      const double beta = betas[bi];
-      ProportionStats ap;
       for (int s = 0; s < seeds; ++s) {
         sim::WorkloadParams w = base;
         w.seed = base.seed + static_cast<std::uint64_t>(1000 * s);
-        w.lambda = sim::lambda_for_utilization(u, w, topo);
+        w.lambda = sim::lambda_for_utilization(u_at(ui), w, topo);
         core::CacConfig cfg = cac_probe;
-        cfg.beta = beta;
-        const auto result = sim::run_admission_simulation(topo, cfg, w);
-        ap.merge(result.admission);
+        cfg.beta = betas[bi];
+        jobs.push_back({cfg, w});
+      }
+    }
+  }
+  const std::vector<sim::SimulationResult> results =
+      bench::run_jobs(topo, jobs, threads);
+
+  TableWriter table({"U", "AP(beta=0)", "AP(beta=0.5)", "AP(beta=1)"});
+  std::vector<std::vector<std::pair<double, double>>> curves(betas.size());
+  std::size_t job = 0;
+  for (int ui = 0; ui < u_steps; ++ui) {
+    const double u = u_at(ui);
+    std::vector<std::string> row{TableWriter::fmt(u, 2)};
+    for (std::size_t bi = 0; bi < betas.size(); ++bi) {
+      ProportionStats ap;
+      for (int s = 0; s < seeds; ++s) {
+        ap.merge(results[job++].admission);
       }
       row.push_back(TableWriter::fmt(ap.proportion(), 3));
       curves[bi].push_back({u, ap.proportion()});
     }
     table.add_row(std::move(row));
-    std::fprintf(stderr, "U=%.2f done\n", u);
   }
   std::printf("%s", table.to_ascii().c_str());
 

@@ -13,6 +13,7 @@
 #include "src/traffic/algebra.h"
 #include "src/traffic/sources.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace hetnet::core {
 namespace {
@@ -107,10 +108,12 @@ std::vector<Seconds> DelayAnalyzer::run(
     const std::vector<SendPrefix>& prefixes,
     std::vector<ChainAnalysis>* details,
     std::map<atm::PortId, PortReport>* ports,
-    AnalysisSession* session) const {
+    AnalysisSession* session,
+    const AnalysisSession* read_base) const {
   HETNET_CHECK(prefixes.size() == set.size(), "prefixes misaligned with set");
   const net::TopologyParams& p = topology_->params();
   const std::size_t n = set.size();
+  const int threads = config_.threads;
   // The breakdown path needs per-stage records the memo does not keep, so it
   // always recomputes.
   AnalysisSession* memo = details == nullptr ? session : nullptr;
@@ -151,109 +154,158 @@ std::vector<Seconds> DelayAnalyzer::run(
       }
     }
   }
-  std::vector<atm::PortId> ready;
+  // Level-synchronous (wave) traversal: every port whose predecessors are
+  // all processed forms the current wave. Same-wave ports never share a
+  // live connection (a route's ports form a precedence chain), so their
+  // bounds are computed concurrently; memo lookups, stats, and state
+  // application happen in serial pre-/post-passes in wave order, keeping
+  // results and counters bit-identical for every thread count.
+  struct PortTask {
+    atm::PortId port;
+    std::vector<std::size_t> users;  // live users, in connection order
+    std::vector<EnvelopePtr> flows;  // their envelopes entering the port
+    FifoMuxParams mux;
+    AnalysisSession::PortKey key;                       // memo only
+    const AnalysisSession::PortEntry* hit = nullptr;    // memo only
+    // Miss path, filled by the (possibly parallel) compute pass:
+    bool bounded = false;
+    Seconds delay;
+    Bits backlog;
+    std::vector<EnvelopePtr> outputs;  // per user, iff bounded
+  };
+  std::vector<atm::PortId> wave;
   for (const auto& [port, deg] : in_degree) {
-    if (deg == 0) ready.push_back(port);
+    if (deg == 0) wave.push_back(port);
   }
   std::size_t processed = 0;
-  while (!ready.empty()) {
-    const atm::PortId port = ready.back();
-    ready.pop_back();
-    ++processed;
-
-    // Aggregate the live flows at this port and bound it once (the FIFO
-    // delay bound is port-wide, identical for every flow).
-    std::vector<EnvelopePtr> flows;
-    std::vector<std::size_t> users;
-    for (std::size_t i : port_users[port]) {
-      if (alive[i]) {
-        flows.push_back(envs[i]);
-        users.push_back(i);
-      }
-    }
-    if (!flows.empty()) {
-      FifoMuxParams mux;
-      mux.capacity = topology_->backbone().port_capacity(port);
-      mux.non_preemption = topology_->backbone().port_cell_time(port);
-      mux.cell_bits = p.cells.payload;
-      mux.buffer_limit = topology_->backbone().port_link(port).port_buffer;
-
-      // Between probes the port's live input envelopes usually have not
-      // changed (only flows downstream of the candidate's route do), so the
-      // port bound — and every flow's output envelope — can be reused
-      // verbatim from the session memo.
-      AnalysisSession::PortEntry* entry = nullptr;
-      bool hit = false;
-      if (memo != nullptr) {
-        AnalysisSession::PortKey key{port, {}};
-        key.second.reserve(flows.size());
-        for (const EnvelopePtr& f : flows) {
-          key.second.push_back(f->fingerprint());
+  std::vector<PortTask> tasks;
+  while (!wave.empty()) {
+    // -- Serial pre-pass: gather the live flows per port and resolve the
+    // memo. Between probes a port's live input envelopes usually have not
+    // changed (only flows downstream of the candidate's route do), so the
+    // port bound — and every flow's output envelope — can be reused
+    // verbatim from the session memo.
+    tasks.clear();
+    for (const atm::PortId port : wave) {
+      ++processed;
+      PortTask t;
+      t.port = port;
+      for (std::size_t i : port_users[port]) {
+        if (alive[i]) {
+          t.flows.push_back(envs[i]);
+          t.users.push_back(i);
         }
-        const auto [it, inserted] =
-            memo->ports_.try_emplace(std::move(key));
-        entry = &it->second;
-        hit = !inserted;
-        if (hit) {
+      }
+      if (t.flows.empty()) continue;
+      t.mux.capacity = topology_->backbone().port_capacity(port);
+      t.mux.non_preemption = topology_->backbone().port_cell_time(port);
+      t.mux.cell_bits = p.cells.payload;
+      t.mux.buffer_limit = topology_->backbone().port_link(port).port_buffer;
+      if (memo != nullptr) {
+        t.key.first = port;
+        t.key.second.reserve(t.flows.size());
+        for (const EnvelopePtr& f : t.flows) {
+          t.key.second.push_back(f->fingerprint());
+        }
+        if (const auto it = memo->ports_.find(t.key);
+            it != memo->ports_.end()) {
+          t.hit = &it->second;
+        } else if (read_base != nullptr) {
+          if (const auto bit = read_base->ports_.find(t.key);
+              bit != read_base->ports_.end()) {
+            t.hit = &bit->second;
+          }
+        }
+        if (t.hit != nullptr) {
           ++memo->stats_.port_hits;
         } else {
           ++memo->stats_.port_evals;
         }
       }
-      bool bounded = false;
+      tasks.push_back(std::move(t));
+    }
+
+    // -- Parallel compute pass: bound every missed port and derive its
+    // users' output envelopes. Pure function of the task's inputs (disjoint
+    // across same-wave ports), so any schedule yields identical bits.
+    util::parallel_for(tasks.size(), threads, [&](std::size_t k) {
+      PortTask& t = tasks[k];
+      if (t.hit != nullptr) return;
+      const FifoMuxServer server(port_name(t.port), t.mux,
+                                 std::make_shared<ZeroEnvelope>(), config_);
+      const auto bound = server.analyze_port(sum_envelopes(t.flows));
+      t.bounded = bound.has_value();
+      if (!t.bounded) return;
+      t.delay = bound->worst_case_delay;
+      t.backlog = bound->buffer_required;
+      t.outputs.reserve(t.flows.size());
+      for (const EnvelopePtr& f : t.flows) {
+        // Per-flow FIFO output bound (identical to FifoMuxServer::
+        // flow_output): whatever leaves in a window of length I entered
+        // within I + d, and one flow cannot beat the link plus one cell.
+        t.outputs.push_back(rate_cap(shift_envelope(f, t.delay),
+                                     t.mux.capacity, t.mux.cell_bits));
+      }
+    });
+
+    // -- Serial apply pass, in wave order: record memo entries, update
+    // per-connection delays/envelopes, and report port bounds.
+    for (PortTask& t : tasks) {
+      bool bounded;
       Seconds port_delay;
       Bits port_backlog;
-      if (hit) {
-        bounded = entry->bounded;
-        port_delay = entry->delay;
-        port_backlog = entry->backlog;
+      if (t.hit != nullptr) {
+        bounded = t.hit->bounded;
+        port_delay = t.hit->delay;
+        port_backlog = t.hit->backlog;
       } else {
-        const FifoMuxServer server(port_name(port), mux,
-                                   std::make_shared<ZeroEnvelope>(), config_);
-        const auto bound = server.analyze_port(sum_envelopes(flows));
-        bounded = bound.has_value();
-        if (bounded) {
-          port_delay = bound->worst_case_delay;
-          port_backlog = bound->buffer_required;
-        }
-        if (entry != nullptr) {
-          entry->bounded = bounded;
-          entry->delay = port_delay;
-          entry->backlog = port_backlog;
+        bounded = t.bounded;
+        port_delay = t.delay;
+        port_backlog = t.backlog;
+        if (memo != nullptr) {
+          AnalysisSession::PortEntry e;
+          e.bounded = bounded;
+          e.delay = port_delay;
+          e.backlog = port_backlog;
+          if (bounded) {
+            for (std::size_t u = 0; u < t.users.size(); ++u) {
+              e.outputs.emplace_back(t.flows[u]->fingerprint(),
+                                     t.outputs[u]);
+            }
+          }
+          memo->ports_.emplace(std::move(t.key), std::move(e));
         }
       }
       if (ports != nullptr && bounded) {
-        (*ports)[port] = {port_delay, port_backlog,
-                          static_cast<int>(users.size())};
+        (*ports)[t.port] = {port_delay, port_backlog,
+                            static_cast<int>(t.users.size())};
       }
-      for (std::size_t i : users) {
+      for (std::size_t u = 0; u < t.users.size(); ++u) {
+        const std::size_t i = t.users[u];
         if (!bounded) {
           alive[i] = false;
           continue;
         }
         const atm::Hop& hop = routes[i][next_hop[i]];
-        const Seconds stage_delay =
-            hop.fabric + port_delay + hop.propagation;
+        const Seconds stage_delay = hop.fabric + port_delay + hop.propagation;
         delays[i] += stage_delay;
         EnvelopePtr out;
-        if (hit) {
-          const std::uint64_t in_fp = envs[i]->fingerprint();
-          for (const auto& [fp_key, env] : entry->outputs) {
+        if (t.hit != nullptr) {
+          const std::uint64_t in_fp = t.flows[u]->fingerprint();
+          for (const auto& [fp_key, env] : t.hit->outputs) {
             if (fp_key == in_fp) {
               out = env;
               break;
             }
           }
-        }
-        if (out == nullptr) {
-          // Per-flow FIFO output bound (identical to FifoMuxServer::
-          // flow_output): whatever leaves in a window of length I entered
-          // within I + d, and one flow cannot beat the link plus one cell.
-          out = rate_cap(shift_envelope(envs[i], port_delay), mux.capacity,
-                         mux.cell_bits);
-          if (entry != nullptr && !hit) {
-            entry->outputs.emplace_back(envs[i]->fingerprint(), out);
+          if (out == nullptr) {
+            // Defensive: a bounded hit entry keyed on these fingerprints
+            // stores an output per input, so this should never fire.
+            out = rate_cap(shift_envelope(t.flows[u], port_delay),
+                           t.mux.capacity, t.mux.cell_bits);
           }
+        } else {
+          out = t.outputs[u];
         }
         envs[i] = out;
         if (det != nullptr) {
@@ -261,14 +313,19 @@ std::vector<Seconds> DelayAnalyzer::run(
           sa.worst_case_delay = stage_delay;
           sa.buffer_required = port_backlog;
           sa.output = envs[i];
-          (*det)[i].stages.push_back({port_name(port), std::move(sa)});
+          (*det)[i].stages.push_back({port_name(t.port), std::move(sa)});
         }
         ++next_hop[i];
       }
     }
-    for (const atm::PortId s : succ[port]) {
-      if (--in_degree[s] == 0) ready.push_back(s);
+
+    std::vector<atm::PortId> next_wave;
+    for (const atm::PortId port : wave) {
+      for (const atm::PortId s : succ[port]) {
+        if (--in_degree[s] == 0) next_wave.push_back(s);
+      }
     }
+    wave = std::move(next_wave);
   }
   HETNET_CHECK(processed == in_degree.size(),
                "cyclic port dependencies: routing must be feed-forward");
@@ -279,41 +336,109 @@ std::vector<Seconds> DelayAnalyzer::run(
   // envelope leaving the backbone and on H_R, so the session memo reuses it
   // whenever neither changed (i.e. the flow crossed no port downstream of
   // the candidate's route).
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!alive[i]) continue;
-    if (set[i].spec.src.ring == set[i].spec.dst.ring) continue;
-    const Seconds h_r = set[i].alloc.h_r;
-    if (h_r <= 0.0 || h_r > p.ring.ttrt) {
-      alive[i] = false;
-      continue;
+  if (det != nullptr) {
+    // Breakdown path: serial, recording per-stage details (memo is off).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      if (set[i].spec.src.ring == set[i].spec.dst.ring) continue;
+      const Seconds h_r = set[i].alloc.h_r;
+      if (h_r <= 0.0 || h_r > p.ring.ttrt) {
+        alive[i] = false;
+        continue;
+      }
+      const AnalysisSession::SuffixEntry local =
+          walk_receive_suffix(envs[i], h_r, &(*det)[i].stages);
+      if (!local.finite) {
+        alive[i] = false;
+        continue;
+      }
+      for (const Seconds d : local.stage_delays) delays[i] += d;
+      envs[i] = local.final_env;
     }
-    const AnalysisSession::SuffixEntry* walk = nullptr;
-    AnalysisSession::SuffixEntry local;
-    if (memo != nullptr) {
+  } else {
+    // Serial pre-pass in connection order: resolve memo hits and dedupe the
+    // walks that still need computing (two connections sharing a missing
+    // key become one eval plus one hit, exactly like the serial engine).
+    struct SuffixJob {
+      AnalysisSession::SuffixKey key;  // memo only
+      EnvelopePtr entry_env;
+      Seconds h_r;
+      AnalysisSession::SuffixEntry result;
+    };
+    std::vector<SuffixJob> jobs;
+    std::map<AnalysisSession::SuffixKey, std::size_t> job_of;
+    std::vector<std::ptrdiff_t> conn_job(n, -1);
+    std::vector<const AnalysisSession::SuffixEntry*> conn_hit(n, nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      if (set[i].spec.src.ring == set[i].spec.dst.ring) continue;
+      const Seconds h_r = set[i].alloc.h_r;
+      if (h_r <= 0.0 || h_r > p.ring.ttrt) {
+        alive[i] = false;
+        continue;
+      }
+      if (memo == nullptr) {
+        conn_job[i] = static_cast<std::ptrdiff_t>(jobs.size());
+        jobs.push_back({{}, envs[i], h_r, {}});
+        continue;
+      }
       const AnalysisSession::SuffixKey key{envs[i]->fingerprint(),
                                            fp::of_double(h_r.value())};
-      const auto [it, inserted] = memo->suffixes_.try_emplace(key);
+      const AnalysisSession::SuffixEntry* found = nullptr;
+      if (const auto it = memo->suffixes_.find(key);
+          it != memo->suffixes_.end()) {
+        found = &it->second;
+      } else if (read_base != nullptr) {
+        if (const auto bit = read_base->suffixes_.find(key);
+            bit != read_base->suffixes_.end()) {
+          found = &bit->second;
+        }
+      }
+      if (found != nullptr) {
+        ++memo->stats_.suffix_hits;
+        conn_hit[i] = found;
+        continue;
+      }
+      const auto [jit, inserted] = job_of.try_emplace(key, jobs.size());
       if (inserted) {
-        it->second = walk_receive_suffix(envs[i], h_r, nullptr);
+        jobs.push_back({key, envs[i], h_r, {}});
         ++memo->stats_.suffix_evals;
       } else {
         ++memo->stats_.suffix_hits;
       }
-      walk = &it->second;
-    } else {
-      std::vector<ChainStage>* stages =
-          det != nullptr ? &(*det)[i].stages : nullptr;
-      local = walk_receive_suffix(envs[i], h_r, stages);
-      walk = &local;
+      conn_job[i] = static_cast<std::ptrdiff_t>(jit->second);
     }
-    if (!walk->finite) {
-      alive[i] = false;
-      continue;
+
+    // Parallel compute of the deduplicated walks (each a pure function of
+    // its entry envelope and H_R).
+    util::parallel_for(jobs.size(), threads, [&](std::size_t k) {
+      jobs[k].result =
+          walk_receive_suffix(jobs[k].entry_env, jobs[k].h_r, nullptr);
+    });
+
+    // Serial apply: record the new entries (first-occurrence order), then
+    // replay each connection's per-stage additions in connection order —
+    // bit-identical to the cold walk's accumulation.
+    if (memo != nullptr) {
+      for (const SuffixJob& job : jobs) {
+        memo->suffixes_.emplace(job.key, job.result);
+      }
     }
-    // Replay the per-stage additions in order — bit-identical to the cold
-    // walk's accumulation.
-    for (const Seconds d : walk->stage_delays) delays[i] += d;
-    envs[i] = walk->final_env;
+    for (std::size_t i = 0; i < n; ++i) {
+      const AnalysisSession::SuffixEntry* walk =
+          conn_hit[i] != nullptr
+              ? conn_hit[i]
+              : (conn_job[i] >= 0 ? &jobs[static_cast<std::size_t>(
+                                        conn_job[i])].result
+                                  : nullptr);
+      if (walk == nullptr) continue;
+      if (!walk->finite) {
+        alive[i] = false;
+        continue;
+      }
+      for (const Seconds d : walk->stage_delays) delays[i] += d;
+      envs[i] = walk->final_env;
+    }
   }
 
   // A connection with no finite bound poisons everything it shares a port
@@ -396,14 +521,21 @@ AnalysisSession::SuffixEntry DelayAnalyzer::walk_receive_suffix(
 std::vector<SendPrefix> DelayAnalyzer::compute_prefixes(
     const std::vector<ConnectionInstance>& set, std::ptrdiff_t stage_index,
     std::vector<ChainStage>* stages) const {
-  std::vector<SendPrefix> prefixes;
-  prefixes.reserve(set.size());
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    const ConnectionInstance& inst = set[i];
-    prefixes.push_back(
-        static_cast<std::ptrdiff_t>(i) == stage_index
-            ? prefix_with_stages(inst.spec, inst.alloc.h_s, stages)
-            : send_prefix(inst.spec, inst.alloc.h_s));
+  std::vector<SendPrefix> prefixes(set.size());
+  if (stage_index < 0) {
+    // Each prefix is private to its connection — embarrassingly parallel,
+    // each worker writing its own slot.
+    util::parallel_for(set.size(), config_.threads, [&](std::size_t i) {
+      prefixes[i] = send_prefix(set[i].spec, set[i].alloc.h_s);
+    });
+  } else {
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      const ConnectionInstance& inst = set[i];
+      prefixes[i] =
+          static_cast<std::ptrdiff_t>(i) == stage_index
+              ? prefix_with_stages(inst.spec, inst.alloc.h_s, stages)
+              : send_prefix(inst.spec, inst.alloc.h_s);
+    }
   }
   return prefixes;
 }
@@ -412,6 +544,13 @@ std::vector<Seconds> DelayAnalyzer::complete(
     const std::vector<ConnectionInstance>& set,
     const std::vector<SendPrefix>& prefixes, AnalysisSession* session) const {
   return run(set, prefixes, nullptr, nullptr, session);
+}
+
+std::vector<Seconds> DelayAnalyzer::complete_speculative(
+    const std::vector<ConnectionInstance>& set,
+    const std::vector<SendPrefix>& prefixes, const AnalysisSession& base,
+    AnalysisSession& overlay) const {
+  return run(set, prefixes, nullptr, nullptr, &overlay, &base);
 }
 
 std::map<atm::PortId, DelayAnalyzer::PortReport> DelayAnalyzer::port_reports(

@@ -24,6 +24,16 @@
 // reports +infinity for everything sharing a port with it. The CAC only
 // accepts allocations where every bound is finite, so this conservatism
 // never admits a violating configuration.
+//
+// Parallelism (AnalysisConfig::threads > 1): the topological walk is
+// level-synchronous — ports with no unprocessed predecessor form a wave, and
+// ports in the same wave are bounded concurrently. Two same-wave ports never
+// share a live connection (a connection's route induces a precedence chain
+// over its ports, so two ports of one route are never in the same wave),
+// which makes the per-wave work embarrassingly parallel. All memo lookups,
+// stats counting, and state application happen in serial pre-/post-passes in
+// a fixed order, so results are BIT-IDENTICAL for every thread count
+// (pinned by tests/core/parallel_equivalence_test.cc; see DESIGN.md §8).
 #pragma once
 
 #include <cstddef>
@@ -78,6 +88,18 @@ class DelayAnalyzer {
                                 const std::vector<SendPrefix>& prefixes,
                                 AnalysisSession* session = nullptr) const;
 
+  // complete() for a SPECULATIVE probe running concurrently with others:
+  // memo lookups consult `overlay` first and then the shared `base`
+  // (read-only — safe to share across concurrent speculative runs), and all
+  // new entries are recorded into the private `overlay`. Once the batch
+  // settles, absorb() the overlays into the base in a deterministic order.
+  // Results are bit-identical to complete(set, prefixes, &base_after_warmup)
+  // by the fingerprint contract (equal key ⇒ bit-identical value).
+  std::vector<Seconds> complete_speculative(
+      const std::vector<ConnectionInstance>& set,
+      const std::vector<SendPrefix>& prefixes, const AnalysisSession& base,
+      AnalysisSession& overlay) const;
+
   // Convenience: send_prefix for each instance, then complete().
   std::vector<Seconds> analyze(const std::vector<ConnectionInstance>& set) const;
 
@@ -115,11 +137,16 @@ class DelayAnalyzer {
   AnalysisSession::SuffixEntry walk_receive_suffix(
       const EnvelopePtr& entry, Seconds h_r,
       std::vector<ChainStage>* stages) const;
+  // `session` is the writable memo (hits recorded, misses inserted);
+  // `read_base` is an optional ADDITIONAL read-only memo consulted when a
+  // key is absent from `session` — used by complete_speculative() to share
+  // a base session across concurrent probes without mutating it.
   std::vector<Seconds> run(const std::vector<ConnectionInstance>& set,
                            const std::vector<SendPrefix>& prefixes,
                            std::vector<ChainAnalysis>* details,
                            std::map<atm::PortId, PortReport>* ports = nullptr,
-                           AnalysisSession* session = nullptr) const;
+                           AnalysisSession* session = nullptr,
+                           const AnalysisSession* read_base = nullptr) const;
 
   const net::AbhnTopology* topology_;
   AnalysisConfig config_;

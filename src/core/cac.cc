@@ -6,6 +6,7 @@
 
 #include "src/traffic/fingerprint.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace hetnet::core {
 namespace {
@@ -17,6 +18,20 @@ bool all_deadlines_met(const std::vector<ConnectionInstance>& set,
     if (!approx_le(delays[i], set[i].spec.deadline)) return false;
   }
   return true;
+}
+
+// The next `depth` levels of candidate bisection midpoints below the bracket
+// [lo, hi]: both branches of every level, 2^depth − 1 points. Uses the exact
+// arithmetic of the serial loop (0.5 * (lo + hi)), so whichever branch the
+// consuming bisection actually takes, its next `depth` midpoints are
+// bit-identical members of this set.
+void midpoint_subtree(double lo, double hi, int depth,
+                      std::vector<double>* out) {
+  if (depth <= 0) return;
+  const double mid = 0.5 * (lo + hi);
+  out->push_back(mid);
+  midpoint_subtree(lo, mid, depth - 1, out);
+  midpoint_subtree(mid, hi, depth - 1, out);
 }
 
 }  // namespace
@@ -46,11 +61,60 @@ struct AdmissionController::Probe {
   }
 
   // Evaluates every connection's bound with the candidate allocation in the
-  // last slot.
+  // last slot. Points pre-evaluated by prefetch() are served from the
+  // speculation cache — bit-identical to re-running them here, since eval is
+  // a pure function of the allocation (the session memo only changes cost,
+  // never values).
   std::vector<Seconds> eval(const net::Allocation& alloc) {
+    if (const auto it = speculated.find(point_key(alloc));
+        it != speculated.end()) {
+      return it->second;
+    }
     set.back().alloc = alloc;
     prefixes.back() = candidate_prefix(alloc.h_s);
     return analyzer->complete(set, prefixes, session);
+  }
+
+  bool has_eval(const net::Allocation& alloc) const {
+    return speculated.find(point_key(alloc)) != speculated.end();
+  }
+
+  // Speculative probe batching: evaluates every not-yet-cached point of the
+  // batch concurrently. Each speculative run gets private copies of the
+  // instance set and prefixes plus a private session overlay; the shared
+  // base session is read-only during the batch and absorbs the overlays in
+  // batch order afterwards (src/core/session.h). The candidate prefixes are
+  // materialized serially up front, so the concurrent runs see the same
+  // SendPrefix objects — and therefore the same memo keys — as the serial
+  // engine would.
+  void prefetch(const std::vector<net::Allocation>& allocs) {
+    std::vector<net::Allocation> todo;
+    std::vector<SendPrefix> todo_prefix;
+    for (const net::Allocation& a : allocs) {
+      if (has_eval(a)) continue;
+      todo.push_back(a);
+      todo_prefix.push_back(candidate_prefix(a.h_s));
+    }
+    if (todo.empty()) return;
+    std::vector<AnalysisSession> overlays(todo.size());
+    std::vector<std::vector<Seconds>> results(todo.size());
+    util::parallel_for(
+        todo.size(), analyzer->config().threads, [&](std::size_t k) {
+          std::vector<ConnectionInstance> spec_set = set;
+          std::vector<SendPrefix> spec_prefixes = prefixes;
+          spec_set.back().alloc = todo[k];
+          spec_prefixes.back() = todo_prefix[k];
+          results[k] = session != nullptr
+                           ? analyzer->complete_speculative(
+                                 spec_set, spec_prefixes, *session,
+                                 overlays[k])
+                           : analyzer->complete(spec_set, spec_prefixes,
+                                                nullptr);
+        });
+    for (std::size_t k = 0; k < todo.size(); ++k) {
+      if (session != nullptr) session->absorb(std::move(overlays[k]));
+      speculated.emplace(point_key(todo[k]), std::move(results[k]));
+    }
   }
 
   bool feasible(const net::Allocation& alloc) {
@@ -73,11 +137,22 @@ struct AdmissionController::Probe {
     return it->second;
   }
 
+  // Exact point identity via the raw double bits — no tolerance folding, so
+  // the only way to hit the cache is to ask for the bit-identical (λ ↦
+  // allocation) point the subtree generator produced.
+  using PointKey = std::pair<std::uint64_t, std::uint64_t>;
+  static PointKey point_key(const net::Allocation& a) {
+    return {fp::of_double(a.h_s.value()), fp::of_double(a.h_r.value())};
+  }
+
   const DelayAnalyzer* analyzer = nullptr;
   AnalysisSession* session = nullptr;
   std::vector<ConnectionInstance> set;
   std::vector<SendPrefix> prefixes;
   std::map<std::uint64_t, SendPrefix> candidate_prefixes;
+  // Delay vectors from speculative prefetch() batches, keyed by allocation
+  // point. Per-request (lives and dies with the Probe).
+  std::map<PointKey, std::vector<Seconds>> speculated;
 };
 
 AdmissionController::AdmissionController(const net::AbhnTopology* topology,
@@ -149,12 +224,37 @@ AdmissionDecision AdmissionController::request(
     return a;
   };
 
+  // Speculative probe batching (threads ≥ 3): ahead of the next `depth`
+  // bisection iterations, evaluate the full binary subtree of candidate
+  // midpoints (2^depth − 1 points ≤ threads) concurrently. The bisection
+  // then consumes its actual path through the subtree from the cache —
+  // trajectory and decision are bit-identical to the serial loop because
+  // eval is a pure function of the allocation. Depth 1 is pointless (one
+  // point on one worker IS the serial step), hence the ≥ 2 cutoff.
+  const int spec_depth = [&] {
+    int d = 0;
+    while (((1 << (d + 1)) - 1) <= config_.analysis.threads) ++d;
+    return d;
+  }();
+  const auto maybe_prefetch = [&](double lo, double hi, int remaining) {
+    const int depth = std::min(spec_depth, remaining);
+    if (depth < 2) return;
+    if (probe.has_eval(lerp(0.5 * (lo + hi)))) return;
+    std::vector<double> lambdas;
+    midpoint_subtree(lo, hi, depth, &lambdas);
+    std::vector<net::Allocation> points;
+    points.reserve(lambdas.size());
+    for (const double l : lambdas) points.push_back(lerp(l));
+    probe.prefetch(points);
+  };
+
   // --- Step 3: bisect for (H_S^min_need, H_R^min_need). ---
   double lambda_min = 0.0;
   if (!probe.feasible(lerp(0.0))) {
     double lo = 0.0;  // infeasible
     double hi = 1.0;  // feasible (step 2)
     for (int i = 0; i < config_.bisection_iters; ++i) {
+      maybe_prefetch(lo, hi, config_.bisection_iters - i);
       const double mid = 0.5 * (lo + hi);
       if (probe.feasible(lerp(mid))) {
         hi = mid;
@@ -187,6 +287,7 @@ AdmissionDecision AdmissionController::request(
     double lo = lambda_min;  // not yet saturated
     double hi = 1.0;         // saturated by definition (it IS the reference)
     for (int i = 0; i < config_.bisection_iters; ++i) {
+      maybe_prefetch(lo, hi, config_.bisection_iters - i);
       const double mid = 0.5 * (lo + hi);
       if (delays_saturated(lerp(mid))) {
         hi = mid;

@@ -63,6 +63,11 @@ struct CacConfig {
   // and delay vectors are bit-identical to the cold path — disable only for
   // the cold reference in perf comparisons and soundness tests.
   bool incremental = true;
+  // analysis.threads > 1 additionally parallelizes each joint analysis
+  // (wave-level port bounding, prefix/suffix fan-out) and, from 3 threads
+  // up, speculatively evaluates the bisections' next candidate points
+  // concurrently. Decisions stay bit-identical to analysis.threads == 1
+  // (tests/core/parallel_equivalence_test.cc).
   AnalysisConfig analysis;
 };
 
@@ -141,7 +146,11 @@ class AdmissionController {
   std::vector<fddi::SyncBandwidthLedger> ledgers_;
   // Incremental-engine state. Mutable: probes run inside const entry points
   // (feasible_at, delay_at); the caches are semantically transparent. Like
-  // cache_envelope, they mutate on use — the controller is single-threaded.
+  // cache_envelope, they mutate on use — the controller's API is
+  // single-threaded. With config.analysis.threads > 1 the engine runs
+  // concurrent work internally, but the session is only read concurrently
+  // (speculative probes write private overlays, absorbed serially) and is
+  // mutated exclusively from serial sections — see src/core/session.h.
   struct PrefixCacheEntry {
     Seconds h_s;
     SendPrefix prefix;

@@ -12,4 +12,16 @@ void AnalysisSession::trim() {
   if (suffixes_.size() > kMaxEntries) suffixes_.clear();
 }
 
+void AnalysisSession::absorb(AnalysisSession&& overlay) {
+  // merge() keeps the existing entry on key collision; colliding values are
+  // bit-identical by the fingerprint contract, so either choice is sound.
+  ports_.merge(overlay.ports_);
+  suffixes_.merge(overlay.suffixes_);
+  stats_.port_evals += overlay.stats_.port_evals;
+  stats_.port_hits += overlay.stats_.port_hits;
+  stats_.suffix_evals += overlay.stats_.suffix_evals;
+  stats_.suffix_hits += overlay.stats_.suffix_hits;
+  trim();
+}
+
 }  // namespace hetnet::core

@@ -22,9 +22,18 @@
 // stale — a released connection simply stops contributing its fingerprints —
 // so the session needs no invalidation protocol, only a size bound.
 //
-// NOT thread-safe (like cache_envelope, the memo mutates on use). One
-// session per AdmissionController; the controller is single-threaded by
-// design.
+// Concurrency model: the session itself is NOT internally synchronized.
+// A single run() mutates it only from the analyzer's serial memo phases
+// (the parallel workers touch per-entry state the serial pre-pass handed
+// them). For the CAC's speculative probe batching — several run()s in
+// flight at once — the base session is shared READ-ONLY and each
+// concurrent run records its new entries into a private overlay session
+// (DelayAnalyzer::complete_speculative); the overlays are merged back with
+// absorb() in a deterministic order afterwards. Because equal keys always
+// map to bit-identical values, any merge order yields a semantically
+// identical cache; only the eval/hit counters can overcount under
+// speculation (an entry may be computed by several overlays at once), so
+// treat Stats as diagnostics, exact only for serial configurations.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +62,12 @@ class AnalysisSession {
 
   // Drops all memoized results (keeps the counters).
   void clear();
+
+  // Merges an overlay session produced by a speculative run into this one:
+  // entries this session already has win (their values are bit-identical by
+  // the fingerprint contract anyway), the overlay's counters are added, and
+  // the size bound is re-applied.
+  void absorb(AnalysisSession&& overlay);
 
   std::size_t size() const { return ports_.size() + suffixes_.size(); }
 

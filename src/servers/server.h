@@ -40,6 +40,15 @@ struct AnalysisConfig {
   bool rasterize_mac_output = true;
   int output_horizon_rotations = 64;
   int rasterize_max_points = 128;
+
+  // Worker threads for the joint analysis (src/util/thread_pool.h). The
+  // per-connection send prefixes and receive suffixes, and the port bounds
+  // within one topological wave, are independent computations; with
+  // threads > 1 they run concurrently and are merged in index order, so
+  // every result — and every AdmissionDecision built on them — is
+  // bit-identical to the serial run (pinned by
+  // tests/core/parallel_equivalence_test.cc). 1 = fully serial.
+  int threads = 1;
 };
 
 // Result of analyzing one server for one connection.

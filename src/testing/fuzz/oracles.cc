@@ -70,6 +70,53 @@ bool leq_with_tol(Seconds a, Seconds b) {
   return val(a) <= val(b) * (1 + kRelTol);
 }
 
+bool same_seconds(Seconds x, Seconds y) {
+  return val(x) == val(y) || (std::isinf(val(x)) && std::isinf(val(y)));
+}
+
+// Decision-by-decision bit-equality of two replays of the same op sequence.
+// Returns the empty string when identical, else a detail naming the first
+// diverging op and field; `label` names engine B in the message (engine A
+// is always the reference).
+std::string compare_replays(const Replay& a, const Replay& b,
+                            const char* label) {
+  HETNET_CHECK(a.decisions.size() == b.decisions.size(),
+               "replays must see the same ops");
+  const auto& same = same_seconds;
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    const auto& da = a.decisions[i];
+    const auto& db = b.decisions[i];
+    std::string field;
+    if (da.admitted != db.admitted) {
+      field = "admitted";
+    } else if (da.reason != db.reason) {
+      field = "reason";
+    } else if (!same(da.alloc.h_s, db.alloc.h_s) ||
+               !same(da.alloc.h_r, db.alloc.h_r)) {
+      field = "alloc";
+    } else if (!same(da.worst_case_delay, db.worst_case_delay)) {
+      field = "worst_case_delay";
+    } else if (!same(da.max_avail.h_s, db.max_avail.h_s) ||
+               !same(da.max_avail.h_r, db.max_avail.h_r)) {
+      field = "max_avail";
+    } else if (!same(da.min_need.h_s, db.min_need.h_s) ||
+               !same(da.min_need.h_r, db.min_need.h_r)) {
+      field = "min_need";
+    } else if (!same(da.max_need.h_s, db.max_need.h_s) ||
+               !same(da.max_need.h_r, db.max_need.h_r)) {
+      field = "max_need";
+    }
+    if (!field.empty()) {
+      return fmt(
+          "op %zu: reference and %s CAC disagree on %s "
+          "(reference admitted=%d h_s=%.17g, %s admitted=%d h_s=%.17g)",
+          i, label, field.c_str(), da.admitted, val(da.alloc.h_s), label,
+          db.admitted, val(db.alloc.h_s));
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 OracleResult check_bound_soundness(const FuzzScenario& s,
@@ -149,43 +196,11 @@ OracleResult check_incremental_equivalence(const FuzzScenario& s) {
   core::AdmissionController cold(&topo, cac_config(s, false));
   const Replay a = replay_ops(s, &warm);
   const Replay b = replay_ops(s, &cold);
-  HETNET_CHECK(a.decisions.size() == b.decisions.size(),
-               "replays must see the same ops");
-  const auto same = [](Seconds x, Seconds y) {
-    return val(x) == val(y) || (std::isinf(val(x)) && std::isinf(val(y)));
-  };
-  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
-    const auto& da = a.decisions[i];
-    const auto& db = b.decisions[i];
-    std::string field;
-    if (da.admitted != db.admitted) {
-      field = "admitted";
-    } else if (da.reason != db.reason) {
-      field = "reason";
-    } else if (!same(da.alloc.h_s, db.alloc.h_s) ||
-               !same(da.alloc.h_r, db.alloc.h_r)) {
-      field = "alloc";
-    } else if (!same(da.worst_case_delay, db.worst_case_delay)) {
-      field = "worst_case_delay";
-    } else if (!same(da.max_avail.h_s, db.max_avail.h_s) ||
-               !same(da.max_avail.h_r, db.max_avail.h_r)) {
-      field = "max_avail";
-    } else if (!same(da.min_need.h_s, db.min_need.h_s) ||
-               !same(da.min_need.h_r, db.min_need.h_r)) {
-      field = "min_need";
-    } else if (!same(da.max_need.h_s, db.max_need.h_s) ||
-               !same(da.max_need.h_r, db.max_need.h_r)) {
-      field = "max_need";
-    }
-    if (!field.empty()) {
-      result.ok = false;
-      result.detail = fmt(
-          "op %zu: incremental and cold CAC disagree on %s "
-          "(incremental admitted=%d h_s=%.17g, cold admitted=%d h_s=%.17g)",
-          i, field.c_str(), da.admitted, val(da.alloc.h_s), db.admitted,
-          val(db.alloc.h_s));
-      return result;
-    }
+  const std::string diff = compare_replays(a, b, "cold");
+  if (!diff.empty()) {
+    result.ok = false;
+    result.detail = diff;
+    return result;
   }
   for (int ring = 0; ring < s.num_rings; ++ring) {
     if (val(warm.ledger(ring).allocated()) !=
@@ -356,6 +371,45 @@ OracleResult check_line_monotonicity(const FuzzScenario& s) {
   return result;
 }
 
+OracleResult check_parallel_equivalence(const FuzzScenario& s) {
+  // PR-4 contract: the parallel engine — wave-parallel joint analysis,
+  // parallel prefix/suffix fan-out, and (at 8 threads) speculative
+  // bisection batching with session overlays — must produce bit-identical
+  // admission decisions to the serial engine at every thread count. 2
+  // threads exercises the fork/join paths without speculation; 8 threads
+  // adds depth-3 speculative probe batching.
+  OracleResult result{"parallel_equivalence", true, ""};
+  const net::AbhnTopology topo(topology_params(s));
+  core::AdmissionController serial(&topo, cac_config(s, true));
+  const Replay ref = replay_ops(s, &serial);
+  for (const int threads : {2, 8}) {
+    core::CacConfig cfg = cac_config(s, true);
+    cfg.analysis.threads = threads;
+    core::AdmissionController par(&topo, cfg);
+    const Replay got = replay_ops(s, &par);
+    const std::string label = fmt("parallel(%d)", threads);
+    const std::string diff = compare_replays(ref, got, label.c_str());
+    if (!diff.empty()) {
+      result.ok = false;
+      result.detail = diff;
+      return result;
+    }
+    for (int ring = 0; ring < s.num_rings; ++ring) {
+      if (val(serial.ledger(ring).allocated()) !=
+          val(par.ledger(ring).allocated())) {
+        result.ok = false;
+        result.detail =
+            fmt("ring %d: ledger divergence between serial and %d-thread "
+                "engines (%.17g s vs %.17g s)",
+                ring, threads, val(serial.ledger(ring).allocated()),
+                val(par.ledger(ring).allocated()));
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
 OracleResult check_algebra_invariants(const FuzzScenario& s) {
   OracleResult result{"algebra_invariants", true, ""};
   Rng rng(s.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -443,6 +497,7 @@ std::vector<OracleResult> run_all_oracles(const FuzzScenario& scenario,
       run_oracle("bound_soundness", scenario, options),
       run_oracle("incremental_equivalence", scenario, options),
       run_oracle("line_monotonicity", scenario, options),
+      run_oracle("parallel_equivalence", scenario, options),
       run_oracle("algebra_invariants", scenario, options),
   };
 }
@@ -458,6 +513,9 @@ OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
     }
     if (name == "line_monotonicity") {
       return check_line_monotonicity(scenario);
+    }
+    if (name == "parallel_equivalence") {
+      return check_parallel_equivalence(scenario);
     }
     if (name == "algebra_invariants") {
       return check_algebra_invariants(scenario);

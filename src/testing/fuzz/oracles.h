@@ -1,4 +1,4 @@
-// The four soundness oracles of the differential fuzzer.
+// The five soundness oracles of the differential fuzzer.
 //
 // Each oracle takes a scenario, rebuilds the system from scratch, and
 // checks one property the reproduction's claims rest on:
@@ -26,6 +26,13 @@
 //                            strictly monotone here — the H-dependent frame
 //                            size couples into the Theorem-2 quantization;
 //                            see the note in oracles.cc.)
+//   parallel_equivalence   — PR-4 contract: replaying the admit/release
+//                            sequence with the parallel engine
+//                            (analysis.threads ∈ {2, 8}: wave-parallel
+//                            joint analysis + speculative bisection
+//                            batching) yields bit-identical decisions,
+//                            allocations, delay bounds, anchors, and
+//                            ledgers to the serial engine.
 //   algebra_invariants     — traffic algebra: every source envelope is
 //                            monotone, subadditive (Γ's defining property),
 //                            and leaky-bucket majorized by
@@ -66,16 +73,18 @@ OracleResult check_bound_soundness(const FuzzScenario& scenario,
                                    const OracleOptions& options = {});
 OracleResult check_incremental_equivalence(const FuzzScenario& scenario);
 OracleResult check_line_monotonicity(const FuzzScenario& scenario);
+OracleResult check_parallel_equivalence(const FuzzScenario& scenario);
 OracleResult check_algebra_invariants(const FuzzScenario& scenario);
 
-// Runs all four; a thrown std::exception inside an oracle is converted into
+// Runs all five; a thrown std::exception inside an oracle is converted into
 // a failing result whose detail carries the what() text.
 std::vector<OracleResult> run_all_oracles(const FuzzScenario& scenario,
                                           const OracleOptions& options = {});
 
 // Runs one oracle by name ("bound_soundness", "incremental_equivalence",
-// "line_monotonicity", "algebra_invariants"), with the same exception
-// conversion. Used by the shrinker to re-check the failure it is chasing.
+// "line_monotonicity", "parallel_equivalence", "algebra_invariants"), with
+// the same exception conversion. Used by the shrinker to re-check the
+// failure it is chasing.
 OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
                         const OracleOptions& options = {});
 

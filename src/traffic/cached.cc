@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -23,10 +24,17 @@ class CachedEnvelope final : public ArrivalEnvelope {
     std::uint64_t key;
     static_assert(sizeof(key) == sizeof(interval));
     std::memcpy(&key, &interval, sizeof(key));
-    if (const auto it = cache_.find(key); it != cache_.end()) {
-      return it->second;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (const auto it = cache_.find(key); it != cache_.end()) {
+        return it->second;
+      }
     }
+    // Computed outside the lock: concurrent misses on the same interval
+    // both evaluate the (pure, deterministic) input and store the identical
+    // value, so the cache contents never depend on scheduling.
     const Bits value = input_->bits(interval);
+    std::lock_guard<std::mutex> lock(mu_);
     if (cache_.size() >= max_entries_) cache_.clear();
     cache_.emplace(key, value);
     return value;
@@ -54,6 +62,7 @@ class CachedEnvelope final : public ArrivalEnvelope {
  private:
   EnvelopePtr input_;
   std::size_t max_entries_;
+  mutable std::mutex mu_;
   mutable std::unordered_map<std::uint64_t, Bits> cache_;
 };
 

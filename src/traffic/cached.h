@@ -5,8 +5,10 @@
 // re-evaluates A(t + I) over the inner scan's grid). Wrapping a computed
 // envelope in `cache_envelope` makes repeated evaluation O(1).
 //
-// NOT thread-safe: the cache mutates on read. The analysis engine is
-// single-threaded by design (each simulation replica owns its own state).
+// Thread-safe: the memo mutates on read under an internal per-envelope
+// mutex, because cached envelopes are shared across the parallel admission
+// engine's workers (src/util/thread_pool.h). Values are pure, so the cache
+// contents never depend on scheduling.
 #pragma once
 
 #include "src/traffic/envelope.h"

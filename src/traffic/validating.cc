@@ -79,6 +79,7 @@ std::string ValidatingEnvelope::describe() const {
 }
 
 void ValidatingEnvelope::check_monotone(Seconds interval, Bits value) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = seen_.emplace(interval, value);
   if (!inserted) {
     HETNET_CHECK(close_enough(value, it->second, value),

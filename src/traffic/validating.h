@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,10 @@ class ValidatingEnvelope final : public ArrivalEnvelope {
 
   EnvelopePtr inner_;
   // Queries observed so far, for the nondecreasing check. Mutable: the
-  // envelope interface is logically const, the validation memo is not state.
+  // envelope interface is logically const, the validation memo is not
+  // state. Guarded by mu_ — validated envelopes can be shared across the
+  // parallel engine's workers like any other envelope.
+  mutable std::mutex mu_;
   mutable std::map<Seconds, Bits> seen_;
 };
 

@@ -1,0 +1,147 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace hetnet::util {
+namespace {
+
+// Workers (and callers while they participate in a batch) set this so that
+// nested parallel_for calls degrade to the serial loop instead of
+// deadlocking on the pool they are already running inside.
+thread_local bool tls_in_parallel_region = false;
+
+// Backstop for absurd `threads` requests; real callers pass either a config
+// value validated upstream or hardware_threads().
+constexpr int kMaxHelpers = 255;
+
+// One fork/join region. Helpers and the caller all pull indexes from the
+// shared atomic counter until it runs past `n` (or a body threw).
+struct Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;  // guards the error slot and the helper countdown
+  std::condition_variable done;
+  int helpers_pending = 0;
+  std::size_t error_index = 0;
+  std::exception_ptr error;
+
+  void drain() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (error == nullptr || i < error_index) {
+          error = std::current_exception();
+          error_index = i;
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool* pool = new Pool;  // leaked: workers may outlive main's statics
+    return *pool;
+  }
+
+  void run(std::size_t n, int threads,
+           const std::function<void(std::size_t)>& body) {
+    const auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->body = &body;
+    const int helpers = static_cast<int>(std::min<std::size_t>(
+        {static_cast<std::size_t>(threads - 1), n - 1,
+         static_cast<std::size_t>(kMaxHelpers)}));
+    ensure_workers(helpers);
+    batch->helpers_pending = helpers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int h = 0; h < helpers; ++h) {
+        queue_.push_back([batch] {
+          batch->drain();
+          std::lock_guard<std::mutex> batch_lock(batch->mu);
+          if (--batch->helpers_pending == 0) batch->done.notify_one();
+        });
+      }
+    }
+    wake_.notify_all();
+
+    // The caller is worker zero.
+    tls_in_parallel_region = true;
+    batch->drain();
+    tls_in_parallel_region = false;
+
+    {
+      std::unique_lock<std::mutex> lock(batch->mu);
+      batch->done.wait(lock, [&] { return batch->helpers_pending == 0; });
+    }
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+
+ private:
+  void ensure_workers(int count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(workers_.size()) < count) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  void worker_main() {
+    tls_in_parallel_region = true;  // everything a worker runs is nested
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] { return !queue_.empty(); });
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;  // detached-by-leak; never joined
+};
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1 || tls_in_parallel_region) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  Pool::instance().run(n, threads, body);
+}
+
+}  // namespace hetnet::util

@@ -1,0 +1,55 @@
+// Deterministic fork/join parallelism for the admission-analysis engine.
+//
+// parallel_for(n, threads, body) runs body(i) for every i in [0, n) on up
+// to `threads` OS threads (the caller participates; helper threads come
+// from a lazily-grown process-wide pool that is reused across calls, so a
+// bench issuing thousands of small parallel regions never churns threads).
+//
+// The determinism contract — the reason this exists instead of a generic
+// task system — is that parallelism must never change a RESULT:
+//
+//   * indexes are distributed dynamically, so the caller must not depend on
+//     execution order. Each body(i) writes only state owned by index i
+//     (e.g. slot i of a pre-sized output vector); any reduction is done by
+//     the caller afterwards, in index order. Under that discipline the
+//     outcome is bit-identical to the serial loop for any thread count.
+//   * nested parallel_for calls (body itself calling parallel_for, on any
+//     pool) run inline on the calling worker — no deadlock, no thread
+//     explosion, same results.
+//   * an exception thrown by body(i) stops the distribution of NEW indexes
+//     and is rethrown in the caller once all workers drain; when several
+//     indexes throw concurrently, the smallest index's exception wins, so
+//     the propagated error does not depend on scheduling. (Unlike the
+//     serial loop, indexes after the failing one may already have run —
+//     callers that throw must tolerate partially-filled sibling slots.)
+//
+// threads <= 1, n <= 1, or a nested call all degrade to the plain serial
+// loop with zero synchronization.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace hetnet::util {
+
+// Number of concurrent hardware threads (always >= 1).
+int hardware_threads();
+
+// See the file comment. `threads` may exceed hardware_threads(); the pool
+// oversubscribes, which keeps thread-count sweeps (1/2/8) meaningful on
+// small machines and is how the TSan suite exercises real interleavings.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+// Deterministic map: out[i] = fn(i), computed via parallel_for. The output
+// vector is ordered by index regardless of scheduling.
+template <typename T>
+std::vector<T> parallel_map(std::size_t n, int threads,
+                            const std::function<T(std::size_t)>& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, threads, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace hetnet::util

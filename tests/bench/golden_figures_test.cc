@@ -1,0 +1,143 @@
+// Golden-figure locks: exact pinned numbers for small seeded versions of
+// the paper's evaluation artifacts (Fig. 7 β-sensitivity, Fig. 8
+// load-sensitivity, the Fig. 6 feasible region). Unlike
+// tests/sim/figures_regression_test.cc, which asserts orderings, these pin
+// EXACT admitted counts, region-cell counts, and allocation doubles, so
+// any numeric drift anywhere in the admission pipeline — envelope algebra,
+// Theorem 1/2 bounds, bisection, ledger arithmetic, or the parallel
+// engine's merge order — fails loudly instead of hiding inside a tolerance.
+//
+// The pins are properties of the code, not the machine: every quantity is
+// either an integer tally or a double produced by a deterministic
+// computation, and the parallel engine is contractually bit-identical to
+// serial. If a deliberate numeric change (new bound, different staircase
+// resolution) moves them, re-pin from the failure output and say why in
+// the commit.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "src/core/region.h"
+#include "src/sim/workload.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::sim {
+namespace {
+
+// A deliberately small workload (one seed, short run) so the golden suite
+// stays in tier-1 time budgets while still crossing warm-up, churn, and
+// both reject paths.
+WorkloadParams golden_workload() {
+  WorkloadParams w;
+  w.num_requests = 80;
+  w.warmup_requests = 10;
+  w.seed = 7;
+  return w;
+}
+
+core::CacConfig golden_config(double beta, int threads = 1) {
+  core::CacConfig cfg;
+  cfg.beta = beta;
+  cfg.equality_tolerance = 0.05;
+  cfg.analysis.threads = threads;
+  return cfg;
+}
+
+SimulationResult run_golden(double u, double beta, int threads = 1) {
+  const net::AbhnTopology topo = hetnet::testing::paper_topology();
+  WorkloadParams w = golden_workload();
+  w.lambda = lambda_for_utilization(u, w, topo);
+  return run_admission_simulation(topo, golden_config(beta, threads), w);
+}
+
+struct GoldenPoint {
+  double u;
+  double beta;
+  std::size_t admitted;  // pinned: exact admitted count out of 80 measured
+};
+
+// ---- Figure 7: admitted counts across β at heavy load (U = 0.9) ----------
+
+TEST(GoldenFigures, Figure7BetaSweepAdmittedCountsAreExact) {
+  const std::vector<GoldenPoint> golden = {
+      {0.9, 0.0, 4},
+      {0.9, 0.3, 14},
+      {0.9, 0.7, 7},
+      {0.9, 1.0, 5},
+  };
+  for (const GoldenPoint& g : golden) {
+    const SimulationResult r = run_golden(g.u, g.beta);
+    EXPECT_EQ(r.total_requests, 80u) << "beta=" << g.beta;
+    EXPECT_EQ(r.admitted, g.admitted) << "beta=" << g.beta;
+  }
+}
+
+// ---- Figure 8: admitted counts across load at the paper's β = 0.5 --------
+
+TEST(GoldenFigures, Figure8LoadSweepAdmittedCountsAreExact) {
+  const std::vector<GoldenPoint> golden = {
+      {0.1, 0.5, 60},
+      {0.5, 0.5, 14},
+      {0.9, 0.5, 11},
+  };
+  for (const GoldenPoint& g : golden) {
+    const SimulationResult r = run_golden(g.u, g.beta);
+    EXPECT_EQ(r.total_requests, 80u) << "U=" << g.u;
+    EXPECT_EQ(r.admitted, g.admitted) << "U=" << g.u;
+  }
+}
+
+// The parallel sim driver and CAC engine must reproduce the same golden
+// tallies — not merely similar AP — at any thread count.
+TEST(GoldenFigures, Figure7GoldenPointIsThreadCountInvariant) {
+  const SimulationResult serial = run_golden(0.9, 0.3, 1);
+  const SimulationResult parallel = run_golden(0.9, 0.3, 8);
+  EXPECT_EQ(serial.admitted, parallel.admitted);
+  EXPECT_EQ(serial.rejected_no_bandwidth, parallel.rejected_no_bandwidth);
+  EXPECT_EQ(serial.rejected_infeasible, parallel.rejected_infeasible);
+  EXPECT_EQ(serial.admission.proportion(), parallel.admission.proportion());
+}
+
+// ---- Figure 6: the feasible region of a request against a loaded set -----
+
+TEST(GoldenFigures, FeasibleRegionCellCountsAreExact) {
+  const net::AbhnTopology topo = hetnet::testing::paper_topology();
+  core::AdmissionController cac(&topo, golden_config(0.5));
+  // Load rings 0 and 1 with two video connections, then probe a third.
+  ASSERT_TRUE(cac.request(hetnet::testing::make_spec(
+                              1, {0, 0}, {1, 0}, hetnet::testing::video_source(),
+                              units::ms(80)))
+                  .admitted);
+  ASSERT_TRUE(cac.request(hetnet::testing::make_spec(
+                              2, {1, 1}, {0, 1}, hetnet::testing::video_source(),
+                              units::ms(80)))
+                  .admitted);
+  const net::ConnectionSpec probe = hetnet::testing::make_spec(
+      3, {0, 2}, {1, 2}, hetnet::testing::video_source(), units::ms(80));
+
+  const core::RegionGrid grid = core::sample_feasible_region(cac, probe, 12, 12);
+  ASSERT_EQ(grid.samples.size(), 144u);
+  std::size_t feasible = 0;
+  for (const core::RegionSample& s : grid.samples) feasible += s.feasible;
+  EXPECT_EQ(feasible, 131u);  // pinned
+  // Theorems 3–4: the sampled region must look convex on the grid.
+  EXPECT_EQ(core::count_convexity_violations(grid), 0);
+}
+
+TEST(GoldenFigures, AdmissionAllocationDoublesAreExact) {
+  const net::AbhnTopology topo = hetnet::testing::paper_topology();
+  core::AdmissionController cac(&topo, golden_config(0.5));
+  const core::AdmissionDecision first = cac.request(hetnet::testing::make_spec(
+      1, {0, 0}, {2, 3}, hetnet::testing::video_source(), units::ms(80)));
+  ASSERT_TRUE(first.admitted);
+  // Exact doubles (17 significant digits round-trip): the full pipeline —
+  // Theorem-1 MAC bound, frame→cell conversion, both bisections, the β
+  // interpolation — condensed into four numbers.
+  EXPECT_EQ(val(first.alloc.h_s), 0.0013205623245239259) << "h_s";
+  EXPECT_EQ(val(first.alloc.h_r), 0.0013205623245239259) << "h_r";
+  EXPECT_EQ(val(first.worst_case_delay), 0.038961792515313537) << "delay";
+  EXPECT_EQ(val(first.max_avail.h_s), 0.0070000000000000001) << "max_avail.h_s";
+}
+
+}  // namespace
+}  // namespace hetnet::sim

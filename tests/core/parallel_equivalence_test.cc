@@ -1,0 +1,161 @@
+// PR-4 determinism contract: the parallel admission engine
+// (AnalysisConfig::threads — wave-parallel joint analysis, parallel
+// prefix/suffix fan-out, speculative bisection batching) must produce
+// BIT-IDENTICAL AdmissionDecisions to the serial engine at every thread
+// count. Exercised two ways:
+//
+//   * directed: a hand-built paper-topology churn sequence, replayed at
+//     1/2/8 threads, every decision field compared with exact double
+//     equality (and the joint delay vectors of the final set compared
+//     elementwise);
+//   * differential: a sweep of fuzz scenarios (the same generator the
+//     soundness fuzzer uses) through the parallel_equivalence oracle,
+//     which replays each scenario at 2 and 8 threads against serial.
+//
+// 2 threads exercises the fork/join machinery without speculation
+// (2^d−1 ≤ 2 ⇒ depth 1, below the speculation cutoff); 8 threads adds
+// depth-3 speculative probe batching with session overlays.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "src/core/analyzer.h"
+#include "src/core/cac.h"
+#include "src/testing/fuzz/oracles.h"
+#include "src/testing/fuzz/scenario.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace hetnet::core {
+namespace {
+
+net::ConnectionSpec spec_for(net::ConnectionId id, int src_ring, int src_host,
+                             int dst_ring, int dst_host) {
+  net::ConnectionSpec spec;
+  spec.id = id;
+  spec.src = {src_ring, src_host};
+  spec.dst = {dst_ring, dst_host};
+  spec.source = std::make_shared<DualPeriodicEnvelope>(
+      units::kbits(40), units::ms(100), units::kbits(4), units::ms(10));
+  spec.deadline = units::ms(80);
+  return spec;
+}
+
+CacConfig config_with_threads(int threads) {
+  CacConfig cfg;
+  cfg.beta = 0.3;
+  cfg.analysis.threads = threads;
+  return cfg;
+}
+
+// Admit a mix of inter- and intra-ring connections with interleaved
+// releases; returns every decision the controller produced.
+std::vector<AdmissionDecision> run_churn(AdmissionController& cac) {
+  std::vector<AdmissionDecision> decisions;
+  net::ConnectionId next_id = 1;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      const int src_ring = i % 3;
+      const int dst_ring = (src_ring + 1 + round) % 3;
+      decisions.push_back(cac.request(spec_for(
+          next_id++, src_ring, i % 4, dst_ring, (i + 1) % 4)));
+    }
+    // Release the first admitted connection of the round to churn the
+    // prefix cache and the session memo.
+    const net::ConnectionId victim =
+        static_cast<net::ConnectionId>(round * 4 + 1);
+    if (cac.active().contains(victim)) cac.release(victim);
+  }
+  return decisions;
+}
+
+void expect_identical(const AdmissionDecision& a, const AdmissionDecision& b,
+                      int threads, std::size_t op) {
+  const std::string where =
+      "op " + std::to_string(op) + " at " + std::to_string(threads) +
+      " threads";
+  EXPECT_EQ(a.admitted, b.admitted) << where;
+  EXPECT_EQ(a.reason, b.reason) << where;
+  EXPECT_EQ(val(a.alloc.h_s), val(b.alloc.h_s)) << where;
+  EXPECT_EQ(val(a.alloc.h_r), val(b.alloc.h_r)) << where;
+  if (a.admitted && b.admitted) {
+    EXPECT_EQ(val(a.worst_case_delay), val(b.worst_case_delay)) << where;
+  }
+  EXPECT_EQ(val(a.max_avail.h_s), val(b.max_avail.h_s)) << where;
+  EXPECT_EQ(val(a.max_avail.h_r), val(b.max_avail.h_r)) << where;
+  EXPECT_EQ(val(a.min_need.h_s), val(b.min_need.h_s)) << where;
+  EXPECT_EQ(val(a.min_need.h_r), val(b.min_need.h_r)) << where;
+  EXPECT_EQ(val(a.max_need.h_s), val(b.max_need.h_s)) << where;
+  EXPECT_EQ(val(a.max_need.h_r), val(b.max_need.h_r)) << where;
+}
+
+TEST(ParallelEquivalence, ChurnDecisionsBitIdenticalAcrossThreadCounts) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  AdmissionController serial(&topo, config_with_threads(1));
+  const std::vector<AdmissionDecision> ref = run_churn(serial);
+
+  for (const int threads : {2, 8}) {
+    AdmissionController par(&topo, config_with_threads(threads));
+    const std::vector<AdmissionDecision> got = run_churn(par);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      expect_identical(ref[i], got[i], threads, i);
+    }
+    // The surviving sets (and therefore the ledgers) must agree too.
+    ASSERT_EQ(serial.active_count(), par.active_count());
+    for (int ring = 0; ring < topo.num_rings(); ++ring) {
+      EXPECT_EQ(val(serial.ledger(ring).allocated()),
+                val(par.ledger(ring).allocated()))
+          << "ring " << ring << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelEquivalence, JointDelayVectorsBitIdenticalAcrossThreadCounts) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  AdmissionController serial(&topo, config_with_threads(1));
+  run_churn(serial);
+  std::vector<ConnectionInstance> set;
+  for (const auto& [id, conn] : serial.active()) {
+    set.push_back({conn.spec, conn.alloc});
+  }
+  ASSERT_FALSE(set.empty());
+
+  AnalysisConfig serial_cfg;
+  const DelayAnalyzer ref_analyzer(&topo, serial_cfg);
+  const std::vector<Seconds> ref = ref_analyzer.analyze(set);
+  for (const int threads : {2, 8}) {
+    AnalysisConfig cfg;
+    cfg.threads = threads;
+    const DelayAnalyzer par(&topo, cfg);
+    const std::vector<Seconds> got = par.analyze(set);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (std::isinf(val(ref[i]))) {
+        EXPECT_TRUE(std::isinf(val(got[i])))
+            << "conn " << i << " at " << threads << " threads";
+      } else {
+        EXPECT_EQ(val(ref[i]), val(got[i]))
+            << "conn " << i << " at " << threads << " threads";
+      }
+    }
+  }
+}
+
+// Differential sweep: the same check the fuzzer's fifth oracle runs,
+// over a deterministic band of generated scenarios (admits, releases,
+// intra-ring requests, varied β/TTRT/topologies).
+TEST(ParallelEquivalence, FuzzScenarioSweepMatchesSerial) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const fuzz::FuzzScenario scenario = fuzz::generate_scenario(seed);
+    const fuzz::OracleResult verdict =
+        fuzz::check_parallel_equivalence(scenario);
+    EXPECT_TRUE(verdict.ok)
+        << "seed " << seed << ": " << verdict.detail << "\n"
+        << fuzz::describe_scenario(scenario);
+  }
+}
+
+}  // namespace
+}  // namespace hetnet::core

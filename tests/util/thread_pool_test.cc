@@ -1,0 +1,172 @@
+// Contract tests for the deterministic fork/join primitive
+// (src/util/thread_pool.h): shape edge cases, exception propagation,
+// nested-region degradation, and the determinism discipline the analysis
+// engine builds on (index-owned slots + caller-side reduction in index
+// order ⇒ bit-identical results for any thread count).
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hetnet::util {
+namespace {
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  for (const int threads : {1, 2, 8}) {
+    parallel_for(0, threads, [&](std::size_t) { ++calls; });
+  }
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleItemRunsInline) {
+  for (const int threads : {1, 2, 8}) {
+    int calls = 0;  // not atomic: n <= 1 must degrade to the serial loop
+    parallel_for(1, threads, [&](std::size_t i) {
+      EXPECT_EQ(i, 0u);
+      ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+  }
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnceManyMoreItemsThanWorkers) {
+  constexpr std::size_t kN = 10'000;
+  for (const int threads : {1, 2, 3, 8, 32}) {
+    std::vector<std::atomic<int>> counts(kN);
+    parallel_for(kN, threads, [&](std::size_t i) { ++counts[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(counts[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ThreadsExceedingItemsStillCoversRange) {
+  std::vector<std::atomic<int>> counts(3);
+  parallel_for(3, 64, [&](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  for (const int threads : {1, 2, 8}) {
+    EXPECT_THROW(
+        parallel_for(100, threads,
+                     [&](std::size_t i) {
+                       if (i == 37) throw std::runtime_error("boom 37");
+                     }),
+        std::runtime_error)
+        << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, SmallestIndexExceptionWinsRegardlessOfScheduling) {
+  // Every index throws, so whichever interleaving the pool picks, several
+  // failures race; the contract pins the propagated one to the smallest
+  // index so error reports do not depend on scheduling.
+  for (const int threads : {1, 2, 8}) {
+    std::string what;
+    try {
+      parallel_for(64, threads, [&](std::size_t i) {
+        throw std::runtime_error("idx " + std::to_string(i));
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    EXPECT_EQ(what, "idx 0") << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, ExceptionStopsDistributionOfNewIndexes) {
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(100'000, 4, [&](std::size_t i) {
+      ++ran;
+      if (i == 0) throw std::runtime_error("early");
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  // Not all 100k indexes may run: the failure cancels the remainder. The
+  // exact count is schedule-dependent; it must only be well under the full
+  // range (each worker can overshoot by at most its in-flight index).
+  EXPECT_LT(ran.load(), 100'000);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineAndCoversRange) {
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::vector<int>> hits(kOuter);
+  parallel_for(kOuter, 8, [&](std::size_t o) {
+    hits[o].assign(kInner, 0);
+    // Nested region: must degrade to the serial inline loop (no deadlock,
+    // no thread explosion), so non-atomic writes into this row are safe.
+    parallel_for(kInner, 8, [&](std::size_t i) { ++hits[o][i]; });
+  });
+  for (const auto& row : hits) {
+    ASSERT_EQ(row.size(), kInner);
+    for (const int h : row) ASSERT_EQ(h, 1);
+  }
+}
+
+// The discipline the analysis engine relies on: each body(i) writes slot i,
+// the caller reduces in index order afterwards. Floating-point addition is
+// not associative, so this only yields bit-identical sums because the
+// REDUCTION is serial — the parallel part just fills the slots.
+TEST(ThreadPool, SlotFillPlusOrderedReductionIsBitIdenticalAcrossThreads) {
+  constexpr std::size_t kN = 4096;
+  const auto reduce_with = [&](int threads) {
+    std::vector<double> slots(kN);
+    parallel_for(kN, threads, [&](std::size_t i) {
+      // Irrational-ish values so any reassociation would change the bits.
+      slots[i] = 1.0 / (3.0 + static_cast<double>(i) * 0.7071067811865476);
+    });
+    double sum = 0.0;
+    for (const double s : slots) sum += s;  // caller-side, index order
+    return sum;
+  };
+  const double serial = reduce_with(1);
+  for (const int threads : {2, 3, 8, 32}) {
+    const double parallel = reduce_with(threads);
+    EXPECT_EQ(serial, parallel) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, ParallelMapOrdersResultsByIndex) {
+  for (const int threads : {1, 2, 8}) {
+    const std::vector<std::size_t> out = parallel_map<std::size_t>(
+        1000, threads, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], i * i);
+    }
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  EXPECT_THROW(parallel_for(8, 4,
+                            [](std::size_t) {
+                              throw std::runtime_error("poison");
+                            }),
+               std::runtime_error);
+  // The pool must come back clean: subsequent regions run normally.
+  std::atomic<int> calls{0};
+  parallel_for(100, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+}  // namespace
+}  // namespace hetnet::util

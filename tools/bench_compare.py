@@ -16,6 +16,18 @@ Failure conditions:
   * the speedup at 64 active connections fell below --min-speedup-64
     (default 3.0, the acceptance floor for the incremental engine);
   * any point's speedup regressed to below 80% of the baseline's.
+
+When the candidate was run with `--threads N` (N >= 2, recorded in its
+"threads" field) the parallel engine is gated too:
+  * any candidate point has parallel_decisions_match == false (the
+    parallel engine must be bit-identical to serial);
+  * the parallel speedup at 64 active fell below
+    min(--min-parallel-speedup-64, 0.6 * N) — the floor scales with the
+    worker count actually available, so a 2-core runner is not held to the
+    8-core target. Candidates recorded at threads < 2 skip the parallel
+    gate entirely (there is nothing to measure); the parallel floor is
+    absolute, not baseline-relative, so baselines recorded on any machine
+    stay valid.
 """
 
 import argparse
@@ -30,7 +42,7 @@ def load(path):
         doc = json.load(f)
     if doc.get("bench") != "cac_microbench":
         sys.exit(f"{path}: not a cac_microbench result file")
-    return {r["active"]: r for r in doc["results"]}
+    return {r["active"]: r for r in doc["results"]}, doc.get("threads", 1)
 
 
 def main():
@@ -40,10 +52,14 @@ def main():
     parser.add_argument("--min-speedup-64", type=float, default=3.0,
                         help="absolute speedup floor at 64 active "
                              "connections (default: %(default)s)")
+    parser.add_argument("--min-parallel-speedup-64", type=float, default=2.0,
+                        help="parallel-engine speedup floor at 64 active, "
+                             "capped at 0.6 * candidate threads "
+                             "(default: %(default)s)")
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    candidate = load(args.candidate)
+    baseline, _ = load(args.baseline)
+    candidate, cand_threads = load(args.candidate)
 
     failures = []
     print(f"{'active':>6} {'base speedup':>13} {'cand speedup':>13} "
@@ -71,9 +87,27 @@ def main():
             failures.append(
                 f"at 64 active: speedup {cand['speedup']:.2f}x is below the "
                 f"absolute floor {args.min_speedup_64:.2f}x")
+        if cand_threads >= 2:
+            if not cand.get("parallel_decisions_match", False):
+                status = "DIVERGED"
+                failures.append(
+                    f"at {active} active: parallel and serial decisions "
+                    f"differ")
+            par_floor = min(args.min_parallel_speedup_64, 0.6 * cand_threads)
+            par = cand.get("parallel_speedup", 0.0)
+            if active == 64 and par < par_floor:
+                status = "REGRESSED"
+                failures.append(
+                    f"at 64 active: parallel speedup {par:.2f}x "
+                    f"({cand_threads} threads) is below the floor "
+                    f"{par_floor:.2f}x")
         print(f"{active:>6} {base['speedup']:>12.2f}x {cand['speedup']:>12.2f}x "
               f"{cand['incremental_ns'] / 1e6:>14.2f} "
               f"{cand['cold_ns'] / 1e6:>15.2f} {status:>8}")
+        if cand_threads >= 2:
+            print(f"       parallel({cand_threads} threads): "
+                  f"{cand.get('parallel_speedup', 0.0):.2f}x vs serial cold, "
+                  f"{cand.get('parallel_cold_ns', 0) / 1e6:.2f} ms")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)
