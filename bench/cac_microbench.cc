@@ -21,18 +21,33 @@
 // (almost no recomputation to parallelize), so the cold path is where the
 // wave/speculative decomposition must earn its keep. Decisions are checked
 // bit-identical against the serial engine first.
+//
+// Observability (src/obs/): the --json harness reads the session
+// cache-hit counters and the speculative-batch counters out of each
+// controller's metrics registry (delta around the timed passes), records
+// every timed incremental request into a latency histogram, and reports
+// p50/p99 alongside the means. `--trace-out=PATH` records Chrome
+// trace-event spans for the whole run (load in chrome://tracing or
+// Perfetto); `--explain-out=PATH` (JSON mode) replays a 64-active preload
+// plus one probe through an explain-instrumented controller and writes
+// the per-request decision records as NDJSON for tools/explain_report.py.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/cac.h"
+#include "src/obs/explain.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/traffic/sources.h"
 #include "src/util/check.h"
 #include "src/util/units.h"
@@ -160,7 +175,33 @@ struct ComparePoint {
   double parallel_cold_ns = 0.0;
   double parallel_speedup = 0.0;
   bool parallel_decisions_match = true;
+  // Registry-sourced observability fields (src/obs/metrics.h), taken as
+  // deltas around the timed passes so they describe exactly the measured
+  // work: session memo traffic for the incremental engine, speculative
+  // bisection batching for the parallel engine, and the per-request
+  // latency distribution of the timed incremental requests.
+  std::uint64_t session_port_evals = 0;
+  std::uint64_t session_port_hits = 0;
+  std::uint64_t session_suffix_evals = 0;
+  std::uint64_t session_suffix_hits = 0;
+  std::uint64_t speculative_batches = 0;
+  std::uint64_t speculative_points = 0;
+  double latency_p50_ns = 0.0;
+  double latency_p99_ns = 0.0;
 };
+
+// Delta of one named counter between two registry snapshots (0 when the
+// name is absent, e.g. a typo or a not-yet-touched counter).
+std::uint64_t counter_delta(
+    const std::map<std::string, std::uint64_t>& before,
+    const std::map<std::string, std::uint64_t>& after,
+    const std::string& name) {
+  const auto b = before.find(name);
+  const auto a = after.find(name);
+  const std::uint64_t bv = b == before.end() ? 0 : b->second;
+  const std::uint64_t av = a == after.end() ? 0 : a->second;
+  return av >= bv ? av - bv : 0;
+}
 
 bool decisions_identical(const core::AdmissionDecision& a,
                          const core::AdmissionDecision& b) {
@@ -170,21 +211,28 @@ bool decisions_identical(const core::AdmissionDecision& a,
          a.worst_case_delay.value() == b.worst_case_delay.value();
 }
 
+// Times `iters` request/release cycles and returns the mean ns. Each
+// timed cycle is additionally recorded into `latency_hist` when non-null
+// (two extra clock reads per cycle — noise against the µs-to-ms request
+// cost, and identical for every engine being compared).
 double mean_request_ns(core::AdmissionController& cac,
                        const net::ConnectionSpec& spec, int warmup,
-                       int iters) {
+                       int iters, obs::ShardedHistogram* latency_hist =
+                                      nullptr) {
   for (int i = 0; i < warmup; ++i) request_release(cac, spec);
-  const auto start = std::chrono::steady_clock::now();
+  double total_ns = 0.0;
   for (int i = 0; i < iters; ++i) {
+    const auto start = std::chrono::steady_clock::now();
     auto decision = request_release(cac, spec);
     benchmark::DoNotOptimize(decision);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+    total_ns += ns;
+    if (latency_hist != nullptr) latency_hist->record(ns);
   }
-  const auto stop = std::chrono::steady_clock::now();
-  return static_cast<double>(
-             std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
-                                                                  start)
-                 .count()) /
-         iters;
+  return total_ns / iters;
 }
 
 ComparePoint compare_at(int active) {
@@ -207,17 +255,35 @@ ComparePoint compare_at(int active) {
   // Min-of-3 repetitions: the minimum is the least-noise estimate of the
   // true cost on a busy machine (scheduler preemption and frequency
   // scaling only ever ADD time), which keeps the CI gate's speedup ratio
-  // stable run to run.
+  // stable run to run. The timed incremental cycles also feed the
+  // latency histogram in the incremental controller's registry, and the
+  // session-memo counters are read as a delta around exactly these
+  // passes.
   const int iters = active >= 64 ? 10 : 20;
-  point.incremental_ns = mean_request_ns(inc, spec, 2, iters);
+  obs::ShardedHistogram& latency =
+      inc.metrics().histogram("cac.request_latency_ns");
+  const auto inc_before = inc.metrics().counter_snapshot();
+  point.incremental_ns = mean_request_ns(inc, spec, 2, iters, &latency);
   point.cold_ns = mean_request_ns(cold, spec, 1, iters);
   for (int rep = 0; rep < 2; ++rep) {
-    point.incremental_ns =
-        std::min(point.incremental_ns, mean_request_ns(inc, spec, 0, iters));
+    point.incremental_ns = std::min(
+        point.incremental_ns, mean_request_ns(inc, spec, 0, iters, &latency));
     point.cold_ns = std::min(point.cold_ns,
                              mean_request_ns(cold, spec, 0, iters));
   }
   point.speedup = point.cold_ns / point.incremental_ns;
+  const auto inc_after = inc.metrics().counter_snapshot();
+  point.session_port_evals =
+      counter_delta(inc_before, inc_after, "cac.session.port_evals");
+  point.session_port_hits =
+      counter_delta(inc_before, inc_after, "cac.session.port_hits");
+  point.session_suffix_evals =
+      counter_delta(inc_before, inc_after, "cac.session.suffix_evals");
+  point.session_suffix_hits =
+      counter_delta(inc_before, inc_after, "cac.session.suffix_hits");
+  const auto hist = latency.merged();
+  point.latency_p50_ns = hist.quantile_upper(0.5);
+  point.latency_p99_ns = hist.quantile_upper(0.99);
 
   if (g_threads > 1) {
     core::AdmissionController par(&topo, bench_config(false, g_threads));
@@ -227,14 +293,41 @@ ComparePoint compare_at(int active) {
     point.parallel_decisions_match =
         decisions_identical(par.request(spec), serial_ref);
     par.release(kProbeId);
+    const auto par_before = par.metrics().counter_snapshot();
     point.parallel_cold_ns = mean_request_ns(par, spec, 1, iters);
     for (int rep = 0; rep < 2; ++rep) {
       point.parallel_cold_ns =
           std::min(point.parallel_cold_ns, mean_request_ns(par, spec, 0, iters));
     }
     point.parallel_speedup = point.cold_ns / point.parallel_cold_ns;
+    const auto par_after = par.metrics().counter_snapshot();
+    point.speculative_batches =
+        counter_delta(par_before, par_after, "cac.speculative_batches");
+    point.speculative_points =
+        counter_delta(par_before, par_after, "cac.speculative_points");
   }
   return point;
+}
+
+// --explain-out: replays the 64-active preload plus one probe request
+// through an explain-instrumented incremental controller and writes the
+// controller's own per-decision records (tools/explain_report.py reads
+// this). A dedicated pass so explain overhead never touches timed runs.
+int write_explain(const std::string& path) {
+  obs::ExplainSink sink;
+  const net::AbhnTopology topo(net::paper_topology_params());
+  core::AdmissionController cac(&topo, bench_config(true));
+  cac.set_explain(&sink);
+  preload(cac, 64);
+  request_release(cac, probe_spec());
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  sink.write_ndjson(out);
+  std::printf("wrote %s (%zu explain records)\n", path.c_str(), sink.size());
+  return 0;
 }
 
 int run_json(const std::string& path) {
@@ -246,12 +339,26 @@ int run_json(const std::string& path) {
                 points.back().active, points.back().incremental_ns,
                 points.back().cold_ns, points.back().speedup,
                 points.back().decisions_match ? "yes" : "NO");
+    std::printf("           p50=%10.0f ns  p99=%12.0f ns  "
+                "port hits/evals=%llu/%llu  suffix hits/evals=%llu/%llu\n",
+                points.back().latency_p50_ns, points.back().latency_p99_ns,
+                static_cast<unsigned long long>(points.back().session_port_hits),
+                static_cast<unsigned long long>(
+                    points.back().session_port_evals),
+                static_cast<unsigned long long>(
+                    points.back().session_suffix_hits),
+                static_cast<unsigned long long>(
+                    points.back().session_suffix_evals));
     if (g_threads > 1) {
       std::printf("           parallel(%d)=%9.0f ns  parallel_speedup=%5.2fx"
-                  "  decisions_match=%s\n",
+                  "  decisions_match=%s  speculative batches/points=%llu/%llu\n",
                   g_threads, points.back().parallel_cold_ns,
                   points.back().parallel_speedup,
-                  points.back().parallel_decisions_match ? "yes" : "NO");
+                  points.back().parallel_decisions_match ? "yes" : "NO",
+                  static_cast<unsigned long long>(
+                      points.back().speculative_batches),
+                  static_cast<unsigned long long>(
+                      points.back().speculative_points));
     }
   }
 
@@ -273,7 +380,15 @@ int run_json(const std::string& path) {
         << static_cast<long long>(p.parallel_cold_ns)
         << ", \"parallel_speedup\": " << p.parallel_speedup
         << ", \"parallel_decisions_match\": "
-        << (p.parallel_decisions_match ? "true" : "false") << "}"
+        << (p.parallel_decisions_match ? "true" : "false")
+        << ", \"latency_p50_ns\": " << static_cast<long long>(p.latency_p50_ns)
+        << ", \"latency_p99_ns\": " << static_cast<long long>(p.latency_p99_ns)
+        << ", \"session_port_evals\": " << p.session_port_evals
+        << ", \"session_port_hits\": " << p.session_port_hits
+        << ", \"session_suffix_evals\": " << p.session_suffix_evals
+        << ", \"session_suffix_hits\": " << p.session_suffix_hits
+        << ", \"speculative_batches\": " << p.speculative_batches
+        << ", \"speculative_points\": " << p.speculative_points << "}"
         << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -303,6 +418,8 @@ int run_json(const std::string& path) {
 int main(int argc, char** argv) {
   bool json = false;
   std::string json_path = "BENCH_cac.json";
+  std::string trace_path;
+  std::string explain_path;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -315,18 +432,40 @@ int main(int argc, char** argv) {
       g_threads = std::atoi(argv[++i]);
     } else if (arg.rfind("--threads=", 0) == 0) {
       g_threads = std::atoi(arg.substr(10).c_str());
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(12);
+    } else if (arg.rfind("--explain-out=", 0) == 0) {
+      explain_path = arg.substr(14);
     } else {
       passthrough.push_back(argv[i]);
     }
   }
   HETNET_CHECK(g_threads >= 1, "--threads must be >= 1");
-  if (json) return run_json(json_path);
-  int pargc = static_cast<int>(passthrough.size());
-  benchmark::Initialize(&pargc, passthrough.data());
-  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
-    return 1;
+  hetnet::obs::ScopedRecording recording(!trace_path.empty());
+  int rc = 0;
+  if (json) {
+    rc = run_json(json_path);
+    if (rc == 0 && !explain_path.empty()) rc = write_explain(explain_path);
+  } else {
+    HETNET_CHECK(explain_path.empty(),
+                 "--explain-out requires the --json harness");
+    int pargc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pargc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
   }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  if (!trace_path.empty()) {
+    std::ofstream trace(trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
+      return 1;
+    }
+    recording.recorder().write_chrome_trace(trace);
+    std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                recording.recorder().event_count());
+  }
+  return rc;
 }

@@ -11,14 +11,26 @@
 //
 // Flags (key=value): requests warmup seed seeds rho_mbps c2_kbits p1_ms
 // p2_ms deadline_ms lifetime_s iters eqtol beta_steps threads
+// trace_out explain_out
 //
 // threads=N shards the (β, U, seed) replicas over N workers (default: all
 // hardware threads); every replica owns its RNG stream and controller, so
 // the table is identical for any N.
+//
+// trace_out=FILE records Chrome trace-event spans for the sweep
+// (chrome://tracing / Perfetto); explain_out=FILE gives every replica its
+// own decision-explain sink and writes all records, in job order, as
+// NDJSON for tools/explain_report.py. Both are observation-only: the
+// table is bit-identical with or without them.
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/obs/explain.h"
+#include "src/obs/span.h"
 #include "src/util/chart.h"
 #include "src/util/table.h"
 
@@ -30,7 +42,10 @@ int main(int argc, char** argv) {
   const int seeds = static_cast<int>(flags.get("seeds", 3));
   core::CacConfig cac_probe = bench::cac_from_flags(flags, 0.5);
   const int threads = bench::threads_from_flags(flags);
+  const std::string trace_out = flags.get_string("trace_out", "");
+  const std::string explain_out = flags.get_string("explain_out", "");
   flags.check_unknown();
+  obs::ScopedRecording recording(!trace_out.empty());
 
   const net::AbhnTopology topo(net::paper_topology_params());
   // The paper's loads plus a genuinely light point: in this faithful
@@ -67,6 +82,17 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // One explain sink per replica: jobs run concurrently, and per-job sinks
+  // concatenated in job order keep the NDJSON deterministic for any
+  // thread count (a shared sink would interleave by scheduling).
+  std::vector<std::unique_ptr<obs::ExplainSink>> sinks;
+  if (!explain_out.empty()) {
+    sinks.reserve(jobs.size());
+    for (auto& j : jobs) {
+      sinks.push_back(std::make_unique<obs::ExplainSink>());
+      j.cfg.explain = sinks.back().get();
+    }
+  }
   const std::vector<sim::SimulationResult> results =
       bench::run_jobs(topo, jobs, threads);
 
@@ -80,12 +106,12 @@ int main(int argc, char** argv) {
                         : static_cast<double>(bi) / (beta_steps - 1);
     std::vector<std::string> row{TableWriter::fmt(beta, 2)};
     for (std::size_t li = 0; li < loads.size(); ++li) {
-      ProportionStats ap;
+      sim::SimulationResult pooled;
       for (int s = 0; s < seeds; ++s) {
-        ap.merge(results[job++].admission);
+        pooled.merge(results[job++]);
       }
-      row.push_back(TableWriter::fmt(ap.proportion(), 3));
-      curves[li].push_back({beta, ap.proportion()});
+      row.push_back(TableWriter::fmt(pooled.admission.proportion(), 3));
+      curves[li].push_back({beta, pooled.admission.proportion()});
     }
     table.add_row(std::move(row));
   }
@@ -101,5 +127,31 @@ int main(int argc, char** argv) {
   }
   std::printf("\nAP vs beta:\n%s", chart.render().c_str());
   std::printf("\ncsv:\n%s", table.to_csv().c_str());
+
+  if (!explain_out.empty()) {
+    std::ofstream out(explain_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   explain_out.c_str());
+      return 1;
+    }
+    std::size_t records = 0;
+    for (const auto& sink : sinks) {
+      sink->write_ndjson(out);
+      records += sink->size();
+    }
+    std::printf("\nwrote %s (%zu explain records)\n", explain_out.c_str(),
+                records);
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_out.c_str());
+      return 1;
+    }
+    recording.recorder().write_chrome_trace(out);
+    std::printf("\nwrote %s (%zu trace events)\n", trace_out.c_str(),
+                recording.recorder().event_count());
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/fddi/ring.h"
+#include "src/obs/span.h"
 #include "src/servers/constant_delay.h"
 #include "src/servers/conversion.h"
 #include "src/servers/fddi_mac.h"
@@ -111,6 +112,8 @@ std::vector<Seconds> DelayAnalyzer::run(
     AnalysisSession* session,
     const AnalysisSession* read_base) const {
   HETNET_CHECK(prefixes.size() == set.size(), "prefixes misaligned with set");
+  HETNET_OBS_SPAN_NAMED(run_span, "analyzer.run", "analysis");
+  run_span.arg("connections", std::int64_t(set.size()));
   const net::TopologyParams& p = topology_->params();
   const std::size_t n = set.size();
   const int threads = config_.threads;
@@ -179,7 +182,11 @@ std::vector<Seconds> DelayAnalyzer::run(
   }
   std::size_t processed = 0;
   std::vector<PortTask> tasks;
+  std::int64_t wave_index = 0;
   while (!wave.empty()) {
+    HETNET_OBS_SPAN_NAMED(wave_span, "analyzer.wave", "analysis");
+    wave_span.arg("wave", wave_index++).arg("ports",
+                                            std::int64_t(wave.size()));
     // -- Serial pre-pass: gather the live flows per port and resolve the
     // memo. Between probes a port's live input envelopes usually have not
     // changed (only flows downstream of the candidate's route do), so the
@@ -411,6 +418,8 @@ std::vector<Seconds> DelayAnalyzer::run(
 
     // Parallel compute of the deduplicated walks (each a pure function of
     // its entry envelope and H_R).
+    HETNET_OBS_SPAN_NAMED(suffix_span, "analyzer.suffixes", "analysis");
+    suffix_span.arg("jobs", std::int64_t(jobs.size()));
     util::parallel_for(jobs.size(), threads, [&](std::size_t k) {
       jobs[k].result =
           walk_receive_suffix(jobs[k].entry_env, jobs[k].h_r, nullptr);
@@ -525,6 +534,8 @@ std::vector<SendPrefix> DelayAnalyzer::compute_prefixes(
   if (stage_index < 0) {
     // Each prefix is private to its connection — embarrassingly parallel,
     // each worker writing its own slot.
+    HETNET_OBS_SPAN_NAMED(prefix_span, "analyzer.prefixes", "analysis");
+    prefix_span.arg("connections", std::int64_t(set.size()));
     util::parallel_for(set.size(), config_.threads, [&](std::size_t i) {
       prefixes[i] = send_prefix(set[i].spec, set[i].alloc.h_s);
     });

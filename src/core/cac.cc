@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "src/obs/explain.h"
+#include "src/obs/span.h"
 #include "src/traffic/fingerprint.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
@@ -66,10 +68,12 @@ struct AdmissionController::Probe {
   // a pure function of the allocation (the session memo only changes cost,
   // never values).
   std::vector<Seconds> eval(const net::Allocation& alloc) {
+    ++evals;
     if (const auto it = speculated.find(point_key(alloc));
         it != speculated.end()) {
       return it->second;
     }
+    HETNET_OBS_SPAN("cac.probe_eval", "cac");
     set.back().alloc = alloc;
     prefixes.back() = candidate_prefix(alloc.h_s);
     return analyzer->complete(set, prefixes, session);
@@ -96,6 +100,10 @@ struct AdmissionController::Probe {
       todo_prefix.push_back(candidate_prefix(a.h_s));
     }
     if (todo.empty()) return;
+    ++speculative_batches;
+    speculative_points += int(todo.size());
+    HETNET_OBS_SPAN_NAMED(span, "cac.speculative_batch", "cac");
+    span.arg("points", std::int64_t(todo.size()));
     std::vector<AnalysisSession> overlays(todo.size());
     std::vector<std::vector<Seconds>> results(todo.size());
     util::parallel_for(
@@ -147,6 +155,11 @@ struct AdmissionController::Probe {
 
   const DelayAnalyzer* analyzer = nullptr;
   AnalysisSession* session = nullptr;
+  // Observation-only tallies, flushed into the controller's metrics
+  // registry by whichever entry point owns the probe.
+  int evals = 0;
+  int speculative_batches = 0;
+  int speculative_points = 0;
   std::vector<ConnectionInstance> set;
   std::vector<SendPrefix> prefixes;
   std::map<std::uint64_t, SendPrefix> candidate_prefixes;
@@ -167,6 +180,32 @@ AdmissionController::AdmissionController(const net::AbhnTopology* topology,
   for (int r = 0; r < topology_->num_rings(); ++r) {
     ledgers_.emplace_back(topology_->params().ring);
   }
+
+  // Metrics surface: push counters resolved once (hot paths use the
+  // pointers), plus callback-backed views over the session memo tallies so
+  // the registry is the single read surface without double bookkeeping —
+  // AnalysisSession::Stats stays the owner (tests rely on its per-session
+  // semantics).
+  m_requests_ = &metrics_.counter("cac.requests");
+  m_admitted_ = &metrics_.counter("cac.admitted");
+  m_rejected_no_bandwidth_ =
+      &metrics_.counter("cac.rejected.no_sync_bandwidth");
+  m_rejected_infeasible_ = &metrics_.counter("cac.rejected.infeasible");
+  m_probe_evals_ = &metrics_.counter("cac.probe_evals");
+  m_speculative_batches_ = &metrics_.counter("cac.speculative_batches");
+  m_speculative_points_ = &metrics_.counter("cac.speculative_points");
+  metrics_.register_callback(
+      "cac.session.port_evals", [this] { return session_.stats().port_evals; });
+  metrics_.register_callback(
+      "cac.session.port_hits", [this] { return session_.stats().port_hits; });
+  metrics_.register_callback("cac.session.suffix_evals", [this] {
+    return session_.stats().suffix_evals;
+  });
+  metrics_.register_callback("cac.session.suffix_hits", [this] {
+    return session_.stats().suffix_hits;
+  });
+  metrics_.register_callback(
+      "cac.active_connections", [this] { return std::uint64_t(active_.size()); });
 }
 
 const fddi::SyncBandwidthLedger& AdmissionController::ledger(int ring) const {
@@ -184,6 +223,25 @@ AdmissionDecision AdmissionController::request(
   HETNET_CHECK(spec.deadline > 0, "deadline must be positive");
   HETNET_CHECK(!active_.contains(spec.id), "connection id already active");
 
+  HETNET_OBS_SPAN_NAMED(request_span, "cac.request", "cac");
+  request_span.arg("conn", std::int64_t(spec.id))
+      .arg("active", std::int64_t(active_.size()));
+  m_requests_->increment();
+
+  // Decision-explain record, built only when a sink is installed. Every
+  // write below is guarded by `sink`, and nothing read back from `rec`
+  // influences the decision — explain is observation-only.
+  obs::ExplainSink* const sink = config_.explain;
+  obs::ExplainRecord rec;
+  if (sink != nullptr) {
+    rec.conn = spec.id;
+    rec.src = spec.src;
+    rec.dst = spec.dst;
+    rec.deadline = spec.deadline;
+    rec.bound = kUnbounded;
+    rec.slack = spec.deadline - kUnbounded;
+  }
+
   AdmissionDecision decision;
   // Intra-ring connections (Section 4.1 case 1) need no receive-side
   // allocation: the ring delivers directly, so the search is 1-D in H_S.
@@ -200,16 +258,72 @@ AdmissionDecision AdmissionController::request(
   if (h_s_max < config_.h_min_abs ||
       (!intra_ring && h_r_max < config_.h_min_abs)) {
     decision.reason = RejectReason::kNoSyncBandwidth;
+    m_rejected_no_bandwidth_->increment();
+    if (sink != nullptr) {
+      rec.reason = "no_sync_bandwidth";
+      rec.max_avail = decision.max_avail;
+      sink->add(std::move(rec));
+    }
     return decision;
   }
 
   Probe probe(*this, spec);
   const net::Allocation max_avail{h_s_max, h_r_max};
 
+  // Explain helpers: the connection whose deadline has the least slack at
+  // the evaluated point, and the requester's per-server chain breakdown
+  // (memo-free recompute; pure observation, never fed back).
+  const auto fill_binding = [&](const std::vector<Seconds>& delays) {
+    std::size_t arg = 0;
+    Seconds best = Seconds::infinity();
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+      const Seconds slack = probe.set[i].spec.deadline - delays[i];
+      if (i == 0 || slack < best) {
+        best = slack;
+        arg = i;
+      }
+    }
+    rec.binding_conn = probe.set[arg].spec.id;
+    rec.binding_slack = best;
+  };
+  const auto fill_stages = [&](const net::Allocation& at) {
+    probe.set.back().alloc = at;
+    const std::optional<ChainAnalysis> chain =
+        analyzer_.breakdown(probe.set, probe.set.size() - 1);
+    if (!chain.has_value()) return;
+    rec.stages.reserve(chain->stages.size());
+    for (const ChainStage& stage : chain->stages) {
+      rec.stages.push_back({stage.server_name,
+                            stage.analysis.worst_case_delay});
+      if (rec.binding_server.empty() ||
+          stage.analysis.worst_case_delay > rec.binding_stage_delay) {
+        rec.binding_server = stage.server_name;
+        rec.binding_stage_delay = stage.analysis.worst_case_delay;
+      }
+    }
+  };
+  const auto flush_probe_metrics = [&] {
+    m_probe_evals_->add(std::uint64_t(probe.evals));
+    m_speculative_batches_->add(std::uint64_t(probe.speculative_batches));
+    m_speculative_points_->add(std::uint64_t(probe.speculative_points));
+  };
+
   // --- Step 2: Theorem 4 — if max_avail fails, the region is empty. ---
   const std::vector<Seconds> ref_delays = probe.eval(max_avail);
   if (!all_deadlines_met(probe.set, ref_delays)) {
     decision.reason = RejectReason::kInfeasible;
+    m_rejected_infeasible_->increment();
+    flush_probe_metrics();
+    if (sink != nullptr) {
+      rec.reason = "infeasible";
+      rec.max_avail = decision.max_avail;
+      rec.bound = ref_delays.back();
+      rec.slack = spec.deadline - rec.bound;
+      rec.probe_evals = probe.evals;
+      fill_binding(ref_delays);
+      fill_stages(max_avail);
+      sink->add(std::move(rec));
+    }
     return decision;
   }
 
@@ -256,7 +370,12 @@ AdmissionDecision AdmissionController::request(
     for (int i = 0; i < config_.bisection_iters; ++i) {
       maybe_prefetch(lo, hi, config_.bisection_iters - i);
       const double mid = 0.5 * (lo + hi);
-      if (probe.feasible(lerp(mid))) {
+      const bool ok = probe.feasible(lerp(mid));
+      if (sink != nullptr) {
+        rec.bisection.push_back(
+            {obs::ExplainBisectionStep::Phase::kMinNeed, i, mid, ok});
+      }
+      if (ok) {
         hi = mid;
       } else {
         lo = mid;
@@ -289,7 +408,12 @@ AdmissionDecision AdmissionController::request(
     for (int i = 0; i < config_.bisection_iters; ++i) {
       maybe_prefetch(lo, hi, config_.bisection_iters - i);
       const double mid = 0.5 * (lo + hi);
-      if (delays_saturated(lerp(mid))) {
+      const bool saturated = delays_saturated(lerp(mid));
+      if (sink != nullptr) {
+        rec.bisection.push_back(
+            {obs::ExplainBisectionStep::Phase::kMaxNeed, i, mid, saturated});
+      }
+      if (saturated) {
         hi = mid;
       } else {
         lo = mid;
@@ -338,6 +462,22 @@ AdmissionDecision AdmissionController::request(
   decision.admitted = true;
   decision.alloc = alloc;
   decision.worst_case_delay = final_delays.back();
+  m_admitted_->increment();
+  flush_probe_metrics();
+  if (sink != nullptr) {
+    rec.admitted = true;
+    rec.reason = "admitted";
+    rec.granted = alloc;
+    rec.max_avail = decision.max_avail;
+    rec.min_need = decision.min_need;
+    rec.max_need = decision.max_need;
+    rec.bound = final_delays.back();
+    rec.slack = spec.deadline - rec.bound;
+    rec.probe_evals = probe.evals;
+    fill_binding(final_delays);
+    fill_stages(alloc);
+    sink->add(std::move(rec));
+  }
   return decision;
 }
 
@@ -373,13 +513,17 @@ void AdmissionController::release(net::ConnectionId id) {
 bool AdmissionController::feasible_at(const net::ConnectionSpec& spec,
                                       const net::Allocation& alloc) const {
   Probe probe(*this, spec);
-  return probe.feasible(alloc);
+  const bool feasible = probe.feasible(alloc);
+  m_probe_evals_->add(std::uint64_t(probe.evals));
+  return feasible;
 }
 
 Seconds AdmissionController::delay_at(const net::ConnectionSpec& spec,
                                       const net::Allocation& alloc) const {
   Probe probe(*this, spec);
-  return probe.eval(alloc).back();
+  const Seconds delay = probe.eval(alloc).back();
+  m_probe_evals_->add(std::uint64_t(probe.evals));
+  return delay;
 }
 
 }  // namespace hetnet::core

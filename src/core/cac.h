@@ -37,6 +37,11 @@
 #include "src/core/analyzer.h"
 #include "src/fddi/ledger.h"
 #include "src/net/connection.h"
+#include "src/obs/metrics.h"
+
+namespace hetnet::obs {
+class ExplainSink;
+}  // namespace hetnet::obs
 
 namespace hetnet::core {
 
@@ -69,6 +74,12 @@ struct CacConfig {
   // concurrently. Decisions stay bit-identical to analysis.threads == 1
   // (tests/core/parallel_equivalence_test.cc).
   AnalysisConfig analysis;
+  // Decision-explain sink (src/obs/explain.h), not owned. When non-null,
+  // request() emits one ExplainRecord per decision — per-server breakdown,
+  // binding deadline/slack, allocation-line anchors, bisection log, reject
+  // reason. Observation only: explain output never feeds back into the
+  // decision, and with a null sink the explain path costs one pointer test.
+  obs::ExplainSink* explain = nullptr;
 };
 
 enum class RejectReason {
@@ -130,6 +141,18 @@ class AdmissionController {
     return session_.stats();
   }
 
+  // This controller's metrics registry: push counters for requests,
+  // decisions and speculative batching ("cac.*"), callback-backed views
+  // over the session memo tallies ("cac.session.*"), and any histograms
+  // callers record into (e.g. the microbench's request-latency samples).
+  // Snapshots are serial reads — take them between requests.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Installs (or clears) the decision-explain sink after construction;
+  // equivalent to constructing with CacConfig::explain set.
+  void set_explain(obs::ExplainSink* sink) { config_.explain = sink; }
+
  private:
   struct Probe;  // see .cc: cached feasibility evaluation along the line
 
@@ -157,6 +180,20 @@ class AdmissionController {
   };
   mutable std::map<net::ConnectionId, PrefixCacheEntry> prefix_cache_;
   mutable AnalysisSession session_;
+  // Observability (src/obs). The registry owns the push counters below and
+  // additionally exposes the session memo stats through registered
+  // callbacks capturing `this` — the registry member therefore pins the
+  // controller in place (MetricsRegistry is non-copyable, which makes the
+  // controller non-copyable too). Counters are resolved once here so hot
+  // paths never touch the registry map.
+  obs::MetricsRegistry metrics_;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_rejected_no_bandwidth_ = nullptr;
+  obs::Counter* m_rejected_infeasible_ = nullptr;
+  obs::Counter* m_probe_evals_ = nullptr;
+  obs::Counter* m_speculative_batches_ = nullptr;
+  obs::Counter* m_speculative_points_ = nullptr;
 };
 
 }  // namespace hetnet::core

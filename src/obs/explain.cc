@@ -1,0 +1,146 @@
+#include "src/obs/explain.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace hetnet::obs {
+namespace {
+
+// JSON number or null for non-finite values. 17 significant digits
+// round-trip a double exactly.
+void write_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", unsigned(c));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_alloc(std::ostream& out, const char* key,
+                 const net::Allocation& alloc) {
+  out << '"' << key << "\":[";
+  write_double(out, alloc.h_s.value());
+  out << ',';
+  write_double(out, alloc.h_r.value());
+  out << ']';
+}
+
+}  // namespace
+
+void ExplainSink::add(ExplainRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = std::uint64_t(records_.size());
+  records_.push_back(std::move(record));
+}
+
+std::size_t ExplainSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<ExplainRecord> ExplainSink::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void ExplainSink::write_ndjson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ExplainRecord& record : records_) {
+    write_ndjson_record(out, record);
+  }
+}
+
+void write_ndjson_record(std::ostream& out, const ExplainRecord& r) {
+  out << "{\"seq\":" << r.seq << ",\"conn\":" << r.conn << ",\"src\":["
+      << r.src.ring << ',' << r.src.index << "],\"dst\":[" << r.dst.ring
+      << ',' << r.dst.index << "],\"admitted\":"
+      << (r.admitted ? "true" : "false") << ",\"reason\":";
+  write_string(out, r.reason);
+
+  out << ",\"deadline_s\":";
+  write_double(out, r.deadline.value());
+  out << ",\"bound_s\":";
+  write_double(out, r.bound.value());
+  out << ",\"slack_s\":";
+  write_double(out, r.slack.value());
+
+  out << ',';
+  write_alloc(out, "granted_s", r.granted);
+  out << ',';
+  write_alloc(out, "max_avail_s", r.max_avail);
+  out << ',';
+  write_alloc(out, "min_need_s", r.min_need);
+  out << ',';
+  write_alloc(out, "max_need_s", r.max_need);
+
+  out << ",\"probe_evals\":" << r.probe_evals;
+
+  // Compact iteration log: [phase, iter, lambda, accepted] per probe.
+  out << ",\"bisection\":[";
+  for (std::size_t i = 0; i < r.bisection.size(); ++i) {
+    const ExplainBisectionStep& step = r.bisection[i];
+    if (i > 0) out << ',';
+    out << "[\""
+        << (step.phase == ExplainBisectionStep::Phase::kMinNeed ? "min_need"
+                                                                : "max_need")
+        << "\"," << step.iter << ',';
+    write_double(out, step.lambda);
+    out << ',' << (step.accepted ? "true" : "false") << ']';
+  }
+  out << ']';
+
+  // Compact stage breakdown: [server, delay_s] per chain stage.
+  out << ",\"stages\":[";
+  for (std::size_t i = 0; i < r.stages.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '[';
+    write_string(out, r.stages[i].server);
+    out << ',';
+    write_double(out, r.stages[i].delay.value());
+    out << ']';
+  }
+  out << ']';
+
+  out << ",\"binding_server\":";
+  write_string(out, r.binding_server);
+  out << ",\"binding_stage_delay_s\":";
+  write_double(out, r.binding_stage_delay.value());
+  out << ",\"binding_conn\":" << r.binding_conn << ",\"binding_slack_s\":";
+  write_double(out, r.binding_slack.value());
+
+  out << "}\n";
+}
+
+}  // namespace hetnet::obs

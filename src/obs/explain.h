@@ -1,0 +1,113 @@
+// Decision-explain records: one structured record per CAC request saying
+// WHY the decision came out the way it did — the per-server delay
+// breakdown along FDDI_S→ID_S→ATM→ID_R→FDDI_R, which connection's
+// deadline binds and with how much slack, the allocation-line endpoints
+// (H^min_abs → H^max_avail) with the bisection iteration log, and the
+// reject reason.
+//
+// Records are produced by AdmissionController::request only when a sink
+// is installed (CacConfig::explain / set_explain); with no sink the
+// explain path costs one null check. Building a record runs one extra
+// memo-free breakdown analysis per request — pure observation that never
+// feeds back into the decision, so explain output is decision-neutral
+// (tests/obs/explain_test.cc pins this).
+//
+// Export format is NDJSON (one JSON object per line), summarized by
+// tools/explain_report.py.
+#ifndef HETNET_OBS_EXPLAIN_H_
+#define HETNET_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/net/connection.h"
+#include "src/util/units.h"
+
+namespace hetnet::obs {
+
+// One midpoint probe of the Section-5 bisections.
+struct ExplainBisectionStep {
+  // Which search the probe belongs to: "min_need" (step 3, feasibility)
+  // or "max_need" (step 4, delay saturation).
+  enum class Phase { kMinNeed, kMaxNeed };
+  Phase phase = Phase::kMinNeed;
+  int iter = 0;
+  double lambda = 0.0;  // position along the allocation line, in [0, 1]
+  bool accepted = false;  // feasible (min_need) / saturated (max_need)
+};
+
+// One server stage of the requester's end-to-end chain at the granted
+// (or reference) allocation.
+struct ExplainStage {
+  std::string server;  // e.g. "FDDI_S.MAC", "ATM.Port[3]", "ID_R.Conv"
+  Seconds delay;
+};
+
+struct ExplainRecord {
+  std::uint64_t seq = 0;  // assigned by the sink, in arrival order
+  net::ConnectionId conn = 0;
+  net::HostId src;
+  net::HostId dst;
+
+  bool admitted = false;
+  // "admitted", "no_sync_bandwidth", "infeasible", "signaling_collision",
+  // or "source_busy" (trace replay skipped the request; never reached
+  // the CAC).
+  std::string reason;
+
+  Seconds deadline;
+  // The requester's worst-case end-to-end bound at the granted allocation
+  // (admitted) or at max_avail (rejected); kUnbounded/infinity when no
+  // finite bound exists.
+  Seconds bound;
+  Seconds slack;  // deadline - bound (negative or -inf when rejected)
+
+  // Allocation-line anchors (eqs. 26–36).
+  net::Allocation granted;
+  net::Allocation max_avail;
+  net::Allocation min_need;
+  net::Allocation max_need;
+
+  int probe_evals = 0;  // joint-analysis evaluations this request consumed
+  std::vector<ExplainBisectionStep> bisection;
+
+  // Requester's per-server breakdown at the reported bound (empty when
+  // the bound is unbounded or the request never reached analysis).
+  std::vector<ExplainStage> stages;
+  // The stage contributing the largest share of the requester's bound.
+  std::string binding_server;
+  Seconds binding_stage_delay;
+  // Across requester + active set, the connection with the least slack at
+  // the evaluated allocation — the deadline that binds the decision.
+  net::ConnectionId binding_conn = 0;
+  Seconds binding_slack;
+};
+
+// Thread-safe collector. add() assigns arrival-order sequence numbers;
+// records() / write_ndjson() are serial reads (no concurrent add()s).
+class ExplainSink {
+ public:
+  ExplainSink() = default;
+  ExplainSink(const ExplainSink&) = delete;
+  ExplainSink& operator=(const ExplainSink&) = delete;
+
+  void add(ExplainRecord record);
+  std::size_t size() const;
+  std::vector<ExplainRecord> records() const;
+  void write_ndjson(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ExplainRecord> records_;
+};
+
+// One record per line. Doubles are emitted with 17 significant digits;
+// non-finite values become null (JSON has no Infinity).
+void write_ndjson_record(std::ostream& out, const ExplainRecord& record);
+
+}  // namespace hetnet::obs
+
+#endif  // HETNET_OBS_EXPLAIN_H_

@@ -1,0 +1,168 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace hetnet::obs {
+namespace {
+
+std::uint64_t next_histogram_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+int bin_index(double value) {
+  if (!(value > 1.0)) return 0;  // also catches NaN
+  const double idx =
+      std::floor(std::log2(value) * ShardedHistogram::kBinsPerOctave);
+  if (idx >= double(ShardedHistogram::kNumBins - 1)) {
+    return ShardedHistogram::kNumBins - 1;
+  }
+  return int(idx);
+}
+
+double bin_upper_edge(int bin) {
+  return std::exp2(double(bin + 1) / ShardedHistogram::kBinsPerOctave);
+}
+
+}  // namespace
+
+struct ShardedHistogram::Shard {
+  std::array<std::uint64_t, kNumBins> bins{};
+  std::uint64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+};
+
+ShardedHistogram::ShardedHistogram() : id_(next_histogram_id()) {}
+ShardedHistogram::~ShardedHistogram() = default;
+
+ShardedHistogram::Shard& ShardedHistogram::local_shard() {
+  // Per-thread cache of (histogram id -> shard). Ids are process-unique
+  // and never reused, so a stale entry for a destroyed histogram can
+  // never be matched; the cache grows by one entry per histogram a
+  // thread ever touches. Linear scan: the hot set is a handful.
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> cache;
+  for (const auto& [id, shard] : cache) {
+    if (id == id_) return *shard;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  cache.emplace_back(id_, shard);
+  return *shard;
+}
+
+void ShardedHistogram::record(double value) {
+  Shard& shard = local_shard();
+  shard.bins[std::size_t(bin_index(value))] += 1;
+  shard.count += 1;
+  shard.min = std::min(shard.min, value);
+  shard.max = std::max(shard.max, value);
+  shard.sum += value;
+}
+
+ShardedHistogram::Merged ShardedHistogram::merged() const {
+  Merged out;
+  out.bins.assign(kNumBins, 0);
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (int i = 0; i < kNumBins; ++i) {
+      out.bins[std::size_t(i)] += shard->bins[std::size_t(i)];
+    }
+    out.count += shard->count;
+    out.sum += shard->sum;
+    min = std::min(min, shard->min);
+    max = std::max(max, shard->max);
+  }
+  if (out.count > 0) {
+    out.min = min;
+    out.max = max;
+  }
+  return out;
+}
+
+double ShardedHistogram::Merged::quantile_upper(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min;  // exact, as documented
+  // Rank of the q-quantile, 1-based; ceil so q=1 is the last sample.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, std::uint64_t(std::ceil(q * double(count))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < int(bins.size()); ++i) {
+    seen += bins[std::size_t(i)];
+    if (seen >= rank) {
+      // Clamp the bin edge to the exact extrema so q=0/q=1 are tight.
+      return std::clamp(bin_upper_edge(i), min, max);
+    }
+  }
+  return max;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+ShardedHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<ShardedHistogram>();
+  return *slot;
+}
+
+void MetricsRegistry::register_callback(const std::string& name,
+                                        std::function<std::uint64_t()> read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_[name] = std::move(read);
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_snapshot()
+    const {
+  std::map<std::string, std::uint64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  for (const auto& [name, read] : callbacks_) out[name] = read();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauge_snapshot() const {
+  std::map<std::string, double> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::vector<std::pair<std::string, ShardedHistogram::Merged>>
+MetricsRegistry::histogram_snapshot() const {
+  std::vector<std::pair<std::string, ShardedHistogram::Merged>> out;
+  std::unique_lock<std::mutex> lock(mu_);
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    out.emplace_back(name, hist->merged());
+  }
+  return out;
+}
+
+MetricsRegistry& global_metrics() {
+  // Leaked singleton: usable during static destruction of client code.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace hetnet::obs

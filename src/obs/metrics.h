@@ -1,0 +1,143 @@
+// Metrics registry: named counters, gauges, and lock-free per-thread
+// histograms with a serial merge, plus callback-backed counters that
+// expose existing engine tallies (e.g. AnalysisSession::Stats) through
+// one read surface without double bookkeeping.
+//
+// Concurrency contract
+//   * Counter::add / Gauge::set are wait-free (relaxed atomics) and safe
+//     from any thread, including inside util::parallel_for bodies.
+//   * ShardedHistogram::record is lock-free after a thread's first record
+//     into a given histogram (first touch takes a registration mutex).
+//     Each thread owns a private shard; there are no contended writes.
+//   * ShardedHistogram::merged and MetricsRegistry snapshots are SERIAL
+//     operations: the caller must guarantee no concurrent record()s.
+//     Joining a parallel region (util::parallel_for returns) provides
+//     the necessary happens-before edge.
+//
+// Determinism contract: metrics are observation-only. Nothing in this
+// header feeds back into admission decisions or analysis results, so
+// recording (or not recording) metrics cannot perturb engine output.
+#ifndef HETNET_OBS_METRICS_H_
+#define HETNET_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hetnet::obs {
+
+// Monotonic event count. Wait-free add; reads are racy-but-atomic (a read
+// concurrent with adds sees some valid intermediate total).
+class Counter {
+ public:
+  void add(std::uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-written level (e.g. active connections, queue depth).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Geometric-bin histogram sharded per thread. Bin i covers
+// [2^(i/kBinsPerOctave), 2^((i+1)/kBinsPerOctave)), so relative
+// resolution is a constant ~9% across ~7 decades — suited to latency
+// samples whose scale varies with workload. Values below 1.0 land in
+// bin 0; exact min/max/sum are tracked alongside the bins.
+class ShardedHistogram {
+ public:
+  static constexpr int kBinsPerOctave = 8;
+  static constexpr int kNumBins = 8 * 60;  // covers [1, 2^60)
+
+  ShardedHistogram();
+  ~ShardedHistogram();
+
+  ShardedHistogram(const ShardedHistogram&) = delete;
+  ShardedHistogram& operator=(const ShardedHistogram&) = delete;
+
+  // Lock-free after this thread's first record into this histogram.
+  void record(double value);
+
+  // Serial snapshot of all shards (no concurrent record()s allowed).
+  struct Merged {
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    std::vector<std::uint64_t> bins;  // kNumBins entries
+
+    double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+    // Conservative (upper bin edge) quantile; q in [0, 1]. Exact for min
+    // (q=0 clamps to recorded min); within one bin width (~9%) otherwise.
+    double quantile_upper(double q) const;
+  };
+  Merged merged() const;
+
+ private:
+  struct Shard;
+  Shard& local_shard();
+
+  const std::uint64_t id_;  // process-unique; keys the thread-local cache
+  mutable std::mutex mu_;   // guards shards_ registration only
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Name -> metric map. Metric objects are owned by the registry and live
+// (at stable addresses) until the registry is destroyed, so hot paths
+// resolve a name once and keep the pointer. Callback counters are
+// read-through views over engine-owned tallies; they are snapshotted
+// alongside owned counters and must outlive the registry reads.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. Safe to call concurrently; intended for setup paths.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  ShardedHistogram& histogram(const std::string& name);
+
+  // Registers a pull-model counter backed by `read`. Replaces any prior
+  // callback under the same name. The callable must stay valid for the
+  // registry's lifetime and be safe to invoke from snapshot points.
+  void register_callback(const std::string& name,
+                         std::function<std::uint64_t()> read);
+
+  // Serial snapshots (no concurrent mutation of the metrics being read).
+  // Counter snapshot includes both owned and callback-backed counters.
+  std::map<std::string, std::uint64_t> counter_snapshot() const;
+  std::map<std::string, double> gauge_snapshot() const;
+  std::vector<std::pair<std::string, ShardedHistogram::Merged>>
+  histogram_snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
+  std::map<std::string, std::function<std::uint64_t()>> callbacks_;
+};
+
+// Process-wide registry for call sites with no natural owner (e.g. the
+// packet sim's event counters when no per-run registry is supplied).
+MetricsRegistry& global_metrics();
+
+}  // namespace hetnet::obs
+
+#endif  // HETNET_OBS_METRICS_H_

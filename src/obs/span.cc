@@ -1,0 +1,130 @@
+#include "src/obs/span.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace hetnet::obs {
+
+namespace internal {
+std::atomic<TraceRecorder*> g_global_recorder{nullptr};
+}  // namespace internal
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Trace timestamps come from steady_clock durations, so they are finite
+// and non-exotic; %.3f keeps microsecond fractions without JSON noise.
+void write_json_number(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out << buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : id_(next_recorder_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+Seconds TraceRecorder::now() const {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return Seconds{std::chrono::duration<double>(dt).count()};
+}
+
+TraceRecorder::Buffer& TraceRecorder::local_buffer() {
+  // Same id-keyed thread-local scheme as ShardedHistogram::local_shard:
+  // ids are never reused, so stale entries can never be matched.
+  thread_local std::vector<std::pair<std::uint64_t, Buffer*>> cache;
+  for (const auto& [id, buffer] : cache) {
+    if (id == id_) return *buffer;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer* buffer = buffers_.back().get();
+  buffer->tid = std::uint32_t(buffers_.size());  // dense, 1-based
+  cache.emplace_back(id_, buffer);
+  return *buffer;
+}
+
+void TraceRecorder::record_complete(const char* name, const char* category,
+                                    Seconds ts, Seconds dur,
+                                    const Arg* args, int num_args) {
+  Buffer& buffer = local_buffer();
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.ts = ts;
+  event.dur = dur;
+  event.num_args = std::min(num_args, kMaxArgs);
+  for (int i = 0; i < event.num_args; ++i) event.args[i] = args[i];
+  buffer.events.push_back(event);
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->events.size();
+  return n;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  struct Flat {
+    const Event* event;
+    std::uint32_t tid;
+  };
+  std::vector<Flat> flat;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      for (const Event& event : buffer->events) {
+        flat.push_back({&event, buffer->tid});
+      }
+    }
+  }
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const Flat& a, const Flat& b) {
+                     return a.event->ts < b.event->ts;
+                   });
+
+  // Chrome trace-event "JSON object format". Names/categories/arg keys
+  // are engine-chosen literals (no escaping needed).
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Flat& item : flat) {
+    const Event& e = *item.event;
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
+        << "\",\"ph\":\"X\",\"ts\":";
+    write_json_number(out, val(e.ts) * 1e6);  // Chrome's native µs
+    out << ",\"dur\":";
+    write_json_number(out, val(e.dur) * 1e6);
+    out << ",\"pid\":1,\"tid\":" << item.tid;
+    if (e.num_args > 0) {
+      out << ",\"args\":{";
+      for (int i = 0; i < e.num_args; ++i) {
+        if (i > 0) out << ",";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRId64,
+                      static_cast<std::int64_t>(e.args[i].value));
+        out << "\"" << e.args[i].key << "\":" << buf;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceRecorder::install_global(TraceRecorder* recorder) {
+  internal::g_global_recorder.store(recorder, std::memory_order_release);
+}
+
+}  // namespace hetnet::obs

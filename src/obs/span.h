@@ -1,0 +1,195 @@
+// Scoped spans with Chrome trace-event JSON export.
+//
+// A TraceRecorder collects complete ("ph":"X") events into per-thread
+// buffers; write_chrome_trace() emits the JSON object format that
+// chrome://tracing and Perfetto load directly. Recording is optional and
+// process-global: span sites check one relaxed atomic pointer, so with no
+// recorder installed a span costs a load and a branch. Compiling with
+// -DHETNET_OBS_DISABLED removes even that (the macros expand to an inert
+// object).
+//
+// Determinism contract: spans only read the clock and append to a
+// thread-private buffer. They never synchronize engine threads or feed
+// values back into analysis, so installing a recorder cannot change
+// admission decisions or analysis results.
+//
+// Usage (names/categories/arg keys must be string literals or otherwise
+// outlive the recorder — they are stored as const char*):
+//
+//   obs::ScopedRecording rec;                 // install for a region
+//   { HETNET_OBS_SPAN("cac.request", "cac"); ... }
+//   { HETNET_OBS_SPAN_NAMED(span, "analyzer.wave", "analysis");
+//     span.arg("ports", std::int64_t(wave.size())); ... }
+//   std::ofstream out("trace.json");
+//   rec.recorder().write_chrome_trace(out);
+#ifndef HETNET_OBS_SPAN_H_
+#define HETNET_OBS_SPAN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace hetnet::obs {
+
+class TraceRecorder {
+ public:
+  static constexpr int kMaxArgs = 2;
+
+  struct Arg {
+    const char* key = nullptr;
+    std::int64_t value = 0;
+  };
+
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Time since this recorder's construction (the trace timebase; the
+  // exporter converts to the Chrome format's native microseconds).
+  Seconds now() const;
+
+  // Appends one complete event to the calling thread's buffer. `name`,
+  // `category`, and arg keys must outlive the recorder (use literals).
+  void record_complete(const char* name, const char* category, Seconds ts,
+                       Seconds dur, const Arg* args, int num_args);
+
+  // Serial export (no concurrent record_complete calls). Events are
+  // sorted by timestamp; thread ids are small dense integers in
+  // first-record order.
+  void write_chrome_trace(std::ostream& out) const;
+  std::size_t event_count() const;
+
+  // Process-global recorder used by the HETNET_OBS_SPAN macros. Install
+  // nullptr to stop recording; the recorder must outlive all spans that
+  // may observe it (install/uninstall from serial sections only).
+  static TraceRecorder* global();
+  static void install_global(TraceRecorder* recorder);
+
+ private:
+  struct Event {
+    const char* name;
+    const char* category;
+    Seconds ts;
+    Seconds dur;
+    int num_args;
+    Arg args[kMaxArgs];
+  };
+  struct Buffer {
+    std::uint32_t tid = 0;
+    std::vector<Event> events;
+  };
+
+  Buffer& local_buffer();
+
+  const std::uint64_t id_;  // process-unique; keys the thread-local cache
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards buffers_ registration only
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+namespace internal {
+extern std::atomic<TraceRecorder*> g_global_recorder;
+}  // namespace internal
+
+inline TraceRecorder* TraceRecorder::global() {
+  return internal::g_global_recorder.load(std::memory_order_acquire);
+}
+
+// RAII span: captures the global recorder once at open so the pair of
+// timestamps always lands in the same recorder (or nowhere).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category)
+      : recorder_(TraceRecorder::global()) {
+    if (recorder_ != nullptr) {
+      name_ = name;
+      category_ = category;
+      start_ = recorder_->now();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches up to kMaxArgs integer args (extra calls are dropped).
+  ScopedSpan& arg(const char* key, std::int64_t value) {
+    if (recorder_ != nullptr && num_args_ < TraceRecorder::kMaxArgs) {
+      args_[num_args_].key = key;
+      args_[num_args_].value = value;
+      ++num_args_;
+    }
+    return *this;
+  }
+
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->record_complete(name_, category_, start_,
+                                 recorder_->now() - start_, args_,
+                                 num_args_);
+    }
+  }
+
+ private:
+  TraceRecorder* const recorder_;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  Seconds start_;
+  TraceRecorder::Arg args_[TraceRecorder::kMaxArgs];
+  int num_args_ = 0;
+};
+
+// Compile-time kill switch target: same surface as ScopedSpan, no code.
+struct NullSpan {
+  NullSpan& arg(const char*, std::int64_t) { return *this; }
+};
+
+// Installs a recorder for the enclosing scope and uninstalls on exit.
+// The single-argument form gates installation on a runtime flag (a CLI's
+// --trace-out option): when disabled, the recorder exists but records
+// nothing and spans stay on their null-recorder fast path.
+class ScopedRecording {
+ public:
+  ScopedRecording() : ScopedRecording(true) {}
+  explicit ScopedRecording(bool enabled) : enabled_(enabled) {
+    if (enabled_) TraceRecorder::install_global(&recorder_);
+  }
+  ~ScopedRecording() {
+    if (enabled_) TraceRecorder::install_global(nullptr);
+  }
+
+  ScopedRecording(const ScopedRecording&) = delete;
+  ScopedRecording& operator=(const ScopedRecording&) = delete;
+
+  TraceRecorder& recorder() { return recorder_; }
+
+ private:
+  const bool enabled_;
+  TraceRecorder recorder_;
+};
+
+}  // namespace hetnet::obs
+
+#define HETNET_OBS_CONCAT_INNER_(a, b) a##b
+#define HETNET_OBS_CONCAT_(a, b) HETNET_OBS_CONCAT_INNER_(a, b)
+
+#if defined(HETNET_OBS_DISABLED)
+#define HETNET_OBS_SPAN_NAMED(var, name, category) \
+  [[maybe_unused]] ::hetnet::obs::NullSpan var {}
+#else
+#define HETNET_OBS_SPAN_NAMED(var, name, category) \
+  ::hetnet::obs::ScopedSpan var((name), (category))
+#endif
+
+#define HETNET_OBS_SPAN(name, category)                                     \
+  HETNET_OBS_SPAN_NAMED(HETNET_OBS_CONCAT_(hetnet_obs_span_, __LINE__), name, \
+                        category)
+
+#endif  // HETNET_OBS_SPAN_H_

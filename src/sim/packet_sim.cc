@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "src/fddi/ring.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/sim/event_queue.h"
 #include "src/traffic/sources.h"
 #include "src/util/check.h"
@@ -436,8 +438,28 @@ PacketSimResult run_packet_simulation(
     const std::vector<core::ConnectionInstance>& connections,
     const PacketSimConfig& config) {
   HETNET_CHECK(config.duration > 0, "duration must be positive");
+  HETNET_OBS_SPAN_NAMED(span, "sim.packet_run", "sim");
+  span.arg("connections", std::int64_t(connections.size()));
   Simulation sim(topology, connections, config);
-  return sim.run();
+  PacketSimResult result = sim.run();
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config.metrics;
+    m.counter("sim.packet.events_executed")
+        .add(std::uint64_t(result.events_executed));
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+    for (const ConnectionTrace& c : result.connections) {
+      generated += std::uint64_t(c.messages_generated);
+      delivered += std::uint64_t(c.messages_delivered);
+    }
+    m.counter("sim.packet.messages_generated").add(generated);
+    m.counter("sim.packet.messages_delivered").add(delivered);
+    m.gauge("sim.packet.max_port_backlog_bits")
+        .set(result.max_port_backlog.value());
+    m.gauge("sim.packet.max_token_rotation_s")
+        .set(result.max_token_rotation.value());
+  }
+  return result;
 }
 
 }  // namespace hetnet::sim

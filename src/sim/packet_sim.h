@@ -29,6 +29,10 @@
 #include "src/core/analyzer.h"
 #include "src/util/stats.h"
 
+namespace hetnet::obs {
+class MetricsRegistry;
+}  // namespace hetnet::obs
+
 namespace hetnet::sim {
 
 struct PacketSimConfig {
@@ -45,6 +49,11 @@ struct PacketSimConfig {
   // synchronous load allows); 0.9 approaches the adversarial rotations the
   // Theorem-1 avail() bound is built for.
   double async_fill = 0.0;
+  // Optional metrics registry (src/obs/metrics.h), not owned. When set,
+  // run_packet_simulation adds its run totals to the "sim.packet.*"
+  // counters there (events executed, messages generated/delivered) —
+  // the registry is the read surface, PacketSimResult stays the owner.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ConnectionTrace {

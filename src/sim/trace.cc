@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/explain.h"
 #include "src/traffic/sources.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
@@ -70,6 +71,10 @@ std::vector<TraceRequest> parse_trace(std::istream& in) {
 }
 
 void write_trace(std::ostream& out, const std::vector<TraceRequest>& trace) {
+  // 17 significant digits round-trip any double exactly, so
+  // write_trace → parse_trace reproduces the trace bit-for-bit
+  // (tests/sim/trace_test.cc pins this).
+  const std::streamsize saved_precision = out.precision(17);
   out << "arrival_s,src_host,dst_host,c1_bits,p1_s,c2_bits,p2_s,"
          "deadline_s,lifetime_s\n";
   for (const auto& r : trace) {
@@ -77,6 +82,7 @@ void write_trace(std::ostream& out, const std::vector<TraceRequest>& trace) {
         << r.c1 << ',' << r.p1 << ',' << r.c2 << ',' << r.p2 << ','
         << r.deadline << ',' << r.lifetime << '\n';
   }
+  out.precision(saved_precision);
 }
 
 std::vector<TraceRequest> synthesize_trace(const WorkloadParams& workload,
@@ -149,6 +155,19 @@ SimulationResult run_trace_simulation(const net::AbhnTopology& topo,
       if (measured) {
         ++result.skipped_no_source;
         result.admission.add(false);
+      }
+      // Skipped requests never reach the controller, so the replay emits
+      // their explain records itself — the NDJSON stream then accounts for
+      // every trace row.
+      if (cac_config.explain != nullptr) {
+        obs::ExplainRecord rec;
+        rec.src = topo.host_at(req.src_host);
+        rec.dst = topo.host_at(req.dst_host);
+        rec.deadline = req.deadline;
+        rec.reason = "source_busy";
+        rec.bound = core::kUnbounded;
+        rec.slack = req.deadline - core::kUnbounded;
+        cac_config.explain->add(std::move(rec));
       }
       continue;
     }

@@ -33,6 +33,20 @@ double lambda_for_utilization(double u, const WorkloadParams& w,
   return u * links * val(capacity / source_rate(w)) / val(w.mean_lifetime);
 }
 
+void SimulationResult::merge(const SimulationResult& other) {
+  admission.merge(other.admission);
+  total_requests += other.total_requests;
+  admitted += other.admitted;
+  rejected_no_bandwidth += other.rejected_no_bandwidth;
+  rejected_infeasible += other.rejected_infeasible;
+  skipped_no_source += other.skipped_no_source;
+  skipped_no_destination += other.skipped_no_destination;
+  active_at_arrival.merge(other.active_at_arrival);
+  granted_h_s.merge(other.granted_h_s);
+  granted_h_r.merge(other.granted_h_r);
+  admitted_delay.merge(other.admitted_delay);
+}
+
 SimulationResult run_admission_simulation(const net::AbhnTopology& topo,
                                           const core::CacConfig& cac_config,
                                           const WorkloadParams& workload) {

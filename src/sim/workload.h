@@ -89,6 +89,11 @@ struct SimulationResult {
   RunningStats granted_h_s;         // granted H_S of admitted connections (s)
   RunningStats granted_h_r;
   RunningStats admitted_delay;      // worst-case bound granted at admission
+
+  // Pools another replica (e.g. an independent seed's shard) into this
+  // one: counters add, proportion/running stats merge. Used by the figure
+  // benches to fold per-(point, seed) shards into one result.
+  void merge(const SimulationResult& other);
 };
 
 // Runs one admission-level simulation replica.

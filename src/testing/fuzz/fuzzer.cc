@@ -3,6 +3,9 @@
 #include <fstream>
 #include <utility>
 
+#include "src/net/topology.h"
+#include "src/obs/explain.h"
+#include "src/testing/fuzz/oracles.h"
 #include "src/testing/fuzz/shrink.h"
 #include "src/util/check.h"
 
@@ -26,6 +29,27 @@ std::string write_repro_file(const FuzzFailure& failure,
   HETNET_CHECK(out.good(), "cannot open repro file " + path);
   out << failure_to_json(failure).dump();
   HETNET_CHECK(out.good(), "failed writing repro file " + path);
+  return path;
+}
+
+// Replays the (shrunk) failing scenario once more through an explain-
+// instrumented controller and writes the per-request decision records
+// beside the repro, so a failure report carries the controller's own
+// account of every admit along the op sequence.
+std::string write_explain_file(const FuzzFailure& failure,
+                               const std::string& dir) {
+  const std::string path = dir + "/repro_seed_" +
+                           std::to_string(failure.seed) + ".explain.ndjson";
+  obs::ExplainSink sink;
+  const net::AbhnTopology topo(topology_params(failure.scenario));
+  core::CacConfig cfg = cac_config(failure.scenario, /*incremental=*/true);
+  cfg.explain = &sink;
+  core::AdmissionController cac(&topo, cfg);
+  replay_scenario(failure.scenario, &cac);
+  std::ofstream out(path);
+  HETNET_CHECK(out.good(), "cannot open explain file " + path);
+  sink.write_ndjson(out);
+  HETNET_CHECK(out.good(), "failed writing explain file " + path);
   return path;
 }
 
@@ -77,7 +101,11 @@ FuzzReport run_fuzz(const FuzzOptions& options, std::ostream* log) {
     }
     if (!options.repro_dir.empty()) {
       failure.repro_path = write_repro_file(failure, options.repro_dir);
-      if (log != nullptr) *log << "  repro: " << failure.repro_path << "\n";
+      failure.explain_path = write_explain_file(failure, options.repro_dir);
+      if (log != nullptr) {
+        *log << "  repro: " << failure.repro_path << "\n"
+             << "  explain: " << failure.explain_path << "\n";
+      }
     }
     report.failures.push_back(std::move(failure));
   }

@@ -48,7 +48,11 @@ struct FuzzFailure {
   std::vector<OracleResult> verdicts;   // all five oracles on `scenario`
   int shrink_steps = 0;
   int shrink_attempts = 0;
-  std::string repro_path;  // empty when no repro_dir was configured
+  std::string repro_path;    // empty when no repro_dir was configured
+  // Sibling repro_seed_<seed>.explain.ndjson with the controller's
+  // per-request decision-explain records for the (shrunk) scenario; empty
+  // when no repro_dir was configured.
+  std::string explain_path;
 };
 
 struct FuzzReport {

@@ -10,6 +10,7 @@
 
 #include "src/core/analyzer.h"
 #include "src/fddi/ring.h"
+#include "src/obs/span.h"
 #include "src/servers/conversion.h"
 #include "src/sim/packet_sim.h"
 #include "src/traffic/sources.h"
@@ -502,8 +503,24 @@ std::vector<OracleResult> run_all_oracles(const FuzzScenario& scenario,
   };
 }
 
+std::vector<core::AdmissionDecision> replay_scenario(
+    const FuzzScenario& scenario, core::AdmissionController* cac) {
+  return replay_ops(scenario, cac).decisions;
+}
+
 OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
                         const OracleOptions& options) {
+  // The span name must be a literal that outlives the recorder, so each
+  // known oracle gets its own; unknown names fall through without a span.
+  [[maybe_unused]] const char* span_name =
+      name == "bound_soundness"          ? "fuzz.bound_soundness"
+      : name == "incremental_equivalence" ? "fuzz.incremental_equivalence"
+      : name == "line_monotonicity"       ? "fuzz.line_monotonicity"
+      : name == "parallel_equivalence"    ? "fuzz.parallel_equivalence"
+      : name == "algebra_invariants"      ? "fuzz.algebra_invariants"
+                                          : "fuzz.oracle";
+  HETNET_OBS_SPAN_NAMED(span, span_name, "fuzz");
+  span.arg("seed", std::int64_t(scenario.seed));
   try {
     if (name == "bound_soundness") {
       return check_bound_soundness(scenario, options);

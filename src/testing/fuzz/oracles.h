@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/cac.h"
 #include "src/testing/fuzz/scenario.h"
 
 namespace hetnet::fuzz {
@@ -87,5 +88,14 @@ std::vector<OracleResult> run_all_oracles(const FuzzScenario& scenario,
 // failure it is chasing.
 OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
                         const OracleOptions& options = {});
+
+// Replays the scenario's admit/release op sequence against `cac` — the
+// exact op semantics every oracle uses (releases of connections that are
+// not live are ignored). Returns one decision per op; release ops carry a
+// default-constructed decision. Exposed so callers can drive a scenario
+// through an instrumented controller (e.g. one with an explain sink
+// installed) without duplicating the op semantics.
+std::vector<core::AdmissionDecision> replay_scenario(
+    const FuzzScenario& scenario, core::AdmissionController* cac);
 
 }  // namespace hetnet::fuzz

@@ -13,6 +13,12 @@ class RunningStats {
  public:
   void add(double x);
 
+  // Pools another accumulator into this one via the parallel-axis Welford
+  // combine (Chan et al.), mirroring ProportionStats::merge. Mean/variance
+  // agree with single-pass accumulation over the concatenated samples up
+  // to floating-point rounding (not bit-exactly); min/max/count are exact.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return n_; }
   double mean() const;
   // Sample variance (n-1 denominator); 0 for fewer than 2 samples.

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/span.h"
 #include "src/util/check.h"
 
 namespace hetnet::util {
@@ -67,6 +68,10 @@ class Pool {
 
   void run(std::size_t n, int threads,
            const std::function<void(std::size_t)>& body) {
+    // Caller-side view of the fork/join region (queue + own drain + join).
+    HETNET_OBS_SPAN_NAMED(region_span, "pool.region", "pool");
+    region_span.arg("n", std::int64_t(n)).arg("threads",
+                                              std::int64_t(threads));
     const auto batch = std::make_shared<Batch>();
     batch->n = n;
     batch->body = &body;
@@ -79,7 +84,12 @@ class Pool {
       std::lock_guard<std::mutex> lock(mu_);
       for (int h = 0; h < helpers; ++h) {
         queue_.push_back([batch] {
-          batch->drain();
+          {
+            // Worker-side drain: in a trace this shows which pool thread
+            // actually carried the region's work.
+            HETNET_OBS_SPAN("pool.drain", "pool");
+            batch->drain();
+          }
           std::lock_guard<std::mutex> batch_lock(batch->mu);
           if (--batch->helpers_pending == 0) batch->done.notify_one();
         });

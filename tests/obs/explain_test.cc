@@ -1,0 +1,241 @@
+#include "src/obs/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/cac.h"
+#include "src/obs/span.h"
+#include "src/sim/trace.h"
+#include "tests/testing/scenario.h"
+
+namespace hetnet::obs {
+namespace {
+
+using hetnet::testing::make_spec;
+using hetnet::testing::paper_topology;
+using hetnet::testing::video_source;
+
+core::CacConfig config_with(ExplainSink* sink, int threads = 1) {
+  core::CacConfig cfg;
+  cfg.analysis.threads = threads;
+  cfg.explain = sink;
+  return cfg;
+}
+
+TEST(ExplainTest, AdmittedRecordCarriesBreakdownAndSlack) {
+  const auto topo = paper_topology();
+  ExplainSink sink;
+  core::AdmissionController cac(&topo, config_with(&sink));
+  const auto spec =
+      make_spec(1, {0, 0}, {1, 0}, video_source(), units::ms(80));
+  const auto decision = cac.request(spec);
+  ASSERT_TRUE(decision.admitted);
+  ASSERT_EQ(sink.size(), 1u);
+  const ExplainRecord rec = sink.records()[0];
+
+  EXPECT_EQ(rec.seq, 0u);
+  EXPECT_EQ(rec.conn, 1u);
+  EXPECT_TRUE(rec.admitted);
+  EXPECT_EQ(rec.reason, "admitted");
+  EXPECT_DOUBLE_EQ(val(rec.deadline), val(spec.deadline));
+  // The reported bound is the decision's bound, and slack is its margin.
+  EXPECT_DOUBLE_EQ(val(rec.bound), val(decision.worst_case_delay));
+  EXPECT_DOUBLE_EQ(val(rec.slack),
+                   val(spec.deadline) - val(decision.worst_case_delay));
+  EXPECT_DOUBLE_EQ(val(rec.granted.h_s), val(decision.alloc.h_s));
+  EXPECT_DOUBLE_EQ(val(rec.granted.h_r), val(decision.alloc.h_r));
+
+  // Per-server breakdown along FDDI_S → ID_S → ATM → ID_R → FDDI_R: the
+  // stages must sum to the bound, and the binding server is the largest.
+  ASSERT_FALSE(rec.stages.empty());
+  double sum = 0.0;
+  double worst = -1.0;
+  std::string worst_server;
+  for (const auto& stage : rec.stages) {
+    sum += val(stage.delay);
+    if (val(stage.delay) > worst) {
+      worst = val(stage.delay);
+      worst_server = stage.server;
+    }
+  }
+  EXPECT_NEAR(sum, val(rec.bound), 1e-9 * val(rec.bound));
+  EXPECT_EQ(rec.binding_server, worst_server);
+  EXPECT_DOUBLE_EQ(val(rec.binding_stage_delay), worst);
+
+  // With only the requester live, its own deadline binds.
+  EXPECT_EQ(rec.binding_conn, 1u);
+  EXPECT_DOUBLE_EQ(val(rec.binding_slack), val(rec.slack));
+
+  EXPECT_GT(rec.probe_evals, 0);
+  EXPECT_FALSE(rec.bisection.empty());
+  for (const auto& step : rec.bisection) {
+    EXPECT_GE(step.lambda, 0.0);
+    EXPECT_LE(step.lambda, 1.0);
+  }
+}
+
+TEST(ExplainTest, RejectedRecordNamesReason) {
+  const auto topo = paper_topology();
+  ExplainSink sink;
+  core::AdmissionController cac(&topo, config_with(&sink));
+  // Saturate: keep admitting until one is turned away.
+  net::ConnectionId id = 1;
+  core::AdmissionDecision rejected;
+  for (; id <= 400; ++id) {
+    const int host = int(id) % 4;
+    rejected = cac.request(make_spec(
+        id, {0, host}, {1, host}, video_source(), units::ms(80)));
+    if (!rejected.admitted) break;
+  }
+  ASSERT_FALSE(rejected.admitted) << "workload never saturated";
+  ASSERT_EQ(sink.size(), std::size_t(id));
+  const ExplainRecord rec = sink.records().back();
+  EXPECT_FALSE(rec.admitted);
+  const std::string expected =
+      rejected.reason == core::RejectReason::kNoSyncBandwidth
+          ? "no_sync_bandwidth"
+          : "infeasible";
+  EXPECT_EQ(rec.reason, expected);
+  // A reject grants nothing.
+  EXPECT_DOUBLE_EQ(val(rec.granted.h_s), 0.0);
+  EXPECT_DOUBLE_EQ(val(rec.granted.h_r), 0.0);
+}
+
+TEST(ExplainTest, InfeasibleDeadlineExplained) {
+  const auto topo = paper_topology();
+  ExplainSink sink;
+  core::AdmissionController cac(&topo, config_with(&sink));
+  // 1 ms end-to-end across two rings and the backbone is hopeless.
+  const auto decision = cac.request(
+      make_spec(7, {0, 1}, {2, 1}, video_source(), units::ms(1)));
+  ASSERT_FALSE(decision.admitted);
+  ASSERT_EQ(decision.reason, core::RejectReason::kInfeasible);
+  ASSERT_EQ(sink.size(), 1u);
+  const ExplainRecord rec = sink.records()[0];
+  EXPECT_EQ(rec.reason, "infeasible");
+  // The reference breakdown at max_avail is still reported, so the report
+  // can say WHERE the infeasible deadline is being spent.
+  EXPECT_FALSE(rec.stages.empty());
+  EXPECT_FALSE(rec.binding_server.empty());
+  EXPECT_LT(val(rec.slack), 0.0);
+}
+
+// The tentpole contract: observability must not perturb decisions. The
+// same churn replayed with explain + tracing installed must produce
+// bit-identical decisions to a bare controller, at every thread count.
+TEST(ExplainTest, ObservationIsDecisionNeutralAcrossThreadCounts) {
+  const auto topo = paper_topology();
+  std::vector<net::ConnectionSpec> sequence;
+  for (net::ConnectionId id = 1; id <= 24; ++id) {
+    const int host = int(id) % 4;
+    const int src_ring = int(id) % 3;
+    const int dst_ring = (src_ring + 1 + int(id) % 2) % 3;
+    sequence.push_back(make_spec(id, {src_ring, host}, {dst_ring, host},
+                                 video_source(),
+                                 units::ms(40 + 5 * (int(id) % 5))));
+  }
+
+  std::vector<core::AdmissionDecision> reference;
+  {
+    core::AdmissionController bare(&topo, config_with(nullptr, 1));
+    for (const auto& spec : sequence) {
+      reference.push_back(bare.request(spec));
+    }
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    ExplainSink sink;
+    ScopedRecording recording;
+    core::AdmissionController observed(&topo,
+                                       config_with(&sink, threads));
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+      const auto decision = observed.request(sequence[i]);
+      const auto& ref = reference[i];
+      ASSERT_EQ(decision.admitted, ref.admitted)
+          << "threads=" << threads << " request " << i;
+      ASSERT_EQ(decision.reason, ref.reason);
+      ASSERT_EQ(val(decision.alloc.h_s), val(ref.alloc.h_s));
+      ASSERT_EQ(val(decision.alloc.h_r), val(ref.alloc.h_r));
+      ASSERT_EQ(val(decision.worst_case_delay), val(ref.worst_case_delay));
+    }
+    EXPECT_EQ(sink.size(), sequence.size());
+  }
+}
+
+TEST(ExplainTest, NdjsonOneLinePerRecordWithNullForNonFinite) {
+  ExplainSink sink;
+  ExplainRecord unbounded;
+  unbounded.conn = 3;
+  unbounded.reason = "no_sync_bandwidth";
+  unbounded.deadline = units::ms(80);
+  unbounded.bound = core::kUnbounded;
+  unbounded.slack = unbounded.deadline - core::kUnbounded;
+  sink.add(std::move(unbounded));
+  ExplainRecord admitted;
+  admitted.conn = 4;
+  admitted.admitted = true;
+  admitted.reason = "admitted";
+  admitted.bound = units::ms(20);
+  admitted.bisection.push_back(
+      {ExplainBisectionStep::Phase::kMinNeed, 0, 0.5, true});
+  admitted.stages.push_back({"FDDI_S.MAC", units::ms(9)});
+  sink.add(std::move(admitted));
+
+  std::ostringstream out;
+  sink.write_ndjson(out);
+  const std::string text = out.str();
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::string> parsed;
+  while (std::getline(lines, line)) parsed.push_back(line);
+  ASSERT_EQ(parsed.size(), 2u);
+  // Sequence numbers follow arrival order.
+  EXPECT_NE(parsed[0].find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(parsed[1].find("\"seq\":1"), std::string::npos);
+  // Non-finite bound/slack become JSON null.
+  EXPECT_NE(parsed[0].find("\"bound_s\":null"), std::string::npos);
+  EXPECT_NE(parsed[0].find("\"slack_s\":null"), std::string::npos);
+  // Compact arrays for bisection steps and stages.
+  EXPECT_NE(parsed[1].find("\"bisection\":[[\"min_need\",0,0.5,true]]"),
+            std::string::npos);
+  EXPECT_NE(parsed[1].find("\"stages\":[[\"FDDI_S.MAC\","),
+            std::string::npos);
+  for (const auto& l : parsed) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+  }
+}
+
+TEST(ExplainTest, TraceReplayEmitsSourceBusyRecords) {
+  const auto topo = paper_topology();
+  std::vector<sim::TraceRequest> trace;
+  for (int i = 0; i < 2; ++i) {
+    sim::TraceRequest r;
+    r.arrival = Seconds{double(i) * 0.001};  // second arrives mid-lifetime
+    r.src_host = 0;
+    r.dst_host = 4;
+    r.c1 = units::kbits(300);
+    r.p1 = units::ms(100);
+    r.c2 = units::kbits(100);
+    r.p2 = units::ms(20);
+    r.deadline = units::ms(80);
+    r.lifetime = units::sec(10);
+    trace.push_back(r);
+  }
+  ExplainSink sink;
+  core::CacConfig cfg = config_with(&sink);
+  const auto result = sim::run_trace_simulation(topo, cfg, trace, 0);
+  EXPECT_EQ(result.skipped_no_source, 1u);
+  // Every trace row is accounted for in the NDJSON stream.
+  ASSERT_EQ(sink.size(), trace.size());
+  EXPECT_EQ(sink.records()[0].reason, "admitted");
+  EXPECT_EQ(sink.records()[1].reason, "source_busy");
+  EXPECT_FALSE(sink.records()[1].admitted);
+}
+
+}  // namespace
+}  // namespace hetnet::obs

@@ -1,0 +1,115 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace hetnet::obs {
+namespace {
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(ShardedHistogramTest, ExactMomentsAndClampedQuantiles) {
+  ShardedHistogram h;
+  for (double v : {100.0, 200.0, 400.0, 800.0}) h.record(v);
+  const auto m = h.merged();
+  EXPECT_EQ(m.count, 4u);
+  EXPECT_EQ(m.min, 100.0);
+  EXPECT_EQ(m.max, 800.0);
+  EXPECT_DOUBLE_EQ(m.sum, 1500.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 375.0);
+  // Quantiles are conservative (upper bin edge, ~9% relative resolution)
+  // but clamped to the exact extremes.
+  EXPECT_EQ(m.quantile_upper(0.0), 100.0);
+  EXPECT_EQ(m.quantile_upper(1.0), 800.0);
+  const double p50 = m.quantile_upper(0.5);
+  EXPECT_GE(p50, 200.0);
+  EXPECT_LE(p50, 200.0 * std::exp2(1.0 / ShardedHistogram::kBinsPerOctave));
+}
+
+TEST(ShardedHistogramTest, EmptyMergedIsZero) {
+  ShardedHistogram h;
+  const auto m = h.merged();
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.quantile_upper(0.5), 0.0);
+}
+
+TEST(ShardedHistogramTest, SubUnitValuesLandInBinZero) {
+  ShardedHistogram h;
+  h.record(0.25);
+  h.record(1e-9);
+  const auto m = h.merged();
+  EXPECT_EQ(m.count, 2u);
+  EXPECT_EQ(m.min, 1e-9);
+  EXPECT_EQ(m.bins[0], 2u);
+}
+
+TEST(ShardedHistogramTest, ConcurrentRecordsAllCounted) {
+  ShardedHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(double(t * kPerThread + i + 1));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();  // happens-before the serial merge
+  const auto m = h.merged();
+  EXPECT_EQ(m.count, std::uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(m.min, 1.0);
+  EXPECT_EQ(m.max, double(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableRefs) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  const auto snap = reg.counter_snapshot();
+  ASSERT_TRUE(snap.contains("x"));
+  EXPECT_EQ(snap.at("x"), 7u);
+}
+
+TEST(MetricsRegistryTest, CallbackCountersAppearInSnapshot) {
+  MetricsRegistry reg;
+  std::uint64_t tally = 5;
+  reg.register_callback("engine.tally", [&tally] { return tally; });
+  EXPECT_EQ(reg.counter_snapshot().at("engine.tally"), 5u);
+  tally = 9;  // pull model: the snapshot reads through to the owner
+  EXPECT_EQ(reg.counter_snapshot().at("engine.tally"), 9u);
+}
+
+TEST(MetricsRegistryTest, GaugeAndHistogramSnapshots) {
+  MetricsRegistry reg;
+  reg.gauge("depth").set(4.0);
+  reg.histogram("lat").record(10.0);
+  EXPECT_EQ(reg.gauge_snapshot().at("depth"), 4.0);
+  const auto hists = reg.histogram_snapshot();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].first, "lat");
+  EXPECT_EQ(hists[0].second.count, 1u);
+}
+
+}  // namespace
+}  // namespace hetnet::obs

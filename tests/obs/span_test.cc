@@ -1,0 +1,94 @@
+#include "src/obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace hetnet::obs {
+namespace {
+
+TEST(SpanTest, NoRecorderMeansNoEvents) {
+  ASSERT_EQ(TraceRecorder::global(), nullptr);
+  { HETNET_OBS_SPAN("orphan", "test"); }
+  TraceRecorder recorder;  // never installed
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(SpanTest, ScopedRecordingCapturesSpans) {
+  ScopedRecording rec;
+  {
+    HETNET_OBS_SPAN_NAMED(span, "outer", "test");
+    span.arg("n", 3);
+    { HETNET_OBS_SPAN("inner", "test"); }
+  }
+#if defined(HETNET_OBS_DISABLED)
+  EXPECT_EQ(rec.recorder().event_count(), 0u);
+#else
+  EXPECT_EQ(rec.recorder().event_count(), 2u);
+#endif
+}
+
+TEST(SpanTest, DisabledRecordingInstallsNothing) {
+  ScopedRecording rec(false);
+  { HETNET_OBS_SPAN("unseen", "test"); }
+  EXPECT_EQ(TraceRecorder::global(), nullptr);
+  EXPECT_EQ(rec.recorder().event_count(), 0u);
+}
+
+TEST(SpanTest, ChromeTraceJsonShape) {
+  TraceRecorder recorder;
+  TraceRecorder::Arg args[1];
+  args[0] = {"ports", 12};
+  recorder.record_complete("analyzer.wave", "analysis", Seconds{2e-6},
+                           Seconds{1e-6}, args, 1);
+  recorder.record_complete("cac.request", "cac", Seconds{1e-6},
+                           Seconds{5e-6}, nullptr, 0);
+  std::ostringstream out;
+  recorder.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"analyzer.wave\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"ports\":12}"), std::string::npos);
+  // Events are sorted by timestamp: cac.request (1 µs) precedes
+  // analyzer.wave (2 µs) regardless of record order.
+  EXPECT_LT(json.find("\"name\":\"cac.request\""),
+            json.find("\"name\":\"analyzer.wave\""));
+}
+
+TEST(SpanTest, ThreadsGetDenseDistinctTids) {
+  TraceRecorder recorder;
+  std::thread other([&recorder] {
+    recorder.record_complete("t2", "test", Seconds{}, Seconds{}, nullptr, 0);
+  });
+  other.join();
+  recorder.record_complete("t1", "test", Seconds{}, Seconds{}, nullptr, 0);
+  EXPECT_EQ(recorder.event_count(), 2u);
+  std::ostringstream out;
+  recorder.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(SpanTest, ArgsBeyondCapacityAreDropped) {
+  ScopedRecording rec;
+  {
+    HETNET_OBS_SPAN_NAMED(span, "crowded", "test");
+    span.arg("a", 1).arg("b", 2).arg("c", 3);  // kMaxArgs == 2
+  }
+  std::ostringstream out;
+  rec.recorder().write_chrome_trace(out);
+  const std::string json = out.str();
+#if !defined(HETNET_OBS_DISABLED)
+  EXPECT_NE(json.find("\"a\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"b\":2"), std::string::npos);
+  EXPECT_EQ(json.find("\"c\":3"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace hetnet::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "tests/testing/scenario.h"
 
@@ -58,6 +59,63 @@ TEST(TraceTest, ParserRejectsMalformedRows) {
       "2.0,0,4,500000,0.1,50000,0.01,0.08,12\n"
       "1.0,1,5,500000,0.1,50000,0.01,0.08,12\n");
   EXPECT_THROW(parse_trace(unordered), std::invalid_argument);
+}
+
+// The error text must name the offending line and field — it is the only
+// diagnostic a user gets for a hand-edited trace file.
+TEST(TraceTest, MalformedRowMessagesNameLineAndField) {
+  const auto message_of = [](const std::string& text) -> std::string {
+    std::istringstream in(text);
+    try {
+      parse_trace(in);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_EQ(message_of("# ok\n1.0,zero,4,5,0.1,5,0.01,0.08,12\n"),
+            "trace line 2: bad field 'zero'");
+  EXPECT_EQ(message_of("1.0,0,4,500000,0.1\n"),
+            "trace line 1: expected 9 fields, got 5");
+  EXPECT_EQ(message_of("2.0,0,4,500000,0.1,50000,0.01,0.08,12\n"
+                       "1.0,1,5,500000,0.1,50000,0.01,0.08,12\n"),
+            "trace line 2: arrivals must be nondecreasing");
+}
+
+// write_trace emits 17 significant digits, so write → parse reproduces
+// every field BIT-exactly — including the exponential lifetimes and
+// arrival times whose doubles have no short decimal form. This is what
+// lets a serialized trace replay to identical admission decisions.
+TEST(TraceTest, WriteParseRoundTripIsBitExact) {
+  const auto topo = hetnet::testing::paper_topology();
+  WorkloadParams w;
+  w.num_requests = 50;
+  w.warmup_requests = 0;
+  w.lambda = 3.7;  // irregular inter-arrival doubles
+  const auto trace = synthesize_trace(w, topo);
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  const auto parsed = parse_trace(buffer);
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(val(parsed[i].arrival), val(trace[i].arrival)) << "row " << i;
+    EXPECT_EQ(parsed[i].src_host, trace[i].src_host);
+    EXPECT_EQ(parsed[i].dst_host, trace[i].dst_host);
+    EXPECT_EQ(val(parsed[i].c1), val(trace[i].c1));
+    EXPECT_EQ(val(parsed[i].p1), val(trace[i].p1));
+    EXPECT_EQ(val(parsed[i].c2), val(trace[i].c2));
+    EXPECT_EQ(val(parsed[i].p2), val(trace[i].p2));
+    EXPECT_EQ(val(parsed[i].deadline), val(trace[i].deadline));
+    EXPECT_EQ(val(parsed[i].lifetime), val(trace[i].lifetime)) << "row " << i;
+  }
+}
+
+// write_trace must leave the stream's formatting state as it found it.
+TEST(TraceTest, WriteTraceRestoresStreamPrecision) {
+  std::stringstream buffer;
+  buffer.precision(4);
+  write_trace(buffer, {});
+  EXPECT_EQ(buffer.precision(), 4);
 }
 
 TEST(TraceTest, SynthesizedTraceMatchesWorkloadShape) {
@@ -116,9 +174,9 @@ TEST(TraceTest, ReplayBookkeepingConsistent) {
 
 TEST(TraceTest, RoundTripThroughTextPreservesReplay) {
   // Synthesize → serialize → parse → replay must equal replaying the
-  // original (the text format loses no decision-relevant precision for
-  // values that print exactly; the default operator<< keeps 6 significant
-  // digits, enough for these magnitudes to round-trip decisions).
+  // original. write_trace prints 17 significant digits, so the parsed
+  // trace is bit-identical (WriteParseRoundTripIsBitExact) and the replay
+  // trivially agrees — this test pins the end-to-end composition.
   const auto topo = hetnet::testing::paper_topology();
   WorkloadParams w;
   w.num_requests = 40;

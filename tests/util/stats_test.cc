@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 namespace hetnet {
@@ -46,6 +47,71 @@ TEST(RunningStatsTest, CiShrinksWithSamples) {
   for (int i = 0; i < 10; ++i) small.add(i % 2);
   for (int i = 0; i < 1000; ++i) large.add(i % 2);
   EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+// Parallel-axis Welford merge: pooling shard statistics must agree with a
+// single pass over the concatenated samples — count/min/max exactly,
+// mean/variance up to floating-point rounding.
+TEST(RunningStatsTest, MergeMatchesSinglePass) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 137; ++i) {
+    // Deterministic irregular values spanning sign and magnitude.
+    const double x = (i % 7 - 3) * 1.37 + i * 0.013;
+    (i % 3 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9 * std::abs(all.mean()));
+  EXPECT_NEAR(a.variance(), all.variance(),
+              1e-9 * std::abs(all.variance()));
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats filled;
+  filled.add(1.0);
+  filled.add(3.0);
+
+  RunningStats left;  // empty.merge(filled) adopts filled
+  left.merge(filled);
+  EXPECT_EQ(left.count(), 2u);
+  EXPECT_DOUBLE_EQ(left.mean(), 2.0);
+  EXPECT_EQ(left.min(), 1.0);
+  EXPECT_EQ(left.max(), 3.0);
+
+  RunningStats right = filled;  // filled.merge(empty) is a no-op
+  RunningStats empty;
+  right.merge(empty);
+  EXPECT_EQ(right.count(), 2u);
+  EXPECT_DOUBLE_EQ(right.mean(), 2.0);
+
+  RunningStats e1;
+  RunningStats e2;
+  e1.merge(e2);
+  EXPECT_EQ(e1.count(), 0u);
+  EXPECT_EQ(e1.mean(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeIsOrderInsensitiveOnCounts) {
+  RunningStats ab;
+  RunningStats ba;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 10; ++i) a.add(i * 0.5);
+  for (int i = 0; i < 25; ++i) b.add(100.0 - i);
+  ab = a;
+  ab.merge(b);
+  ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.min(), ba.min());
+  EXPECT_EQ(ab.max(), ba.max());
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12 * std::abs(ab.mean()));
+  EXPECT_NEAR(ab.variance(), ba.variance(), 1e-9);
 }
 
 TEST(ProportionStatsTest, CountsSuccesses) {

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Summarize decision-explain NDJSON from the CAC pipeline.
+
+Usage: explain_report.py EXPLAIN.ndjson [--top N]
+
+Reads the per-request decision records produced by run_trace_simulation /
+the figure benches (explain_out=FILE), cac_microbench (--explain-out=PATH),
+or the fuzzer's repro_seed_*.explain.ndjson, and prints:
+
+  * totals: records, admitted, admission probability, reject reasons
+    ranked by frequency;
+  * binding-server distribution: which stage of the
+    FDDI_S -> ID_S -> ATM -> ID_R -> FDDI_R chain carries the worst-case
+    delay bound, over all records that ran the joint analysis;
+  * slack statistics (deadline - granted bound) for admitted requests;
+  * mean bisection iterations and probe evaluations per analyzed request.
+
+Stdlib only; unknown keys are ignored so the schema can grow.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+
+def fmt_seconds(s):
+    if s is None:
+        return "n/a"
+    if abs(s) >= 1.0:
+        return f"{s:.3f} s"
+    return f"{s * 1e3:.3f} ms"
+
+
+def load_records(path):
+    records = []
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{line_no}: bad JSON: {e}")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ndjson", help="explain NDJSON file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="max rows per ranking (default: %(default)s)")
+    args = parser.parse_args()
+
+    records = load_records(args.ndjson)
+    if not records:
+        sys.exit(f"{args.ndjson}: no records")
+
+    admitted = [r for r in records if r.get("admitted")]
+    rejected = [r for r in records if not r.get("admitted")]
+    print(f"records:  {len(records)}")
+    print(f"admitted: {len(admitted)}  "
+          f"(AP = {len(admitted) / len(records):.3f})")
+
+    reasons = Counter(r.get("reason", "unknown") for r in rejected)
+    if reasons:
+        print("\nreject reasons:")
+        for reason, n in reasons.most_common(args.top):
+            print(f"  {reason:<22} {n:>7}  ({n / len(records):.1%})")
+
+    # Binding server: the chain stage whose delay bound is largest. Present
+    # on every record that ran the joint analysis (admits and infeasible
+    # rejects; absent on no-bandwidth/source-busy short-circuits).
+    binding = Counter(r["binding_server"] for r in records
+                      if r.get("binding_server"))
+    if binding:
+        total = sum(binding.values())
+        print(f"\nbinding-server distribution ({total} analyzed requests):")
+        for server, n in binding.most_common(args.top):
+            print(f"  {server:<22} {n:>7}  ({n / total:.1%})")
+
+    slacks = [r["slack_s"] for r in admitted
+              if isinstance(r.get("slack_s"), (int, float))]
+    if slacks:
+        slacks.sort()
+        mean = sum(slacks) / len(slacks)
+        median = slacks[len(slacks) // 2]
+        print("\nadmitted slack (deadline - granted bound):")
+        print(f"  min    {fmt_seconds(slacks[0])}")
+        print(f"  median {fmt_seconds(median)}")
+        print(f"  mean   {fmt_seconds(mean)}")
+        print(f"  max    {fmt_seconds(slacks[-1])}")
+
+    analyzed = [r for r in records if r.get("probe_evals", 0) > 0]
+    if analyzed:
+        evals = [r["probe_evals"] for r in analyzed]
+        iters = [len(r.get("bisection", [])) for r in analyzed]
+        print(f"\nsearch effort ({len(analyzed)} analyzed requests):")
+        print(f"  mean probe evaluations  {sum(evals) / len(evals):.1f}")
+        print(f"  mean bisection steps    {sum(iters) / len(iters):.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,10 +2,16 @@
 //
 //   fuzz_soundness [--seeds N] [--first-seed S] [--out DIR]
 //                  [--sim-scale X] [--no-sim] [--no-shrink]
+//                  [--trace-out FILE]
 //       Sweeps N consecutive seeds through the five oracles
 //       (src/testing/fuzz/oracles.h). Exit code 0 when every seed passes,
 //       1 when any oracle violation survives. With --out, each failure's
-//       shrunk repro is written to DIR as repro_seed_<seed>.json.
+//       shrunk repro is written to DIR as repro_seed_<seed>.json together
+//       with the controller's decision-explain records as
+//       repro_seed_<seed>.explain.ndjson. With --trace-out, the sweep is
+//       traced (per-oracle spans plus the analyzer/pool/CAC spans beneath
+//       them) and written as Chrome trace-event JSON for
+//       chrome://tracing / Perfetto.
 //
 //   fuzz_soundness --replay FILE [--sim-scale X] [--no-sim]
 //       Re-runs the oracles on FILE's scenario and compares the fresh
@@ -22,6 +28,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/obs/span.h"
 #include "src/testing/fuzz/fuzzer.h"
 
 namespace {
@@ -36,7 +43,8 @@ using hetnet::fuzz::ReplayOutcome;
   std::fprintf(stderr,
                "error: %s\n"
                "usage: fuzz_soundness [--seeds N] [--first-seed S] "
-               "[--out DIR] [--sim-scale X] [--no-sim] [--no-shrink]\n"
+               "[--out DIR] [--sim-scale X] [--no-sim] [--no-shrink] "
+               "[--trace-out FILE]\n"
                "       fuzz_soundness --replay FILE [--sim-scale X] "
                "[--no-sim]\n"
                "       fuzz_soundness --record SEED --out-file FILE "
@@ -67,6 +75,7 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::string record_seed;
   std::string out_file;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&](const char* flag) -> std::string {
@@ -86,6 +95,8 @@ int main(int argc, char** argv) {
       options.oracle.run_packet_sim = false;
     } else if (arg == "--no-shrink") {
       options.shrink = false;
+    } else if (arg == "--trace-out") {
+      trace_out = value("--trace-out");
     } else if (arg == "--replay") {
       replay_path = value("--replay");
     } else if (arg == "--record") {
@@ -131,7 +142,15 @@ int main(int argc, char** argv) {
     }
 
     if (options.num_seeds <= 0) usage("--seeds must be positive");
+    hetnet::obs::ScopedRecording recording(!trace_out.empty());
     const FuzzReport report = hetnet::fuzz::run_fuzz(options, &std::cout);
+    if (!trace_out.empty()) {
+      std::ofstream trace(trace_out);
+      if (!trace.good()) usage("cannot write " + trace_out);
+      recording.recorder().write_chrome_trace(trace);
+      std::printf("trace: %s (%zu events)\n", trace_out.c_str(),
+                  recording.recorder().event_count());
+    }
     return report.failures.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fatal: %s\n", e.what());

@@ -13,6 +13,11 @@ Checks enforced:
                       utilization, ...) stay doubles.
   3. check-message  — every HETNET_CHECK carries a human-readable message
                       (second macro argument).
+  4. raw-stream     — library code under src/ must not write to std::cout
+                      or std::cerr: the library reports through return
+                      values, exceptions, and the src/obs/ surfaces, and
+                      callers own the terminal. Benches, tools, examples,
+                      and tests are exempt (they ARE the callers).
 
 Usage: tools/lint.py [paths...]      (defaults to src/ tests/ bench/ examples/)
 Exit status 0 when clean, 1 when violations were found.
@@ -53,6 +58,7 @@ QUANTITY_NAME_EXEMPT = re.compile(
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 DOUBLE_PARAM_RE = re.compile(r"\bdouble\s+(\w+)\s*[,)=]")
 CHECK_RE = re.compile(r"\bHETNET_CHECK\s*\(")
+RAW_STREAM_RE = re.compile(r"\bstd\s*::\s*(cout|cerr)\b")
 
 
 def strip_comments(text: str) -> str:
@@ -151,6 +157,18 @@ def check_raw_double_params(path: Path, text: str) -> list[str]:
     return problems
 
 
+def check_raw_streams(path: Path, text: str) -> list[str]:
+    problems = []
+    for m in RAW_STREAM_RE.finditer(text):
+        lineno = text.count("\n", 0, m.start()) + 1
+        problems.append(
+            f"{path}:{lineno}: raw-stream: library code must not write to "
+            f"std::{m.group(1)}; return data or take an std::ostream& from "
+            f"the caller"
+        )
+    return problems
+
+
 def lint_file(path: Path) -> list[str]:
     text = path.read_text(encoding="utf-8")
     stripped = strip_comments(text)
@@ -160,6 +178,11 @@ def lint_file(path: Path) -> list[str]:
     # The raw-double rule applies to the public surface: headers under src/.
     if path.suffix in {".h", ".hpp"} and rel.parts[0] == "src":
         problems += check_raw_double_params(rel, stripped)
+    # The raw-stream rule applies to all library code under src/; the fuzz
+    # harness (src/testing/) drives CLIs through explicit std::ostream*
+    # parameters already and stays covered too.
+    if rel.parts[0] == "src":
+        problems += check_raw_streams(rel, stripped)
     return problems
 
 
