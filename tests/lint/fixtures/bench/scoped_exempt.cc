@@ -1,0 +1,24 @@
+// Path-scope negative: the determinism family and raw-stream apply to
+// src/ only.  This file sits under bench/, so timing a run with a real
+// clock, printing to the terminal, and ad-hoc iteration are all fine —
+// benches ARE the callers, and their wall-clock reads are measurement,
+// not decision input.
+#include <chrono>
+#include <iostream>
+#include <unordered_map>
+
+int bench_main() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unordered_map<int, double> samples;
+  samples[1] = 2.0;
+  double total = 0.0;
+  for (const auto& [k, v] : samples) {
+    total += v;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  std::cout << "total=" << total << " in "
+            << std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                   .count()
+            << "us\n";
+  return 0;
+}

@@ -1,0 +1,11 @@
+// check-message fixtures: HETNET_CHECK needs a second (message) argument.
+#include "src/util/check.h"
+
+void check_message_cases(int n, double x) {
+  HETNET_CHECK(n > 0, "n must be positive");             // ok
+  HETNET_CHECK(f(n, x) < g(x, n), "ordered");            // ok: nested commas
+  HETNET_CHECK(n > 0);                                   // EXPECT(check-message)
+  HETNET_CHECK(f(n, x) < 1.0);                           // EXPECT(check-message)
+  // A comma inside a string or char literal is not an argument separator:
+  HETNET_CHECK(parse("a,b"));                            // EXPECT(check-message)
+}

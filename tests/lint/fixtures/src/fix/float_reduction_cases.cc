@@ -1,0 +1,50 @@
+// float-reduction-order fixtures: schedule-dependent float folds.
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace fix {
+
+double bad_std_reduce(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);  // EXPECT(float-reduction-order)
+}
+
+double bad_transform_reduce(const std::vector<double>& xs) {
+  return std::transform_reduce(                   // EXPECT(float-reduction-order)
+      xs.begin(), xs.end(), 0.0, [](double a, double b) { return a + b; },
+      [](double x) { return x * x; });
+}
+
+double ok_serial_accumulate(const std::vector<double>& xs) {
+  // std::accumulate outside a parallel body folds left-to-right: fine.
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+void bad_accumulate_in_body(const std::vector<std::vector<double>>& rows,
+                            std::vector<double>& sums, int threads) {
+  hetnet::util::parallel_for(rows.size(), threads, [&](std::size_t i) {
+    sums[i] = std::accumulate(                    // EXPECT(float-reduction-order)
+        rows[i].begin(), rows[i].end(), 0.0);
+  });
+}
+
+double ok_slot_then_serial(const std::vector<std::vector<double>>& rows,
+                           int threads) {
+  std::vector<double> partial(rows.size());
+  hetnet::util::parallel_for(rows.size(), threads, [&](std::size_t i) {
+    double row_sum = 0.0;  // local accumulator: worker-private, fine
+    for (double v : rows[i]) {
+      row_sum += v;
+    }
+    partial[i] = row_sum;
+  });
+  double total = 0.0;  // serial index-ordered reduction after the join
+  for (double v : partial) {
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace fix

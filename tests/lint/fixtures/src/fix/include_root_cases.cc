@@ -1,0 +1,8 @@
+// include-root fixtures: quoted includes must be repo-rooted.
+#include <vector>                      // system include: unconstrained
+#include "src/util/units.h"            // ok: repo-rooted
+#include "tests/lint/helpers.h"        // ok: repo-rooted
+#include "../util/units.h"             // EXPECT(include-root)
+#include "units.h"                     // EXPECT(include-root)
+
+int include_root_cases() { return 0; }

@@ -1,0 +1,34 @@
+// Lexer-evasion fixtures: comments, strings, raw strings, and char
+// literals must hide banned constructs; real code after them must still
+// be seen at the correct line number.
+#include <iostream>
+
+namespace fix {
+
+const char* lexer_negatives() {
+  // std::cout << "in a line comment" — not a write
+  /* std::cerr << "in a block comment";
+     rand(); std::random_device rd;  — still comment */
+  const char* s1 = "std::cout << rand()";
+  const char* s2 = "escaped \" quote then std::cerr";
+  const char c = '"';
+  (void)c;
+  const char* raw = R"(std::cout << "unescaped quotes" and */ comment
+marks and rand() spanning
+multiple lines)";
+  const char* raw_delim = R"delim(nested )" closer: std::cerr)delim";
+  (void)s1;
+  (void)s2;
+  (void)raw_delim;
+  return raw;
+}
+
+void lexer_positive_after_raw_string() {
+  const char* raw = R"(three
+line
+string)";
+  (void)raw;
+  std::cout << "found me";  // EXPECT(raw-stream)  line number must survive
+}
+
+}  // namespace fix

@@ -1,0 +1,65 @@
+// nondeterminism-source fixtures: ambient entropy is banned in src/.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <thread>
+
+#include "src/util/rng.h"
+
+namespace fix {
+
+unsigned ok_seeded(hetnet::Rng& rng) {
+  // The seeded Rng is the only sanctioned randomness.
+  return static_cast<unsigned>(rng.next_u64());
+}
+
+int bad_rand() {
+  return rand();                                  // EXPECT(nondeterminism-source)
+}
+
+int bad_std_rand() {
+  std::srand(42);                                 // EXPECT(nondeterminism-source)
+  return std::rand();                             // EXPECT(nondeterminism-source)
+}
+
+unsigned bad_random_device() {
+  std::random_device rd;                          // EXPECT(nondeterminism-source)
+  return rd();
+}
+
+long bad_clock() {
+  auto t0 = std::chrono::steady_clock::now();     // EXPECT(nondeterminism-source)
+  auto t1 = std::chrono::system_clock::now();     // EXPECT(nondeterminism-source)
+  (void)t1;
+  return t0.time_since_epoch().count();
+}
+
+long bad_time() {
+  return time(nullptr);                           // EXPECT(nondeterminism-source)
+}
+
+bool bad_thread_id() {
+  return std::this_thread::get_id() ==            // EXPECT(nondeterminism-source)
+         std::thread::id{};
+}
+
+// Negative cases the token-level matcher must NOT trip on:
+struct Timer {
+  long time(int zone) const { return zone; }  // member named `time`: a decl,
+                                              // not a call of ::time
+};
+long ok_member_call(const Timer& t) {
+  return t.time(0);  // member access — somebody else's API
+}
+int ok_words() {
+  int operand = 1;       // `rand` inside an identifier
+  int random_index = 2;  // ditto
+  // rand() in a comment is fine; so is "rand()" in a string:
+  const char* s = "rand() time() steady_clock::now()";
+  const char* raw = R"(std::random_device in a raw string)";
+  (void)s;
+  (void)raw;
+  return operand + random_index;
+}
+
+}  // namespace fix

@@ -1,0 +1,60 @@
+// parallel-body-write fixtures: the PR 4 slot discipline.
+#include <cstddef>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace fix {
+
+struct Task {
+  double input = 0.0;
+  double output = 0.0;
+  bool done = false;
+};
+
+void ok_slot_writes(std::vector<Task>& tasks, std::vector<double>& out,
+                    int threads) {
+  hetnet::util::parallel_for(tasks.size(), threads, [&](std::size_t i) {
+    // Direct slot write: fine.
+    out[i] = tasks[i].input * 2.0;
+    // Reference bound to the worker's own slot: fine.
+    Task& t = tasks[i];
+    t.output = t.input + 1.0;
+    t.done = true;
+    // Locals are private to the worker: fine.
+    double acc = 0.0;
+    for (int j = 0; j < 4; ++j) {
+      acc += t.input;
+    }
+    out[i] = acc;
+  });
+}
+
+void bad_shared_writes(std::vector<Task>& tasks, int threads) {
+  double total = 0.0;
+  std::size_t done_count = 0;
+  bool any_done = false;
+  std::vector<double> out(tasks.size());
+  hetnet::util::parallel_for(tasks.size(), threads, [&](std::size_t i) {
+    total += tasks[i].input;                 // EXPECT(parallel-body-write) EXPECT(float-reduction-order)
+    any_done = true;                         // EXPECT(parallel-body-write)
+    ++done_count;                            // EXPECT(parallel-body-write)
+    out[i + 1] = tasks[i].input;             // EXPECT(parallel-body-write)
+  });
+  (void)total;
+  (void)any_done;
+}
+
+void ok_parallel_map(std::vector<Task>& tasks, int threads) {
+  const auto doubled = hetnet::util::parallel_map<double>(
+      tasks.size(), threads,
+      [&](std::size_t k) { return tasks[k].input * 2.0; });
+  // Serial caller-side reduction in index order: the approved pattern.
+  double total = 0.0;
+  for (double v : doubled) {
+    total += v;
+  }
+  (void)total;
+}
+
+}  // namespace fix

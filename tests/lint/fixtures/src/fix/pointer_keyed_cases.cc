@@ -1,0 +1,31 @@
+// pointer-keyed-ordering fixtures: address order differs run to run.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace fix {
+
+struct Session {
+  std::uint64_t id = 0;
+};
+
+void pointer_keyed_cases() {
+  std::map<std::uint64_t, Session*> by_id;        // ok: stable key, ptr value
+  std::set<std::uint64_t> ids;                    // ok
+  std::map<Session*, int> by_addr;                // EXPECT(pointer-keyed-ordering)
+  std::set<const Session*> members;               // EXPECT(pointer-keyed-ordering)
+  std::multimap<Session*, int> multi;             // EXPECT(pointer-keyed-ordering)
+  std::set<std::shared_ptr<Session>> shared;      // EXPECT(pointer-keyed-ordering)
+  std::set<Session*, std::less<Session*>> cmp;    // EXPECT(pointer-keyed-ordering) EXPECT(pointer-keyed-ordering)
+  (void)by_id;
+  (void)ids;
+  (void)by_addr;
+  (void)members;
+  (void)multi;
+  (void)shared;
+  (void)cmp;
+}
+
+}  // namespace fix

@@ -1,0 +1,38 @@
+// raw-double fixtures: quantity-named doubles in src/ headers must be
+// strong unit types — parameters, struct/class fields, and return types.
+#pragma once
+
+#include "src/util/units.h"
+
+namespace fix {
+
+// Parameters (the original rule).
+void ok_params(hetnet::Seconds deadline, double beta, double ratio);
+void bad_param(double deadline_s);                 // EXPECT(raw-double)
+void bad_param2(double burst_bits, int n);         // EXPECT(raw-double)
+
+// Dimensionless names stay doubles.
+double utilization_for(double u, double fill);
+
+// Struct fields (the PR 6 extension).
+struct OkFields {
+  hetnet::Seconds ttrt;
+  double beta = 0.0;
+  int num_hosts = 0;
+};
+struct BadFields {
+  double token_time;                               // EXPECT(raw-double)
+  double backlog_ = 0.0;                           // EXPECT(raw-double)
+  double horizon_s{1.0};                           // EXPECT(raw-double)
+};
+
+// Return types (the PR 6 extension).
+class Meter {
+ public:
+  hetnet::BitsPerSecond peak_rate() const;         // ok: strong type
+  double fill_factor() const;                      // ok: dimensionless
+  double arrival_rate() const;                     // EXPECT(raw-double)
+  double worst_case_delay() const;                 // EXPECT(raw-double)
+};
+
+}  // namespace fix

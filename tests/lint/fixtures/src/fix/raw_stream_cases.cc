@@ -1,0 +1,12 @@
+// raw-stream fixtures: src/ code must not write to std::cout / std::cerr.
+#include <iostream>
+#include <ostream>
+
+void raw_stream_cases(std::ostream& out) {
+  out << "callers own the stream";                       // ok
+  std::cout << "hello";                                  // EXPECT(raw-stream)
+  std::cerr << "oops";                                   // EXPECT(raw-stream)
+  // "std::cout" in a string or comment is not a write: std::cout
+  const char* doc = "std::cout";
+  (void)doc;
+}

@@ -1,0 +1,23 @@
+// Suppression-annotation fixtures: HETLINT-OK grammar and hygiene.
+#include <iostream>
+
+namespace fix {
+
+void suppressed_ok() {
+  // A reasoned suppression on the same line silences the violation:
+  std::cout << "banner";  // HETLINT-OK(raw-stream): CLI banner, caller-owned terminal
+  // ...and one on the line above works too:
+  // HETLINT-OK(raw-stream): progress line explicitly requested by the user
+  std::cerr << "progress";
+}
+
+void suppressed_bad() {
+  std::cout << "x";  // HETLINT-OK(raw-stream)                EXPECT(raw-stream) EXPECT(suppression)
+  std::cerr << "y";  // HETLINT-OK(): missing check name      EXPECT(raw-stream) EXPECT(suppression)
+}
+
+// A suppression that matches nothing is stale:
+// HETLINT-OK(raw-stream): nothing to suppress here            EXPECT(suppression)
+void no_violation_here() {}
+
+}  // namespace fix

@@ -1,0 +1,63 @@
+// unordered-iteration fixtures: loops over hash containers are
+// order-hazards; keyed lookups are fine.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fix {
+
+struct Registry {
+  std::unordered_map<std::uint64_t, double> grants_;
+  std::unordered_set<std::string> names_;
+  std::map<std::uint64_t, double> ordered_;
+  std::vector<double> slots_;
+
+  double sum_grants() const {
+    double total = 0.0;
+    for (const auto& [key, value] : grants_) {    // EXPECT(unordered-iteration)
+      total += value;
+    }
+    return total;
+  }
+
+  std::size_t walk_names() const {
+    std::size_t n = 0;
+    for (auto it = names_.begin(); it != names_.end(); ++it) {  // EXPECT(unordered-iteration)
+      n += it->size();
+    }
+    return n;
+  }
+
+  double sum_ordered() const {
+    double total = 0.0;
+    for (const auto& [key, value] : ordered_) {   // ok: std::map is ordered
+      total += value;
+    }
+    for (double v : slots_) {                     // ok: vector order is fixed
+      total += v;
+    }
+    return total;
+  }
+
+  bool keyed_lookup(std::uint64_t key) const {
+    // Keyed access has no iteration order — never flagged.
+    return grants_.find(key) != grants_.end();
+  }
+
+  double fold_commutative() const {
+    std::size_t n = 0;
+    // A provably order-insensitive fold, suppressed with a reason:
+    // HETLINT-OK(unordered-iteration): size_t count is order-insensitive
+    for (const auto& [key, value] : grants_) {
+      (void)key;
+      (void)value;
+      ++n;
+    }
+    return static_cast<double>(n);
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Fixture-backed self-test for tools/hetlint.
+
+Every fixture line carrying an `EXPECT(check-name)` marker must produce
+exactly one actionable violation of that check on that line (markers may
+repeat when one line trips several checks), and no unmarked line may
+produce any.  On top of the marker sweep this drives the suppression
+annotations, the baseline workflow (update, clean rerun, new violation,
+protected-directory rejection, stale-entry reporting), the --checks subset
+mode, and the tools/lint.py compatibility shim.
+
+Runs standalone (`python3 tests/lint/hetlint_selftest.py`) and as the
+tier-1 ctest entry `hetlint_selftest`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+TESTS_LINT = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_LINT.parent.parent
+HETLINT = REPO_ROOT / "tools" / "hetlint"
+SHIM = REPO_ROOT / "tools" / "lint.py"
+FIXTURES = TESTS_LINT / "fixtures"
+
+EXPECT_RE = re.compile(r"EXPECT\(([a-z-]+)\)")
+
+_failures: list[str] = []
+
+
+def check(cond: bool, message: str) -> None:
+    if not cond:
+        _failures.append(message)
+        print(f"FAIL: {message}")
+
+
+def run_hetlint(args: list[str], entry: Path = HETLINT):
+    return subprocess.run(
+        [sys.executable, str(entry), *args],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+
+
+def fixture_files() -> list[Path]:
+    return sorted(
+        f for f in FIXTURES.rglob("*") if f.suffix in (".h", ".hpp", ".cc")
+    )
+
+
+def expected_markers() -> Counter:
+    expected: Counter = Counter()
+    for f in fixture_files():
+        rel = f.relative_to(FIXTURES).as_posix()
+        for lineno, line in enumerate(f.read_text().splitlines(), 1):
+            for m in EXPECT_RE.finditer(line):
+                expected[(rel, lineno, m.group(1))] += 1
+    return expected
+
+
+def test_marker_sweep() -> None:
+    files = [str(f) for f in fixture_files()]
+    proc = run_hetlint(
+        ["--json", "--no-baseline", "--path-root", str(FIXTURES), *files]
+    )
+    check(proc.returncode == 1,
+          f"marker sweep: expected exit 1, got {proc.returncode}; "
+          f"stderr: {proc.stderr}")
+    report = json.loads(proc.stdout)
+    actual: Counter = Counter()
+    for v in report["violations"]:
+        if v.get("suppressed") or v.get("baselined"):
+            continue
+        actual[(v["file"], v["line"], v["check"])] += 1
+    expected = expected_markers()
+    for key in sorted(expected.keys() | actual.keys()):
+        e, a = expected[key], actual[key]
+        check(e == a,
+              f"{key[0]}:{key[1]}: {key[2]}: expected {e} violation(s), "
+              f"hetlint reported {a}")
+    # Suppressed violations are reported as suppressed, never actionable:
+    # two reasoned raw-stream suppressions plus the order-insensitive-fold
+    # suppression in the unordered-iteration fixture.
+    suppressed = Counter(
+        (v["check"], v["file"].rsplit("/", 1)[-1])
+        for v in report["violations"] if v.get("suppressed")
+    )
+    check(suppressed == Counter({
+        ("raw-stream", "suppression_cases.cc"): 2,
+        ("unordered-iteration", "unordered_iteration_cases.cc"): 1,
+    }), f"unexpected suppressed-violation set: {dict(suppressed)}")
+
+
+def test_checks_subset() -> None:
+    target = FIXTURES / "src" / "fix" / "include_root_cases.cc"
+    proc = run_hetlint(
+        ["--json", "--no-baseline", "--path-root", str(FIXTURES),
+         "--checks", "include-root", str(target)]
+    )
+    report = json.loads(proc.stdout)
+    checks_seen = {v["check"] for v in report["violations"]}
+    check(checks_seen == {"include-root"},
+          f"--checks subset leaked other checks: {checks_seen}")
+    proc = run_hetlint(["--checks", "no-such-check", str(target)])
+    check(proc.returncode == 2,
+          f"unknown check name should exit 2, got {proc.returncode}")
+
+
+def test_baseline_workflow() -> None:
+    clean_violators = [
+        str(FIXTURES / "src" / "fix" / "include_root_cases.cc"),
+        str(FIXTURES / "src" / "fix" / "raw_stream_cases.cc"),
+    ]
+    with tempfile.TemporaryDirectory() as td:
+        baseline = Path(td) / "baseline.json"
+        # 1. Record the current violations as the baseline.
+        proc = run_hetlint(
+            ["--update-baseline", "--baseline", str(baseline),
+             "--path-root", str(FIXTURES), *clean_violators]
+        )
+        check(proc.returncode == 0,
+              f"--update-baseline: expected exit 0, got {proc.returncode}; "
+              f"stderr: {proc.stderr}")
+        entries = json.loads(baseline.read_text())["entries"]
+        check(len(entries) == 4,
+              f"baseline should hold 4 entries (2 include-root + "
+              f"2 raw-stream), got {len(entries)}")
+        # 2. A rerun against the baseline is clean: everything grandfathered.
+        proc = run_hetlint(
+            ["--json", "--baseline", str(baseline),
+             "--path-root", str(FIXTURES), *clean_violators]
+        )
+        check(proc.returncode == 0,
+              f"baselined rerun: expected exit 0, got {proc.returncode}")
+        report = json.loads(proc.stdout)
+        check(all(v.get("baselined") for v in report["violations"]),
+              "baselined rerun: every violation should be marked baselined")
+        # 3. A new violation not in the baseline still fails the run.
+        extra = FIXTURES / "src" / "fix" / "check_message_cases.cc"
+        proc = run_hetlint(
+            ["--json", "--baseline", str(baseline),
+             "--path-root", str(FIXTURES), *clean_violators, str(extra)]
+        )
+        check(proc.returncode == 1,
+              f"new violation must fail despite baseline, got exit "
+              f"{proc.returncode}")
+        report = json.loads(proc.stdout)
+        fresh = [
+            v for v in report["violations"]
+            if not v.get("baselined") and not v.get("suppressed")
+        ]
+        check(fresh and all("check_message" in v["file"] for v in fresh),
+              f"only the new file's violations should be actionable: {fresh}")
+        # 4. Stale entries (fixed violations) are reported, not fatal.
+        proc = run_hetlint(
+            ["--baseline", str(baseline), "--path-root", str(FIXTURES),
+             str(FIXTURES / "src" / "fix" / "include_root_cases.cc")]
+        )
+        check(proc.returncode == 0 and "stale baseline entry" in proc.stderr,
+              f"stale entries should warn on stderr and exit 0; exit="
+              f"{proc.returncode}, stderr: {proc.stderr[:300]}")
+        # 5. Protected directories cannot be baselined.
+        baseline.write_text(json.dumps({
+            "entries": [{
+                "check": "raw-stream",
+                "file": "src/core/cac.cc",
+                "content": "std::cout << x;",
+            }]
+        }))
+        proc = run_hetlint(
+            ["--baseline", str(baseline), "--path-root", str(FIXTURES),
+             *clean_violators]
+        )
+        check(proc.returncode == 2 and "rejected" in proc.stderr,
+              f"protected-dir baseline entry must be rejected with exit 2; "
+              f"exit={proc.returncode}, stderr: {proc.stderr[:300]}")
+
+
+def test_shim() -> None:
+    clean = FIXTURES / "bench" / "scoped_exempt.cc"
+    proc = run_hetlint([str(clean)], entry=SHIM)
+    check(proc.returncode == 0,
+          f"tools/lint.py shim on a clean file: expected exit 0, got "
+          f"{proc.returncode}; output: {proc.stdout}{proc.stderr}")
+    dirty = FIXTURES / "src" / "fix" / "include_root_cases.cc"
+    proc = run_hetlint([str(dirty)], entry=SHIM)
+    check(proc.returncode == 1 and "include-root" in proc.stdout,
+          f"tools/lint.py shim must surface violations; exit="
+          f"{proc.returncode}, stdout: {proc.stdout[:300]}")
+
+
+def test_repo_is_clean() -> None:
+    """The real tree lints clean — the CI gate, exercised as a test."""
+    proc = run_hetlint([])
+    check(proc.returncode == 0,
+          f"hetlint over the repo found actionable violations:\n"
+          f"{proc.stdout}\n{proc.stderr}")
+
+
+def main() -> int:
+    for test in (
+        test_marker_sweep,
+        test_checks_subset,
+        test_baseline_workflow,
+        test_shim,
+        test_repo_is_clean,
+    ):
+        print(f"-- {test.__name__}")
+        test()
+    if _failures:
+        print(f"\n{len(_failures)} failure(s)")
+        return 1
+    print("\nall hetlint self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

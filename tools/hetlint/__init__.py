@@ -1,0 +1,8 @@
+"""hetlint: dependency-free C++ static analysis for the hetnet-rt repo.
+
+See DESIGN.md §10 for the check catalog and the suppression/baseline
+policy.  Entry points: `python3 tools/hetlint` or the `tools/lint.py`
+compatibility shim.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,18 @@
+"""Entry point for `python3 tools/hetlint`.
+
+Running a directory puts it at sys.path[0], so the flat modules (cli, core,
+lexer, tokutil, checks/) import as top-level names.  The explicit insert
+below also covers `python3 tools/hetlint/__main__.py`.
+"""
+
+import sys
+from pathlib import Path
+
+_HERE = str(Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+import cli  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cli.main())

@@ -1,0 +1,19 @@
+"""Check plugins. Importing this package registers every check.
+
+Adding a check: create a module here, subclass core.Check, decorate with
+@core.register, and import the module below.  The check's `name` is its
+stable public identity — it is what suppression annotations and baseline
+entries refer to — so renaming one is a breaking change.
+"""
+
+from checks import (  # noqa: F401
+    check_message,
+    float_reduction_order,
+    include_root,
+    nondeterminism_source,
+    parallel_body_write,
+    pointer_keyed_ordering,
+    raw_double,
+    raw_stream,
+    unordered_iteration,
+)

@@ -1,0 +1,37 @@
+"""check-message: every HETNET_CHECK carries a human-readable message.
+
+A bare `HETNET_CHECK(cond)` aborts with nothing but a stringified
+condition; the second argument is the sentence a future debugger reads
+first, so it is mandatory everywhere except the macro's own definition.
+"""
+
+from __future__ import annotations
+
+import core
+import tokutil
+
+
+@core.register
+class CheckMessageCheck(core.Check):
+    name = "check-message"
+    description = "HETNET_CHECK must carry a message (second macro argument)"
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if src.rel_path == "src/util/check.h":  # the macro's own definition
+            return []
+        out = []
+        toks = src.code_tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.value != "HETNET_CHECK":
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].value != "(":
+                continue
+            if tokutil.top_level_commas(toks, i + 1) == 0:
+                out.append(
+                    self.violation(
+                        src, t.line,
+                        "HETNET_CHECK must carry a message explaining the "
+                        "violated invariant",
+                    )
+                )
+        return out

@@ -1,0 +1,108 @@
+"""float-reduction-order: floating-point reductions must have a fixed order.
+
+Floating-point addition is not associative: the same multiset of doubles
+summed in two different orders produces different bits, so any reduction
+whose order depends on scheduling silently breaks the bit-identical
+contract even when it is perfectly race-free.  The approved pattern
+(DESIGN.md §8) is slot-per-worker accumulation plus a *serial* caller-side
+reduction in index order (util::parallel_map + a plain loop, or
+RunningStats::merge in slot order).
+
+Flagged:
+  * std::reduce / std::transform_reduce anywhere in src/ — their execution
+    order is unspecified even without an execution policy argument in
+    spirit, and with one it is explicitly unsequenced;
+  * std::accumulate called inside a parallel body — each worker folding a
+    shared or partial sequence is one refactor away from a cross-worker
+    reduction; hoist it out of the body or reduce serially after the join;
+  * `+=` / `-=` on captured (non-slot) state inside a parallel body — the
+    classic `total += part` cross-worker sum.
+"""
+
+from __future__ import annotations
+
+import core
+import tokutil
+
+EXEMPT_PREFIXES = (
+    "src/util/stats.",  # RunningStats: the approved merge-in-slot-order home
+    "src/util/thread_pool.",  # the primitive itself
+)
+
+_UNSEQUENCED = {
+    "reduce": "std::reduce folds in unspecified order",
+    "transform_reduce": "std::transform_reduce folds in unspecified order",
+}
+
+
+@core.register
+class FloatReductionOrderCheck(core.Check):
+    name = "float-reduction-order"
+    description = (
+        "floating-point reductions must use the approved serial "
+        "(index-ordered) reduction pattern, never a schedule-dependent one"
+    )
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if not src.in_dir("src/") or src.in_dir(*EXEMPT_PREFIXES):
+            return []
+        out = []
+        toks = src.code_tokens
+        # std::reduce / std::transform_reduce anywhere in library code.
+        for i, t in enumerate(toks):
+            if (
+                t.kind == "id"
+                and t.value in _UNSEQUENCED
+                and i >= 2
+                and toks[i - 1].value == "::"
+                and toks[i - 2].value == "std"
+                and i + 1 < len(toks)
+                and toks[i + 1].value == "("
+            ):
+                out.append(
+                    self.violation(
+                        src, t.line,
+                        f"{_UNSEQUENCED[t.value]}; float reductions must "
+                        f"be serial and index-ordered (accumulate per "
+                        f"slot, reduce after the join)",
+                    )
+                )
+        # Reductions lexically inside parallel bodies.
+        for lam in tokutil.find_parallel_lambdas(toks):
+            for j in range(lam.body_start + 1, lam.body_end):
+                t = toks[j]
+                if (
+                    t.kind == "id"
+                    and t.value == "accumulate"
+                    and j >= 2
+                    and toks[j - 1].value == "::"
+                    and toks[j - 2].value == "std"
+                ):
+                    out.append(
+                        self.violation(
+                            src, t.line,
+                            f"std::accumulate inside a {lam.call_name} "
+                            f"body: fold into this worker's slot and "
+                            f"reduce serially after the join",
+                        )
+                    )
+                elif t.kind == "punct" and t.value in ("+=", "-="):
+                    lhs = tokutil.resolve_lhs(toks, j, lam.index_param)
+                    if lhs is None:
+                        continue
+                    if lhs.root in lam.locals or lhs.root == lam.index_param:
+                        continue
+                    if lhs.slot_indexed:
+                        continue
+                    out.append(
+                        self.violation(
+                            src, t.line,
+                            f"'{lhs.root} {t.value} ...' inside a "
+                            f"{lam.call_name} body accumulates in "
+                            f"schedule order; floating-point sums are "
+                            f"order-sensitive — accumulate into "
+                            f"'{lhs.root}[{lam.index_param or 'i'}]' and "
+                            f"reduce serially after the join",
+                        )
+                    )
+        return out

@@ -1,0 +1,42 @@
+"""include-root: quoted project includes must be rooted at the repo top.
+
+`#include "src/util/units.h"` — never relative ("../util/units.h") or bare
+("units.h").  Repo-rooted includes make every file's dependencies greppable
+and keep the build working from a single -I at the repo root.
+"""
+
+from __future__ import annotations
+
+import core
+
+ALLOWED_ROOTS = ("src/", "tests/", "bench/", "examples/")
+
+
+@core.register
+class IncludeRootCheck(core.Check):
+    name = "include-root"
+    description = (
+        "quoted #include paths must start with src/, tests/, bench/, or "
+        "examples/"
+    )
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        out = []
+        toks = src.code_tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.value != "include":
+                continue
+            if i == 0 or toks[i - 1].value != "#":
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].kind != "str":
+                continue  # <system> includes are unconstrained
+            target = toks[i + 1].value.strip('"')
+            if not target.startswith(ALLOWED_ROOTS):
+                out.append(
+                    self.violation(
+                        src, t.line,
+                        f'"{target}" must be rooted at the repo top '
+                        f"(src/..., tests/...)",
+                    )
+                )
+        return out

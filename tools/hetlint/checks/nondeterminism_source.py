@@ -1,0 +1,129 @@
+"""nondeterminism-source: ambient entropy is banned in library code.
+
+Admission decisions must be bit-identical across runs and thread counts
+(DESIGN.md §8), so the library may not consult any source whose value
+varies between runs: the C PRNG family, std::random_device, wall/steady
+clocks, thread ids, or time().  All stochastic behaviour flows from the
+seeded util::Rng; all timing flows through src/obs (which is observation,
+never decision input).
+"""
+
+from __future__ import annotations
+
+import core
+
+# src/ subtrees allowed to touch entropy/clocks: the seeded RNG's own
+# implementation, and the observability layer (timing spans are outputs,
+# not decision inputs).
+EXEMPT_PREFIXES = ("src/util/rng.", "src/obs/")
+
+# Functions that read ambient entropy when called unqualified or via std::.
+_BANNED_CALLS = {
+    "rand": "use the seeded util::Rng instead of rand()",
+    "srand": "seed util::Rng explicitly instead of srand()",
+    "rand_r": "use the seeded util::Rng instead of rand_r()",
+    "drand48": "use Rng::uniform() instead of drand48()",
+    "lrand48": "use Rng::next_u64() instead of lrand48()",
+    "time": "wall-clock time is run-dependent; thread timing through "
+            "src/obs or take it as an input",
+}
+
+_BANNED_TYPES = {
+    "random_device": "std::random_device is nondeterministic by design; "
+                     "seed util::Rng from an explicit input",
+}
+
+_CLOCKS = ("steady_clock", "system_clock", "high_resolution_clock")
+
+
+@core.register
+class NondeterminismSourceCheck(core.Check):
+    name = "nondeterminism-source"
+    description = (
+        "src/ code must not read ambient entropy (rand, random_device, "
+        "clocks, thread ids) outside src/util/rng and src/obs"
+    )
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if not src.in_dir("src/") or src.in_dir(*EXEMPT_PREFIXES):
+            return []
+        out = []
+        toks = src.code_tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            # Member access (obj.rand(), obj->time()) is somebody else's
+            # API; `::`-qualified is flagged only for std::.
+            qualified_member = prev is not None and prev.value in (".", "->")
+            std_qualified = (
+                prev is not None
+                and prev.value == "::"
+                and i >= 2
+                and toks[i - 2].value == "std"
+            )
+            other_qualified = (
+                prev is not None and prev.value == "::" and not std_qualified
+            )
+            if t.value in _BANNED_CALLS:
+                if qualified_member or other_qualified:
+                    continue
+                if nxt is None or nxt.value != "(":
+                    continue
+                # `long time(int zone)` declares a member/function named
+                # like the banned one — a preceding type identifier means
+                # declaration, not call.
+                if (
+                    prev is not None
+                    and prev.kind == "id"
+                    and prev.value not in (
+                        "return", "co_return", "co_yield", "throw",
+                    )
+                    and not std_qualified
+                ):
+                    continue
+                out.append(
+                    self.violation(
+                        src, t.line,
+                        f"call to {t.value}() is a nondeterminism source; "
+                        f"{_BANNED_CALLS[t.value]}",
+                    )
+                )
+            elif t.value in _BANNED_TYPES:
+                if qualified_member or other_qualified:
+                    continue
+                out.append(
+                    self.violation(src, t.line, _BANNED_TYPES[t.value])
+                )
+            elif t.value in _CLOCKS:
+                if (
+                    nxt is not None
+                    and nxt.value == "::"
+                    and i + 2 < len(toks)
+                    and toks[i + 2].value == "now"
+                ):
+                    out.append(
+                        self.violation(
+                            src, t.line,
+                            f"{t.value}::now() varies between runs; "
+                            f"decision code must not read clocks (timing "
+                            f"belongs in src/obs)",
+                        )
+                    )
+            elif t.value == "this_thread":
+                if (
+                    nxt is not None
+                    and nxt.value == "::"
+                    and i + 2 < len(toks)
+                    and toks[i + 2].value == "get_id"
+                ):
+                    out.append(
+                        self.violation(
+                            src, t.line,
+                            "this_thread::get_id() is schedule-dependent; "
+                            "use the loop index / slot id the parallel "
+                            "engine hands out",
+                        )
+                    )
+        return out

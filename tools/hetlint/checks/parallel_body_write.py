@@ -1,0 +1,105 @@
+"""parallel-body-write: the PR 4 slot discipline, statically.
+
+Lambdas passed to util::parallel_for / util::parallel_map may write
+captured-by-reference state only through *index-subscripted slots*:
+`out[i] = ...` (or a reference bound to `out[i]`), where `i` is the
+lambda's index parameter.  Every worker then owns a disjoint slot and the
+caller performs the ordered reduction serially — the property that makes
+any schedule produce identical bits.  ThreadSanitizer cannot verify this:
+two workers writing the same slot through a mutex is race-free but still
+schedule-dependent, i.e. a determinism bug, not a data race.
+
+Flagged: assignments (including compound assignment and ++/--) inside a
+parallel body whose left-hand side resolves to a captured identifier that
+is neither a body-local nor subscripted by the index parameter.
+
+Heuristic limits (by design): writes through member function calls
+(`captured.push_back(x)`) and through pointers handed out of the body are
+not modeled; those stay the TSan + equivalence suite's job.
+"""
+
+from __future__ import annotations
+
+import core
+import tokutil
+
+# The primitive's own implementation distributes work and may write shared
+# coordination state under its own discipline.
+EXEMPT_PREFIXES = ("src/util/thread_pool.",)
+
+_INCDEC = {"++", "--"}
+
+
+@core.register
+class ParallelBodyWriteCheck(core.Check):
+    name = "parallel-body-write"
+    description = (
+        "parallel_for/parallel_map bodies may write captured state only "
+        "through slots subscripted by the index parameter"
+    )
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if not src.in_dir("src/") or src.in_dir(*EXEMPT_PREFIXES):
+            return []
+        out = []
+        toks = src.code_tokens
+        for lam in tokutil.find_parallel_lambdas(toks):
+            for j in range(lam.body_start + 1, lam.body_end):
+                t = toks[j]
+                if t.kind != "punct":
+                    continue
+                if t.value in tokutil.ASSIGN_OPS:
+                    lhs = tokutil.resolve_lhs(toks, j, lam.index_param)
+                    if lhs is None:
+                        continue
+                    if lhs.root in lam.locals or lhs.root == lam.index_param:
+                        continue
+                    if lhs.slot_indexed:
+                        continue
+                    out.append(
+                        self.violation(
+                            src, t.line,
+                            f"write to captured '{lhs.root}' inside a "
+                            f"{lam.call_name} body is not through an "
+                            f"index-subscripted slot "
+                            f"('{lhs.root}[{lam.index_param or 'i'}]'); "
+                            f"schedule-dependent writes break the "
+                            f"determinism contract (DESIGN.md §8)",
+                        )
+                    )
+                elif t.value in _INCDEC:
+                    # Postfix: path ends just before the operator; prefix:
+                    # path starts right after it.  resolve_lhs handles the
+                    # postfix case; for prefix, the next token must be the
+                    # path's first identifier.
+                    lhs = tokutil.resolve_lhs(toks, j, lam.index_param)
+                    if lhs is None and j + 1 < lam.body_end:
+                        nxt = toks[j + 1]
+                        if nxt.kind == "id":
+                            lhs = tokutil.LhsPath(
+                                root=nxt.value,
+                                root_index=j + 1,
+                                slot_indexed=(
+                                    lam.index_param != ""
+                                    and j + 4 < len(toks)
+                                    and toks[j + 2].value == "["
+                                    and toks[j + 3].value == lam.index_param
+                                    and toks[j + 4].value == "]"
+                                ),
+                            )
+                    if lhs is None:
+                        continue
+                    if lhs.root in lam.locals or lhs.root == lam.index_param:
+                        continue
+                    if lhs.slot_indexed:
+                        continue
+                    out.append(
+                        self.violation(
+                            src, t.line,
+                            f"increment of captured '{lhs.root}' inside a "
+                            f"{lam.call_name} body: cross-worker counters "
+                            f"are schedule-dependent; count per-slot and "
+                            f"reduce serially after the join",
+                        )
+                    )
+        return out

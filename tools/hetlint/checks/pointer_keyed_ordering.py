@@ -1,0 +1,103 @@
+"""pointer-keyed-ordering: ordered containers keyed by raw pointers.
+
+A std::map/std::set keyed (or a std::sort ordered) by a raw pointer value
+iterates in *address* order, and allocation addresses differ run to run —
+ASLR alone breaks bit-identical reproduction.  Key by a stable id (the
+connection id, the fingerprint, the slot index) instead.
+
+Flags:
+  * std::map/set/multimap/multiset whose first template argument contains
+    a raw pointer type;
+  * std::less<T*> / std::greater<T*> used as an explicit comparator.
+Smart pointers (shared_ptr, unique_ptr) as keys are flagged too: their
+ordering is the same raw address.
+"""
+
+from __future__ import annotations
+
+import core
+import tokutil
+
+_ORDERED = {"map", "set", "multimap", "multiset"}
+_COMPARATORS = {"less", "greater"}
+_SMART = {"shared_ptr", "unique_ptr", "weak_ptr"}
+
+
+def _first_template_arg(toks, open_idx):
+    """Token slice of the first depth-1 template argument after `<`."""
+    depth = 0
+    start = open_idx + 1
+    for j in range(open_idx, len(toks)):
+        v = toks[j]
+        if v.kind != "punct":
+            continue
+        if v.value in ("<", "(", "[", "{"):
+            depth += 1
+        elif v.value in (">", ")", "]", "}"):
+            depth -= 1
+            if depth == 0:
+                return toks[start:j]
+        elif v.value == "," and depth == 1:
+            return toks[start:j]
+    return toks[start:]
+
+
+def _is_pointerish(arg_toks) -> str | None:
+    """Why this key type is address-ordered, or None if it is not."""
+    for v in arg_toks:
+        if v.kind == "punct" and v.value == "*":
+            return "raw pointer key"
+        if v.kind == "id" and v.value in _SMART:
+            return f"{v.value} key (orders by the held address)"
+    return None
+
+
+@core.register
+class PointerKeyedOrderingCheck(core.Check):
+    name = "pointer-keyed-ordering"
+    description = (
+        "ordered containers and comparators keyed by pointer values "
+        "iterate in address order, which varies run to run"
+    )
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if not src.in_dir("src/"):
+            return []
+        out = []
+        toks = src.code_tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            std_qualified = (
+                i >= 2
+                and toks[i - 1].value == "::"
+                and toks[i - 2].value == "std"
+            )
+            if t.value in _ORDERED and std_qualified:
+                if i + 1 >= len(toks) or toks[i + 1].value != "<":
+                    continue
+                reason = _is_pointerish(_first_template_arg(toks, i + 1))
+                if reason is not None:
+                    out.append(
+                        self.violation(
+                            src, t.line,
+                            f"std::{t.value} with {reason}: iteration is "
+                            f"in address order, which differs between "
+                            f"runs; key by a stable id instead",
+                        )
+                    )
+            elif t.value in _COMPARATORS and std_qualified:
+                if i + 1 >= len(toks) or toks[i + 1].value != "<":
+                    continue
+                close = tokutil.skip_template_args(toks, i + 1)
+                arg = toks[i + 2 : close - 1]
+                if any(v.kind == "punct" and v.value == "*" for v in arg):
+                    out.append(
+                        self.violation(
+                            src, t.line,
+                            f"std::{t.value}<T*> compares addresses, "
+                            f"which differ between runs; compare a "
+                            f"stable id instead",
+                        )
+                    )
+        return out

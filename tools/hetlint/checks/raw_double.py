@@ -1,0 +1,86 @@
+"""raw-double: physical quantities in public headers use strong unit types.
+
+Function parameters, struct/class fields, and return types declared as raw
+`double` in src/ headers must not denote a physical quantity (time, data,
+bandwidth); those are Seconds / Bits / BitsPerSecond from src/util/units.h
+so the compiler rejects unit mix-ups.  Dimensionless doubles (beta, ratios,
+utilization, fill, ...) stay doubles.
+"""
+
+from __future__ import annotations
+
+import re
+
+import core
+
+# Names that denote a physical quantity and therefore must be a strong unit
+# type in a public (src/) header.  Matched against the declared name with
+# any trailing member-underscore stripped and lowercased.
+QUANTITY_NAME = re.compile(
+    r"""^(?:
+        .*_(?:s|ms|us|ns|sec|secs|seconds)   # time suffixes: horizon_s, p_ms
+      | .*(?:time|delay|deadline|interval|horizon|period|lifetime|ttrt
+           |latency|duration|arrival)\w*
+      | .*_(?:bits|bytes|kbits|mbits)        # data suffixes
+      | .*(?:burst|backlog|buffer)\w*
+      | .*(?:rate|capacity|bandwidth|bps)\w*
+    )$""",
+    re.VERBOSE,
+)
+
+# Names that look physical but are legitimately dimensionless or counts.
+QUANTITY_NAME_EXEMPT = re.compile(
+    r"^(?:beta|alpha|ratio|fraction|fill|utilization|u|scale|factor"
+    r"|num_\w+|n_\w+|count\w*|steps?\w*)$"
+)
+
+# Token immediately after `double NAME` classifying the declaration.
+_PARAM_NEXT = {",", ")"}
+_FIELD_NEXT = {";", "{"}
+
+
+@core.register
+class RawDoubleCheck(core.Check):
+    name = "raw-double"
+    description = (
+        "quantity-named double parameters, fields, and return types in "
+        "src/ headers must use Seconds/Bits/BitsPerSecond"
+    )
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if not src.in_dir("src/") or not src.rel_path.endswith((".h", ".hpp")):
+            return []
+        out = []
+        toks = src.code_tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.value != "double":
+                continue
+            if i + 2 >= len(toks) or toks[i + 1].kind != "id":
+                continue
+            name_tok = toks[i + 1]
+            after = toks[i + 2]
+            if after.kind != "punct":
+                continue
+            normalized = name_tok.value.rstrip("_").lower()
+            if QUANTITY_NAME_EXEMPT.match(normalized):
+                continue
+            if not QUANTITY_NAME.match(normalized):
+                continue
+            if after.value in _PARAM_NEXT:
+                kind = "parameter"
+            elif after.value == "=":
+                kind = "defaulted declaration"
+            elif after.value in _FIELD_NEXT:
+                kind = "field"
+            elif after.value == "(":
+                kind = "function return type"
+            else:
+                continue
+            out.append(
+                self.violation(
+                    src, name_tok.line,
+                    f"{kind} '{name_tok.value}' denotes a physical "
+                    f"quantity; use Seconds/Bits/BitsPerSecond",
+                )
+            )
+        return out

@@ -1,0 +1,35 @@
+"""raw-stream: library code must not write to std::cout / std::cerr.
+
+The library reports through return values, exceptions, and the src/obs/
+surfaces; callers own the terminal.  Benches, tools, examples, and tests
+are exempt — they ARE the callers.
+"""
+
+from __future__ import annotations
+
+import core
+
+
+@core.register
+class RawStreamCheck(core.Check):
+    name = "raw-stream"
+    description = "src/ code must not write to std::cout or std::cerr"
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if not src.in_dir("src/"):
+            return []
+        out = []
+        toks = src.code_tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.value not in ("cout", "cerr"):
+                continue
+            if i < 2 or toks[i - 1].value != "::" or toks[i - 2].value != "std":
+                continue
+            out.append(
+                self.violation(
+                    src, t.line,
+                    f"library code must not write to std::{t.value}; return "
+                    f"data or take an std::ostream& from the caller",
+                )
+            )
+        return out

@@ -1,0 +1,129 @@
+"""unordered-iteration: loops over hash containers are order-hazards.
+
+Iteration order of std::unordered_map/set depends on the hash seed, the
+libstdc++/libc++ bucket implementation, and the insertion history — any
+loop whose body can reach a decision output makes the decision
+implementation-defined.  Use an ordered container, iterate a sorted
+snapshot of the keys, or — when the loop provably folds into an
+order-insensitive result — suppress with a reason.
+
+Heuristic scope: the check sees one file at a time.  It flags range-for
+loops (and explicit .begin()/.cbegin() iteration) over names *declared as
+unordered containers in the same file*.  Cross-file member iteration is
+out of reach; keeping hash containers private to a file (as src/ does) is
+what makes the heuristic sound in practice.
+"""
+
+from __future__ import annotations
+
+import core
+import tokutil
+
+_UNORDERED = {
+    "unordered_map",
+    "unordered_set",
+    "unordered_multimap",
+    "unordered_multiset",
+    "flat_hash_map",  # common vocabulary types, same hazard
+    "flat_hash_set",
+}
+
+_NAME_TERMINATORS = {";", "=", "{", ",", ")", ":"}
+
+
+def _declared_unordered_names(toks) -> set[str]:
+    names: set[str] = set()
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.value not in _UNORDERED:
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].value != "<":
+            continue
+        j = tokutil.skip_template_args(toks, i + 1)
+        # Past refs/pointers to the declared name, if any.
+        last_id = None
+        while j < len(toks):
+            tok = toks[j]
+            if tok.kind == "id":
+                last_id = tok.value
+            elif tok.kind == "punct" and tok.value in ("&", "*", "&&"):
+                pass
+            elif tok.kind == "punct" and tok.value in _NAME_TERMINATORS:
+                break
+            else:
+                break
+            j += 1
+        if last_id is not None:
+            names.add(last_id)
+    return names
+
+
+@core.register
+class UnorderedIterationCheck(core.Check):
+    name = "unordered-iteration"
+    description = (
+        "iterating an unordered container has hash-seed-dependent order; "
+        "use an ordered container or a sorted snapshot"
+    )
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if not src.in_dir("src/"):
+            return []
+        toks = src.code_tokens
+        names = _declared_unordered_names(toks)
+        if not names:
+            return []
+        out = []
+        for i, t in enumerate(toks):
+            # Range-for: for ( decl : RANGE-EXPR )
+            if t.kind == "id" and t.value == "for":
+                if i + 1 >= len(toks) or toks[i + 1].value != "(":
+                    continue
+                close = tokutil.find_matching(toks, i + 1)
+                depth = 0
+                colon = -1
+                for j in range(i + 1, close):
+                    v = toks[j]
+                    if v.kind != "punct":
+                        continue
+                    if v.value in tokutil.OPENERS:
+                        depth += 1
+                    elif v.value in tokutil.CLOSERS:
+                        depth -= 1
+                    elif v.value == ":" and depth == 1:
+                        colon = j
+                        break
+                if colon < 0:
+                    continue
+                for j in range(colon + 1, close):
+                    v = toks[j]
+                    if v.kind == "id" and v.value in names:
+                        out.append(
+                            self.violation(
+                                src, t.line,
+                                f"range-for over unordered container "
+                                f"'{v.value}': iteration order is "
+                                f"hash-seed-dependent; iterate a sorted "
+                                f"snapshot or use an ordered container",
+                            )
+                        )
+                        break
+            # Explicit iterators: NAME.begin() / NAME.cbegin() / rbegin.
+            elif (
+                t.kind == "id"
+                and t.value in ("begin", "cbegin", "rbegin", "crbegin")
+                and i >= 2
+                and toks[i - 1].value in (".", "->")
+                and toks[i - 2].kind == "id"
+                and toks[i - 2].value in names
+                and i + 1 < len(toks)
+                and toks[i + 1].value == "("
+            ):
+                out.append(
+                    self.violation(
+                        src, t.line,
+                        f"iterator walk over unordered container "
+                        f"'{toks[i - 2].value}': iteration order is "
+                        f"hash-seed-dependent",
+                    )
+                )
+        return out

@@ -1,0 +1,228 @@
+"""hetlint command-line driver.
+
+Usage:
+  tools/hetlint [paths...]            lint (defaults: src tests bench examples)
+  tools/hetlint --json [paths...]     machine-readable output
+  tools/hetlint --update-baseline     rewrite the baseline from current state
+  tools/hetlint --list-checks         show the check catalog
+
+Exit status: 0 when clean (all violations suppressed or baselined),
+1 when actionable violations remain, 2 on usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import core
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_PATHS = ["src", "tests", "bench", "examples"]
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+# Directories skipped during directory expansion (never when a file is
+# named explicitly): lint-test fixtures are deliberate violations.
+EXCLUDED_DIR_PARTS = ("tests/lint/fixtures",)
+
+
+def discover(roots: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for root in roots:
+        p = Path(root)
+        if not p.is_absolute():
+            p = (REPO_ROOT / root).resolve()
+        if p.is_file():
+            files.append(p)  # explicit files are always linted
+            continue
+        if not p.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for f in sorted(p.rglob("*")):
+            if f.suffix not in SOURCE_SUFFIXES:
+                continue
+            rel = f.as_posix()
+            if any(part in rel for part in EXCLUDED_DIR_PARTS):
+                continue
+            files.append(f)
+    return files
+
+
+def rel_path(path: Path, root: Path = REPO_ROOT) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_files(
+    files: list[Path],
+    checks: dict[str, core.Check],
+    root: Path = REPO_ROOT,
+) -> tuple[list[core.Violation], int]:
+    """Runs checks, applies suppressions. Returns (violations, files_seen)."""
+    all_violations: list[core.Violation] = []
+    full_check_set = set(checks) == set(core.all_checks())
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as err:
+            all_violations.append(
+                core.Violation(
+                    "suppression", rel_path(path, root), 0,
+                    f"unreadable: {err}",
+                )
+            )
+            continue
+        src = core.SourceFile(rel_path(path, root), text)
+        all_violations.extend(src.bad_annotations)
+        file_violations: list[core.Violation] = []
+        for check in checks.values():
+            file_violations.extend(check.run(src))
+        for v in file_violations:
+            s = src.find_suppression(v.check, v.line)
+            if s is not None:
+                s.used = True
+                v = core.Violation(
+                    v.check, v.file, v.line, v.message, v.content,
+                    suppressed=True,
+                )
+            all_violations.append(v)
+        # A suppression that matches nothing is stale — it documents a
+        # hazard that no longer exists (or a typoed line). Only meaningful
+        # when every check ran.
+        if full_check_set:
+            for s in src.suppressions:
+                if not s.used:
+                    all_violations.append(
+                        core.Violation(
+                            "suppression", src.rel_path, s.line,
+                            f"HETLINT-OK({s.check}) matches no violation "
+                            f"on this or the next line; remove the stale "
+                            f"annotation",
+                            src.line_content(s.line),
+                        )
+                    )
+    all_violations.sort(key=lambda v: (v.file, v.line, v.check))
+    return all_violations, len(files)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hetlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit violations as a JSON document on stdout")
+    parser.add_argument("--checks", default="",
+                        help="comma-separated subset of checks to run")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print the check catalog and exit")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="baseline file (default: tools/hetlint/"
+                             "baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file")
+    parser.add_argument("--path-root", default="",
+                        help="compute check-scoping paths relative to this "
+                             "directory instead of the repo root (used by "
+                             "the fixture self-test to emulate src/ paths)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to cover current "
+                             "unsuppressed violations (outside protected "
+                             "directories) and exit")
+    args = parser.parse_args(argv)
+
+    checks = core.all_checks()
+    if args.list_checks:
+        width = max(len(name) for name in checks)
+        for name, check in sorted(checks.items()):
+            print(f"{name:<{width}}  {check.description}")
+        return 0
+    if args.checks:
+        wanted = [c.strip() for c in args.checks.split(",") if c.strip()]
+        unknown = [c for c in wanted if c not in checks]
+        if unknown:
+            print(f"hetlint: unknown check(s): {', '.join(unknown)}; "
+                  f"see --list-checks", file=sys.stderr)
+            return 2
+        checks = {name: checks[name] for name in wanted}
+
+    try:
+        files = discover(args.paths or DEFAULT_PATHS)
+    except FileNotFoundError as err:
+        print(f"hetlint: {err}", file=sys.stderr)
+        return 2
+
+    root = Path(args.path_root).resolve() if args.path_root else REPO_ROOT
+    violations, files_seen = lint_files(files, checks, root)
+
+    if args.update_baseline:
+        count = core.Baseline.dump(violations, Path(args.baseline))
+        protected = [
+            v for v in violations
+            if not v.suppressed
+            and v.file.startswith(core.PROTECTED_PREFIXES)
+        ]
+        print(f"hetlint: baseline written with {count} entr"
+              f"{'y' if count == 1 else 'ies'} to {args.baseline}",
+              file=sys.stderr)
+        for v in protected:
+            print(f"hetlint: NOT baselined (protected dir): {v.format()}",
+                  file=sys.stderr)
+        return 1 if protected else 0
+
+    baseline = core.Baseline()
+    baseline_path = Path(args.baseline)
+    if not args.no_baseline and baseline_path.is_file():
+        try:
+            baseline = core.Baseline.load(baseline_path)
+        except core.BaselineError as err:
+            print(f"hetlint: {err}", file=sys.stderr)
+            return 2
+
+    final: list[core.Violation] = []
+    for v in violations:
+        if not v.suppressed and v.check != "suppression" and baseline.consume(v):
+            v = core.Violation(
+                v.check, v.file, v.line, v.message, v.content, baselined=True
+            )
+        final.append(v)
+    actionable = [v for v in final if not v.suppressed and not v.baselined]
+    stale = baseline.unconsumed()
+
+    if args.as_json:
+        print(json.dumps(
+            {
+                "files_checked": files_seen,
+                "violations": [v.to_json() for v in final],
+                "actionable": len(actionable),
+                "stale_baseline_entries": [
+                    {"check": c, "file": f, "content": t}
+                    for (c, f, t) in stale
+                ],
+            },
+            indent=2,
+        ))
+    else:
+        for v in final:
+            print(v.format())
+    for (c, f, t) in stale:
+        print(f"hetlint: stale baseline entry ({f}: {c}: {t!r}) — the "
+              f"violation is fixed; run --update-baseline to shrink the "
+              f"baseline", file=sys.stderr)
+    print(
+        f"hetlint: {files_seen} files checked, "
+        f"{len(actionable)} actionable violation(s), "
+        f"{sum(1 for v in final if v.baselined)} baselined, "
+        f"{sum(1 for v in final if v.suppressed)} suppressed",
+        file=sys.stderr,
+    )
+    return 1 if actionable else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

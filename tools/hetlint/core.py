@@ -1,0 +1,283 @@
+"""hetlint framework: violations, check plugins, suppressions, baseline.
+
+A check is a subclass of `Check` registered via `@register`.  Each check
+receives a `SourceFile` (raw text + lexed token stream + parsed suppression
+annotations) and yields `Violation`s.  The driver (cli.py) handles
+suppression filtering, baseline matching, and output formatting, so checks
+only ever report what they see.
+
+Suppressions
+------------
+A violation is suppressed by an inline annotation on the same line or the
+line directly above it:
+
+    // HETLINT-OK(check-name): reason why this is sound
+
+The reason is mandatory; an annotation without one (or naming an unknown
+check) is itself reported under the `suppression` pseudo-check and cannot
+be suppressed or baselined.
+
+Baseline
+--------
+The baseline file (tools/hetlint/baseline.json) grandfathers pre-existing
+violations: a violation matching an entry's (check, file, content) triple is
+reported as baselined and does not fail the run.  Matching is by the
+stripped source-line text, not the line number, so unrelated edits do not
+invalidate entries.  Determinism-critical directories (src/core,
+src/traffic) are *protected*: baseline entries pointing there are rejected
+at load time — hazards in decision-making code must be fixed, not
+grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from lexer import Token, tokenize
+
+# Directories whose violations may never be baselined: the determinism
+# contract lives here, so every finding must be fixed or explicitly
+# suppressed (with a reviewable reason) in the source itself.
+PROTECTED_PREFIXES = ("src/core/", "src/traffic/")
+
+SUPPRESS_RE = re.compile(
+    r"HETLINT-OK\(\s*(?P<check>[a-z0-9-]*)\s*\)\s*(?::\s*(?P<reason>\S.*?))?\s*(?:\*/)?\s*$"
+)
+# The open paren is part of the marker so prose mentioning the annotation
+# by name does not parse as one.
+SUPPRESS_MARK = "HETLINT-OK("
+
+
+@dataclass(frozen=True)
+class Violation:
+    check: str
+    file: str  # repo-relative, '/'-separated
+    line: int
+    message: str
+    content: str = ""  # stripped text of the offending line (baseline key)
+    baselined: bool = False
+    suppressed: bool = False
+
+    def format(self) -> str:
+        tags = []
+        if self.baselined:
+            tags.append("baselined")
+        if self.suppressed:
+            tags.append("suppressed")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        return f"{self.file}:{self.line}: {self.check}: {self.message}{suffix}"
+
+    def to_json(self) -> dict:
+        out = {
+            "check": self.check,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "content": self.content,
+        }
+        if self.baselined:
+            out["baselined"] = True
+        if self.suppressed:
+            out["suppressed"] = True
+        return out
+
+
+@dataclass
+class Suppression:
+    line: int
+    check: str
+    reason: str
+    used: bool = False
+
+
+class SourceFile:
+    """One lexed translation unit plus its suppression annotations."""
+
+    def __init__(self, rel_path: str, text: str):
+        self.rel_path = rel_path  # repo-relative, '/'-separated
+        self.text = text
+        self.lines = text.splitlines()
+        self.tokens: list[Token] = tokenize(text)
+        # Token stream with comments removed — what most checks scan.
+        self.code_tokens: list[Token] = [
+            t for t in self.tokens if t.kind != "comment"
+        ]
+        self.suppressions: list[Suppression] = []
+        self.bad_annotations: list[Violation] = []
+        self._parse_suppressions()
+
+    def _parse_suppressions(self) -> None:
+        for tok in self.tokens:
+            if tok.kind != "comment" or SUPPRESS_MARK not in tok.value:
+                continue
+            m = SUPPRESS_RE.search(tok.value)
+            check = m.group("check") if m else ""
+            reason = (m.group("reason") or "") if m else ""
+            if not m or not check:
+                self.bad_annotations.append(
+                    Violation(
+                        "suppression", self.rel_path, tok.line,
+                        "malformed HETLINT-OK annotation; use "
+                        "// HETLINT-OK(check-name): reason",
+                        self.line_content(tok.line),
+                    )
+                )
+                continue
+            if not reason:
+                self.bad_annotations.append(
+                    Violation(
+                        "suppression", self.rel_path, tok.line,
+                        f"HETLINT-OK({check}) must carry a reason after "
+                        f"a colon — unexplained suppressions are "
+                        f"unreviewable",
+                        self.line_content(tok.line),
+                    )
+                )
+                continue
+            self.suppressions.append(Suppression(tok.line, check, reason))
+
+    def line_content(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def in_dir(self, *prefixes: str) -> bool:
+        return self.rel_path.startswith(prefixes)
+
+    def find_suppression(self, check: str, line: int) -> Suppression | None:
+        """Annotation covering `line`: same line or the line directly above."""
+        for s in self.suppressions:
+            if s.check == check and s.line in (line, line - 1):
+                return s
+        return None
+
+
+class Check:
+    """Base class for check plugins.
+
+    Subclasses set `name` (kebab-case, stable — it is the suppression and
+    baseline key) and `description`, and implement `run`.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def run(self, src: SourceFile) -> list[Violation]:
+        raise NotImplementedError
+
+    def violation(self, src: SourceFile, line: int, message: str) -> Violation:
+        return Violation(
+            self.name, src.rel_path, line, message, src.line_content(line)
+        )
+
+
+_REGISTRY: dict[str, Check] = {}
+
+
+def register(cls: type[Check]) -> type[Check]:
+    check = cls()
+    if not check.name or check.name in _REGISTRY:
+        raise ValueError(f"bad or duplicate check name: {check.name!r}")
+    _REGISTRY[check.name] = check
+    return cls
+
+
+def all_checks() -> dict[str, Check]:
+    # Import for registration side effects; idempotent after the first call.
+    import checks  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+class BaselineError(ValueError):
+    pass
+
+
+class Baseline:
+    """Multiset of grandfathered (check, file, content) violation triples."""
+
+    def __init__(self, entries: list[dict] | None = None):
+        self._counts: dict[tuple[str, str, str], int] = {}
+        for e in entries or []:
+            self.add(e["check"], e["file"], e.get("content", ""))
+
+    @staticmethod
+    def load(path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            raise BaselineError(f"{path}: not valid JSON: {err}") from err
+        if not isinstance(data, dict) or not isinstance(
+            data.get("entries"), list
+        ):
+            raise BaselineError(
+                f"{path}: expected an object with an 'entries' list"
+            )
+        for e in data["entries"]:
+            if not isinstance(e, dict) or "check" not in e or "file" not in e:
+                raise BaselineError(
+                    f"{path}: every entry needs 'check' and 'file' keys: {e}"
+                )
+            if e["file"].startswith(PROTECTED_PREFIXES):
+                raise BaselineError(
+                    f"{path}: entry for {e['file']} rejected — "
+                    f"determinism-critical directories "
+                    f"({', '.join(PROTECTED_PREFIXES)}) cannot be "
+                    f"baselined; fix the violation or suppress it in "
+                    f"the source with a reason"
+                )
+        return Baseline(data["entries"])
+
+    def add(self, check: str, file: str, content: str) -> None:
+        key = (check, file, content)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def consume(self, v: Violation) -> bool:
+        """True (and decrements the entry) if `v` is grandfathered."""
+        key = (v.check, v.file, v.content)
+        left = self._counts.get(key, 0)
+        if left <= 0:
+            return False
+        self._counts[key] = left - 1
+        return True
+
+    def unconsumed(self) -> list[tuple[str, str, str]]:
+        """Stale entries: baselined violations that no longer occur."""
+        return sorted(k for k, c in self._counts.items() if c > 0)
+
+    @staticmethod
+    def dump(violations: list[Violation], path: Path) -> int:
+        """Writes a fresh baseline covering `violations`; returns the count.
+
+        Violations in protected directories are *not* written (they must be
+        fixed), and suppressed violations need no baseline entry.
+        """
+        entries = [
+            {
+                "check": v.check,
+                "file": v.file,
+                "content": v.content,
+            }
+            for v in violations
+            if not v.suppressed
+            and v.check != "suppression"
+            and not v.file.startswith(PROTECTED_PREFIXES)
+        ]
+        entries.sort(key=lambda e: (e["file"], e["check"], e["content"]))
+        payload = {
+            "comment": (
+                "hetlint baseline: grandfathered violations tracked until "
+                "fixed. Regenerate with tools/hetlint --update-baseline. "
+                "Entries under src/core/ or src/traffic/ are rejected at "
+                "load time."
+            ),
+            "entries": entries,
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return len(entries)

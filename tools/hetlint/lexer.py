@@ -1,0 +1,168 @@
+"""A small C++ lexer for static-analysis checks.
+
+Produces a flat token stream that is *comment-, string-, raw-string-, and
+char-literal-aware*: the single property every downstream check depends on
+is that an identifier token named `rand` really is code, never a word
+inside a comment or a string literal.
+
+This is intentionally not a full C++ front end.  There is no preprocessing,
+no template disambiguation, and `>>` is split into two `>` tokens so that
+template-argument matching with a depth counter works (`vector<vector<T>>`).
+Checks that need structure (balanced parentheses, template argument lists)
+build it locally from this stream.
+
+Token kinds:
+  id       identifiers and keywords
+  num      numeric literals (including 1e-9, 0x1f, 1'000, 1.5f)
+  str      string literals, including raw strings; value keeps the quotes
+  char     character literals
+  punct    operators and punctuation (multi-char operators kept whole,
+           except `>>` which is emitted as two `>` tokens)
+  comment  // and /* */ comments; value keeps the comment markers
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Token", "tokenize"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # id | num | str | char | punct | comment
+    value: str
+    line: int  # 1-based line of the token's first character
+    col: int  # 0-based column of the token's first character
+
+    def __repr__(self) -> str:  # compact for test failure output
+        return f"{self.kind}:{self.value!r}@{self.line}"
+
+
+_ID_START = re.compile(r"[A-Za-z_]")
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# pp-number: digits, digit separators, hex, exponents with signs.
+_NUM_RE = re.compile(r"\.?[0-9](?:[0-9a-zA-Z_'.]|[eEpP][+-])*")
+_RAW_OPEN_RE = re.compile(r'R"([^\s()\\]{0,16})\(')
+
+# Multi-character operators, longest first.  `>>` is deliberately absent so
+# nested template closers tokenize as two `>`.
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "<=>",
+    "::", "->", "++", "--", "<<", "&&", "||", "==", "!=", "<=", ">=",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*", "##",
+]
+
+
+def _scan_string(text: str, i: int, quote: str) -> int:
+    """Index one past the closing quote of the literal starting at i."""
+    n = len(text)
+    j = i + 1
+    while j < n:
+        c = text[j]
+        if c == "\\":
+            j += 2
+            continue
+        if c == quote or c == "\n":  # unterminated literal: stop at newline
+            return j + (1 if c == quote else 0)
+        j += 1
+    return n
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+    line_start = 0
+
+    def advance_lines(segment: str, start: int) -> None:
+        nonlocal line, line_start
+        newlines = segment.count("\n")
+        if newlines:
+            line += newlines
+            line_start = start + segment.rindex("\n") + 1
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        col = i - line_start
+        # Comments.
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            tokens.append(Token("comment", text[i:j], line, col))
+            i = j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            tokens.append(Token("comment", text[i:j], line, col))
+            advance_lines(text[i:j], i)
+            i = j
+            continue
+        # Raw strings: R"delim( ... )delim"  (with optional encoding prefix).
+        m = None
+        for prefix in ("", "u8", "u", "U", "L"):
+            if text.startswith(prefix + "R", i):
+                m = _RAW_OPEN_RE.match(text, i + len(prefix))
+                if m is not None:
+                    break
+        if m is not None:
+            close = ")" + m.group(1) + '"'
+            j = text.find(close, m.end())
+            j = n if j < 0 else j + len(close)
+            tokens.append(Token("str", text[i:j], line, col))
+            advance_lines(text[i:j], i)
+            i = j
+            continue
+        # Identifiers (and string prefixes directly attached to a quote).
+        if _ID_START.match(c):
+            m = _ID_RE.match(text, i)
+            assert m is not None
+            end = m.end()
+            if end < n and text[end] in "\"'" and m.group(0) in (
+                "u8", "u", "U", "L",
+            ):
+                j = _scan_string(text, end, text[end])
+                kind = "str" if text[end] == '"' else "char"
+                tokens.append(Token(kind, text[i:j], line, col))
+                i = j
+                continue
+            tokens.append(Token("id", m.group(0), line, col))
+            i = end
+            continue
+        # Numbers.
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            m = _NUM_RE.match(text, i)
+            assert m is not None
+            tokens.append(Token("num", m.group(0), line, col))
+            i = m.end()
+            continue
+        # Strings and chars.
+        if c == '"' or c == "'":
+            j = _scan_string(text, i, c)
+            tokens.append(
+                Token("str" if c == '"' else "char", text[i:j], line, col)
+            )
+            advance_lines(text[i:j], i)
+            i = j
+            continue
+        # Punctuation.
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line, col))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line, col))
+            i += 1
+    return tokens

@@ -1,0 +1,287 @@
+"""Token-stream structure helpers shared by check plugins."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from lexer import Token
+
+OPENERS = {"(": ")", "[": "]", "{": "}"}
+CLOSERS = {v: k for k, v in OPENERS.items()}
+
+
+def find_matching(tokens: list[Token], i: int) -> int:
+    """Index of the closer matching the opener at `i` (len(tokens) if none)."""
+    opener = tokens[i].value
+    closer = OPENERS[opener]
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j]
+        if t.kind != "punct":
+            continue
+        if t.value == opener:
+            depth += 1
+        elif t.value == closer:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
+
+
+def find_matching_backward(tokens: list[Token], i: int) -> int:
+    """Index of the opener matching the closer at `i` (-1 if none)."""
+    closer = tokens[i].value
+    opener = CLOSERS[closer]
+    depth = 0
+    for j in range(i, -1, -1):
+        t = tokens[j]
+        if t.kind != "punct":
+            continue
+        if t.value == closer:
+            depth += 1
+        elif t.value == opener:
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def skip_template_args(tokens: list[Token], i: int) -> int:
+    """Given index of a `<`, index just past the matching `>`.
+
+    The lexer never emits `>>`, so a plain depth counter is exact for
+    well-formed template argument lists.  Comparison operators inside
+    template arguments (non-type bool arguments) are rare enough to ignore.
+    """
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j]
+        if t.kind != "punct":
+            continue
+        if t.value == "<":
+            depth += 1
+        elif t.value == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return len(tokens)
+
+
+def top_level_commas(tokens: list[Token], open_idx: int) -> int:
+    """Number of depth-1 commas inside the group opened at `open_idx`."""
+    depth = 0
+    commas = 0
+    for j in range(open_idx, len(tokens)):
+        t = tokens[j]
+        if t.kind != "punct":
+            continue
+        if t.value in OPENERS:
+            depth += 1
+        elif t.value in CLOSERS:
+            depth -= 1
+            if depth == 0:
+                return commas
+        elif t.value == "," and depth == 1:
+            commas += 1
+    return commas
+
+
+@dataclass
+class ParallelLambda:
+    """A lambda literal passed to util::parallel_for / parallel_map."""
+
+    call_name: str  # parallel_for | parallel_map
+    call_line: int
+    index_param: str  # name of the lambda's index parameter ('' if none)
+    body_start: int  # token index of the body '{'
+    body_end: int  # token index of the matching '}'
+    locals: set[str] = field(default_factory=set)
+
+
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+# Tokens that may directly precede an identifier in a declaration
+# (`PortTask& t`, `auto it`, `std::vector<X> v`, `Seconds* p`).
+_DECL_PREV = {">", "&", "*", "&&"}
+# Tokens that may directly follow a declared identifier.
+_DECL_NEXT = {"=", "{", ";", "(", ":", ","}
+# Identifier-kind previous tokens that are *not* type names.
+_NON_TYPE_IDS = {
+    "return", "co_return", "co_yield", "throw", "new", "delete", "case",
+    "goto", "else", "do", "in", "not", "and", "or",
+}
+
+
+def collect_locals(tokens: list[Token], start: int, end: int) -> set[str]:
+    """Heuristic set of identifiers declared inside tokens[start:end].
+
+    Recognizes `Type name`, `Type& name`, `auto name`, template-closers
+    (`vector<T> name`), and structured bindings (`auto [a, b]`).  Precision
+    over recall is the wrong tradeoff here: a missed local produces a false
+    positive the author can suppress with a reason, while treating a
+    captured variable as local would silently hide a real hazard — so the
+    follower-token set is kept tight.
+    """
+    out: set[str] = set()
+    j = start
+    while j < end:
+        t = tokens[j]
+        if t.kind == "id" and 0 < j:
+            prev = tokens[j - 1]
+            nxt = tokens[j + 1] if j + 1 < end else None
+            prev_ok = (
+                prev.kind == "id" and prev.value not in _NON_TYPE_IDS
+            ) or (prev.kind == "punct" and prev.value in _DECL_PREV)
+            if (
+                prev_ok
+                and nxt is not None
+                and nxt.kind == "punct"
+                and nxt.value in _DECL_NEXT
+            ):
+                out.add(t.value)
+            # Structured bindings: auto [a, b] = ...; auto& [k, v] : map
+            if t.value == "auto":
+                k = j + 1
+                while (
+                    k < end
+                    and tokens[k].kind == "punct"
+                    and tokens[k].value in ("&", "&&", "*", "const")
+                ):
+                    k += 1
+                if k < end and tokens[k].value == "[":
+                    close = find_matching(tokens, k)
+                    for b in range(k + 1, min(close, end)):
+                        if tokens[b].kind == "id":
+                            out.add(tokens[b].value)
+        j += 1
+    return out
+
+
+def lambda_param_names(tokens: list[Token], open_paren: int) -> list[str]:
+    """Parameter names of a lambda whose parameter list opens at `open_paren`.
+
+    The name of each parameter is the last identifier before a depth-1
+    comma or the closing paren.
+    """
+    close = find_matching(tokens, open_paren)
+    names: list[str] = []
+    depth = 0
+    last_id: str | None = None
+    for j in range(open_paren, close + 1):
+        t = tokens[j]
+        if t.kind == "punct" and t.value in OPENERS:
+            depth += 1
+        elif t.kind == "punct" and t.value in CLOSERS:
+            depth -= 1
+            if depth == 0 and last_id is not None:
+                names.append(last_id)
+        elif depth == 1:
+            if t.kind == "id":
+                last_id = t.value
+            elif t.kind == "punct" and t.value == ",":
+                if last_id is not None:
+                    names.append(last_id)
+                last_id = None
+    return names
+
+
+def find_parallel_lambdas(tokens: list[Token]) -> list[ParallelLambda]:
+    """Lambda literals lexically inside parallel_for / parallel_map calls."""
+    out: list[ParallelLambda] = []
+    for i, t in enumerate(tokens):
+        if t.kind != "id" or t.value not in ("parallel_for", "parallel_map"):
+            continue
+        open_idx = i + 1
+        if open_idx < len(tokens) and tokens[open_idx].value == "<":
+            open_idx = skip_template_args(tokens, open_idx)
+        if open_idx >= len(tokens) or tokens[open_idx].value != "(":
+            continue
+        call_close = find_matching(tokens, open_idx)
+        j = open_idx + 1
+        while j < call_close:
+            if tokens[j].kind == "punct" and tokens[j].value == "[":
+                # Candidate lambda introducer: `[` ... `]` then `(` or `{`.
+                intro_close = find_matching(tokens, j)
+                k = intro_close + 1
+                if k >= call_close:
+                    break
+                params: list[str] = []
+                if tokens[k].value == "(":
+                    params = lambda_param_names(tokens, k)
+                    k = find_matching(tokens, k) + 1
+                while k < call_close and tokens[k].kind == "id":
+                    k += 1  # mutable / noexcept / -> trailing return
+                    # (trailing return types with punctuation are not
+                    # handled; parallel bodies in this codebase do not
+                    # use them)
+                if k < call_close and tokens[k].value == "{":
+                    body_end = find_matching(tokens, k)
+                    lam = ParallelLambda(
+                        call_name=t.value,
+                        call_line=t.line,
+                        index_param=params[-1] if params else "",
+                        body_start=k,
+                        body_end=body_end,
+                    )
+                    lam.locals = collect_locals(tokens, k + 1, body_end)
+                    lam.locals.update(params)
+                    out.append(lam)
+                    j = body_end
+            j += 1
+    return out
+
+
+@dataclass(frozen=True)
+class LhsPath:
+    """Resolved left-hand side of an assignment: root id + slot info."""
+
+    root: str  # leftmost identifier of the access path
+    root_index: int  # token index of the root identifier
+    slot_indexed: bool  # True when the path is root[<index_param>]...
+
+
+def resolve_lhs(tokens: list[Token], op_idx: int, index_param: str) -> LhsPath | None:
+    """Walk backwards from an assignment operator to the access-path root.
+
+    Handles `a = `, `a.b = `, `a->b = `, `a[k].b = `, `a.back() = `,
+    `(*a)[k] = `.  Returns None when the LHS is not an identifier path
+    (e.g. `*fn() = `), which the caller treats as unanalyzable (no report).
+    """
+    j = op_idx - 1
+    root: str | None = None
+    root_index = -1
+    while j >= 0:
+        t = tokens[j]
+        if t.kind == "punct" and t.value in (")", "]"):
+            j = find_matching_backward(tokens, j)
+            if j < 0:
+                return None
+            j -= 1
+            continue
+        if t.kind == "id":
+            root = t.value
+            root_index = j
+            prev = tokens[j - 1] if j > 0 else None
+            if prev is not None and prev.kind == "punct" and prev.value in (
+                ".", "->", "::",
+            ):
+                j -= 2
+                continue
+            break
+        if t.kind == "punct" and t.value in ("*", "&"):
+            j -= 1  # dereference of the path
+            continue
+        return None
+    if root is None:
+        return None
+    slot = False
+    if (
+        index_param
+        and root_index + 3 < len(tokens)
+        and tokens[root_index + 1].value == "["
+        and tokens[root_index + 2].kind == "id"
+        and tokens[root_index + 2].value == index_param
+        and tokens[root_index + 3].value == "]"
+    ):
+        slot = True
+    return LhsPath(root=root, root_index=root_index, slot_indexed=slot)

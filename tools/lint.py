@@ -1,213 +1,24 @@
 #!/usr/bin/env python3
-"""Repo-specific lint checks (no third-party dependencies).
+"""Compatibility shim: tools/lint.py now delegates to tools/hetlint/.
 
-Checks enforced:
-  1. include-root   — every quoted project include is rooted at the repo top
-                      ("src/...", "tests/...", "bench/..."), never relative
-                      ("../util/units.h") or bare ("units.h").
-  2. raw-double     — public headers under src/ must not declare function
-                      parameters as raw `double` when the name denotes a
-                      physical quantity (time, data, or bandwidth); those
-                      must use Seconds / Bits / BitsPerSecond from
-                      src/util/units.h. Dimensionless doubles (beta, ratios,
-                      utilization, ...) stay doubles.
-  3. check-message  — every HETNET_CHECK carries a human-readable message
-                      (second macro argument).
-  4. raw-stream     — library code under src/ must not write to std::cout
-                      or std::cerr: the library reports through return
-                      values, exceptions, and the src/obs/ surfaces, and
-                      callers own the terminal. Benches, tools, examples,
-                      and tests are exempt (they ARE the callers).
+The original single-file linter grew into the hetlint framework (real C++
+token stream, per-check plugins, inline suppressions, --json, baseline).
+This shim keeps `python3 tools/lint.py [paths...]` working for existing CI
+invocations and muscle memory; new flags live on the real entry point:
 
-Usage: tools/lint.py [paths...]      (defaults to src/ tests/ bench/ examples/)
-Exit status 0 when clean, 1 when violations were found.
+    python3 tools/hetlint --help
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_PATHS = ["src", "tests", "bench", "examples"]
-SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+_HETLINT_DIR = str(Path(__file__).resolve().parent / "hetlint")
+if _HETLINT_DIR not in sys.path:
+    sys.path.insert(0, _HETLINT_DIR)
 
-ALLOWED_INCLUDE_ROOTS = ("src/", "tests/", "bench/", "examples/")
-
-# Parameter names that denote a physical quantity and therefore must be a
-# strong unit type in a public (src/) header.
-QUANTITY_NAME = re.compile(
-    r"""^(?:
-        .*_(?:s|ms|us|ns|sec|secs|seconds)   # time suffixes: horizon_s, p_ms
-      | .*(?:time|delay|deadline|interval|horizon|period|lifetime|ttrt
-           |latency|duration|arrival)\w*
-      | .*_(?:bits|bytes|kbits|mbits)        # data suffixes
-      | .*(?:burst|backlog|buffer)\w*
-      | .*(?:rate|capacity|bandwidth|bps)\w*
-    )$""",
-    re.VERBOSE,
-)
-
-# Names that look physical but are legitimately dimensionless or counts.
-QUANTITY_NAME_EXEMPT = re.compile(
-    r"^(?:beta|alpha|ratio|fraction|fill|utilization|u|scale|factor"
-    r"|num_\w+|n_\w+|count\w*|steps?\w*)$"
-)
-
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
-DOUBLE_PARAM_RE = re.compile(r"\bdouble\s+(\w+)\s*[,)=]")
-CHECK_RE = re.compile(r"\bHETNET_CHECK\s*\(")
-RAW_STREAM_RE = re.compile(r"\bstd\s*::\s*(cout|cerr)\b")
-
-
-def strip_comments(text: str) -> str:
-    """Remove // and /* */ comments (keeps line structure for line numbers)."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        if text.startswith("//", i):
-            j = text.find("\n", i)
-            i = n if j < 0 else j
-        elif text.startswith("/*", i):
-            j = text.find("*/", i + 2)
-            seg = text[i : n if j < 0 else j + 2]
-            out.append("\n" * seg.count("\n"))
-            i = n if j < 0 else j + 2
-        elif text[i] in "\"'":
-            quote = text[i]
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            out.append(text[i : j + 1])
-            i = j + 1
-        else:
-            out.append(text[i])
-            i += 1
-    return "".join(out)
-
-
-def check_includes(path: Path, lines: list[str]) -> list[str]:
-    problems = []
-    for lineno, line in enumerate(lines, 1):
-        m = INCLUDE_RE.match(line)
-        if not m:
-            continue
-        target = m.group(1)
-        if not target.startswith(ALLOWED_INCLUDE_ROOTS):
-            problems.append(
-                f"{path}:{lineno}: include-root: \"{target}\" must be "
-                f"rooted at the repo top (src/..., tests/...)"
-            )
-    return problems
-
-
-def balanced_argument_count(text: str, start: int) -> tuple[int, int]:
-    """Given index of '(' in text, return (num_top_level_commas, end_index)."""
-    depth = 0
-    commas = 0
-    i = start
-    while i < len(text):
-        c = text[i]
-        if c in "([{":
-            depth += 1
-        elif c in ")]}":
-            depth -= 1
-            if depth == 0:
-                return commas, i
-        elif c == "," and depth == 1:
-            commas += 1
-        elif c in "\"'":
-            quote = c
-            i += 1
-            while i < len(text) and text[i] != quote:
-                i += 2 if text[i] == "\\" else 1
-        i += 1
-    return commas, len(text)
-
-
-def check_hetnet_check_messages(path: Path, text: str) -> list[str]:
-    if path.name == "check.h":  # the macro's own definition
-        return []
-    problems = []
-    for m in CHECK_RE.finditer(text):
-        open_paren = text.find("(", m.end() - 1)
-        commas, _ = balanced_argument_count(text, open_paren)
-        if commas == 0:
-            lineno = text.count("\n", 0, m.start()) + 1
-            problems.append(
-                f"{path}:{lineno}: check-message: HETNET_CHECK must carry "
-                f"a message explaining the violated invariant"
-            )
-    return problems
-
-
-def check_raw_double_params(path: Path, text: str) -> list[str]:
-    problems = []
-    for m in DOUBLE_PARAM_RE.finditer(text):
-        name = m.group(1)
-        if QUANTITY_NAME_EXEMPT.match(name):
-            continue
-        if QUANTITY_NAME.match(name):
-            lineno = text.count("\n", 0, m.start()) + 1
-            problems.append(
-                f"{path}:{lineno}: raw-double: parameter '{name}' denotes "
-                f"a physical quantity; use Seconds/Bits/BitsPerSecond"
-            )
-    return problems
-
-
-def check_raw_streams(path: Path, text: str) -> list[str]:
-    problems = []
-    for m in RAW_STREAM_RE.finditer(text):
-        lineno = text.count("\n", 0, m.start()) + 1
-        problems.append(
-            f"{path}:{lineno}: raw-stream: library code must not write to "
-            f"std::{m.group(1)}; return data or take an std::ostream& from "
-            f"the caller"
-        )
-    return problems
-
-
-def lint_file(path: Path) -> list[str]:
-    text = path.read_text(encoding="utf-8")
-    stripped = strip_comments(text)
-    rel = path.relative_to(REPO_ROOT)
-    problems = check_includes(rel, stripped.splitlines())
-    problems += check_hetnet_check_messages(rel, stripped)
-    # The raw-double rule applies to the public surface: headers under src/.
-    if path.suffix in {".h", ".hpp"} and rel.parts[0] == "src":
-        problems += check_raw_double_params(rel, stripped)
-    # The raw-stream rule applies to all library code under src/; the fuzz
-    # harness (src/testing/) drives CLIs through explicit std::ostream*
-    # parameters already and stays covered too.
-    if rel.parts[0] == "src":
-        problems += check_raw_streams(rel, stripped)
-    return problems
-
-
-def main(argv: list[str]) -> int:
-    roots = argv[1:] or DEFAULT_PATHS
-    files: list[Path] = []
-    for root in roots:
-        p = (REPO_ROOT / root).resolve()
-        if p.is_file():
-            files.append(p)
-        else:
-            files.extend(
-                f for f in sorted(p.rglob("*")) if f.suffix in SOURCE_SUFFIXES
-            )
-    problems: list[str] = []
-    for f in files:
-        problems.extend(lint_file(f))
-    for problem in problems:
-        print(problem)
-    print(
-        f"lint: {len(files)} files checked, {len(problems)} problem(s)",
-        file=sys.stderr,
-    )
-    return 1 if problems else 0
-
+import cli  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(cli.main(sys.argv[1:]))
