@@ -12,7 +12,11 @@
 // incremental-vs-cold comparison at N ∈ {16, 64} active connections that
 // also checks the two engines produce bit-identical decisions, written as
 // JSON for tools/bench_compare.py (CI gates on the speedup RATIO, which is
-// machine-independent, not on absolute times).
+// machine-independent, not on absolute times). The harness also times a
+// third controller with CacConfig::tiered = false — the same incremental
+// engine minus the Tier-A screen and Tier-B decision memo — and reports
+// tiered_speedup (another in-run ratio CI gates on), the per-tier decision
+// tally, and the p50 of the screen-resolved fresh admissions.
 //
 // `--threads N` additionally times the parallel engine
 // (CacConfig::analysis.threads = N) against the serial cold reference and
@@ -76,14 +80,34 @@ net::ConnectionSpec spec_for(net::ConnectionId id, int src_ring, int index,
 }
 
 // Fills the controller with `n` active connections spread over the rings.
-void preload(core::AdmissionController& cac, int n) {
+// With `tier_a_hist` set, each fresh admission is timed and the ones the
+// Tier-A screen resolved (decision tier screen_admit/screen_reject, read
+// as a per-request counter delta) are recorded — the source of the
+// tier_a_p50_ns figure, measured where screening actually runs: fresh
+// admissions, not memo-replayed steady-state cycles.
+void preload(core::AdmissionController& cac, int n,
+             hetnet::obs::ShardedHistogram* tier_a_hist = nullptr) {
+  const obs::Counter& screen_admit =
+      cac.metrics().counter("cac.tier.screen_admit");
+  const obs::Counter& screen_reject =
+      cac.metrics().counter("cac.tier.screen_reject");
   for (int i = 0; i < n; ++i) {
     const int ring = i % 3;
     const int host = (i / 3) % 4;
+    const std::uint64_t screened_before =
+        screen_admit.value() + screen_reject.value();
+    const auto start = std::chrono::steady_clock::now();
     const auto decision = cac.request(
         spec_for(static_cast<net::ConnectionId>(i + 1), ring, host,
                  (ring + 1) % 3));
+    const auto stop = std::chrono::steady_clock::now();
     HETNET_CHECK(decision.admitted, "bench preload connection must admit");
+    if (tier_a_hist != nullptr &&
+        screen_admit.value() + screen_reject.value() > screened_before) {
+      tier_a_hist->record(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+              .count()));
+    }
   }
 }
 
@@ -171,7 +195,28 @@ struct ComparePoint {
   double cold_ns = 0.0;
   double speedup = 0.0;
   bool decisions_match = false;
-  // --threads N comparison (zeros / trivially true when g_threads == 1).
+  // Tiered-vs-untiered comparison, both on the incremental engine: the
+  // untiered controller runs with CacConfig::tiered = false (the pre-tier
+  // engine), so tiered_speedup isolates what the Tier-A screen + Tier-B
+  // decision memo buy ON TOP of the prefix/port/suffix memos. An in-run
+  // ratio — both sides measured in this process — so it gates cleanly on
+  // any machine.
+  double untiered_ns = 0.0;
+  double tiered_speedup = 0.0;
+  bool tiered_decisions_match = false;
+  // Lifetime decision-tier tally of the tiered controller (preload +
+  // warmup + timed passes; exactly one of the three per request). The
+  // timed steady-state cycles are decision-memo replays (fallback tier),
+  // so the screen share shows up here, in the FRESH admissions.
+  std::uint64_t tier_screen_admit = 0;
+  std::uint64_t tier_screen_reject = 0;
+  std::uint64_t tier_fallback = 0;
+  // p50 latency of the screen-resolved fresh admissions (preload requests
+  // whose decision tier was screen_admit/screen_reject); < 0 when the
+  // screen resolved none (emitted as null).
+  double tier_a_p50_ns = -1.0;
+  // --threads N comparison (zeros / trivially true when g_threads == 1;
+  // emitted as null so bench_compare.py skips the parallel gate cleanly).
   double parallel_cold_ns = 0.0;
   double parallel_speedup = 0.0;
   bool parallel_decisions_match = true;
@@ -239,18 +284,29 @@ ComparePoint compare_at(int active) {
   const net::AbhnTopology topo(net::paper_topology_params());
   core::AdmissionController inc(&topo, bench_config(true));
   core::AdmissionController cold(&topo, bench_config(false));
-  preload(inc, active);
+  // The tiered-speedup reference: same incremental engine, tiering off.
+  core::CacConfig untiered_cfg = bench_config(true);
+  untiered_cfg.tiered = false;
+  core::AdmissionController unt(&topo, untiered_cfg);
+  obs::ShardedHistogram& tier_a_latency =
+      inc.metrics().histogram("cac.tier_a_fresh_latency_ns");
+  preload(inc, active, &tier_a_latency);
   preload(cold, active);
+  preload(unt, active);
 
   ComparePoint point;
   point.active = active;
   const auto spec = probe_spec();
   // Soundness first: the timed decision must be bit-identical across the
-  // two engines (a fast wrong answer must fail the gate).
-  point.decisions_match =
-      decisions_identical(inc.request(spec), cold.request(spec));
+  // three engines (a fast wrong answer must fail the gate).
+  const auto inc_decision = inc.request(spec);
+  point.decisions_match = decisions_identical(inc_decision,
+                                              cold.request(spec));
+  point.tiered_decisions_match =
+      decisions_identical(inc_decision, unt.request(spec));
   inc.release(kProbeId);
   cold.release(kProbeId);
+  unt.release(kProbeId);
 
   // Min-of-3 repetitions: the minimum is the least-noise estimate of the
   // true cost on a busy machine (scheduler preemption and frequency
@@ -272,7 +328,26 @@ ComparePoint compare_at(int active) {
                              mean_request_ns(cold, spec, 0, iters));
   }
   point.speedup = point.cold_ns / point.incremental_ns;
+  point.untiered_ns = mean_request_ns(unt, spec, 2, iters);
+  for (int rep = 0; rep < 2; ++rep) {
+    point.untiered_ns =
+        std::min(point.untiered_ns, mean_request_ns(unt, spec, 0, iters));
+  }
+  point.tiered_speedup = point.untiered_ns / point.incremental_ns;
   const auto inc_after = inc.metrics().counter_snapshot();
+  // Lifetime tier tally (the steady-state cycles above are memo replays;
+  // the screen share lives in the fresh preload admissions).
+  const auto total = [&](const char* name) -> std::uint64_t {
+    const auto it = inc_after.find(name);
+    return it == inc_after.end() ? 0 : it->second;
+  };
+  point.tier_screen_admit = total("cac.tier.screen_admit");
+  point.tier_screen_reject = total("cac.tier.screen_reject");
+  point.tier_fallback = total("cac.tier.fallback");
+  const auto tier_a_hist = tier_a_latency.merged();
+  if (tier_a_hist.count > 0) {
+    point.tier_a_p50_ns = tier_a_hist.quantile_upper(0.5);
+  }
   point.session_port_evals =
       counter_delta(inc_before, inc_after, "cac.session.port_evals");
   point.session_port_hits =
@@ -349,6 +424,17 @@ int run_json(const std::string& path) {
                     points.back().session_suffix_hits),
                 static_cast<unsigned long long>(
                     points.back().session_suffix_evals));
+    std::printf("           untiered=%10.0f ns  tiered_speedup=%5.2fx  "
+                "decisions_match=%s  tiers admit/reject/fallback="
+                "%llu/%llu/%llu  tier_a_p50=%.0f ns\n",
+                points.back().untiered_ns, points.back().tiered_speedup,
+                points.back().tiered_decisions_match ? "yes" : "NO",
+                static_cast<unsigned long long>(
+                    points.back().tier_screen_admit),
+                static_cast<unsigned long long>(
+                    points.back().tier_screen_reject),
+                static_cast<unsigned long long>(points.back().tier_fallback),
+                points.back().tier_a_p50_ns);
     if (g_threads > 1) {
       std::printf("           parallel(%d)=%9.0f ns  parallel_speedup=%5.2fx"
                   "  decisions_match=%s  speculative batches/points=%llu/%llu\n",
@@ -376,10 +462,33 @@ int run_json(const std::string& path) {
         << ", \"cold_ns\": " << static_cast<long long>(p.cold_ns)
         << ", \"speedup\": " << p.speedup
         << ", \"decisions_match\": " << (p.decisions_match ? "true" : "false")
-        << ", \"parallel_cold_ns\": "
-        << static_cast<long long>(p.parallel_cold_ns)
-        << ", \"parallel_speedup\": " << p.parallel_speedup
-        << ", \"parallel_decisions_match\": "
+        << ", \"untiered_ns\": " << static_cast<long long>(p.untiered_ns)
+        << ", \"tiered_speedup\": " << p.tiered_speedup
+        << ", \"tiered_decisions_match\": "
+        << (p.tiered_decisions_match ? "true" : "false")
+        << ", \"screen_admit\": " << p.tier_screen_admit
+        << ", \"screen_reject\": " << p.tier_screen_reject
+        << ", \"fallback\": " << p.tier_fallback << ", \"tier_a_p50_ns\": ";
+    if (p.tier_a_p50_ns >= 0.0) {
+      out << static_cast<long long>(p.tier_a_p50_ns);
+    } else {
+      out << "null";  // the screen resolved no fresh admission at this point
+    }
+    // At --threads 1 the parallel engine never ran: null, not a fake 0,
+    // so bench_compare.py can tell "unmeasured" from "measured as zero".
+    out << ", \"parallel_cold_ns\": ";
+    if (g_threads > 1) {
+      out << static_cast<long long>(p.parallel_cold_ns);
+    } else {
+      out << "null";
+    }
+    out << ", \"parallel_speedup\": ";
+    if (g_threads > 1) {
+      out << p.parallel_speedup;
+    } else {
+      out << "null";
+    }
+    out << ", \"parallel_decisions_match\": "
         << (p.parallel_decisions_match ? "true" : "false")
         << ", \"latency_p50_ns\": " << static_cast<long long>(p.latency_p50_ns)
         << ", \"latency_p99_ns\": " << static_cast<long long>(p.latency_p99_ns)
@@ -398,6 +507,13 @@ int run_json(const std::string& path) {
     if (!p.decisions_match) {
       std::fprintf(stderr,
                    "FAIL: incremental and cold decisions diverge at %d "
+                   "active connections\n",
+                   p.active);
+      return 1;
+    }
+    if (!p.tiered_decisions_match) {
+      std::fprintf(stderr,
+                   "FAIL: tiered and untiered decisions diverge at %d "
                    "active connections\n",
                    p.active);
       return 1;

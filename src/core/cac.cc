@@ -6,7 +6,9 @@
 
 #include "src/obs/explain.h"
 #include "src/obs/span.h"
+#include "src/obs/stopwatch.h"
 #include "src/traffic/fingerprint.h"
+#include "src/traffic/flat.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
 
@@ -36,6 +38,28 @@ void midpoint_subtree(double lo, double hi, int depth,
   midpoint_subtree(mid, hi, depth - 1, out);
 }
 
+// The Tier-A screen analyzer's configuration: the exact engine's settings
+// with a coarser rasterization budget — the screen's entire cost advantage
+// (fewer staircase points in every busy-period scan), bought by letting
+// the screen's bounds deviate a little in EITHER direction, which is why
+// every screen verdict carries CacConfig::screen_margin — and serial
+// execution (screens run inside a request; the exact engine owns the
+// worker pool).
+AnalysisConfig screen_analysis_config(const CacConfig& config) {
+  AnalysisConfig c = config.analysis;
+  c.rasterize_max_points =
+      std::min(c.rasterize_max_points, config.screen_rasterize_max_points);
+  c.threads = 1;
+  return c;
+}
+
+// Margin for the Tier-A reject certificate: a lower bound `lower` on the
+// candidate's delay refutes approx_le(d, deadline) for EVERY d >= lower
+// only if it clears the deadline by more than the kEps tolerance envelope
+// (src/util/units.h). 1e-8 relative+absolute covers kEps = 1e-9 for any
+// second-scale delay with an order of magnitude to spare.
+inline constexpr double kFloorCertMargin = 1e-8;
+
 }  // namespace
 
 // One admission request's evaluation context: the active set plus the
@@ -60,6 +84,29 @@ struct AdmissionController::Probe {
     }
     set.push_back({spec, {}});
     prefixes.emplace_back();
+
+    if (!cac.tiered_active()) return;
+    // Tiered engine: the screen's twin of the instance set, with every
+    // source replaced by its admit-safe flattened (Rounding::kUp) version.
+    // Allocations, routes and deadlines are shared with the exact set, so
+    // a screen delay vector lines up index-for-index with the exact one.
+    owner = &cac;
+    screen_analyzer = &cac.screen_analyzer_;
+    screen_session = &cac.screen_session_;
+    upper_certificates = cac.config_.screen_upper_certificates;
+    margin = cac.config_.screen_margin;
+    screen_set.reserve(set.size());
+    screen_prefixes.reserve(set.size());
+    for (const auto& [id, conn] : cac.active_) {
+      net::ConnectionSpec flat_spec = conn.spec;
+      flat_spec.source = cac.flat_source(conn.spec.source);
+      screen_set.push_back({std::move(flat_spec), conn.alloc});
+      screen_prefixes.push_back(cac.screen_cached_prefix(id, conn));
+    }
+    net::ConnectionSpec flat_cand = spec;
+    flat_cand.source = cac.flat_source(spec.source);
+    screen_set.push_back({std::move(flat_cand), {}});
+    screen_prefixes.emplace_back();
   }
 
   // Evaluates every connection's bound with the candidate allocation in the
@@ -73,14 +120,126 @@ struct AdmissionController::Probe {
         it != speculated.end()) {
       return it->second;
     }
-    HETNET_OBS_SPAN("cac.probe_eval", "cac");
     set.back().alloc = alloc;
     prefixes.back() = candidate_prefix(alloc.h_s);
-    return analyzer->complete(set, prefixes, session);
+    // Tier B: whole-run memo. The digest covers exactly the inputs run()
+    // depends on (see decision_digest), so a hit replays the bit-identical
+    // delay vector the analysis below would have produced.
+    const std::uint64_t digest = owner != nullptr ? decision_digest() : 0;
+    if (owner != nullptr) {
+      if (const std::vector<Seconds>* hit = session->decision_lookup(digest)) {
+        return *hit;
+      }
+    }
+    const std::int64_t t0 = timed ? obs::monotonic_ns() : 0;
+    std::vector<Seconds> fresh;
+    {
+      HETNET_OBS_SPAN("cac.probe_eval", "cac");
+      fresh = analyzer->complete(set, prefixes, session);
+    }
+    if (timed) exact_ns += obs::monotonic_ns() - t0;
+    if (owner != nullptr) session->decision_store(digest, fresh);
+    return fresh;
   }
 
   bool has_eval(const net::Allocation& alloc) const {
     return speculated.find(point_key(alloc)) != speculated.end();
+  }
+
+  // True when eval(alloc) would be served without a fresh joint analysis —
+  // from the per-request speculation cache or the session's decision memo.
+  // Orders the tiers: an available exact vector always beats screening.
+  bool has_cheap_exact(const net::Allocation& alloc) {
+    if (has_eval(alloc)) return true;
+    if (owner == nullptr) return false;
+    set.back().alloc = alloc;
+    prefixes.back() = candidate_prefix(alloc.h_s);
+    return session->decision_contains(decision_digest());
+  }
+
+  // Tier-A reject certificate. The candidate's exact send-prefix delay is a
+  // floating-point-exact lower bound on its end-to-end bound: the analysis
+  // only ever ADDS nonnegative stage delays onto it, and fl(a + b) >= a for
+  // b >= 0 under round-to-nearest. So if even the prefix violates the
+  // candidate's deadline with margin — enough that approx_le cannot forgive
+  // any delay at or above it — the exact evaluation is guaranteed to report
+  // infeasible. An unusable prefix (finite == false) certifies the same
+  // way: the candidate's bound is +infinity.
+  bool floor_infeasible(const net::Allocation& alloc) {
+    const SendPrefix cand = candidate_prefix(alloc.h_s);
+    if (!cand.finite) return true;
+    const double lower = cand.delay.value();
+    const double deadline = set.back().spec.deadline.value();
+    return lower * (1.0 - kFloorCertMargin) > deadline + kFloorCertMargin;
+  }
+
+  // Tier-A admit screen: run the coarse pipeline — flattened kUp sources
+  // through the screen analyzer — and accept only when every connection's
+  // estimated bound is finite and clears its deadline by the configured
+  // margin. The screen certifies ONE direction only. Its ingredients are
+  // all conservative (kUp flattening inflates arrivals, rasterize() and
+  // the MAC-output raster round up), so a clearance with margin to spare
+  // is trustworthy; the margin absorbs the one non-monotone wrinkle — the
+  // busy-period scan samples candidate points from envelope breakpoints,
+  // and a coarser raster can miss the maximizer (measured ~1e-3 relative
+  // undershoot; the default margin of 0.1 leaves two orders of headroom).
+  // A HIGH screen reading certifies nothing: the same kUp inflation that
+  // makes clearance safe can legitimately overshoot the exact bound by
+  // far more than any fixed margin (at small allocations the extra burst
+  // stretches busy periods without limit), so "screen says infeasible"
+  // always falls through to the floor certificate or the exact engine.
+  // Audited by the tiered-equivalence tests and fuzz oracle, with
+  // CacConfig::screen_upper_certificates as the kill switch.
+  bool screen_clearly_feasible(const net::Allocation& alloc) {
+    ++screen_evals;
+    const std::int64_t t0 = timed ? obs::monotonic_ns() : 0;
+    std::vector<Seconds> bounds;
+    {
+      HETNET_OBS_SPAN("cac.screen_eval", "cac");
+      screen_set.back().alloc = alloc;
+      screen_prefixes.back() =
+          owner->compiled_candidate_prefix(true, screen_set.back().spec,
+                                           alloc.h_s);
+      bounds =
+          screen_analyzer->complete(screen_set, screen_prefixes,
+                                    screen_session);
+    }
+    if (timed) screen_ns += obs::monotonic_ns() - t0;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (!isfinite(bounds[i])) return false;
+      const double deadline = set[i].spec.deadline.value();
+      if (!(bounds[i].value() <= deadline * (1.0 - margin))) return false;
+    }
+    return true;
+  }
+
+  // The digest of everything DelayAnalyzer::run() reads from this probe:
+  // per instance (candidate last, matching set order) the route endpoints,
+  // H_R, and the send prefix's (finite, delay bits, at_uplink fingerprint).
+  // spec.id and deadlines are deliberately absent — run() never reads them
+  // (deadlines apply outside, in all_deadlines_met). Must be called with
+  // set.back().alloc and prefixes.back() already holding the probed point.
+  std::uint64_t decision_digest() const {
+    std::uint64_t d = fp::mix(0xDEC151ull);
+    d = fp::combine(d, set.size());
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      const net::ConnectionSpec& s = set[i].spec;
+      const SendPrefix& p = prefixes[i];
+      d = fp::combine(d, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(s.src.ring)));
+      d = fp::combine(d, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(s.src.index)));
+      d = fp::combine(d, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(s.dst.ring)));
+      d = fp::combine(d, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(s.dst.index)));
+      d = fp::combine(d, fp::of_double(set[i].alloc.h_r.value()));
+      d = fp::combine(d, p.finite ? 1 : 0);
+      d = fp::combine(d, fp::of_double(p.delay.value()));
+      d = fp::combine(
+          d, p.at_uplink != nullptr ? p.at_uplink->fingerprint() : 0);
+    }
+    return d;
   }
 
   // Speculative probe batching: evaluates every not-yet-cached point of the
@@ -121,6 +280,13 @@ struct AdmissionController::Probe {
         });
     for (std::size_t k = 0; k < todo.size(); ++k) {
       if (session != nullptr) session->absorb(std::move(overlays[k]));
+      if (owner != nullptr) {
+        // Feed the decision memo too, so a later request probing the same
+        // instance tuple replays the speculated vector without any analysis.
+        set.back().alloc = todo[k];
+        prefixes.back() = todo_prefix[k];
+        session->decision_store(decision_digest(), results[k]);
+      }
       speculated.emplace(point_key(todo[k]), std::move(results[k]));
     }
   }
@@ -136,6 +302,13 @@ struct AdmissionController::Probe {
   SendPrefix candidate_prefix(Seconds h_s) {
     if (session == nullptr) {
       return analyzer->send_prefix(set.back().spec, h_s);
+    }
+    if (owner != nullptr) {
+      // Tiered mode hoists the memo to the controller: the decision digest
+      // folds the prefix's at_uplink fingerprint, and only a CROSS-request
+      // cache returns the same uplink envelope objects (hence fingerprints)
+      // when a later request probes the same (source, route, H_S) point.
+      return owner->compiled_candidate_prefix(false, set.back().spec, h_s);
     }
     const auto [it, inserted] =
         candidate_prefixes.try_emplace(fp::of_double(h_s.value()));
@@ -155,13 +328,29 @@ struct AdmissionController::Probe {
 
   const DelayAnalyzer* analyzer = nullptr;
   AnalysisSession* session = nullptr;
+  // Tiered engine handles (all null/empty unless the owning controller has
+  // tiering active — Probe methods treat `owner == nullptr` as plain mode).
+  const AdmissionController* owner = nullptr;
+  const DelayAnalyzer* screen_analyzer = nullptr;
+  AnalysisSession* screen_session = nullptr;
+  bool upper_certificates = false;
+  double margin = 0.1;
+  // Per-tier wall-clock attribution, captured only when a decision-explain
+  // sink is installed (clock reads are observation-only; see
+  // src/obs/stopwatch.h).
+  bool timed = false;
   // Observation-only tallies, flushed into the controller's metrics
   // registry by whichever entry point owns the probe.
   int evals = 0;
+  int screen_evals = 0;
   int speculative_batches = 0;
   int speculative_points = 0;
+  std::int64_t screen_ns = 0;
+  std::int64_t exact_ns = 0;
   std::vector<ConnectionInstance> set;
   std::vector<SendPrefix> prefixes;
+  std::vector<ConnectionInstance> screen_set;
+  std::vector<SendPrefix> screen_prefixes;
   std::map<std::uint64_t, SendPrefix> candidate_prefixes;
   // Delay vectors from speculative prefetch() batches, keyed by allocation
   // point. Per-request (lives and dies with the Probe).
@@ -170,8 +359,10 @@ struct AdmissionController::Probe {
 
 AdmissionController::AdmissionController(const net::AbhnTopology* topology,
                                          const CacConfig& config)
-    : topology_(topology), config_(config), analyzer_(topology,
-                                                      config.analysis) {
+    : topology_(topology),
+      config_(config),
+      analyzer_(topology, config.analysis),
+      screen_analyzer_(topology, screen_analysis_config(config)) {
   HETNET_CHECK(topology_ != nullptr, "null topology");
   HETNET_CHECK(config_.beta >= 0.0 && config_.beta <= 1.0,
                "β must lie in [0, 1]");
@@ -194,6 +385,12 @@ AdmissionController::AdmissionController(const net::AbhnTopology* topology,
   m_probe_evals_ = &metrics_.counter("cac.probe_evals");
   m_speculative_batches_ = &metrics_.counter("cac.speculative_batches");
   m_speculative_points_ = &metrics_.counter("cac.speculative_points");
+  m_screen_evals_ = &metrics_.counter("cac.screen.evals");
+  m_screen_floor_certs_ = &metrics_.counter("cac.screen.floor_certs");
+  m_screen_upper_certs_ = &metrics_.counter("cac.screen.upper_certs");
+  m_tier_screen_admit_ = &metrics_.counter("cac.tier.screen_admit");
+  m_tier_screen_reject_ = &metrics_.counter("cac.tier.screen_reject");
+  m_tier_fallback_ = &metrics_.counter("cac.tier.fallback");
   metrics_.register_callback(
       "cac.session.port_evals", [this] { return session_.stats().port_evals; });
   metrics_.register_callback(
@@ -203,6 +400,17 @@ AdmissionController::AdmissionController(const net::AbhnTopology* topology,
   });
   metrics_.register_callback("cac.session.suffix_hits", [this] {
     return session_.stats().suffix_hits;
+  });
+  metrics_.register_callback("cac.session.decision_hits", [this] {
+    return session_.stats().decision_hits;
+  });
+  metrics_.register_callback("cac.session.decision_evals", [this] {
+    return session_.stats().decision_evals;
+  });
+  metrics_.register_callback(
+      "cac.session.flat_hits", [this] { return session_.stats().flat_hits; });
+  metrics_.register_callback("cac.session.flat_compiles", [this] {
+    return session_.stats().flat_compiles;
   });
   metrics_.register_callback(
       "cac.active_connections", [this] { return std::uint64_t(active_.size()); });
@@ -259,8 +467,12 @@ AdmissionDecision AdmissionController::request(
       (!intra_ring && h_r_max < config_.h_min_abs)) {
     decision.reason = RejectReason::kNoSyncBandwidth;
     m_rejected_no_bandwidth_->increment();
+    // Ledger arithmetic, not analysis — no tier ever ran. Counted as
+    // fallback so the three tier counters partition cac.requests.
+    m_tier_fallback_->increment();
     if (sink != nullptr) {
       rec.reason = "no_sync_bandwidth";
+      rec.decision_tier = "exact";
       rec.max_avail = decision.max_avail;
       sink->add(std::move(rec));
     }
@@ -268,7 +480,13 @@ AdmissionDecision AdmissionController::request(
   }
 
   Probe probe(*this, spec);
+  probe.timed = sink != nullptr;
   const net::Allocation max_avail{h_s_max, h_r_max};
+  const bool screening = tiered_active();
+  // Tier bookkeeping for this request, flushed into the metrics registry
+  // at the end: how many probes each certificate family resolved.
+  int floor_certs = 0;
+  int upper_certs = 0;
 
   // Explain helpers: the connection whose deadline has the least slack at
   // the evaluated point, and the requester's per-server chain breakdown
@@ -304,18 +522,61 @@ AdmissionDecision AdmissionController::request(
   };
   const auto flush_probe_metrics = [&] {
     m_probe_evals_->add(std::uint64_t(probe.evals));
+    m_screen_evals_->add(std::uint64_t(probe.screen_evals));
+    m_screen_floor_certs_->add(std::uint64_t(floor_certs));
+    m_screen_upper_certs_->add(std::uint64_t(upper_certs));
     m_speculative_batches_->add(std::uint64_t(probe.speculative_batches));
     m_speculative_points_->add(std::uint64_t(probe.speculative_points));
   };
 
   // --- Step 2: Theorem 4 — if max_avail fails, the region is empty. ---
-  const std::vector<Seconds> ref_delays = probe.eval(max_avail);
-  if (!all_deadlines_met(probe.set, ref_delays)) {
+  // Theorem 4 at max_avail fully determines admit vs reject (steps 3–5
+  // only pick the allocation), so this is where Tier A screens the
+  // DECISION. Resolution order: the proven floor certificate (even the
+  // candidate's send-prefix lower bound — an optimistic screen of the full
+  // pipeline — breaks its deadline → reject with ZERO exact evaluations),
+  // then the conservative kUp screen (clears every deadline with margin →
+  // the request is a screen_admit, with exact evaluation left to compute
+  // the allocation VALUES). Anything in between falls through to the exact
+  // test. The screen is skipped when the exact vector is already memoized —
+  // a Tier-B replay is cheaper than any screen. With an explain sink
+  // installed the exact evaluation always runs (observation only — the
+  // record carries real bound/slack/stage data), doubling as a live audit
+  // of whichever certificate fired.
+  bool screen_reject_cert = false;
+  bool screen_admit_cert = false;
+  if (screening && !probe.has_cheap_exact(max_avail)) {
+    if (probe.floor_infeasible(max_avail)) {
+      screen_reject_cert = true;
+      ++floor_certs;
+    } else if (config_.screen_upper_certificates &&
+               probe.screen_clearly_feasible(max_avail)) {
+      screen_admit_cert = true;
+      ++upper_certs;
+    }
+  }
+  if (screen_reject_cert && sink == nullptr) {
     decision.reason = RejectReason::kInfeasible;
     m_rejected_infeasible_->increment();
+    m_tier_screen_reject_->increment();
+    flush_probe_metrics();
+    return decision;
+  }
+  const std::vector<Seconds> ref_delays = probe.eval(max_avail);
+  if (!all_deadlines_met(probe.set, ref_delays)) {
+    HETNET_CHECK(!screen_admit_cert,
+                 "Tier-A screen admit certificate contradicted by the exact "
+                 "Theorem-4 evaluation");
+    decision.reason = RejectReason::kInfeasible;
+    m_rejected_infeasible_->increment();
+    (screen_reject_cert ? m_tier_screen_reject_ : m_tier_fallback_)
+        ->increment();
     flush_probe_metrics();
     if (sink != nullptr) {
       rec.reason = "infeasible";
+      rec.decision_tier = screen_reject_cert ? "screen_reject" : "exact";
+      rec.screen_ns = probe.screen_ns;
+      rec.exact_ns = probe.exact_ns;
       rec.max_avail = decision.max_avail;
       rec.bound = ref_delays.back();
       rec.slack = spec.deadline - rec.bound;
@@ -326,6 +587,9 @@ AdmissionDecision AdmissionController::request(
     }
     return decision;
   }
+  HETNET_CHECK(!screen_reject_cert,
+               "Tier-A reject certificate contradicted by the exact "
+               "Theorem-4 evaluation");
 
   // The allocation line from (H^min_abs, H^min_abs) to max_avail (its H_R
   // coordinate collapses to zero for an intra-ring request).
@@ -362,15 +626,44 @@ AdmissionDecision AdmissionController::request(
     probe.prefetch(points);
   };
 
+  // Step-3 feasibility with Tier-A screening in front. Resolution order per
+  // point: an already-available exact vector (speculation cache or decision
+  // memo) wins outright — replaying it is cheaper than any screen. Otherwise
+  // the optimistic floor certificate can refute feasibility and the
+  // conservative kUp screen can confirm it; each certificate covers ONLY
+  // its own direction (see floor_infeasible / screen_clearly_feasible), so
+  // a point neither resolves — bounds inside the screen's margin band,
+  // exactly the bisection's convergence zone — pays for an exact
+  // evaluation. The certificates agree with the exact predicate (floor:
+  // proven; screen: conservative construction plus margin over the
+  // measured scan deviation, audited by the tiered-equivalence tests and
+  // fuzz oracle), so the bisection TRAJECTORY — hence every decision
+  // output — is bit-identical to the untiered path. Screening is confined
+  // to step 3 deliberately: steps 4–5 need the exact delay VALUES, which
+  // no certificate can supply.
+  const auto feasible_screened = [&](const net::Allocation& alloc) {
+    if (screening && !probe.has_cheap_exact(alloc)) {
+      if (probe.floor_infeasible(alloc)) {
+        ++floor_certs;
+        return false;
+      }
+      if (probe.upper_certificates && probe.screen_clearly_feasible(alloc)) {
+        ++upper_certs;
+        return true;
+      }
+    }
+    return probe.feasible(alloc);
+  };
+
   // --- Step 3: bisect for (H_S^min_need, H_R^min_need). ---
   double lambda_min = 0.0;
-  if (!probe.feasible(lerp(0.0))) {
+  if (!feasible_screened(lerp(0.0))) {
     double lo = 0.0;  // infeasible
     double hi = 1.0;  // feasible (step 2)
     for (int i = 0; i < config_.bisection_iters; ++i) {
       maybe_prefetch(lo, hi, config_.bisection_iters - i);
       const double mid = 0.5 * (lo + hi);
-      const bool ok = probe.feasible(lerp(mid));
+      const bool ok = feasible_screened(lerp(mid));
       if (sink != nullptr) {
         rec.bisection.push_back(
             {obs::ExplainBisectionStep::Phase::kMinNeed, i, mid, ok});
@@ -463,10 +756,21 @@ AdmissionDecision AdmissionController::request(
   decision.alloc = alloc;
   decision.worst_case_delay = final_delays.back();
   m_admitted_->increment();
+  // Tier classification for the admit: screen_admit means the step-2
+  // screen resolved the admit/reject DECISION before any exact Theorem-4
+  // evaluation — the exact engine (and Tier-B memo) only computed the
+  // allocation values. Memo-warm requests skip the screen entirely and
+  // classify as the exact tier; how much of the bisection the screen
+  // absorbed is tracked by the cac.screen.* counters.
+  const bool screen_admit = screen_admit_cert;
+  (screen_admit ? m_tier_screen_admit_ : m_tier_fallback_)->increment();
   flush_probe_metrics();
   if (sink != nullptr) {
     rec.admitted = true;
     rec.reason = "admitted";
+    rec.decision_tier = screen_admit ? "screen_admit" : "exact";
+    rec.screen_ns = probe.screen_ns;
+    rec.exact_ns = probe.exact_ns;
     rec.granted = alloc;
     rec.max_avail = decision.max_avail;
     rec.min_need = decision.min_need;
@@ -508,6 +812,71 @@ void AdmissionController::release(net::ConnectionId id) {
   // fingerprints, so entries the released connection contributed to simply
   // stop being referenced.
   prefix_cache_.erase(id);
+  screen_prefix_cache_.erase(id);
+}
+
+// The candidate connection's admit-safe flattened source (Rounding::kUp),
+// served from the session's FlatCache so every screen that sees the same
+// source fingerprint shares ONE compiled object — pointer-stable sharing
+// keeps the screen session's memo keys identical across requests.
+EnvelopePtr AdmissionController::flat_source(const EnvelopePtr& source) const {
+  const std::uint64_t fp = source->fingerprint();
+  if (EnvelopePtr hit = session_.flat_lookup(fp)) return hit;
+  EnvelopePtr flat = flat_from_envelope(source, config_.screen_horizon,
+                                        config_.screen_max_segments,
+                                        Rounding::kUp);
+  session_.flat_store(fp, flat);
+  return flat;
+}
+
+// The screen twin of cached_prefix(): an active connection's send prefix
+// under the SCREEN analyzer with its flattened source, recompiled only when
+// its H_S changes. Kept separate from the exact cache because the two
+// analyzers rasterize differently — their prefixes must never be conflated.
+const SendPrefix& AdmissionController::screen_cached_prefix(
+    net::ConnectionId id, const net::ActiveConnection& conn) const {
+  auto it = screen_prefix_cache_.find(id);
+  if (it == screen_prefix_cache_.end() || it->second.h_s != conn.alloc.h_s) {
+    net::ConnectionSpec flat_spec = conn.spec;
+    flat_spec.source = flat_source(conn.spec.source);
+    it = screen_prefix_cache_
+             .insert_or_assign(
+                 id,
+                 PrefixCacheEntry{
+                     conn.alloc.h_s,
+                     screen_analyzer_.send_prefix(flat_spec, conn.alloc.h_s)})
+             .first;
+  }
+  return it->second.prefix;
+}
+
+// Cross-request candidate-prefix cache. A send prefix depends only on the
+// source envelope, whether the route stays on one ring, H_S, and which
+// analyzer compiles it (screen vs exact rasterize differently) — NOT on the
+// connection id — so keying on those four makes every request for the same
+// (source, route shape, H_S) point reuse the same SendPrefix object. That
+// sharing is what keeps the decision digest stable across requests: the
+// digest folds the prefix's at_uplink fingerprint, which is per-object for
+// non-structural envelope types.
+const SendPrefix& AdmissionController::compiled_candidate_prefix(
+    bool screen, const net::ConnectionSpec& spec, Seconds h_s) const {
+  const CandidatePrefixKey key{screen, spec.source->fingerprint(),
+                               spec.src.ring == spec.dst.ring,
+                               fp::of_double(h_s.value())};
+  const auto [it, inserted] = candidate_prefix_cache_.try_emplace(key);
+  if (inserted) {
+    if (candidate_prefix_cache_.size() > (std::size_t{1} << 16)) {
+      // Same wholesale backstop as AnalysisSession::trim() — a pure cache,
+      // so dropping it costs recompilation, never correctness.
+      candidate_prefix_cache_.clear();
+      return candidate_prefix_cache_
+          .try_emplace(key, (screen ? screen_analyzer_ : analyzer_)
+                                .send_prefix(spec, h_s))
+          .first->second;
+    }
+    it->second = (screen ? screen_analyzer_ : analyzer_).send_prefix(spec, h_s);
+  }
+  return it->second;
 }
 
 bool AdmissionController::feasible_at(const net::ConnectionSpec& spec,

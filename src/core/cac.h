@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <tuple>
 
 #include "src/core/analyzer.h"
 #include "src/fddi/ledger.h"
@@ -68,6 +69,52 @@ struct CacConfig {
   // and delay vectors are bit-identical to the cold path — disable only for
   // the cold reference in perf comparisons and soundness tests.
   bool incremental = true;
+  // Tiered admission (effective only together with `incremental`; see
+  // DESIGN.md §11). Tier A screens before paying for exact joint analyses,
+  // with one certificate per direction: the optimistic floor screen — the
+  // candidate's exact send-prefix delay, a floating-point lower bound on
+  // its end-to-end bound — refutes feasibility (if even the prefix breaks
+  // the deadline with margin, the exact evaluation cannot pass), and the
+  // conservative kUp screen — a coarse joint analysis over flattened
+  // admit-safe sources (src/traffic/flat.h) — confirms it (every bound
+  // finite and clear of its deadline by screen_margin). A point neither
+  // certificate resolves pays for an exact evaluation. The step-2
+  // Theorem-4 test at max_avail fully determines admit vs reject, so a
+  // certificate there resolves the DECISION at Tier A; the step-3
+  // bisection probes are screened the same way point by point. Tier B
+  // memoizes whole exact delay vectors by instance-tuple digest in the
+  // AnalysisSession, so repeated probes against an unchanged active set
+  // replay instead of re-analyzing. Decisions — admit/reject, allocations,
+  // delay vectors — stay bit-identical to tiered = false
+  // (tests/core/tiered_equivalence_test.cc and the tiered_equivalence fuzz
+  // oracle pin this).
+  bool tiered = true;
+  // Tier-A screen shape: segment budget for the flattened sources, the
+  // screen analyzer's (coarser) rasterization budget, and the flattening
+  // horizon. Looser values make the screen cheaper but certify less.
+  std::size_t screen_max_segments = 24;
+  int screen_rasterize_max_points = 32;
+  Seconds screen_horizon = units::ms(200);
+  // Safety margin of the kUp screen's feasibility certificate, relative to
+  // each connection's deadline: certify only when every screen bound
+  // clears its deadline by this fraction. Every screen ingredient rounds
+  // UP (kUp flattening, rasterize(), the MAC-output raster), so the screen
+  // cannot flatter an infeasible point — except through one wrinkle: the
+  // busy-period scan samples maximizer candidates from envelope
+  // breakpoints, and the coarser screen raster can miss the true maximizer
+  // (measured ~1e-3 relative undershoot on the bench topology). The margin
+  // must exceed that scan deviation for decisions to stay bit-identical;
+  // 0.1 leaves two orders of magnitude, audited by the tiered-equivalence
+  // tests and fuzz oracle. The screen never certifies the REJECT
+  // direction: kUp inflation legitimately overshoots the exact bound
+  // without limit at small allocations, so a high screen reading proves
+  // nothing — rejects come only from the proven floor certificate.
+  double screen_margin = 0.1;
+  // Escape hatch: disables the kUp screen's feasibility certificates
+  // (conservative by construction, but margin-audited rather than proven)
+  // while keeping the proven floor certificate and the Tier-B decision
+  // memo.
+  bool screen_upper_certificates = true;
   // analysis.threads > 1 additionally parallelizes each joint analysis
   // (wave-level port bounding, prefix/suffix fan-out) and, from 3 threads
   // up, speculatively evaluates the bisections' next candidate points
@@ -162,6 +209,30 @@ class AdmissionController {
   const SendPrefix& cached_prefix(net::ConnectionId id,
                                   const net::ActiveConnection& conn) const;
 
+  bool tiered_active() const { return config_.incremental && config_.tiered; }
+
+  // The admit-safe flattened (Rounding::kUp) twin of a source envelope,
+  // compiled once per source fingerprint through the session's FlatCache.
+  EnvelopePtr flat_source(const EnvelopePtr& source) const;
+
+  // screen_cached_prefix is cached_prefix's screen-tier twin: the active
+  // connection's send prefix under the FLATTENED source through the screen
+  // analyzer. Same lifecycle (erased on release, revalidated on H_S drift).
+  const SendPrefix& screen_cached_prefix(
+      net::ConnectionId id, const net::ActiveConnection& conn) const;
+
+  // Cross-request compile cache for CANDIDATE send prefixes, exact and
+  // screen tier both. send_prefix() depends only on (source envelope,
+  // intra-ring?, H_S) plus the analyzer's fixed topology and config, so the
+  // key (screen?, source fingerprint, intra, H_S bits) fully determines the
+  // result; caching it keeps the at_uplink object — and therefore every
+  // downstream memo key and the Tier-B digest — stable across requests.
+  using CandidatePrefixKey =
+      std::tuple<bool, std::uint64_t, bool, std::uint64_t>;
+  const SendPrefix& compiled_candidate_prefix(bool screen,
+                                              const net::ConnectionSpec& spec,
+                                              Seconds h_s) const;
+
   const net::AbhnTopology* topology_;
   CacConfig config_;
   DelayAnalyzer analyzer_;
@@ -180,6 +251,15 @@ class AdmissionController {
   };
   mutable std::map<net::ConnectionId, PrefixCacheEntry> prefix_cache_;
   mutable AnalysisSession session_;
+  // Tier-A screen engine: a second DelayAnalyzer over the same topology
+  // with a coarser AnalysisConfig (serial — screens run inside a request),
+  // its own memo session, and the screen twins of the prefix caches. All
+  // observation-grade state: nothing here ever changes a decision, only
+  // which evaluations get skipped (src/core/cac.cc, feasibility screen).
+  DelayAnalyzer screen_analyzer_;
+  mutable AnalysisSession screen_session_;
+  mutable std::map<net::ConnectionId, PrefixCacheEntry> screen_prefix_cache_;
+  mutable std::map<CandidatePrefixKey, SendPrefix> candidate_prefix_cache_;
   // Observability (src/obs). The registry owns the push counters below and
   // additionally exposes the session memo stats through registered
   // callbacks capturing `this` — the registry member therefore pins the
@@ -194,6 +274,15 @@ class AdmissionController {
   obs::Counter* m_probe_evals_ = nullptr;
   obs::Counter* m_speculative_batches_ = nullptr;
   obs::Counter* m_speculative_points_ = nullptr;
+  // Tier telemetry: per-probe screen outcomes ("cac.screen.*") and the
+  // per-request decision-tier tally ("cac.tier.*" — exactly one increments
+  // per request()).
+  obs::Counter* m_screen_evals_ = nullptr;
+  obs::Counter* m_screen_floor_certs_ = nullptr;
+  obs::Counter* m_screen_upper_certs_ = nullptr;
+  obs::Counter* m_tier_screen_admit_ = nullptr;
+  obs::Counter* m_tier_screen_reject_ = nullptr;
+  obs::Counter* m_tier_fallback_ = nullptr;
 };
 
 }  // namespace hetnet::core

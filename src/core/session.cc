@@ -1,15 +1,49 @@
 #include "src/core/session.h"
 
+#include <utility>
+
 namespace hetnet::core {
+
+const std::vector<Seconds>* AnalysisSession::decision_lookup(
+    std::uint64_t digest) {
+  const auto it = decisions_.find(digest);
+  if (it == decisions_.end()) return nullptr;
+  ++stats_.decision_hits;
+  return &it->second;
+}
+
+void AnalysisSession::decision_store(std::uint64_t digest,
+                                     std::vector<Seconds> delays) {
+  ++stats_.decision_evals;
+  decisions_.insert_or_assign(digest, std::move(delays));
+  trim();
+}
+
+EnvelopePtr AnalysisSession::flat_lookup(std::uint64_t source_fp) {
+  const auto it = flats_.find(source_fp);
+  if (it == flats_.end()) return nullptr;
+  ++stats_.flat_hits;
+  return it->second;
+}
+
+void AnalysisSession::flat_store(std::uint64_t source_fp, EnvelopePtr flat) {
+  ++stats_.flat_compiles;
+  flats_.insert_or_assign(source_fp, std::move(flat));
+  trim();
+}
 
 void AnalysisSession::clear() {
   ports_.clear();
   suffixes_.clear();
+  decisions_.clear();
+  flats_.clear();
 }
 
 void AnalysisSession::trim() {
   if (ports_.size() > kMaxEntries) ports_.clear();
   if (suffixes_.size() > kMaxEntries) suffixes_.clear();
+  if (decisions_.size() > kMaxEntries) decisions_.clear();
+  if (flats_.size() > kMaxEntries) flats_.clear();
 }
 
 void AnalysisSession::absorb(AnalysisSession&& overlay) {
@@ -17,10 +51,16 @@ void AnalysisSession::absorb(AnalysisSession&& overlay) {
   // bit-identical by the fingerprint contract, so either choice is sound.
   ports_.merge(overlay.ports_);
   suffixes_.merge(overlay.suffixes_);
+  decisions_.merge(overlay.decisions_);
+  flats_.merge(overlay.flats_);
   stats_.port_evals += overlay.stats_.port_evals;
   stats_.port_hits += overlay.stats_.port_hits;
   stats_.suffix_evals += overlay.stats_.suffix_evals;
   stats_.suffix_hits += overlay.stats_.suffix_hits;
+  stats_.decision_hits += overlay.stats_.decision_hits;
+  stats_.decision_evals += overlay.stats_.decision_evals;
+  stats_.flat_hits += overlay.stats_.flat_hits;
+  stats_.flat_compiles += overlay.stats_.flat_compiles;
   trim();
 }
 

@@ -56,9 +56,43 @@ class AnalysisSession {
     std::uint64_t port_hits = 0;     // ports served from the memo
     std::uint64_t suffix_evals = 0;  // receive suffixes walked from scratch
     std::uint64_t suffix_hits = 0;   // suffixes served from the memo
+    std::uint64_t decision_hits = 0;   // joint delay vectors served whole
+    std::uint64_t decision_evals = 0;  // joint delay vectors stored fresh
+    std::uint64_t flat_hits = 0;       // flattened sources served from cache
+    std::uint64_t flat_compiles = 0;   // flattened sources compiled fresh
   };
 
   const Stats& stats() const { return stats_; }
+
+  // --- Tier-B decision memo (src/core/cac.cc) -----------------------------
+  //
+  // A whole joint-analysis result, keyed by a digest over the ordered
+  // per-instance tuples (src, dst, H_R, send-prefix delay/finiteness, and
+  // the fingerprint of the envelope entering the uplink). DelayAnalyzer::
+  // run() depends on exactly those inputs (spec.id and the deadline are
+  // applied OUTSIDE the analysis), so a hit replays the bit-identical delay
+  // vector a fresh run would produce. Unlike the port/suffix tables the key
+  // is a single folded hash, not the full tuple sequence — the collision
+  // channel is the same 64-bit fingerprint layer the other tables already
+  // stand on. Returns nullptr on miss; stored vectors are invalidated only
+  // by the wholesale trim()/clear(), like every other memo here.
+  const std::vector<Seconds>* decision_lookup(std::uint64_t digest);
+  void decision_store(std::uint64_t digest, std::vector<Seconds> delays);
+  // Membership peek that leaves the hit counters untouched — used to order
+  // the tiers (a memoized exact vector beats running the screen at all).
+  bool decision_contains(std::uint64_t digest) const {
+    return decisions_.contains(digest);
+  }
+
+  // --- Tier-A FlatCache (src/core/cac.cc) ---------------------------------
+  //
+  // Flattened admit-safe source envelopes (src/traffic/flat.h), compiled
+  // once per source fingerprint and shared by every later screen that sees
+  // the same source. Returning the SAME object on a hit keeps the screen
+  // session's own memo keys stable (the flat envelope's fingerprint is
+  // structural, but pointer-stable sharing avoids even the recompaction).
+  EnvelopePtr flat_lookup(std::uint64_t source_fp);
+  void flat_store(std::uint64_t source_fp, EnvelopePtr flat);
 
   // Drops all memoized results (keeps the counters).
   void clear();
@@ -69,7 +103,10 @@ class AnalysisSession {
   // the size bound is re-applied.
   void absorb(AnalysisSession&& overlay);
 
-  std::size_t size() const { return ports_.size() + suffixes_.size(); }
+  std::size_t size() const {
+    return ports_.size() + suffixes_.size() + decisions_.size() +
+           flats_.size();
+  }
 
  private:
   friend class DelayAnalyzer;
@@ -107,6 +144,11 @@ class AnalysisSession {
 
   std::map<PortKey, PortEntry> ports_;
   std::map<SuffixKey, SuffixEntry> suffixes_;
+  // Tier machinery (see the public accessors above): whole-run delay
+  // vectors by instance-tuple digest, and flattened screen sources by
+  // source fingerprint.
+  std::map<std::uint64_t, std::vector<Seconds>> decisions_;
+  std::map<std::uint64_t, EnvelopePtr> flats_;
   Stats stats_;
 };
 

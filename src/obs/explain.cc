@@ -140,6 +140,10 @@ void write_ndjson_record(std::ostream& out, const ExplainRecord& r) {
   out << ",\"binding_conn\":" << r.binding_conn << ",\"binding_slack_s\":";
   write_double(out, r.binding_slack.value());
 
+  out << ",\"decision_tier\":";
+  write_string(out, r.decision_tier);
+  out << ",\"screen_ns\":" << r.screen_ns << ",\"exact_ns\":" << r.exact_ns;
+
   out << "}\n";
 }
 

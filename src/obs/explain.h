@@ -74,6 +74,19 @@ struct ExplainRecord {
   int probe_evals = 0;  // joint-analysis evaluations this request consumed
   std::vector<ExplainBisectionStep> bisection;
 
+  // Which admission tier resolved the request (src/core/cac.cc):
+  // "screen_admit" — every step-3 feasibility probe was certificate-
+  // resolved; "screen_reject" — the Tier-A floor certificate refuted
+  // Theorem 4 outright; "exact" — the exact engine (or its decision memo)
+  // produced the decision. Empty for records that never reached the CAC.
+  std::string decision_tier;
+  // Wall-clock attribution per tier, nanoseconds (observation-only;
+  // captured only while a sink is installed, so explain-off runs read no
+  // clocks). screen_ns covers Tier-A upper-screen evaluations, exact_ns
+  // the fresh exact joint analyses. Memo/speculation replays cost neither.
+  std::int64_t screen_ns = 0;
+  std::int64_t exact_ns = 0;
+
   // Requester's per-server breakdown at the reported bound (empty when
   // the bound is unbounded or the request never reached analysis).
   std::vector<ExplainStage> stages;

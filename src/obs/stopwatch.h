@@ -1,0 +1,23 @@
+// Monotonic nanosecond stamps for observation-only timing.
+//
+// Decision code must never branch on wall-clock readings — the
+// nondeterminism-source hetlint check bans clock access outside util/rng
+// and src/obs for exactly that reason. Code that wants to ATTRIBUTE time
+// (per-tier latency in decision-explain records, bench classification)
+// takes stamps through this header instead: the readings flow only into
+// observation surfaces, and keeping the clock call here keeps the lint
+// boundary honest.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hetnet::obs {
+
+inline std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace hetnet::obs

@@ -411,6 +411,51 @@ OracleResult check_parallel_equivalence(const FuzzScenario& s) {
   return result;
 }
 
+OracleResult check_tiered_equivalence(const FuzzScenario& s) {
+  // PR-7 contract: the tiered admission path — Tier-A floor / kUp-screen
+  // certificates plus the Tier-B decision memo — must produce bit-identical
+  // admission decisions to the untiered incremental engine. The screen's
+  // admit certificates rest on a margin over a measured deviation (see
+  // CacConfig::screen_margin), so this oracle is the adversarial audit of
+  // that margin across generated topologies, TTRTs, β values, and churn.
+  // Replayed at 1 and 8 threads: speculative bisection batching prefetches
+  // into the same decision memo the tiers read, so the combination gets
+  // its own coverage.
+  OracleResult result{"tiered_equivalence", true, ""};
+  const net::AbhnTopology topo(topology_params(s));
+  for (const int threads : {1, 8}) {
+    core::CacConfig on = cac_config(s, true);
+    on.tiered = true;
+    on.analysis.threads = threads;
+    core::CacConfig off = on;
+    off.tiered = false;
+    core::AdmissionController tiered(&topo, on);
+    core::AdmissionController untiered(&topo, off);
+    const Replay ref = replay_ops(s, &untiered);
+    const Replay got = replay_ops(s, &tiered);
+    const std::string label = fmt("tiered(%d)", threads);
+    const std::string diff = compare_replays(ref, got, label.c_str());
+    if (!diff.empty()) {
+      result.ok = false;
+      result.detail = diff;
+      return result;
+    }
+    for (int ring = 0; ring < s.num_rings; ++ring) {
+      if (val(untiered.ledger(ring).allocated()) !=
+          val(tiered.ledger(ring).allocated())) {
+        result.ok = false;
+        result.detail =
+            fmt("ring %d: ledger divergence between untiered and tiered "
+                "engines at %d threads (%.17g s vs %.17g s)",
+                ring, threads, val(untiered.ledger(ring).allocated()),
+                val(tiered.ledger(ring).allocated()));
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
 OracleResult check_algebra_invariants(const FuzzScenario& s) {
   OracleResult result{"algebra_invariants", true, ""};
   Rng rng(s.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -499,6 +544,7 @@ std::vector<OracleResult> run_all_oracles(const FuzzScenario& scenario,
       run_oracle("incremental_equivalence", scenario, options),
       run_oracle("line_monotonicity", scenario, options),
       run_oracle("parallel_equivalence", scenario, options),
+      run_oracle("tiered_equivalence", scenario, options),
       run_oracle("algebra_invariants", scenario, options),
   };
 }
@@ -517,6 +563,7 @@ OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
       : name == "incremental_equivalence" ? "fuzz.incremental_equivalence"
       : name == "line_monotonicity"       ? "fuzz.line_monotonicity"
       : name == "parallel_equivalence"    ? "fuzz.parallel_equivalence"
+      : name == "tiered_equivalence"      ? "fuzz.tiered_equivalence"
       : name == "algebra_invariants"      ? "fuzz.algebra_invariants"
                                           : "fuzz.oracle";
   HETNET_OBS_SPAN_NAMED(span, span_name, "fuzz");
@@ -533,6 +580,9 @@ OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
     }
     if (name == "parallel_equivalence") {
       return check_parallel_equivalence(scenario);
+    }
+    if (name == "tiered_equivalence") {
+      return check_tiered_equivalence(scenario);
     }
     if (name == "algebra_invariants") {
       return check_algebra_invariants(scenario);

@@ -1,4 +1,4 @@
-// The five soundness oracles of the differential fuzzer.
+// The six soundness oracles of the differential fuzzer.
 //
 // Each oracle takes a scenario, rebuilds the system from scratch, and
 // checks one property the reproduction's claims rest on:
@@ -33,6 +33,14 @@
 //                            batching) yields bit-identical decisions,
 //                            allocations, delay bounds, anchors, and
 //                            ledgers to the serial engine.
+//   tiered_equivalence     — PR-7 contract: replaying the admit/release
+//                            sequence with the tiered admission path
+//                            (Tier-A floor / kUp-screen certificates +
+//                            Tier-B decision memo) at 1 and 8 threads
+//                            yields bit-identical decisions, allocations,
+//                            delay bounds, anchors, and ledgers to the
+//                            untiered incremental engine — the adversarial
+//                            audit of CacConfig::screen_margin.
 //   algebra_invariants     — traffic algebra: every source envelope is
 //                            monotone, subadditive (Γ's defining property),
 //                            and leaky-bucket majorized by
@@ -42,7 +50,7 @@
 //
 // Oracles never throw on a property violation — they return ok = false
 // with a human-readable detail string (exceptions are reserved for broken
-// preconditions, which the fuzzer reports as violations of a fifth kind,
+// preconditions, which the fuzzer reports as violations of a seventh kind,
 // "crash").
 #pragma once
 
@@ -75,17 +83,18 @@ OracleResult check_bound_soundness(const FuzzScenario& scenario,
 OracleResult check_incremental_equivalence(const FuzzScenario& scenario);
 OracleResult check_line_monotonicity(const FuzzScenario& scenario);
 OracleResult check_parallel_equivalence(const FuzzScenario& scenario);
+OracleResult check_tiered_equivalence(const FuzzScenario& scenario);
 OracleResult check_algebra_invariants(const FuzzScenario& scenario);
 
-// Runs all five; a thrown std::exception inside an oracle is converted into
+// Runs all six; a thrown std::exception inside an oracle is converted into
 // a failing result whose detail carries the what() text.
 std::vector<OracleResult> run_all_oracles(const FuzzScenario& scenario,
                                           const OracleOptions& options = {});
 
 // Runs one oracle by name ("bound_soundness", "incremental_equivalence",
-// "line_monotonicity", "parallel_equivalence", "algebra_invariants"), with
-// the same exception conversion. Used by the shrinker to re-check the
-// failure it is chasing.
+// "line_monotonicity", "parallel_equivalence", "tiered_equivalence",
+// "algebra_invariants"), with the same exception conversion. Used by the
+// shrinker to re-check the failure it is chasing.
 OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
                         const OracleOptions& options = {});
 

@@ -1,0 +1,439 @@
+#include "src/traffic/flat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+namespace {
+
+// Directed pad: moves a chord value strictly past the source by enough to
+// absorb the floating-point rounding of the chord arithmetic (see kFlatPadRel
+// in flat.h). Only rounded constructions pad; the exact kernels do not.
+// kDown clamps at zero: a steep merged chord can start below zero while
+// still lower-bounding the (nonnegative) source, and raising it to zero
+// keeps it a lower bound while satisfying the envelope contract.
+Bits directed_pad(Bits v, Rounding rounding) {
+  const double margin = kFlatPadRel * std::max(1.0, std::abs(v.value()));
+  return rounding == Rounding::kUp ? Bits(v.value() + margin)
+                                   : Bits(std::max(0.0, v.value() - margin));
+}
+
+// One compacted run of step samples, as an affine segment.
+struct Chord {
+  Seconds start;
+  Bits value;
+  BitsPerSecond slope;
+};
+
+// The chord covering steps i..j (inclusive), where step k holds the constant
+// value u[k] on [x[k], x[k+1]). kUp chords dominate every covered step
+// (minimum of an increasing chord over a step is at the step's left edge);
+// kDown chords stay below every covered step (maximum is at the right edge).
+Chord chord_for(const std::vector<Seconds>& x, const std::vector<Bits>& u,
+                std::size_t i, std::size_t j, Rounding rounding) {
+  Chord c;
+  c.start = x[i];
+  if (i == j) {
+    // A single step is reproduced exactly — no arithmetic, no pad needed.
+    c.value = u[i];
+    c.slope = BitsPerSecond{};
+    return c;
+  }
+  const BitsPerSecond s = std::max(
+      BitsPerSecond{}, (u[j] - u[i]) / (x[j] - x[i]));
+  c.slope = s;
+  if (rounding == Rounding::kUp) {
+    Bits v = u[i];
+    for (std::size_t k = i; k <= j; ++k) {
+      v = std::max(v, u[k] - s * (x[k] - x[i]));
+    }
+    c.value = directed_pad(v, Rounding::kUp);
+  } else {
+    Bits v = u[i];
+    for (std::size_t k = i; k <= j; ++k) {
+      v = std::min(v, u[k] - s * (x[k + 1] - x[i]));
+    }
+    c.value = directed_pad(v, Rounding::kDown);
+  }
+  return c;
+}
+
+// Absolute area between the chord over steps i..j and the steps themselves:
+// the tightness lost by merging, used as the greedy merge cost.
+double chord_cost(const std::vector<Seconds>& x, const std::vector<Bits>& u,
+                  std::size_t i, std::size_t j, Rounding rounding) {
+  const Chord c = chord_for(x, u, i, j, rounding);
+  double cost = 0.0;
+  for (std::size_t k = i; k <= j; ++k) {
+    const Bits at_left = c.value + c.slope * (x[k] - c.start);
+    const Bits at_right = c.value + c.slope * (x[k + 1] - c.start);
+    const double mid = 0.5 * (at_left.value() + at_right.value());
+    cost += std::abs(mid - u[k].value()) * (x[k + 1] - x[k]).value();
+  }
+  return cost;
+}
+
+}  // namespace
+
+FlatEnvelope::FlatEnvelope(std::vector<Seconds> starts,
+                           std::vector<Bits> values,
+                           std::vector<BitsPerSecond> slopes)
+    : starts_(std::move(starts)),
+      values_(std::move(values)),
+      slopes_(std::move(slopes)) {
+  HETNET_CHECK(!starts_.empty(), "flat envelope needs at least one segment");
+  HETNET_CHECK(
+      starts_.size() == values_.size() && starts_.size() == slopes_.size(),
+      "flat envelope segment arrays must have equal size");
+  HETNET_CHECK(starts_.front() == 0.0, "flat envelope must start at I = 0");
+  HETNET_CHECK(values_.front() >= 0, "flat envelope values must be >= 0");
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    HETNET_CHECK(slopes_[i] >= 0, "flat envelope slopes must be >= 0");
+    if (i == 0) continue;
+    HETNET_CHECK(starts_[i] > starts_[i - 1],
+                 "flat envelope starts must be strictly increasing");
+    // Keep the envelope nondecreasing across segment boundaries: upward
+    // jumps are fine, an ulp-level dip from chord arithmetic is clamped up.
+    const Bits prev_end =
+        values_[i - 1] + slopes_[i - 1] * (starts_[i] - starts_[i - 1]);
+    if (values_[i] < prev_end) values_[i] = prev_end;
+  }
+
+  // Leaky-bucket majorization A(I) <= burst_bound + tail*I: value - tail*I
+  // is affine within each segment, so its maximum is at a segment endpoint.
+  const BitsPerSecond tail = slopes_.back();
+  Bits b = values_.front();
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    b = std::max(b, values_[i] - tail * starts_[i]);
+    if (i + 1 < starts_.size()) {
+      const Bits end =
+          values_[i] + slopes_[i] * (starts_[i + 1] - starts_[i]);
+      b = std::max(b, end - tail * starts_[i + 1]);
+    }
+  }
+  burst_bound_ = b;
+
+  std::uint64_t f = fp::mix(0xF1A7E57ull);  // "FLATEST": structural tag
+  f = fp::combine(f, starts_.size());
+  for (const Seconds s : starts_) f = fp::combine(f, fp::of_double(s.value()));
+  for (const Bits v : values_) f = fp::combine(f, fp::of_double(v.value()));
+  for (const BitsPerSecond s : slopes_) {
+    f = fp::combine(f, fp::of_double(s.value()));
+  }
+  fp_ = f;
+}
+
+std::size_t FlatEnvelope::segment_index(Seconds interval) const {
+  if (interval >= starts_.back()) return starts_.size() - 1;
+  const auto it =
+      std::upper_bound(starts_.begin(), starts_.end(), interval);
+  return static_cast<std::size_t>(it - starts_.begin()) - 1;
+}
+
+Bits FlatEnvelope::bits(Seconds interval) const {
+  HETNET_CHECK(interval >= 0, "bits(I) requires I >= 0");
+  const std::size_t k = segment_index(interval);
+  return values_[k] + slopes_[k] * (interval - starts_[k]);
+}
+
+BitsPerSecond FlatEnvelope::slope_at(Seconds interval) const {
+  HETNET_CHECK(interval >= 0, "slope_at(I) requires I >= 0");
+  return slopes_[segment_index(interval)];
+}
+
+std::vector<Seconds> FlatEnvelope::breakpoints(Seconds horizon) const {
+  std::vector<Seconds> pts;
+  for (std::size_t i = 1; i < starts_.size(); ++i) {
+    if (starts_[i] > horizon) break;
+    pts.push_back(starts_[i]);
+  }
+  return pts;
+}
+
+std::string FlatEnvelope::describe() const {
+  std::ostringstream os;
+  os << "flat(" << starts_.size() << " segs, tail=" << slopes_.back()
+     << "b/s)";
+  return os.str();
+}
+
+FlatPtr flat_from_envelope(const EnvelopePtr& src, Seconds horizon,
+                           std::size_t max_segments, Rounding rounding) {
+  HETNET_CHECK(src != nullptr, "null envelope");
+  HETNET_CHECK(horizon > 0, "flatten horizon must be positive");
+  HETNET_CHECK(max_segments >= 4, "flatten needs at least four segments");
+  const Bits burst = src->burst_bound();
+  HETNET_CHECK(isfinite(burst),
+               "cannot flatten an envelope without a finite burst bound");
+  const BitsPerSecond rate = src->long_term_rate();
+
+  std::vector<Seconds> xs{Seconds{}};
+  for (const Seconds b : src->breakpoints(horizon)) {
+    if (b > xs.back() && b <= horizon) xs.push_back(b);
+  }
+  if (xs.back() < horizon) xs.push_back(horizon);
+  // Stride-thin pathological breakpoint sets before sampling. Keeping only
+  // group-boundary points is sound for both roundings: kUp steps take the
+  // value at the surviving right end (>= everything dropped inside the
+  // group), kDown steps keep the surviving left end (<= everything inside).
+  constexpr std::size_t kMaxRawSamples = 512;
+  if (xs.size() > kMaxRawSamples) {
+    std::vector<Seconds> thin;
+    thin.reserve(kMaxRawSamples + 1);
+    const std::size_t stride =
+        (xs.size() + kMaxRawSamples - 1) / kMaxRawSamples;
+    for (std::size_t i = 0; i < xs.size(); i += stride) thin.push_back(xs[i]);
+    if (thin.back() < xs.back()) thin.push_back(xs.back());
+    xs = std::move(thin);
+  }
+
+  std::vector<Bits> sample(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) sample[i] = src->bits(xs[i]);
+
+  // Step view: step k covers [xs[k], xs[k+1]). kUp takes the right-end value
+  // (>= A on the step by monotonicity — exact, no arithmetic), kDown the
+  // left-end value (<= A on the step).
+  const std::size_t n_steps = xs.size() - 1;
+  std::vector<Bits> u(n_steps);
+  for (std::size_t k = 0; k < n_steps; ++k) {
+    u[k] = rounding == Rounding::kUp ? sample[k + 1] : sample[k];
+  }
+
+  // Greedy compaction to the budget (one slot reserved for the tail):
+  // repeatedly merge the adjacent run pair whose chord loses the least area.
+  const std::size_t budget = std::max<std::size_t>(max_segments - 1, 1);
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  runs.reserve(n_steps);
+  for (std::size_t k = 0; k < n_steps; ++k) runs.push_back({k, k});
+  std::vector<double> pair_cost;
+  if (runs.size() > budget) {
+    pair_cost.resize(runs.size() - 1);
+    for (std::size_t r = 0; r + 1 < runs.size(); ++r) {
+      pair_cost[r] =
+          chord_cost(xs, u, runs[r].first, runs[r + 1].second, rounding);
+    }
+  }
+  while (runs.size() > budget) {
+    std::size_t best = 0;
+    for (std::size_t r = 1; r + 1 < runs.size(); ++r) {
+      if (pair_cost[r] < pair_cost[best]) best = r;
+    }
+    runs[best].second = runs[best + 1].second;
+    runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+    pair_cost.erase(pair_cost.begin() + static_cast<std::ptrdiff_t>(best));
+    if (best > 0) {
+      pair_cost[best - 1] = chord_cost(xs, u, runs[best - 1].first,
+                                       runs[best].second, rounding);
+    }
+    if (best + 1 < runs.size()) {
+      pair_cost[best] = chord_cost(xs, u, runs[best].first,
+                                   runs[best + 1].second, rounding);
+    }
+  }
+
+  std::vector<Seconds> starts;
+  std::vector<Bits> values;
+  std::vector<BitsPerSecond> slopes;
+  starts.reserve(runs.size() + 1);
+  values.reserve(runs.size() + 1);
+  slopes.reserve(runs.size() + 1);
+  for (const auto& [i, j] : runs) {
+    const Chord c = chord_for(xs, u, i, j, rounding);
+    starts.push_back(c.start);
+    values.push_back(c.value);
+    slopes.push_back(c.slope);
+  }
+  // Tail from the horizon on. kUp: the source's leaky-bucket majorization
+  // burst + rate*I holds for every I, so a segment at that line (or the
+  // horizon sample, whichever is higher) with slope `rate` stays an upper
+  // bound forever. kDown: monotonicity only gives A(I) >= A(horizon); the
+  // flat continuation is the strongest lower tail derivable from the
+  // interface (see flat.h).
+  starts.push_back(xs.back());
+  if (rounding == Rounding::kUp) {
+    values.push_back(directed_pad(
+        std::max(sample.back(), burst + rate * xs.back()), Rounding::kUp));
+    slopes.push_back(rate);
+  } else {
+    values.push_back(directed_pad(sample.back(), Rounding::kDown));
+    slopes.push_back(BitsPerSecond{});
+  }
+  if (rounding == Rounding::kDown) {
+    // The constructor clamps a segment value UP to the previous segment's
+    // floating-point end when it dips below — sound for kUp, but for kDown
+    // the cascade can erase the directed pads and push the envelope a few
+    // ulps above the source at jump breakpoints. Restore monotonicity the
+    // safe direction instead: lower the previous slope until its evaluated
+    // end (the exact expression the constructor checks) stops exceeding the
+    // next padded value. Lowering never breaks a lower bound, and any
+    // residual clamp target is then values[i-1] <= A(x[i-1]) <= A(x[i]).
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+      const Seconds span = starts[i] - starts[i - 1];
+      if (values[i - 1] + slopes[i - 1] * span <= values[i]) continue;
+      BitsPerSecond s = std::max(
+          BitsPerSecond{}, (values[i] - values[i - 1]) / span);
+      while (s > 0 && values[i - 1] + s * span > values[i]) {
+        s = BitsPerSecond{std::nextafter(s.value(), 0.0)};
+      }
+      slopes[i - 1] = s;
+    }
+  }
+  return std::make_shared<FlatEnvelope>(std::move(starts), std::move(values),
+                                        std::move(slopes));
+}
+
+namespace {
+
+// Union of the operands' segment starts (exact double identity — all starts
+// are exact stored values, so duplicates collapse bit-for-bit).
+std::vector<Seconds> merged_starts(
+    const std::vector<const FlatEnvelope*>& parts) {
+  std::vector<Seconds> all;
+  for (const FlatEnvelope* p : parts) {
+    all.insert(all.end(), p->starts().begin(), p->starts().end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+}  // namespace
+
+FlatPtr flat_sum(const std::vector<FlatPtr>& parts) {
+  HETNET_CHECK(!parts.empty(), "flat_sum needs at least one part");
+  std::vector<const FlatEnvelope*> raw;
+  raw.reserve(parts.size());
+  for (const FlatPtr& p : parts) {
+    HETNET_CHECK(p != nullptr, "null envelope");
+    raw.push_back(p.get());
+  }
+  const std::vector<Seconds> xs = merged_starts(raw);
+  std::vector<Bits> values(xs.size());
+  std::vector<BitsPerSecond> slopes(xs.size());
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    Bits v{};
+    BitsPerSecond s{};
+    for (const FlatEnvelope* p : raw) {
+      v += p->bits(xs[k]);
+      s += p->slope_at(xs[k]);
+    }
+    values[k] = v;
+    slopes[k] = s;
+  }
+  return std::make_shared<FlatEnvelope>(xs, std::move(values),
+                                        std::move(slopes));
+}
+
+FlatPtr flat_min(const FlatPtr& a, const FlatPtr& b) {
+  HETNET_CHECK(a != nullptr && b != nullptr, "null envelope");
+  const std::vector<Seconds> xs = merged_starts({a.get(), b.get()});
+  std::vector<Seconds> starts;
+  std::vector<Bits> values;
+  std::vector<BitsPerSecond> slopes;
+  starts.reserve(xs.size() + 4);
+  values.reserve(xs.size() + 4);
+  slopes.reserve(xs.size() + 4);
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    const Seconds x = xs[k];
+    const Seconds x_next =
+        k + 1 < xs.size() ? xs[k + 1] : Seconds::infinity();
+    const Bits va = a->bits(x);
+    const Bits vb = b->bits(x);
+    const BitsPerSecond sa = a->slope_at(x);
+    const BitsPerSecond sb = b->slope_at(x);
+    const bool a_low = va < vb || (va == vb && sa <= sb);
+    starts.push_back(x);
+    values.push_back(a_low ? va : vb);
+    slopes.push_back(a_low ? sa : sb);
+    // Both operands are affine until x_next; insert the crossing if the
+    // currently-higher line dips below before then.
+    const Bits gap = a_low ? vb - va : va - vb;          // >= 0
+    const BitsPerSecond closing = a_low ? sa - sb : sb - sa;
+    if (closing > 0 && gap > 0) {
+      const Seconds dt = gap / closing;
+      if (x + dt > x && x + dt < x_next) {
+        const Bits vc =
+            (a_low ? vb : va) + (a_low ? sb : sa) * dt;  // the lower line now
+        starts.push_back(x + dt);
+        values.push_back(vc);
+        slopes.push_back(a_low ? sb : sa);
+      }
+    }
+  }
+  return std::make_shared<FlatEnvelope>(std::move(starts), std::move(values),
+                                        std::move(slopes));
+}
+
+FlatPtr flat_shift(const FlatPtr& a, Seconds delay) {
+  HETNET_CHECK(a != nullptr, "null envelope");
+  HETNET_CHECK(delay >= 0, "shift delay must be >= 0");
+  std::vector<Seconds> starts{Seconds{}};
+  std::vector<Bits> values{a->bits(delay)};
+  std::vector<BitsPerSecond> slopes{a->slope_at(delay)};
+  for (std::size_t k = 0; k < a->size(); ++k) {
+    if (a->starts()[k] <= delay) continue;
+    starts.push_back(a->starts()[k] - delay);
+    values.push_back(a->values()[k]);
+    slopes.push_back(a->slopes()[k]);
+  }
+  return std::make_shared<FlatEnvelope>(std::move(starts), std::move(values),
+                                        std::move(slopes));
+}
+
+FlatPtr flat_rate_cap(const FlatPtr& a, BitsPerSecond rate, Bits burst) {
+  HETNET_CHECK(a != nullptr, "null envelope");
+  HETNET_CHECK(rate >= 0, "rate cap must be >= 0");
+  const auto line = std::make_shared<FlatEnvelope>(
+      std::vector<Seconds>{Seconds{}}, std::vector<Bits>{burst},
+      std::vector<BitsPerSecond>{rate});
+  return flat_min(a, line);
+}
+
+FlatPtr flat_convolve(const FlatPtr& a, const FlatPtr& b) {
+  HETNET_CHECK(a != nullptr && b != nullptr, "null envelope");
+  HETNET_CHECK(a->size() * b->size() <= 4096,
+               "flat_convolve operands too large — compact them first");
+  // For piecewise-linear operands the infimum over the split point is
+  // attained with one operand at a breakpoint, so the result is affine
+  // between pairwise breakpoint sums.
+  std::vector<Seconds> ts;
+  ts.reserve(a->size() * b->size());
+  for (const Seconds x : a->starts()) {
+    for (const Seconds y : b->starts()) ts.push_back(x + y);
+  }
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+
+  const auto conv_at = [&](Seconds t) {
+    Bits best = Bits(std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      const Seconds x = a->starts()[i];
+      if (x > t) break;
+      best = std::min(best, a->values()[i] + b->bits(t - x));
+    }
+    for (std::size_t j = 0; j < b->size(); ++j) {
+      const Seconds y = b->starts()[j];
+      if (y > t) break;
+      best = std::min(best, a->bits(t - y) + b->values()[j]);
+    }
+    return best;
+  };
+
+  std::vector<Bits> vals(ts.size());
+  for (std::size_t k = 0; k < ts.size(); ++k) vals[k] = conv_at(ts[k]);
+  std::vector<BitsPerSecond> slopes(ts.size());
+  for (std::size_t k = 0; k + 1 < ts.size(); ++k) {
+    slopes[k] = std::max(BitsPerSecond{},
+                         (vals[k + 1] - vals[k]) / (ts[k + 1] - ts[k]));
+  }
+  slopes.back() = std::min(a->long_term_rate(), b->long_term_rate());
+  return std::make_shared<FlatEnvelope>(std::move(ts), std::move(vals),
+                                        std::move(slopes));
+}
+
+}  // namespace hetnet

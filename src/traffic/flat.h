@@ -1,0 +1,126 @@
+// Flattened piecewise-linear envelopes: the Tier-A screening representation.
+//
+// Deeply composed expression-tree envelopes evaluate bits(I) by walking the
+// whole tower on every call. A FlatEnvelope collapses such an envelope into
+// one compact sorted array of affine segments,
+//
+//     for I in [starts[k], starts[k+1]):
+//         A(I) = values[k] + slopes[k] * (I - starts[k]),
+//
+// with the last segment extending to infinity (slopes.back() is the
+// long-term rate). Evaluation is a binary search over a cache-resident
+// array; with the segment budget the screening tier uses (a few dozen
+// entries) that is effectively O(1) per call, and the kernels below
+// (sum / min / shift / rate-cap / min-plus convolution) are single linear
+// merges over the arrays instead of lazy operator-tree growth.
+//
+// Admit-safe simplification: `flat_from_envelope` compresses a source
+// envelope to a bounded segment count with a DIRECTED rounding mode —
+//
+//   * Rounding::kUp   never rounds below the source (arrival curves:
+//     a screen bound computed from the flattened arrival dominates the
+//     exact bound, so "screen says feasible" is trustworthy);
+//   * Rounding::kDown never rounds above the source (service-style /
+//     optimistic lower screens: "even the optimistic bound violates the
+//     deadline" is trustworthy).
+//
+// Every rounded construction additionally pads by kFlatPadRel relative so
+// floating-point rounding inside the chord arithmetic can never flip the
+// direction of the bound. Domination is pinned by the property tests in
+// tests/traffic/flat_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/traffic/envelope.h"
+
+namespace hetnet {
+
+class FlatEnvelope;
+using FlatPtr = std::shared_ptr<const FlatEnvelope>;
+
+// Directed rounding for admit-safe simplification (see file comment).
+enum class Rounding {
+  kUp,    // result >= source everywhere (conservative arrival curve)
+  kDown,  // result <= source everywhere (optimistic lower bound)
+};
+
+// Relative pad applied by the directed constructions: large enough to absorb
+// floating-point rounding in the chord arithmetic, small enough (1e-9 of the
+// magnitude) to be irrelevant next to the deliberate coarseness of a screen.
+inline constexpr double kFlatPadRel = 1e-9;
+
+class FlatEnvelope final : public ArrivalEnvelope {
+ public:
+  // `starts` must be sorted strictly increasing with starts[0] == 0;
+  // `values`/`slopes` (same size) give each segment's value at its start and
+  // its rate. Slopes must be >= 0. Upward jumps between segments are allowed
+  // (values[k+1] above segment k's end value); a value below the previous
+  // segment's end is clamped up to it, keeping the envelope nondecreasing —
+  // callers that need a lower bound must leave enough pad that the clamp
+  // never exceeds their target (flat_from_envelope does).
+  FlatEnvelope(std::vector<Seconds> starts, std::vector<Bits> values,
+               std::vector<BitsPerSecond> slopes);
+
+  std::uint64_t fingerprint() const override { return fp_; }
+  Bits bits(Seconds interval) const override;
+  BitsPerSecond long_term_rate() const override { return slopes_.back(); }
+  Bits burst_bound() const override { return burst_bound_; }
+  std::vector<Seconds> breakpoints(Seconds horizon) const override;
+  std::string describe() const override;
+
+  std::size_t size() const { return starts_.size(); }
+  const std::vector<Seconds>& starts() const { return starts_; }
+  const std::vector<Bits>& values() const { return values_; }
+  const std::vector<BitsPerSecond>& slopes() const { return slopes_; }
+
+  // The rate of the segment containing `interval` (the last segment for
+  // intervals past starts().back()). Used by the merge kernels.
+  BitsPerSecond slope_at(Seconds interval) const;
+
+ private:
+  std::size_t segment_index(Seconds interval) const;
+
+  std::vector<Seconds> starts_;
+  std::vector<Bits> values_;
+  std::vector<BitsPerSecond> slopes_;
+  Bits burst_bound_;
+  std::uint64_t fp_ = 0;
+};
+
+// Flattens `src` into at most `max_segments` affine segments with the given
+// directed rounding: samples the source at its own breakpoints in
+// (0, horizon] (stride-thinned if pathological), compacts adjacent samples
+// into dominating (kUp) or dominated (kDown) chords by greedy smallest-area
+// merging, and closes with a sound linear tail — the leaky-bucket
+// majorization burst_bound + rate*I for kUp (valid for every I), a flat
+// continuation for kDown (A is nondecreasing, so A(I) >= A(horizon) is the
+// strongest interface-derivable lower tail; kDown results are therefore
+// mainly useful on [0, horizon]). Requires max_segments >= 4.
+FlatPtr flat_from_envelope(const EnvelopePtr& src, Seconds horizon,
+                           std::size_t max_segments, Rounding rounding);
+
+// (Σ parts)(I): exact pointwise sum, segments merged on the union of the
+// operands' breakpoints.
+FlatPtr flat_sum(const std::vector<FlatPtr>& parts);
+
+// min(a, b)(I): exact pointwise minimum; crossing points inside shared
+// segments are inserted so the result is affine between its breakpoints.
+FlatPtr flat_min(const FlatPtr& a, const FlatPtr& b);
+
+// a(I + delay): the Cruz output-bound shift, delay >= 0.
+FlatPtr flat_shift(const FlatPtr& a, Seconds delay);
+
+// min(a(I), burst + rate*I): link/rate policing, exact.
+FlatPtr flat_rate_cap(const FlatPtr& a, BitsPerSecond rate, Bits burst = Bits{});
+
+// Min-plus convolution (a ⊗ b)(I) = min over t in [0, I] of a(t) + b(I-t).
+// For piecewise-linear operands the minimum is attained with one operand at
+// a breakpoint, so the result is evaluated exactly on the candidate set
+// {x_i + y_j} of pairwise breakpoint sums (cache-friendly O(n*m) merge, no
+// operator-tree recursion). The tail rate is min of the operands' rates.
+FlatPtr flat_convolve(const FlatPtr& a, const FlatPtr& b);
+
+}  // namespace hetnet

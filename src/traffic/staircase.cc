@@ -33,6 +33,16 @@ StaircaseEnvelope::StaircaseEnvelope(std::vector<Seconds> intervals,
     burst_bound_ =
         std::max(burst_bound_, values_[i] - tail_rate_ * intervals_[i - 1]);
   }
+  // Structural fingerprint over the defining arrays: equal arrays ⇒ the
+  // same staircase function ⇒ bit-identical bits(I), satisfying the memo
+  // contract of src/traffic/fingerprint.h. Rasterizing the same envelope
+  // tower at the same points therefore reproduces the same key across
+  // admission requests (the per-instance default never did).
+  std::uint64_t f = fp::mix(0x57A1Eull);  // staircase tag
+  f = fp::combine(f, intervals_.size());
+  for (const Seconds i : intervals_) f = fp::combine(f, fp::of_double(i.value()));
+  for (const Bits v : values_) f = fp::combine(f, fp::of_double(v.value()));
+  fp_ = fp::combine(f, fp::of_double(tail_rate_.value()));
 }
 
 Bits StaircaseEnvelope::bits(Seconds interval) const {

@@ -30,6 +30,13 @@ class StaircaseEnvelope final : public ArrivalEnvelope {
   StaircaseEnvelope(std::vector<Seconds> intervals, std::vector<Bits> values,
                     BitsPerSecond tail_rate);
 
+  // Structural: two staircases built from the same intervals/values/tail are
+  // the same function, so they share a fingerprint. This is what lets the
+  // session memo (src/core/session.h) recognize a re-rasterized port input
+  // across admission requests instead of treating every rasterize() product
+  // as a fresh per-instance key.
+  std::uint64_t fingerprint() const override { return fp_; }
+
   Bits bits(Seconds interval) const override;
   BitsPerSecond long_term_rate() const override { return tail_rate_; }
   Bits burst_bound() const override { return burst_bound_; }
@@ -43,6 +50,7 @@ class StaircaseEnvelope final : public ArrivalEnvelope {
   std::vector<Bits> values_;
   BitsPerSecond tail_rate_;
   Bits burst_bound_;  // max_k (values_[k] - tail_rate_·intervals_[k])
+  std::uint64_t fp_ = 0;
 };
 
 // Samples `src` at its own breakpoints within (0, horizon] (thinned evenly to

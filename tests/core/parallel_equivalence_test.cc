@@ -143,7 +143,7 @@ TEST(ParallelEquivalence, JointDelayVectorsBitIdenticalAcrossThreadCounts) {
   }
 }
 
-// Differential sweep: the same check the fuzzer's fifth oracle runs,
+// Differential sweep: the same check the fuzzer's parallel oracle runs,
 // over a deterministic band of generated scenarios (admits, releases,
 // intra-ring requests, varied β/TTRT/topologies).
 TEST(ParallelEquivalence, FuzzScenarioSweepMatchesSerial) {

@@ -1,0 +1,152 @@
+// PR-7 determinism contract: the tiered admission path (CacConfig::tiered —
+// Tier-A floor / kUp-screen certificates in front of the exact engine,
+// Tier-B whole-vector decision memo behind it) must produce BIT-IDENTICAL
+// AdmissionDecisions to the untiered incremental engine. Not just the
+// admit/reject bit: allocations, anchors, delay bounds, and ledgers, since
+// a screen certificate that fires on a bisection probe removes an exact
+// evaluation from the trajectory and any disagreement would shift every
+// later bracket. Exercised three ways:
+//
+//   * directed: a hand-built paper-topology churn sequence replayed
+//     tiered-on vs tiered-off at 1/2/8 threads (2 exercises fork/join
+//     without speculation, 8 adds speculative bisection batching whose
+//     prefetch feeds the same decision memo the tiers read);
+//   * degraded: the same comparison with the kUp screen's admit
+//     certificates disabled (screen_upper_certificates = false), isolating
+//     the proven floor certificate + Tier-B memo;
+//   * differential: a sweep of fuzz scenarios through the
+//     tiered_equivalence oracle — the adversarial audit of
+//     CacConfig::screen_margin across generated topologies and churn.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "src/core/cac.h"
+#include "src/testing/fuzz/oracles.h"
+#include "src/testing/fuzz/scenario.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace hetnet::core {
+namespace {
+
+net::ConnectionSpec spec_for(net::ConnectionId id, int src_ring, int src_host,
+                             int dst_ring, int dst_host) {
+  net::ConnectionSpec spec;
+  spec.id = id;
+  spec.src = {src_ring, src_host};
+  spec.dst = {dst_ring, dst_host};
+  spec.source = std::make_shared<DualPeriodicEnvelope>(
+      units::kbits(40), units::ms(100), units::kbits(4), units::ms(10));
+  spec.deadline = units::ms(80);
+  return spec;
+}
+
+CacConfig config_for(bool tiered, int threads, bool upper_certs = true) {
+  CacConfig cfg;
+  cfg.beta = 0.3;
+  cfg.tiered = tiered;
+  cfg.screen_upper_certificates = upper_certs;
+  cfg.analysis.threads = threads;
+  return cfg;
+}
+
+// Admit a mix of inter- and intra-ring connections with interleaved
+// releases; returns every decision the controller produced.
+std::vector<AdmissionDecision> run_churn(AdmissionController& cac) {
+  std::vector<AdmissionDecision> decisions;
+  net::ConnectionId next_id = 1;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      const int src_ring = i % 3;
+      const int dst_ring = (src_ring + 1 + round) % 3;
+      decisions.push_back(cac.request(spec_for(
+          next_id++, src_ring, i % 4, dst_ring, (i + 1) % 4)));
+    }
+    const net::ConnectionId victim =
+        static_cast<net::ConnectionId>(round * 4 + 1);
+    if (cac.active().contains(victim)) cac.release(victim);
+  }
+  return decisions;
+}
+
+void expect_identical(const AdmissionDecision& a, const AdmissionDecision& b,
+                      const std::string& where) {
+  EXPECT_EQ(a.admitted, b.admitted) << where;
+  EXPECT_EQ(a.reason, b.reason) << where;
+  EXPECT_EQ(val(a.alloc.h_s), val(b.alloc.h_s)) << where;
+  EXPECT_EQ(val(a.alloc.h_r), val(b.alloc.h_r)) << where;
+  if (a.admitted && b.admitted) {
+    EXPECT_EQ(val(a.worst_case_delay), val(b.worst_case_delay)) << where;
+  }
+  EXPECT_EQ(val(a.max_avail.h_s), val(b.max_avail.h_s)) << where;
+  EXPECT_EQ(val(a.max_avail.h_r), val(b.max_avail.h_r)) << where;
+  EXPECT_EQ(val(a.min_need.h_s), val(b.min_need.h_s)) << where;
+  EXPECT_EQ(val(a.min_need.h_r), val(b.min_need.h_r)) << where;
+  EXPECT_EQ(val(a.max_need.h_s), val(b.max_need.h_s)) << where;
+  EXPECT_EQ(val(a.max_need.h_r), val(b.max_need.h_r)) << where;
+}
+
+void compare_engines(bool upper_certs) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  for (const int threads : {1, 2, 8}) {
+    AdmissionController untiered(&topo, config_for(false, threads));
+    AdmissionController tiered(&topo,
+                               config_for(true, threads, upper_certs));
+    const std::vector<AdmissionDecision> ref = run_churn(untiered);
+    const std::vector<AdmissionDecision> got = run_churn(tiered);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      expect_identical(ref[i], got[i],
+                       "op " + std::to_string(i) + " at " +
+                           std::to_string(threads) + " threads (upper_certs=" +
+                           (upper_certs ? "on" : "off") + ")");
+    }
+    ASSERT_EQ(untiered.active_count(), tiered.active_count());
+    for (int ring = 0; ring < topo.num_rings(); ++ring) {
+      EXPECT_EQ(val(untiered.ledger(ring).allocated()),
+                val(tiered.ledger(ring).allocated()))
+          << "ring " << ring << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(TieredEquivalence, ChurnDecisionsBitIdenticalAcrossThreadCounts) {
+  compare_engines(/*upper_certs=*/true);
+}
+
+TEST(TieredEquivalence, FloorCertAndMemoAloneBitIdentical) {
+  compare_engines(/*upper_certs=*/false);
+}
+
+// The screen must actually fire on this workload — a trivially
+// all-fallback tiered path would make the equivalence vacuous.
+TEST(TieredEquivalence, ScreenResolvesDecisionsOnTheChurnWorkload) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  AdmissionController tiered(&topo, config_for(true, 1));
+  run_churn(tiered);
+  auto& m = tiered.metrics();
+  EXPECT_GT(m.counter("cac.screen.evals").value(), 0u);
+  EXPECT_GT(m.counter("cac.tier.screen_admit").value() +
+                m.counter("cac.tier.screen_reject").value(),
+            0u);
+}
+
+// Differential sweep: the same check the fuzzer's tiered oracle runs, over
+// a deterministic band of generated scenarios (admits, releases, intra-ring
+// requests, varied β/TTRT/topologies) — the adversarial audit of
+// CacConfig::screen_margin.
+TEST(TieredEquivalence, FuzzScenarioSweepMatchesUntiered) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const fuzz::FuzzScenario scenario = fuzz::generate_scenario(seed);
+    const fuzz::OracleResult verdict =
+        fuzz::check_tiered_equivalence(scenario);
+    EXPECT_TRUE(verdict.ok)
+        << "seed " << seed << ": " << verdict.detail << "\n"
+        << fuzz::describe_scenario(scenario);
+  }
+}
+
+}  // namespace
+}  // namespace hetnet::core

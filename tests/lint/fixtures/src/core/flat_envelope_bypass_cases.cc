@@ -1,0 +1,25 @@
+// flat-envelope-bypass fixtures: src/core must not call Envelope::bits()
+// directly — envelope evaluation goes through the flat kernels
+// (src/traffic/flat.h) or the delay analyzers.
+#include "src/traffic/envelope.h"
+#include "src/traffic/flat.h"
+
+namespace hetnet::core {
+
+Bits bypass_cases(const EnvelopePtr& env, const Envelope& ref,
+                  const FlatEnvelope& flat, Seconds I) {
+  Bits total{};
+  total = total + env->bits(I);                          // EXPECT(flat-envelope-bypass)
+  total = total + ref.bits(I);                           // EXPECT(flat-envelope-bypass)
+  // Mentioning bits() in a comment is not a call: env->bits(I).
+  const Bits b = flat.bits(I);                           // EXPECT(flat-envelope-bypass)
+  // A member named bits that is not called is not an evaluation.
+  struct Holder { int bits; };
+  Holder h{0};
+  h.bits = 1;                                            // ok: field, no call
+  // Namespace-qualified free functions are not member evaluations.
+  // (fp::bits-style helpers live outside the envelope tree.)
+  return total + b;
+}
+
+}  // namespace hetnet::core

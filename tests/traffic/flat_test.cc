@@ -1,0 +1,226 @@
+// FlatEnvelope: directed-rounding flattening and the segment-array kernels
+// (sum / min / shift / rate-cap / min-plus convolution), checked against
+// the expression-tree algebra (src/traffic/algebra.cc) and the staircase
+// rasterizer (src/traffic/staircase.cc) at randomized sample points.
+//
+// The load-bearing property is DIRECTED domination: Tier-A screening
+// (DESIGN.md §11) may only trust a kUp flat that never dips below its
+// source and a kDown flat that never rises above it — with NO tolerance,
+// because a single wrong-side sample is exactly the kind of deviation a
+// screen margin cannot see coming. The kernel tests pin the exact-pointwise
+// claims the screen pipeline composes on top.
+#include "src/traffic/flat.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "src/traffic/algebra.h"
+#include "src/traffic/sources.h"
+#include "src/traffic/staircase.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+namespace {
+
+constexpr double kHorizonS = 0.2;
+
+EnvelopePtr dual() {
+  return std::make_shared<DualPeriodicEnvelope>(
+      units::kbits(50), units::ms(100), units::kbits(5), units::ms(10));
+}
+
+EnvelopePtr bucket(double sigma, double rho) {
+  return std::make_shared<LeakyBucketEnvelope>(Bits{sigma},
+                                               BitsPerSecond{rho});
+}
+
+// A deliberately deep expression tree: the shape the flattener exists to
+// collapse.
+EnvelopePtr composed() {
+  return rate_cap(
+      sum_envelopes({dual(), shift_envelope(
+                                 std::make_shared<PeriodicEnvelope>(
+                                     units::kbits(12), units::ms(30)),
+                                 units::ms(5))}),
+      BitsPerSecond{2e6}, units::kbits(8));
+}
+
+// Sample points: every source breakpoint in (0, 2*horizon], segment
+// midpoints, and uniform random fill — randomized breakpoints in the sense
+// that the draw is seeded per test but fixed across runs.
+std::vector<Seconds> sample_points(const EnvelopePtr& src, Seconds horizon,
+                                   std::uint32_t seed, int random_points) {
+  std::vector<Seconds> pts{Seconds{}};
+  const std::vector<Seconds> bps = src->breakpoints(horizon * 2.0);
+  for (std::size_t i = 0; i < bps.size(); ++i) {
+    pts.push_back(bps[i]);
+    const Seconds prev = i == 0 ? Seconds{} : bps[i - 1];
+    pts.push_back(prev + (bps[i] - prev) * 0.5);
+  }
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, val(horizon) * 2.0);
+  for (int i = 0; i < random_points; ++i) pts.push_back(Seconds{u(rng)});
+  return pts;
+}
+
+TEST(FlatFromEnvelopeTest, DirectedRoundingDominates) {
+  const Seconds horizon{kHorizonS};
+  const std::vector<EnvelopePtr> sources = {
+      dual(), composed(), bucket(5000.0, 1e5),
+      sum_envelopes({bucket(2000.0, 4e4),
+                     std::make_shared<PeriodicEnvelope>(units::kbits(3),
+                                                        units::ms(7))})};
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const EnvelopePtr& src = sources[s];
+    for (const std::size_t budget : {4u, 8u, 24u}) {
+      const FlatPtr up = flat_from_envelope(src, horizon, budget,
+                                            Rounding::kUp);
+      const FlatPtr down = flat_from_envelope(src, horizon, budget,
+                                              Rounding::kDown);
+      EXPECT_LE(up->size(), budget);
+      EXPECT_LE(down->size(), budget);
+      for (const Seconds I :
+           sample_points(src, horizon, 1000 + 10 * s + budget, 200)) {
+        const double exact = val(src->bits(I));
+        // Domination with NO tolerance: this is the admit-safety claim.
+        EXPECT_GE(val(up->bits(I)), exact)
+            << "kUp below source " << s << " at I=" << val(I)
+            << " budget=" << budget;
+        EXPECT_LE(val(down->bits(I)), exact)
+            << "kDown above source " << s << " at I=" << val(I)
+            << " budget=" << budget;
+      }
+    }
+  }
+}
+
+TEST(FlatFromEnvelopeTest, StaircaseRoundTripIsTightInsideSegments) {
+  // A staircase that fits the segment budget compacts losslessly: the kUp
+  // flat agrees with the staircase at every interior point (breakpoints
+  // themselves may carry the next step's value — the sup over the
+  // enclosing half-open segment — which domination covers above).
+  const Seconds horizon{kHorizonS};
+  const EnvelopePtr stair = rasterize(dual(), horizon, 16);
+  const FlatPtr up = flat_from_envelope(stair, horizon, 24, Rounding::kUp);
+  std::vector<Seconds> xs{Seconds{}};
+  for (const Seconds x : stair->breakpoints(horizon)) xs.push_back(x);
+  ASSERT_GT(xs.size(), 2u);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const Seconds mid = xs[i - 1] + (xs[i] - xs[i - 1]) * 0.5;
+    const double exact = val(stair->bits(mid));
+    EXPECT_GE(val(up->bits(mid)), exact);
+    EXPECT_NEAR(val(up->bits(mid)), exact,
+                1e-6 * std::max(1.0, exact))
+        << "lossy round trip at segment " << i;
+  }
+}
+
+TEST(FlatKernelsTest, SumMinShiftRateCapMatchAlgebraPointwise) {
+  const Seconds horizon{kHorizonS};
+  const FlatPtr a =
+      flat_from_envelope(dual(), horizon, 24, Rounding::kUp);
+  const FlatPtr b =
+      flat_from_envelope(composed(), horizon, 16, Rounding::kUp);
+  const FlatPtr c =
+      flat_from_envelope(bucket(4000.0, 8e4), horizon, 8, Rounding::kUp);
+
+  const FlatPtr sum = flat_sum({a, b, c});
+  const FlatPtr mn = flat_min(a, b);
+  const Seconds d = units::ms(3);
+  const FlatPtr shifted = flat_shift(a, d);
+  const BitsPerSecond cap_rate{1.5e6};
+  const Bits cap_burst = units::kbits(2);
+  const FlatPtr capped = flat_rate_cap(a, cap_rate, cap_burst);
+
+  // The algebra operators applied to the same flat operands give the
+  // reference values (lazy expression tree vs single merged array).
+  const EnvelopePtr ref_sum = sum_envelopes({a, b, c});
+  const EnvelopePtr ref_min = min_envelope(a, b);
+  const EnvelopePtr ref_shift = shift_envelope(a, d);
+  const EnvelopePtr ref_cap = rate_cap(a, cap_rate, cap_burst);
+
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> u(0.0, kHorizonS * 2.0);
+  std::vector<Seconds> pts;
+  for (int i = 0; i < 400; ++i) pts.push_back(Seconds{u(rng)});
+  for (const FlatPtr& f : {a, b, c}) {
+    for (const Seconds x : f->starts()) pts.push_back(x);
+  }
+  for (const Seconds I : pts) {
+    const auto near = [&](double got, double want, const char* what) {
+      EXPECT_NEAR(got, want, 1e-9 * std::max(1.0, want))
+          << what << " at I=" << val(I);
+    };
+    near(val(sum->bits(I)), val(ref_sum->bits(I)), "flat_sum");
+    near(val(mn->bits(I)), val(ref_min->bits(I)), "flat_min");
+    near(val(shifted->bits(I)), val(ref_shift->bits(I)), "flat_shift");
+    near(val(capped->bits(I)), val(ref_cap->bits(I)), "flat_rate_cap");
+  }
+}
+
+TEST(FlatKernelsTest, ConvolutionIsExactOnTheCandidateSet) {
+  const Seconds horizon{kHorizonS};
+  const FlatPtr a =
+      flat_from_envelope(dual(), horizon, 16, Rounding::kUp);
+  const FlatPtr b = flat_from_envelope(bucket(3000.0, 6e4), horizon, 8,
+                                       Rounding::kUp);
+  const FlatPtr conv = flat_convolve(a, b);
+
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(0.0, kHorizonS * 2.0);
+  for (int i = 0; i < 200; ++i) {
+    const Seconds I{u(rng)};
+    // Reference: for piecewise-linear operands the min over t of
+    // a(t) + b(I - t) is attained with one operand at a breakpoint, so
+    // the candidate set {a-breakpoints, I - b-breakpoints, 0, I} is
+    // exhaustive.
+    std::vector<Seconds> ts{Seconds{}, I};
+    for (const Seconds x : a->starts()) {
+      if (x <= I) ts.push_back(x);
+    }
+    for (const Seconds y : b->starts()) {
+      if (y <= I) ts.push_back(I - y);
+    }
+    double want = val(a->bits(I)) + val(b->bits(Seconds{}));
+    for (const Seconds t : ts) {
+      want = std::min(want, val(a->bits(t)) + val(b->bits(I - t)));
+    }
+    EXPECT_NEAR(val(conv->bits(I)), want, 1e-9 * std::max(1.0, want))
+        << "I=" << val(I);
+    // And it is a true lower-left closure: never above either operand
+    // path at random interior split points.
+    const Seconds t{u(rng) * val(I) / (kHorizonS * 2.0)};
+    EXPECT_LE(val(conv->bits(I)),
+              val(a->bits(t)) + val(b->bits(I - t)) +
+                  1e-9 * std::max(1.0, want));
+  }
+}
+
+TEST(FlatFingerprintTest, StructuralAndDeterministic) {
+  const Seconds horizon{kHorizonS};
+  const FlatPtr a1 = flat_from_envelope(dual(), horizon, 24, Rounding::kUp);
+  const FlatPtr a2 = flat_from_envelope(dual(), horizon, 24, Rounding::kUp);
+  // Same construction => same defining arrays => same fingerprint, across
+  // distinct instances (the session FlatCache relies on this to recognize
+  // a re-flattened source).
+  EXPECT_EQ(a1->fingerprint(), a2->fingerprint());
+  ASSERT_EQ(a1->size(), a2->size());
+  for (std::size_t k = 0; k < a1->size(); ++k) {
+    EXPECT_EQ(val(a1->starts()[k]), val(a2->starts()[k]));
+    EXPECT_EQ(val(a1->values()[k]), val(a2->values()[k]));
+    EXPECT_EQ(val(a1->slopes()[k]), val(a2->slopes()[k]));
+  }
+  // Different rounding or budget changes the arrays, hence the key.
+  const FlatPtr down =
+      flat_from_envelope(dual(), horizon, 24, Rounding::kDown);
+  const FlatPtr tight = flat_from_envelope(dual(), horizon, 6, Rounding::kUp);
+  EXPECT_NE(a1->fingerprint(), down->fingerprint());
+  EXPECT_NE(a1->fingerprint(), tight->fingerprint());
+}
+
+}  // namespace
+}  // namespace hetnet

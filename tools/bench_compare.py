@@ -25,9 +25,20 @@ When the candidate was run with `--threads N` (N >= 2, recorded in its
     min(--min-parallel-speedup-64, 0.6 * N) — the floor scales with the
     worker count actually available, so a 2-core runner is not held to the
     8-core target. Candidates recorded at threads < 2 skip the parallel
-    gate entirely (there is nothing to measure); the parallel floor is
-    absolute, not baseline-relative, so baselines recorded on any machine
-    stay valid.
+    gate entirely (there is nothing to measure; such candidates record
+    parallel_cold_ns / parallel_speedup as JSON null); the parallel floor
+    is absolute, not baseline-relative, so baselines recorded on any
+    machine stay valid.
+
+Candidates that carry the tiered-CAC fields (PR 7 onward) are gated on the
+tiered engine as well:
+  * any candidate point has tiered_decisions_match == false (the tiered
+    path must be decision-bit-identical to tiered=false);
+  * the in-run tiered speedup (untiered_ns / incremental_ns, both measured
+    in the same process, so the ratio transfers across machines) at 64
+    active fell below --min-tiered-speedup-64 (default 5.0, the PR 7
+    acceptance floor). Candidates without the fields (older bench builds)
+    skip the tiered gate.
 """
 
 import argparse
@@ -56,6 +67,9 @@ def main():
                         help="parallel-engine speedup floor at 64 active, "
                              "capped at 0.6 * candidate threads "
                              "(default: %(default)s)")
+    parser.add_argument("--min-tiered-speedup-64", type=float, default=5.0,
+                        help="tiered-vs-untiered in-run speedup floor at 64 "
+                             "active connections (default: %(default)s)")
     args = parser.parse_args()
 
     baseline, _ = load(args.baseline)
@@ -94,20 +108,38 @@ def main():
                     f"at {active} active: parallel and serial decisions "
                     f"differ")
             par_floor = min(args.min_parallel_speedup_64, 0.6 * cand_threads)
-            par = cand.get("parallel_speedup", 0.0)
+            # Single-thread candidates record null; treat as absent.
+            par = cand.get("parallel_speedup") or 0.0
             if active == 64 and par < par_floor:
                 status = "REGRESSED"
                 failures.append(
                     f"at 64 active: parallel speedup {par:.2f}x "
                     f"({cand_threads} threads) is below the floor "
                     f"{par_floor:.2f}x")
+        tiered = cand.get("tiered_speedup")
+        if tiered is not None:
+            if not cand.get("tiered_decisions_match", False):
+                status = "DIVERGED"
+                failures.append(
+                    f"at {active} active: tiered and untiered decisions "
+                    f"differ")
+            if active == 64 and tiered < args.min_tiered_speedup_64:
+                status = "REGRESSED"
+                failures.append(
+                    f"at 64 active: tiered speedup {tiered:.2f}x is below "
+                    f"the absolute floor {args.min_tiered_speedup_64:.2f}x")
         print(f"{active:>6} {base['speedup']:>12.2f}x {cand['speedup']:>12.2f}x "
               f"{cand['incremental_ns'] / 1e6:>14.2f} "
               f"{cand['cold_ns'] / 1e6:>15.2f} {status:>8}")
         if cand_threads >= 2:
             print(f"       parallel({cand_threads} threads): "
-                  f"{cand.get('parallel_speedup', 0.0):.2f}x vs serial cold, "
-                  f"{cand.get('parallel_cold_ns', 0) / 1e6:.2f} ms")
+                  f"{cand.get('parallel_speedup') or 0.0:.2f}x vs serial "
+                  f"cold, {(cand.get('parallel_cold_ns') or 0) / 1e6:.2f} ms")
+        if tiered is not None:
+            tiers = (f"screen_admit={cand.get('screen_admit', 0)} "
+                     f"screen_reject={cand.get('screen_reject', 0)} "
+                     f"fallback={cand.get('fallback', 0)}")
+            print(f"       tiered: {tiered:.2f}x vs untiered in-run, {tiers}")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -13,7 +13,10 @@ or the fuzzer's repro_seed_*.explain.ndjson, and prints:
     FDDI_S -> ID_S -> ATM -> ID_R -> FDDI_R chain carries the worst-case
     delay bound, over all records that ran the joint analysis;
   * slack statistics (deadline - granted bound) for admitted requests;
-  * mean bisection iterations and probe evaluations per analyzed request.
+  * mean bisection iterations and probe evaluations per analyzed request;
+  * decision-tier distribution (screen_admit / screen_reject / memo /
+    exact / ...) with per-tier screen vs exact wall time, for records from
+    a tiered controller (CacConfig::tiered).
 
 Stdlib only; unknown keys are ignored so the schema can grow.
 """
@@ -99,6 +102,30 @@ def main():
         print(f"\nsearch effort ({len(analyzed)} analyzed requests):")
         print(f"  mean probe evaluations  {sum(evals) / len(evals):.1f}")
         print(f"  mean bisection steps    {sum(iters) / len(iters):.1f}")
+
+    # Tier accounting (tiered controllers only — records from an untiered
+    # run carry no decision_tier and the section is skipped). screen_ns /
+    # exact_ns are per-request wall-clock in the Tier-A kUp screen vs the
+    # exact joint analysis; the split shows where the admission pipeline
+    # actually spent its time, per resolving tier.
+    tiers = Counter(r["decision_tier"] for r in records
+                    if r.get("decision_tier"))
+    if tiers:
+        total = sum(tiers.values())
+        print(f"\ndecision tiers ({total} records):")
+        for tier, n in tiers.most_common(args.top):
+            in_tier = [r for r in records if r.get("decision_tier") == tier]
+            screen_ms = sum(r.get("screen_ns", 0) for r in in_tier) / 1e6
+            exact_ms = sum(r.get("exact_ns", 0) for r in in_tier) / 1e6
+            print(f"  {tier:<14} {n:>7}  ({n / total:.1%})  "
+                  f"screen {screen_ms:8.3f} ms   exact {exact_ms:8.3f} ms")
+        screen_total = sum(r.get("screen_ns", 0) for r in records) / 1e6
+        exact_total = sum(r.get("exact_ns", 0) for r in records) / 1e6
+        spent = screen_total + exact_total
+        if spent > 0:
+            print(f"  screen share of analysis time: "
+                  f"{screen_total / spent:.1%} "
+                  f"({screen_total:.3f} of {spent:.3f} ms)")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ entries refer to — so renaming one is a breaking change.
 
 from checks import (  # noqa: F401
     check_message,
+    flat_envelope_bypass,
     float_reduction_order,
     include_root,
     nondeterminism_source,

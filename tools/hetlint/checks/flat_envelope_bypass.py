@@ -1,0 +1,44 @@
+"""flat-envelope-bypass: src/core must not evaluate envelope trees itself.
+
+Tier-A admission screening (DESIGN.md §11) is fast because the hot path
+works on FlatEnvelope segment arrays and memoized analyzer products, never
+on the symbolic expression tree behind `Envelope::bits()`.  A direct
+`.bits(` / `->bits(` member call in src/core reintroduces the tree walk
+the tiers exist to avoid, and it bypasses the rasterize/flatten layers
+whose rounding direction the soundness argument depends on.  Envelope
+evaluation belongs in src/traffic (kernels, rasterize, flatten) and
+src/servers (the analyzers); src/core composes their products.
+"""
+
+from __future__ import annotations
+
+import core
+
+
+@core.register
+class FlatEnvelopeBypassCheck(core.Check):
+    name = "flat-envelope-bypass"
+    description = ("src/core must not call Envelope::bits() directly; "
+                   "evaluate via the flat kernels or the analyzers")
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if not src.in_dir("src/core/"):
+            return []
+        out = []
+        toks = src.code_tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.value != "bits":
+                continue
+            if i == 0 or toks[i - 1].value not in (".", "->"):
+                continue  # free function / namespace-qualified: not a member
+            if i + 1 >= len(toks) or toks[i + 1].value != "(":
+                continue  # member access without a call (e.g. a field)
+            out.append(
+                self.violation(
+                    src, t.line,
+                    "src/core must not walk envelope expression trees via "
+                    "bits(); go through the flat kernels (src/traffic/"
+                    "flat.h) or the delay analyzers instead",
+                )
+            )
+        return out
