@@ -1,0 +1,261 @@
+// admissiond_bench: the admission service's SLO scenario, built to isolate
+// the cache-eviction latency cliff from intrinsic workload variance.
+//
+// The windowed cliff metric in SloReport only means something when steady
+// requests are cost-homogeneous, so unlike the open-loop soak this bench
+// pins the ledger and controls exactly which requests insert cache entries:
+//
+//   1. SATURATE: admit long-lived heavy connections until the first
+//      infeasible reject. No releases until the end — the ledger (and with
+//      it every Tier-B decision digest) stays frozen through measurement.
+//   2. MEASURE: cycle a HOT SET of reject-class specs. Each pays one exact
+//      joint analysis on first sight, is memoized in the session decision
+//      table, and every repeat is a digest hit (microseconds). Every
+//      pressure_every-th setup is a PRESSURE spec: a never-seen source with
+//      a deadline so tight the Tier-A floor certificate rejects it from its
+//      send prefix alone — no exact analysis, no ledger change, but fresh
+//      flat/prefix/screen entries that fill the session generations and
+//      (at a small session_cap) force rotations.
+//
+// Eviction must not cost the hot set its warmth: the hot digests are
+// promoted on every cycle, so generational rotation sheds only the
+// pressure one-shots and post-eviction latency stays at steady state. The
+// old wholesale-clear trim dropped the hot set too, replaying every exact
+// analysis after every trim — exactly the p99 cliff the report's
+// eviction_cliff_ratio (post-eviction p99 / steady p50, acceptance <= 3)
+// makes visible.
+//
+// The full request sequence is then replayed on a serial service (batch 1,
+// no prewarm, 1 analysis thread); decisions_match reports digest equality.
+// tools/bench_compare.py gates decisions_match, the cliff ratio, and a
+// conservative absolute throughput floor.
+//
+// Flags (key=value): setups hot_set pressure_every session_cap window
+//                    batch threads seed json
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/cac.h"
+#include "src/net/topology.h"
+#include "src/server/admissiond.h"
+#include "src/traffic/sources.h"
+#include "src/util/flags.h"
+#include "src/util/thread_pool.h"
+
+namespace {
+
+using namespace hetnet;  // NOLINT: bench binary
+
+server::Request make_setup(std::uint64_t seq, net::ConnectionId id,
+                           net::HostId src, net::HostId dst,
+                           EnvelopePtr source, Seconds deadline) {
+  server::Request req;
+  req.seq = seq;
+  req.type = server::RequestType::kSetup;
+  req.id = id;
+  req.spec.id = id;
+  req.spec.src = src;
+  req.spec.dst = dst;
+  req.spec.source = std::move(source);
+  req.spec.deadline = deadline;
+  return req;
+}
+
+void run_segment(server::AdmissionService& service,
+                 const std::vector<server::Request>& requests,
+                 std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    service.submit(requests[i]);
+    if (service.pending() >= 128) service.run_round();
+  }
+  service.run_all();
+}
+
+void write_json(std::ostream& out, const server::SloReport& r, int threads,
+                std::uint64_t hot_evals, bool decisions_match) {
+  out << "{\n  \"bench\": \"admissiond_bench\",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"requests\": " << r.requests << ",\n"
+      << "  \"setups\": " << r.setups << ",\n"
+      << "  \"admitted\": " << r.admitted << ",\n"
+      << "  \"sustained_throughput\": " << r.sustained_throughput << ",\n"
+      << "  \"setup_p50_ns\": " << r.setup_p50_ns << ",\n"
+      << "  \"setup_p99_ns\": " << r.setup_p99_ns << ",\n"
+      << "  \"steady_p50_ns\": " << r.steady_p50_ns << ",\n"
+      << "  \"steady_p99_ns\": " << r.steady_p99_ns << ",\n"
+      << "  \"post_eviction_p50_ns\": " << r.post_eviction_p50_ns << ",\n"
+      << "  \"post_eviction_p99_ns\": " << r.post_eviction_p99_ns << ",\n"
+      << "  \"post_eviction_samples\": " << r.post_eviction_samples << ",\n"
+      << "  \"evictions\": " << r.evictions << ",\n"
+      << "  \"invalidations\": " << r.invalidations << ",\n"
+      << "  \"hot_exact_evals\": " << hot_evals << ",\n"
+      << "  \"eviction_cliff_ratio\": " << r.eviction_cliff_ratio() << ",\n"
+      << "  \"decisions_match\": " << (decisions_match ? "true" : "false")
+      << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::uint64_t setups =
+      static_cast<std::uint64_t>(flags.get("setups", 20000));
+  const int hot_set = static_cast<int>(flags.get("hot_set", 8));
+  // Defaults are tuned so the run actually demonstrates eviction: the
+  // pressure cadence against this session_cap forces regular generation
+  // rotations (evictions > 0 in the report) while the hot set stays warm.
+  const std::uint64_t pressure_every =
+      static_cast<std::uint64_t>(flags.get("pressure_every", 100));
+  const std::size_t session_cap =
+      static_cast<std::size_t>(flags.get("session_cap", 256));
+  const std::uint64_t window = static_cast<std::uint64_t>(flags.get(
+      "window", 32));
+  const std::size_t batch = static_cast<std::size_t>(flags.get("batch", 32));
+  const int threads = static_cast<int>(
+      flags.get("threads", double(util::hardware_threads())));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get("seed", 1));
+  const std::string json_path = flags.get_string("json", "");
+  flags.check_unknown();
+
+  const net::AbhnTopology topology(net::paper_topology_params());
+  const int rings = topology.num_rings();
+  const int hosts = topology.params().hosts_per_ring;
+
+  // ---- Request sequence (deterministic; seed only shifts host picks) ----
+  std::vector<server::Request> requests;
+  std::uint64_t seq = 0;
+  net::ConnectionId next_id = 1;
+  Rng rng(seed);
+
+  // Saturation fill: heavy long-lived connections, round-robin across
+  // rings. Enough offered load to pin every ring's ledger; the service
+  // rejects the overflow, which is fine — the fill stops inserting new
+  // state once the rings are full, and everything after sees a frozen
+  // ledger.
+  const auto heavy = std::make_shared<DualPeriodicEnvelope>(
+      units::kbits(800), units::ms(100), units::kbits(80), units::ms(10),
+      BitsPerSecond::infinity());
+  const int fill = 4 * rings * hosts;
+  std::vector<net::ConnectionId> fill_ids;
+  for (int i = 0; i < fill; ++i) {
+    const net::HostId src{i % rings, (i / rings) % hosts};
+    const net::HostId dst{(src.ring + 1) % rings,
+                          int(rng.uniform_index(std::uint64_t(hosts)))};
+    fill_ids.push_back(next_id);
+    requests.push_back(make_setup(seq++, next_id++, src, dst, heavy,
+                                  units::ms(60)));
+  }
+
+  // Hot set: distinct reject-class specs (demand far beyond the leftover
+  // capacity, deadline loose enough that the floor certificate cannot
+  // refute from the prefix alone — the reject needs the exact joint
+  // analysis once, then lives in the decision memo).
+  std::vector<server::Request> hot;
+  for (int h = 0; h < hot_set; ++h) {
+    const auto source = std::make_shared<DualPeriodicEnvelope>(
+        units::kbits(1200.0 + 40.0 * h), units::ms(100), units::kbits(120),
+        units::ms(10), BitsPerSecond::infinity());
+    const net::HostId src{h % rings, h % hosts};
+    const net::HostId dst{(h + 1) % rings, (h / rings) % hosts};
+    hot.push_back(make_setup(0, 0, src, dst, source, units::ms(55)));
+  }
+
+  // Warm-up cycle: each hot spec's one intrinsic exact analysis (and the
+  // insert burst it causes) happens BEFORE measurement starts, so the
+  // measured phase is cost-homogeneous digest hits from its first sample.
+  for (int h = 0; h < hot_set; ++h) {
+    server::Request req = hot[std::size_t(h)];
+    req.seq = seq++;
+    req.id = next_id;
+    req.spec.id = next_id++;
+    requests.push_back(req);
+  }
+  const std::size_t fill_end = requests.size();
+
+  std::uint64_t pressure = 0;
+  for (std::uint64_t i = 0; i < setups; ++i) {
+    if (pressure_every > 0 && i % pressure_every == pressure_every - 1) {
+      // Pressure: a never-repeated source with a deadline no allocation
+      // can meet — floor-rejected from its own send prefix, but its flat
+      // twin, screen state, and compiled prefixes are fresh inserts.
+      const auto source = std::make_shared<DualPeriodicEnvelope>(
+          units::kbits(3000.0 + 0.125 * double(pressure)), units::ms(50),
+          units::kbits(300), units::ms(5), BitsPerSecond::infinity());
+      ++pressure;
+      const net::HostId src{int(pressure) % rings, int(pressure) % hosts};
+      const net::HostId dst{(src.ring + 1) % rings, 0};
+      requests.push_back(make_setup(seq++, next_id++, src, dst, source,
+                                    units::us(200)));
+    } else {
+      server::Request req = hot[i % std::uint64_t(hot_set)];
+      req.seq = seq++;
+      req.id = next_id;
+      req.spec.id = next_id++;
+      requests.push_back(req);
+    }
+  }
+
+  const std::size_t measure_end = requests.size();
+
+  // Teardown: exercises matched releases and release-keyed invalidation
+  // (after the report is taken, so it never skews the measured phase).
+  for (const net::ConnectionId id : fill_ids) {
+    server::Request req;
+    req.seq = seq++;
+    req.type = server::RequestType::kRelease;
+    req.id = id;
+    requests.push_back(req);
+  }
+
+  // ---- Measured service ----
+  server::AdmissiondConfig config;
+  config.batch_size = batch;
+  config.prewarm = true;
+  config.post_eviction_window = window;
+  config.cac.session_max_entries = session_cap;
+  config.cac.analysis.threads = threads;
+  server::AdmissionService service(&topology, config);
+  run_segment(service, requests, 0, fill_end);
+  const auto counters_at_mark = service.cac().metrics().counter_snapshot();
+  service.begin_measurement();
+  run_segment(service, requests, fill_end, measure_end);
+  const server::SloReport report = service.report();
+  const auto counters = service.cac().metrics().counter_snapshot();
+  run_segment(service, requests, measure_end, requests.size());
+  const auto hot_evals = counters.find("cac.session.decision_evals");
+  const auto mark_evals = counters_at_mark.find("cac.session.decision_evals");
+
+  // ---- Serial replay: the determinism gate ----
+  server::AdmissiondConfig serial = config;
+  serial.batch_size = 1;
+  serial.prewarm = false;
+  serial.cac.analysis.threads = 1;
+  server::AdmissionService reference(&topology, serial);
+  run_segment(reference, requests, 0, requests.size());
+  const bool decisions_match =
+      reference.decision_digest() == service.decision_digest();
+
+  // Exact joint analyses run during the MEASURED phase — the hot set is
+  // warmed before the mark, so anything here means memoized decisions were
+  // lost to eviction.
+  const std::uint64_t evals =
+      (hot_evals != counters.end() ? hot_evals->second : 0) -
+      (mark_evals != counters_at_mark.end() ? mark_evals->second : 0);
+  if (json_path.empty()) {
+    write_json(std::cout, report, threads, evals, decisions_match);
+  } else {
+    std::ofstream out(json_path);
+    write_json(out, report, threads, evals, decisions_match);
+    std::cout << "admissiond_bench: wrote " << json_path << "\n";
+  }
+  std::cout << "admissiond_bench: steady p50 " << report.steady_p50_ns
+            << " ns, post-eviction p99 " << report.post_eviction_p99_ns
+            << " ns, cliff " << report.eviction_cliff_ratio()
+            << ", evictions " << report.evictions << ", decisions "
+            << (decisions_match ? "match" : "DIVERGE") << "\n";
+  return decisions_match ? 0 : 1;
+}

@@ -214,14 +214,13 @@ std::vector<Seconds> DelayAnalyzer::run(
         for (const EnvelopePtr& f : t.flows) {
           t.key.second.push_back(f->fingerprint());
         }
-        if (const auto it = memo->ports_.find(t.key);
-            it != memo->ports_.end()) {
-          t.hit = &it->second;
+        if (const AnalysisSession::PortEntry* own =
+                memo->ports_.lookup(t.key)) {
+          t.hit = own;
         } else if (read_base != nullptr) {
-          if (const auto bit = read_base->ports_.find(t.key);
-              bit != read_base->ports_.end()) {
-            t.hit = &bit->second;
-          }
+          // Shared read-only base: peek() only — promotion would mutate a
+          // session other speculative runs are reading concurrently.
+          t.hit = read_base->ports_.peek(t.key);
         }
         if (t.hit != nullptr) {
           ++memo->stats_.port_hits;
@@ -391,15 +390,9 @@ std::vector<Seconds> DelayAnalyzer::run(
       }
       const AnalysisSession::SuffixKey key{envs[i]->fingerprint(),
                                            fp::of_double(h_r.value())};
-      const AnalysisSession::SuffixEntry* found = nullptr;
-      if (const auto it = memo->suffixes_.find(key);
-          it != memo->suffixes_.end()) {
-        found = &it->second;
-      } else if (read_base != nullptr) {
-        if (const auto bit = read_base->suffixes_.find(key);
-            bit != read_base->suffixes_.end()) {
-          found = &bit->second;
-        }
+      const AnalysisSession::SuffixEntry* found = memo->suffixes_.lookup(key);
+      if (found == nullptr && read_base != nullptr) {
+        found = read_base->suffixes_.peek(key);
       }
       if (found != nullptr) {
         ++memo->stats_.suffix_hits;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "src/obs/explain.h"
 #include "src/obs/span.h"
@@ -371,6 +373,10 @@ AdmissionController::AdmissionController(const net::AbhnTopology* topology,
   for (int r = 0; r < topology_->num_rings(); ++r) {
     ledgers_.emplace_back(topology_->params().ring);
   }
+  // Bound every memo table to the configured capacity (generational
+  // eviction; see src/core/session.h). set_capacity validates the floor.
+  session_.set_capacity(config_.session_max_entries);
+  screen_session_.set_capacity(config_.session_max_entries);
 
   // Metrics surface: push counters resolved once (hot paths use the
   // pointers), plus callback-backed views over the session memo tallies so
@@ -385,6 +391,9 @@ AdmissionController::AdmissionController(const net::AbhnTopology* topology,
   m_probe_evals_ = &metrics_.counter("cac.probe_evals");
   m_speculative_batches_ = &metrics_.counter("cac.speculative_batches");
   m_speculative_points_ = &metrics_.counter("cac.speculative_points");
+  m_prewarm_batches_ = &metrics_.counter("cac.prewarm_batches");
+  m_prewarm_points_ = &metrics_.counter("cac.prewarm_points");
+  m_release_invalidations_ = &metrics_.counter("cac.release_invalidations");
   m_screen_evals_ = &metrics_.counter("cac.screen.evals");
   m_screen_floor_certs_ = &metrics_.counter("cac.screen.floor_certs");
   m_screen_upper_certs_ = &metrics_.counter("cac.screen.upper_certs");
@@ -412,6 +421,17 @@ AdmissionController::AdmissionController(const net::AbhnTopology* topology,
   metrics_.register_callback("cac.session.flat_compiles", [this] {
     return session_.stats().flat_compiles;
   });
+  metrics_.register_callback("cac.session.evictions", [this] {
+    return session_.stats().evictions + screen_session_.stats().evictions;
+  });
+  metrics_.register_callback("cac.session.invalidations", [this] {
+    return session_.stats().invalidations;
+  });
+  metrics_.register_callback("cac.session.entries", [this] {
+    return std::uint64_t(session_.size() + screen_session_.size());
+  });
+  metrics_.register_callback("cac.prefix.evictions",
+                             [this] { return candidate_prefix_evictions_; });
   metrics_.register_callback(
       "cac.active_connections", [this] { return std::uint64_t(active_.size()); });
 }
@@ -806,13 +826,97 @@ void AdmissionController::release(net::ConnectionId id) {
   if (it->second.spec.src.ring != it->second.spec.dst.ring) {
     ledgers_[static_cast<std::size_t>(it->second.spec.dst.ring)].release(id);
   }
+  const std::uint64_t source_fp = it->second.spec.source->fingerprint();
   active_.erase(it);
-  // Invalidate the released connection's send-prefix cache entry. The
-  // AnalysisSession needs no invalidation: its keys are pure envelope
-  // fingerprints, so entries the released connection contributed to simply
-  // stop being referenced.
+  // Invalidate the released connection's send-prefix cache entries. The
+  // AnalysisSession needs no invalidation for correctness (its keys are
+  // pure envelope fingerprints, so entries the released connection
+  // contributed to simply stop being referenced), but reclaiming the
+  // entries keyed DIRECTLY to a source no remaining connection uses — its
+  // compiled flat twin and its candidate-prefix compilations — keeps a
+  // long-lived controller's tables populated by live state instead of
+  // leaning on generation rotations to age dead sources out.
   prefix_cache_.erase(id);
   screen_prefix_cache_.erase(id);
+  for (const auto& [other_id, other] : active_) {
+    if (other.spec.source->fingerprint() == source_fp) return;
+  }
+  session_.release_source(source_fp);
+  const std::uint64_t reclaimed = candidate_prefix_cache_.erase_if(
+      [source_fp](const CandidatePrefixKey& key) {
+        return std::get<1>(key) == source_fp;
+      });
+  m_release_invalidations_->add(reclaimed + 1);
+}
+
+int AdmissionController::prewarm(const std::vector<net::ConnectionSpec>& specs) {
+  if (!config_.incremental || specs.empty()) return 0;
+  // Serial prologue: materialize one probe per spec that could actually
+  // reach an analysis — building probes and candidate prefixes here (in
+  // batch order) keeps every compile-cache mutation serial and makes the
+  // concurrent phase read-only on shared state.
+  struct Job {
+    std::unique_ptr<Probe> probe;
+    std::uint64_t digest = 0;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(specs.size());
+  for (const net::ConnectionSpec& spec : specs) {
+    if (spec.source == nullptr || !(spec.deadline > 0)) continue;
+    if (!topology_->valid_host(spec.src) || !topology_->valid_host(spec.dst)) {
+      continue;
+    }
+    if (active_.contains(spec.id)) continue;
+    const bool intra_ring = spec.src.ring == spec.dst.ring;
+    const Seconds h_s_max =
+        ledgers_[static_cast<std::size_t>(spec.src.ring)].available();
+    const Seconds h_r_max =
+        intra_ring
+            ? Seconds{}
+            : ledgers_[static_cast<std::size_t>(spec.dst.ring)].available();
+    if (h_s_max < config_.h_min_abs ||
+        (!intra_ring && h_r_max < config_.h_min_abs)) {
+      continue;  // request() answers this from the ledgers alone (step 1)
+    }
+    Job job;
+    job.probe = std::make_unique<Probe>(*this, spec);
+    job.probe->set.back().alloc = {h_s_max, h_r_max};
+    job.probe->prefixes.back() = job.probe->candidate_prefix(h_s_max);
+    if (tiered_active()) {
+      job.digest = job.probe->decision_digest();
+      if (session_.decision_contains(job.digest)) continue;  // already warm
+      // Batch-internal dedup: two specs sharing (source, route, alloc)
+      // digest identically; evaluating one warms both.
+      bool dup = false;
+      for (const Job& prior : jobs) dup = dup || prior.digest == job.digest;
+      if (dup) continue;
+    }
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) return 0;
+  m_prewarm_batches_->increment();
+  m_prewarm_points_->add(std::uint64_t(jobs.size()));
+  HETNET_OBS_SPAN_NAMED(span, "cac.prewarm_batch", "cac");
+  span.arg("points", std::int64_t(jobs.size()));
+  // Concurrent phase: each job analyzes its own probe state against the
+  // shared session (read-only) with a private overlay. Index-owned slots;
+  // no shared mutation.
+  std::vector<AnalysisSession> overlays(jobs.size());
+  std::vector<std::vector<Seconds>> results(jobs.size());
+  util::parallel_for(jobs.size(), config_.analysis.threads,
+                     [&](std::size_t k) {
+                       results[k] = analyzer_.complete_speculative(
+                           jobs[k].probe->set, jobs[k].probe->prefixes,
+                           session_, overlays[k]);
+                     });
+  // Serial epilogue in batch order: deterministic absorb + memo feed.
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    session_.absorb(std::move(overlays[k]));
+    if (tiered_active()) {
+      session_.decision_store(jobs[k].digest, std::move(results[k]));
+    }
+  }
+  return static_cast<int>(jobs.size());
 }
 
 // The candidate connection's admit-safe flattened source (Rounding::kUp),
@@ -863,20 +967,21 @@ const SendPrefix& AdmissionController::compiled_candidate_prefix(
   const CandidatePrefixKey key{screen, spec.source->fingerprint(),
                                spec.src.ring == spec.dst.ring,
                                fp::of_double(h_s.value())};
-  const auto [it, inserted] = candidate_prefix_cache_.try_emplace(key);
-  if (inserted) {
-    if (candidate_prefix_cache_.size() > (std::size_t{1} << 16)) {
-      // Same wholesale backstop as AnalysisSession::trim() — a pure cache,
-      // so dropping it costs recompilation, never correctness.
-      candidate_prefix_cache_.clear();
-      return candidate_prefix_cache_
-          .try_emplace(key, (screen ? screen_analyzer_ : analyzer_)
-                                .send_prefix(spec, h_s))
-          .first->second;
-    }
-    it->second = (screen ? screen_analyzer_ : analyzer_).send_prefix(spec, h_s);
+  if (const SendPrefix* hit = candidate_prefix_cache_.lookup(key)) {
+    return *hit;
   }
-  return it->second;
+  const SendPrefix& compiled = candidate_prefix_cache_.emplace(
+      key, (screen ? screen_analyzer_ : analyzer_).send_prefix(spec, h_s));
+  // Generational bound, sized like the session tables. Rotation demotes the
+  // hot generation (node moves only — `compiled` stays valid) and drops the
+  // stale one; actively re-looked-up prefixes are re-promoted each use, so
+  // the hot working set — and the decision digests anchored to these
+  // objects' fingerprints — survives, where the previous wholesale clear
+  // stranded every memoized decision at once. Release-keyed invalidation
+  // (release()) reclaims dead sources' entries eagerly either way.
+  candidate_prefix_evictions_ += candidate_prefix_cache_.rotate_if_above(
+      std::max<std::size_t>(config_.session_max_entries / 2, 1));
+  return compiled;
 }
 
 bool AdmissionController::feasible_at(const net::ConnectionSpec& spec,

@@ -115,6 +115,14 @@ struct CacConfig {
   // while keeping the proven floor certificate and the Tier-B decision
   // memo.
   bool screen_upper_certificates = true;
+  // Capacity of each AnalysisSession memo table (port bounds, receive
+  // suffixes, Tier-B decisions, compiled flats) and of the candidate-prefix
+  // compile cache. Eviction is generational (hot/cold halves; see
+  // src/core/session.h): a long-lived controller sheds only its stale half
+  // at a time, so admission latency has no trim-induced p99 cliff. Purely a
+  // cost/memory knob — decisions are bit-identical at any capacity.
+  // admissiond soaks shrink this to force eviction coverage.
+  std::size_t session_max_entries = AnalysisSession::kDefaultMaxEntries;
   // analysis.threads > 1 additionally parallelizes each joint analysis
   // (wave-level port bounding, prefix/suffix fan-out) and, from 3 threads
   // up, speculatively evaluates the bisections' next candidate points
@@ -159,8 +167,28 @@ class AdmissionController {
   // ring ledgers and the connection joins the active set.
   AdmissionDecision request(const net::ConnectionSpec& spec);
 
-  // Tears down an admitted connection and returns its bandwidth.
+  // Tears down an admitted connection and returns its bandwidth. Warm-cache
+  // invalidation rides along: the released connection's send-prefix cache
+  // entries are dropped, and when no remaining active connection shares its
+  // source fingerprint, the compiled flat twin and candidate-prefix compile
+  // cache entries keyed to that source are reclaimed too (cost only — no
+  // cache here can ever serve a stale VALUE; keys are structural).
   void release(net::ConnectionId id);
+
+  // Deterministic cross-request speculation for batched admission rounds
+  // (src/server/admissiond.h). For each SETUP spec in the batch, evaluates
+  // the step-2 Theorem-4 point (max_avail under the CURRENT ledgers) —
+  // concurrently, each run against the shared session base with a private
+  // overlay — then absorbs the overlays and feeds the Tier-B decision memo
+  // in batch order. Purely a cache warmer: every stored vector is
+  // bit-identical to what a later serial request() would compute at the
+  // same state (the fingerprint contract), so decisions are unchanged for
+  // any batch size and thread count; a warmed entry is USED by request()
+  // only when the committed state still matches the digest it was computed
+  // under. Specs that step 1 would reject from the ledgers alone, invalid
+  // specs, and already-memoized points are skipped. Returns the number of
+  // points actually evaluated.
+  int prewarm(const std::vector<net::ConnectionSpec>& specs);
 
   // Checks eqs. (24)–(25) for a hypothetical allocation of `spec` against
   // the current active set (without admitting). Used by the
@@ -186,6 +214,15 @@ class AdmissionController {
   // config().incremental is false). Exposed for tests and benchmarks.
   const AnalysisSession::Stats& session_stats() const {
     return session_.stats();
+  }
+
+  // Total cache entries dropped by generation rotations across every
+  // warm-state table (both analysis sessions and the candidate-prefix
+  // compile cache). Cheap enough for per-request reads — admissiond keys
+  // its post-eviction latency windows off deltas of this.
+  std::uint64_t eviction_count() const {
+    return session_.stats().evictions + screen_session_.stats().evictions +
+           candidate_prefix_evictions_;
   }
 
   // This controller's metrics registry: push counters for requests,
@@ -259,7 +296,13 @@ class AdmissionController {
   DelayAnalyzer screen_analyzer_;
   mutable AnalysisSession screen_session_;
   mutable std::map<net::ConnectionId, PrefixCacheEntry> screen_prefix_cache_;
-  mutable std::map<CandidatePrefixKey, SendPrefix> candidate_prefix_cache_;
+  // Candidate-prefix compile cache: generational like the session tables,
+  // so a long-lived controller's hot prefixes — and with them the decision
+  // digests they anchor (the digest folds the prefix's at_uplink object
+  // fingerprint) — survive evictions instead of being wiped wholesale.
+  mutable SegmentedMap<CandidatePrefixKey, SendPrefix>
+      candidate_prefix_cache_;
+  mutable std::uint64_t candidate_prefix_evictions_ = 0;
   // Observability (src/obs). The registry owns the push counters below and
   // additionally exposes the session memo stats through registered
   // callbacks capturing `this` — the registry member therefore pins the
@@ -274,6 +317,9 @@ class AdmissionController {
   obs::Counter* m_probe_evals_ = nullptr;
   obs::Counter* m_speculative_batches_ = nullptr;
   obs::Counter* m_speculative_points_ = nullptr;
+  obs::Counter* m_prewarm_batches_ = nullptr;
+  obs::Counter* m_prewarm_points_ = nullptr;
+  obs::Counter* m_release_invalidations_ = nullptr;
   // Tier telemetry: per-probe screen outcomes ("cac.screen.*") and the
   // per-request decision-tier tally ("cac.tier.*" — exactly one increments
   // per request()).

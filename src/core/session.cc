@@ -2,34 +2,42 @@
 
 #include <utility>
 
+#include "src/util/check.h"
+
 namespace hetnet::core {
 
 const std::vector<Seconds>* AnalysisSession::decision_lookup(
     std::uint64_t digest) {
-  const auto it = decisions_.find(digest);
-  if (it == decisions_.end()) return nullptr;
-  ++stats_.decision_hits;
-  return &it->second;
+  if (const std::vector<Seconds>* hit = decisions_.lookup(digest)) {
+    ++stats_.decision_hits;
+    return hit;
+  }
+  return nullptr;
 }
 
 void AnalysisSession::decision_store(std::uint64_t digest,
                                      std::vector<Seconds> delays) {
   ++stats_.decision_evals;
-  decisions_.insert_or_assign(digest, std::move(delays));
+  decisions_.emplace(digest, std::move(delays));
   trim();
 }
 
 EnvelopePtr AnalysisSession::flat_lookup(std::uint64_t source_fp) {
-  const auto it = flats_.find(source_fp);
-  if (it == flats_.end()) return nullptr;
-  ++stats_.flat_hits;
-  return it->second;
+  if (const EnvelopePtr* hit = flats_.lookup(source_fp)) {
+    ++stats_.flat_hits;
+    return *hit;
+  }
+  return nullptr;
 }
 
 void AnalysisSession::flat_store(std::uint64_t source_fp, EnvelopePtr flat) {
   ++stats_.flat_compiles;
-  flats_.insert_or_assign(source_fp, std::move(flat));
+  flats_.emplace(source_fp, std::move(flat));
   trim();
+}
+
+void AnalysisSession::release_source(std::uint64_t source_fp) {
+  stats_.invalidations += flats_.erase(source_fp);
 }
 
 void AnalysisSession::clear() {
@@ -39,20 +47,28 @@ void AnalysisSession::clear() {
   flats_.clear();
 }
 
+void AnalysisSession::set_capacity(std::size_t max_entries) {
+  HETNET_CHECK(max_entries >= 2, "session capacity must be at least 2");
+  capacity_ = max_entries;
+  trim();
+}
+
 void AnalysisSession::trim() {
-  if (ports_.size() > kMaxEntries) ports_.clear();
-  if (suffixes_.size() > kMaxEntries) suffixes_.clear();
-  if (decisions_.size() > kMaxEntries) decisions_.clear();
-  if (flats_.size() > kMaxEntries) flats_.clear();
+  const std::size_t hot_cap = capacity_ / 2;
+  stats_.evictions += ports_.rotate_if_above(hot_cap);
+  stats_.evictions += suffixes_.rotate_if_above(hot_cap);
+  stats_.evictions += decisions_.rotate_if_above(hot_cap);
+  stats_.evictions += flats_.rotate_if_above(hot_cap);
 }
 
 void AnalysisSession::absorb(AnalysisSession&& overlay) {
-  // merge() keeps the existing entry on key collision; colliding values are
-  // bit-identical by the fingerprint contract, so either choice is sound.
-  ports_.merge(overlay.ports_);
-  suffixes_.merge(overlay.suffixes_);
-  decisions_.merge(overlay.decisions_);
-  flats_.merge(overlay.flats_);
+  // merge_from() keeps the existing entry on key collision; colliding
+  // values are bit-identical by the fingerprint contract, so either choice
+  // is sound.
+  ports_.merge_from(overlay.ports_);
+  suffixes_.merge_from(overlay.suffixes_);
+  decisions_.merge_from(overlay.decisions_);
+  flats_.merge_from(overlay.flats_);
   stats_.port_evals += overlay.stats_.port_evals;
   stats_.port_hits += overlay.stats_.port_hits;
   stats_.suffix_evals += overlay.stats_.suffix_evals;
@@ -61,6 +77,8 @@ void AnalysisSession::absorb(AnalysisSession&& overlay) {
   stats_.decision_evals += overlay.stats_.decision_evals;
   stats_.flat_hits += overlay.stats_.flat_hits;
   stats_.flat_compiles += overlay.stats_.flat_compiles;
+  stats_.evictions += overlay.stats_.evictions;
+  stats_.invalidations += overlay.stats_.invalidations;
   trim();
 }
 

@@ -20,7 +20,22 @@
 // what the cold recompute would have produced (the soundness tests in
 // tests/core/incremental_test.cc pin this bit-for-bit). Entries never go
 // stale — a released connection simply stops contributing its fingerprints —
-// so the session needs no invalidation protocol, only a size bound.
+// so the session needs no invalidation protocol for CORRECTNESS, only a
+// size bound; release_source() below is a cost optimization that reclaims
+// entries known to be unreachable.
+//
+// Eviction model: every table is a SegmentedMap — two generations (hot and
+// cold). Inserts land in hot; a lookup that hits cold promotes the entry
+// back into hot (std::map node splicing, so element addresses never move).
+// When hot outgrows half the configured capacity the generations rotate:
+// the old cold generation — entries not touched for a full generation — is
+// dropped and hot becomes the new cold. A long-lived session therefore
+// sheds only its stale half at a time and stays warm across the rotation,
+// instead of oscillating between warm and stone-cold the way the previous
+// wholesale trim() did (the admissiond p99-cliff fix; see DESIGN.md §13).
+// Eviction timing depends only on the deterministic insert/lookup sequence,
+// and cache content can only change COST, never values (equal key ⇒
+// bit-identical value), so decisions are unaffected at any capacity.
 //
 // Concurrency model: the session itself is NOT internally synchronized.
 // A single run() mutates it only from the analyzer's serial memo phases
@@ -29,11 +44,13 @@
 // flight at once — the base session is shared READ-ONLY and each
 // concurrent run records its new entries into a private overlay session
 // (DelayAnalyzer::complete_speculative); the overlays are merged back with
-// absorb() in a deterministic order afterwards. Because equal keys always
-// map to bit-identical values, any merge order yields a semantically
-// identical cache; only the eval/hit counters can overcount under
-// speculation (an entry may be computed by several overlays at once), so
-// treat Stats as diagnostics, exact only for serial configurations.
+// absorb() in a deterministic order afterwards. Shared read-only access
+// uses the const lookup paths (SegmentedMap::peek), which never promote —
+// promotion is a mutation. Because equal keys always map to bit-identical
+// values, any merge order yields a semantically identical cache; only the
+// eval/hit counters can overcount under speculation (an entry may be
+// computed by several overlays at once), so treat Stats as diagnostics,
+// exact only for serial configurations.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +66,100 @@ namespace hetnet::core {
 
 class DelayAnalyzer;
 
+// Two-generation (hot/cold) ordered map used by the AnalysisSession tables.
+// Semantics: keep-existing on key collision (colliding values are
+// bit-identical under the fingerprint contract, so either copy is sound),
+// promotion on mutable lookup, wholesale drop of the cold generation on
+// rotation. Element addresses are stable across promotion and insertion
+// (std::map nodes); only rotate() and clear() invalidate entry pointers.
+template <typename K, typename V>
+class SegmentedMap {
+ public:
+  // Mutable lookup: hot first, then cold; a cold hit is promoted into the
+  // hot generation (node extract/insert — the element itself never moves).
+  V* lookup(const K& key) {
+    if (const auto it = hot_.find(key); it != hot_.end()) return &it->second;
+    if (const auto it = cold_.find(key); it != cold_.end()) {
+      const auto pos = hot_.insert(cold_.extract(it)).position;
+      return &pos->second;
+    }
+    return nullptr;
+  }
+
+  // Const lookup, NO promotion — the only lookup allowed on a session that
+  // is shared read-only across speculative runs.
+  const V* peek(const K& key) const {
+    if (const auto it = hot_.find(key); it != hot_.end()) return &it->second;
+    if (const auto it = cold_.find(key); it != cold_.end()) return &it->second;
+    return nullptr;
+  }
+
+  bool contains(const K& key) const { return peek(key) != nullptr; }
+
+  // Inserts into the hot generation; keep-existing if the key is already
+  // hot. A key resident only in cold can end up shadowed by a hot twin —
+  // benign (bit-identical values), and the duplicate dies with the cold
+  // generation on the next rotation.
+  template <typename KK, typename VV>
+  V& emplace(KK&& key, VV&& value) {
+    return hot_.emplace(std::forward<KK>(key), std::forward<VV>(value))
+        .first->second;
+  }
+
+  // Erases the key from both generations (keyed invalidation; e.g. a
+  // released connection's compiled flat source). Returns entries removed.
+  std::size_t erase(const K& key) {
+    return hot_.erase(key) + cold_.erase(key);
+  }
+
+  // Predicate-driven invalidation across both generations (e.g. every
+  // compiled prefix of a released source, whatever its allocation key).
+  // Ordered iteration — deterministic. Returns entries removed.
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t removed = 0;
+    for (auto* segment : {&hot_, &cold_}) {
+      for (auto it = segment->begin(); it != segment->end();) {
+        if (pred(it->first)) {
+          it = segment->erase(it);
+          ++removed;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return removed;
+  }
+
+  // Generation rotation: when hot exceeds `hot_capacity`, drop the cold
+  // generation and demote hot. Returns the number of entries evicted.
+  std::size_t rotate_if_above(std::size_t hot_capacity) {
+    if (hot_.size() <= hot_capacity) return 0;
+    const std::size_t evicted = cold_.size();
+    cold_ = std::move(hot_);
+    hot_.clear();
+    return evicted;
+  }
+
+  // Keep-existing merge of another segmented map's entries into the hot
+  // generation (overlay absorption; deterministic given deterministic call
+  // order).
+  void merge_from(SegmentedMap& other) {
+    hot_.merge(other.hot_);
+    hot_.merge(other.cold_);
+  }
+
+  std::size_t size() const { return hot_.size() + cold_.size(); }
+  void clear() {
+    hot_.clear();
+    cold_.clear();
+  }
+
+ private:
+  std::map<K, V> hot_;
+  std::map<K, V> cold_;
+};
+
 class AnalysisSession {
  public:
   struct Stats {
@@ -60,6 +171,9 @@ class AnalysisSession {
     std::uint64_t decision_evals = 0;  // joint delay vectors stored fresh
     std::uint64_t flat_hits = 0;       // flattened sources served from cache
     std::uint64_t flat_compiles = 0;   // flattened sources compiled fresh
+    std::uint64_t evictions = 0;       // entries dropped by a generation
+                                       // rotation (all four tables)
+    std::uint64_t invalidations = 0;   // entries erased by release_source()
   };
 
   const Stats& stats() const { return stats_; }
@@ -74,8 +188,8 @@ class AnalysisSession {
   // vector a fresh run would produce. Unlike the port/suffix tables the key
   // is a single folded hash, not the full tuple sequence — the collision
   // channel is the same 64-bit fingerprint layer the other tables already
-  // stand on. Returns nullptr on miss; stored vectors are invalidated only
-  // by the wholesale trim()/clear(), like every other memo here.
+  // stand on. Returns nullptr on miss; stored vectors disappear only when
+  // their generation ages out (trim()) or on clear().
   const std::vector<Seconds>* decision_lookup(std::uint64_t digest);
   void decision_store(std::uint64_t digest, std::vector<Seconds> delays);
   // Membership peek that leaves the hit counters untouched — used to order
@@ -94,6 +208,13 @@ class AnalysisSession {
   EnvelopePtr flat_lookup(std::uint64_t source_fp);
   void flat_store(std::uint64_t source_fp, EnvelopePtr flat);
 
+  // Keyed invalidation on RELEASE: the caller has established that no
+  // remaining active connection uses a source with this fingerprint, so its
+  // compiled flat twin can be reclaimed now instead of waiting out two
+  // generation rotations. Purely a cost/space action — lookups would never
+  // return a stale value either way (keys are structural fingerprints).
+  void release_source(std::uint64_t source_fp);
+
   // Drops all memoized results (keeps the counters).
   void clear();
 
@@ -103,6 +224,14 @@ class AnalysisSession {
   // the size bound is re-applied.
   void absorb(AnalysisSession&& overlay);
 
+  // Capacity of each table (entries). When a table's hot generation exceeds
+  // half of this, the generations rotate and the stale half is dropped.
+  // Callers may resize at any serial point; admissiond exposes this as a
+  // soak knob (CacConfig::session_max_entries).
+  static constexpr std::size_t kDefaultMaxEntries = 1 << 16;
+  void set_capacity(std::size_t max_entries);
+  std::size_t capacity() const { return capacity_; }
+
   std::size_t size() const {
     return ports_.size() + suffixes_.size() + decisions_.size() +
            flats_.size();
@@ -110,11 +239,6 @@ class AnalysisSession {
 
  private:
   friend class DelayAnalyzer;
-
-  // Backstop against unbounded growth under endless churn: when either
-  // table crosses this many entries it is dropped wholesale (correctness is
-  // unaffected — the memo is a pure cache).
-  static constexpr std::size_t kMaxEntries = 1 << 16;
 
   struct PortEntry {
     bool bounded = false;
@@ -140,15 +264,19 @@ class AnalysisSession {
   using PortKey = std::pair<atm::PortId, std::vector<std::uint64_t>>;
   using SuffixKey = std::pair<std::uint64_t, std::uint64_t>;  // env fp, H_R
 
+  // Applies the generation bound to every table (rotating whichever hot
+  // halves outgrew capacity_/2) and tallies evictions. Called from the
+  // serial points only: run() entry, the store paths, and absorb().
   void trim();
 
-  std::map<PortKey, PortEntry> ports_;
-  std::map<SuffixKey, SuffixEntry> suffixes_;
+  std::size_t capacity_ = kDefaultMaxEntries;
+  SegmentedMap<PortKey, PortEntry> ports_;
+  SegmentedMap<SuffixKey, SuffixEntry> suffixes_;
   // Tier machinery (see the public accessors above): whole-run delay
   // vectors by instance-tuple digest, and flattened screen sources by
   // source fingerprint.
-  std::map<std::uint64_t, std::vector<Seconds>> decisions_;
-  std::map<std::uint64_t, EnvelopePtr> flats_;
+  SegmentedMap<std::uint64_t, std::vector<Seconds>> decisions_;
+  SegmentedMap<std::uint64_t, EnvelopePtr> flats_;
   Stats stats_;
 };
 

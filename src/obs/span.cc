@@ -28,8 +28,10 @@ void write_json_number(std::ostream& out, double v) {
 
 }  // namespace
 
-TraceRecorder::TraceRecorder()
-    : id_(next_recorder_id()), epoch_(std::chrono::steady_clock::now()) {}
+TraceRecorder::TraceRecorder(std::size_t max_events_per_thread)
+    : id_(next_recorder_id()),
+      max_events_per_thread_(max_events_per_thread),
+      epoch_(std::chrono::steady_clock::now()) {}
 
 TraceRecorder::~TraceRecorder() = default;
 
@@ -57,6 +59,13 @@ void TraceRecorder::record_complete(const char* name, const char* category,
                                     Seconds ts, Seconds dur,
                                     const Arg* args, int num_args) {
   Buffer& buffer = local_buffer();
+  if (buffer.events.size() >= max_events_per_thread_) {
+    // Cap reached: count the loss instead of growing without bound. The
+    // branch costs nothing extra — size/capacity are already hot from the
+    // push_back below.
+    ++buffer.dropped;
+    return;
+  }
   Event event;
   event.name = name;
   event.category = category;
@@ -72,6 +81,19 @@ std::size_t TraceRecorder::event_count() const {
   std::size_t n = 0;
   for (const auto& buffer : buffers_) n += buffer->events.size();
   return n;
+}
+
+std::uint64_t TraceRecorder::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->dropped;
+  return n;
+}
+
+void TraceRecorder::drain_chrome_trace(std::ostream& out) {
+  write_chrome_trace(out);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) buffer->events.clear();
 }
 
 void TraceRecorder::write_chrome_trace(std::ostream& out) const {

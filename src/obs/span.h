@@ -40,13 +40,20 @@ namespace hetnet::obs {
 class TraceRecorder {
  public:
   static constexpr int kMaxArgs = 2;
+  // Default per-thread event cap. A long-lived process (admissiond soaks)
+  // must not grow trace buffers without bound: once a thread's buffer is
+  // full, further events on that thread are counted in dropped_count()
+  // instead of recorded. Drain (drain_chrome_trace) or raise the cap for
+  // full-fidelity traces.
+  static constexpr std::size_t kDefaultMaxEventsPerThread = 1 << 20;
 
   struct Arg {
     const char* key = nullptr;
     std::int64_t value = 0;
   };
 
-  TraceRecorder();
+  explicit TraceRecorder(
+      std::size_t max_events_per_thread = kDefaultMaxEventsPerThread);
   ~TraceRecorder();
 
   TraceRecorder(const TraceRecorder&) = delete;
@@ -67,6 +74,17 @@ class TraceRecorder {
   void write_chrome_trace(std::ostream& out) const;
   std::size_t event_count() const;
 
+  // Events rejected by the per-thread cap since construction (NOT reset by
+  // drains — it is the soak's data-loss ledger). Serial read, like
+  // event_count().
+  std::uint64_t dropped_count() const;
+
+  // Drain-on-export: write_chrome_trace(), then clear every buffer so
+  // recording can continue into reclaimed capacity. Timestamps keep the
+  // recorder's single epoch, so consecutive drained segments concatenate on
+  // a common timebase. Serial operation (no concurrent record_complete).
+  void drain_chrome_trace(std::ostream& out);
+
   // Process-global recorder used by the HETNET_OBS_SPAN macros. Install
   // nullptr to stop recording; the recorder must outlive all spans that
   // may observe it (install/uninstall from serial sections only).
@@ -85,11 +103,15 @@ class TraceRecorder {
   struct Buffer {
     std::uint32_t tid = 0;
     std::vector<Event> events;
+    // Thread-private overflow tally (only the owning thread writes it;
+    // dropped_count() reads serially, like event_count reads events).
+    std::uint64_t dropped = 0;
   };
 
   Buffer& local_buffer();
 
   const std::uint64_t id_;  // process-unique; keys the thread-local cache
+  const std::size_t max_events_per_thread_;
   const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;  // guards buffers_ registration only
   std::vector<std::unique_ptr<Buffer>> buffers_;
@@ -158,7 +180,11 @@ struct NullSpan {
 class ScopedRecording {
  public:
   ScopedRecording() : ScopedRecording(true) {}
-  explicit ScopedRecording(bool enabled) : enabled_(enabled) {
+  explicit ScopedRecording(
+      bool enabled,
+      std::size_t max_events_per_thread =
+          TraceRecorder::kDefaultMaxEventsPerThread)
+      : enabled_(enabled), recorder_(max_events_per_thread) {
     if (enabled_) TraceRecorder::install_global(&recorder_);
   }
   ~ScopedRecording() {

@@ -1,0 +1,256 @@
+#include "src/server/admissiond.h"
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "src/obs/stopwatch.h"
+#include "src/traffic/fingerprint.h"
+#include "src/util/check.h"
+
+namespace hetnet::server {
+
+double SloReport::eviction_cliff_ratio() const {
+  if (post_eviction_samples == 0 || steady_p50_ns <= 0) return 0.0;
+  return double(post_eviction_p99_ns) / double(steady_p50_ns);
+}
+
+void SloReport::write_json(std::ostream& out) const {
+  out << "{\n"
+      << "  \"requests\": " << requests << ",\n"
+      << "  \"setups\": " << setups << ",\n"
+      << "  \"admitted\": " << admitted << ",\n"
+      << "  \"wall_ns\": " << wall_ns << ",\n"
+      << "  \"sustained_throughput\": " << sustained_throughput << ",\n"
+      << "  \"setup_p50_ns\": " << setup_p50_ns << ",\n"
+      << "  \"setup_p99_ns\": " << setup_p99_ns << ",\n"
+      << "  \"steady_p50_ns\": " << steady_p50_ns << ",\n"
+      << "  \"steady_p99_ns\": " << steady_p99_ns << ",\n"
+      << "  \"post_eviction_p50_ns\": " << post_eviction_p50_ns << ",\n"
+      << "  \"post_eviction_p99_ns\": " << post_eviction_p99_ns << ",\n"
+      << "  \"post_eviction_samples\": " << post_eviction_samples << ",\n"
+      << "  \"evictions\": " << evictions << ",\n"
+      << "  \"invalidations\": " << invalidations << ",\n"
+      << "  \"unmatched_releases\": " << unmatched_releases << ",\n"
+      << "  \"prewarmed_points\": " << prewarmed_points << ",\n"
+      << "  \"eviction_cliff_ratio\": " << eviction_cliff_ratio() << "\n"
+      << "}\n";
+}
+
+AdmissionService::AdmissionService(const net::AbhnTopology* topology,
+                                   const AdmissiondConfig& config)
+    : topology_(topology),
+      config_(config),
+      cac_(topology, config.cac),
+      digest_(fp::mix(0xAD3155D1ull)) {
+  HETNET_CHECK(topology_ != nullptr, "null topology");
+  HETNET_CHECK(config_.batch_size >= 1, "batch_size must be >= 1");
+  shards_.resize(std::size_t(topology_->num_rings()));
+  h_setup_ = &cac_.metrics().histogram("admissiond.setup_ns");
+  h_steady_ = &cac_.metrics().histogram("admissiond.steady_ns");
+  h_post_eviction_ = &cac_.metrics().histogram("admissiond.post_eviction_ns");
+}
+
+void AdmissionService::submit(const Request& req) {
+  // SETUPs shard by source ring (the signaling link they arrive on);
+  // RELEASEs — and SETUPs with out-of-topology sources, which commit as
+  // CAC-validated rejects either way — shard by id so a connection's
+  // teardown has a deterministic home without a live-set lookup.
+  std::size_t shard;
+  if (req.type == RequestType::kSetup && topology_->valid_host(req.spec.src)) {
+    shard = std::size_t(req.spec.src.ring);
+  } else {
+    shard = std::size_t(req.id % std::uint64_t(shards_.size()));
+  }
+  HETNET_CHECK(shards_[shard].empty() || shards_[shard].back().seq < req.seq,
+               "per-shard submissions must be in ascending seq order");
+  shards_[shard].push_back(req);
+  ++pending_;
+}
+
+std::size_t AdmissionService::run_round() {
+  round_.clear();
+  // K-way merge of the shard heads back into global arrival order. Each
+  // shard is FIFO in seq, so the minimum head IS the global minimum.
+  while (round_.size() < config_.batch_size) {
+    int best = -1;
+    for (int s = 0; s < int(shards_.size()); ++s) {
+      if (shards_[s].empty()) continue;
+      if (best < 0 || shards_[s].front().seq < shards_[best].front().seq) {
+        best = s;
+      }
+    }
+    if (best < 0) break;
+    round_.push_back(std::move(shards_[best].front()));
+    shards_[best].pop_front();
+  }
+  if (round_.empty()) return 0;
+  pending_ -= round_.size();
+  ++stats_.rounds;
+
+  if (config_.prewarm) {
+    prewarm_specs_.clear();
+    for (const Request& r : round_) {
+      if (r.type == RequestType::kSetup) prewarm_specs_.push_back(r.spec);
+    }
+    if (prewarm_specs_.size() > 1) {
+      stats_.prewarmed_points +=
+          std::uint64_t(cac_.prewarm(prewarm_specs_));
+    }
+  }
+
+  for (const Request& r : round_) commit(r);
+  return round_.size();
+}
+
+std::size_t AdmissionService::run_all() {
+  std::size_t total = 0;
+  for (std::size_t n = run_round(); n > 0; n = run_round()) total += n;
+  return total;
+}
+
+void AdmissionService::commit(const Request& req) {
+  if (req.type == RequestType::kSetup) {
+    commit_setup(req);
+  } else {
+    commit_release(req);
+  }
+}
+
+void AdmissionService::commit_setup(const Request& req) {
+  const std::int64_t t0 = obs::monotonic_ns();
+  Outcome out;
+  out.seq = req.seq;
+  out.id = req.id;
+  if (live_.contains(req.id)) {
+    // Previous instance of this id still live: refuse without consulting
+    // the CAC, exactly like the signaling layer's source-host collision.
+    ++stats_.collisions;
+    ++stats_.rejected;
+    out.admitted = false;
+    out.reason = core::RejectReason::kSignalingCollision;
+  } else {
+    const core::AdmissionDecision d = cac_.request(req.spec);
+    out.admitted = d.admitted;
+    out.reason = d.reason;
+    out.alloc = d.alloc;
+    out.worst_case_delay = d.worst_case_delay;
+    if (d.admitted) {
+      live_.emplace(req.id, true);
+      ++stats_.admitted;
+    } else {
+      ++stats_.rejected;
+    }
+  }
+  ++stats_.setups;
+
+  digest_ = fp::combine(digest_, out.seq);
+  digest_ = fp::combine(digest_, out.id);
+  digest_ = fp::combine(digest_, out.admitted ? 1u : 0u);
+  digest_ = fp::combine(digest_, std::uint64_t(out.reason));
+  digest_ = fp::combine(digest_, fp::of_double(val(out.alloc.h_s)));
+  digest_ = fp::combine(digest_, fp::of_double(val(out.alloc.h_r)));
+  digest_ = fp::combine(digest_, fp::of_double(val(out.worst_case_delay)));
+  if (config_.record_outcomes) outcomes_.push_back(out);
+
+  const std::int64_t t1 = obs::monotonic_ns();
+  if (first_commit_ns_ == 0) first_commit_ns_ = t0;
+  last_commit_ns_ = t1;
+  const double dt = double(t1 - t0);
+  h_setup_->record(dt);
+  if (post_window_left_ > 0) {
+    h_post_eviction_->record(dt);
+    --post_window_left_;
+  } else {
+    h_steady_->record(dt);
+  }
+  // Open (or re-arm) the post-eviction window when this request made the
+  // session shed a generation. The window starts at the NEXT setup: the
+  // triggering request's own cost is intrinsic (it was insert-heavy enough
+  // to overflow a generation); the cliff question is whether the requests
+  // AFTER the shed lost their warm entries. Under the old wholesale-clear
+  // trim they did (stone-cold replays); generational eviction keeps the
+  // promoted hot set, so the window should look like steady state.
+  const std::uint64_t ev = cac_.eviction_count();
+  if (ev != last_evictions_) {
+    last_evictions_ = ev;
+    post_window_left_ = config_.post_eviction_window;
+  }
+}
+
+void AdmissionService::commit_release(const Request& req) {
+  const std::int64_t t0 = obs::monotonic_ns();
+  ++stats_.releases;
+  const auto it = live_.find(req.id);
+  const bool matched = it != live_.end();
+  if (matched) {
+    cac_.release(req.id);
+    live_.erase(it);
+    ++stats_.matched_releases;
+  } else {
+    // The open-loop stream tears down verdict-blind, so RELEASEs for
+    // rejected (or collided) SETUPs are expected: counted no-ops.
+    ++stats_.unmatched_releases;
+  }
+  digest_ = fp::combine(digest_, req.seq);
+  digest_ = fp::combine(digest_, req.id);
+  digest_ = fp::combine(digest_, matched ? 1u : 0u);
+  if (first_commit_ns_ == 0) first_commit_ns_ = t0;
+  last_commit_ns_ = obs::monotonic_ns();
+}
+
+void AdmissionService::begin_measurement() {
+  ++epoch_;
+  const std::string suffix = ".epoch" + std::to_string(epoch_);
+  h_setup_ = &cac_.metrics().histogram("admissiond.setup_ns" + suffix);
+  h_steady_ = &cac_.metrics().histogram("admissiond.steady_ns" + suffix);
+  h_post_eviction_ =
+      &cac_.metrics().histogram("admissiond.post_eviction_ns" + suffix);
+  first_commit_ns_ = 0;
+  last_commit_ns_ = 0;
+  post_window_left_ = 0;
+  last_evictions_ = cac_.eviction_count();
+  evictions_mark_ = last_evictions_;
+  stats_mark_ = stats_;
+  const auto counters = cac_.metrics().counter_snapshot();
+  if (const auto it = counters.find("cac.session.invalidations");
+      it != counters.end()) {
+    invalidations_mark_ = it->second;
+  }
+}
+
+SloReport AdmissionService::report() const {
+  SloReport r;
+  r.setups = stats_.setups - stats_mark_.setups;
+  r.requests = r.setups + (stats_.releases - stats_mark_.releases);
+  r.admitted = stats_.admitted - stats_mark_.admitted;
+  r.wall_ns =
+      last_commit_ns_ > first_commit_ns_ ? last_commit_ns_ - first_commit_ns_
+                                         : 0;
+  r.sustained_throughput =
+      r.wall_ns > 0 ? double(r.requests) / (double(r.wall_ns) * 1e-9) : 0.0;
+
+  const obs::ShardedHistogram::Merged setup = h_setup_->merged();
+  const obs::ShardedHistogram::Merged steady = h_steady_->merged();
+  const obs::ShardedHistogram::Merged post = h_post_eviction_->merged();
+  r.setup_p50_ns = std::int64_t(setup.quantile_upper(0.5));
+  r.setup_p99_ns = std::int64_t(setup.quantile_upper(0.99));
+  r.steady_p50_ns = std::int64_t(steady.quantile_upper(0.5));
+  r.steady_p99_ns = std::int64_t(steady.quantile_upper(0.99));
+  r.post_eviction_p50_ns = std::int64_t(post.quantile_upper(0.5));
+  r.post_eviction_p99_ns = std::int64_t(post.quantile_upper(0.99));
+  r.post_eviction_samples = post.count;
+
+  r.evictions = cac_.eviction_count() - evictions_mark_;
+  const auto counters = cac_.metrics().counter_snapshot();
+  if (const auto it = counters.find("cac.session.invalidations");
+      it != counters.end()) {
+    r.invalidations = it->second - invalidations_mark_;
+  }
+  r.unmatched_releases =
+      stats_.unmatched_releases - stats_mark_.unmatched_releases;
+  r.prewarmed_points = stats_.prewarmed_points - stats_mark_.prewarmed_points;
+  return r;
+}
+
+}  // namespace hetnet::server

@@ -1,0 +1,199 @@
+// admissiond: a long-lived admission service over the CAC engine.
+//
+// The simulator-facing ConnectionManager (src/signaling) answers "what does
+// ONE setup cost end to end?"; admissiond answers the operational question
+// the paper's Section 6 efficiency claim implies but never measures — can a
+// single controller sustain connection churn at scale, and what does its
+// admission-latency distribution look like once the warm caches start
+// evicting? The service owns the topology view, one AdmissionController
+// (and with it the AnalysisSession memo state), and consumes a seeded
+// open-loop SETUP/RELEASE stream (request_stream.h):
+//
+//   * requests land in per-ring shard queues (SETUPs by source ring,
+//     RELEASEs by id) — the ingestion shape of a controller fed by
+//     per-ring signaling links;
+//   * a ROUND merges the shard heads back into global arrival order and
+//     takes up to batch_size requests;
+//   * the round's SETUPs are prewarmed as one batch
+//     (AdmissionController::prewarm): their step-2 Theorem-4 points are
+//     evaluated concurrently against the shared session base with private
+//     overlays, then absorbed — pure cache warming;
+//   * every request then COMMITS strictly in arrival (seq) order:
+//     cac_.request() / cac_.release() plus the service's own bookkeeping.
+//
+// Determinism contract: decisions are bit-identical to a serial replay
+// (batch_size 1, prewarm off, analysis.threads 1) at ANY batch size and
+// thread count. Sharding and batching only reorder WORK; commits happen in
+// seq order against identical ledger state, and prewarm stores only values
+// a serial request() would compute bit-identically at the same state.
+// tests/server/admissiond_test.cc and the admissiond_equivalence fuzz
+// oracle pin this; `decision_digest()` folds every outcome into one value
+// so a 1M-request soak can verify equivalence in O(1) memory.
+//
+// Latency accounting is observation-only (obs::monotonic_ns): per-setup
+// decision times split into a steady-state histogram and a short
+// post-eviction window opened whenever the session sheds a generation, so
+// the SLO report exposes the eviction p99 the old wholesale-clear trim made
+// pathological.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "src/core/cac.h"
+#include "src/server/request_stream.h"
+
+namespace hetnet::server {
+
+struct AdmissiondConfig {
+  core::CacConfig cac;
+  // Requests per admission round. Larger batches amortize prewarm fan-out;
+  // 1 disables batching (with prewarm=false this IS the serial replay).
+  std::size_t batch_size = 32;
+  // Speculatively evaluate each round's SETUP batch before committing.
+  bool prewarm = true;
+  // Keep one Outcome per SETUP (equivalence tests; a 1M soak relies on the
+  // running digest instead and leaves this off).
+  bool record_outcomes = false;
+  // Setups attributed to the post-eviction histogram after each session
+  // generation shed.
+  std::uint64_t post_eviction_window = 64;
+};
+
+// One committed SETUP verdict (recorded when record_outcomes).
+struct Outcome {
+  std::uint64_t seq = 0;
+  net::ConnectionId id = 0;
+  bool admitted = false;
+  core::RejectReason reason = core::RejectReason::kNone;
+  net::Allocation alloc;
+  Seconds worst_case_delay;
+};
+
+struct ServiceStats {
+  std::uint64_t setups = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  // SETUPs refused at the service because the id is still live (the CAC
+  // never sees them — mirrors signaling's setup_collisions).
+  std::uint64_t collisions = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t matched_releases = 0;
+  // RELEASEs naming a connection that is not live: its SETUP was rejected
+  // (the open-loop stream tears down verdict-blind) or already released.
+  std::uint64_t unmatched_releases = 0;
+  std::uint64_t rounds = 0;
+  // Step-2 points prewarm actually evaluated (not skipped or already warm).
+  std::uint64_t prewarmed_points = 0;
+};
+
+// Throughput/latency SLO summary of one service run. All latency fields are
+// integer nanoseconds from the obs monotonic clock; quantiles are
+// conservative upper bin edges (ShardedHistogram). Populated by
+// AdmissionService::report().
+struct SloReport {
+  std::uint64_t requests = 0;           // committed SETUPs + RELEASEs
+  std::uint64_t setups = 0;
+  std::uint64_t admitted = 0;
+  std::int64_t wall_ns = 0;             // first to last commit
+  double sustained_throughput = 0.0;    // requests per wall second
+  std::int64_t setup_p50_ns = 0;        // all setups
+  std::int64_t setup_p99_ns = 0;
+  std::int64_t steady_p50_ns = 0;       // outside post-eviction windows
+  std::int64_t steady_p99_ns = 0;
+  std::int64_t post_eviction_p50_ns = 0;
+  std::int64_t post_eviction_p99_ns = 0;
+  std::uint64_t post_eviction_samples = 0;
+  std::uint64_t evictions = 0;          // session generation sheds (entries)
+  std::uint64_t invalidations = 0;      // release-keyed cache reclamations
+  std::uint64_t unmatched_releases = 0;
+  std::uint64_t prewarmed_points = 0;
+
+  // The SLO headline: post-eviction p99 over steady p50 (0 when no
+  // eviction window was ever sampled). The acceptance bar is <= 3.
+  double eviction_cliff_ratio() const;
+
+  // One flat JSON object (stable key order) for CI artifacts and
+  // bench_compare.
+  void write_json(std::ostream& out) const;
+};
+
+class AdmissionService {
+ public:
+  AdmissionService(const net::AbhnTopology* topology,
+                   const AdmissiondConfig& config);
+
+  // Enqueues one request. Requests must be submitted in ascending seq
+  // order per shard; feeding a RequestStream in stream order satisfies
+  // this globally.
+  void submit(const Request& req);
+
+  // Runs one admission round over up to batch_size pending requests in
+  // global seq order. Returns the number of requests committed (0 when
+  // idle).
+  std::size_t run_round();
+
+  // Drains every pending request through successive rounds.
+  std::size_t run_all();
+
+  std::size_t pending() const { return pending_; }
+
+  // Order-sensitive fold over every committed outcome (setup verdicts,
+  // allocations, delay bits, release matching). Equal digests across runs
+  // mean bit-identical decision streams.
+  std::uint64_t decision_digest() const { return digest_; }
+
+  const ServiceStats& stats() const { return stats_; }
+  const std::vector<Outcome>& outcomes() const { return outcomes_; }
+  const core::AdmissionController& cac() const { return cac_; }
+  core::AdmissionController& cac() { return cac_; }
+
+  SloReport report() const;
+
+  // Marks the start of the measured phase: latency samples, wall clock,
+  // stats, and eviction baselines recorded so far become warm-up and are
+  // excluded from subsequent report()s. Benches call this after a
+  // saturation fill whose admits are intrinsically expensive (bisection
+  // probes), so the SLO histograms — and the cliff metric defined over
+  // them — only see the cost-homogeneous steady workload.
+  void begin_measurement();
+
+ private:
+  void commit(const Request& req);
+  void commit_setup(const Request& req);
+  void commit_release(const Request& req);
+
+  const net::AbhnTopology* topology_;
+  AdmissiondConfig config_;
+  core::AdmissionController cac_;
+  // Shard queues, one per ring. Each is FIFO in seq order, so merging the
+  // heads by minimum seq reconstructs global arrival order.
+  std::vector<std::deque<Request>> shards_;
+  std::size_t pending_ = 0;
+  // Live connections (admitted, not yet released) as the service sees them.
+  std::map<net::ConnectionId, bool> live_;
+  ServiceStats stats_;
+  std::vector<Outcome> outcomes_;
+  std::uint64_t digest_;
+  // Latency accounting (observation-only).
+  obs::ShardedHistogram* h_setup_ = nullptr;
+  obs::ShardedHistogram* h_steady_ = nullptr;
+  obs::ShardedHistogram* h_post_eviction_ = nullptr;
+  std::uint64_t last_evictions_ = 0;
+  std::uint64_t post_window_left_ = 0;
+  std::int64_t first_commit_ns_ = 0;
+  std::int64_t last_commit_ns_ = 0;
+  // Measurement-phase baselines (begin_measurement); zero = whole run.
+  int epoch_ = 0;
+  ServiceStats stats_mark_;
+  std::uint64_t evictions_mark_ = 0;
+  std::uint64_t invalidations_mark_ = 0;
+  // Scratch reused across rounds.
+  std::vector<Request> round_;
+  std::vector<net::ConnectionSpec> prewarm_specs_;
+};
+
+}  // namespace hetnet::server

@@ -1,0 +1,101 @@
+#include "src/server/request_stream.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/traffic/sources.h"
+#include "src/util/check.h"
+
+namespace hetnet::server {
+
+RequestStream::RequestStream(const net::AbhnTopology* topology,
+                             const StreamConfig& config)
+    : topology_(topology), config_(config), rng_(config.seed) {
+  HETNET_CHECK(topology_ != nullptr, "null topology");
+  HETNET_CHECK(config_.lambda > 0.0, "stream lambda must be positive");
+  HETNET_CHECK(config_.mean_lifetime > 0, "mean lifetime must be positive");
+  HETNET_CHECK(config_.source_variants >= 1, "need at least one variant");
+  HETNET_CHECK(config_.intra_ring_fraction >= 0.0 &&
+                   config_.intra_ring_fraction <= 1.0,
+               "intra_ring_fraction must lie in [0, 1]");
+  sources_.reserve(static_cast<std::size_t>(config_.source_variants));
+  for (int v = 0; v < config_.source_variants; ++v) {
+    // Variant v scales the base burst sizes; periods, peak, and deadline
+    // stay shared so every variant lives on the same timescale.
+    const double scale = 1.0 + 0.5 * v;
+    sources_.push_back(std::make_shared<DualPeriodicEnvelope>(
+        config_.c1 * scale, config_.p1, config_.c2 * scale, config_.p2,
+        BitsPerSecond::infinity()));
+  }
+  next_setup_at_ = Seconds{rng_.exponential_mean(1.0 / config_.lambda)};
+}
+
+Request RequestStream::make_setup(Seconds at) {
+  Request req;
+  req.seq = seq_++;
+  req.type = RequestType::kSetup;
+  req.id = next_id_++;
+  req.arrival = at;
+
+  const int rings = topology_->num_rings();
+  const int hosts = topology_->params().hosts_per_ring;
+  net::ConnectionSpec spec;
+  spec.id = req.id;
+  spec.src = {static_cast<int>(rng_.uniform_index(std::uint64_t(rings))),
+              static_cast<int>(rng_.uniform_index(std::uint64_t(hosts)))};
+  const bool intra =
+      rings == 1 || rng_.bernoulli(config_.intra_ring_fraction);
+  int dst_ring = spec.src.ring;
+  if (!intra) {
+    // Uniform over the OTHER rings.
+    dst_ring = static_cast<int>(rng_.uniform_index(std::uint64_t(rings - 1)));
+    if (dst_ring >= spec.src.ring) ++dst_ring;
+  }
+  int dst_index = static_cast<int>(rng_.uniform_index(std::uint64_t(hosts)));
+  if (intra && dst_index == spec.src.index) {
+    dst_index = (dst_index + 1) % hosts;  // no self-loops on one ring
+  }
+  spec.dst = {dst_ring, dst_index};
+  spec.source = sources_[rng_.pick(sources_.size())];
+  spec.deadline = config_.deadline;
+  req.spec = std::move(spec);
+
+  // Open-loop teardown: scheduled now, verdict-blind (see header).
+  const Seconds release_at =
+      at + Seconds{rng_.exponential_mean(val(config_.mean_lifetime))};
+  releases_.push({release_at, req.id});
+  return req;
+}
+
+bool RequestStream::next(Request* out) {
+  HETNET_CHECK(out != nullptr, "null request sink");
+  const bool setups_left = setups_emitted_ < config_.num_setups;
+  const bool releases_left = !releases_.empty();
+  if (!setups_left && !releases_left) return false;
+  if (setups_left &&
+      (!releases_left || next_setup_at_ <= releases_.top().first)) {
+    const Seconds at = next_setup_at_;
+    *out = make_setup(at);
+    ++setups_emitted_;
+    next_setup_at_ = at + Seconds{rng_.exponential_mean(1.0 / config_.lambda)};
+    return true;
+  }
+  const auto [at, id] = releases_.top();
+  releases_.pop();
+  Request req;
+  req.seq = seq_++;
+  req.type = RequestType::kRelease;
+  req.id = id;
+  req.arrival = at;
+  *out = req;
+  return true;
+}
+
+std::vector<Request> RequestStream::drain() {
+  std::vector<Request> all;
+  Request req;
+  while (next(&req)) all.push_back(req);
+  return all;
+}
+
+}  // namespace hetnet::server

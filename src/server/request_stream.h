@@ -1,0 +1,107 @@
+// Seeded open-loop SETUP/RELEASE request generation for admissiond.
+//
+// The stream models the paper's connection-oriented service interface at
+// scale: applications issue SETUPs as a Poisson process at rate λ (virtual
+// time), hold an admitted contract for an exponentially distributed
+// lifetime, and issue the matching RELEASE when the lifetime expires. The
+// generator is OPEN-LOOP — it schedules every connection's RELEASE at
+// setup-time + lifetime without knowing the admission verdict, exactly like
+// an application that tears down regardless of whether its contract was
+// granted. RELEASEs for rejected SETUPs therefore reach the service as
+// unmatched no-ops, which is deliberate coverage of the same interleaving
+// class the signaling layer hardens against (SignalingStats).
+//
+// Determinism: all randomness flows through util::Rng from the configured
+// seed; the same (topology, config) yields the same request sequence bit
+// for bit on every platform and at every consumer batch size. Virtual
+// arrival time orders the stream; the emitted `seq` numbers (0,1,2,...)
+// are the service's deterministic commit order.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/net/connection.h"
+#include "src/net/topology.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace hetnet::server {
+
+enum class RequestType { kSetup, kRelease };
+
+// One request on the wire. `seq` is the global arrival index — the
+// deterministic commit order the service must honor regardless of
+// sharding, batching, or thread count.
+struct Request {
+  std::uint64_t seq = 0;
+  RequestType type = RequestType::kSetup;
+  net::ConnectionId id = 0;     // the connection this request names
+  net::ConnectionSpec spec;     // populated for kSetup (spec.id == id)
+  Seconds arrival;              // virtual arrival time (diagnostics only)
+};
+
+struct StreamConfig {
+  // SETUPs to generate; the stream then drains the outstanding RELEASEs,
+  // so the total request count approaches 2 × num_setups.
+  std::uint64_t num_setups = 100000;
+  // Poisson SETUP arrival rate per virtual second. With lifetimes far
+  // shorter than the drain rate of the rings, λ × mean_lifetime is the
+  // OFFERED number of concurrent connections; the rings cap the carried
+  // number, so a high λ runs the service saturated — sustained
+  // admit/release churn with a heavy step-1/Tier-A reject tail.
+  double lambda = 2000.0;
+  Seconds mean_lifetime = units::ms(500);
+  std::uint64_t seed = 1;
+
+  // Dual-periodic source shape (base variant; see source_variants).
+  Bits c1 = units::kbits(50);
+  Seconds p1 = units::ms(100);
+  Bits c2 = units::kbits(5);
+  Seconds p2 = units::ms(10);
+  Seconds deadline = units::ms(150);
+  // Distinct source shapes in the mix (scaled multiples of the base).
+  // Variants exercise the flat/prefix caches across several fingerprints
+  // instead of one; 1 makes every source identical.
+  int source_variants = 4;
+  // Fraction of connections whose destination stays on the source ring.
+  double intra_ring_fraction = 0.125;
+};
+
+class RequestStream {
+ public:
+  RequestStream(const net::AbhnTopology* topology, const StreamConfig& config);
+
+  // Pulls the next request in arrival order. Returns false when the stream
+  // is exhausted (num_setups emitted and every scheduled RELEASE drained).
+  bool next(Request* out);
+
+  // Convenience: materializes the whole remaining stream (tests and the
+  // serial-replay verifier; a 1M-request soak streams via next() instead).
+  std::vector<Request> drain();
+
+  std::uint64_t emitted() const { return seq_; }
+
+ private:
+  Request make_setup(Seconds at);
+
+  const net::AbhnTopology* topology_;
+  StreamConfig config_;
+  Rng rng_;
+  // Shared source envelopes, one per variant: structural fingerprints make
+  // equal shapes hit the same cache entries either way, but sharing the
+  // objects keeps generation allocation-cheap at millions of requests.
+  std::vector<EnvelopePtr> sources_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t setups_emitted_ = 0;
+  net::ConnectionId next_id_ = 1;
+  Seconds next_setup_at_;
+  // Scheduled teardowns: (release time, connection id), earliest first; id
+  // breaks time ties deterministically.
+  using Pending = std::pair<Seconds, net::ConnectionId>;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      releases_;
+};
+
+}  // namespace hetnet::server

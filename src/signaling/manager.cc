@@ -93,13 +93,27 @@ void ConnectionManager::request_setup(
 void ConnectionManager::request_release(net::ConnectionId id, Seconds when) {
   queue_.schedule_at(when, [this, id] {
     const auto it = states_.find(id);
-    HETNET_CHECK(it != states_.end(), "RELEASE for an unknown connection");
+    if (it == states_.end()) {
+      // No instance in the table: the previous instance finished its
+      // teardown — or its SETUP was rejected — before this RELEASE fired.
+      // Sustained same-id churn produces this interleaving legitimately;
+      // there is nothing to release and no bandwidth at stake.
+      ++stats_.unmatched_releases;
+      return;
+    }
     switch (it->second) {
       case ConnectionState::kSetupInProgress:
         // The SETUP's verdict is still in flight; apply the RELEASE when it
-        // lands (or drop it with the REJECT).
-        ++stats_.deferred_releases;
-        pending_release_.insert(id);
+        // lands (or drop it with the REJECT). A release already queued for
+        // this id makes a second one a duplicate, not a second deferral:
+        // the verdict consumes exactly one pending release, so counting
+        // both as deferred would overstate the pile-up (and a leaked count
+        // is exactly what the deferred-release audit is after).
+        if (pending_release_.insert(id).second) {
+          ++stats_.deferred_releases;
+        } else {
+          ++stats_.duplicate_releases;
+        }
         return;
       case ConnectionState::kReleasing:
         ++stats_.duplicate_releases;  // teardown already under way

@@ -75,8 +75,16 @@ struct SignalingStats {
   // RELEASEs that arrived while the SETUP was still in flight and were
   // applied right after the CONNECT (or dropped with the REJECT).
   std::size_t deferred_releases = 0;
-  // RELEASEs for a connection already releasing (duplicate teardown).
+  // RELEASEs for a connection already releasing (duplicate teardown), or
+  // re-RELEASEs of a connection that already has a deferred release queued
+  // behind its in-flight SETUP (counted here, NOT as a second deferral —
+  // one verdict consumes exactly one deferred release).
   std::size_t duplicate_releases = 0;
+  // RELEASEs that reached the controller for an id with no instance in the
+  // state table at all: the instance was torn down (or its SETUP rejected)
+  // before this RELEASE fired. Under sustained same-id churn this is a
+  // legitimate interleaving, so it is a counted no-op rather than a crash.
+  std::size_t unmatched_releases = 0;
 };
 
 class ConnectionManager {
@@ -93,9 +101,11 @@ class ConnectionManager {
 
   // Schedules a RELEASE for an established (or establishing) connection.
   // A RELEASE reaching a connection whose SETUP is still in flight is
-  // deferred until the verdict arrives; one reaching a connection already
-  // releasing is a counted no-op. Invalid for unknown connections once the
-  // calendar reaches `when`.
+  // deferred until the verdict arrives (a SECOND release in that window is
+  // a counted duplicate — the verdict consumes one deferral); one reaching
+  // a connection already releasing is a counted no-op; one reaching an id
+  // with no instance in the table (already torn down, or its SETUP was
+  // rejected) is a counted unmatched no-op.
   void request_release(net::ConnectionId id, Seconds when);
 
   // Runs the signaling calendar to completion and returns every setup's

@@ -1,7 +1,7 @@
 // The differential-fuzzing driver.
 //
 // run_fuzz() walks a contiguous seed range; for each seed it generates a
-// scenario, runs the six oracles (src/testing/fuzz/oracles.h), and on any
+// scenario, runs the seven oracles (src/testing/fuzz/oracles.h), and on any
 // violation shrinks the scenario (src/testing/fuzz/shrink.h) chasing the
 // same set of failing oracles, then emits a self-contained JSON repro:
 //
@@ -9,7 +9,7 @@
 //     "format": "hetnet-fuzz-repro-v1",
 //     "seed": "<originating seed>",
 //     "scenario": { ... },                  // scenario.h JSON schema
-//     "verdicts": [{"oracle", "ok", "detail"}, ...],   // all six oracles
+//     "verdicts": [{"oracle", "ok", "detail"}, ...],   // all seven oracles
 //     "shrink": {"steps": n, "attempts": m}
 //   }
 //
@@ -45,7 +45,7 @@ struct FuzzOptions {
 struct FuzzFailure {
   std::uint64_t seed = 0;
   FuzzScenario scenario;                // shrunk (== generated if no shrink)
-  std::vector<OracleResult> verdicts;   // all six oracles on `scenario`
+  std::vector<OracleResult> verdicts;   // all seven oracles on `scenario`
   int shrink_steps = 0;
   int shrink_attempts = 0;
   std::string repro_path;    // empty when no repro_dir was configured

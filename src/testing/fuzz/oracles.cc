@@ -11,6 +11,7 @@
 #include "src/core/analyzer.h"
 #include "src/fddi/ring.h"
 #include "src/obs/span.h"
+#include "src/server/admissiond.h"
 #include "src/servers/conversion.h"
 #include "src/sim/packet_sim.h"
 #include "src/traffic/sources.h"
@@ -456,6 +457,115 @@ OracleResult check_tiered_equivalence(const FuzzScenario& s) {
   return result;
 }
 
+OracleResult check_admissiond_equivalence(const FuzzScenario& s) {
+  // PR-8 contract: the admissiond service's sharded ingestion, batched
+  // rounds, and prewarm fan-out only reorder WORK — commits happen in seq
+  // order against identical ledger state — so a batched/parallel service
+  // must produce outcome-by-outcome identical decisions to a serial
+  // service replay of the same request sequence. (Service semantics differ
+  // deliberately from replay_ops: RELEASE of a non-live id is a counted
+  // no-op and SETUP of a live id a collision reject, so both sides of this
+  // comparison are services.)
+  OracleResult result{"admissiond_equivalence", true, ""};
+  const net::AbhnTopology topo(topology_params(s));
+
+  std::vector<server::Request> requests;
+  std::uint64_t seq = 0;
+  for (const FuzzOp& op : s.ops) {
+    server::Request req;
+    req.seq = seq++;
+    req.id = static_cast<net::ConnectionId>(op.conn + 1);
+    if (op.release) {
+      req.type = server::RequestType::kRelease;
+    } else {
+      req.type = server::RequestType::kSetup;
+      req.spec = connection_spec(s, op.conn);
+    }
+    requests.push_back(std::move(req));
+  }
+
+  const auto run_service = [&](const server::AdmissiondConfig& config) {
+    auto service = std::make_unique<server::AdmissionService>(&topo, config);
+    for (const server::Request& req : requests) {
+      service->submit(req);
+      if (service->pending() >= 4 * config.batch_size) service->run_round();
+    }
+    service->run_all();
+    return service;
+  };
+
+  server::AdmissiondConfig serial;
+  serial.cac = cac_config(s, true);
+  serial.batch_size = 1;
+  serial.prewarm = false;
+  serial.record_outcomes = true;
+  const auto ref = run_service(serial);
+
+  struct Variant {
+    std::size_t batch;
+    int threads;
+  };
+  for (const Variant v : {Variant{4, 2}, Variant{32, 8}}) {
+    server::AdmissiondConfig cfg;
+    cfg.cac = cac_config(s, true);
+    cfg.cac.analysis.threads = v.threads;
+    cfg.batch_size = v.batch;
+    cfg.prewarm = true;
+    cfg.record_outcomes = true;
+    const auto got = run_service(cfg);
+    const auto& ra = ref->outcomes();
+    const auto& rb = got->outcomes();
+    if (ra.size() != rb.size()) {
+      result.ok = false;
+      result.detail = fmt(
+          "admissiond(batch=%zu,threads=%d) committed %zu setups, serial "
+          "committed %zu",
+          v.batch, v.threads, rb.size(), ra.size());
+      return result;
+    }
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      const auto& a = ra[i];
+      const auto& b = rb[i];
+      if (a.seq != b.seq || a.id != b.id || a.admitted != b.admitted ||
+          a.reason != b.reason || !same_seconds(a.alloc.h_s, b.alloc.h_s) ||
+          !same_seconds(a.alloc.h_r, b.alloc.h_r) ||
+          !same_seconds(a.worst_case_delay, b.worst_case_delay)) {
+        result.ok = false;
+        result.detail = fmt(
+            "setup %zu (seq %llu): admissiond(batch=%zu,threads=%d) "
+            "diverges from serial service (admitted %d vs %d, h_s %.17g vs "
+            "%.17g)",
+            i, static_cast<unsigned long long>(a.seq), v.batch, v.threads,
+            b.admitted, a.admitted, val(b.alloc.h_s), val(a.alloc.h_s));
+        return result;
+      }
+    }
+    if (got->decision_digest() != ref->decision_digest()) {
+      result.ok = false;
+      result.detail = fmt(
+          "admissiond(batch=%zu,threads=%d) decision digest diverges from "
+          "serial service despite outcome-equal setups (release matching "
+          "differs)",
+          v.batch, v.threads);
+      return result;
+    }
+    for (int ring = 0; ring < s.num_rings; ++ring) {
+      if (val(ref->cac().ledger(ring).allocated()) !=
+          val(got->cac().ledger(ring).allocated())) {
+        result.ok = false;
+        result.detail = fmt(
+            "ring %d: ledger divergence between serial and "
+            "admissiond(batch=%zu,threads=%d) services (%.17g s vs %.17g s)",
+            ring, v.batch, v.threads,
+            val(ref->cac().ledger(ring).allocated()),
+            val(got->cac().ledger(ring).allocated()));
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
 OracleResult check_algebra_invariants(const FuzzScenario& s) {
   OracleResult result{"algebra_invariants", true, ""};
   Rng rng(s.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -545,6 +655,7 @@ std::vector<OracleResult> run_all_oracles(const FuzzScenario& scenario,
       run_oracle("line_monotonicity", scenario, options),
       run_oracle("parallel_equivalence", scenario, options),
       run_oracle("tiered_equivalence", scenario, options),
+      run_oracle("admissiond_equivalence", scenario, options),
       run_oracle("algebra_invariants", scenario, options),
   };
 }
@@ -564,6 +675,7 @@ OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
       : name == "line_monotonicity"       ? "fuzz.line_monotonicity"
       : name == "parallel_equivalence"    ? "fuzz.parallel_equivalence"
       : name == "tiered_equivalence"      ? "fuzz.tiered_equivalence"
+      : name == "admissiond_equivalence"  ? "fuzz.admissiond_equivalence"
       : name == "algebra_invariants"      ? "fuzz.algebra_invariants"
                                           : "fuzz.oracle";
   HETNET_OBS_SPAN_NAMED(span, span_name, "fuzz");
@@ -583,6 +695,9 @@ OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
     }
     if (name == "tiered_equivalence") {
       return check_tiered_equivalence(scenario);
+    }
+    if (name == "admissiond_equivalence") {
+      return check_admissiond_equivalence(scenario);
     }
     if (name == "algebra_invariants") {
       return check_algebra_invariants(scenario);

@@ -1,4 +1,4 @@
-// The six soundness oracles of the differential fuzzer.
+// The seven soundness oracles of the differential fuzzer.
 //
 // Each oracle takes a scenario, rebuilds the system from scratch, and
 // checks one property the reproduction's claims rest on:
@@ -41,6 +41,14 @@
 //                            delay bounds, anchors, and ledgers to the
 //                            untiered incremental engine — the adversarial
 //                            audit of CacConfig::screen_margin.
+//   admissiond_equivalence — PR-8 contract: feeding the scenario's op
+//                            sequence through the admissiond service
+//                            (sharded queues, batched rounds, prewarm,
+//                            parallel analysis) yields outcome-by-outcome
+//                            and digest-identical decisions to the serial
+//                            service replay (batch 1, prewarm off, one
+//                            analysis thread) at every batch size and
+//                            thread count tried.
 //   algebra_invariants     — traffic algebra: every source envelope is
 //                            monotone, subadditive (Γ's defining property),
 //                            and leaky-bucket majorized by
@@ -84,17 +92,18 @@ OracleResult check_incremental_equivalence(const FuzzScenario& scenario);
 OracleResult check_line_monotonicity(const FuzzScenario& scenario);
 OracleResult check_parallel_equivalence(const FuzzScenario& scenario);
 OracleResult check_tiered_equivalence(const FuzzScenario& scenario);
+OracleResult check_admissiond_equivalence(const FuzzScenario& scenario);
 OracleResult check_algebra_invariants(const FuzzScenario& scenario);
 
-// Runs all six; a thrown std::exception inside an oracle is converted into
-// a failing result whose detail carries the what() text.
+// Runs all seven; a thrown std::exception inside an oracle is converted
+// into a failing result whose detail carries the what() text.
 std::vector<OracleResult> run_all_oracles(const FuzzScenario& scenario,
                                           const OracleOptions& options = {});
 
 // Runs one oracle by name ("bound_soundness", "incremental_equivalence",
 // "line_monotonicity", "parallel_equivalence", "tiered_equivalence",
-// "algebra_invariants"), with the same exception conversion. Used by the
-// shrinker to re-check the failure it is chasing.
+// "admissiond_equivalence", "algebra_invariants"), with the same exception
+// conversion. Used by the shrinker to re-check the failure it is chasing.
 OracleResult run_oracle(const std::string& name, const FuzzScenario& scenario,
                         const OracleOptions& options = {});
 

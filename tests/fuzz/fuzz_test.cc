@@ -150,7 +150,7 @@ TEST(FuzzReplayTest, ReproRoundTripsAndReplaysDeterministically) {
   snapshot.seed = 2;
   snapshot.scenario = generate_scenario(2);
   snapshot.verdicts = run_all_oracles(snapshot.scenario, options);
-  ASSERT_EQ(snapshot.verdicts.size(), 6u);
+  ASSERT_EQ(snapshot.verdicts.size(), 7u);
 
   const json::Value repro = failure_to_json(snapshot);
   const json::Value reparsed = json::Value::parse(repro.dump());

@@ -90,5 +90,43 @@ TEST(SpanTest, ArgsBeyondCapacityAreDropped) {
 #endif
 }
 
+TEST(SpanTest, EventCapCountsDropsInsteadOfGrowing) {
+  TraceRecorder recorder(/*max_events_per_thread=*/4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record_complete("e", "test", Seconds{double(i) * 1e-6},
+                             Seconds{1e-6}, nullptr, 0);
+  }
+  EXPECT_EQ(recorder.event_count(), 4u);
+  EXPECT_EQ(recorder.dropped_count(), 6u);
+}
+
+TEST(SpanTest, DrainReclaimsCapacityAndKeepsDropLedger) {
+  TraceRecorder recorder(/*max_events_per_thread=*/4);
+  for (int i = 0; i < 6; ++i) {
+    recorder.record_complete("pre", "test", Seconds{double(i) * 1e-6},
+                             Seconds{1e-6}, nullptr, 0);
+  }
+  EXPECT_EQ(recorder.event_count(), 4u);
+  EXPECT_EQ(recorder.dropped_count(), 2u);
+
+  std::ostringstream first;
+  recorder.drain_chrome_trace(first);
+  EXPECT_NE(first.str().find("\"name\":\"pre\""), std::string::npos);
+  EXPECT_EQ(recorder.event_count(), 0u);
+
+  // The drain reclaimed the thread's capacity, so recording resumes...
+  recorder.record_complete("post", "test", Seconds{8e-6}, Seconds{1e-6},
+                           nullptr, 0);
+  EXPECT_EQ(recorder.event_count(), 1u);
+  std::ostringstream second;
+  recorder.drain_chrome_trace(second);
+  EXPECT_NE(second.str().find("\"name\":\"post\""), std::string::npos);
+  EXPECT_EQ(second.str().find("\"name\":\"pre\""), std::string::npos);
+
+  // ...while the dropped ledger deliberately survives every drain: it is
+  // the soak's cumulative data-loss record.
+  EXPECT_EQ(recorder.dropped_count(), 2u);
+}
+
 }  // namespace
 }  // namespace hetnet::obs

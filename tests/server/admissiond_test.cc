@@ -1,0 +1,200 @@
+// admissiond determinism and bookkeeping contracts.
+//
+// The tentpole claim: sharding, batching, prewarm, and the parallel
+// analysis engine only reorder WORK — every service configuration commits
+// the same decisions in the same seq order. The churn-equivalence test
+// replays one seeded open-loop stream through batched/parallel services at
+// 1, 2, and 8 analysis threads and requires outcome-by-outcome equality
+// (and digest equality) with the serial replay (batch 1, prewarm off, one
+// thread). The remaining tests pin the service-level request semantics the
+// stream relies on: collision SETUPs, unmatched RELEASEs, and the
+// measurement mark used by the SLO benches.
+#include "src/server/admissiond.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/cac.h"
+#include "src/net/topology.h"
+#include "src/server/request_stream.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace hetnet::server {
+namespace {
+
+StreamConfig small_stream() {
+  StreamConfig config;
+  config.num_setups = 250;
+  config.lambda = 4000.0;        // saturated: rejects and churn both present
+  config.mean_lifetime = units::ms(200);
+  config.seed = 7;
+  return config;
+}
+
+std::unique_ptr<AdmissionService> run_stream(
+    const net::AbhnTopology& topo, const AdmissiondConfig& config,
+    const std::vector<Request>& requests) {
+  auto service = std::make_unique<AdmissionService>(&topo, config);
+  for (const Request& req : requests) {
+    service->submit(req);
+    if (service->pending() >= 4 * config.batch_size) service->run_round();
+  }
+  service->run_all();
+  return service;
+}
+
+TEST(AdmissiondTest, ChurnEquivalentToSerialReplayAcrossThreadCounts) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  const std::vector<Request> requests =
+      RequestStream(&topo, small_stream()).drain();
+  ASSERT_GT(requests.size(), 250u);  // setups plus drained releases
+
+  AdmissiondConfig serial;
+  serial.batch_size = 1;
+  serial.prewarm = false;
+  serial.record_outcomes = true;
+  serial.cac.analysis.threads = 1;
+  const auto ref = run_stream(topo, serial, requests);
+  ASSERT_GT(ref->stats().admitted, 0u);
+  ASSERT_GT(ref->stats().rejected, 0u);
+  ASSERT_GT(ref->stats().matched_releases, 0u);
+  ASSERT_GT(ref->stats().unmatched_releases, 0u);  // open-loop teardowns
+
+  for (const int threads : {1, 2, 8}) {
+    AdmissiondConfig batched;
+    batched.batch_size = 32;
+    batched.prewarm = true;
+    batched.record_outcomes = true;
+    batched.cac.analysis.threads = threads;
+    const auto got = run_stream(topo, batched, requests);
+    EXPECT_GT(got->stats().prewarmed_points, 0u);
+
+    const auto& ra = ref->outcomes();
+    const auto& rb = got->outcomes();
+    ASSERT_EQ(ra.size(), rb.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].seq, rb[i].seq) << "threads=" << threads;
+      EXPECT_EQ(ra[i].admitted, rb[i].admitted)
+          << "threads=" << threads << " setup " << i;
+      EXPECT_EQ(ra[i].reason, rb[i].reason) << "threads=" << threads;
+      // Exact equality on purpose: bit-identical is the contract.
+      EXPECT_EQ(ra[i].alloc.h_s.value(), rb[i].alloc.h_s.value());
+      EXPECT_EQ(ra[i].alloc.h_r.value(), rb[i].alloc.h_r.value());
+      EXPECT_EQ(ra[i].worst_case_delay.value(),
+                rb[i].worst_case_delay.value());
+      if (HasFailure()) return;
+    }
+    EXPECT_EQ(ref->decision_digest(), got->decision_digest())
+        << "threads=" << threads;
+  }
+}
+
+TEST(AdmissiondTest, DigestIndependentOfRoundCadence) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  const std::vector<Request> requests =
+      RequestStream(&topo, small_stream()).drain();
+
+  AdmissiondConfig config;
+  config.batch_size = 16;
+  // Cadence A: rounds forced as soon as a batch is available.
+  AdmissionService eager(&topo, config);
+  for (const Request& req : requests) {
+    eager.submit(req);
+    if (eager.pending() >= config.batch_size) eager.run_round();
+  }
+  eager.run_all();
+  // Cadence B: everything submitted first, rounds drained at the end.
+  AdmissionService lazy(&topo, config);
+  for (const Request& req : requests) lazy.submit(req);
+  lazy.run_all();
+
+  EXPECT_EQ(eager.decision_digest(), lazy.decision_digest());
+}
+
+TEST(AdmissiondTest, LiveIdCollisionRefusedWithoutReachingCac) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  AdmissiondConfig config;
+  config.batch_size = 1;
+  config.record_outcomes = true;
+  AdmissionService service(&topo, config);
+
+  Request setup;
+  setup.seq = 0;
+  setup.type = RequestType::kSetup;
+  setup.id = 1;
+  setup.spec.id = 1;
+  setup.spec.src = {0, 0};
+  setup.spec.dst = {1, 0};
+  setup.spec.source = std::make_shared<DualPeriodicEnvelope>(
+      units::kbits(50), units::ms(100), units::kbits(5), units::ms(10),
+      BitsPerSecond::infinity());
+  setup.spec.deadline = units::ms(150);
+  service.submit(setup);
+
+  Request dup = setup;  // same id while the first is still live
+  dup.seq = 1;
+  service.submit(dup);
+  service.run_all();
+
+  ASSERT_EQ(service.outcomes().size(), 2u);
+  EXPECT_TRUE(service.outcomes()[0].admitted);
+  EXPECT_FALSE(service.outcomes()[1].admitted);
+  EXPECT_EQ(service.outcomes()[1].reason,
+            core::RejectReason::kSignalingCollision);
+  EXPECT_EQ(service.stats().collisions, 1u);
+  EXPECT_EQ(service.cac().active_count(), 1u);  // the CAC saw only one
+
+  // An unmatched RELEASE is a counted no-op; the matched one tears down.
+  Request unmatched;
+  unmatched.seq = 2;
+  unmatched.type = RequestType::kRelease;
+  unmatched.id = 99;
+  service.submit(unmatched);
+  Request matched = unmatched;
+  matched.seq = 3;
+  matched.id = 1;
+  service.submit(matched);
+  service.run_all();
+  EXPECT_EQ(service.stats().unmatched_releases, 1u);
+  EXPECT_EQ(service.stats().matched_releases, 1u);
+  EXPECT_EQ(service.cac().active_count(), 0u);
+}
+
+TEST(AdmissiondTest, BeginMeasurementSlicesTheReport) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  StreamConfig stream = small_stream();
+  stream.num_setups = 60;
+  const std::vector<Request> requests =
+      RequestStream(&topo, stream).drain();
+  const std::size_t half = requests.size() / 2;
+
+  AdmissiondConfig config;
+  AdmissionService service(&topo, config);
+  for (std::size_t i = 0; i < half; ++i) service.submit(requests[i]);
+  service.run_all();
+  const SloReport warmup = service.report();
+  EXPECT_GT(warmup.setups, 0u);
+
+  service.begin_measurement();
+  const SloReport at_mark = service.report();
+  EXPECT_EQ(at_mark.requests, 0u);
+  EXPECT_EQ(at_mark.setups, 0u);
+  EXPECT_EQ(at_mark.post_eviction_samples, 0u);
+
+  for (std::size_t i = half; i < requests.size(); ++i) {
+    service.submit(requests[i]);
+  }
+  service.run_all();
+  const SloReport measured = service.report();
+  EXPECT_GT(measured.setups, 0u);
+  // Warm-up and measured slices partition the stream's setups exactly.
+  EXPECT_EQ(warmup.setups + measured.setups, stream.num_setups);
+  // The mark slices the report, it does not reset lifetime stats.
+  EXPECT_EQ(service.stats().setups, stream.num_setups);
+}
+
+}  // namespace
+}  // namespace hetnet::server

@@ -183,13 +183,18 @@ TEST(ConnectionManagerTest, DuplicateReleaseDuringTeardownIsCountedNoOp) {
   EXPECT_EQ(manager.cac().active_count(), 0u);
 }
 
-TEST(ConnectionManagerTest, InvalidTransitionsCaught) {
+TEST(ConnectionManagerTest, UnknownReleaseIsCountedNotFatal) {
   const auto topo = hetnet::testing::paper_topology();
   ConnectionManager manager(&topo, core::CacConfig{});
-  // RELEASE of an unknown connection trips the state machine check once the
-  // calendar reaches it.
+  // RELEASE of an id with no live instance is legitimate under open-loop
+  // churn (the previous instance tore down, or its SETUP was rejected,
+  // before this RELEASE fired) — it must be a counted no-op, never a crash.
   manager.request_release(99, Seconds{0.0});
-  EXPECT_THROW(manager.run(), std::logic_error);
+  manager.run();
+  EXPECT_EQ(manager.stats().unmatched_releases, 1u);
+  EXPECT_EQ(manager.cac().active_count(), 0u);
+  // Asking for the STATE of an unknown connection is still a caller bug.
+  EXPECT_THROW(manager.state(99), std::logic_error);
 }
 
 TEST(ConnectionManagerTest, ChurnSequenceKeepsLedgersExact) {

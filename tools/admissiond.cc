@@ -1,0 +1,149 @@
+// admissiond soak driver: run the long-lived admission service against a
+// seeded open-loop SETUP/RELEASE stream and emit its throughput/latency SLO
+// report (see src/server/admissiond.h and EXPERIMENTS.md).
+//
+// Flags (key=value):
+//   setups=500000        SETUPs to generate (total requests ~= 2x: every
+//                        setup schedules a verdict-blind release)
+//   lambda=2000          Poisson SETUP rate per virtual second
+//   lifetime_ms=500      mean connection lifetime
+//   batch=32             requests per admission round
+//   threads=<hw>         analysis threads (1 = serial engine)
+//   prewarm=1            speculative batch cache warming
+//   seed=1               stream seed
+//   session_cap=65536    AnalysisSession capacity (small values force
+//                        generational eviction; decisions are unchanged)
+//   variants=4           distinct source shapes in the mix
+//   beta=0.5             allocation-line interpolation
+//   verify_serial=0      replay the identical stream serially (batch=1,
+//                        prewarm=0, threads=1) and require bit-identical
+//                        decision digests; exits 1 on divergence
+//   report=<path>        write the SLO report JSON here (default: stdout)
+//   trace_out=<path>     record obs spans and drain a Chrome trace here
+//   trace_cap=1048576    per-thread trace event cap (overflow is counted,
+//                        not stored)
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/core/cac.h"
+#include "src/net/topology.h"
+#include "src/obs/span.h"
+#include "src/server/admissiond.h"
+#include "src/server/request_stream.h"
+#include "src/util/flags.h"
+#include "src/util/thread_pool.h"
+
+namespace {
+
+using namespace hetnet;  // NOLINT: tool binary
+
+// Feeds the whole stream through the service: submit until one round's
+// worth is pending, run the round, repeat, then drain.
+void run_service(server::AdmissionService& service,
+                 server::RequestStream& stream) {
+  server::Request req;
+  const std::size_t high_water = 4 * 32;  // a few rounds of headroom
+  while (stream.next(&req)) {
+    service.submit(req);
+    if (service.pending() >= high_water) service.run_round();
+  }
+  service.run_all();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  server::StreamConfig stream_config;
+  stream_config.num_setups =
+      static_cast<std::uint64_t>(flags.get("setups", 500000));
+  stream_config.lambda = flags.get("lambda", 2000.0);
+  stream_config.mean_lifetime = units::ms(flags.get("lifetime_ms", 500.0));
+  stream_config.seed = static_cast<std::uint64_t>(flags.get("seed", 1));
+  stream_config.source_variants = static_cast<int>(flags.get("variants", 4));
+  stream_config.c1 = units::kbits(flags.get("c1_kbits", 50.0));
+  stream_config.p1 = units::ms(flags.get("p1_ms", 100.0));
+  stream_config.c2 = units::kbits(flags.get("c2_kbits", 5.0));
+  stream_config.p2 = units::ms(flags.get("p2_ms", 10.0));
+  stream_config.deadline = units::ms(flags.get("deadline_ms", 150.0));
+  stream_config.intra_ring_fraction = flags.get("intra_frac", 0.125);
+
+  server::AdmissiondConfig config;
+  config.batch_size = static_cast<std::size_t>(flags.get("batch", 32));
+  config.prewarm = flags.get("prewarm", 1) != 0.0;
+  config.cac.beta = flags.get("beta", 0.5);
+  config.cac.session_max_entries = static_cast<std::size_t>(flags.get(
+      "session_cap", double(core::AnalysisSession::kDefaultMaxEntries)));
+  config.cac.analysis.threads = static_cast<int>(
+      flags.get("threads", double(util::hardware_threads())));
+
+  const bool dump_stats = flags.get("stats", 0) != 0.0;
+  const bool verify_serial = flags.get("verify_serial", 0) != 0.0;
+  const std::string report_path = flags.get_string("report", "");
+  const std::string trace_path = flags.get_string("trace_out", "");
+  const std::size_t trace_cap = static_cast<std::size_t>(flags.get(
+      "trace_cap", double(obs::TraceRecorder::kDefaultMaxEventsPerThread)));
+  flags.check_unknown();
+
+  const net::AbhnTopology topology(net::paper_topology_params());
+
+  obs::ScopedRecording recording(!trace_path.empty(), trace_cap);
+  server::AdmissionService service(&topology, config);
+  {
+    server::RequestStream stream(&topology, stream_config);
+    run_service(service, stream);
+  }
+  const server::SloReport report = service.report();
+  const server::ServiceStats& stats = service.stats();
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    recording.recorder().drain_chrome_trace(out);
+  }
+  if (report_path.empty()) {
+    report.write_json(std::cout);
+  } else {
+    std::ofstream out(report_path);
+    report.write_json(out);
+  }
+
+  std::cout << "admissiond: " << report.requests << " requests ("
+            << stats.setups << " setups, " << stats.admitted
+            << " admitted, " << stats.unmatched_releases
+            << " unmatched releases) in " << double(report.wall_ns) * 1e-9
+            << " s; " << report.sustained_throughput << " req/s\n";
+  std::cout << "admissiond: setup p50 " << report.setup_p50_ns
+            << " ns, p99 " << report.setup_p99_ns << " ns; evictions "
+            << report.evictions << ", cliff ratio "
+            << report.eviction_cliff_ratio() << "\n";
+  if (!trace_path.empty()) {
+    std::cout << "admissiond: trace events dropped by cap: "
+              << recording.recorder().dropped_count() << "\n";
+  }
+
+  if (dump_stats) {
+    for (const auto& [name, value] : service.cac().metrics().counter_snapshot()) {
+      std::cout << "  " << name << " = " << value << "\n";
+    }
+  }
+
+  if (verify_serial) {
+    server::AdmissiondConfig serial = config;
+    serial.batch_size = 1;
+    serial.prewarm = false;
+    serial.cac.analysis.threads = 1;
+    server::AdmissionService reference(&topology, serial);
+    server::RequestStream stream(&topology, stream_config);
+    run_service(reference, stream);
+    if (reference.decision_digest() != service.decision_digest()) {
+      std::cerr << "admissiond: FAIL: decision digest diverges from serial "
+                   "replay\n";
+      return 1;
+    }
+    std::cout << "admissiond: serial replay digest matches ("
+              << reference.decision_digest() << ")\n";
+  }
+  return 0;
+}

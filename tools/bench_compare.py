@@ -1,15 +1,15 @@
 #!/usr/bin/env python3
-"""Gate cac_microbench perf results against a committed baseline.
+"""Gate bench JSON results against a committed baseline.
 
-Usage: bench_compare.py BASELINE.json CANDIDATE.json [--min-speedup-64 X]
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [options]
 
-Both files are produced by `cac_microbench --json=...`. The gate compares
-the incremental-vs-cold SPEEDUP RATIO, not absolute nanoseconds: the ratio
-is a property of the algorithm (how much recomputation the memo layer
-avoids), so it transfers across machines and CI runners where raw timings
-do not.
+Both files must be produced by the same bench binary; the "bench" field
+dispatches the gate. Gates prefer IN-RUN RATIOS over absolute nanoseconds:
+a ratio (speedup, cliff) is a property of the algorithm, so it transfers
+across machines and CI runners where raw timings do not. The few absolute
+floors are set conservatively low for the same reason.
 
-Failure conditions:
+cac_microbench (`cac_microbench --json=...`) fails when:
   * any candidate point has decisions_match == false (the incremental
     engine diverged from the cold recompute — a correctness bug, and a
     fast wrong answer must never pass a perf gate);
@@ -17,8 +17,8 @@ Failure conditions:
     (default 3.0, the acceptance floor for the incremental engine);
   * any point's speedup regressed to below 80% of the baseline's.
 
-When the candidate was run with `--threads N` (N >= 2, recorded in its
-"threads" field) the parallel engine is gated too:
+When the cac_microbench candidate was run with `--threads N` (N >= 2,
+recorded in its "threads" field) the parallel engine is gated too:
   * any candidate point has parallel_decisions_match == false (the
     parallel engine must be bit-identical to serial);
   * the parallel speedup at 64 active fell below
@@ -30,8 +30,8 @@ When the candidate was run with `--threads N` (N >= 2, recorded in its
     is absolute, not baseline-relative, so baselines recorded on any
     machine stay valid.
 
-Candidates that carry the tiered-CAC fields (PR 7 onward) are gated on the
-tiered engine as well:
+cac_microbench candidates that carry the tiered-CAC fields (PR 7 onward)
+are gated on the tiered engine as well:
   * any candidate point has tiered_decisions_match == false (the tiered
     path must be decision-bit-identical to tiered=false);
   * the in-run tiered speedup (untiered_ns / incremental_ns, both measured
@@ -39,6 +39,19 @@ tiered engine as well:
     active fell below --min-tiered-speedup-64 (default 5.0, the PR 7
     acceptance floor). Candidates without the fields (older bench builds)
     skip the tiered gate.
+
+admissiond_bench (`admissiond_bench json=...`) fails when:
+  * decisions_match == false (the batched/parallel service diverged from
+    its own serial replay — the admissiond determinism contract);
+  * evictions == 0 (the run never rotated a cache generation, so the
+    cliff metric measured nothing and the scenario has silently drifted);
+  * eviction_cliff_ratio (post-eviction p99 / steady p50, in-run) exceeds
+    --max-cliff-ratio (default 3.0, the PR 8 acceptance bar: generational
+    eviction must keep post-eviction latency at steady state);
+  * sustained_throughput fell below --min-throughput (default 1000 req/s —
+    a deliberately loose absolute floor that only catches order-of-
+    magnitude collapses, since raw throughput does not transfer across
+    machines).
 """
 
 import argparse
@@ -51,29 +64,15 @@ REGRESSION_FRACTION = 0.8  # candidate speedup must be >= 80% of baseline
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("bench") != "cac_microbench":
-        sys.exit(f"{path}: not a cac_microbench result file")
-    return {r["active"]: r for r in doc["results"]}, doc.get("threads", 1)
+    if "bench" not in doc:
+        sys.exit(f"{path}: no 'bench' field; not a bench result file")
+    return doc
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("candidate")
-    parser.add_argument("--min-speedup-64", type=float, default=3.0,
-                        help="absolute speedup floor at 64 active "
-                             "connections (default: %(default)s)")
-    parser.add_argument("--min-parallel-speedup-64", type=float, default=2.0,
-                        help="parallel-engine speedup floor at 64 active, "
-                             "capped at 0.6 * candidate threads "
-                             "(default: %(default)s)")
-    parser.add_argument("--min-tiered-speedup-64", type=float, default=5.0,
-                        help="tiered-vs-untiered in-run speedup floor at 64 "
-                             "active connections (default: %(default)s)")
-    args = parser.parse_args()
-
-    baseline, _ = load(args.baseline)
-    candidate, cand_threads = load(args.candidate)
+def compare_cac_microbench(base_doc, cand_doc, args):
+    baseline = {r["active"]: r for r in base_doc["results"]}
+    candidate = {r["active"]: r for r in cand_doc["results"]}
+    cand_threads = cand_doc.get("threads", 1)
 
     failures = []
     print(f"{'active':>6} {'base speedup':>13} {'cand speedup':>13} "
@@ -141,12 +140,93 @@ def main():
                      f"fallback={cand.get('fallback', 0)}")
             print(f"       tiered: {tiered:.2f}x vs untiered in-run, {tiers}")
 
+    return failures, "incremental-engine speedups hold against the baseline"
+
+
+def compare_admissiond(base_doc, cand_doc, args):
+    failures = []
+    cliff = cand_doc.get("eviction_cliff_ratio", 0.0)
+    evictions = cand_doc.get("evictions", 0)
+    throughput = cand_doc.get("sustained_throughput", 0.0)
+    if not cand_doc.get("decisions_match", False):
+        failures.append(
+            "admissiond decisions diverge from the serial replay — the "
+            "determinism contract is broken")
+    if evictions == 0:
+        failures.append(
+            "the run recorded zero evictions; the cliff metric measured "
+            "nothing (scenario drift?)")
+    if cliff > args.max_cliff_ratio:
+        failures.append(
+            f"eviction cliff ratio {cliff:.2f} (post-eviction p99 "
+            f"{cand_doc.get('post_eviction_p99_ns', 0)} ns / steady p50 "
+            f"{cand_doc.get('steady_p50_ns', 0)} ns) exceeds the bar "
+            f"{args.max_cliff_ratio:.2f}")
+    if throughput < args.min_throughput:
+        failures.append(
+            f"sustained throughput {throughput:.0f} req/s fell below the "
+            f"collapse floor {args.min_throughput:.0f} req/s")
+    base_cliff = base_doc.get("eviction_cliff_ratio", 0.0)
+    print(f"{'':>12} {'baseline':>12} {'candidate':>12}")
+    print(f"{'cliff':>12} {base_cliff:>12.2f} {cliff:>12.2f}")
+    print(f"{'evictions':>12} {base_doc.get('evictions', 0):>12} "
+          f"{evictions:>12}")
+    print(f"{'req/s':>12} {base_doc.get('sustained_throughput', 0):>12.0f} "
+          f"{throughput:>12.0f}")
+    print(f"{'steady p50':>12} {base_doc.get('steady_p50_ns', 0):>10} ns "
+          f"{cand_doc.get('steady_p50_ns', 0):>10} ns")
+    print(f"{'post p99':>12} "
+          f"{base_doc.get('post_eviction_p99_ns', 0):>10} ns "
+          f"{cand_doc.get('post_eviction_p99_ns', 0):>10} ns")
+    return failures, ("admissiond SLO holds: decisions deterministic, no "
+                      "post-eviction latency cliff")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--min-speedup-64", type=float, default=3.0,
+                        help="cac_microbench: absolute speedup floor at 64 "
+                             "active connections (default: %(default)s)")
+    parser.add_argument("--min-parallel-speedup-64", type=float, default=2.0,
+                        help="cac_microbench: parallel-engine speedup floor "
+                             "at 64 active, capped at 0.6 * candidate "
+                             "threads (default: %(default)s)")
+    parser.add_argument("--min-tiered-speedup-64", type=float, default=5.0,
+                        help="cac_microbench: tiered-vs-untiered in-run "
+                             "speedup floor at 64 active connections "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-cliff-ratio", type=float, default=3.0,
+                        help="admissiond_bench: ceiling on post-eviction "
+                             "p99 / steady p50 (default: %(default)s)")
+    parser.add_argument("--min-throughput", type=float, default=1000.0,
+                        help="admissiond_bench: absolute sustained-"
+                             "throughput collapse floor in req/s "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    if base_doc["bench"] != cand_doc["bench"]:
+        sys.exit(f"bench mismatch: baseline is {base_doc['bench']!r}, "
+                 f"candidate is {cand_doc['bench']!r}")
+
+    gates = {
+        "cac_microbench": compare_cac_microbench,
+        "admissiond_bench": compare_admissiond,
+    }
+    gate = gates.get(cand_doc["bench"])
+    if gate is None:
+        sys.exit(f"no gate registered for bench {cand_doc['bench']!r}")
+    failures, ok_message = gate(base_doc, cand_doc, args)
+
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         sys.exit(1)
-    print("\nOK: incremental-engine speedups hold against the baseline")
+    print(f"\nOK: {ok_message}")
 
 
 if __name__ == "__main__":

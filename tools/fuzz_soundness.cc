@@ -3,7 +3,7 @@
 //   fuzz_soundness [--seeds N] [--first-seed S] [--out DIR]
 //                  [--sim-scale X] [--no-sim] [--no-shrink]
 //                  [--trace-out FILE]
-//       Sweeps N consecutive seeds through the six oracles
+//       Sweeps N consecutive seeds through the seven oracles
 //       (src/testing/fuzz/oracles.h). Exit code 0 when every seed passes,
 //       1 when any oracle violation survives. With --out, each failure's
 //       shrunk repro is written to DIR as repro_seed_<seed>.json together
