@@ -5,12 +5,9 @@
 #include <string>
 #include <utility>
 
-#include "src/fddi/ring.h"
 #include "src/obs/span.h"
-#include "src/servers/constant_delay.h"
-#include "src/servers/conversion.h"
-#include "src/servers/fddi_mac.h"
 #include "src/servers/fifo_mux.h"
+#include "src/servers/registry.h"
 #include "src/traffic/algebra.h"
 #include "src/traffic/sources.h"
 #include "src/util/check.h"
@@ -33,10 +30,11 @@ bool run_stage(const Server& server, EnvelopePtr& env, Seconds& delay,
   return true;
 }
 
-// Cheap fixed-format port label (the hot Kahn loop used to pay for an
-// ostringstream per port per probe).
-std::string port_name(atm::PortId port) {
-  return "ATM.Port[" + std::to_string(port) + "]";
+// An allocation the medium cannot serve: nonpositive, above the segment's
+// ceiling, or quantized away entirely (e.g. below one TDMA slot).
+bool unusable_allocation(const servers::AccessMedium& medium, Seconds h) {
+  return h <= 0.0 || h > medium.max_allocation() ||
+         !(medium.usable_budget(h) > 0.0);
 }
 
 }  // namespace
@@ -53,44 +51,20 @@ SendPrefix DelayAnalyzer::prefix_with_stages(
     const net::ConnectionSpec& spec, Seconds h_s,
     std::vector<ChainStage>* stages) const {
   HETNET_CHECK(spec.source != nullptr, "connection has no source envelope");
-  const net::TopologyParams& p = topology_->params();
+  const servers::AccessMedium& medium =
+      topology_->access_medium(spec.src.ring);
   SendPrefix out;
-  if (h_s <= 0.0 || h_s > p.ring.ttrt) return out;  // not a usable allocation
+  if (unusable_allocation(medium, h_s)) return out;
 
-  const Bits frame_s = fddi::frame_payload_for_allocation(p.ring, h_s);
-  FddiMacParams mac;
-  mac.ttrt = p.ring.ttrt;
-  mac.sync_allocation = h_s;
-  mac.ring_rate = fddi::effective_payload_rate(p.ring, frame_s);
-  mac.buffer_limit = p.host_mac_buffer;
-  const FddiMacServer mac_server("FDDI_S.MAC", mac, config_);
-
-  const ConstantDelayServer delay_line("FDDI_S.Delay_Line",
-                                       p.ring.propagation);
-  const ConstantDelayServer input_port("ID_S.Input_Port",
-                                       p.interface_device.input_port_delay);
-  const ConstantDelayServer frame_switch(
-      "ID_S.Frame_Switch", p.interface_device.frame_switch_delay);
-  const auto conversion = make_frame_to_cell_server(
-      "ID_S.Frame_Cell_Conversion", frame_s, p.cells.payload, p.cells.payload,
-      p.interface_device.frame_cell_conversion);
-
+  // Section 4.1 case 1 (intra-ring): the segment delivers directly — the
+  // "prefix" is the whole path (MAC + delay line to the destination host).
+  // Otherwise the medium appends its interface-device ingress through the
+  // frame→cell conversion.
+  const std::vector<ServerPtr> path = medium.send_stages(
+      h_s, spec.src.ring == spec.dst.ring, config_);
   EnvelopePtr env = spec.source;
   Seconds delay;
-  std::vector<const Server*> path;
-  if (spec.src.ring == spec.dst.ring) {
-    // Section 4.1 case 1: the ring delivers directly — the "prefix" is the
-    // whole path (MAC + delay line to the destination host).
-    path = {static_cast<const Server*>(&mac_server),
-            static_cast<const Server*>(&delay_line)};
-  } else {
-    path = {static_cast<const Server*>(&mac_server),
-            static_cast<const Server*>(&delay_line),
-            static_cast<const Server*>(&input_port),
-            static_cast<const Server*>(&frame_switch),
-            static_cast<const Server*>(conversion.get())};
-  }
-  for (const Server* s : path) {
+  for (const ServerPtr& s : path) {
     if (!run_stage(*s, env, delay, stages)) return out;
   }
   out.finite = true;
@@ -115,6 +89,8 @@ std::vector<Seconds> DelayAnalyzer::run(
   HETNET_OBS_SPAN_NAMED(run_span, "analyzer.run", "analysis");
   run_span.arg("connections", std::int64_t(set.size()));
   const net::TopologyParams& p = topology_->params();
+  const servers::BackboneMedium& backbone_medium =
+      topology_->backbone_medium();
   const std::size_t n = set.size();
   const int threads = config_.threads;
   // The breakdown path needs per-stage records the memo does not keep, so it
@@ -237,7 +213,7 @@ std::vector<Seconds> DelayAnalyzer::run(
     util::parallel_for(tasks.size(), threads, [&](std::size_t k) {
       PortTask& t = tasks[k];
       if (t.hit != nullptr) return;
-      const FifoMuxServer server(port_name(t.port), t.mux,
+      const FifoMuxServer server(backbone_medium.port_label(t.port), t.mux,
                                  std::make_shared<ZeroEnvelope>(), config_);
       const auto bound = server.analyze_port(sum_envelopes(t.flows));
       t.bounded = bound.has_value();
@@ -319,7 +295,8 @@ std::vector<Seconds> DelayAnalyzer::run(
           sa.worst_case_delay = stage_delay;
           sa.buffer_required = port_backlog;
           sa.output = envs[i];
-          (*det)[i].stages.push_back({port_name(t.port), std::move(sa)});
+          (*det)[i].stages.push_back(
+              {backbone_medium.port_label(t.port), std::move(sa)});
         }
         ++next_hop[i];
       }
@@ -348,12 +325,14 @@ std::vector<Seconds> DelayAnalyzer::run(
       if (!alive[i]) continue;
       if (set[i].spec.src.ring == set[i].spec.dst.ring) continue;
       const Seconds h_r = set[i].alloc.h_r;
-      if (h_r <= 0.0 || h_r > p.ring.ttrt) {
+      const servers::AccessMedium& dst_medium =
+          topology_->access_medium(set[i].spec.dst.ring);
+      if (unusable_allocation(dst_medium, h_r)) {
         alive[i] = false;
         continue;
       }
       const AnalysisSession::SuffixEntry local =
-          walk_receive_suffix(envs[i], h_r, &(*det)[i].stages);
+          walk_receive_suffix(envs[i], h_r, dst_medium, &(*det)[i].stages);
       if (!local.finite) {
         alive[i] = false;
         continue;
@@ -369,6 +348,7 @@ std::vector<Seconds> DelayAnalyzer::run(
       AnalysisSession::SuffixKey key;  // memo only
       EnvelopePtr entry_env;
       Seconds h_r;
+      const servers::AccessMedium* medium = nullptr;
       AnalysisSession::SuffixEntry result;
     };
     std::vector<SuffixJob> jobs;
@@ -379,17 +359,24 @@ std::vector<Seconds> DelayAnalyzer::run(
       if (!alive[i]) continue;
       if (set[i].spec.src.ring == set[i].spec.dst.ring) continue;
       const Seconds h_r = set[i].alloc.h_r;
-      if (h_r <= 0.0 || h_r > p.ring.ttrt) {
+      const servers::AccessMedium& dst_medium =
+          topology_->access_medium(set[i].spec.dst.ring);
+      if (unusable_allocation(dst_medium, h_r)) {
         alive[i] = false;
         continue;
       }
       if (memo == nullptr) {
         conn_job[i] = static_cast<std::ptrdiff_t>(jobs.size());
-        jobs.push_back({{}, envs[i], h_r, {}});
+        jobs.push_back({{}, envs[i], h_r, &dst_medium, {}});
         continue;
       }
-      const AnalysisSession::SuffixKey key{envs[i]->fingerprint(),
-                                           fp::of_double(h_r.value())};
+      // The key folds the destination segment's medium digest so two flows
+      // with the same entry envelope and H_R but different destination
+      // media never share a suffix entry (the fingerprint contract: equal
+      // key ⇒ bit-identical walk).
+      const AnalysisSession::SuffixKey key{
+          fp::combine(envs[i]->fingerprint(), dst_medium.config_digest()),
+          fp::of_double(h_r.value())};
       const AnalysisSession::SuffixEntry* found = memo->suffixes_.lookup(key);
       if (found == nullptr && read_base != nullptr) {
         found = read_base->suffixes_.peek(key);
@@ -401,7 +388,7 @@ std::vector<Seconds> DelayAnalyzer::run(
       }
       const auto [jit, inserted] = job_of.try_emplace(key, jobs.size());
       if (inserted) {
-        jobs.push_back({key, envs[i], h_r, {}});
+        jobs.push_back({key, envs[i], h_r, &dst_medium, {}});
         ++memo->stats_.suffix_evals;
       } else {
         ++memo->stats_.suffix_hits;
@@ -414,8 +401,8 @@ std::vector<Seconds> DelayAnalyzer::run(
     HETNET_OBS_SPAN_NAMED(suffix_span, "analyzer.suffixes", "analysis");
     suffix_span.arg("jobs", std::int64_t(jobs.size()));
     util::parallel_for(jobs.size(), threads, [&](std::size_t k) {
-      jobs[k].result =
-          walk_receive_suffix(jobs[k].entry_env, jobs[k].h_r, nullptr);
+      jobs[k].result = walk_receive_suffix(jobs[k].entry_env, jobs[k].h_r,
+                                           *jobs[k].medium, nullptr);
     });
 
     // Serial apply: record the new entries (first-occurrence order), then
@@ -479,38 +466,12 @@ std::vector<Seconds> DelayAnalyzer::run(
 
 AnalysisSession::SuffixEntry DelayAnalyzer::walk_receive_suffix(
     const EnvelopePtr& entry, Seconds h_r,
+    const servers::AccessMedium& medium,
     std::vector<ChainStage>* stages) const {
-  const net::TopologyParams& p = topology_->params();
-  const Bits frame_r = fddi::frame_payload_for_allocation(p.ring, h_r);
-  const ConstantDelayServer input_port(
-      "ID_R.Input_Port", p.interface_device.input_port_delay);
-  const auto conversion = make_cell_to_frame_server(
-      "ID_R.Cell_Frame_Conversion", frame_r, p.cells.payload,
-      p.cells.payload, p.interface_device.cell_frame_conversion);
-  const ConstantDelayServer frame_switch(
-      "ID_R.Frame_Switch", p.interface_device.frame_switch_delay);
-  FddiMacParams mac;
-  mac.ttrt = p.ring.ttrt;
-  mac.sync_allocation = h_r;
-  mac.ring_rate = fddi::effective_payload_rate(p.ring, frame_r);
-  mac.buffer_limit = p.interface_device.mac_buffer;
-  // The receive MAC is the last queueing server on the path — its output
-  // feeds only the constant delay line to the host, so the (expensive)
-  // conservative rasterization of Υ buys nothing here.
-  AnalysisConfig rx_config = config_;
-  rx_config.rasterize_mac_output = false;
-  const FddiMacServer mac_server("FDDI_R.MAC", mac, rx_config);
-  const ConstantDelayServer delay_line("FDDI_R.Delay_Line",
-                                       p.ring.propagation);
-
+  const std::vector<ServerPtr> path = medium.receive_stages(h_r, config_);
   AnalysisSession::SuffixEntry out;
   EnvelopePtr env = entry;
-  for (const Server* s :
-       {static_cast<const Server*>(&input_port),
-        static_cast<const Server*>(conversion.get()),
-        static_cast<const Server*>(&frame_switch),
-        static_cast<const Server*>(&mac_server),
-        static_cast<const Server*>(&delay_line)}) {
+  for (const ServerPtr& s : path) {
     Seconds stage_delay;
     if (!run_stage(*s, env, stage_delay, stages)) return out;
     out.stage_delays.push_back(stage_delay);

@@ -1,6 +1,6 @@
 // End-to-end worst-case delay analysis over an ABHN (Section 4, eq. 7).
 //
-// A connection's path decomposes into
+// A connection's path decomposes into (with the paper's default media)
 //
 //   FDDI_S : host MAC (Theorem 1, allocation H_S) + ring delay line
 //   ID_S   : input port + frame switch + frame→cell conversion (Theorem 2)
@@ -10,6 +10,13 @@
 //   ID_R   : input port + cell→frame conversion + frame switch
 //   FDDI_R : the interface device's MAC (Theorem 1, allocation H_R)
 //            + ring delay line to the destination host
+//
+// The analyzer does not hard-code that chain: the private send prefix and
+// receive suffix come from each segment's resolved AccessMedium
+// (src/servers/registry.h) — the topology's hop sequence decides whether a
+// segment is a timed-token ring, a TDMA Ethernet, or anything else
+// registered — and the backbone medium labels the shared FIFO ports. Only
+// the port-coupling walk below is the analyzer's own.
 //
 // The FIFO ports COUPLE connections: a port's delay bound depends on the
 // aggregate envelope of everything multiplexed there, so the end-to-end
@@ -132,10 +139,12 @@ class DelayAnalyzer {
       const std::vector<ConnectionInstance>& set,
       std::ptrdiff_t stage_index = -1,
       std::vector<ChainStage>* stages = nullptr) const;
-  // Walks the private receive-side suffix (ID_R + FDDI_R) for a flow whose
-  // envelope leaving the backbone is `entry`, under allocation h_r.
+  // Walks the private receive-side suffix (ID_R + the destination segment's
+  // MAC and delay line, per `medium`) for a flow whose envelope leaving the
+  // backbone is `entry`, under allocation h_r.
   AnalysisSession::SuffixEntry walk_receive_suffix(
       const EnvelopePtr& entry, Seconds h_r,
+      const servers::AccessMedium& medium,
       std::vector<ChainStage>* stages) const;
   // `session` is the writable memo (hits recorded, misses inserted);
   // `read_base` is an optional ADDITIONAL read-only memo consulted when a

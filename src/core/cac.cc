@@ -74,7 +74,8 @@ inline constexpr double kFloorCertMargin = 1e-8;
 struct AdmissionController::Probe {
   Probe(const AdmissionController& cac, const net::ConnectionSpec& spec)
       : analyzer(&cac.analyzer_),
-        session(cac.config_.incremental ? &cac.session_ : nullptr) {
+        session(cac.config_.incremental ? &cac.session_ : nullptr),
+        media_digest(cac.topology_->media_digest()) {
     set.reserve(cac.active_.size() + 1);
     prefixes.reserve(cac.active_.size() + 1);
     for (const auto& [id, conn] : cac.active_) {
@@ -216,13 +217,14 @@ struct AdmissionController::Probe {
   }
 
   // The digest of everything DelayAnalyzer::run() reads from this probe:
-  // per instance (candidate last, matching set order) the route endpoints,
-  // H_R, and the send prefix's (finite, delay bits, at_uplink fingerprint).
-  // spec.id and deadlines are deliberately absent — run() never reads them
-  // (deadlines apply outside, in all_deadlines_met). Must be called with
+  // the topology's resolved hop-sequence digest, then per instance
+  // (candidate last, matching set order) the route endpoints, H_R, and the
+  // send prefix's (finite, delay bits, at_uplink fingerprint). spec.id and
+  // deadlines are deliberately absent — run() never reads them (deadlines
+  // apply outside, in all_deadlines_met). Must be called with
   // set.back().alloc and prefixes.back() already holding the probed point.
   std::uint64_t decision_digest() const {
-    std::uint64_t d = fp::mix(0xDEC151ull);
+    std::uint64_t d = fp::combine(fp::mix(0xDEC151ull), media_digest);
     d = fp::combine(d, set.size());
     for (std::size_t i = 0; i < set.size(); ++i) {
       const net::ConnectionSpec& s = set[i].spec;
@@ -337,6 +339,10 @@ struct AdmissionController::Probe {
   AnalysisSession* screen_session = nullptr;
   bool upper_certificates = false;
   double margin = 0.1;
+  // Digest of the topology's resolved hop sequence (every access and
+  // backbone medium's configuration). Folded into decision_digest() so a
+  // controller over a different media mix can never replay another's memo.
+  std::uint64_t media_digest = 0;
   // Per-tier wall-clock attribution, captured only when a decision-explain
   // sink is installed (clock reads are observation-only; see
   // src/obs/stopwatch.h).
@@ -371,7 +377,10 @@ AdmissionController::AdmissionController(const net::AbhnTopology* topology,
   HETNET_CHECK(config_.h_min_abs > 0, "H^min_abs must be positive");
   HETNET_CHECK(config_.bisection_iters > 0, "need at least one bisection");
   for (int r = 0; r < topology_->num_rings(); ++r) {
-    ledgers_.emplace_back(topology_->params().ring);
+    // Each ring's ledger constrains its own medium's cycle (Σ H + Δ <=
+    // cycle time): TTRT for a timed-token segment, the schedule cycle for a
+    // TDMA segment.
+    ledgers_.emplace_back(topology_->access_medium(r).cycle());
   }
   // Bound every memo table to the configured capacity (generational
   // eviction; see src/core/session.h). set_capacity validates the floor.
@@ -532,7 +541,8 @@ AdmissionDecision AdmissionController::request(
     rec.stages.reserve(chain->stages.size());
     for (const ChainStage& stage : chain->stages) {
       rec.stages.push_back({stage.server_name,
-                            stage.analysis.worst_case_delay});
+                            stage.analysis.worst_case_delay,
+                            stage.analysis.buffer_required});
       if (rec.binding_server.empty() ||
           stage.analysis.worst_case_delay > rec.binding_stage_delay) {
         rec.binding_server = stage.server_name;
@@ -955,18 +965,19 @@ const SendPrefix& AdmissionController::screen_cached_prefix(
 }
 
 // Cross-request candidate-prefix cache. A send prefix depends only on the
-// source envelope, whether the route stays on one ring, H_S, and which
-// analyzer compiles it (screen vs exact rasterize differently) — NOT on the
-// connection id — so keying on those four makes every request for the same
-// (source, route shape, H_S) point reuse the same SendPrefix object. That
-// sharing is what keeps the decision digest stable across requests: the
-// digest folds the prefix's at_uplink fingerprint, which is per-object for
-// non-structural envelope types.
+// source envelope, the source segment's resolved medium, whether the route
+// stays on one ring, H_S, and which analyzer compiles it (screen vs exact
+// rasterize differently) — NOT on the connection id — so keying on those
+// makes every request for the same (source, medium, route shape, H_S) point
+// reuse the same SendPrefix object. That sharing is what keeps the decision
+// digest stable across requests: the digest folds the prefix's at_uplink
+// fingerprint, which is per-object for non-structural envelope types.
 const SendPrefix& AdmissionController::compiled_candidate_prefix(
     bool screen, const net::ConnectionSpec& spec, Seconds h_s) const {
-  const CandidatePrefixKey key{screen, spec.source->fingerprint(),
-                               spec.src.ring == spec.dst.ring,
-                               fp::of_double(h_s.value())};
+  const CandidatePrefixKey key{
+      screen, spec.source->fingerprint(),
+      topology_->access_medium(spec.src.ring).config_digest(),
+      spec.src.ring == spec.dst.ring, fp::of_double(h_s.value())};
   if (const SendPrefix* hit = candidate_prefix_cache_.lookup(key)) {
     return *hit;
   }

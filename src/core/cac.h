@@ -260,12 +260,13 @@ class AdmissionController {
 
   // Cross-request compile cache for CANDIDATE send prefixes, exact and
   // screen tier both. send_prefix() depends only on (source envelope,
-  // intra-ring?, H_S) plus the analyzer's fixed topology and config, so the
-  // key (screen?, source fingerprint, intra, H_S bits) fully determines the
-  // result; caching it keeps the at_uplink object — and therefore every
-  // downstream memo key and the Tier-B digest — stable across requests.
+  // source segment's medium, intra-ring?, H_S) plus the analyzer's fixed
+  // topology and config, so the key (screen?, source fingerprint, source
+  // medium digest, intra, H_S bits) fully determines the result; caching it
+  // keeps the at_uplink object — and therefore every downstream memo key
+  // and the Tier-B digest — stable across requests.
   using CandidatePrefixKey =
-      std::tuple<bool, std::uint64_t, bool, std::uint64_t>;
+      std::tuple<bool, std::uint64_t, std::uint64_t, bool, std::uint64_t>;
   const SendPrefix& compiled_candidate_prefix(bool screen,
                                               const net::ConnectionSpec& spec,
                                               Seconds h_s) const;

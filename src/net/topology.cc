@@ -1,11 +1,42 @@
 #include "src/net/topology.h"
 
+#include "src/traffic/fingerprint.h"
 #include "src/util/check.h"
 
 namespace hetnet::net {
 namespace {
 
-atm::Backbone build_backbone(const TopologyParams& p) {
+servers::MediumDefaults medium_defaults(const TopologyParams& p) {
+  servers::MediumDefaults d;
+  d.ring = p.ring;
+  d.link = p.link;
+  d.cell_payload = p.cells.payload;
+  d.input_port_delay = p.interface_device.input_port_delay;
+  d.frame_switch_delay = p.interface_device.frame_switch_delay;
+  d.frame_cell_conversion = p.interface_device.frame_cell_conversion;
+  d.cell_frame_conversion = p.interface_device.cell_frame_conversion;
+  d.id_mac_buffer = p.interface_device.mac_buffer;
+  d.host_mac_buffer = p.host_mac_buffer;
+  return d;
+}
+
+std::vector<servers::AccessMediumPtr> resolve_access_media(
+    const TopologyParams& p, const servers::MediumRegistry& registry,
+    const servers::MediumDefaults& defaults) {
+  HETNET_CHECK(!p.access_hops.empty(),
+               "empty hop sequence: a topology needs at least one access hop");
+  std::vector<servers::AccessMediumPtr> media;
+  media.reserve(static_cast<std::size_t>(p.num_rings));
+  for (int r = 0; r < p.num_rings; ++r) {
+    const servers::HopSpec& hop =
+        p.access_hops[static_cast<std::size_t>(r) % p.access_hops.size()];
+    media.push_back(registry.resolve_access(hop, defaults));
+  }
+  return media;
+}
+
+atm::Backbone build_backbone(const TopologyParams& p,
+                             const atm::LinkParams& link) {
   // A single ring is a degenerate but valid ABHN: all traffic is intra-ring
   // and the backbone carries nothing (workload generators must refuse
   // inter-ring requests on it).
@@ -13,19 +44,37 @@ atm::Backbone build_backbone(const TopologyParams& p) {
   HETNET_CHECK(p.hosts_per_ring >= 1, "rings need at least one host");
   switch (p.backbone_shape) {
     case BackboneShape::kLine:
-      return atm::make_line_backbone(p.num_rings, p.link, p.cells,
+      return atm::make_line_backbone(p.num_rings, link, p.cells,
                                      p.switch_fabric_delay);
     case BackboneShape::kMesh:
       break;
   }
-  return atm::make_mesh_backbone(p.num_rings, p.link, p.cells,
+  return atm::make_mesh_backbone(p.num_rings, link, p.cells,
                                  p.switch_fabric_delay);
 }
 
 }  // namespace
 
-AbhnTopology::AbhnTopology(const TopologyParams& params)
-    : params_(params), backbone_(build_backbone(params)) {}
+AbhnTopology::AbhnTopology(const TopologyParams& params,
+                           const servers::MediumRegistry& registry)
+    : params_(params),
+      access_media_(
+          resolve_access_media(params, registry, medium_defaults(params))),
+      backbone_medium_(registry.resolve_backbone(params.backbone_hop,
+                                                 medium_defaults(params))),
+      backbone_(build_backbone(params, backbone_medium_->link())) {
+  std::uint64_t d = fp::mix(0x0B1A5ull);
+  for (const servers::AccessMediumPtr& m : access_media_) {
+    d = fp::combine(d, m->config_digest());
+  }
+  media_digest_ = fp::combine(d, backbone_medium_->config_digest());
+}
+
+const servers::AccessMedium& AbhnTopology::access_medium(int ring) const {
+  HETNET_CHECK(ring >= 0 && ring < params_.num_rings,
+               "ring index out of range");
+  return *access_media_[static_cast<std::size_t>(ring)];
+}
 
 bool AbhnTopology::valid_host(HostId h) const {
   return h.ring >= 0 && h.ring < params_.num_rings && h.index >= 0 &&

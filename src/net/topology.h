@@ -1,13 +1,22 @@
 // The ATM-Based Heterogeneous Network (ABHN) topology of Section 3.1:
-// FDDI rings of hosts, one interface device per ring, and an ATM backbone
-// interconnecting the interface devices.
+// access segments (FDDI rings by default) of hosts, one interface device per
+// segment, and a switched backbone (ATM by default) interconnecting the
+// interface devices.
+//
+// Which medium serves each segment — and which carries the backbone — is
+// DATA: `TopologyParams::access_hops` / `backbone_hop` name media that the
+// topology resolves through the medium registry (src/servers/registry.h) at
+// construction. The paper's FDDI-ATM-FDDI network is just the default hop
+// sequence.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "src/atm/backbone.h"
 #include "src/fddi/ring.h"
+#include "src/servers/registry.h"
 #include "src/util/units.h"
 
 namespace hetnet::net {
@@ -28,8 +37,8 @@ struct InterfaceDeviceParams {
   Seconds frame_switch_delay = units::us(10);      // eq. (20)
   Seconds frame_cell_conversion = units::us(50);   // eq. (22)
   Seconds cell_frame_conversion = units::us(50);   // ID_R mirror
-  // Transmit buffer of the device's FDDI MAC (per connection), used on the
-  // receive path when frames queue for the destination ring.
+  // Transmit buffer of the device's access-side MAC (per connection), used
+  // on the receive path when frames queue for the destination segment.
   Bits mac_buffer{1e18};
 };
 
@@ -47,18 +56,40 @@ struct TopologyParams {
   atm::CellFormat cells;
   Seconds switch_fabric_delay = units::us(10);
   InterfaceDeviceParams interface_device;
-  // Transmit buffer of a host's FDDI MAC (bits).
+  // Transmit buffer of a host's access-side MAC (bits).
   Bits host_mac_buffer{1e18};
+  // Per-segment access media: ring i resolves access_hops[i % size()]
+  // through the medium registry (must be non-empty). The default — a single
+  // default-constructed HopSpec — is the paper's FDDI on every segment.
+  std::vector<servers::HopSpec> access_hops{servers::HopSpec{}};
+  // The backbone medium shared by every switch link ("atm" by default;
+  // "satellite-atm" turns the backbone into a long-delay orbit).
+  servers::HopSpec backbone_hop{"atm"};
 };
 
 class AbhnTopology {
  public:
-  // Builds the full-mesh paper topology: one switch and one interface
-  // device per ring.
-  explicit AbhnTopology(const TopologyParams& params);
+  // Builds the topology, resolving every hop's medium through `registry`
+  // (the builtin registrations by default). CHECK-fails on an empty hop
+  // sequence or an unknown medium name.
+  explicit AbhnTopology(const TopologyParams& params,
+                        const servers::MediumRegistry& registry =
+                            servers::MediumRegistry::builtin());
 
   const TopologyParams& params() const { return params_; }
   const atm::Backbone& backbone() const { return backbone_; }
+
+  // The resolved access medium of ring i / the backbone medium. The
+  // analyzer, CAC ledgers, and packet simulator read every segment
+  // parameter through these models.
+  const servers::AccessMedium& access_medium(int ring) const;
+  const servers::BackboneMedium& backbone_medium() const {
+    return *backbone_medium_;
+  }
+  // Digest over the whole resolved hop sequence (every segment's medium
+  // config plus the backbone's, in ring order). Folded into session memo
+  // keys and decision digests so fingerprints cover the hop sequence.
+  std::uint64_t media_digest() const { return media_digest_; }
 
   int num_rings() const { return params_.num_rings; }
   int num_hosts() const { return params_.num_rings * params_.hosts_per_ring; }
@@ -78,7 +109,10 @@ class AbhnTopology {
 
  private:
   TopologyParams params_;
+  std::vector<servers::AccessMediumPtr> access_media_;  // one per ring
+  servers::BackboneMediumPtr backbone_medium_;
   atm::Backbone backbone_;
+  std::uint64_t media_digest_ = 0;
 };
 
 // The evaluation scenario of Section 6: 3 FDDI rings × 4 hosts, 3 interface

@@ -121,7 +121,8 @@ void write_ndjson_record(std::ostream& out, const ExplainRecord& r) {
   }
   out << ']';
 
-  // Compact stage breakdown: [server, delay_s] per chain stage.
+  // Compact stage breakdown: [server, delay_s, buffer_bits] per chain
+  // stage.
   out << ",\"stages\":[";
   for (std::size_t i = 0; i < r.stages.size(); ++i) {
     if (i > 0) out << ',';
@@ -129,6 +130,8 @@ void write_ndjson_record(std::ostream& out, const ExplainRecord& r) {
     write_string(out, r.stages[i].server);
     out << ',';
     write_double(out, r.stages[i].delay.value());
+    out << ',';
+    write_double(out, r.stages[i].buffer.value());
     out << ']';
   }
   out << ']';

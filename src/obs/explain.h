@@ -42,8 +42,12 @@ struct ExplainBisectionStep {
 // One server stage of the requester's end-to-end chain at the granted
 // (or reference) allocation.
 struct ExplainStage {
-  std::string server;  // e.g. "FDDI_S.MAC", "ATM.Port[3]", "ID_R.Conv"
+  std::string server;  // e.g. "FDDI_S.MAC", "ATM.Port[3]", "SAT.Port[0]"
   Seconds delay;
+  // Per-hop backlog bound (F in Theorem 1) — what a deployment must buffer
+  // at this stage. Matters most on long-delay hops (satellite-ATM), where
+  // a stage's buffer requirement can dwarf its share of the delay budget.
+  Bits buffer;
 };
 
 struct ExplainRecord {

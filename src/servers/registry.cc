@@ -1,0 +1,345 @@
+#include "src/servers/registry.h"
+
+#include <utility>
+
+#include "src/servers/constant_delay.h"
+#include "src/servers/conversion.h"
+#include "src/servers/fddi_mac.h"
+#include "src/servers/tdma_mac.h"
+#include "src/traffic/fingerprint.h"
+#include "src/util/check.h"
+
+namespace hetnet::servers {
+namespace {
+
+std::uint64_t fold_label(std::uint64_t d, const std::string& label) {
+  d = fp::combine(d, label.size());
+  for (const char c : label) {
+    d = fp::combine(d, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Access media. Both stock access media are cycle-scheduled — a station gets
+// a transmission budget once per cycle — so one base class builds the stage
+// chains; subclasses decide the cycle parameters, the budget quantization,
+// the frame format, and the MAC server type.
+
+class CycleAccessMedium : public AccessMedium {
+ public:
+  CycleAccessMedium(std::string label, fddi::RingParams cycle,
+                    const MediumDefaults& defaults)
+      : label_(std::move(label)), cycle_(cycle), defaults_(defaults) {}
+
+  std::string label() const final { return label_; }
+  const fddi::RingParams& cycle() const final { return cycle_; }
+  Seconds propagation() const final { return cycle_.propagation; }
+
+  std::uint64_t config_digest() const final {
+    std::uint64_t d = fold_label(fp::mix(0x4ACCE55ull), label_);
+    for (const double v :
+         {cycle_.ttrt.value(), cycle_.raw_rate.value(),
+          cycle_.protocol_overhead.value(), cycle_.frame_overhead.value(),
+          cycle_.max_frame_payload.value(), cycle_.propagation.value(),
+          slot_quantum().value(), defaults_.cell_payload.value(),
+          defaults_.input_port_delay.value(),
+          defaults_.frame_switch_delay.value(),
+          defaults_.frame_cell_conversion.value(),
+          defaults_.cell_frame_conversion.value(),
+          defaults_.id_mac_buffer.value(), defaults_.host_mac_buffer.value()}) {
+      d = fp::combine(d, fp::of_double(v));
+    }
+    return d;
+  }
+
+  BitsPerSecond payload_rate(Bits frame_payload) const final {
+    return fddi::effective_payload_rate(cycle_, frame_payload);
+  }
+
+  // The exact stage sequence (names, parameters, order) the pre-registry
+  // DelayAnalyzer hard-coded, with the medium's label spliced into the MAC
+  // and delay-line names. For label "FDDI" at FDDI defaults this reproduces
+  // the original chain bit for bit.
+  std::vector<ServerPtr> send_stages(Seconds h, bool intra_ring,
+                                     const AnalysisConfig& config)
+      const final {
+    const Bits frame = frame_payload(h);
+    std::vector<ServerPtr> path;
+    path.push_back(
+        make_mac(label_ + "_S.MAC", h, defaults_.host_mac_buffer, config));
+    path.push_back(std::make_shared<ConstantDelayServer>(
+        label_ + "_S.Delay_Line", cycle_.propagation));
+    if (!intra_ring) {
+      path.push_back(std::make_shared<ConstantDelayServer>(
+          "ID_S.Input_Port", defaults_.input_port_delay));
+      path.push_back(std::make_shared<ConstantDelayServer>(
+          "ID_S.Frame_Switch", defaults_.frame_switch_delay));
+      path.push_back(make_frame_to_cell_server(
+          "ID_S.Frame_Cell_Conversion", frame, defaults_.cell_payload,
+          defaults_.cell_payload, defaults_.frame_cell_conversion));
+    }
+    return path;
+  }
+
+  std::vector<ServerPtr> receive_stages(Seconds h,
+                                        const AnalysisConfig& config)
+      const final {
+    const Bits frame = frame_payload(h);
+    std::vector<ServerPtr> path;
+    path.push_back(std::make_shared<ConstantDelayServer>(
+        "ID_R.Input_Port", defaults_.input_port_delay));
+    path.push_back(make_cell_to_frame_server(
+        "ID_R.Cell_Frame_Conversion", frame, defaults_.cell_payload,
+        defaults_.cell_payload, defaults_.cell_frame_conversion));
+    path.push_back(std::make_shared<ConstantDelayServer>(
+        "ID_R.Frame_Switch", defaults_.frame_switch_delay));
+    // The receive MAC is the last queueing server on the path — its output
+    // feeds only the constant delay line to the host, so the (expensive)
+    // conservative rasterization of Υ buys nothing here.
+    AnalysisConfig rx_config = config;
+    rx_config.rasterize_mac_output = false;
+    path.push_back(
+        make_mac(label_ + "_R.MAC", h, defaults_.id_mac_buffer, rx_config));
+    path.push_back(std::make_shared<ConstantDelayServer>(
+        label_ + "_R.Delay_Line", cycle_.propagation));
+    return path;
+  }
+
+ protected:
+  // The slot quantum the digest covers (zero when the medium is not
+  // slotted).
+  virtual Seconds slot_quantum() const { return Seconds{}; }
+  virtual ServerPtr make_mac(std::string name, Seconds h, Bits buffer_limit,
+                             const AnalysisConfig& config) const = 0;
+
+  std::string label_;
+  fddi::RingParams cycle_;
+  MediumDefaults defaults_;
+};
+
+class FddiMedium final : public CycleAccessMedium {
+ public:
+  FddiMedium(const HopSpec& hop, const MediumDefaults& defaults)
+      : CycleAccessMedium("FDDI", with_overrides(defaults.ring, hop),
+                          defaults) {}
+
+  Seconds usable_budget(Seconds h) const override {
+    // The timed-token protocol honors the allocation exactly (Theorem 1).
+    return h > 0 ? h : Seconds{};
+  }
+  Bits frame_payload(Seconds h) const override {
+    return fddi::frame_payload_for_allocation(cycle_, h);
+  }
+  bool fixed_cycle() const override { return false; }
+
+ private:
+  static fddi::RingParams with_overrides(fddi::RingParams ring,
+                                         const HopSpec& hop) {
+    if (hop.propagation > 0) ring.propagation = hop.propagation;
+    if (hop.rate > 0) ring.raw_rate = hop.rate;
+    return ring;
+  }
+
+  ServerPtr make_mac(std::string name, Seconds h, Bits buffer_limit,
+                     const AnalysisConfig& config) const override {
+    FddiMacParams mac;
+    mac.ttrt = cycle_.ttrt;
+    mac.sync_allocation = h;
+    mac.ring_rate = payload_rate(frame_payload(h));
+    mac.buffer_limit = buffer_limit;
+    return std::make_shared<FddiMacServer>(std::move(name), mac, config);
+  }
+};
+
+// RTmac-style slotted Ethernet (see src/servers/tdma_mac.h). The "ring"
+// parameter set doubles as the schedule description: ttrt is the TDMA
+// cycle, raw_rate the Ethernet signalling rate, frame_overhead the
+// preamble(8) + header(14) + FCS(4) + IFG(12) = 38 bytes per frame, and
+// max_frame_payload the 1500-byte MTU. protocol_overhead is the schedule's
+// guard/arbitration share of the cycle, which the per-ring ledger keeps
+// free exactly like FDDI's Δ.
+class TdmaEthernetMedium final : public CycleAccessMedium {
+ public:
+  static constexpr double kDefaultSlotUs = 64.0;
+
+  TdmaEthernetMedium(const HopSpec& hop, const MediumDefaults& defaults)
+      : CycleAccessMedium("TDMA", schedule(defaults.ring, hop), defaults),
+        slot_(hop.slot_time > 0 ? hop.slot_time : units::us(kDefaultSlotUs)) {
+    HETNET_CHECK(slot_ <= cycle_.ttrt,
+                 "TDMA slot must fit inside the schedule cycle");
+  }
+
+  Seconds usable_budget(Seconds h) const override {
+    return tdma_quantize_budget(h, slot_);
+  }
+  Bits frame_payload(Seconds h) const override {
+    const Seconds budget = usable_budget(h);
+    HETNET_CHECK(budget > 0, "no TDMA budget for this allocation");
+    Bits frame = cycle_.raw_rate * budget;
+    if (frame > cycle_.max_frame_payload) frame = cycle_.max_frame_payload;
+    if (frame < kMinPayload) frame = kMinPayload;  // Ethernet pads to 46 B
+    return frame;
+  }
+  bool fixed_cycle() const override { return true; }
+
+ private:
+  static constexpr Bits kMinPayload = units::bytes(46);
+
+  static fddi::RingParams schedule(fddi::RingParams ring, const HopSpec& hop) {
+    ring.raw_rate = hop.rate > 0 ? hop.rate : units::mbps(100);
+    ring.frame_overhead = units::bytes(38);
+    ring.max_frame_payload = units::bytes(1500);
+    if (hop.propagation > 0) ring.propagation = hop.propagation;
+    return ring;  // ttrt / protocol_overhead stay the topology's cycle
+  }
+
+  ServerPtr make_mac(std::string name, Seconds h, Bits buffer_limit,
+                     const AnalysisConfig& config) const override {
+    TdmaMacParams mac;
+    mac.cycle = cycle_.ttrt;
+    mac.slot_time = slot_;
+    mac.allocation = h;
+    mac.payload_rate = payload_rate(frame_payload(h));
+    mac.buffer_limit = buffer_limit;
+    return std::make_shared<TdmaMacServer>(std::move(name), mac, config);
+  }
+
+  Seconds slot_quantum() const override { return slot_; }
+
+  Seconds slot_;
+};
+
+// ---------------------------------------------------------------------------
+// Backbone media. Cell switching is medium-independent (the generic FIFO
+// mux analyzes every port), so a backbone medium is its link parameters
+// plus a label. The satellite variant is the same ATM cell relay with the
+// propagation term swapped for an orbit: for GEO bent-pipe service the
+// one-way figure is ~250–280 ms, which turns every inter-ring path
+// delay-dominated and makes the per-hop buffer bound (delay × arrival
+// envelope at the port) the quantity worth reporting.
+
+class AtmBackboneMedium final : public BackboneMedium {
+ public:
+  AtmBackboneMedium(std::string label, const HopSpec& hop,
+                    const MediumDefaults& defaults, Seconds default_propagation)
+      : label_(std::move(label)), link_(defaults.link) {
+    if (hop.rate > 0) link_.wire_rate = hop.rate;
+    link_.propagation =
+        hop.propagation > 0 ? hop.propagation : default_propagation;
+    HETNET_CHECK(link_.propagation >= 0, "negative link propagation");
+    cell_payload_ = defaults.cell_payload;
+  }
+
+  std::string label() const override { return label_; }
+  const atm::LinkParams& link() const override { return link_; }
+  std::string port_label(atm::PortId port) const override {
+    return label_ + ".Port[" + std::to_string(port) + "]";
+  }
+
+  std::uint64_t config_digest() const override {
+    std::uint64_t d = fold_label(fp::mix(0xBACB0Eull), label_);
+    for (const double v : {link_.wire_rate.value(), link_.propagation.value(),
+                           link_.port_buffer.value(), cell_payload_.value()}) {
+      d = fp::combine(d, fp::of_double(v));
+    }
+    return d;
+  }
+
+ private:
+  std::string label_;
+  atm::LinkParams link_;
+  Bits cell_payload_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+void MediumRegistry::register_access(const std::string& name,
+                                     AccessFactory factory) {
+  HETNET_CHECK(!name.empty(), "medium name must not be empty");
+  HETNET_CHECK(factory != nullptr, "null medium factory");
+  const bool inserted = access_.emplace(name, std::move(factory)).second;
+  HETNET_CHECK(inserted, "duplicate access medium: " + name);
+}
+
+void MediumRegistry::register_backbone(const std::string& name,
+                                       BackboneFactory factory) {
+  HETNET_CHECK(!name.empty(), "medium name must not be empty");
+  HETNET_CHECK(factory != nullptr, "null medium factory");
+  const bool inserted = backbone_.emplace(name, std::move(factory)).second;
+  HETNET_CHECK(inserted, "duplicate backbone medium: " + name);
+}
+
+bool MediumRegistry::has_access(const std::string& name) const {
+  return access_.contains(name);
+}
+
+bool MediumRegistry::has_backbone(const std::string& name) const {
+  return backbone_.contains(name);
+}
+
+AccessMediumPtr MediumRegistry::resolve_access(
+    const HopSpec& hop, const MediumDefaults& defaults) const {
+  const auto it = access_.find(hop.medium);
+  HETNET_CHECK(it != access_.end(), "unknown access medium: " + hop.medium);
+  AccessMediumPtr medium = it->second(hop, defaults);
+  HETNET_CHECK(medium != nullptr, "medium factory returned null");
+  return medium;
+}
+
+BackboneMediumPtr MediumRegistry::resolve_backbone(
+    const HopSpec& hop, const MediumDefaults& defaults) const {
+  const auto it = backbone_.find(hop.medium);
+  HETNET_CHECK(it != backbone_.end(),
+               "unknown backbone medium: " + hop.medium);
+  BackboneMediumPtr medium = it->second(hop, defaults);
+  HETNET_CHECK(medium != nullptr, "medium factory returned null");
+  return medium;
+}
+
+std::vector<std::string> MediumRegistry::access_names() const {
+  std::vector<std::string> names;
+  names.reserve(access_.size());
+  for (const auto& [name, factory] : access_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MediumRegistry::backbone_names() const {
+  std::vector<std::string> names;
+  names.reserve(backbone_.size());
+  for (const auto& [name, factory] : backbone_) names.push_back(name);
+  return names;
+}
+
+const MediumRegistry& MediumRegistry::builtin() {
+  static const MediumRegistry* registry = [] {
+    auto* r = new MediumRegistry();
+    r->register_access("fddi",
+                       [](const HopSpec& hop, const MediumDefaults& d) {
+                         return std::make_shared<const FddiMedium>(hop, d);
+                       });
+    r->register_access(
+        "tdma-ethernet", [](const HopSpec& hop, const MediumDefaults& d) {
+          return std::make_shared<const TdmaEthernetMedium>(hop, d);
+        });
+    r->register_backbone(
+        "atm", [](const HopSpec& hop, const MediumDefaults& d) {
+          return std::make_shared<const AtmBackboneMedium>("ATM", hop, d,
+                                                           d.link.propagation);
+        });
+    r->register_backbone(
+        "satellite-atm", [](const HopSpec& hop, const MediumDefaults& d) {
+          // GEO bent-pipe one-way propagation default; a HopSpec override
+          // models LEO/MEO constellations or added ground-segment delay.
+          return std::make_shared<const AtmBackboneMedium>("SAT", hop, d,
+                                                           units::ms(250));
+        });
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace hetnet::servers

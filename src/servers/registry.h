@@ -1,0 +1,204 @@
+// The medium/server-model registry: a connection's path as data.
+//
+// The paper analyzes one fixed chain — FDDI_S → ID_S → ATM → ID_R → FDDI_R —
+// but the decomposition of Section 4 never depends on WHICH MAC discipline
+// guards a ring or WHICH link technology carries the backbone; it only needs
+// each hop to contribute stage servers with exact worst-case bounds and an
+// output descriptor. This module makes that genericity explicit:
+//
+//   * a `HopSpec` names a medium and its per-hop knobs (strong-typed, so an
+//     ill-typed propagation or rate is a compile error, and an unknown
+//     medium name is a CHECK failure at resolution time);
+//   * an `AccessMedium` models the LAN segment of a ring — its cycle
+//     structure (what the synchronous-bandwidth ledger constrains), the
+//     per-allocation transmission budget, frame format, and the ordered
+//     stage servers of the private send prefix and receive suffix;
+//   * a `BackboneMedium` models the switched backbone — the link parameters
+//     its FIFO output ports run at and the explain-stage label of a port;
+//   * a `MediumRegistry` maps names to factories. Registration and
+//     resolution are deterministic and order-independent (storage is keyed
+//     by name), and `builtin()` carries the four stock media:
+//
+//       "fddi"           — the paper's timed-token ring (Theorem 1)
+//       "tdma-ethernet"  — an RTmac-style slotted Ethernet MAC: a station
+//                          owns ⌊H/slot⌋ slots per fixed cycle, giving the
+//                          rate-latency service curve derived in
+//                          src/servers/tdma_mac.h
+//       "atm"            — the paper's 155 Mb/s ATM backbone
+//       "satellite-atm"  — ATM over a geostationary hop: identical cell
+//                          switching with propagation in the hundreds of
+//                          milliseconds (Goyal/Jain, arXiv cs/9809052) —
+//                          delay-dominated paths whose per-hop buffer
+//                          bounds the explain record must surface
+//
+// The default FDDI/ID/ATM chain is JUST the default registration: resolving
+// the default `HopSpec`s reproduces today's servers bit for bit (stage
+// names, parameters, construction order), which the per-medium golden pins
+// in tests/bench/golden_figures_test.cc enforce.
+//
+// Dependency direction: net/ resolves media while building a topology and
+// hands the resolved models to core/ and sim/; this header must therefore
+// not include net/ (it gets ring/link/interface-device defaults through
+// `MediumDefaults`, a plain value bag net/ fills in).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/atm/backbone.h"
+#include "src/fddi/ring.h"
+#include "src/servers/server.h"
+#include "src/util/units.h"
+
+namespace hetnet::servers {
+
+// One hop of a connection path, as data. `medium` is a registry name; the
+// remaining knobs override the medium's defaults when positive and are
+// strong-typed so dimensional mixups (a propagation given as a raw double,
+// a rate given in seconds) fail to compile (tests/negative/hopspec_*).
+struct HopSpec {
+  std::string medium = "fddi";
+  // Link/ring propagation override. Satellite hops set this to the orbit's
+  // one-way delay (hundreds of milliseconds).
+  Seconds propagation{};
+  // Signalling-rate override (ring raw rate / backbone wire rate).
+  BitsPerSecond rate{};
+  // TDMA slot quantum override (access media with slotted schedules).
+  Seconds slot_time{};
+};
+
+// Defaults a medium derives its parameters from, filled by the topology:
+// the base ring and link parameter sets plus the interface-device stage
+// constants shared by every access medium's ID_S/ID_R servers.
+struct MediumDefaults {
+  fddi::RingParams ring;
+  atm::LinkParams link;
+  Bits cell_payload;
+  Seconds input_port_delay;
+  Seconds frame_switch_delay;
+  Seconds frame_cell_conversion;
+  Seconds cell_frame_conversion;
+  Bits id_mac_buffer;
+  Bits host_mac_buffer;
+};
+
+enum class MediumRole { kAccess, kBackbone };
+
+class MediumModel {
+ public:
+  virtual ~MediumModel() = default;
+
+  // Stage-label prefix ("FDDI", "TDMA", "ATM", "SAT"): explain NDJSON
+  // records and chain breakdowns name servers "<label>_S.MAC",
+  // "<label>.Port[k]", ..., so tools/explain_report.py can aggregate by
+  // medium.
+  virtual std::string label() const = 0;
+  virtual MediumRole role() const = 0;
+  // Structural digest of everything analysis results depend on (label plus
+  // every derived parameter). Folded into session memo keys and the Tier-B
+  // decision digest so fingerprints cover the hop sequence: two hops agree
+  // on config_digest() only if their servers analyze identically.
+  virtual std::uint64_t config_digest() const = 0;
+};
+
+// The LAN segment of a ring. The synchronous-bandwidth ledger, the delay
+// analyzer, and the packet simulator all speak to the ring exclusively
+// through this interface.
+class AccessMedium : public MediumModel {
+ public:
+  MediumRole role() const final { return MediumRole::kAccess; }
+
+  // The cycle structure the per-ring admission ledger constrains
+  // (Σ H + Δ <= cycle.ttrt) and the sim's token/schedule engine runs on.
+  // FDDI: the ring's TTRT/Δ verbatim; TDMA: the slot schedule's cycle with
+  // Ethernet framing constants.
+  virtual const fddi::RingParams& cycle() const = 0;
+  // Largest single allocation worth probing (the validation ceiling H may
+  // not exceed).
+  Seconds max_allocation() const { return cycle().ttrt; }
+  // Transmission budget actually honored per cycle for allocation h. FDDI
+  // honors h exactly; TDMA rounds down to whole slots. Monotone
+  // non-decreasing in h and <= h — both load-bearing: monotonicity keeps
+  // the Section-5 allocation line searchable, and budget <= h keeps the
+  // ledger's Σ h + Δ <= cycle test sound for the schedule actually served.
+  virtual Seconds usable_budget(Seconds h) const = 0;
+  // Frame payload used for allocation h (the paper's F_S), and the
+  // effective payload rate while transmitting such frames.
+  virtual Bits frame_payload(Seconds h) const = 0;
+  virtual BitsPerSecond payload_rate(Bits frame_payload) const = 0;
+  // One-way propagation of the segment (the Delay_Line stage constant).
+  virtual Seconds propagation() const = 0;
+  // True when the schedule advances in fixed-length cycles regardless of
+  // load (TDMA); false when a cycle ends as soon as its service does
+  // (timed-token). Consumed by the packet simulator only.
+  virtual bool fixed_cycle() const = 0;
+
+  // The ordered private send-prefix servers for allocation h: the MAC and
+  // segment delay line, plus — when the path continues into the backbone —
+  // the interface device's ingress through frame→cell conversion. The
+  // caller owns validation (0 < h <= max_allocation(), usable_budget > 0).
+  virtual std::vector<ServerPtr> send_stages(
+      Seconds h, bool intra_ring, const AnalysisConfig& config) const = 0;
+  // The ordered private receive-suffix servers for allocation h: ID_R
+  // ingress, cell→frame conversion, frame switch, the device's MAC on the
+  // destination segment, and the final delay line.
+  virtual std::vector<ServerPtr> receive_stages(
+      Seconds h, const AnalysisConfig& config) const = 0;
+};
+
+// The switched backbone interconnecting the interface devices. Port-level
+// analysis stays in the generic FIFO-mux server; the medium only decides
+// the link parameters and the explain label.
+class BackboneMedium : public MediumModel {
+ public:
+  MediumRole role() const final { return MediumRole::kBackbone; }
+
+  // Link parameters every backbone port runs at (wire rate, propagation,
+  // port buffer) after applying the hop's overrides.
+  virtual const atm::LinkParams& link() const = 0;
+  // Explain/breakdown label of port `port` ("ATM.Port[3]", "SAT.Port[3]").
+  virtual std::string port_label(atm::PortId port) const = 0;
+};
+
+using AccessMediumPtr = std::shared_ptr<const AccessMedium>;
+using BackboneMediumPtr = std::shared_ptr<const BackboneMedium>;
+
+// Name → factory map. Resolution CHECKs on unknown names; registration
+// CHECKs on duplicates and empty names. Iteration surfaces (names()) are
+// sorted, so a registry built by any registration order behaves
+// identically.
+class MediumRegistry {
+ public:
+  using AccessFactory =
+      std::function<AccessMediumPtr(const HopSpec&, const MediumDefaults&)>;
+  using BackboneFactory =
+      std::function<BackboneMediumPtr(const HopSpec&, const MediumDefaults&)>;
+
+  void register_access(const std::string& name, AccessFactory factory);
+  void register_backbone(const std::string& name, BackboneFactory factory);
+
+  bool has_access(const std::string& name) const;
+  bool has_backbone(const std::string& name) const;
+
+  AccessMediumPtr resolve_access(const HopSpec& hop,
+                                 const MediumDefaults& defaults) const;
+  BackboneMediumPtr resolve_backbone(const HopSpec& hop,
+                                     const MediumDefaults& defaults) const;
+
+  // Registered names in sorted order.
+  std::vector<std::string> access_names() const;
+  std::vector<std::string> backbone_names() const;
+
+  // The stock registrations (see file comment). Built once, immutable.
+  static const MediumRegistry& builtin();
+
+ private:
+  std::map<std::string, AccessFactory> access_;
+  std::map<std::string, BackboneFactory> backbone_;
+};
+
+}  // namespace hetnet::servers

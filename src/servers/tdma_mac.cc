@@ -1,0 +1,52 @@
+#include "src/servers/tdma_mac.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace hetnet {
+namespace {
+
+FddiMacParams as_timed_token(const TdmaMacParams& p) {
+  FddiMacParams inner;
+  inner.ttrt = p.cycle;
+  inner.sync_allocation = tdma_quantize_budget(p.allocation, p.slot_time);
+  inner.ring_rate = p.payload_rate;
+  inner.buffer_limit = p.buffer_limit;
+  return inner;
+}
+
+}  // namespace
+
+Seconds tdma_quantize_budget(Seconds h, Seconds slot) {
+  if (!(slot > 0) || !(h > 0)) return Seconds{};
+  // The nudge forgives the float error of an h computed AS k·slot, without
+  // ever granting a slot the reservation is a whole kEps·h short of.
+  const double slots = std::floor(h.value() / slot.value() * (1.0 + kEps));
+  return slots <= 0.0 ? Seconds{} : slot * slots;
+}
+
+TdmaMacServer::TdmaMacServer(std::string name, const TdmaMacParams& params,
+                             const AnalysisConfig& config)
+    : params_(params),
+      inner_(std::move(name), as_timed_token(params), config) {
+  HETNET_CHECK(params_.cycle > 0, "TDMA cycle must be positive");
+  HETNET_CHECK(params_.slot_time > 0 && params_.slot_time <= params_.cycle,
+               "TDMA slot must be positive and fit the cycle");
+  HETNET_CHECK(inner_.params().sync_allocation > 0,
+               "TDMA reservation below one slot has no guaranteed service");
+  HETNET_CHECK(params_.payload_rate > 0, "TDMA payload rate must be positive");
+}
+
+std::optional<ServerAnalysis> TdmaMacServer::analyze(
+    const EnvelopePtr& input) const {
+  return inner_.analyze(input);
+}
+
+BitsPerSecond TdmaMacServer::rate() const {
+  return params_.payload_rate *
+         (quantized_budget().value() / params_.cycle.value());
+}
+
+}  // namespace hetnet

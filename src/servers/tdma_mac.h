@@ -1,0 +1,90 @@
+// TDMA Ethernet MAC server (RTmac-style slotted medium access).
+//
+// In an RTnet/RTmac time-division schedule the stations of an Ethernet
+// segment share a fixed cycle of length T_cycle divided into slots of
+// length T_slot; a station owning k slots per cycle may transmit for
+// k·T_slot seconds each cycle, always — collisions are designed out, so
+// unlike CSMA/CD the guaranteed service is exact. A reservation of H
+// seconds per cycle is honored as
+//
+//     budget(H) = ⌊H / T_slot⌋ · T_slot        (whole slots only)
+//
+// and the guaranteed cumulative payload service in any interval of length t
+// is
+//
+//     avail(t) = max(0, (⌊t/T_cycle⌋ − 1) · budget · BW_eff ,
+//
+// the same step-function structure as the FDDI timed-token bound (Theorem 1
+// with TTRT → T_cycle and H → budget): an interval may open just after the
+// station's slot group, paying one full cycle of latency, and every further
+// complete cycle contributes the full slot-group's service. In the
+// rate-latency service-curve view this is
+//
+//     β(t) = rate() · max(0, t − latency()) ,
+//     rate()    = budget · BW_eff / T_cycle ,
+//     latency() = 2 · T_cycle
+//
+// (the avail() staircase dominates this line, so the staircase — which the
+// shared Theorem-1 machinery analyzes exactly — is the tighter bound; the
+// accessors exist for the property tests that pin the derivation).
+//
+// BW_eff discounts the raw Ethernet rate by the per-frame overhead at the
+// schedule's frame payload, exactly like fddi::effective_payload_rate does
+// for FDDI framing.
+#pragma once
+
+#include "src/servers/fddi_mac.h"
+#include "src/servers/server.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+
+struct TdmaMacParams {
+  // Fixed schedule cycle length T_cycle (every station's slots recur once
+  // per cycle).
+  Seconds cycle;
+  // Slot quantum T_slot; reservations are rounded DOWN to whole slots.
+  Seconds slot_time;
+  // The requested reservation H in seconds per cycle (pre-quantization).
+  Seconds allocation;
+  // Effective payload rate while the station transmits (raw rate discounted
+  // by Ethernet framing overhead at the schedule's frame size).
+  BitsPerSecond payload_rate;
+  // MAC transmit buffer (Theorem 1's S).
+  Bits buffer_limit = Bits::infinity();
+};
+
+// Rounds `h` down to whole slots of `slot` (with a kEps-relative nudge so a
+// reservation computed as an exact slot multiple in floating point does not
+// lose its last slot). Never negative; 0 when h < one slot.
+Seconds tdma_quantize_budget(Seconds h, Seconds slot);
+
+class TdmaMacServer final : public Server {
+ public:
+  // Requires cycle > 0, 0 < slot_time <= cycle, and a positive quantized
+  // budget (callers gate zero-budget reservations before constructing —
+  // the medium's usable_budget() is the screen).
+  TdmaMacServer(std::string name, const TdmaMacParams& params,
+                const AnalysisConfig& config = {});
+
+  std::optional<ServerAnalysis> analyze(
+      const EnvelopePtr& input) const override;
+  std::string name() const override { return inner_.name(); }
+
+  const TdmaMacParams& params() const { return params_; }
+  // The whole-slot budget actually scheduled per cycle.
+  Seconds quantized_budget() const { return inner_.params().sync_allocation; }
+
+  // The rate-latency service-curve view of the slot schedule (see file
+  // comment). The staircase bound avail() dominates this line everywhere.
+  BitsPerSecond rate() const;
+  Seconds latency() const { return params_.cycle * 2.0; }
+  // The staircase itself, for domination checks.
+  Bits avail(Seconds t) const { return inner_.avail(t); }
+
+ private:
+  TdmaMacParams params_;
+  FddiMacServer inner_;
+};
+
+}  // namespace hetnet

@@ -7,7 +7,6 @@
 #include <unordered_map>
 #include <utility>
 
-#include "src/fddi/ring.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/sim/event_queue.h"
@@ -79,6 +78,11 @@ class Simulation {
     net::HostId dst_host;
     Seconds h_s;
     Seconds h_r;
+    // Transmittable budget per cycle on each side — the medium's
+    // quantization of the allocation (equal to H on FDDI, whole slots on
+    // TDMA). This is what a token/schedule visit actually spends.
+    Seconds budget_s;
+    Seconds budget_r;
     Bits frame_s;
     Bits frame_r;
     BitsPerSecond rate_s;  // effective payload rate during a window
@@ -107,7 +111,7 @@ class Simulation {
   void rotate_ring(int ring);
   Seconds serve_station(std::size_t ci, std::deque<MacChunk>& queue,
                         Seconds budget, Bits frame_size, BitsPerSecond rate,
-                        Seconds now, bool toward_id);
+                        Seconds now, Seconds ring_propagation, bool toward_id);
   void frame_at_id_s(std::size_t ci, Bits payload, std::uint64_t msg,
                      bool end_of_message);
   void port_enqueue(std::size_t port_index, Cell cell);
@@ -159,7 +163,7 @@ void Simulation::generate_bursts(std::size_t ci, Seconds phase) {
 Seconds Simulation::serve_station(std::size_t ci, std::deque<MacChunk>& queue,
                                   Seconds budget, Bits frame_size,
                                   BitsPerSecond rate, Seconds now,
-                                  bool toward_id) {
+                                  Seconds ring_propagation, bool toward_id) {
   Seconds used;
   while (!queue.empty() && budget - used > 1e-12) {
     MacChunk& chunk = queue.front();
@@ -168,8 +172,7 @@ Seconds Simulation::serve_station(std::size_t ci, std::deque<MacChunk>& queue,
         std::min({frame_size, chunk.remaining, budget_bits});
     if (payload <= 0.0) break;
     const Seconds tx = payload / rate;
-    const Seconds arrival =
-        now + used + tx + topo_.params().ring.propagation;
+    const Seconds arrival = now + used + tx + ring_propagation;
     chunk.remaining -= payload;
     const bool last = chunk.remaining <= 1e-9 && chunk.end_of_message;
     const std::uint64_t msg = chunk.msg;
@@ -189,13 +192,16 @@ Seconds Simulation::serve_station(std::size_t ci, std::deque<MacChunk>& queue,
 }
 
 void Simulation::rotate_ring(int ring) {
-  // One full token rotation handled in a single event: the internal cursor
+  // One full access cycle handled in a single event: the internal cursor
   // advances across stations (hosts, then the interface device), spending
-  // walk latency plus each station's transmission time.
+  // walk latency plus each station's transmission time. On a timed-token
+  // ring the cursor models one token rotation; on a TDMA segment it models
+  // one pass over the slot schedule.
+  const servers::AccessMedium& medium = topo_.access_medium(ring);
   const Seconds start = q_.now();
   Seconds cursor = start;
   const int stations = topo_.params().hosts_per_ring + 1;
-  const Seconds walk = topo_.params().ring.propagation / stations;
+  const Seconds walk = medium.propagation() / stations;
   for (int st = 0; st < stations; ++st) {
     cursor += walk;
     if (st < topo_.params().hosts_per_ring) {
@@ -205,8 +211,8 @@ void Simulation::rotate_ring(int ring) {
       for (std::size_t ci = 0; ci < conns_.size(); ++ci) {
         ConnState& c = conns_[ci];
         if (c.src_host.ring == ring && c.src_host.index == st) {
-          cursor += serve_station(ci, c.mac_s_queue, c.h_s, c.frame_s,
-                                  c.rate_s, cursor,
+          cursor += serve_station(ci, c.mac_s_queue, c.budget_s, c.frame_s,
+                                  c.rate_s, cursor, medium.propagation(),
                                   /*toward_id=*/!c.hops.empty());
         }
       }
@@ -215,16 +221,23 @@ void Simulation::rotate_ring(int ring) {
       for (std::size_t ci = 0; ci < conns_.size(); ++ci) {
         ConnState& c = conns_[ci];
         if (c.dst_host.ring == ring) {
-          cursor += serve_station(ci, c.mac_r_queue, c.h_r, c.frame_r,
-                                  c.rate_r, cursor, /*toward_id=*/false);
+          cursor += serve_station(ci, c.mac_r_queue, c.budget_r, c.frame_r,
+                                  c.rate_r, cursor, medium.propagation(),
+                                  /*toward_id=*/false);
         }
       }
     }
   }
-  // Asynchronous background traffic stretches the rotation (never past the
-  // point where synchronous service already filled it).
-  cursor = std::max(cursor,
-                    start + config_.async_fill * topo_.params().ring.ttrt);
+  if (medium.fixed_cycle()) {
+    // A slotted schedule repeats at its fixed cycle regardless of load;
+    // stations that had nothing to send leave their slots idle.
+    cursor = std::max(cursor, start + medium.cycle().ttrt);
+  } else {
+    // Asynchronous background traffic stretches the rotation (never past
+    // the point where synchronous service already filled it).
+    cursor = std::max(cursor,
+                      start + config_.async_fill * medium.cycle().ttrt);
+  }
   if (cursor <= start) cursor = start + Seconds{1e-9};
   max_rotation_ = std::max(max_rotation_, cursor - start);
   // Keep rotating while sources still generate, and afterwards until this
@@ -386,16 +399,27 @@ PacketSimResult Simulation::run() {
     const bool intra = inst.spec.src.ring == inst.spec.dst.ring;
     HETNET_CHECK(c.h_s > 0 && (intra || c.h_r > 0),
                  "simulating an unallocated conn");
-    c.frame_s = fddi::frame_payload_for_allocation(p.ring, c.h_s);
-    c.rate_s = fddi::effective_payload_rate(p.ring, c.frame_s);
+    const servers::AccessMedium& src_medium =
+        topo_.access_medium(c.src_host.ring);
+    c.budget_s = src_medium.usable_budget(c.h_s);
+    HETNET_CHECK(c.budget_s > 0,
+                 "allocation too small for the source medium's quantum");
+    c.frame_s = src_medium.frame_payload(c.h_s);
+    c.rate_s = src_medium.payload_rate(c.frame_s);
     if (!intra) {
-      c.frame_r = fddi::frame_payload_for_allocation(p.ring, c.h_r);
-      c.rate_r = fddi::effective_payload_rate(p.ring, c.frame_r);
+      const servers::AccessMedium& dst_medium =
+          topo_.access_medium(c.dst_host.ring);
+      c.budget_r = dst_medium.usable_budget(c.h_r);
+      HETNET_CHECK(c.budget_r > 0,
+                   "allocation too small for the receive medium's quantum");
+      c.frame_r = dst_medium.frame_payload(c.h_r);
+      c.rate_r = dst_medium.payload_rate(c.frame_r);
     }
     c.hops = topo_.backbone_route(c.src_host, c.dst_host);
     if (c.hops.empty()) {
       // Intra-ring: the receive-side allocation plays no role.
       c.h_r = c.h_s;
+      c.budget_r = c.budget_s;
       c.frame_r = c.frame_s;
       c.rate_r = c.rate_s;
     }
@@ -412,8 +436,9 @@ PacketSimResult Simulation::run() {
   }
   ring_rotating_.assign(static_cast<std::size_t>(p.num_rings), true);
   for (int ring = 0; ring < p.num_rings; ++ring) {
-    // Stagger token starts so rings do not rotate in lockstep.
-    q_.schedule_at(Seconds{rng_.uniform(0.0, p.ring.ttrt.value() * 0.1)},
+    // Stagger token/schedule starts so rings do not rotate in lockstep.
+    const Seconds cycle = topo_.access_medium(ring).cycle().ttrt;
+    q_.schedule_at(Seconds{rng_.uniform(0.0, cycle.value() * 0.1)},
                    [this, ring] { rotate_ring(ring); });
   }
   // Let in-flight traffic drain: rings stop rotating at `duration` but the

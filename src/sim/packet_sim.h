@@ -1,23 +1,28 @@
-// Packet-level discrete-event simulation of the FDDI-ATM-FDDI network.
+// Packet-level discrete-event simulation of the heterogeneous network
+// (access segments — cell backbone — access segments).
 //
-// Simulates the actual mechanisms the delay analysis bounds: timed-token
-// rings (token circulation, per-connection synchronous windows, frame
-// transmission), interface devices (constant port/switch stages, frame→cell
-// segmentation, cell→frame reassembly), and ATM switches (store-and-forward
-// FIFO output ports at wire rate, fabric latency, link propagation). Every
+// Simulates the actual mechanisms the delay analysis bounds: cyclic access
+// MACs (token circulation or TDMA slot schedules, per-connection
+// synchronous windows, frame transmission), interface devices (constant
+// port/switch stages, frame→cell segmentation, cell→frame reassembly), and
+// cell switches (store-and-forward FIFO output ports at wire rate, fabric
+// latency, link propagation — including long-delay satellite links). Every
 // message's end-to-end last-bit delay is traced, giving the empirical
 // distribution the analytic worst case must dominate
 // (bench/validation_bounds runs exactly that comparison).
 //
 // Faithfulness notes (see DESIGN.md):
 //  * Only synchronous traffic is simulated; a station transmits during a
-//    token visit until its per-connection allocation H is spent, in frames
-//    of the analysis' frame size (the paper's F_S = H·BW, capped at the
-//    FDDI maximum). Frame overhead is accounted through the effective
-//    payload rate, exactly as in the analysis.
-//  * Token walk latency is the ring propagation constant spread over the
+//    cycle visit until its per-connection transmittable budget — the
+//    medium's quantization of the allocation H (H itself on FDDI, whole
+//    slots on TDMA) — is spent, in frames of the analysis' frame size.
+//    Frame overhead is accounted through the effective payload rate,
+//    exactly as in the analysis. Each ring's medium comes from the
+//    topology's resolved hop sequence (src/servers/registry.h).
+//  * Walk latency is the segment's propagation constant spread over the
 //    stations; with ΣH + Δ <= TTRT the rotation time never exceeds TTRT,
-//    matching the protocol property the analysis relies on.
+//    matching the protocol property the analysis relies on. Fixed-cycle
+//    media (TDMA) repeat their schedule at exactly the cycle time.
 //  * Sources are the dual-periodic (or periodic) generators of Section 6;
 //    their phases can be randomized per connection or aligned (aligned
 //    phases are the adversarial case that stresses the FIFO ports).

@@ -7,6 +7,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/servers/registry.h"
 #include "src/traffic/sources.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
@@ -120,6 +121,28 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
   const double fills[] = {0.0, 0.5, 0.9};
   s.async_fill = fills[rng.pick(3)];
   s.sim_seed = rng.next_u64() | 1;
+
+  // Media mix: half of the scenarios keep the historical all-FDDI/ATM
+  // chain at full weight; the rest mix TDMA access segments and satellite
+  // backbones in. Sampled last so earlier draws match older generators.
+  if (rng.bernoulli(0.5)) {
+    for (int r = 0; r < s.num_rings; ++r) {
+      s.ring_media.push_back(rng.bernoulli(0.35) ? "tdma-ethernet"
+                                                 : "fddi");
+    }
+    s.tdma_slot = units::us(rng.uniform(32.0, 128.0));
+    if (rng.bernoulli(0.3)) {
+      s.backbone_medium = "satellite-atm";
+      s.sat_propagation = units::ms(rng.uniform(100.0, 400.0));
+      // An inter-ring route crosses up to three backbone links, each at
+      // the sampled propagation; lift every deadline above that floor so
+      // satellite scenarios exercise admission instead of rejecting
+      // everything outright.
+      for (FuzzConnection& c : s.connections) {
+        c.deadline += s.sat_propagation * 4.0;
+      }
+    }
+  }
   return s;
 }
 
@@ -133,6 +156,22 @@ void normalize_scenario(FuzzScenario* s) {
   s->bisection_iters = std::clamp(s->bisection_iters, 4, 24);
   if (s->sim_duration <= 0) s->sim_duration = units::sec(0.5);
   s->async_fill = std::clamp(s->async_fill, 0.0, 0.95);
+
+  // Media mix: unknown names fall back to the defaults (shrinkers and
+  // hand-edited repros may carry anything); surplus per-ring entries go
+  // with their rings.
+  const servers::MediumRegistry& registry = servers::MediumRegistry::builtin();
+  for (std::string& name : s->ring_media) {
+    if (!registry.has_access(name)) name = "fddi";
+  }
+  if (s->ring_media.size() > static_cast<std::size_t>(s->num_rings)) {
+    s->ring_media.resize(static_cast<std::size_t>(s->num_rings));
+  }
+  if (!registry.has_backbone(s->backbone_medium)) s->backbone_medium = "atm";
+  if (!(s->sat_propagation > 0)) s->sat_propagation = units::ms(250);
+  if (!(s->tdma_slot > 0) || s->tdma_slot > s->ttrt) {
+    s->tdma_slot = units::us(64);
+  }
 
   for (auto& c : s->connections) {
     c.src_ring = std::clamp(c.src_ring, 0, s->num_rings - 1);
@@ -181,6 +220,19 @@ net::TopologyParams topology_params(const FuzzScenario& s) {
       s.line_backbone ? net::BackboneShape::kLine : net::BackboneShape::kMesh;
   p.ring.ttrt = s.ttrt;
   p.ring.protocol_overhead = s.protocol_overhead;
+  if (!s.ring_media.empty()) {
+    p.access_hops.clear();
+    for (const std::string& name : s.ring_media) {
+      servers::HopSpec hop;
+      hop.medium = name;
+      if (name == "tdma-ethernet") hop.slot_time = s.tdma_slot;
+      p.access_hops.push_back(hop);
+    }
+  }
+  p.backbone_hop.medium = s.backbone_medium;
+  if (s.backbone_medium == "satellite-atm") {
+    p.backbone_hop.propagation = s.sat_propagation;
+  }
   return p;
 }
 
@@ -247,6 +299,14 @@ json::Value scenario_to_json(const FuzzScenario& s) {
   v.set("sim_duration_s", json::Value::number(val(s.sim_duration)));
   v.set("async_fill", json::Value::number(s.async_fill));
   v.set("sim_seed", u64_value(s.sim_seed));
+  json::Value media = json::Value::array();
+  for (const std::string& name : s.ring_media) {
+    media.push(json::Value::string(name));
+  }
+  v.set("ring_media", std::move(media));
+  v.set("backbone_medium", json::Value::string(s.backbone_medium));
+  v.set("sat_propagation_s", json::Value::number(val(s.sat_propagation)));
+  v.set("tdma_slot_s", json::Value::number(val(s.tdma_slot)));
   return v;
 }
 
@@ -284,17 +344,32 @@ FuzzScenario scenario_from_json(const json::Value& v) {
   s.sim_duration = Seconds{v.num_at("sim_duration_s")};
   s.async_fill = v.num_at("async_fill");
   s.sim_seed = u64_from(v.at("sim_seed"));
+  // Media keys are absent from pre-media repro files; the field defaults
+  // reproduce the historical all-FDDI/ATM chain exactly.
+  if (v.has("ring_media")) {
+    for (const json::Value& m : v.at("ring_media").items()) {
+      s.ring_media.push_back(m.as_string());
+    }
+    s.backbone_medium = v.str_at("backbone_medium");
+    s.sat_propagation = Seconds{v.num_at("sat_propagation_s")};
+    s.tdma_slot = Seconds{v.num_at("tdma_slot_s")};
+  }
   return s;
 }
 
 std::string describe_scenario(const FuzzScenario& s) {
-  char buf[160];
+  int tdma_rings = 0;
+  for (const std::string& name : s.ring_media) {
+    tdma_rings += name == "tdma-ethernet" ? 1 : 0;
+  }
+  char buf[200];
   std::snprintf(buf, sizeof buf,
                 "%d rings x %d hosts (%s), TTRT %.2f ms, beta %.2f, "
-                "%zu conns, %zu ops, async_fill %.2f",
+                "%zu conns, %zu ops, async_fill %.2f, media %d tdma / %s",
                 s.num_rings, s.hosts_per_ring,
                 s.line_backbone ? "line" : "mesh", val(s.ttrt) * 1e3, s.beta,
-                s.connections.size(), s.ops.size(), s.async_fill);
+                s.connections.size(), s.ops.size(), s.async_fill, tdma_rings,
+                s.backbone_medium.c_str());
   return buf;
 }
 

@@ -74,6 +74,16 @@ struct FuzzScenario {
   Seconds sim_duration = units::sec(1);
   double async_fill = 0.0;
   std::uint64_t sim_seed = 1;
+
+  // Media mix: per-ring access media (ring i ← ring_media[i % size()];
+  // empty = every ring "fddi") and the backbone medium, resolved through
+  // servers::MediumRegistry::builtin(). Satellite backbones carry the
+  // sampled per-link propagation, TDMA rings the sampled slot quantum.
+  // Absent from pre-media repro files — scenario_from_json defaults them.
+  std::vector<std::string> ring_media;
+  std::string backbone_medium = "atm";
+  Seconds sat_propagation = units::ms(250);
+  Seconds tdma_slot = units::us(64);
 };
 
 // Deterministic scenario generation: the same seed yields the same scenario

@@ -71,6 +71,18 @@ std::vector<FuzzScenario> candidates(const FuzzScenario& s) {
     t.line_backbone = false;
     out.push_back(std::move(t));
   }
+  // Media reductions: the all-default FDDI/ATM chain is the simplest
+  // reading of a heterogeneous hop sequence.
+  if (!s.ring_media.empty()) {
+    FuzzScenario t = s;
+    t.ring_media.clear();
+    out.push_back(std::move(t));
+  }
+  if (s.backbone_medium != "atm") {
+    FuzzScenario t = s;
+    t.backbone_medium = "atm";
+    out.push_back(std::move(t));
+  }
   {
     const FuzzScenario defaults;  // scenario.h field defaults
     FuzzScenario t = s;

@@ -124,6 +124,69 @@ TEST(GoldenFigures, FeasibleRegionCellCountsAreExact) {
   EXPECT_EQ(core::count_convexity_violations(grid), 0);
 }
 
+// ---- Per-medium golden pins -----------------------------------------------
+//
+// One pinned admission tally per registered media mix, each asserted across
+// thread counts {1, 2, 8} and both engines (tiered and untiered): the
+// registry refactor's contract is that a medium decides WHAT is admitted,
+// while threading and tiering never change a decision. The default chain's
+// pin is the same Figure-7 point pinned above — the registry resolution of
+// the default hop sequence must be bit-identical to the pre-registry code.
+
+core::CacConfig media_config(double beta, int threads, bool tiered) {
+  core::CacConfig cfg = golden_config(beta, threads);
+  cfg.tiered = tiered;
+  return cfg;
+}
+
+struct MediaGoldenCase {
+  const char* name;
+  net::TopologyParams params;
+  Seconds deadline;
+  std::size_t admitted;  // pinned tally out of 80 measured requests
+};
+
+void run_media_golden(const MediaGoldenCase& g) {
+  const net::AbhnTopology topo(g.params);
+  WorkloadParams w = golden_workload();
+  w.deadline = g.deadline;
+  w.lambda = lambda_for_utilization(0.9, w, topo);
+  for (const int threads : {1, 2, 8}) {
+    for (const bool tiered : {false, true}) {
+      const SimulationResult r = run_admission_simulation(
+          topo, media_config(0.3, threads, tiered), w);
+      EXPECT_EQ(r.total_requests, 80u) << g.name;
+      EXPECT_EQ(r.admitted, g.admitted)
+          << g.name << " threads=" << threads << " tiered=" << tiered;
+    }
+  }
+}
+
+TEST(GoldenFigures, DefaultChainMediaTallyIsExact) {
+  // Must equal the Figure-7 β = 0.3 pin: the registry's default resolution
+  // reproduces the historical FDDI-ATM-FDDI pipeline bit for bit.
+  run_media_golden({"fddi-atm", net::paper_topology_params(), units::ms(80),
+                    14});
+}
+
+TEST(GoldenFigures, TdmaEthernetMediaTallyIsExact) {
+  // One fewer admit than FDDI at the same load: whole-slot quantization
+  // wastes the fractional tail of each allocation, so the schedule packs
+  // slightly fewer connections.
+  run_media_golden({"tdma-atm", hetnet::testing::tdma_topology_params(),
+                    units::ms(80), 13});
+}
+
+TEST(GoldenFigures, SatelliteAtmMediaTallyIsExact) {
+  // An inter-ring route traverses three backbone links (uplink, inter-
+  // switch, downlink), each at the 250 ms GEO propagation — the end-to-end
+  // floor at maximal allocation is ≈ 782 ms. A 1 s deadline leaves the CAC
+  // the same allocation-vs-disturbance headroom the terrestrial scenarios
+  // have.
+  run_media_golden({"fddi-sat", hetnet::testing::satellite_topology_params(),
+                    units::sec(1), 18});
+}
+
 TEST(GoldenFigures, AdmissionAllocationDoublesAreExact) {
   const net::AbhnTopology topo = hetnet::testing::paper_topology();
   core::AdmissionController cac(&topo, golden_config(0.5));

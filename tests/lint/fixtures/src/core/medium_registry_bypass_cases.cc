@@ -1,0 +1,24 @@
+// medium-registry-bypass fixtures: src/core must not name a concrete
+// medium server class or medium-specific conversion factory — media are
+// resolved through servers::MediumRegistry into the AccessMedium /
+// BackboneMedium interfaces.
+#include "src/servers/registry.h"
+
+namespace hetnet::core {
+
+void bypass_cases(const servers::AccessMedium& medium) {
+  FddiMacParams params;                                  // EXPECT(medium-registry-bypass)
+  const FddiMacServer mac("FDDI_S.MAC", params);         // EXPECT(medium-registry-bypass)
+  const TdmaMacServer slots("TDMA_S.MAC", {});           // EXPECT(medium-registry-bypass)
+  const TokenRingMacServer ring("TR.MAC", {});           // EXPECT(medium-registry-bypass)
+  auto conv = make_frame_to_cell_server("ID_S.FC", {});  // EXPECT(medium-registry-bypass)
+  auto back = make_cell_to_frame_server("ID_R.CF", {});  // EXPECT(medium-registry-bypass)
+  // Mentioning FddiMacServer in a comment is not a bypass.
+  // Generic servers carry no medium identity and are allowed:
+  const FifoMuxServer port = medium.port_server();       // ok: generic mux
+  const ConstantDelayServer wire = medium.delay_line();  // ok: generic delay
+  (void)mac; (void)slots; (void)ring; (void)conv; (void)back;
+  (void)port; (void)wire;
+}
+
+}  // namespace hetnet::core

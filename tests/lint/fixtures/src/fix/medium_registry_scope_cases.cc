@@ -1,0 +1,16 @@
+// medium-registry-bypass scope control: outside src/core the concrete
+// medium server classes are exactly where they belong — src/servers holds
+// the implementations and the registry's factories name them freely.
+#include "src/servers/registry.h"
+
+namespace hetnet::servers {
+
+void registry_side_cases() {
+  FddiMacParams params;                        // ok: not src/core
+  const FddiMacServer mac("FDDI_S.MAC", params);  // ok: not src/core
+  const TdmaMacServer slots("TDMA_S.MAC", {});    // ok: not src/core
+  auto conv = make_frame_to_cell_server("ID_S.FC", {});  // ok: not src/core
+  (void)mac; (void)slots; (void)conv;
+}
+
+}  // namespace hetnet::servers

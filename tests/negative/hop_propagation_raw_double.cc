@@ -1,0 +1,19 @@
+// MUST NOT COMPILE: assigning a raw double to a HopSpec's propagation.
+// Hop sequences are data, and data written as bare numbers is exactly where
+// a 0.25 silently means "seconds" to one reader and "milliseconds" to
+// another — the strong types force units::* at the literal.
+#include "src/servers/registry.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+
+servers::HopSpec broken() {
+  servers::HopSpec hop;
+  hop.medium = "satellite-atm";
+  hop.propagation = 0.25;  // error: double is not Seconds
+  return hop;
+}
+
+}  // namespace hetnet
+
+int main() { return 0; }

@@ -1,0 +1,18 @@
+// MUST NOT COMPILE: putting a duration into a HopSpec's signalling-rate
+// override. Swapped hop-spec fields would otherwise survive until a medium
+// factory divides by them.
+#include "src/servers/registry.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+
+servers::HopSpec broken() {
+  servers::HopSpec hop;
+  hop.medium = "tdma-ethernet";
+  hop.rate = units::ms(1);  // error: Seconds is not BitsPerSecond
+  return hop;
+}
+
+}  // namespace hetnet
+
+int main() { return 0; }

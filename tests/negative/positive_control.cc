@@ -1,6 +1,7 @@
 // Positive control: the same surrounding code as the failing cases, with
 // dimensionally correct expressions. Must compile — otherwise the negative
 // cases are failing for the wrong reason (broken include path, bad flag, …).
+#include "src/servers/registry.h"
 #include "src/util/units.h"
 
 namespace hetnet {
@@ -22,6 +23,15 @@ double utilization(BitsPerSecond offered, BitsPerSecond capacity) {
 }
 
 Seconds explicit_construction() { return Seconds{1.5e-3}; }
+
+servers::HopSpec well_typed_hop() {
+  servers::HopSpec hop;
+  hop.medium = "satellite-atm";
+  hop.propagation = units::ms(250);
+  hop.rate = units::mbps(155);
+  hop.slot_time = units::us(64);
+  return hop;
+}
 
 }  // namespace hetnet
 

@@ -182,7 +182,7 @@ TEST(ExplainTest, NdjsonOneLinePerRecordWithNullForNonFinite) {
   admitted.bound = units::ms(20);
   admitted.bisection.push_back(
       {ExplainBisectionStep::Phase::kMinNeed, 0, 0.5, true});
-  admitted.stages.push_back({"FDDI_S.MAC", units::ms(9)});
+  admitted.stages.push_back({"FDDI_S.MAC", units::ms(9), units::kbits(4)});
   sink.add(std::move(admitted));
 
   std::ostringstream out;
@@ -204,6 +204,8 @@ TEST(ExplainTest, NdjsonOneLinePerRecordWithNullForNonFinite) {
             std::string::npos);
   EXPECT_NE(parsed[1].find("\"stages\":[[\"FDDI_S.MAC\","),
             std::string::npos);
+  // Stage entries carry the per-hop buffer bound as a third element.
+  EXPECT_NE(parsed[1].find(",4000]]"), std::string::npos);
   for (const auto& l : parsed) {
     EXPECT_EQ(l.front(), '{');
     EXPECT_EQ(l.back(), '}');

@@ -1,0 +1,240 @@
+// Property tests for the medium/server-model registry
+// (src/servers/registry.h): every registered medium's stage servers must
+// satisfy the server-curve sanity invariants the analysis relies on, and
+// registration/resolution must be deterministic and order-independent.
+#include "src/servers/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/servers/chain.h"
+#include "src/servers/tdma_mac.h"
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace hetnet::servers {
+namespace {
+
+MediumDefaults paper_defaults() {
+  const net::TopologyParams p = net::paper_topology_params();
+  MediumDefaults d;
+  d.ring = p.ring;
+  d.link = p.link;
+  d.cell_payload = p.cells.payload;
+  d.input_port_delay = p.interface_device.input_port_delay;
+  d.frame_switch_delay = p.interface_device.frame_switch_delay;
+  d.frame_cell_conversion = p.interface_device.frame_cell_conversion;
+  d.cell_frame_conversion = p.interface_device.cell_frame_conversion;
+  d.id_mac_buffer = p.interface_device.mac_buffer;
+  d.host_mac_buffer = p.host_mac_buffer;
+  return d;
+}
+
+// A probe envelope modest enough that every stock medium bounds it at the
+// allocations the tests sweep.
+EnvelopePtr probe_source() {
+  return std::make_shared<PeriodicEnvelope>(units::kbits(10), units::ms(20));
+}
+
+// Allocation sweep: from one TDMA slot up to a sizable share of the cycle.
+std::vector<Seconds> allocation_sweep() {
+  return {units::us(64), units::us(200), units::ms(1), units::ms(2),
+          units::ms(4)};
+}
+
+TEST(MediumRegistryTest, BuiltinCarriesTheStockMedia) {
+  const MediumRegistry& reg = MediumRegistry::builtin();
+  EXPECT_EQ(reg.access_names(),
+            (std::vector<std::string>{"fddi", "tdma-ethernet"}));
+  EXPECT_EQ(reg.backbone_names(),
+            (std::vector<std::string>{"atm", "satellite-atm"}));
+}
+
+// Invariant 1: every access medium's stage servers report non-negative
+// latency and buffer on every stage, for every allocation in the sweep,
+// and the chain yields a finite bound with a non-null output descriptor.
+TEST(MediumRegistryTest, StageServersHaveNonNegativeLatency) {
+  const MediumRegistry& reg = MediumRegistry::builtin();
+  const MediumDefaults defaults = paper_defaults();
+  for (const std::string& name : reg.access_names()) {
+    const AccessMediumPtr medium =
+        reg.resolve_access(HopSpec{name}, defaults);
+    for (const Seconds h : allocation_sweep()) {
+      if (!(medium->usable_budget(h) > 0)) continue;
+      for (const bool intra : {true, false}) {
+        ServerChain chain(medium->send_stages(h, intra, AnalysisConfig{}));
+        const auto analysis = chain.analyze(probe_source());
+        ASSERT_TRUE(analysis.has_value())
+            << name << " h=" << val(h) << " intra=" << intra;
+        EXPECT_GE(val(analysis->total_delay), 0.0) << name;
+        EXPECT_NE(analysis->final_output, nullptr) << name;
+        for (const ChainStage& stage : analysis->stages) {
+          EXPECT_GE(val(stage.analysis.worst_case_delay), 0.0)
+              << name << " stage " << stage.server_name;
+          EXPECT_GE(val(stage.analysis.buffer_required), 0.0)
+              << name << " stage " << stage.server_name;
+        }
+      }
+    }
+  }
+}
+
+// Invariant 2: the per-allocation quantities driving the service curve are
+// monotone non-decreasing and self-consistent: usable_budget is monotone
+// in h and never exceeds h (ledger soundness), frame payload is positive,
+// and the effective payload rate never exceeds the raw signalling rate
+// (conversion-server rate consistency).
+TEST(MediumRegistryTest, ServiceCurvesAreMonotoneAndRateConsistent) {
+  const MediumRegistry& reg = MediumRegistry::builtin();
+  const MediumDefaults defaults = paper_defaults();
+  for (const std::string& name : reg.access_names()) {
+    const AccessMediumPtr medium =
+        reg.resolve_access(HopSpec{name}, defaults);
+    Seconds prev_budget{};
+    for (const Seconds h : allocation_sweep()) {
+      const Seconds budget = medium->usable_budget(h);
+      EXPECT_GE(val(budget), val(prev_budget)) << name << " h=" << val(h);
+      EXPECT_LE(val(budget), val(h) * (1.0 + 1e-12)) << name;
+      prev_budget = budget;
+      if (!(budget > 0)) continue;
+      const Bits frame = medium->frame_payload(h);
+      EXPECT_GT(val(frame), 0.0) << name;
+      const BitsPerSecond rate = medium->payload_rate(frame);
+      EXPECT_GT(val(rate), 0.0) << name;
+      EXPECT_LE(val(rate), val(medium->cycle().raw_rate)) << name;
+    }
+    EXPECT_GT(val(medium->max_allocation()), 0.0) << name;
+    EXPECT_GE(val(medium->propagation()), 0.0) << name;
+  }
+}
+
+// Invariant 3: the TDMA MAC's service curve is monotone non-decreasing in
+// t (a service curve must be) and matches its rate-latency summary: for
+// t >= latency, avail(t) >= rate · (t − latency) never over-promises.
+TEST(MediumRegistryTest, TdmaServiceCurveIsMonotone) {
+  TdmaMacParams p;
+  p.cycle = units::ms(8);
+  p.slot_time = units::us(64);
+  p.allocation = units::ms(1);
+  p.payload_rate = units::mbps(100);
+  const TdmaMacServer mac("TDMA.MAC", p);
+  double prev = 0.0;
+  for (int k = 0; k <= 200; ++k) {
+    const Seconds t = units::us(200) * double(k);
+    const double a = val(mac.avail(t));
+    EXPECT_GE(a, prev) << "t=" << val(t);
+    prev = a;
+    // The rate-latency pair is a conservative summary of the step curve.
+    const double rl =
+        val(mac.rate()) * std::max(0.0, val(t) - val(mac.latency()));
+    EXPECT_LE(rl, a + 1e-6) << "t=" << val(t);
+  }
+  // Whole-slot quantization: 1 ms at 64 µs slots is 15 slots, not 15.625.
+  EXPECT_DOUBLE_EQ(val(mac.quantized_budget()), 15 * 64e-6);
+}
+
+// Registration is deterministic and order-independent: registries built by
+// permuted registration orders resolve identical media (equal sorted name
+// lists, equal config digests for equal hops).
+TEST(MediumRegistryTest, RegistrationIsOrderIndependent) {
+  const MediumDefaults defaults = paper_defaults();
+  const MediumRegistry& builtin = MediumRegistry::builtin();
+  auto forward_factory = [&](const std::string& name) {
+    return [&builtin, name](const HopSpec& hop, const MediumDefaults& d) {
+      HopSpec named = hop;
+      named.medium = name;
+      return builtin.resolve_access(named, d);
+    };
+  };
+  MediumRegistry ab;
+  ab.register_access("fddi", forward_factory("fddi"));
+  ab.register_access("tdma-ethernet", forward_factory("tdma-ethernet"));
+  MediumRegistry ba;
+  ba.register_access("tdma-ethernet", forward_factory("tdma-ethernet"));
+  ba.register_access("fddi", forward_factory("fddi"));
+  EXPECT_EQ(ab.access_names(), ba.access_names());
+  for (const std::string& name : ab.access_names()) {
+    const HopSpec hop{name};
+    EXPECT_EQ(ab.resolve_access(hop, defaults)->config_digest(),
+              ba.resolve_access(hop, defaults)->config_digest());
+  }
+  // Resolution itself is deterministic: same hop, same digest, every time.
+  const HopSpec hop{"tdma-ethernet"};
+  EXPECT_EQ(builtin.resolve_access(hop, defaults)->config_digest(),
+            builtin.resolve_access(hop, defaults)->config_digest());
+}
+
+// Different media — and the same medium with different per-hop knobs —
+// never collide on config_digest (the fingerprint contract's "equal key ⇒
+// identical analysis" depends on unequal configurations hashing apart).
+TEST(MediumRegistryTest, ConfigDigestsSeparateMedia) {
+  const MediumRegistry& reg = MediumRegistry::builtin();
+  const MediumDefaults defaults = paper_defaults();
+  const auto fddi = reg.resolve_access(HopSpec{"fddi"}, defaults);
+  const auto tdma = reg.resolve_access(HopSpec{"tdma-ethernet"}, defaults);
+  EXPECT_NE(fddi->config_digest(), tdma->config_digest());
+  HopSpec slow{"fddi"};
+  slow.propagation = units::us(80);
+  EXPECT_NE(reg.resolve_access(slow, defaults)->config_digest(),
+            fddi->config_digest());
+  const auto atm = reg.resolve_backbone(HopSpec{"atm"}, defaults);
+  const auto sat = reg.resolve_backbone(HopSpec{"satellite-atm"}, defaults);
+  EXPECT_NE(atm->config_digest(), sat->config_digest());
+  EXPECT_DOUBLE_EQ(val(sat->link().wire_rate), val(atm->link().wire_rate));
+  EXPECT_DOUBLE_EQ(val(sat->link().propagation), 0.25);
+  EXPECT_EQ(sat->port_label(atm::PortId{3}), "SAT.Port[3]");
+  EXPECT_EQ(atm->port_label(atm::PortId{3}), "ATM.Port[3]");
+}
+
+TEST(MediumRegistryTest, UnknownMediumNameIsRejected) {
+  const MediumDefaults defaults = paper_defaults();
+  const MediumRegistry& reg = MediumRegistry::builtin();
+  EXPECT_FALSE(reg.has_access("token-bus"));
+  try {
+    reg.resolve_access(HopSpec{"token-bus"}, defaults);
+    FAIL() << "unknown access medium must be rejected";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown access medium: token-bus"),
+              std::string::npos);
+  }
+  try {
+    reg.resolve_backbone(HopSpec{"carrier-pigeon"}, defaults);
+    FAIL() << "unknown backbone medium must be rejected";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("unknown backbone medium: carrier-pigeon"),
+        std::string::npos);
+  }
+}
+
+TEST(MediumRegistryTest, DuplicateAndEmptyRegistrationsAreRejected) {
+  MediumRegistry reg;
+  auto factory = [](const HopSpec& hop, const MediumDefaults& d) {
+    HopSpec named = hop;
+    named.medium = "fddi";
+    return MediumRegistry::builtin().resolve_access(named, d);
+  };
+  reg.register_access("fddi", factory);
+  EXPECT_THROW(reg.register_access("fddi", factory), std::logic_error);
+  EXPECT_THROW(reg.register_access("", factory), std::logic_error);
+}
+
+TEST(MediumRegistryTest, EmptyHopSequenceIsRejected) {
+  net::TopologyParams p = net::paper_topology_params();
+  p.access_hops.clear();
+  try {
+    net::AbhnTopology topo(p);
+    FAIL() << "empty hop sequence must be rejected";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("empty hop sequence"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hetnet::servers

@@ -1,0 +1,83 @@
+// Unit tests for the TDMA Ethernet MAC server (src/servers/tdma_mac.h):
+// slot-schedule quantization, the step service curve shared with the
+// timed-token analysis, and the rate-latency summary.
+#include "src/servers/tdma_mac.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "src/traffic/sources.h"
+#include "src/util/units.h"
+
+namespace hetnet {
+namespace {
+
+// Reference schedule: 8 ms cycle, 64 µs slots, H = 1 ms requested →
+// ⌊1 ms / 64 µs⌋ = 15 slots = 960 µs honored per cycle.
+TdmaMacParams ref_params() {
+  TdmaMacParams p;
+  p.cycle = units::ms(8);
+  p.slot_time = units::us(64);
+  p.allocation = units::ms(1);
+  p.payload_rate = units::mbps(100);
+  return p;
+}
+
+TEST(TdmaQuantizeBudgetTest, RoundsDownToWholeSlots) {
+  const Seconds slot = units::us(64);
+  EXPECT_DOUBLE_EQ(val(tdma_quantize_budget(units::ms(1), slot)), 15 * 64e-6);
+  // Exact slot multiples keep every slot (the epsilon guard makes the
+  // float-exact boundary inclusive).
+  EXPECT_DOUBLE_EQ(val(tdma_quantize_budget(slot * 4.0, slot)), 4 * 64e-6);
+  // Sub-slot allocations are unusable.
+  EXPECT_DOUBLE_EQ(val(tdma_quantize_budget(units::us(63), slot)), 0.0);
+  EXPECT_DOUBLE_EQ(val(tdma_quantize_budget(Seconds{}, slot)), 0.0);
+}
+
+TEST(TdmaMacServerTest, AvailStepsAtCycles) {
+  const TdmaMacServer s("TDMA.MAC", ref_params());
+  const Bits per_cycle = Seconds{15 * 64e-6} * units::mbps(100);
+  EXPECT_DOUBLE_EQ(val(s.avail(Seconds{})), 0.0);
+  EXPECT_DOUBLE_EQ(val(s.avail(units::ms(8))), 0.0);  // (⌊1⌋−1)·pv = 0
+  EXPECT_DOUBLE_EQ(val(s.avail(units::ms(16))), val(per_cycle));
+  EXPECT_DOUBLE_EQ(val(s.avail(units::ms(24))), val(2 * per_cycle));
+}
+
+TEST(TdmaMacServerTest, RateLatencySummary) {
+  const TdmaMacServer s("TDMA.MAC", ref_params());
+  EXPECT_DOUBLE_EQ(val(s.quantized_budget()), 15 * 64e-6);
+  // rate = budget·BW_eff / cycle; latency = two full cycles (worst-case
+  // arrival just after this cycle's slots plus one empty first cycle —
+  // the same shift Theorem 1's step curve encodes).
+  EXPECT_DOUBLE_EQ(val(s.rate()), 100e6 * (15 * 64e-6) / 8e-3);
+  EXPECT_DOUBLE_EQ(val(s.latency()), 16e-3);
+}
+
+TEST(TdmaMacServerTest, BoundsAPeriodicSourceLikeTheStepCurve) {
+  const TdmaMacServer s("TDMA.MAC", ref_params());
+  // One 50-kbit message per second fits into one cycle's 96-kbit budget:
+  // the classic small-message worst case of two cycles plus transmission.
+  auto msg = std::make_shared<PeriodicEnvelope>(Bits{50000.0}, units::sec(1));
+  const auto analysis = s.analyze(msg);
+  ASSERT_TRUE(analysis.has_value());
+  EXPECT_GT(val(analysis->worst_case_delay), 0.0);
+  EXPECT_LE(val(analysis->worst_case_delay), 3.0 * 8e-3);
+  EXPECT_GE(val(analysis->buffer_required), 50000.0);
+}
+
+TEST(TdmaMacServerTest, InvalidParamsAreRejected) {
+  TdmaMacParams p = ref_params();
+  p.slot_time = units::ms(9);  // slot longer than the cycle
+  EXPECT_THROW(TdmaMacServer("TDMA.MAC", p), std::logic_error);
+  p = ref_params();
+  p.allocation = units::us(10);  // below one slot — no usable budget
+  EXPECT_THROW(TdmaMacServer("TDMA.MAC", p), std::logic_error);
+  p = ref_params();
+  p.cycle = Seconds{};
+  EXPECT_THROW(TdmaMacServer("TDMA.MAC", p), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hetnet

@@ -15,6 +15,31 @@ inline net::AbhnTopology paper_topology() {
   return net::AbhnTopology(net::paper_topology_params());
 }
 
+// The paper's topology with every access segment replaced by a TDMA
+// Ethernet MAC (RTmac-style slot schedule, 64 µs slots on 100 Mb/s).
+inline net::TopologyParams tdma_topology_params() {
+  net::TopologyParams p = net::paper_topology_params();
+  p.access_hops = {servers::HopSpec{"tdma-ethernet"}};
+  return p;
+}
+
+inline net::AbhnTopology tdma_topology() {
+  return net::AbhnTopology(tdma_topology_params());
+}
+
+// The paper's topology with the terrestrial ATM backbone replaced by a
+// long-delay satellite-ATM backbone (GEO bent-pipe, 250 ms propagation).
+// Deadlines must sit well above the propagation floor to be feasible.
+inline net::TopologyParams satellite_topology_params() {
+  net::TopologyParams p = net::paper_topology_params();
+  p.backbone_hop = servers::HopSpec{"satellite-atm"};
+  return p;
+}
+
+inline net::AbhnTopology satellite_topology() {
+  return net::AbhnTopology(satellite_topology_params());
+}
+
 // A moderately bursty dual-periodic source: ρ = 3 Mb/s, 100-kbit sub-bursts
 // every 20 ms (the evaluation workload's shape from Section 6).
 inline EnvelopePtr video_source() {

@@ -9,9 +9,12 @@ or the fuzzer's repro_seed_*.explain.ndjson, and prints:
 
   * totals: records, admitted, admission probability, reject reasons
     ranked by frequency;
-  * binding-server distribution: which stage of the
-    FDDI_S -> ID_S -> ATM -> ID_R -> FDDI_R chain carries the worst-case
+  * binding-server distribution: which stage of the analyzed server chain
+    (e.g. FDDI_S -> ID_S -> ATM -> ID_R -> FDDI_R) carries the worst-case
     delay bound, over all records that ran the joint analysis;
+  * per-medium aggregation: stage labels grouped by medium (FDDI / TDMA /
+    ID / ATM / SAT), with each medium's share of the end-to-end delay
+    bound, its worst per-hop buffer bound, and how often it binds;
   * slack statistics (deadline - granted bound) for admitted requests;
   * mean bisection iterations and probe evaluations per analyzed request;
   * decision-tier distribution (screen_admit / screen_reject / memo /
@@ -33,6 +36,34 @@ def fmt_seconds(s):
     if abs(s) >= 1.0:
         return f"{s:.3f} s"
     return f"{s * 1e3:.3f} ms"
+
+
+def medium_of(server):
+    """Map a stage label to its medium: the prefix before the first '.',
+    with the direction suffix stripped ("FDDI_S.MAC" -> "FDDI",
+    "SAT.Port[2]" -> "SAT")."""
+    prefix = server.split(".", 1)[0]
+    for suffix in ("_S", "_R"):
+        if prefix.endswith(suffix):
+            prefix = prefix[: -len(suffix)]
+    return prefix or "?"
+
+
+def stage_fields(stage):
+    """Normalize a stage entry to (server, delay_s, buffer_bits).
+
+    Current records emit [server, delay_s, buffer_bits]; pre-media files
+    emitted [server, delay_s] — treat the missing buffer bound as 0.
+    """
+    if not isinstance(stage, list) or len(stage) < 2:
+        return None
+    server, delay = stage[0], stage[1]
+    if not isinstance(server, str) or not isinstance(delay, (int, float)):
+        return None
+    buffer_bits = stage[2] if len(stage) > 2 else 0
+    if not isinstance(buffer_bits, (int, float)):
+        buffer_bits = 0
+    return server, delay, buffer_bits
 
 
 def load_records(path):
@@ -82,6 +113,41 @@ def main():
         print(f"\nbinding-server distribution ({total} analyzed requests):")
         for server, n in binding.most_common(args.top):
             print(f"  {server:<22} {n:>7}  ({n / total:.1%})")
+
+    # Per-medium aggregation over the stage breakdowns ([server, delay_s,
+    # buffer_bits] triples; present on records that ran the joint analysis).
+    # "delay share" is the medium's fraction of the summed per-stage delay
+    # bounds; "max buffer" is the worst per-hop backlog bound any of its
+    # stages ever required — the number that matters on satellite hops,
+    # where a single port buffers hundreds of milliseconds of cells.
+    medium_delay = Counter()
+    medium_stages = Counter()
+    medium_buffer_max = {}
+    binding_medium = Counter()
+    for r in records:
+        for stage in r.get("stages", []):
+            fields = stage_fields(stage)
+            if fields is None:
+                continue
+            server, delay, buffer_bits = fields
+            medium = medium_of(server)
+            medium_delay[medium] += delay
+            medium_stages[medium] += 1
+            if buffer_bits > medium_buffer_max.get(medium, 0):
+                medium_buffer_max[medium] = buffer_bits
+        if r.get("binding_server"):
+            binding_medium[medium_of(r["binding_server"])] += 1
+    if medium_delay:
+        total_delay = sum(medium_delay.values())
+        print("\nper-medium aggregation (over stage breakdowns):")
+        print(f"  {'medium':<8} {'stages':>7} {'delay share':>12} "
+              f"{'max buffer':>12} {'binds':>7}")
+        for medium, delay in medium_delay.most_common():
+            share = delay / total_delay if total_delay > 0 else 0.0
+            buf = medium_buffer_max.get(medium, 0)
+            buf_str = f"{buf / 1e3:.1f} kb" if buf else "-"
+            print(f"  {medium:<8} {medium_stages[medium]:>7} {share:>11.1%} "
+                  f"{buf_str:>12} {binding_medium.get(medium, 0):>7}")
 
     slacks = [r["slack_s"] for r in admitted
               if isinstance(r.get("slack_s"), (int, float))]

@@ -11,6 +11,7 @@ from checks import (  # noqa: F401
     flat_envelope_bypass,
     float_reduction_order,
     include_root,
+    medium_registry_bypass,
     nondeterminism_source,
     parallel_body_write,
     pointer_keyed_ordering,

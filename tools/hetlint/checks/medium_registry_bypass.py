@@ -1,0 +1,55 @@
+"""medium-registry-bypass: src/core must not name a concrete medium.
+
+The admission pipeline (DESIGN.md §14) treats a connection's path as a
+data-driven sequence of HopSpecs resolved through servers::MediumRegistry;
+src/core composes the AccessMedium / BackboneMedium interfaces the
+registry hands back.  Naming a concrete medium server class (the FDDI
+timed-token MAC, the TDMA schedule, the 802.5 MAC) or a medium-specific
+conversion factory inside src/core re-hardwires the FDDI-ATM-FDDI chain
+the registry exists to make pluggable — a new medium would then need core
+edits instead of a registration.  Generic servers (FifoMuxServer,
+ConstantDelayServer) are fine: they carry no medium identity.
+"""
+
+from __future__ import annotations
+
+import core
+
+# Concrete medium server classes, their parameter structs, and the
+# medium-specific conversion factories.  Generic building blocks
+# (FifoMuxServer, ConstantDelayServer, ServerChain) are deliberately
+# absent: the check polices medium identity, not server usage.
+BANNED = frozenset({
+    "FddiMacServer",
+    "FddiMacParams",
+    "TdmaMacServer",
+    "TdmaMacParams",
+    "TokenRingMacServer",
+    "make_frame_to_cell_server",
+    "make_cell_to_frame_server",
+})
+
+
+@core.register
+class MediumRegistryBypassCheck(core.Check):
+    name = "medium-registry-bypass"
+    description = ("src/core must not name concrete medium server classes; "
+                   "resolve media through servers::MediumRegistry")
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if not src.in_dir("src/core/"):
+            return []
+        out = []
+        for t in src.code_tokens:
+            if t.kind != "id" or t.value not in BANNED:
+                continue
+            out.append(
+                self.violation(
+                    src, t.line,
+                    f"src/core must not name the concrete medium symbol "
+                    f"'{t.value}'; go through the AccessMedium / "
+                    f"BackboneMedium interfaces resolved by "
+                    f"servers::MediumRegistry",
+                )
+            )
+        return out

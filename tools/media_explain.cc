@@ -1,0 +1,136 @@
+// media_explain — per-medium decision-explain NDJSON producer.
+//
+//   media_explain --medium NAME --out FILE [--requests N] [--u U]
+//
+// Runs the golden admission workload (seeded Poisson arrivals, Section-6
+// dual-periodic sources) against the paper topology with its hop sequence
+// resolved to the named media mix, collecting every controller decision's
+// explain record, and writes them as NDJSON to FILE. The CI media-matrix
+// step archives one file per mix so a regression's stage-level breakdown
+// (binding server, per-hop delay and buffer bounds) is inspectable without
+// re-running anything; tools/explain_report.py aggregates them by medium.
+//
+// Media mixes:
+//   fddi-atm   the default FDDI / ID / ATM chain (80 ms deadlines)
+//   tdma-atm   TDMA-Ethernet access segments, terrestrial ATM backbone
+//   fddi-sat   FDDI access, 250 ms GEO satellite-ATM backbone (1 s
+//              deadlines — the propagation floor alone is ≈ 782 ms)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/core/cac.h"
+#include "src/net/topology.h"
+#include "src/obs/explain.h"
+#include "src/servers/registry.h"
+#include "src/sim/trace.h"
+#include "src/sim/workload.h"
+#include "src/util/units.h"
+
+namespace {
+
+struct MediaMix {
+  const char* name;
+  hetnet::net::TopologyParams (*params)();
+  hetnet::Seconds deadline;
+};
+
+hetnet::net::TopologyParams default_params() {
+  return hetnet::net::paper_topology_params();
+}
+
+hetnet::net::TopologyParams tdma_params() {
+  hetnet::net::TopologyParams p = hetnet::net::paper_topology_params();
+  p.access_hops = {hetnet::servers::HopSpec{"tdma-ethernet"}};
+  return p;
+}
+
+hetnet::net::TopologyParams satellite_params() {
+  hetnet::net::TopologyParams p = hetnet::net::paper_topology_params();
+  p.backbone_hop = hetnet::servers::HopSpec{"satellite-atm"};
+  return p;
+}
+
+constexpr MediaMix kMixes[] = {
+    {"fddi-atm", default_params, hetnet::units::ms(80)},
+    {"tdma-atm", tdma_params, hetnet::units::ms(80)},
+    {"fddi-sat", satellite_params, hetnet::units::sec(1)},
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --medium NAME --out FILE [--requests N] [--u U]\n"
+               "media mixes: fddi-atm, tdma-atm, fddi-sat\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string medium;
+  std::string out_path;
+  int requests = 80;
+  double u = 0.9;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (arg == "--medium" && has_next) {
+      medium = argv[++i];
+    } else if (arg == "--out" && has_next) {
+      out_path = argv[++i];
+    } else if (arg == "--requests" && has_next) {
+      requests = std::atoi(argv[++i]);
+    } else if (arg == "--u" && has_next) {
+      u = std::atof(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (medium.empty() || out_path.empty() || requests <= 0) {
+    return usage(argv[0]);
+  }
+
+  const MediaMix* mix = nullptr;
+  for (const MediaMix& m : kMixes) {
+    if (medium == m.name) mix = &m;
+  }
+  if (mix == nullptr) {
+    std::fprintf(stderr, "unknown media mix: %s\n", medium.c_str());
+    return usage(argv[0]);
+  }
+
+  const hetnet::net::AbhnTopology topo(mix->params());
+
+  hetnet::sim::WorkloadParams w;
+  w.num_requests = requests;
+  w.warmup_requests = 10;
+  w.seed = 7;
+  w.deadline = mix->deadline;
+  w.lambda = hetnet::sim::lambda_for_utilization(u, w, topo);
+
+  hetnet::obs::ExplainSink sink;
+  hetnet::core::CacConfig cfg;
+  cfg.beta = 0.3;
+  cfg.explain = &sink;
+
+  const auto trace = hetnet::sim::synthesize_trace(w, topo);
+  const hetnet::sim::SimulationResult r = hetnet::sim::run_trace_simulation(
+      topo, cfg, trace, w.warmup_requests);
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  sink.write_ndjson(out);
+  if (!out.good()) {
+    std::fprintf(stderr, "failed writing %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu records (%zu admitted of %zu measured) -> %s\n",
+              mix->name, sink.size(), r.admitted, r.total_requests,
+              out_path.c_str());
+  return 0;
+}
