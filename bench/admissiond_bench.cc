@@ -31,7 +31,8 @@
 // conservative absolute throughput floor.
 //
 // Flags (key=value): setups hot_set pressure_every session_cap window
-//                    batch threads seed json
+//                    batch threads seed overhead_reps json
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -41,6 +42,7 @@
 
 #include "src/core/cac.h"
 #include "src/net/topology.h"
+#include "src/obs/flight.h"
 #include "src/server/admissiond.h"
 #include "src/traffic/sources.h"
 #include "src/util/flags.h"
@@ -76,7 +78,8 @@ void run_segment(server::AdmissionService& service,
 }
 
 void write_json(std::ostream& out, const server::SloReport& r, int threads,
-                std::uint64_t hot_evals, bool decisions_match) {
+                std::uint64_t hot_evals, bool decisions_match,
+                double telemetry_overhead, bool telemetry_decisions_match) {
   out << "{\n  \"bench\": \"admissiond_bench\",\n"
       << "  \"threads\": " << threads << ",\n"
       << "  \"requests\": " << r.requests << ",\n"
@@ -87,6 +90,7 @@ void write_json(std::ostream& out, const server::SloReport& r, int threads,
       << "  \"setup_p99_ns\": " << r.setup_p99_ns << ",\n"
       << "  \"steady_p50_ns\": " << r.steady_p50_ns << ",\n"
       << "  \"steady_p99_ns\": " << r.steady_p99_ns << ",\n"
+      << "  \"steady_mean_ns\": " << r.steady_mean_ns << ",\n"
       << "  \"post_eviction_p50_ns\": " << r.post_eviction_p50_ns << ",\n"
       << "  \"post_eviction_p99_ns\": " << r.post_eviction_p99_ns << ",\n"
       << "  \"post_eviction_samples\": " << r.post_eviction_samples << ",\n"
@@ -94,6 +98,9 @@ void write_json(std::ostream& out, const server::SloReport& r, int threads,
       << "  \"invalidations\": " << r.invalidations << ",\n"
       << "  \"hot_exact_evals\": " << hot_evals << ",\n"
       << "  \"eviction_cliff_ratio\": " << r.eviction_cliff_ratio() << ",\n"
+      << "  \"telemetry_overhead\": " << telemetry_overhead << ",\n"
+      << "  \"telemetry_decisions_match\": "
+      << (telemetry_decisions_match ? "true" : "false") << ",\n"
       << "  \"decisions_match\": " << (decisions_match ? "true" : "false")
       << "\n}\n";
 }
@@ -118,6 +125,8 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(
       flags.get("threads", double(util::hardware_threads())));
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get("seed", 1));
+  const std::uint64_t overhead_reps =
+      static_cast<std::uint64_t>(flags.get("overhead_reps", 15));
   const std::string json_path = flags.get_string("json", "");
   flags.check_unknown();
 
@@ -211,13 +220,14 @@ int main(int argc, char** argv) {
     requests.push_back(req);
   }
 
-  // ---- Measured service ----
+  // ---- Measured service (telemetry off: isolates the admission path) ----
   server::AdmissiondConfig config;
   config.batch_size = batch;
   config.prewarm = true;
   config.post_eviction_window = window;
   config.cac.session_max_entries = session_cap;
   config.cac.analysis.threads = threads;
+  config.flight_capacity = 0;
   server::AdmissionService service(&topology, config);
   run_segment(service, requests, 0, fill_end);
   const auto counters_at_mark = service.cac().metrics().counter_snapshot();
@@ -228,6 +238,47 @@ int main(int argc, char** argv) {
   run_segment(service, requests, measure_end, requests.size());
   const auto hot_evals = counters.find("cac.session.decision_evals");
   const auto mark_evals = counters_at_mark.find("cac.session.decision_evals");
+
+  // ---- Telemetry-on passes: the overhead + neutrality gate ----
+  // Same sequence with the full telemetry plane live: flight recorder at
+  // default capacity, SLO monitor evaluating every epoch (thresholds set
+  // low enough that epochs actually breach, so the breach bookkeeping is
+  // part of what is measured). bench_compare.py requires the decision
+  // digest to be unchanged by observation and gates the steady-latency
+  // ratio. Two noise defenses: the ratio uses the steady-phase MEAN (the
+  // geometric bins quantize p50 in ~9% steps, coarser than the 5% gate;
+  // the mean comes from the exact sum/count), and it is taken over the
+  // MINIMUM mean across `overhead_reps` off/on pairs — minima shed
+  // scheduler noise the way the microbench's min-of-reps timings do.
+  server::AdmissiondConfig telem = config;
+  telem.flight_capacity = obs::FlightRecorder::kDefaultCapacityPerShard;
+  telem.slo.p50_ns = 1000;  // ~1 us: digest hits run hotter than this,
+  telem.slo.p99_ns = 2000;  // so the breach path stays exercised
+  telem.slo.min_admission_probability = 0.0;
+  server::AdmissionService telem_service(&topology, telem);
+  run_segment(telem_service, requests, 0, fill_end);
+  telem_service.begin_measurement();
+  run_segment(telem_service, requests, fill_end, measure_end);
+  const server::SloReport telem_report = telem_service.report();
+  run_segment(telem_service, requests, measure_end, requests.size());
+  const bool telemetry_decisions_match =
+      telem_service.decision_digest() == service.decision_digest();
+  std::int64_t min_off = report.steady_mean_ns;
+  std::int64_t min_on = telem_report.steady_mean_ns;
+  for (std::uint64_t rep = 1; rep < overhead_reps; ++rep) {
+    server::AdmissionService off_rep(&topology, config);
+    run_segment(off_rep, requests, 0, fill_end);
+    off_rep.begin_measurement();
+    run_segment(off_rep, requests, fill_end, measure_end);
+    min_off = std::min(min_off, off_rep.report().steady_mean_ns);
+    server::AdmissionService on_rep(&topology, telem);
+    run_segment(on_rep, requests, 0, fill_end);
+    on_rep.begin_measurement();
+    run_segment(on_rep, requests, fill_end, measure_end);
+    min_on = std::min(min_on, on_rep.report().steady_mean_ns);
+  }
+  const double telemetry_overhead =
+      min_off > 0 ? double(min_on) / double(min_off) : 1.0;
 
   // ---- Serial replay: the determinism gate ----
   server::AdmissiondConfig serial = config;
@@ -246,16 +297,21 @@ int main(int argc, char** argv) {
       (hot_evals != counters.end() ? hot_evals->second : 0) -
       (mark_evals != counters_at_mark.end() ? mark_evals->second : 0);
   if (json_path.empty()) {
-    write_json(std::cout, report, threads, evals, decisions_match);
+    write_json(std::cout, report, threads, evals, decisions_match,
+               telemetry_overhead, telemetry_decisions_match);
   } else {
     std::ofstream out(json_path);
-    write_json(out, report, threads, evals, decisions_match);
+    write_json(out, report, threads, evals, decisions_match,
+               telemetry_overhead, telemetry_decisions_match);
     std::cout << "admissiond_bench: wrote " << json_path << "\n";
   }
   std::cout << "admissiond_bench: steady p50 " << report.steady_p50_ns
             << " ns, post-eviction p99 " << report.post_eviction_p99_ns
             << " ns, cliff " << report.eviction_cliff_ratio()
-            << ", evictions " << report.evictions << ", decisions "
-            << (decisions_match ? "match" : "DIVERGE") << "\n";
-  return decisions_match ? 0 : 1;
+            << ", evictions " << report.evictions << ", telemetry overhead "
+            << telemetry_overhead << "x, decisions "
+            << (decisions_match ? "match" : "DIVERGE") << " (telemetry "
+            << (telemetry_decisions_match ? "neutral" : "NOT NEUTRAL")
+            << ")\n";
+  return decisions_match && telemetry_decisions_match ? 0 : 1;
 }

@@ -50,6 +50,7 @@
 
 #include "src/core/cac.h"
 #include "src/obs/explain.h"
+#include "src/obs/exposition.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/traffic/sources.h"
@@ -357,8 +358,10 @@ ComparePoint compare_at(int active) {
   point.session_suffix_hits =
       counter_delta(inc_before, inc_after, "cac.session.suffix_hits");
   const auto hist = latency.merged();
-  point.latency_p50_ns = hist.quantile_upper(0.5);
-  point.latency_p99_ns = hist.quantile_upper(0.99);
+  if (hist.count > 0) {
+    point.latency_p50_ns = hist.quantile_upper(0.5);
+    point.latency_p99_ns = hist.quantile_upper(0.99);
+  }
 
   if (g_threads > 1) {
     core::AdmissionController par(&topo, bench_config(false, g_threads));
@@ -402,6 +405,26 @@ int write_explain(const std::string& path) {
   }
   sink.write_ndjson(out);
   std::printf("wrote %s (%zu explain records)\n", path.c_str(), sink.size());
+  return 0;
+}
+
+// --metrics-out: runs the canonical 64-active preload plus one probe
+// request on a fresh tiered controller and writes the registry's JSON
+// exposition. Counters are decision-derived, so a pinned run is a stable
+// baseline for tools/obs_diff.py --exact (latency histograms ride along
+// but obs_diff never compares them).
+int write_metrics(const std::string& path) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  core::AdmissionController cac(&topo, bench_config(true));
+  preload(cac, 64);
+  request_release(cac, probe_spec());
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  obs::write_metrics_json(cac.metrics(), out);
+  std::printf("wrote %s (telemetry exposition)\n", path.c_str());
   return 0;
 }
 
@@ -536,6 +559,7 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_cac.json";
   std::string trace_path;
   std::string explain_path;
+  std::string metrics_path;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -552,6 +576,8 @@ int main(int argc, char** argv) {
       trace_path = arg.substr(12);
     } else if (arg.rfind("--explain-out=", 0) == 0) {
       explain_path = arg.substr(14);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_path = arg.substr(14);
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -562,9 +588,12 @@ int main(int argc, char** argv) {
   if (json) {
     rc = run_json(json_path);
     if (rc == 0 && !explain_path.empty()) rc = write_explain(explain_path);
+    if (rc == 0 && !metrics_path.empty()) rc = write_metrics(metrics_path);
   } else {
     HETNET_CHECK(explain_path.empty(),
                  "--explain-out requires the --json harness");
+    HETNET_CHECK(metrics_path.empty(),
+                 "--metrics-out requires the --json harness");
     int pargc = static_cast<int>(passthrough.size());
     benchmark::Initialize(&pargc, passthrough.data());
     if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {

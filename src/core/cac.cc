@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/obs/explain.h"
+#include "src/obs/names.h"
 #include "src/obs/span.h"
 #include "src/obs/stopwatch.h"
 #include "src/traffic/fingerprint.h"
@@ -392,57 +393,64 @@ AdmissionController::AdmissionController(const net::AbhnTopology* topology,
   // the registry is the single read surface without double bookkeeping —
   // AnalysisSession::Stats stays the owner (tests rely on its per-session
   // semantics).
-  m_requests_ = &metrics_.counter("cac.requests");
-  m_admitted_ = &metrics_.counter("cac.admitted");
+  m_requests_ = &metrics_.counter(obs::names::kCacRequests);
+  m_admitted_ = &metrics_.counter(obs::names::kCacAdmitted);
   m_rejected_no_bandwidth_ =
-      &metrics_.counter("cac.rejected.no_sync_bandwidth");
-  m_rejected_infeasible_ = &metrics_.counter("cac.rejected.infeasible");
-  m_probe_evals_ = &metrics_.counter("cac.probe_evals");
-  m_speculative_batches_ = &metrics_.counter("cac.speculative_batches");
-  m_speculative_points_ = &metrics_.counter("cac.speculative_points");
-  m_prewarm_batches_ = &metrics_.counter("cac.prewarm_batches");
-  m_prewarm_points_ = &metrics_.counter("cac.prewarm_points");
-  m_release_invalidations_ = &metrics_.counter("cac.release_invalidations");
-  m_screen_evals_ = &metrics_.counter("cac.screen.evals");
-  m_screen_floor_certs_ = &metrics_.counter("cac.screen.floor_certs");
-  m_screen_upper_certs_ = &metrics_.counter("cac.screen.upper_certs");
-  m_tier_screen_admit_ = &metrics_.counter("cac.tier.screen_admit");
-  m_tier_screen_reject_ = &metrics_.counter("cac.tier.screen_reject");
-  m_tier_fallback_ = &metrics_.counter("cac.tier.fallback");
-  metrics_.register_callback(
-      "cac.session.port_evals", [this] { return session_.stats().port_evals; });
-  metrics_.register_callback(
-      "cac.session.port_hits", [this] { return session_.stats().port_hits; });
-  metrics_.register_callback("cac.session.suffix_evals", [this] {
+      &metrics_.counter(obs::names::kCacRejectedNoSyncBandwidth);
+  m_rejected_infeasible_ =
+      &metrics_.counter(obs::names::kCacRejectedInfeasible);
+  m_probe_evals_ = &metrics_.counter(obs::names::kCacProbeEvals);
+  m_speculative_batches_ =
+      &metrics_.counter(obs::names::kCacSpeculativeBatches);
+  m_speculative_points_ = &metrics_.counter(obs::names::kCacSpeculativePoints);
+  m_prewarm_batches_ = &metrics_.counter(obs::names::kCacPrewarmBatches);
+  m_prewarm_points_ = &metrics_.counter(obs::names::kCacPrewarmPoints);
+  m_release_invalidations_ =
+      &metrics_.counter(obs::names::kCacReleaseInvalidations);
+  m_screen_evals_ = &metrics_.counter(obs::names::kCacScreenEvals);
+  m_screen_floor_certs_ = &metrics_.counter(obs::names::kCacScreenFloorCerts);
+  m_screen_upper_certs_ = &metrics_.counter(obs::names::kCacScreenUpperCerts);
+  m_tier_screen_admit_ = &metrics_.counter(obs::names::kCacTierScreenAdmit);
+  m_tier_screen_reject_ = &metrics_.counter(obs::names::kCacTierScreenReject);
+  m_tier_fallback_ = &metrics_.counter(obs::names::kCacTierFallback);
+  metrics_.register_callback(obs::names::kCacSessionPortEvals, [this] {
+    return session_.stats().port_evals;
+  });
+  metrics_.register_callback(obs::names::kCacSessionPortHits, [this] {
+    return session_.stats().port_hits;
+  });
+  metrics_.register_callback(obs::names::kCacSessionSuffixEvals, [this] {
     return session_.stats().suffix_evals;
   });
-  metrics_.register_callback("cac.session.suffix_hits", [this] {
+  metrics_.register_callback(obs::names::kCacSessionSuffixHits, [this] {
     return session_.stats().suffix_hits;
   });
-  metrics_.register_callback("cac.session.decision_hits", [this] {
+  metrics_.register_callback(obs::names::kCacSessionDecisionHits, [this] {
     return session_.stats().decision_hits;
   });
-  metrics_.register_callback("cac.session.decision_evals", [this] {
+  metrics_.register_callback(obs::names::kCacSessionDecisionEvals, [this] {
     return session_.stats().decision_evals;
   });
-  metrics_.register_callback(
-      "cac.session.flat_hits", [this] { return session_.stats().flat_hits; });
-  metrics_.register_callback("cac.session.flat_compiles", [this] {
+  metrics_.register_callback(obs::names::kCacSessionFlatHits, [this] {
+    return session_.stats().flat_hits;
+  });
+  metrics_.register_callback(obs::names::kCacSessionFlatCompiles, [this] {
     return session_.stats().flat_compiles;
   });
-  metrics_.register_callback("cac.session.evictions", [this] {
+  metrics_.register_callback(obs::names::kCacSessionEvictions, [this] {
     return session_.stats().evictions + screen_session_.stats().evictions;
   });
-  metrics_.register_callback("cac.session.invalidations", [this] {
+  metrics_.register_callback(obs::names::kCacSessionInvalidations, [this] {
     return session_.stats().invalidations;
   });
-  metrics_.register_callback("cac.session.entries", [this] {
+  metrics_.register_callback(obs::names::kCacSessionEntries, [this] {
     return std::uint64_t(session_.size() + screen_session_.size());
   });
-  metrics_.register_callback("cac.prefix.evictions",
+  metrics_.register_callback(obs::names::kCacPrefixEvictions,
                              [this] { return candidate_prefix_evictions_; });
-  metrics_.register_callback(
-      "cac.active_connections", [this] { return std::uint64_t(active_.size()); });
+  metrics_.register_callback(obs::names::kCacActiveConnections, [this] {
+    return std::uint64_t(active_.size());
+  });
 }
 
 const fddi::SyncBandwidthLedger& AdmissionController::ledger(int ring) const {

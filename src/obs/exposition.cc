@@ -1,0 +1,115 @@
+#include "src/obs/exposition.h"
+
+#include <cctype>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+namespace hetnet::obs {
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (our canonical
+// separator) and anything else exotic become underscores.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+// Minimal JSON string escaping; metric names are ASCII identifiers, but
+// be safe anyway.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u00";
+      const char* hex = "0123456789abcdef";
+      out.push_back(hex[(c >> 4) & 0xF]);
+      out.push_back(hex[c & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+double upper_edge(int bin) {
+  return std::exp2(double(bin + 1) / ShardedHistogram::kBinsPerOctave);
+}
+
+}  // namespace
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out) {
+  for (const auto& [name, value] : registry.counter_snapshot()) {
+    const std::string p = sanitize(name);
+    out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : registry.gauge_snapshot()) {
+    const std::string p = sanitize(name);
+    out << "# TYPE " << p << " gauge\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, merged] : registry.histogram_snapshot()) {
+    const std::string p = sanitize(name);
+    out << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < int(merged.bins.size()); ++i) {
+      if (merged.bins[std::size_t(i)] == 0) continue;
+      cumulative += merged.bins[std::size_t(i)];
+      out << p << "_bucket{le=\"" << upper_edge(i) << "\"} " << cumulative
+          << "\n";
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << merged.count << "\n"
+        << p << "_sum " << merged.sum << "\n"
+        << p << "_count " << merged.count << "\n";
+  }
+}
+
+void write_metrics_json(const MetricsRegistry& registry, std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : registry.counter_snapshot()) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : registry.gauge_snapshot()) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, merged] : registry.histogram_snapshot()) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {"
+        << "\"count\": " << merged.count;
+    if (merged.count > 0) {
+      out << ", \"min\": " << merged.min << ", \"max\": " << merged.max
+          << ", \"sum\": " << merged.sum
+          << ", \"mean\": " << merged.mean()
+          << ", \"p50\": " << merged.quantile_upper(0.5)
+          << ", \"p99\": " << merged.quantile_upper(0.99);
+    }
+    out << "}";
+    first = false;
+  }
+  out << (first ? "}\n" : "\n  }\n") << "}\n";
+}
+
+}  // namespace hetnet::obs

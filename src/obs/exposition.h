@@ -1,0 +1,35 @@
+// Metric exposition: serialize a MetricsRegistry snapshot as
+// Prometheus text format (scrape-file / node-exporter textfile shape)
+// or as one flat JSON object (machine-diffable; tools/obs_diff.py
+// consumes it).
+//
+// Both writers take the same serial snapshot (counter / gauge /
+// histogram maps) so one emission is internally consistent; they are
+// safe to call while recorders run, with the same torn-but-valid
+// guarantee as ShardedHistogram::merged().
+//
+// Prometheus mapping: dotted metric names sanitize to underscores
+// ("cac.tier.screen_admit" -> "cac_tier_screen_admit"); counters emit
+// `# TYPE ... counter`, gauges `gauge`, and each ShardedHistogram emits
+// cumulative `_bucket{le="..."}` lines for its populated bins plus the
+// `+Inf` bucket, `_sum`, and `_count` — the native histogram shape, so
+// quantile math stays the consumer's choice.
+#ifndef HETNET_OBS_EXPOSITION_H_
+#define HETNET_OBS_EXPOSITION_H_
+
+#include <iosfwd>
+
+#include "src/obs/metrics.h"
+
+namespace hetnet::obs {
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out);
+
+// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, min,
+// max, sum, p50_ns-style quantiles computed conservatively}}}. Keys are
+// sorted (std::map order) so equal registries serialize byte-identically.
+void write_metrics_json(const MetricsRegistry& registry, std::ostream& out);
+
+}  // namespace hetnet::obs
+
+#endif  // HETNET_OBS_EXPOSITION_H_

@@ -1,0 +1,158 @@
+#include "src/obs/flight.h"
+
+#include <algorithm>
+#include <atomic>
+#include <ostream>
+
+#include "src/traffic/fingerprint.h"
+#include "src/util/check.h"
+
+namespace hetnet::obs {
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+const char* reason_label(int reason) {
+  // Mirrors core::RejectReason without depending on src/core: the enum's
+  // numeric values are part of the decision digest and therefore stable.
+  switch (reason) {
+    case 0: return "none";
+    case 1: return "no_sync_bandwidth";
+    case 2: return "infeasible";
+    case 3: return "signaling_collision";
+    default: return "unknown";
+  }
+}
+
+const char* tier_label(int tier) {
+  switch (tier) {
+    case 0: return "exact";
+    case 1: return "screen_admit";
+    case 2: return "screen_reject";
+    case 3: return "collision";
+    default: return "unknown";
+  }
+}
+
+}  // namespace
+
+struct FlightRecorder::Shard {
+  explicit Shard(std::size_t capacity) { ring.resize(capacity); }
+  std::vector<FlightEvent> ring;
+  std::size_t next = 0;           // slot the next record lands in
+  std::uint64_t recorded = 0;     // total records into this shard
+};
+
+FlightRecorder::FlightRecorder(std::size_t capacity_per_shard)
+    : id_(next_recorder_id()), capacity_(capacity_per_shard) {
+  HETNET_CHECK(capacity_ >= 1, "flight recorder needs capacity >= 1");
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder::Shard& FlightRecorder::local_shard() {
+  // Same process-unique-id thread-local cache as ShardedHistogram: stale
+  // entries for destroyed recorders can never be matched.
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> cache;
+  for (const auto& [id, shard] : cache) {
+    if (id == id_) return *shard;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>(capacity_));
+  Shard* shard = shards_.back().get();
+  cache.emplace_back(id_, shard);
+  return *shard;
+}
+
+void FlightRecorder::record(const FlightEvent& event) {
+  Shard& shard = local_shard();
+  shard.ring[shard.next] = event;
+  shard.next = (shard.next + 1) % shard.ring.size();
+  ++shard.recorded;
+}
+
+std::uint64_t FlightRecorder::recorded_count() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) total += shard->recorded;
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped_count() const {
+  std::uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    const std::uint64_t cap = shard->ring.size();
+    if (shard->recorded > cap) dropped += shard->recorded - cap;
+  }
+  return dropped;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(shard->recorded, shard->ring.size());
+    out.reserve(out.size() + std::size_t(retained));
+    for (std::uint64_t i = 0; i < retained; ++i) {
+      out.push_back(shard->ring[std::size_t(i)]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::dump_ndjson(
+    std::ostream& out, const std::vector<std::string>& ring_labels) const {
+  const auto label = [&ring_labels](int ring) -> const std::string* {
+    if (ring < 0 || ring >= int(ring_labels.size())) return nullptr;
+    if (ring_labels[std::size_t(ring)].empty()) return nullptr;
+    return &ring_labels[std::size_t(ring)];
+  };
+  for (const FlightEvent& e : snapshot()) {
+    out << "{\"seq\": " << e.seq << ", \"conn\": " << e.conn
+        << ", \"event\": \"" << (e.release ? "release" : "setup")
+        << "\", \"admitted\": " << (e.admitted ? "true" : "false")
+        << ", \"reason\": \"" << reason_label(e.reason)
+        << "\", \"tier\": \"" << tier_label(e.tier)
+        << "\", \"latency_ns\": " << e.latency_ns
+        << ", \"src_ring\": " << e.src_ring
+        << ", \"dst_ring\": " << e.dst_ring;
+    if (const std::string* l = label(e.src_ring)) {
+      out << ", \"src_medium\": \"" << *l << "\"";
+    }
+    if (const std::string* l = label(e.dst_ring)) {
+      out << ", \"dst_medium\": \"" << *l << "\"";
+    }
+    out << ", \"h_s\": " << e.h_s.value() << ", \"h_r\": " << e.h_r.value()
+        << ", \"worst_case_delay_s\": " << e.worst_case_delay.value()
+        << ", \"digest\": " << e.digest << "}\n";
+  }
+}
+
+std::uint64_t FlightRecorder::digest() const {
+  std::uint64_t d = fp::mix(0xF11C47ull);
+  for (const FlightEvent& e : snapshot()) {
+    d = fp::combine(d, e.seq);
+    d = fp::combine(d, e.conn);
+    d = fp::combine(d, e.digest);
+    d = fp::combine(d, (e.release ? 2u : 0u) | (e.admitted ? 1u : 0u));
+    d = fp::combine(d, std::uint64_t(e.reason));
+    d = fp::combine(d, std::uint64_t(e.tier));
+    d = fp::combine(d, std::uint64_t(e.src_ring + 1));
+    d = fp::combine(d, std::uint64_t(e.dst_ring + 1));
+    d = fp::combine(d, fp::of_double(e.h_s.value()));
+    d = fp::combine(d, fp::of_double(e.h_r.value()));
+    d = fp::combine(d, fp::of_double(e.worst_case_delay.value()));
+  }
+  return d;
+}
+
+}  // namespace hetnet::obs

@@ -1,0 +1,105 @@
+// Always-on flight recorder: the last N decision events, cheap enough to
+// leave running in production.
+//
+// A fixed-capacity ring buffer per recording thread (the ShardedHistogram
+// registration pattern: first touch takes a mutex, every later record is
+// a plain owner-thread write) holds compact POD FlightEvents. When a ring
+// wraps, the oldest event is overwritten and the shard's dropped-event
+// ledger advances — the same overflow-is-counted-not-stored discipline as
+// the TraceRecorder span cap (DESIGN.md §13). Memory is bounded at
+// shards * capacity * sizeof(FlightEvent) forever, independent of run
+// length.
+//
+// Dumps (on SLO breach, on demand, at shutdown) merge the retained
+// events of every shard by seq into NDJSON. digest() folds the
+// seq-ordered DECISION fields — seq, id, verdict, reason, tier,
+// allocation bits, rings, running decision digest — and deliberately
+// excludes the latency field, so dumps taken at different thread counts
+// of a deterministic service compare equal even though timings differ.
+//
+// Determinism contract: recording is observation-only; nothing here is
+// read back by the admission path.
+#ifndef HETNET_OBS_FLIGHT_H_
+#define HETNET_OBS_FLIGHT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace hetnet::obs {
+
+// One committed request outcome, POD-compact (no strings: rings are
+// indices resolved to medium labels at dump time).
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t conn = 0;
+  // Running service decision digest AFTER this commit; anchors a dump
+  // line to the digest-verified decision stream.
+  std::uint64_t digest = 0;
+  bool release = false;   // false: SETUP decision, true: RELEASE
+  bool admitted = false;  // for a RELEASE: whether it matched a live conn
+  int reason = 0;         // core::RejectReason (int: obs stays core-free)
+  // Decision tier: 0 exact/fallback, 1 screen_admit, 2 screen_reject,
+  // 3 service-level collision refusal (CAC never consulted).
+  int tier = 0;
+  std::int64_t latency_ns = 0;  // observation-only; excluded from digest()
+  int src_ring = -1;
+  int dst_ring = -1;
+  Seconds h_s{0.0};  // granted per-cycle budgets
+  Seconds h_r{0.0};
+  Seconds worst_case_delay{0.0};
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacityPerShard = 1024;
+
+  explicit FlightRecorder(
+      std::size_t capacity_per_shard = kDefaultCapacityPerShard);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Lock-free after this thread's first record into this recorder.
+  void record(const FlightEvent& event);
+
+  std::size_t capacity_per_shard() const { return capacity_; }
+  // Total record() calls across all shards.
+  std::uint64_t recorded_count() const;
+  // Events overwritten by ring wraparound (recorded - retained).
+  std::uint64_t dropped_count() const;
+
+  // Serial (no concurrent record()s): all retained events, seq-ascending.
+  std::vector<FlightEvent> snapshot() const;
+
+  // NDJSON over snapshot(), one event per line, plus nothing else — a
+  // dump is consumable by tools/obs_diff.py and line-countable in CI.
+  // ring_labels[i] names ring i's access medium ("" fields are omitted
+  // when no label is known).
+  void dump_ndjson(std::ostream& out,
+                   const std::vector<std::string>& ring_labels = {}) const;
+
+  // Order-sensitive fold over snapshot()'s decision fields (latency
+  // excluded). Equal digests mean the recorders retained bit-identical
+  // decision tails.
+  std::uint64_t digest() const;
+
+ private:
+  struct Shard;
+  Shard& local_shard();
+
+  const std::uint64_t id_;  // process-unique; keys the thread-local cache
+  const std::size_t capacity_;
+  mutable std::mutex mu_;  // guards shards_ registration only
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hetnet::obs
+
+#endif  // HETNET_OBS_FLIGHT_H_

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/util/check.h"
+
 namespace hetnet::obs {
 namespace {
 
@@ -27,14 +29,24 @@ double bin_upper_edge(int bin) {
   return std::exp2(double(bin + 1) / ShardedHistogram::kBinsPerOctave);
 }
 
+double bin_lower_edge(int bin) {
+  // Bin 0 absorbs everything below 1.0 (including 0), so its lower edge
+  // is 0 rather than 2^0.
+  if (bin <= 0) return 0.0;
+  return std::exp2(double(bin) / ShardedHistogram::kBinsPerOctave);
+}
+
 }  // namespace
 
+// Single-writer relaxed atomics: only the owning thread writes a shard,
+// so plain store(load + x) — no lock-prefixed RMW — keeps the hot path
+// at plain-field cost while making a concurrent merge race-free.
 struct ShardedHistogram::Shard {
-  std::array<std::uint64_t, kNumBins> bins{};
-  std::uint64_t count = 0;
-  double min = std::numeric_limits<double>::infinity();
-  double max = -std::numeric_limits<double>::infinity();
-  double sum = 0.0;
+  std::array<std::atomic<std::uint64_t>, kNumBins> bins{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  std::atomic<double> sum{0.0};
 };
 
 ShardedHistogram::ShardedHistogram() : id_(next_histogram_id()) {}
@@ -58,11 +70,19 @@ ShardedHistogram::Shard& ShardedHistogram::local_shard() {
 
 void ShardedHistogram::record(double value) {
   Shard& shard = local_shard();
-  shard.bins[std::size_t(bin_index(value))] += 1;
-  shard.count += 1;
-  shard.min = std::min(shard.min, value);
-  shard.max = std::max(shard.max, value);
-  shard.sum += value;
+  auto& bin = shard.bins[std::size_t(bin_index(value))];
+  bin.store(bin.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+  shard.count.store(shard.count.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  if (value < shard.min.load(std::memory_order_relaxed)) {
+    shard.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > shard.max.load(std::memory_order_relaxed)) {
+    shard.max.store(value, std::memory_order_relaxed);
+  }
+  shard.sum.store(shard.sum.load(std::memory_order_relaxed) + value,
+                  std::memory_order_relaxed);
 }
 
 ShardedHistogram::Merged ShardedHistogram::merged() const {
@@ -73,12 +93,13 @@ ShardedHistogram::Merged ShardedHistogram::merged() const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& shard : shards_) {
     for (int i = 0; i < kNumBins; ++i) {
-      out.bins[std::size_t(i)] += shard->bins[std::size_t(i)];
+      out.bins[std::size_t(i)] +=
+          shard->bins[std::size_t(i)].load(std::memory_order_relaxed);
     }
-    out.count += shard->count;
-    out.sum += shard->sum;
-    min = std::min(min, shard->min);
-    max = std::max(max, shard->max);
+    out.count += shard->count.load(std::memory_order_relaxed);
+    out.sum += shard->sum.load(std::memory_order_relaxed);
+    min = std::min(min, shard->min.load(std::memory_order_relaxed));
+    max = std::max(max, shard->max.load(std::memory_order_relaxed));
   }
   if (out.count > 0) {
     out.min = min;
@@ -88,7 +109,7 @@ ShardedHistogram::Merged ShardedHistogram::merged() const {
 }
 
 double ShardedHistogram::Merged::quantile_upper(double q) const {
-  if (count == 0) return 0.0;
+  HETNET_CHECK(count > 0, "quantile of an empty histogram");
   q = std::clamp(q, 0.0, 1.0);
   if (q == 0.0) return min;  // exact, as documented
   // Rank of the q-quantile, 1-based; ceil so q=1 is the last sample.
@@ -103,6 +124,73 @@ double ShardedHistogram::Merged::quantile_upper(double q) const {
     }
   }
   return max;
+}
+
+double ShardedHistogram::Merged::quantile_lower(double q) const {
+  HETNET_CHECK(count > 0, "quantile of an empty histogram");
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min;
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, std::uint64_t(std::ceil(q * double(count))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < int(bins.size()); ++i) {
+    seen += bins[std::size_t(i)];
+    if (seen >= rank) {
+      return std::clamp(bin_lower_edge(i), min, max);
+    }
+  }
+  return max;
+}
+
+double ShardedHistogram::Merged::trimmed_mean(double q) const {
+  HETNET_CHECK(count > 0, "trimmed mean of an empty histogram");
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t keep =
+      std::max<std::uint64_t>(1, std::uint64_t(std::ceil(q * double(count))));
+  double total = 0.0;
+  std::uint64_t used = 0;
+  for (int i = 0; i < int(bins.size()) && used < keep; ++i) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(bins[std::size_t(i)], keep - used);
+    if (take == 0) continue;
+    const double mid = std::clamp(
+        0.5 * (bin_lower_edge(i) + bin_upper_edge(i)), min, max);
+    total += double(take) * mid;
+    used += take;
+  }
+  return used > 0 ? total / double(used) : min;
+}
+
+ShardedHistogram::Merged ShardedHistogram::Merged::subtract(
+    const Merged& older) const {
+  HETNET_CHECK(older.bins.empty() || older.bins.size() == bins.size(),
+               "subtracting snapshots of different histogram geometries");
+  Merged out;
+  out.bins.assign(bins.size(), 0);
+  int first = -1;
+  int last = -1;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const std::uint64_t old_bin = i < older.bins.size() ? older.bins[i] : 0;
+    // Saturating: a torn `older` may momentarily exceed a torn `this` in
+    // an individual bin; a window can never hold negative samples.
+    const std::uint64_t delta = bins[i] > old_bin ? bins[i] - old_bin : 0;
+    out.bins[i] = delta;
+    out.count += delta;
+    if (delta > 0) {
+      if (first < 0) first = int(i);
+      last = int(i);
+    }
+  }
+  if (out.count > 0) {
+    out.min = bin_lower_edge(first);
+    out.max = bin_upper_edge(last);
+    const double dsum = sum - older.sum;
+    // Keep the mean inside the window's known support; a torn sum that
+    // escapes it is replaced by the bin-derived midpoint estimate.
+    out.sum = std::clamp(dsum, out.min * double(out.count),
+                         out.max * double(out.count));
+  }
+  return out;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

@@ -9,9 +9,16 @@
 //   * ShardedHistogram::record is lock-free after a thread's first record
 //     into a given histogram (first touch takes a registration mutex).
 //     Each thread owns a private shard; there are no contended writes.
-//   * ShardedHistogram::merged and MetricsRegistry snapshots are SERIAL
-//     operations: the caller must guarantee no concurrent record()s.
-//     Joining a parallel region (util::parallel_for returns) provides
+//     Shard fields are relaxed atomics written only by the owning thread
+//     (plain store-of-load, no RMW cost), so a merge may run CONCURRENTLY
+//     with records and stays race-free.
+//   * ShardedHistogram::merged taken concurrently with record()s is a
+//     TORN but valid snapshot: each field is individually atomic, so
+//     count/sum/bins may disagree by the handful of in-flight records.
+//     Epoch windowing (Merged::subtract) recomputes the count from the
+//     bin deltas, so windows built from torn snapshots stay
+//     self-consistent. For an EXACT snapshot, quiesce recorders first —
+//     joining a parallel region (util::parallel_for returns) provides
 //     the necessary happens-before edge.
 //
 // Determinism contract: metrics are observation-only. Nothing in this
@@ -73,7 +80,8 @@ class ShardedHistogram {
   // Lock-free after this thread's first record into this histogram.
   void record(double value);
 
-  // Serial snapshot of all shards (no concurrent record()s allowed).
+  // Snapshot of all shards. Concurrent record()s tear it by at most the
+  // in-flight records (see the concurrency contract above).
   struct Merged {
     std::uint64_t count = 0;
     double min = 0.0;
@@ -84,7 +92,28 @@ class ShardedHistogram {
     double mean() const { return count == 0 ? 0.0 : sum / double(count); }
     // Conservative (upper bin edge) quantile; q in [0, 1]. Exact for min
     // (q=0 clamps to recorded min); within one bin width (~9%) otherwise.
+    // CHECK-fails on an empty histogram: a silent 0 reads as "zero
+    // latency", the one value a quantile can never legitimately be here.
+    // Callers must gate on count > 0.
     double quantile_upper(double q) const;
+    // Optimistic twin: lower bin edge, clamped to the recorded extrema.
+    // quantile_lower(q) <= true quantile <= quantile_upper(q); the spread
+    // is one bin width (~9%). Same empty-histogram contract.
+    double quantile_lower(double q) const;
+    // Mean of the lowest `q` fraction of samples, from bin midpoints:
+    // sheds the heavy tail (e.g. scheduler stalls recorded into a latency
+    // histogram), which the exact mean() is hostage to. Sub-bin resolution
+    // comes from the mixture across bins, so ratios of trimmed means
+    // resolve finer than the ~9% bin width. Same empty-histogram contract
+    // as the quantiles.
+    double trimmed_mean(double q) const;
+    // Epoch delta: this snapshot minus an `older` one of the SAME
+    // histogram (or a default-constructed zero baseline). Per-bin
+    // saturating subtraction; count is recomputed from the bin deltas
+    // (robust to torn snapshots) and min/max are re-derived from the
+    // first/last nonempty delta bin's edges — window extrema sharper
+    // than one bin are unknowable from cumulative snapshots.
+    Merged subtract(const Merged& older) const;
   };
   Merged merged() const;
 

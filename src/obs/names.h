@@ -1,0 +1,80 @@
+// Central metric-name table. Every counter / gauge / histogram /
+// callback name used inside src/ lives here as a constant; call sites
+// pass the constant, never a string literal. A typo'd literal silently
+// creates a dead series (find-or-create registries cannot distinguish a
+// new metric from a misspelled one), so the hetlint metric-name-literal
+// check rejects string literals at registry call sites in src/ — this
+// file is the one sanctioned spelling of each name.
+//
+// Naming convention: dotted lowercase `<subsystem>.<group>.<metric>`,
+// units spelled in the trailing segment where they matter (`_ns`,
+// `_bits`, `_s`). Exposition (src/obs/exposition.h) sanitizes the dots
+// for Prometheus; the dotted form is canonical everywhere else.
+#ifndef HETNET_OBS_NAMES_H_
+#define HETNET_OBS_NAMES_H_
+
+namespace hetnet::obs::names {
+
+// --- Admission controller (src/core/cac.cc) ---
+inline constexpr char kCacRequests[] = "cac.requests";
+inline constexpr char kCacAdmitted[] = "cac.admitted";
+inline constexpr char kCacRejectedNoSyncBandwidth[] =
+    "cac.rejected.no_sync_bandwidth";
+inline constexpr char kCacRejectedInfeasible[] = "cac.rejected.infeasible";
+inline constexpr char kCacProbeEvals[] = "cac.probe_evals";
+inline constexpr char kCacSpeculativeBatches[] = "cac.speculative_batches";
+inline constexpr char kCacSpeculativePoints[] = "cac.speculative_points";
+inline constexpr char kCacPrewarmBatches[] = "cac.prewarm_batches";
+inline constexpr char kCacPrewarmPoints[] = "cac.prewarm_points";
+inline constexpr char kCacReleaseInvalidations[] = "cac.release_invalidations";
+inline constexpr char kCacActiveConnections[] = "cac.active_connections";
+
+// --- Tier-A screen and tier attribution (src/core/cac.cc) ---
+inline constexpr char kCacScreenEvals[] = "cac.screen.evals";
+inline constexpr char kCacScreenFloorCerts[] = "cac.screen.floor_certs";
+inline constexpr char kCacScreenUpperCerts[] = "cac.screen.upper_certs";
+inline constexpr char kCacTierScreenAdmit[] = "cac.tier.screen_admit";
+inline constexpr char kCacTierScreenReject[] = "cac.tier.screen_reject";
+inline constexpr char kCacTierFallback[] = "cac.tier.fallback";
+
+// --- AnalysisSession memo tallies (callback-backed, src/core/cac.cc) ---
+inline constexpr char kCacSessionPortEvals[] = "cac.session.port_evals";
+inline constexpr char kCacSessionPortHits[] = "cac.session.port_hits";
+inline constexpr char kCacSessionSuffixEvals[] = "cac.session.suffix_evals";
+inline constexpr char kCacSessionSuffixHits[] = "cac.session.suffix_hits";
+inline constexpr char kCacSessionDecisionHits[] = "cac.session.decision_hits";
+inline constexpr char kCacSessionDecisionEvals[] = "cac.session.decision_evals";
+inline constexpr char kCacSessionFlatHits[] = "cac.session.flat_hits";
+inline constexpr char kCacSessionFlatCompiles[] = "cac.session.flat_compiles";
+inline constexpr char kCacSessionEvictions[] = "cac.session.evictions";
+inline constexpr char kCacSessionInvalidations[] = "cac.session.invalidations";
+inline constexpr char kCacSessionEntries[] = "cac.session.entries";
+inline constexpr char kCacPrefixEvictions[] = "cac.prefix.evictions";
+
+// --- Packet simulator (src/sim/packet_sim.cc) ---
+inline constexpr char kSimPacketEventsExecuted[] = "sim.packet.events_executed";
+inline constexpr char kSimPacketMessagesGenerated[] =
+    "sim.packet.messages_generated";
+inline constexpr char kSimPacketMessagesDelivered[] =
+    "sim.packet.messages_delivered";
+inline constexpr char kSimPacketMaxPortBacklogBits[] =
+    "sim.packet.max_port_backlog_bits";
+inline constexpr char kSimPacketMaxTokenRotationS[] =
+    "sim.packet.max_token_rotation_s";
+
+// --- admissiond service (src/server/admissiond.cc) ---
+// The latency histograms gain a ".epochN" suffix after each
+// begin_measurement(); the bases here are the canonical prefixes.
+inline constexpr char kAdmissiondSetupNs[] = "admissiond.setup_ns";
+inline constexpr char kAdmissiondSteadyNs[] = "admissiond.steady_ns";
+inline constexpr char kAdmissiondPostEvictionNs[] =
+    "admissiond.post_eviction_ns";
+inline constexpr char kAdmissiondSloEpochs[] = "admissiond.slo.epochs";
+inline constexpr char kAdmissiondSloBreaches[] = "admissiond.slo.breaches";
+inline constexpr char kAdmissiondFlightRecorded[] =
+    "admissiond.flight.recorded";
+inline constexpr char kAdmissiondFlightDropped[] = "admissiond.flight.dropped";
+
+}  // namespace hetnet::obs::names
+
+#endif  // HETNET_OBS_NAMES_H_

@@ -1,0 +1,114 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/util/check.h"
+
+namespace hetnet::obs {
+
+void SloWindowReport::write_json(std::ostream& out) const {
+  out << "{\n"
+      << "  \"epochs\": " << epochs << ",\n"
+      << "  \"setups\": " << setups << ",\n"
+      << "  \"admitted\": " << admitted << ",\n"
+      << "  \"p50_ns\": " << p50_ns << ",\n"
+      << "  \"p99_ns\": " << p99_ns << ",\n"
+      << "  \"p50_lower_ns\": " << p50_lower_ns << ",\n"
+      << "  \"latency_samples\": " << latency_samples << ",\n"
+      << "  \"admission_probability\": " << admission_probability << ",\n"
+      << "  \"breached_epochs\": " << breached_epochs << ",\n"
+      << "  \"burn_rate\": " << burn_rate << ",\n"
+      << "  \"newest_epoch_breached\": "
+      << (newest_epoch_breached ? "true" : "false") << "\n"
+      << "}\n";
+}
+
+SloMonitor::SloMonitor(const SloSpec& spec) : spec_(spec) {
+  HETNET_CHECK(spec_.window_epochs >= 1, "SLO window needs >= 1 epoch");
+  HETNET_CHECK(spec_.epoch_budget_fraction > 0.0 &&
+                   spec_.epoch_budget_fraction <= 1.0,
+               "epoch_budget_fraction must be in (0, 1]");
+  reset();
+}
+
+void SloMonitor::reset() {
+  ring_.clear();
+  breach_flags_.clear();
+  ring_.push_back(Snapshot{});  // zero baseline: first delta = cumulative
+}
+
+bool SloMonitor::epoch_breached(const ShardedHistogram::Merged& delta,
+                                std::uint64_t setups,
+                                std::uint64_t admitted) const {
+  if (delta.count > 0) {
+    if (spec_.p50_ns > 0 &&
+        std::int64_t(delta.quantile_upper(0.5)) > spec_.p50_ns) {
+      return true;
+    }
+    if (spec_.p99_ns > 0 &&
+        std::int64_t(delta.quantile_upper(0.99)) > spec_.p99_ns) {
+      return true;
+    }
+  }
+  if (spec_.min_admission_probability > 0.0 && setups > 0) {
+    const double prob = double(admitted) / double(setups);
+    if (prob < spec_.min_admission_probability) return true;
+  }
+  return false;
+}
+
+bool SloMonitor::advance(const ShardedHistogram::Merged& cumulative_latency,
+                         std::uint64_t cumulative_setups,
+                         std::uint64_t cumulative_admitted) {
+  const Snapshot& prev = ring_.back();
+  const ShardedHistogram::Merged delta =
+      cumulative_latency.subtract(prev.latency);
+  // Cumulative tallies are monotone per reset(); saturate anyway so a
+  // misuse (advance across a histogram swap without reset) degrades to a
+  // quiet epoch instead of wrapping.
+  const std::uint64_t dsetups =
+      cumulative_setups > prev.setups ? cumulative_setups - prev.setups : 0;
+  const std::uint64_t dadmitted = cumulative_admitted > prev.admitted
+                                      ? cumulative_admitted - prev.admitted
+                                      : 0;
+  const bool breached = epoch_breached(delta, dsetups, dadmitted);
+
+  ring_.push_back(
+      Snapshot{cumulative_latency, cumulative_setups, cumulative_admitted});
+  breach_flags_.push_back(breached);
+  while (int(breach_flags_.size()) > spec_.window_epochs) {
+    ring_.pop_front();
+    breach_flags_.pop_front();
+  }
+  ++total_epochs_;
+  if (breached) ++total_breaches_;
+  return breached;
+}
+
+SloWindowReport SloMonitor::window() const {
+  SloWindowReport r;
+  r.epochs = breach_flags_.size();
+  if (r.epochs == 0) return r;
+  const Snapshot& oldest = ring_.front();
+  const Snapshot& newest = ring_.back();
+  const ShardedHistogram::Merged delta = newest.latency.subtract(oldest.latency);
+  r.setups = newest.setups - oldest.setups;
+  r.admitted = newest.admitted - oldest.admitted;
+  r.latency_samples = delta.count;
+  if (delta.count > 0) {
+    r.p50_ns = std::int64_t(delta.quantile_upper(0.5));
+    r.p99_ns = std::int64_t(delta.quantile_upper(0.99));
+    r.p50_lower_ns = std::int64_t(delta.quantile_lower(0.5));
+  }
+  r.admission_probability =
+      r.setups > 0 ? double(r.admitted) / double(r.setups) : 0.0;
+  r.breached_epochs = std::uint64_t(
+      std::count(breach_flags_.begin(), breach_flags_.end(), true));
+  const double breach_fraction = double(r.breached_epochs) / double(r.epochs);
+  r.burn_rate = breach_fraction / spec_.epoch_budget_fraction;
+  r.newest_epoch_breached = breach_flags_.back();
+  return r;
+}
+
+}  // namespace hetnet::obs

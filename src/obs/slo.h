@@ -1,0 +1,115 @@
+// Epoch-windowed SLO monitor.
+//
+// admissiond (src/server) commits requests in rounds; every
+// `rounds_per_epoch` rounds it closes an EPOCH by handing the monitor a
+// cumulative latency snapshot (ShardedHistogram::merged()) plus the
+// cumulative setup/admit tallies. The monitor keeps a ring of the last
+// `window_epochs + 1` cumulative snapshots; per-epoch and whole-window
+// views are Merged::subtract() deltas, so the storage cost is
+// O(window_epochs * kNumBins) regardless of run length and no per-sample
+// state is ever retained.
+//
+// Per epoch the monitor evaluates the configured targets (SloSpec) on
+// that epoch's delta: conservative p50/p99 (quantile_upper — a breach
+// verdict from an upper bound is never a false *pass*), and admission
+// probability. The window view adds the burn rate: the fraction of
+// breached epochs in the window over the allowed budget fraction, the
+// standard error-budget formulation (burn > 1 means the budget is being
+// spent faster than provisioned).
+//
+// Determinism contract: the monitor is observation-only — it reads
+// latency snapshots and tallies, feeds nothing back into admission
+// decisions, and is evaluated serially on the commit thread.
+#ifndef HETNET_OBS_SLO_H_
+#define HETNET_OBS_SLO_H_
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+
+#include "src/obs/metrics.h"
+
+namespace hetnet::obs {
+
+// SLO targets. A field at its zero default is disabled; the monitor is
+// inert (enabled() == false) until at least one target is set.
+struct SloSpec {
+  std::int64_t p50_ns = 0;   // epoch p50 must stay <= this (0: off)
+  std::int64_t p99_ns = 0;   // epoch p99 must stay <= this (0: off)
+  double min_admission_probability = 0.0;  // epoch admits/setups >= this
+  // Error budget: fraction of window epochs allowed to breach before the
+  // burn rate hits 1.0.
+  double epoch_budget_fraction = 0.25;
+  int window_epochs = 8;
+
+  bool enabled() const {
+    return p50_ns > 0 || p99_ns > 0 || min_admission_probability > 0.0;
+  }
+};
+
+// Sliding-window view over the most recent epochs.
+struct SloWindowReport {
+  std::uint64_t epochs = 0;           // epochs folded into the window
+  std::uint64_t setups = 0;
+  std::uint64_t admitted = 0;
+  std::int64_t p50_ns = 0;            // conservative (upper bin edge)
+  std::int64_t p99_ns = 0;
+  std::int64_t p50_lower_ns = 0;      // optimistic twin (lower bin edge)
+  std::uint64_t latency_samples = 0;
+  double admission_probability = 0.0;  // admitted / setups over the window
+  std::uint64_t breached_epochs = 0;
+  double burn_rate = 0.0;             // breach fraction / budget fraction
+  bool newest_epoch_breached = false;
+
+  // One flat JSON object (stable key order) for CI artifacts.
+  void write_json(std::ostream& out) const;
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(const SloSpec& spec);
+
+  const SloSpec& spec() const { return spec_; }
+  bool enabled() const { return spec_.enabled(); }
+
+  // Closes one epoch from CUMULATIVE inputs (the latency histogram's
+  // merged() and running setup/admit totals since the last reset()).
+  // Serial. Returns true when the epoch just closed breached a target.
+  bool advance(const ShardedHistogram::Merged& cumulative_latency,
+               std::uint64_t cumulative_setups,
+               std::uint64_t cumulative_admitted);
+
+  // Drops all window state and re-bases the cumulative baseline at zero.
+  // Call when the underlying histogram is swapped (admissiond's
+  // begin_measurement starts a fresh epoch-suffixed histogram).
+  void reset();
+
+  SloWindowReport window() const;
+
+  std::uint64_t epochs() const { return total_epochs_; }
+  std::uint64_t breaches() const { return total_breaches_; }
+
+ private:
+  struct Snapshot {
+    ShardedHistogram::Merged latency;  // cumulative at epoch close
+    std::uint64_t setups = 0;
+    std::uint64_t admitted = 0;
+  };
+
+  bool epoch_breached(const ShardedHistogram::Merged& delta,
+                      std::uint64_t setups, std::uint64_t admitted) const;
+
+  SloSpec spec_;
+  // ring_[0] is the window baseline (cumulative state BEFORE the oldest
+  // in-window epoch); ring_.back() is the newest close. The zero-valued
+  // seed snapshot makes the first epoch's delta the cumulative state
+  // itself.
+  std::deque<Snapshot> ring_;
+  std::deque<bool> breach_flags_;  // one per in-window epoch
+  std::uint64_t total_epochs_ = 0;
+  std::uint64_t total_breaches_ = 0;
+};
+
+}  // namespace hetnet::obs
+
+#endif  // HETNET_OBS_SLO_H_

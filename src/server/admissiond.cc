@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/names.h"
 #include "src/obs/stopwatch.h"
 #include "src/traffic/fingerprint.h"
 #include "src/util/check.h"
@@ -26,6 +27,7 @@ void SloReport::write_json(std::ostream& out) const {
       << "  \"setup_p99_ns\": " << setup_p99_ns << ",\n"
       << "  \"steady_p50_ns\": " << steady_p50_ns << ",\n"
       << "  \"steady_p99_ns\": " << steady_p99_ns << ",\n"
+      << "  \"steady_mean_ns\": " << steady_mean_ns << ",\n"
       << "  \"post_eviction_p50_ns\": " << post_eviction_p50_ns << ",\n"
       << "  \"post_eviction_p99_ns\": " << post_eviction_p99_ns << ",\n"
       << "  \"post_eviction_samples\": " << post_eviction_samples << ",\n"
@@ -42,13 +44,44 @@ AdmissionService::AdmissionService(const net::AbhnTopology* topology,
     : topology_(topology),
       config_(config),
       cac_(topology, config.cac),
-      digest_(fp::mix(0xAD3155D1ull)) {
+      digest_(fp::mix(0xAD3155D1ull)),
+      slo_(config.slo) {
   HETNET_CHECK(topology_ != nullptr, "null topology");
   HETNET_CHECK(config_.batch_size >= 1, "batch_size must be >= 1");
+  HETNET_CHECK(config_.rounds_per_epoch >= 1, "rounds_per_epoch must be >= 1");
   shards_.resize(std::size_t(topology_->num_rings()));
-  h_setup_ = &cac_.metrics().histogram("admissiond.setup_ns");
-  h_steady_ = &cac_.metrics().histogram("admissiond.steady_ns");
-  h_post_eviction_ = &cac_.metrics().histogram("admissiond.post_eviction_ns");
+  h_setup_ = &cac_.metrics().histogram(obs::names::kAdmissiondSetupNs);
+  h_steady_ = &cac_.metrics().histogram(obs::names::kAdmissiondSteadyNs);
+  h_post_eviction_ =
+      &cac_.metrics().histogram(obs::names::kAdmissiondPostEvictionNs);
+  m_slo_epochs_ = &cac_.metrics().counter(obs::names::kAdmissiondSloEpochs);
+  m_slo_breaches_ =
+      &cac_.metrics().counter(obs::names::kAdmissiondSloBreaches);
+  if (config_.flight_capacity > 0) {
+    flight_ = std::make_unique<obs::FlightRecorder>(config_.flight_capacity);
+    // Tier attribution reads the same counter objects the CAC increments
+    // (find-or-create returns stable addresses).
+    t_screen_admit_ =
+        &cac_.metrics().counter(obs::names::kCacTierScreenAdmit);
+    t_screen_reject_ =
+        &cac_.metrics().counter(obs::names::kCacTierScreenReject);
+    cac_.metrics().register_callback(
+        obs::names::kAdmissiondFlightRecorded,
+        [this] { return flight_->recorded_count(); });
+    cac_.metrics().register_callback(
+        obs::names::kAdmissiondFlightDropped,
+        [this] { return flight_->dropped_count(); });
+  }
+}
+
+void AdmissionService::dump_flight(std::ostream& out) const {
+  if (flight_ == nullptr) return;
+  std::vector<std::string> labels;
+  labels.reserve(std::size_t(topology_->num_rings()));
+  for (int r = 0; r < topology_->num_rings(); ++r) {
+    labels.push_back(topology_->access_medium(r).label());
+  }
+  flight_->dump_ndjson(out, labels);
 }
 
 void AdmissionService::submit(const Request& req) {
@@ -100,7 +133,26 @@ std::size_t AdmissionService::run_round() {
   }
 
   for (const Request& r : round_) commit(r);
+
+  // SLO epoch cadence: every rounds_per_epoch rounds the monitor closes
+  // an epoch over the measured-phase latency histogram and tallies.
+  // Serial (commit thread); parallel work inside request() has joined.
+  if (slo_.enabled() && ++rounds_in_epoch_ >= config_.rounds_per_epoch) {
+    rounds_in_epoch_ = 0;
+    close_slo_epoch();
+  }
   return round_.size();
+}
+
+void AdmissionService::close_slo_epoch() {
+  const bool breached = slo_.advance(h_setup_->merged(),
+                                     stats_.setups - stats_mark_.setups,
+                                     stats_.admitted - stats_mark_.admitted);
+  m_slo_epochs_->increment();
+  if (breached) {
+    m_slo_breaches_->increment();
+    if (config_.on_slo_breach) config_.on_slo_breach(slo_.window());
+  }
 }
 
 std::size_t AdmissionService::run_all() {
@@ -119,9 +171,18 @@ void AdmissionService::commit(const Request& req) {
 
 void AdmissionService::commit_setup(const Request& req) {
   const std::int64_t t0 = obs::monotonic_ns();
+  // Tier attribution via counter deltas: exactly one of the three
+  // cac.tier.* counters increments per CAC request (PR 7 partition), so
+  // two relaxed loads around the call classify this decision without
+  // touching the decision path.
+  const std::uint64_t pre_screen_admit =
+      flight_ != nullptr ? t_screen_admit_->value() : 0;
+  const std::uint64_t pre_screen_reject =
+      flight_ != nullptr ? t_screen_reject_->value() : 0;
   Outcome out;
   out.seq = req.seq;
   out.id = req.id;
+  bool collision = false;
   if (live_.contains(req.id)) {
     // Previous instance of this id still live: refuse without consulting
     // the CAC, exactly like the signaling layer's source-host collision.
@@ -129,6 +190,7 @@ void AdmissionService::commit_setup(const Request& req) {
     ++stats_.rejected;
     out.admitted = false;
     out.reason = core::RejectReason::kSignalingCollision;
+    collision = true;
   } else {
     const core::AdmissionDecision d = cac_.request(req.spec);
     out.admitted = d.admitted;
@@ -154,6 +216,31 @@ void AdmissionService::commit_setup(const Request& req) {
   if (config_.record_outcomes) outcomes_.push_back(out);
 
   const std::int64_t t1 = obs::monotonic_ns();
+  if (flight_ != nullptr) {
+    obs::FlightEvent ev;
+    ev.seq = out.seq;
+    ev.conn = out.id;
+    ev.digest = digest_;
+    ev.release = false;
+    ev.admitted = out.admitted;
+    ev.reason = int(out.reason);
+    if (collision) {
+      ev.tier = 3;
+    } else if (t_screen_admit_->value() != pre_screen_admit) {
+      ev.tier = 1;
+    } else if (t_screen_reject_->value() != pre_screen_reject) {
+      ev.tier = 2;
+    } else {
+      ev.tier = 0;
+    }
+    ev.latency_ns = t1 - t0;
+    if (topology_->valid_host(req.spec.src)) ev.src_ring = req.spec.src.ring;
+    if (topology_->valid_host(req.spec.dst)) ev.dst_ring = req.spec.dst.ring;
+    ev.h_s = out.alloc.h_s;
+    ev.h_r = out.alloc.h_r;
+    ev.worst_case_delay = out.worst_case_delay;
+    flight_->record(ev);
+  }
   if (first_commit_ns_ == 0) first_commit_ns_ = t0;
   last_commit_ns_ = t1;
   const double dt = double(t1 - t0);
@@ -197,15 +284,27 @@ void AdmissionService::commit_release(const Request& req) {
   digest_ = fp::combine(digest_, matched ? 1u : 0u);
   if (first_commit_ns_ == 0) first_commit_ns_ = t0;
   last_commit_ns_ = obs::monotonic_ns();
+  if (flight_ != nullptr) {
+    obs::FlightEvent ev;
+    ev.seq = req.seq;
+    ev.conn = req.id;
+    ev.digest = digest_;
+    ev.release = true;
+    ev.admitted = matched;
+    ev.latency_ns = last_commit_ns_ - t0;
+    flight_->record(ev);
+  }
 }
 
 void AdmissionService::begin_measurement() {
   ++epoch_;
   const std::string suffix = ".epoch" + std::to_string(epoch_);
-  h_setup_ = &cac_.metrics().histogram("admissiond.setup_ns" + suffix);
-  h_steady_ = &cac_.metrics().histogram("admissiond.steady_ns" + suffix);
-  h_post_eviction_ =
-      &cac_.metrics().histogram("admissiond.post_eviction_ns" + suffix);
+  h_setup_ = &cac_.metrics().histogram(
+      std::string(obs::names::kAdmissiondSetupNs) + suffix);
+  h_steady_ = &cac_.metrics().histogram(
+      std::string(obs::names::kAdmissiondSteadyNs) + suffix);
+  h_post_eviction_ = &cac_.metrics().histogram(
+      std::string(obs::names::kAdmissiondPostEvictionNs) + suffix);
   first_commit_ns_ = 0;
   last_commit_ns_ = 0;
   post_window_left_ = 0;
@@ -213,10 +312,13 @@ void AdmissionService::begin_measurement() {
   evictions_mark_ = last_evictions_;
   stats_mark_ = stats_;
   const auto counters = cac_.metrics().counter_snapshot();
-  if (const auto it = counters.find("cac.session.invalidations");
+  if (const auto it = counters.find(obs::names::kCacSessionInvalidations);
       it != counters.end()) {
     invalidations_mark_ = it->second;
   }
+  // The SLO monitor's cumulative baseline follows the histogram swap.
+  slo_.reset();
+  rounds_in_epoch_ = 0;
 }
 
 SloReport AdmissionService::report() const {
@@ -230,20 +332,29 @@ SloReport AdmissionService::report() const {
   r.sustained_throughput =
       r.wall_ns > 0 ? double(r.requests) / (double(r.wall_ns) * 1e-9) : 0.0;
 
+  // Empty histograms leave their quantile fields at 0 (quantiles of an
+  // empty histogram CHECK-fail by contract).
   const obs::ShardedHistogram::Merged setup = h_setup_->merged();
   const obs::ShardedHistogram::Merged steady = h_steady_->merged();
   const obs::ShardedHistogram::Merged post = h_post_eviction_->merged();
-  r.setup_p50_ns = std::int64_t(setup.quantile_upper(0.5));
-  r.setup_p99_ns = std::int64_t(setup.quantile_upper(0.99));
-  r.steady_p50_ns = std::int64_t(steady.quantile_upper(0.5));
-  r.steady_p99_ns = std::int64_t(steady.quantile_upper(0.99));
-  r.post_eviction_p50_ns = std::int64_t(post.quantile_upper(0.5));
-  r.post_eviction_p99_ns = std::int64_t(post.quantile_upper(0.99));
+  if (setup.count > 0) {
+    r.setup_p50_ns = std::int64_t(setup.quantile_upper(0.5));
+    r.setup_p99_ns = std::int64_t(setup.quantile_upper(0.99));
+  }
+  if (steady.count > 0) {
+    r.steady_p50_ns = std::int64_t(steady.quantile_upper(0.5));
+    r.steady_p99_ns = std::int64_t(steady.quantile_upper(0.99));
+    r.steady_mean_ns = std::int64_t(steady.trimmed_mean(0.99));
+  }
+  if (post.count > 0) {
+    r.post_eviction_p50_ns = std::int64_t(post.quantile_upper(0.5));
+    r.post_eviction_p99_ns = std::int64_t(post.quantile_upper(0.99));
+  }
   r.post_eviction_samples = post.count;
 
   r.evictions = cac_.eviction_count() - evictions_mark_;
   const auto counters = cac_.metrics().counter_snapshot();
-  if (const auto it = counters.find("cac.session.invalidations");
+  if (const auto it = counters.find(obs::names::kCacSessionInvalidations);
       it != counters.end()) {
     r.invalidations = it->second - invalidations_mark_;
   }

@@ -39,11 +39,16 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/cac.h"
+#include "src/obs/flight.h"
+#include "src/obs/slo.h"
 #include "src/server/request_stream.h"
 
 namespace hetnet::server {
@@ -61,6 +66,22 @@ struct AdmissiondConfig {
   // Setups attributed to the post-eviction histogram after each session
   // generation shed.
   std::uint64_t post_eviction_window = 64;
+
+  // --- Telemetry plane (DESIGN.md §15). Everything below is
+  // observation-only: decisions and their digest are bit-identical with
+  // any combination of it on or off, at any thread count. ---
+  // Per-shard flight-recorder ring capacity; 0 disables the recorder.
+  // Commits are serial, so in practice one shard (the commit thread)
+  // exists and the memory bound is capacity * sizeof(obs::FlightEvent).
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacityPerShard;
+  // Windowed SLO targets; the monitor is inert until one is set
+  // (slo.enabled()).
+  obs::SloSpec slo;
+  // Admission rounds per SLO epoch (the monitor's evaluation cadence).
+  std::size_t rounds_per_epoch = 16;
+  // Invoked on the commit thread whenever an epoch closes in breach —
+  // the hook tools use to dump the flight recorder at breach time.
+  std::function<void(const obs::SloWindowReport&)> on_slo_breach;
 };
 
 // One committed SETUP verdict (recorded when record_outcomes).
@@ -104,6 +125,12 @@ struct SloReport {
   std::int64_t setup_p99_ns = 0;
   std::int64_t steady_p50_ns = 0;       // outside post-eviction windows
   std::int64_t steady_p99_ns = 0;
+  // 99%-trimmed mean (Merged::trimmed_mean): sheds the scheduler-stall
+  // tail an exact mean is hostage to, while the cross-bin mixture still
+  // resolves finer than the geometric bins' ~9% steps — so ratio gates
+  // tighter than one bin width (the telemetry-overhead ceiling) remain
+  // measurable on a noisy host.
+  std::int64_t steady_mean_ns = 0;
   std::int64_t post_eviction_p50_ns = 0;
   std::int64_t post_eviction_p99_ns = 0;
   std::uint64_t post_eviction_samples = 0;
@@ -158,13 +185,25 @@ class AdmissionService {
   // excluded from subsequent report()s. Benches call this after a
   // saturation fill whose admits are intrinsically expensive (bisection
   // probes), so the SLO histograms — and the cliff metric defined over
-  // them — only see the cost-homogeneous steady workload.
+  // them — only see the cost-homogeneous steady workload. Also re-bases
+  // the SLO monitor (its cumulative baseline follows the histogram swap).
   void begin_measurement();
+
+  // --- Telemetry plane ---
+  // Null when flight_capacity == 0.
+  const obs::FlightRecorder* flight() const { return flight_.get(); }
+  const obs::SloMonitor& slo() const { return slo_; }
+  // Sliding-window SLO view as of the last closed epoch.
+  obs::SloWindowReport slo_window() const { return slo_.window(); }
+  // NDJSON dump of the flight recorder with ring indices resolved to
+  // medium labels. No-op when the recorder is disabled.
+  void dump_flight(std::ostream& out) const;
 
  private:
   void commit(const Request& req);
   void commit_setup(const Request& req);
   void commit_release(const Request& req);
+  void close_slo_epoch();
 
   const net::AbhnTopology* topology_;
   AdmissiondConfig config_;
@@ -182,6 +221,17 @@ class AdmissionService {
   obs::ShardedHistogram* h_setup_ = nullptr;
   obs::ShardedHistogram* h_steady_ = nullptr;
   obs::ShardedHistogram* h_post_eviction_ = nullptr;
+  // Telemetry plane (observation-only).
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  obs::SloMonitor slo_;
+  std::size_t rounds_in_epoch_ = 0;
+  obs::Counter* m_slo_epochs_ = nullptr;
+  obs::Counter* m_slo_breaches_ = nullptr;
+  // Tier counters, resolved once; per-request deltas attribute a flight
+  // event's decision tier (exactly one of the three increments per CAC
+  // request — the PR 7 partition invariant).
+  const obs::Counter* t_screen_admit_ = nullptr;
+  const obs::Counter* t_screen_reject_ = nullptr;
   std::uint64_t last_evictions_ = 0;
   std::uint64_t post_window_left_ = 0;
   std::int64_t first_commit_ns_ = 0;

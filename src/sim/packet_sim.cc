@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/names.h"
 #include "src/obs/span.h"
 #include "src/sim/event_queue.h"
 #include "src/traffic/sources.h"
@@ -469,7 +470,7 @@ PacketSimResult run_packet_simulation(
   PacketSimResult result = sim.run();
   if (config.metrics != nullptr) {
     obs::MetricsRegistry& m = *config.metrics;
-    m.counter("sim.packet.events_executed")
+    m.counter(obs::names::kSimPacketEventsExecuted)
         .add(std::uint64_t(result.events_executed));
     std::uint64_t generated = 0;
     std::uint64_t delivered = 0;
@@ -477,11 +478,11 @@ PacketSimResult run_packet_simulation(
       generated += std::uint64_t(c.messages_generated);
       delivered += std::uint64_t(c.messages_delivered);
     }
-    m.counter("sim.packet.messages_generated").add(generated);
-    m.counter("sim.packet.messages_delivered").add(delivered);
-    m.gauge("sim.packet.max_port_backlog_bits")
+    m.counter(obs::names::kSimPacketMessagesGenerated).add(generated);
+    m.counter(obs::names::kSimPacketMessagesDelivered).add(delivered);
+    m.gauge(obs::names::kSimPacketMaxPortBacklogBits)
         .set(result.max_port_backlog.value());
-    m.gauge("sim.packet.max_token_rotation_s")
+    m.gauge(obs::names::kSimPacketMaxTokenRotationS)
         .set(result.max_token_rotation.value());
   }
   return result;

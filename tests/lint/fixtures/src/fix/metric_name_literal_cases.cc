@@ -1,0 +1,31 @@
+// metric-name-literal fixtures: registry call sites in src/ must pass a
+// names.h constant, never a string literal — a typo'd literal silently
+// creates a dead series.
+#include "src/obs/metrics.h"
+#include "src/obs/names.h"
+
+namespace hetnet::fix {
+
+void metric_name_cases(obs::MetricsRegistry& registry,
+                       const std::string& suffix) {
+  registry.counter("cac.requests");                       // EXPECT(metric-name-literal)
+  registry.gauge("sim.packet.max_port_backlog_bits");     // EXPECT(metric-name-literal)
+  registry.histogram("admissiond.setup_ns");              // EXPECT(metric-name-literal)
+  registry.register_callback("cac.session.entries",       // EXPECT(metric-name-literal)
+                             [] { return 0ull; });
+  // A concatenation that STARTS with a literal still hides a spelling:
+  registry.histogram("admissiond.setup_ns" + suffix);     // EXPECT(metric-name-literal)
+
+  // Negative cases: constants and constant-rooted expressions are the
+  // sanctioned form.
+  registry.counter(obs::names::kCacRequests);
+  registry.gauge(obs::names::kSimPacketMaxPortBacklogBits);
+  registry.histogram(std::string(obs::names::kAdmissiondSetupNs) + suffix);
+  registry.register_callback(obs::names::kCacSessionEntries,
+                             [] { return 0ull; });
+  // Mentioning counter("literal") in a comment is not a call site, and a
+  // literal elsewhere in the argument list is not a metric name:
+  registry.histogram(suffix + ".setup_ns");
+}
+
+}  // namespace hetnet::fix

@@ -1,0 +1,98 @@
+#include "src/obs/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace hetnet::obs {
+namespace {
+
+void fill_registry(MetricsRegistry& reg) {
+  reg.counter("cac.requests").add(42);
+  reg.gauge("cac.active_connections").set(7.0);
+  auto& h = reg.histogram("admissiond.setup_ns");
+  h.record(100.0);
+  h.record(200.0);
+  h.record(400.0);
+}
+
+TEST(PrometheusExpositionTest, SanitizesNamesAndEmitsTypes) {
+  MetricsRegistry reg;
+  fill_registry(reg);
+  std::ostringstream out;
+  write_prometheus(reg, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE cac_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("cac_requests 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cac_active_connections gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE admissiond_setup_ns histogram"),
+            std::string::npos);
+  // No unsanitized dot survives into a metric name.
+  EXPECT_EQ(text.find("cac.requests"), std::string::npos);
+}
+
+TEST(PrometheusExpositionTest, BucketsAreCumulativeAndEndAtInf) {
+  MetricsRegistry reg;
+  fill_registry(reg);
+  std::ostringstream out;
+  write_prometheus(reg, out);
+  const std::string text = out.str();
+  // Cumulative counts: populated buckets rise 1 -> 2 -> 3, +Inf == count.
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("admissiond_setup_ns_count 3"), std::string::npos);
+  EXPECT_NE(text.find("admissiond_setup_ns_sum 700"), std::string::npos);
+  // The cumulative sequence never decreases.
+  std::uint64_t last = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("_bucket{le=\"", pos)) != std::string::npos) {
+    const std::size_t brace = text.find("} ", pos);
+    const std::uint64_t v = std::stoull(text.substr(brace + 2));
+    EXPECT_GE(v, last);
+    last = v;
+    pos = brace;
+  }
+}
+
+TEST(JsonExpositionTest, SectionsParseAndRoundTripValues) {
+  MetricsRegistry reg;
+  fill_registry(reg);
+  std::ostringstream out;
+  write_metrics_json(reg, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"cac.requests\": 42"), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"min\": 100"), std::string::npos);
+}
+
+TEST(JsonExpositionTest, EqualRegistriesSerializeByteIdentically) {
+  // obs_diff's CI contract: two runs with identical decision streams must
+  // produce identical counter sections. Registry snapshots are sorted
+  // maps, so the whole serialization is deterministic.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  fill_registry(a);
+  fill_registry(b);
+  std::ostringstream oa;
+  std::ostringstream ob;
+  write_metrics_json(a, oa);
+  write_metrics_json(b, ob);
+  EXPECT_EQ(oa.str(), ob.str());
+}
+
+TEST(JsonExpositionTest, EmptyRegistryIsStillValidJson) {
+  MetricsRegistry reg;
+  std::ostringstream out;
+  write_metrics_json(reg, out);
+  EXPECT_EQ(out.str(), "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+                       "  \"histograms\": {}\n}\n");
+}
+
+}  // namespace
+}  // namespace hetnet::obs

@@ -1,0 +1,109 @@
+#include "src/obs/flight.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hetnet::obs {
+namespace {
+
+FlightEvent make_event(std::uint64_t seq, bool admitted = true) {
+  FlightEvent ev;
+  ev.seq = seq;
+  ev.conn = seq + 1000;
+  ev.digest = seq * 7919;
+  ev.admitted = admitted;
+  ev.reason = admitted ? 0 : 2;
+  ev.tier = int(seq % 3);
+  ev.latency_ns = std::int64_t(seq) * 10;
+  ev.src_ring = 0;
+  ev.dst_ring = 1;
+  ev.h_s = Seconds{1e-3};
+  ev.h_r = Seconds{2e-3};
+  ev.worst_case_delay = Seconds{0.05};
+  return ev;
+}
+
+TEST(FlightRecorderTest, RetainsEverythingBelowCapacity) {
+  FlightRecorder rec(16);
+  for (std::uint64_t i = 0; i < 10; ++i) rec.record(make_event(i));
+  EXPECT_EQ(rec.recorded_count(), 10u);
+  EXPECT_EQ(rec.dropped_count(), 0u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::uint64_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);  // seq-ascending
+  }
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestAndCountsDropped) {
+  FlightRecorder rec(8);
+  for (std::uint64_t i = 0; i < 20; ++i) rec.record(make_event(i));
+  EXPECT_EQ(rec.recorded_count(), 20u);
+  // The ledger: overwritten events are counted, not silently forgotten.
+  EXPECT_EQ(rec.dropped_count(), 12u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The retained window is exactly the newest 8, in order.
+  for (std::uint64_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 12 + i);
+  }
+}
+
+TEST(FlightRecorderTest, PerShardRingsMergeBySeq) {
+  FlightRecorder rec(64);
+  // Two recording threads, disjoint seq ranges (the service's commit
+  // thread owns seq assignment; here we just emulate two epochs' worth).
+  std::thread a([&rec] {
+    for (std::uint64_t i = 0; i < 32; i += 2) rec.record(make_event(i));
+  });
+  a.join();
+  std::thread b([&rec] {
+    for (std::uint64_t i = 1; i < 32; i += 2) rec.record(make_event(i));
+  });
+  b.join();
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 32u);
+  for (std::uint64_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+  }
+  EXPECT_EQ(rec.dropped_count(), 0u);
+}
+
+TEST(FlightRecorderTest, DigestIgnoresLatencyButNotDecisions) {
+  FlightRecorder a(16);
+  FlightRecorder b(16);
+  FlightRecorder c(16);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    FlightEvent ev = make_event(i);
+    a.record(ev);
+    ev.latency_ns += 12345;  // timing differs run to run
+    b.record(ev);
+    FlightEvent changed = make_event(i);
+    if (i == 3) changed.admitted = !changed.admitted;  // a decision differs
+    c.record(changed);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(FlightRecorderTest, NdjsonCarriesMediumLabelsAndReasonNames) {
+  FlightRecorder rec(8);
+  rec.record(make_event(0, /*admitted=*/false));
+  std::ostringstream out;
+  rec.dump_ndjson(out, {"FDDI", "ATM"});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"src_medium\": \"FDDI\""), std::string::npos);
+  EXPECT_NE(text.find("\"dst_medium\": \"ATM\""), std::string::npos);
+  EXPECT_NE(text.find("\"reason\": \"infeasible\""), std::string::npos);
+  EXPECT_NE(text.find("\"worst_case_delay_s\": 0.05"), std::string::npos);
+  // One line per event, nothing else.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace hetnet::obs

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -43,12 +45,97 @@ TEST(ShardedHistogramTest, ExactMomentsAndClampedQuantiles) {
   EXPECT_LE(p50, 200.0 * std::exp2(1.0 / ShardedHistogram::kBinsPerOctave));
 }
 
-TEST(ShardedHistogramTest, EmptyMergedIsZero) {
+TEST(ShardedHistogramTest, EmptyMergedThrowsOnQuantiles) {
   ShardedHistogram h;
   const auto m = h.merged();
   EXPECT_EQ(m.count, 0u);
   EXPECT_EQ(m.mean(), 0.0);
-  EXPECT_EQ(m.quantile_upper(0.5), 0.0);
+  // A silent 0 from an empty histogram reads as "zero latency" — the
+  // quantiles CHECK-fail instead of minting it.
+  EXPECT_THROW(m.quantile_upper(0.5), std::logic_error);
+  EXPECT_THROW(m.quantile_lower(0.5), std::logic_error);
+  EXPECT_THROW(m.trimmed_mean(0.99), std::logic_error);
+}
+
+TEST(ShardedHistogramTest, QuantileBoundsBracketTheTrueQuantile) {
+  ShardedHistogram h;
+  for (double v : {100.0, 200.0, 400.0, 800.0}) h.record(v);
+  const auto m = h.merged();
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_LE(m.quantile_lower(q), m.quantile_upper(q)) << "q=" << q;
+  }
+  // q=0 is the exact min; q=1's lower bound is the top populated bin's
+  // lower edge — within one bin width below the exact max.
+  EXPECT_EQ(m.quantile_lower(0.0), 100.0);
+  EXPECT_LE(m.quantile_lower(1.0), 800.0);
+  EXPECT_GE(m.quantile_lower(1.0),
+            800.0 / std::exp2(1.0 / ShardedHistogram::kBinsPerOctave));
+}
+
+TEST(ShardedHistogramTest, SubtractRecoversTheEpochDelta) {
+  ShardedHistogram h;
+  h.record(100.0);
+  h.record(200.0);
+  const auto older = h.merged();
+  h.record(400.0);
+  h.record(400.0);
+  h.record(800.0);
+  const auto delta = h.merged().subtract(older);
+  EXPECT_EQ(delta.count, 3u);
+  // Window extrema are re-derived from delta bin edges: the true values
+  // (400, 800) lie within one bin width of the reported ones.
+  EXPECT_LE(delta.min, 400.0);
+  EXPECT_GE(delta.max, 800.0 / std::exp2(1.0 / ShardedHistogram::kBinsPerOctave));
+  EXPECT_GE(delta.quantile_upper(1.0), 800.0);
+  // Subtracting a default-constructed zero snapshot is the identity.
+  const auto same = h.merged().subtract(ShardedHistogram::Merged{});
+  EXPECT_EQ(same.count, 5u);
+}
+
+TEST(ShardedHistogramTest, TrimmedMeanShedsTheTail) {
+  ShardedHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(100.0);
+  h.record(1e9);  // one scheduler-stall outlier
+  const auto m = h.merged();
+  EXPECT_GT(m.mean(), 1e6);  // the exact mean is hostage to the tail
+  const double trimmed = m.trimmed_mean(0.99);
+  EXPECT_GE(trimmed, 100.0 / std::exp2(1.0 / ShardedHistogram::kBinsPerOctave));
+  EXPECT_LE(trimmed, 100.0 * std::exp2(1.0 / ShardedHistogram::kBinsPerOctave));
+}
+
+TEST(ShardedHistogramTest, MergeDuringConcurrentRecordIsTornButValid) {
+  // TSan-clean by construction (single-writer relaxed atomics): merged()
+  // may tear mid-record but every observed snapshot is internally sane.
+  ShardedHistogram h;
+  std::atomic<bool> stop{false};
+  std::thread writer([&h, &stop] {
+    double v = 1.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.record(v);
+      v = v < 1e6 ? v * 1.001 : 1.0;
+    }
+  });
+  std::uint64_t last_count = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto m = h.merged();
+    // Counts are monotone across snapshots of a grow-only histogram.
+    EXPECT_GE(m.count, last_count);
+    last_count = m.count;
+    std::uint64_t binned = 0;
+    for (const auto b : m.bins) binned += b;
+    // Tearing skews binned-vs-count by at most the records in flight
+    // during the 480-bin scan (relaxed ordering: no exact bound).
+    const std::uint64_t skew =
+        binned > m.count ? binned - m.count : m.count - binned;
+    EXPECT_LE(skew, 1000u);
+    if (m.count > 0) {
+      EXPECT_GT(m.max, 0.0);
+      EXPECT_GE(m.max, m.min);
+      EXPECT_NO_THROW(m.quantile_upper(0.99));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
 }
 
 TEST(ShardedHistogramTest, SubUnitValuesLandInBinZero) {

@@ -1,0 +1,142 @@
+#include "src/obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/metrics.h"
+
+namespace hetnet::obs {
+namespace {
+
+// Drives a monitor the way admissiond does: a histogram accumulates
+// latencies, and each epoch close hands over the cumulative snapshot.
+struct Driver {
+  explicit Driver(const SloSpec& spec) : monitor(spec) {}
+
+  bool close_epoch(std::initializer_list<double> latencies,
+                   std::uint64_t setups, std::uint64_t admitted) {
+    for (double v : latencies) hist.record(v);
+    total_setups += setups;
+    total_admitted += admitted;
+    return monitor.advance(hist.merged(), total_setups, total_admitted);
+  }
+
+  ShardedHistogram hist;
+  std::uint64_t total_setups = 0;
+  std::uint64_t total_admitted = 0;
+  SloMonitor monitor;
+};
+
+TEST(SloSpecTest, DisabledUntilATargetIsSet) {
+  SloSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  spec.p99_ns = 1;
+  EXPECT_TRUE(spec.enabled());
+}
+
+TEST(SloMonitorTest, RejectsDegenerateSpecs) {
+  SloSpec spec;
+  spec.p99_ns = 1000;
+  spec.window_epochs = 0;
+  EXPECT_THROW(SloMonitor{spec}, std::logic_error);
+  spec.window_epochs = 8;
+  spec.epoch_budget_fraction = 0.0;
+  EXPECT_THROW(SloMonitor{spec}, std::logic_error);
+}
+
+TEST(SloMonitorTest, EpochDeltasNotCumulativeValuesAreJudged) {
+  SloSpec spec;
+  spec.p99_ns = 1000;
+  Driver d(spec);
+  // Epoch 1: all fast — no breach.
+  EXPECT_FALSE(d.close_epoch({100.0, 200.0, 300.0}, 3, 3));
+  // Epoch 2: slow samples. Cumulatively the p99 is dragged up by epoch
+  // 1's fast mass; the DELTA is all-slow and must breach.
+  EXPECT_TRUE(d.close_epoch({90000.0, 80000.0, 70000.0}, 3, 3));
+  // Epoch 3: fast again — the breach does not stick to later epochs.
+  EXPECT_FALSE(d.close_epoch({100.0, 200.0, 300.0}, 3, 3));
+  EXPECT_EQ(d.monitor.epochs(), 3u);
+  EXPECT_EQ(d.monitor.breaches(), 1u);
+}
+
+TEST(SloMonitorTest, AdmissionProbabilityTarget) {
+  SloSpec spec;
+  spec.min_admission_probability = 0.5;
+  Driver d(spec);
+  EXPECT_FALSE(d.close_epoch({100.0}, 10, 9));
+  EXPECT_TRUE(d.close_epoch({100.0}, 10, 2));  // 20% this epoch
+  const SloWindowReport w = d.monitor.window();
+  EXPECT_EQ(w.setups, 20u);
+  EXPECT_EQ(w.admitted, 11u);
+  EXPECT_TRUE(w.newest_epoch_breached);
+}
+
+TEST(SloMonitorTest, BurnRateIsBreachFractionOverBudget) {
+  SloSpec spec;
+  spec.p99_ns = 1000;
+  spec.window_epochs = 4;
+  spec.epoch_budget_fraction = 0.25;
+  Driver d(spec);
+  d.close_epoch({100.0}, 1, 1);
+  d.close_epoch({90000.0}, 1, 1);  // breach
+  d.close_epoch({100.0}, 1, 1);
+  d.close_epoch({90000.0}, 1, 1);  // breach
+  const SloWindowReport w = d.monitor.window();
+  EXPECT_EQ(w.epochs, 4u);
+  EXPECT_EQ(w.breached_epochs, 2u);
+  // 2/4 epochs breached over a 25% budget: burning 2x the budget.
+  EXPECT_DOUBLE_EQ(w.burn_rate, 2.0);
+}
+
+TEST(SloMonitorTest, WindowSlidesOldEpochsOut) {
+  SloSpec spec;
+  spec.p99_ns = 1000;
+  spec.window_epochs = 2;
+  Driver d(spec);
+  d.close_epoch({90000.0}, 1, 1);  // breach
+  d.close_epoch({100.0}, 1, 1);
+  d.close_epoch({100.0}, 1, 1);
+  const SloWindowReport w = d.monitor.window();
+  // The breach epoch slid out of the 2-epoch window entirely.
+  EXPECT_EQ(w.epochs, 2u);
+  EXPECT_EQ(w.breached_epochs, 0u);
+  EXPECT_EQ(w.setups, 2u);
+  // Lifetime tallies still remember it.
+  EXPECT_EQ(d.monitor.breaches(), 1u);
+}
+
+TEST(SloMonitorTest, ResetRebasesAfterAHistogramSwap) {
+  SloSpec spec;
+  spec.p99_ns = 1000;
+  SloMonitor monitor(spec);
+  ShardedHistogram first;
+  first.record(90000.0);
+  EXPECT_TRUE(monitor.advance(first.merged(), 1, 1));  // breach
+  // admissiond's begin_measurement swaps to a fresh epoch-suffixed
+  // histogram and zeroes its tallies; reset() re-bases the monitor so the
+  // next epoch's delta is the fresh histogram's own content.
+  monitor.reset();
+  ShardedHistogram second;
+  second.record(100.0);
+  EXPECT_FALSE(monitor.advance(second.merged(), 1, 1));
+  EXPECT_EQ(monitor.window().epochs, 1u);
+  EXPECT_FALSE(monitor.window().newest_epoch_breached);
+}
+
+TEST(SloWindowReportTest, WriteJsonIsParseableShape) {
+  SloSpec spec;
+  spec.p99_ns = 1000;
+  Driver d(spec);
+  d.close_epoch({100.0, 90000.0}, 2, 1);
+  std::ostringstream out;
+  d.monitor.window().write_json(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"burn_rate\""), std::string::npos);
+  EXPECT_NE(text.find("\"breached_epochs\""), std::string::npos);
+  EXPECT_EQ(text.front(), '{');
+}
+
+}  // namespace
+}  // namespace hetnet::obs

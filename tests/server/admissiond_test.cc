@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/core/cac.h"
@@ -161,6 +163,96 @@ TEST(AdmissiondTest, LiveIdCollisionRefusedWithoutReachingCac) {
   EXPECT_EQ(service.stats().unmatched_releases, 1u);
   EXPECT_EQ(service.stats().matched_releases, 1u);
   EXPECT_EQ(service.cac().active_count(), 0u);
+}
+
+TEST(AdmissiondTest, TelemetryIsObservationOnlyAcrossThreadCounts) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  const std::vector<Request> requests =
+      RequestStream(&topo, small_stream()).drain();
+
+  AdmissiondConfig quiet;
+  quiet.flight_capacity = 0;  // recorder off, monitor inert
+  quiet.cac.analysis.threads = 1;
+  const auto ref = run_stream(topo, quiet, requests);
+
+  for (const int threads : {1, 2, 8}) {
+    AdmissiondConfig loud;
+    loud.cac.analysis.threads = threads;
+    loud.flight_capacity = 4096;
+    loud.slo.p99_ns = 1;  // impossible target: every epoch breaches
+    loud.slo.min_admission_probability = 0.0;
+    loud.rounds_per_epoch = 4;
+    std::uint64_t breach_hooks = 0;
+    loud.on_slo_breach = [&breach_hooks](const obs::SloWindowReport&) {
+      ++breach_hooks;
+    };
+    const auto got = run_stream(topo, loud, requests);
+    // The full telemetry plane changes no decision bit.
+    EXPECT_EQ(ref->decision_digest(), got->decision_digest())
+        << "threads=" << threads;
+    ASSERT_NE(got->flight(), nullptr);
+    EXPECT_EQ(got->flight()->recorded_count(),
+              got->stats().setups + got->stats().releases);
+    EXPECT_GT(got->slo().epochs(), 0u);
+    EXPECT_EQ(got->slo().breaches(), breach_hooks);
+    EXPECT_GT(breach_hooks, 0u);
+  }
+  EXPECT_EQ(ref->flight(), nullptr);  // capacity 0 really disables it
+}
+
+TEST(AdmissiondTest, BreachDumpIsDeterministicAcrossThreadCounts) {
+  const net::AbhnTopology topo(net::paper_topology_params());
+  const std::vector<Request> requests =
+      RequestStream(&topo, small_stream()).drain();
+
+  std::uint64_t ref_digest = 0;
+  std::string ref_dump;
+  for (const int threads : {1, 2, 8}) {
+    AdmissiondConfig config;
+    config.cac.analysis.threads = threads;
+    config.flight_capacity = 4096;  // large enough: nothing drops
+    config.slo.p99_ns = 1;
+    config.rounds_per_epoch = 4;
+    const auto service = run_stream(topo, config, requests);
+    ASSERT_NE(service->flight(), nullptr);
+    EXPECT_EQ(service->flight()->dropped_count(), 0u);
+
+    std::ostringstream dump;
+    service->dump_flight(dump);
+    EXPECT_GT(dump.str().size(), 0u);
+    if (threads == 1) {
+      ref_digest = service->flight()->digest();
+      ref_dump = dump.str();
+      continue;
+    }
+    // The flight digest folds decisions, allocations, and tiers (not
+    // latencies), so it must match bit-for-bit across thread counts...
+    EXPECT_EQ(service->flight()->digest(), ref_digest)
+        << "threads=" << threads;
+    // ...while the NDJSON dump differs only in its latency_ns fields.
+    const auto lines = [](const std::string& text) {
+      std::vector<std::string> out;
+      std::istringstream in(text);
+      for (std::string line; std::getline(in, line);) {
+        const std::size_t at = line.find("\"latency_ns\":");
+        EXPECT_NE(at, std::string::npos) << line;
+        const std::size_t end = line.find(',', at);
+        EXPECT_NE(end, std::string::npos) << line;
+        if (at != std::string::npos && end != std::string::npos) {
+          line.erase(at, end - at);
+        }
+        out.push_back(std::move(line));
+      }
+      return out;
+    };
+    const std::vector<std::string> la = lines(ref_dump);
+    const std::vector<std::string> lb = lines(dump.str());
+    ASSERT_EQ(la.size(), lb.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i], lb[i]) << "threads=" << threads << " line " << i;
+      if (HasFailure()) return;
+    }
+  }
 }
 
 TEST(AdmissiondTest, BeginMeasurementSlicesTheReport) {

@@ -22,6 +22,26 @@
 //   trace_out=<path>     record obs spans and drain a Chrome trace here
 //   trace_cap=1048576    per-thread trace event cap (overflow is counted,
 //                        not stored)
+//
+// Telemetry plane (DESIGN.md §15; everything observation-only):
+//   telemetry=1          master switch for the flight recorder
+//   flight_cap=1024      flight-recorder ring capacity (events retained)
+//   flight_dump=<path>   dump the flight recorder NDJSON at shutdown
+//   flight_dump_on_breach=<path>
+//                        (re)dump the recorder whenever an SLO epoch
+//                        closes in breach; the matching window report
+//                        lands at <path>.window.json
+//   slo_p50_us=0         windowed SLO targets (0 = disabled); the
+//   slo_p99_us=0         monitor only runs when a target is set
+//   slo_min_admit=0      minimum per-epoch admission probability
+//   slo_window=8         epochs per sliding window
+//   slo_budget=0.25      fraction of window epochs allowed to breach
+//   epoch_rounds=16      admission rounds per SLO epoch
+//   slo_report=<path>    write the final window report JSON here
+//   telemetry_out=<path> metric exposition, rewritten every
+//                        telemetry_every rounds and at exit
+//   telemetry_every=4096 rounds between exposition rewrites
+//   telemetry_format=prom|json
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -29,6 +49,7 @@
 
 #include "src/core/cac.h"
 #include "src/net/topology.h"
+#include "src/obs/exposition.h"
 #include "src/obs/span.h"
 #include "src/server/admissiond.h"
 #include "src/server/request_stream.h"
@@ -39,17 +60,44 @@ namespace {
 
 using namespace hetnet;  // NOLINT: tool binary
 
+struct TelemetryOut {
+  std::string path;
+  std::string format;  // "prom" or "json"
+  std::uint64_t every_rounds = 4096;
+
+  void emit(const server::AdmissionService& service) const {
+    if (path.empty()) return;
+    std::ofstream out(path, std::ios::trunc);
+    if (format == "json") {
+      obs::write_metrics_json(service.cac().metrics(), out);
+    } else {
+      obs::write_prometheus(service.cac().metrics(), out);
+    }
+  }
+};
+
 // Feeds the whole stream through the service: submit until one round's
-// worth is pending, run the round, repeat, then drain.
+// worth is pending, run the round, repeat, then drain. Rewrites the
+// telemetry exposition every `every_rounds` rounds (textfile-collector
+// shape: the newest scrape wins).
 void run_service(server::AdmissionService& service,
-                 server::RequestStream& stream) {
+                 server::RequestStream& stream, const TelemetryOut& telemetry) {
   server::Request req;
   const std::size_t high_water = 4 * 32;  // a few rounds of headroom
+  std::uint64_t rounds = 0;
+  const auto after_round = [&](std::size_t committed) {
+    if (committed == 0 || telemetry.path.empty()) return;
+    if (++rounds % telemetry.every_rounds == 0) telemetry.emit(service);
+  };
   while (stream.next(&req)) {
     service.submit(req);
-    if (service.pending() >= high_water) service.run_round();
+    if (service.pending() >= high_water) after_round(service.run_round());
   }
-  service.run_all();
+  while (true) {
+    const std::size_t committed = service.run_round();
+    if (committed == 0) break;
+    after_round(committed);
+  }
 }
 
 }  // namespace
@@ -79,21 +127,63 @@ int main(int argc, char** argv) {
   config.cac.analysis.threads = static_cast<int>(
       flags.get("threads", double(util::hardware_threads())));
 
+  const bool telemetry = flags.get("telemetry", 1) != 0.0;
+  config.flight_capacity =
+      telemetry ? static_cast<std::size_t>(flags.get(
+                      "flight_cap",
+                      double(obs::FlightRecorder::kDefaultCapacityPerShard)))
+                : 0;
+  config.slo.p50_ns =
+      static_cast<std::int64_t>(flags.get("slo_p50_us", 0) * 1000.0);
+  config.slo.p99_ns =
+      static_cast<std::int64_t>(flags.get("slo_p99_us", 0) * 1000.0);
+  config.slo.min_admission_probability = flags.get("slo_min_admit", 0);
+  config.slo.window_epochs = static_cast<int>(flags.get("slo_window", 8));
+  config.slo.epoch_budget_fraction = flags.get("slo_budget", 0.25);
+  config.rounds_per_epoch =
+      static_cast<std::size_t>(flags.get("epoch_rounds", 16));
+
   const bool dump_stats = flags.get("stats", 0) != 0.0;
   const bool verify_serial = flags.get("verify_serial", 0) != 0.0;
   const std::string report_path = flags.get_string("report", "");
   const std::string trace_path = flags.get_string("trace_out", "");
   const std::size_t trace_cap = static_cast<std::size_t>(flags.get(
       "trace_cap", double(obs::TraceRecorder::kDefaultMaxEventsPerThread)));
+  const std::string flight_dump_path = flags.get_string("flight_dump", "");
+  const std::string breach_dump_path =
+      flags.get_string("flight_dump_on_breach", "");
+  const std::string slo_report_path = flags.get_string("slo_report", "");
+  TelemetryOut telemetry_out;
+  telemetry_out.path = flags.get_string("telemetry_out", "");
+  telemetry_out.format = flags.get_string("telemetry_format", "prom");
+  telemetry_out.every_rounds =
+      static_cast<std::uint64_t>(flags.get("telemetry_every", 4096));
+
+  // The breach hook needs the service, which is constructed after the
+  // config; bind through a late-set pointer.
+  server::AdmissionService* live_service = nullptr;
+  std::uint64_t breach_dumps = 0;
+  if (!breach_dump_path.empty()) {
+    config.on_slo_breach = [&](const obs::SloWindowReport& window) {
+      if (live_service == nullptr) return;
+      ++breach_dumps;
+      // Latest breach wins: the recorder holds the freshest context.
+      std::ofstream dump(breach_dump_path, std::ios::trunc);
+      live_service->dump_flight(dump);
+      std::ofstream rep(breach_dump_path + ".window.json", std::ios::trunc);
+      window.write_json(rep);
+    };
+  }
   flags.check_unknown();
 
   const net::AbhnTopology topology(net::paper_topology_params());
 
   obs::ScopedRecording recording(!trace_path.empty(), trace_cap);
   server::AdmissionService service(&topology, config);
+  live_service = &service;
   {
     server::RequestStream stream(&topology, stream_config);
-    run_service(service, stream);
+    run_service(service, stream, telemetry_out);
   }
   const server::SloReport report = service.report();
   const server::ServiceStats& stats = service.stats();
@@ -108,6 +198,15 @@ int main(int argc, char** argv) {
     std::ofstream out(report_path);
     report.write_json(out);
   }
+  if (!slo_report_path.empty()) {
+    std::ofstream out(slo_report_path);
+    service.slo_window().write_json(out);
+  }
+  if (!flight_dump_path.empty()) {
+    std::ofstream out(flight_dump_path);
+    service.dump_flight(out);
+  }
+  telemetry_out.emit(service);
 
   std::cout << "admissiond: " << report.requests << " requests ("
             << stats.setups << " setups, " << stats.admitted
@@ -118,6 +217,18 @@ int main(int argc, char** argv) {
             << " ns, p99 " << report.setup_p99_ns << " ns; evictions "
             << report.evictions << ", cliff ratio "
             << report.eviction_cliff_ratio() << "\n";
+  if (service.slo().enabled()) {
+    const obs::SloWindowReport window = service.slo_window();
+    std::cout << "admissiond: slo epochs " << service.slo().epochs()
+              << ", breaches " << service.slo().breaches()
+              << ", window burn rate " << window.burn_rate
+              << ", breach dumps " << breach_dumps << "\n";
+  }
+  if (service.flight() != nullptr) {
+    std::cout << "admissiond: flight events recorded "
+              << service.flight()->recorded_count() << ", dropped by cap "
+              << service.flight()->dropped_count() << "\n";
+  }
   if (!trace_path.empty()) {
     std::cout << "admissiond: trace events dropped by cap: "
               << recording.recorder().dropped_count() << "\n";
@@ -134,9 +245,11 @@ int main(int argc, char** argv) {
     serial.batch_size = 1;
     serial.prewarm = false;
     serial.cac.analysis.threads = 1;
+    serial.on_slo_breach = nullptr;  // reference run must not overwrite dumps
     server::AdmissionService reference(&topology, serial);
     server::RequestStream stream(&topology, stream_config);
-    run_service(reference, stream);
+    TelemetryOut no_telemetry;
+    run_service(reference, stream, no_telemetry);
     if (reference.decision_digest() != service.decision_digest()) {
       std::cerr << "admissiond: FAIL: decision digest diverges from serial "
                    "replay\n";

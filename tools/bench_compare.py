@@ -52,6 +52,17 @@ admissiond_bench (`admissiond_bench json=...`) fails when:
     a deliberately loose absolute floor that only catches order-of-
     magnitude collapses, since raw throughput does not transfer across
     machines).
+
+admissiond_bench candidates that carry the telemetry fields (PR 10
+onward) are additionally gated on the telemetry plane:
+  * telemetry_decisions_match == false (turning the flight recorder and
+    SLO monitor on changed a decision — the observation-only contract is
+    broken);
+  * telemetry_overhead (steady p50 with telemetry on / off, both measured
+    in the same process so the ratio transfers across machines) exceeds
+    --max-telemetry-overhead (default 1.05: the always-on plane may cost
+    at most 5% on the hot digest-hit path). Candidates without the fields
+    (older bench builds) skip the telemetry gate.
 """
 
 import argparse
@@ -166,6 +177,17 @@ def compare_admissiond(base_doc, cand_doc, args):
         failures.append(
             f"sustained throughput {throughput:.0f} req/s fell below the "
             f"collapse floor {args.min_throughput:.0f} req/s")
+    overhead = cand_doc.get("telemetry_overhead")
+    if overhead is not None:
+        if not cand_doc.get("telemetry_decisions_match", False):
+            failures.append(
+                "decisions changed when telemetry was enabled — the "
+                "observation-only contract is broken")
+        if overhead > args.max_telemetry_overhead:
+            failures.append(
+                f"telemetry-on steady p50 is {overhead:.3f}x the "
+                f"telemetry-off p50, above the ceiling "
+                f"{args.max_telemetry_overhead:.2f}x")
     base_cliff = base_doc.get("eviction_cliff_ratio", 0.0)
     print(f"{'':>12} {'baseline':>12} {'candidate':>12}")
     print(f"{'cliff':>12} {base_cliff:>12.2f} {cliff:>12.2f}")
@@ -178,8 +200,13 @@ def compare_admissiond(base_doc, cand_doc, args):
     print(f"{'post p99':>12} "
           f"{base_doc.get('post_eviction_p99_ns', 0):>10} ns "
           f"{cand_doc.get('post_eviction_p99_ns', 0):>10} ns")
+    if overhead is not None:
+        print(f"{'telemetry':>12} "
+              f"{base_doc.get('telemetry_overhead', 0.0):>11.3f}x "
+              f"{overhead:>11.3f}x")
     return failures, ("admissiond SLO holds: decisions deterministic, no "
-                      "post-eviction latency cliff")
+                      "post-eviction latency cliff, telemetry within "
+                      "budget")
 
 
 def main():
@@ -200,6 +227,10 @@ def main():
     parser.add_argument("--max-cliff-ratio", type=float, default=3.0,
                         help="admissiond_bench: ceiling on post-eviction "
                              "p99 / steady p50 (default: %(default)s)")
+    parser.add_argument("--max-telemetry-overhead", type=float, default=1.05,
+                        help="admissiond_bench: ceiling on the in-run "
+                             "telemetry-on / telemetry-off steady-p50 ratio "
+                             "(default: %(default)s)")
     parser.add_argument("--min-throughput", type=float, default=1000.0,
                         help="admissiond_bench: absolute sustained-"
                              "throughput collapse floor in req/s "

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Summarize decision-explain NDJSON from the CAC pipeline.
 
-Usage: explain_report.py EXPLAIN.ndjson [--top N]
+Usage: explain_report.py EXPLAIN.ndjson [--top N] [--format text|json]
 
 Reads the per-request decision records produced by run_trace_simulation /
 the figure benches (explain_out=FILE), cac_microbench (--explain-out=PATH),
@@ -20,6 +20,13 @@ or the fuzzer's repro_seed_*.explain.ndjson, and prints:
   * decision-tier distribution (screen_admit / screen_reject / memo /
     exact / ...) with per-tier screen vs exact wall time, for records from
     a tiered controller (CacConfig::tiered).
+
+--format=json emits the same aggregation as one machine-readable object
+(decision-derived fields in deterministic sections; wall-clock numbers
+confined to "timing" so tools/obs_diff.py can diff runs while ignoring
+machine speed). Malformed input — an unparsable line or a non-object
+record — exits nonzero: a corrupt corpus silently shrinking a summary is
+exactly the failure mode an attribution tool must refuse.
 
 Stdlib only; unknown keys are ignored so the schema can grow.
 """
@@ -74,52 +81,35 @@ def load_records(path):
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError as e:
                 sys.exit(f"{path}:{line_no}: bad JSON: {e}")
+            if not isinstance(record, dict):
+                sys.exit(f"{path}:{line_no}: record is not a JSON object "
+                         f"({type(record).__name__})")
+            records.append(record)
     return records
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("ndjson", help="explain NDJSON file")
-    parser.add_argument("--top", type=int, default=10,
-                        help="max rows per ranking (default: %(default)s)")
-    args = parser.parse_args()
-
-    records = load_records(args.ndjson)
-    if not records:
-        sys.exit(f"{args.ndjson}: no records")
-
+def summarize(records):
+    """Aggregate a record list into one plain dict (the --format=json
+    payload; the text printer renders the same dict)."""
     admitted = [r for r in records if r.get("admitted")]
     rejected = [r for r in records if not r.get("admitted")]
-    print(f"records:  {len(records)}")
-    print(f"admitted: {len(admitted)}  "
-          f"(AP = {len(admitted) / len(records):.3f})")
+    summary = {
+        "records": len(records),
+        "admitted": len(admitted),
+        "admission_probability": len(admitted) / len(records),
+        "reject_reasons": dict(
+            Counter(r.get("reason", "unknown") for r in rejected)),
+        "binding_servers": dict(
+            Counter(r["binding_server"] for r in records
+                    if r.get("binding_server"))),
+        "tiers": dict(
+            Counter(r["decision_tier"] for r in records
+                    if r.get("decision_tier"))),
+    }
 
-    reasons = Counter(r.get("reason", "unknown") for r in rejected)
-    if reasons:
-        print("\nreject reasons:")
-        for reason, n in reasons.most_common(args.top):
-            print(f"  {reason:<22} {n:>7}  ({n / len(records):.1%})")
-
-    # Binding server: the chain stage whose delay bound is largest. Present
-    # on every record that ran the joint analysis (admits and infeasible
-    # rejects; absent on no-bandwidth/source-busy short-circuits).
-    binding = Counter(r["binding_server"] for r in records
-                      if r.get("binding_server"))
-    if binding:
-        total = sum(binding.values())
-        print(f"\nbinding-server distribution ({total} analyzed requests):")
-        for server, n in binding.most_common(args.top):
-            print(f"  {server:<22} {n:>7}  ({n / total:.1%})")
-
-    # Per-medium aggregation over the stage breakdowns ([server, delay_s,
-    # buffer_bits] triples; present on records that ran the joint analysis).
-    # "delay share" is the medium's fraction of the summed per-stage delay
-    # bounds; "max buffer" is the worst per-hop backlog bound any of its
-    # stages ever required — the number that matters on satellite hops,
-    # where a single port buffers hundreds of milliseconds of cells.
     medium_delay = Counter()
     medium_stages = Counter()
     medium_buffer_max = {}
@@ -137,61 +127,134 @@ def main():
                 medium_buffer_max[medium] = buffer_bits
         if r.get("binding_server"):
             binding_medium[medium_of(r["binding_server"])] += 1
-    if medium_delay:
-        total_delay = sum(medium_delay.values())
-        print("\nper-medium aggregation (over stage breakdowns):")
-        print(f"  {'medium':<8} {'stages':>7} {'delay share':>12} "
-              f"{'max buffer':>12} {'binds':>7}")
-        for medium, delay in medium_delay.most_common():
-            share = delay / total_delay if total_delay > 0 else 0.0
-            buf = medium_buffer_max.get(medium, 0)
-            buf_str = f"{buf / 1e3:.1f} kb" if buf else "-"
-            print(f"  {medium:<8} {medium_stages[medium]:>7} {share:>11.1%} "
-                  f"{buf_str:>12} {binding_medium.get(medium, 0):>7}")
+    total_delay = sum(medium_delay.values())
+    summary["media"] = {
+        medium: {
+            "stages": medium_stages[medium],
+            "delay_share": delay / total_delay if total_delay > 0 else 0.0,
+            "max_buffer_bits": medium_buffer_max.get(medium, 0),
+            "binds": binding_medium.get(medium, 0),
+        }
+        for medium, delay in medium_delay.most_common()
+    }
 
-    slacks = [r["slack_s"] for r in admitted
-              if isinstance(r.get("slack_s"), (int, float))]
+    slacks = sorted(r["slack_s"] for r in admitted
+                    if isinstance(r.get("slack_s"), (int, float)))
     if slacks:
-        slacks.sort()
-        mean = sum(slacks) / len(slacks)
-        median = slacks[len(slacks) // 2]
-        print("\nadmitted slack (deadline - granted bound):")
-        print(f"  min    {fmt_seconds(slacks[0])}")
-        print(f"  median {fmt_seconds(median)}")
-        print(f"  mean   {fmt_seconds(mean)}")
-        print(f"  max    {fmt_seconds(slacks[-1])}")
+        summary["slack_s"] = {
+            "min": slacks[0],
+            "median": slacks[len(slacks) // 2],
+            "mean": sum(slacks) / len(slacks),
+            "max": slacks[-1],
+        }
 
     analyzed = [r for r in records if r.get("probe_evals", 0) > 0]
     if analyzed:
         evals = [r["probe_evals"] for r in analyzed]
         iters = [len(r.get("bisection", [])) for r in analyzed]
-        print(f"\nsearch effort ({len(analyzed)} analyzed requests):")
-        print(f"  mean probe evaluations  {sum(evals) / len(evals):.1f}")
-        print(f"  mean bisection steps    {sum(iters) / len(iters):.1f}")
+        summary["search"] = {
+            "analyzed": len(analyzed),
+            "mean_probe_evals": sum(evals) / len(evals),
+            "mean_bisection_steps": sum(iters) / len(iters),
+        }
 
-    # Tier accounting (tiered controllers only — records from an untiered
-    # run carry no decision_tier and the section is skipped). screen_ns /
-    # exact_ns are per-request wall-clock in the Tier-A kUp screen vs the
-    # exact joint analysis; the split shows where the admission pipeline
-    # actually spent its time, per resolving tier.
-    tiers = Counter(r["decision_tier"] for r in records
-                    if r.get("decision_tier"))
+    # Wall-clock lives in its own section: obs_diff ignores it by default
+    # (machine speed is not a regression in decision behavior).
+    summary["timing"] = {
+        "screen_ms": sum(r.get("screen_ns", 0) for r in records) / 1e6,
+        "exact_ms": sum(r.get("exact_ns", 0) for r in records) / 1e6,
+        "per_tier_ms": {
+            tier: {
+                "screen": sum(r.get("screen_ns", 0) for r in records
+                              if r.get("decision_tier") == tier) / 1e6,
+                "exact": sum(r.get("exact_ns", 0) for r in records
+                             if r.get("decision_tier") == tier) / 1e6,
+            }
+            for tier in summary["tiers"]
+        },
+    }
+    return summary
+
+
+def print_text(summary, top):
+    print(f"records:  {summary['records']}")
+    print(f"admitted: {summary['admitted']}  "
+          f"(AP = {summary['admission_probability']:.3f})")
+
+    reasons = Counter(summary["reject_reasons"])
+    if reasons:
+        print("\nreject reasons:")
+        for reason, n in reasons.most_common(top):
+            print(f"  {reason:<22} {n:>7}  ({n / summary['records']:.1%})")
+
+    binding = Counter(summary["binding_servers"])
+    if binding:
+        total = sum(binding.values())
+        print(f"\nbinding-server distribution ({total} analyzed requests):")
+        for server, n in binding.most_common(top):
+            print(f"  {server:<22} {n:>7}  ({n / total:.1%})")
+
+    if summary["media"]:
+        print("\nper-medium aggregation (over stage breakdowns):")
+        print(f"  {'medium':<8} {'stages':>7} {'delay share':>12} "
+              f"{'max buffer':>12} {'binds':>7}")
+        for medium, m in summary["media"].items():
+            buf = m["max_buffer_bits"]
+            buf_str = f"{buf / 1e3:.1f} kb" if buf else "-"
+            print(f"  {medium:<8} {m['stages']:>7} {m['delay_share']:>11.1%} "
+                  f"{buf_str:>12} {m['binds']:>7}")
+
+    if "slack_s" in summary:
+        s = summary["slack_s"]
+        print("\nadmitted slack (deadline - granted bound):")
+        print(f"  min    {fmt_seconds(s['min'])}")
+        print(f"  median {fmt_seconds(s['median'])}")
+        print(f"  mean   {fmt_seconds(s['mean'])}")
+        print(f"  max    {fmt_seconds(s['max'])}")
+
+    if "search" in summary:
+        s = summary["search"]
+        print(f"\nsearch effort ({s['analyzed']} analyzed requests):")
+        print(f"  mean probe evaluations  {s['mean_probe_evals']:.1f}")
+        print(f"  mean bisection steps    {s['mean_bisection_steps']:.1f}")
+
+    tiers = Counter(summary["tiers"])
     if tiers:
         total = sum(tiers.values())
         print(f"\ndecision tiers ({total} records):")
-        for tier, n in tiers.most_common(args.top):
-            in_tier = [r for r in records if r.get("decision_tier") == tier]
-            screen_ms = sum(r.get("screen_ns", 0) for r in in_tier) / 1e6
-            exact_ms = sum(r.get("exact_ns", 0) for r in in_tier) / 1e6
+        for tier, n in tiers.most_common(top):
+            per = summary["timing"]["per_tier_ms"][tier]
             print(f"  {tier:<14} {n:>7}  ({n / total:.1%})  "
-                  f"screen {screen_ms:8.3f} ms   exact {exact_ms:8.3f} ms")
-        screen_total = sum(r.get("screen_ns", 0) for r in records) / 1e6
-        exact_total = sum(r.get("exact_ns", 0) for r in records) / 1e6
+                  f"screen {per['screen']:8.3f} ms   "
+                  f"exact {per['exact']:8.3f} ms")
+        screen_total = summary["timing"]["screen_ms"]
+        exact_total = summary["timing"]["exact_ms"]
         spent = screen_total + exact_total
         if spent > 0:
             print(f"  screen share of analysis time: "
                   f"{screen_total / spent:.1%} "
                   f"({screen_total:.3f} of {spent:.3f} ms)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ndjson", help="explain NDJSON file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="max rows per ranking (default: %(default)s)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: %(default)s)")
+    args = parser.parse_args()
+
+    records = load_records(args.ndjson)
+    if not records:
+        sys.exit(f"{args.ndjson}: no records")
+
+    summary = summarize(records)
+    if args.format == "json":
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print_text(summary, args.top)
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from checks import (  # noqa: F401
     float_reduction_order,
     include_root,
     medium_registry_bypass,
+    metric_name_literal,
     nondeterminism_source,
     parallel_body_write,
     pointer_keyed_ordering,

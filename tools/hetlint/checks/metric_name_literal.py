@@ -1,0 +1,60 @@
+"""metric-name-literal: metric names in src/ come from src/obs/names.h.
+
+MetricsRegistry::counter/gauge/histogram/register_callback are
+find-or-create: a typo'd name does not error, it silently mints a fresh
+dead series while the intended one stays flat — the worst failure mode
+an observability plane can have, because it looks like working telemetry.
+The guard is a single constant table (src/obs/names.h): call sites in
+src/ must pass a named constant (or an expression built from one, e.g.
+the epoch-suffix concatenation in admissiond), never a string literal.
+Tools, benches, and tests may still use ad-hoc literals — they own their
+registries end to end, so a typo is locally visible.
+"""
+
+from __future__ import annotations
+
+import core
+
+REGISTRY_CALLS = frozenset({
+    "counter",
+    "gauge",
+    "histogram",
+    "register_callback",
+})
+
+# The constant table itself, where the canonical spellings live.
+NAMES_HEADER = "src/obs/names.h"
+
+
+@core.register
+class MetricNameLiteralCheck(core.Check):
+    name = "metric-name-literal"
+    description = ("metric/histogram names in src/ must come from the "
+                   "src/obs/names.h constant table, not string literals")
+
+    def run(self, src: core.SourceFile) -> list[core.Violation]:
+        if not src.in_dir("src/") or src.rel_path == NAMES_HEADER:
+            return []
+        out = []
+        toks = src.code_tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.value not in REGISTRY_CALLS:
+                continue
+            if i + 2 >= len(toks):
+                continue
+            # Match `counter ( "literal"` — a literal-first argument. A
+            # constant (identifier) or any computed expression as the
+            # first argument is fine; concatenations that START with a
+            # literal ("base" + suffix) are still violations, which is
+            # intended: the base spelling belongs in names.h.
+            if toks[i + 1].value != "(" or toks[i + 2].kind != "str":
+                continue
+            out.append(
+                self.violation(
+                    src, t.line,
+                    f"metric name passed to {t.value}() as a string "
+                    f"literal; use a constant from {NAMES_HEADER} (typo'd "
+                    f"literals silently create dead series)",
+                )
+            )
+        return out

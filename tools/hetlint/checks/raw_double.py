@@ -29,9 +29,10 @@ QUANTITY_NAME = re.compile(
 )
 
 # Names that look physical but are legitimately dimensionless or counts.
+# burn_rate is the SLO budget-consumption multiplier (fraction / fraction).
 QUANTITY_NAME_EXEMPT = re.compile(
     r"^(?:beta|alpha|ratio|fraction|fill|utilization|u|scale|factor"
-    r"|num_\w+|n_\w+|count\w*|steps?\w*)$"
+    r"|burn_rate|num_\w+|n_\w+|count\w*|steps?\w*)$"
 )
 
 # Token immediately after `double NAME` classifying the declaration.

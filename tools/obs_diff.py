@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Cross-run attribution diff over telemetry / explain / flight corpora.
+
+Usage: obs_diff.py BASELINE CURRENT [options]
+
+Compares two observability artifacts from the CAC pipeline and attributes
+any drift per-medium, per-tier, and per-reject-reason. Accepted inputs
+(auto-detected per file; both sides must be the same kind):
+
+  * telemetry JSON  — admissiond telemetry_out=...  telemetry_format=json
+                      or cac_microbench --metrics-out (write_metrics_json)
+  * explain summary — explain_report.py --format=json
+  * flight dump     — admissiond flight_dump=... NDJSON (aggregated here)
+
+What is compared (decision-derived, machine-independent):
+  * counters (telemetry mode), minus --ignore'd names; latency histograms
+    and wall-clock sections are never compared;
+  * admission probability;
+  * reject-reason shares, decision-tier shares, per-medium delay shares /
+    binding counts (explain mode) or per-medium event shares (flight mode).
+
+A share drift beyond --tolerance, an admission-probability drop beyond
+--tolerance, or (with --exact) any counter inequality is a REGRESSION:
+the tool prints every finding and exits 1. Exit 0 means no drift beyond
+tolerance; exit 2 means unusable input. Stdlib only.
+"""
+
+import argparse
+import json
+import re
+import sys
+from collections import Counter
+
+# Counters whose values depend on wall-clock timing rather than the
+# decision stream: SLO epochs close on latency thresholds, so their
+# tallies differ run to run even when every decision is bit-identical.
+DEFAULT_IGNORE = (r"^admissiond\.slo\.",)
+
+
+def fail(msg):
+    print(f"obs_diff: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_artifact(path):
+    """Returns (kind, payload): kind in {"telemetry", "explain", "flight"}."""
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        fail(str(e))
+    stripped = text.strip()
+    if not stripped:
+        fail(f"{path}: empty file")
+    # Whole-file JSON object?
+    try:
+        doc = json.loads(stripped)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):
+        if "counters" in doc:
+            return "telemetry", doc
+        if "records" in doc:
+            return "explain", doc
+        fail(f"{path}: JSON object is neither a telemetry exposition "
+             f"(no 'counters') nor an explain summary (no 'records')")
+    # NDJSON flight dump.
+    events = []
+    for line_no, line in enumerate(stripped.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{line_no}: bad JSON: {e}")
+        if not isinstance(event, dict):
+            fail(f"{path}:{line_no}: flight event is not a JSON object")
+        events.append(event)
+    return "flight", events
+
+
+def aggregate_flight(events):
+    """Reduce a flight dump to the explain-summary shape (shares over the
+    retained event window)."""
+    setups = [e for e in events if e.get("event") == "setup"]
+    admitted = [e for e in setups if e.get("admitted")]
+    media = Counter()
+    for e in setups:
+        for key in ("src_medium", "dst_medium"):
+            if e.get(key):
+                media[e[key]] += 1
+    return {
+        "records": len(setups),
+        "admitted": len(admitted),
+        "admission_probability":
+            len(admitted) / len(setups) if setups else 0.0,
+        "reject_reasons": dict(
+            Counter(e.get("reason", "unknown") for e in setups
+                    if not e.get("admitted"))),
+        "tiers": dict(Counter(e.get("tier", "unknown") for e in setups)),
+        "media": {
+            medium: {"stages": n, "delay_share": 0.0, "binds": 0,
+                     "event_share": n / sum(media.values())}
+            for medium, n in media.most_common()
+        } if media else {},
+    }
+
+
+def shares(counts):
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {k: v / total for k, v in counts.items()}
+
+
+class Diff:
+    def __init__(self, tolerance):
+        self.tolerance = tolerance
+        self.findings = []  # (is_regression, text)
+
+    def note(self, regression, text):
+        self.findings.append((regression, text))
+
+    def compare_shares(self, dimension, base, cur):
+        """Any share shift beyond tolerance in either direction is a
+        regression: a reject reason vanishing is as suspicious as one
+        appearing."""
+        for key in sorted(set(base) | set(cur)):
+            b = base.get(key, 0.0)
+            c = cur.get(key, 0.0)
+            delta = c - b
+            if abs(delta) > self.tolerance:
+                self.note(True, f"[{dimension}] {key} share "
+                                f"{b:.3f} -> {c:.3f} ({delta:+.3f}, "
+                                f"tol {self.tolerance})")
+
+    def compare_summary(self, base, cur):
+        bp = base.get("admission_probability", 0.0)
+        cp = cur.get("admission_probability", 0.0)
+        if abs(cp - bp) > self.tolerance:
+            self.note(True, f"[admission] probability {bp:.3f} -> {cp:.3f} "
+                            f"({cp - bp:+.3f}, tol {self.tolerance})")
+        self.compare_shares(
+            "reject-reason",
+            shares(base.get("reject_reasons", {})),
+            shares(cur.get("reject_reasons", {})))
+        self.compare_shares(
+            "tier", shares(base.get("tiers", {})),
+            shares(cur.get("tiers", {})))
+        base_media = base.get("media", {})
+        cur_media = cur.get("media", {})
+        for field, label in (("delay_share", "delay share"),
+                             ("event_share", "event share")):
+            b = {m: v.get(field, 0.0) for m, v in base_media.items()}
+            c = {m: v.get(field, 0.0) for m, v in cur_media.items()}
+            if any(b.values()) or any(c.values()):
+                self.compare_shares(f"medium {label}", b, c)
+        b_binds = shares({m: v.get("binds", 0) for m, v in base_media.items()})
+        c_binds = shares({m: v.get("binds", 0) for m, v in cur_media.items()})
+        self.compare_shares("medium binds", b_binds, c_binds)
+
+    def compare_counters(self, base, cur, ignore_patterns, exact):
+        ignored = [re.compile(p) for p in ignore_patterns]
+        names = sorted(set(base) | set(cur))
+        for name in names:
+            if any(p.search(name) for p in ignored):
+                continue
+            b = base.get(name)
+            c = cur.get(name)
+            if b is None or c is None:
+                side = "baseline" if b is None else "current"
+                self.note(True, f"[counter] {name} missing from {side}")
+                continue
+            if b == c:
+                continue
+            if exact:
+                self.note(True, f"[counter] {name} {b} -> {c} (exact mode)")
+                continue
+            denom = max(abs(b), 1)
+            rel = (c - b) / denom
+            if abs(rel) > self.tolerance:
+                self.note(True, f"[counter] {name} {b} -> {c} "
+                                f"({rel:+.1%}, tol {self.tolerance:.1%})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="max share / relative drift (default: "
+                             "%(default)s)")
+    parser.add_argument("--exact", action="store_true",
+                        help="telemetry counters must match exactly "
+                             "(CI gate against a pinned deterministic run)")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="REGEX",
+                        help="additional counter-name patterns to skip "
+                             f"(always skipped: {', '.join(DEFAULT_IGNORE)})")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    args = parser.parse_args()
+
+    base_kind, base = load_artifact(args.baseline)
+    cur_kind, cur = load_artifact(args.current)
+    if base_kind != cur_kind:
+        fail(f"artifact kinds differ: {args.baseline} is {base_kind}, "
+             f"{args.current} is {cur_kind}")
+
+    diff = Diff(args.tolerance)
+    if base_kind == "telemetry":
+        diff.compare_counters(base.get("counters", {}),
+                              cur.get("counters", {}),
+                              list(DEFAULT_IGNORE) + args.ignore,
+                              args.exact)
+    elif base_kind == "explain":
+        diff.compare_summary(base, cur)
+    else:  # flight
+        diff.compare_summary(aggregate_flight(base), aggregate_flight(cur))
+
+    regressions = [text for bad, text in diff.findings if bad]
+    if args.json:
+        json.dump({"kind": base_kind, "regressions": regressions},
+                  sys.stdout, indent=2)
+        print()
+    else:
+        for text in regressions:
+            print(text)
+        if regressions:
+            print(f"obs_diff: {len(regressions)} regression(s) "
+                  f"({base_kind} mode)")
+        else:
+            print(f"obs_diff: no drift beyond tolerance ({base_kind} mode)")
+    sys.exit(1 if regressions else 0)
+
+
+if __name__ == "__main__":
+    main()
